@@ -1,0 +1,58 @@
+// Ablation: the RDD preconditioner family of §4.1.2 — block-Jacobi
+// ILU(0), restricted additive Schwarz (overlap 1), and the polynomial —
+// compared on iterations, per-apply communication and modeled time.
+// Block-local preconditioners weaken as P grows (their blocks shrink);
+// the polynomial's quality is P-invariant — the paper's robustness
+// argument in §3.2.3 made quantitative.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/rdd_solver.hpp"
+#include "exp/experiments.hpp"
+#include "exp/table.hpp"
+#include "fem/problems.hpp"
+#include "par/cost_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfem;
+  const bool full = bench::full_run(argc, argv);
+  fem::CantileverSpec spec;
+  spec.nx = full ? 60 : 32;
+  spec.ny = spec.nx;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  const par::MachineModel origin = par::MachineModel::sgi_origin();
+
+  exp::banner(std::cout, "Ablation — RDD preconditioners (" +
+                             std::to_string(prob.dofs.num_free()) +
+                             " equations)");
+  exp::Table table({"P", "preconditioner", "iters", "T(Origin) s"});
+  core::SolveOptions opts;
+  opts.tol = 1e-6;
+  opts.max_iters = 60000;
+
+  for (int p : {2, 4, 8}) {
+    const partition::RddPartition part = exp::make_rdd(prob, p);
+    auto run = [&](const std::string& name, const core::RddOptions& rdd) {
+      const auto res = core::solve_rdd(part, prob.load, rdd, opts);
+      table.add_row(
+          {exp::Table::integer(p), name, exp::Table::integer(res.iterations),
+           exp::Table::num(par::model_time(origin, res.rank_counters).total(),
+                           4)});
+    };
+    core::RddOptions bj;
+    bj.precond = core::RddOptions::Precond::BlockJacobiIlu;
+    run("block-Jacobi ILU(0)", bj);
+    core::RddOptions ras;
+    ras.precond = core::RddOptions::Precond::AdditiveSchwarz;
+    run("additive Schwarz(1)", ras);
+    core::RddOptions poly;
+    poly.poly.degree = 7;
+    run("GLS(7)", poly);
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: block preconditioners lose iterations as P "
+               "grows (smaller blocks); GLS(7) iteration count is\n"
+               "P-invariant.  Schwarz <= block-Jacobi in iterations at "
+               "every P.\n";
+  return 0;
+}

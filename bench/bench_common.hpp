@@ -1,0 +1,37 @@
+// Shared plumbing for the per-figure/table bench binaries.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/table.hpp"
+
+namespace pfem::bench {
+
+/// True when the binary was invoked with --full (paper-scale sweep);
+/// default runs are sized to finish in seconds.
+inline bool full_run(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  return false;
+}
+
+/// Print a residual history downsampled to ~`points` rows.
+inline void print_history(const std::string& label,
+                          const std::vector<double>& history, int points = 8) {
+  std::cout << "  " << label << " [iter: relres]: ";
+  if (history.empty()) {
+    std::cout << "(converged immediately)\n";
+    return;
+  }
+  const std::size_t stride =
+      std::max<std::size_t>(1, history.size() / static_cast<std::size_t>(points));
+  for (std::size_t i = 0; i < history.size(); i += stride)
+    std::cout << i + 1 << ": " << exp::Table::sci(history[i], 1) << "  ";
+  std::cout << history.size() << ": "
+            << exp::Table::sci(history.back(), 1) << "\n";
+}
+
+}  // namespace pfem::bench

@@ -1,0 +1,49 @@
+// Fig. 1: Neumann-series residual polynomials 1 − λP_{m−1}(λ) on
+// Θ = (0, 30) for m = 5, 6, 7.  The scaling factor ω = 2/30 centres the
+// series so ρ(I − ωA) < 1 on the interval; the figure's message is that
+// the residual is driven toward 0 across the whole interval as the
+// degree grows.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/neumann.hpp"
+#include "exp/table.hpp"
+
+int main() {
+  using namespace pfem;
+  exp::banner(std::cout, "Fig. 1 — Neumann residual 1 - lambda*P_m(lambda), "
+                         "Theta = (0, 30), omega = 2/30");
+
+  const double omega = 2.0 / 30.0;
+  const int degrees[] = {4, 5, 6};  // P_{m-1} for m = 5, 6, 7
+  exp::Table table({"lambda", "m=5", "m=6", "m=7"});
+  for (int k = 0; k <= 12; ++k) {
+    const double lambda = 30.0 * k / 12.0 + (k == 0 ? 0.5 : 0.0);
+    std::vector<std::string> row{exp::Table::num(lambda, 2)};
+    for (int d : degrees) {
+      const core::NeumannPolynomial p(d, omega);
+      row.push_back(exp::Table::sci(p.residual(lambda), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  // The residual is (1 - omega*lambda)^{m+1}: near zero across the
+  // interval interior, approaching 1 at the endpoints — Fig. 1's shape.
+  auto sup_over = [&](int d, double lo, double hi) {
+    const core::NeumannPolynomial p(d, omega);
+    double sup = 0.0;
+    for (int k = 0; k <= 1000; ++k) {
+      const double lambda = lo + (hi - lo) * k / 1000.0;
+      sup = std::max(sup, std::abs(p.residual(lambda)));
+    }
+    return sup;
+  };
+  std::cout << "\nsup |1 - lambda*P(lambda)|:\n";
+  for (int d : degrees)
+    std::cout << "  m = " << d + 1
+              << "  over (0.5, 29.5): " << exp::Table::sci(sup_over(d, 0.5, 29.5), 3)
+              << "   over the interior (7.5, 22.5): "
+              << exp::Table::sci(sup_over(d, 7.5, 22.5), 3) << "\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 17(e): portability — the same solver trace modeled on the IBM SP2
+// (distributed memory, high message latency) and the SGI Origin (ccNUMA,
+// low latency).  The Origin scales better at small P, the paper's
+// observation attributed to its shared-memory architecture.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/edd_solver.hpp"
+#include "exp/experiments.hpp"
+#include "exp/table.hpp"
+#include "fem/problems.hpp"
+#include "par/cost_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfem;
+  const bool full = bench::full_run(argc, argv);
+  fem::CantileverSpec spec;
+  spec.nx = full ? 60 : 36;
+  spec.ny = full ? 60 : 36;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  core::SolveOptions opts;
+  opts.tol = 1e-6;
+  opts.max_iters = 60000;
+  core::PolySpec poly;
+  poly.degree = 7;
+
+  exp::banner(std::cout, "Fig. 17(e) — EDD-FGMRES-GLS(7) speedup: IBM SP2 "
+                         "vs SGI Origin vs modern node");
+
+  // One trace per P, evaluated under the three machine models.
+  const std::vector<par::MachineModel> machines = {
+      par::MachineModel::ibm_sp2(), par::MachineModel::sgi_origin(),
+      par::MachineModel::modern_node()};
+
+  std::vector<std::vector<par::PerfCounters>> traces;
+  std::vector<index_t> iters;
+  for (int p : {1, 2, 4, 8}) {
+    const partition::EddPartition part = exp::make_edd(prob, p);
+    const auto res = core::solve_edd(part, prob.load, poly, opts);
+    traces.push_back(res.rank_counters);
+    iters.push_back(res.iterations);
+  }
+
+  exp::Table table({"P", "iters", "T(SP2) s", "S(SP2)", "T(Origin) s",
+                    "S(Origin)", "S(modern)"});
+  std::vector<double> t1(machines.size());
+  for (std::size_t m = 0; m < machines.size(); ++m)
+    t1[m] = par::model_time(machines[m], traces[0]).total();
+  const int pvals[] = {1, 2, 4, 8};
+  for (std::size_t k = 0; k < traces.size(); ++k) {
+    std::vector<double> t(machines.size());
+    for (std::size_t m = 0; m < machines.size(); ++m)
+      t[m] = par::model_time(machines[m], traces[k]).total();
+    table.add_row({exp::Table::integer(pvals[k]),
+                   exp::Table::integer(iters[k]), exp::Table::num(t[0], 4),
+                   exp::Table::num(t1[0] / t[0], 2),
+                   exp::Table::num(t[1], 4),
+                   exp::Table::num(t1[1] / t[1], 2),
+                   exp::Table::num(t1[2] / t[2], 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: S(Origin) > S(SP2) at every P > 1.\n";
+  if (!full) std::cout << "(pass --full for the 60x60 mesh)\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 17(c,d): speedup vs P as the problem size grows — larger meshes
+// approach linear speedup because the subdomain interface (communication)
+// shrinks relative to subdomain volume (computation).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "exp/experiments.hpp"
+#include "exp/table.hpp"
+#include "fem/problems.hpp"
+#include "par/cost_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfem;
+  const bool full = bench::full_run(argc, argv);
+  const par::MachineModel origin = par::MachineModel::sgi_origin();
+  core::SolveOptions opts;
+  opts.tol = 1e-6;
+  opts.max_iters = 60000;
+  core::PolySpec poly;
+  poly.degree = 7;
+
+  exp::banner(std::cout,
+              "Fig. 17(c,d) — EDD-FGMRES-GLS(7) modeled speedup vs problem "
+              "size (" + origin.name + ")");
+  exp::Table table({"mesh", "nEqn", "iters(P=1)", "S(P=2)", "S(P=4)",
+                    "S(P=8)"});
+  const std::vector<int> sizes =
+      full ? std::vector<int>{20, 30, 40, 50, 60, 80}
+           : std::vector<int>{16, 24, 32, 48};
+  for (int n : sizes) {
+    fem::CantileverSpec spec;
+    spec.nx = n;
+    spec.ny = n;
+    const fem::CantileverProblem prob = fem::make_cantilever(spec);
+    const auto rows =
+        exp::edd_speedup_study(prob, poly, {1, 2, 4, 8}, origin, opts);
+    table.add_row({std::to_string(n) + "x" + std::to_string(n),
+                   exp::Table::integer(prob.dofs.num_free()),
+                   exp::Table::integer(rows[0].iterations),
+                   exp::Table::num(rows[1].speedup, 2),
+                   exp::Table::num(rows[2].speedup, 2),
+                   exp::Table::num(rows[3].speedup, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: each speedup column increases down the "
+               "table (toward linear).\n";
+  if (!full) std::cout << "(pass --full for meshes up to 80x80)\n";
+  return 0;
+}

@@ -1,0 +1,144 @@
+// google-benchmark micro-benchmarks of the solver's time-consuming
+// kernels (§3.1.2): SpMV, polynomial application, ILU(0) solve, the
+// nearest-neighbor exchange, and the allreduce.
+#include <benchmark/benchmark.h>
+
+#include "core/edd_solver.hpp"
+#include "core/gls_poly.hpp"
+#include "core/neumann.hpp"
+#include "exp/experiments.hpp"
+#include "fem/problems.hpp"
+#include "la/vector_ops.hpp"
+#include "par/comm.hpp"
+#include "sparse/bsr.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ilu0.hpp"
+
+namespace {
+
+using namespace pfem;
+
+const fem::CantileverProblem& cantilever() {
+  static const fem::CantileverProblem prob = [] {
+    fem::CantileverSpec spec;
+    spec.nx = 50;
+    spec.ny = 50;
+    return fem::make_cantilever(spec);
+  }();
+  return prob;
+}
+
+void BM_Spmv(benchmark::State& state) {
+  const sparse::CsrMatrix& a = cantilever().stiffness;
+  Vector x(static_cast<std::size_t>(a.cols()), 1.0);
+  Vector y(static_cast<std::size_t>(a.rows()));
+  for (auto _ : state) {
+    a.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Spmv);
+
+
+void BM_SpmvBsr2(benchmark::State& state) {
+  const sparse::CsrMatrix& a = cantilever().stiffness;
+  const sparse::Bsr2 b(a);
+  Vector x(static_cast<std::size_t>(a.cols()), 1.0);
+  Vector y(static_cast<std::size_t>(a.rows()));
+  for (auto _ : state) {
+    b.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpmvBsr2);
+
+void BM_GlsApply(benchmark::State& state) {
+  const sparse::CsrMatrix& a = cantilever().stiffness;
+  const core::LinearOp op = core::LinearOp::from_csr(a);
+  const core::GlsPolynomial poly(core::default_theta_after_scaling(),
+                                 static_cast<int>(state.range(0)));
+  Vector v(static_cast<std::size_t>(a.rows()), 1.0);
+  Vector z(v.size());
+  for (auto _ : state) {
+    poly.apply(op, v, z);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_GlsApply)->Arg(3)->Arg(7)->Arg(10);
+
+void BM_NeumannApply(benchmark::State& state) {
+  const sparse::CsrMatrix& a = cantilever().stiffness;
+  const core::LinearOp op = core::LinearOp::from_csr(a);
+  const core::NeumannPolynomial poly(static_cast<int>(state.range(0)), 1.0);
+  Vector v(static_cast<std::size_t>(a.rows()), 1.0);
+  Vector z(v.size());
+  for (auto _ : state) {
+    poly.apply(op, v, z);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_NeumannApply)->Arg(10)->Arg(20);
+
+void BM_Ilu0Factor(benchmark::State& state) {
+  const sparse::CsrMatrix& a = cantilever().stiffness;
+  for (auto _ : state) {
+    sparse::Ilu0 ilu(a);
+    benchmark::DoNotOptimize(&ilu);
+  }
+}
+BENCHMARK(BM_Ilu0Factor);
+
+void BM_Ilu0Solve(benchmark::State& state) {
+  const sparse::CsrMatrix& a = cantilever().stiffness;
+  const sparse::Ilu0 ilu(a);
+  Vector v(static_cast<std::size_t>(a.rows()), 1.0);
+  Vector z(v.size());
+  for (auto _ : state) {
+    ilu.solve(v, z);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_Ilu0Solve);
+
+void BM_GlsConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    core::GlsPolynomial poly(core::default_theta_after_scaling(),
+                             static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(&poly);
+  }
+}
+BENCHMARK(BM_GlsConstruction)->Arg(7)->Arg(10);
+
+void BM_Allreduce(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    par::run_spmd(p, [](par::Comm& c) {
+      for (int k = 0; k < 32; ++k)
+        benchmark::DoNotOptimize(c.allreduce_sum(1.0));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_Allreduce)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EddSolveGls7(benchmark::State& state) {
+  const fem::CantileverProblem& prob = cantilever();
+  const partition::EddPartition part =
+      exp::make_edd(prob, static_cast<int>(state.range(0)));
+  core::PolySpec poly;
+  poly.degree = 7;
+  core::SolveOptions opts;
+  opts.tol = 1e-6;
+  opts.max_iters = 60000;
+  for (auto _ : state) {
+    const auto res = core::solve_edd(part, prob.load, poly, opts);
+    benchmark::DoNotOptimize(res.iterations);
+  }
+}
+BENCHMARK(BM_EddSolveGls7)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

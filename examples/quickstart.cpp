@@ -1,0 +1,53 @@
+// Quickstart: assemble a small cantilever plate, solve it in parallel
+// with the element-based domain decomposition FGMRES solver and the
+// GLS(7) polynomial preconditioner, and print the tip displacement.
+//
+//   $ ./quickstart
+//
+// This is the minimal end-to-end path through the public API:
+//   make_cantilever -> make_edd -> solve_edd.
+#include <iostream>
+
+#include "core/edd_solver.hpp"
+#include "exp/experiments.hpp"
+#include "fem/problems.hpp"
+
+int main() {
+  using namespace pfem;
+
+  // 1. Build the problem: a 20x5 plane-stress cantilever, clamped at
+  //    x = 0, pulled at the free end (the paper's Fig. 9 setup).
+  fem::CantileverSpec spec;
+  spec.nx = 20;
+  spec.ny = 5;
+  spec.load_total = 100.0;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  std::cout << "cantilever: " << prob.mesh.num_elems() << " Q4 elements, "
+            << prob.dofs.num_free() << " equations\n";
+
+  // 2. Decompose into 4 element-based subdomains (recursive coordinate
+  //    bisection); each subdomain sub-assembles its own stiffness and
+  //    never merges interface entries — the paper's key idea.
+  const partition::EddPartition part = exp::make_edd(prob, /*nparts=*/4);
+  std::cout << "partition: " << part.nparts() << " subdomains, "
+            << part.total_interface_dofs() << " interface dof slots\n";
+
+  // 3. Solve with restarted FGMRES (m̃ = 25, tol = 1e-6, the paper's
+  //    settings) preconditioned by the GLS(7) polynomial on Θ = (ε, 1).
+  core::PolySpec poly;
+  poly.kind = core::PolyKind::Gls;
+  poly.degree = 7;
+  const core::DistSolveResult res = core::solve_edd(part, prob.load, poly);
+
+  std::cout << "solver: " << (res.converged ? "converged" : "FAILED")
+            << " in " << res.iterations << " iterations, final relres "
+            << res.final_relres << "\n";
+
+  // 4. Read the solution: x-displacement at the tip mid-edge node.
+  const IndexVector tip = prob.mesh.nodes_at_x(static_cast<real_t>(spec.nx));
+  const index_t node = tip[tip.size() / 2];
+  const index_t dof = prob.dofs.dof(node, 0);
+  std::cout << "tip x-displacement: " << res.x[static_cast<std::size_t>(dof)]
+            << "\n";
+  return res.converged ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Scaling study: sweep the process count for EDD and RDD on one problem
+// and print iterations, modeled times on the two paper machines, and the
+// communication trace summary — the "am I scaling?" view a user would
+// run on their own problem.
+//
+//   $ ./scaling_study [nx ny maxP]      (default 40 40 8)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/edd_solver.hpp"
+#include "core/rdd_solver.hpp"
+#include "exp/experiments.hpp"
+#include "exp/table.hpp"
+#include "fem/problems.hpp"
+#include "par/cost_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfem;
+  fem::CantileverSpec spec;
+  spec.nx = argc > 1 ? std::atoi(argv[1]) : 40;
+  spec.ny = argc > 2 ? std::atoi(argv[2]) : 40;
+  const int max_p = argc > 3 ? std::atoi(argv[3]) : 8;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+
+  exp::banner(std::cout, "scaling study, " +
+                             std::to_string(prob.dofs.num_free()) +
+                             " equations, GLS(7)");
+
+  core::PolySpec poly;
+  poly.degree = 7;
+  core::SolveOptions opts;
+  opts.tol = 1e-6;
+  opts.max_iters = 60000;
+
+  exp::Table table({"solver", "P", "iters", "exchanges", "msgs", "kB sent",
+                    "reductions", "S(SP2)", "S(Origin)"});
+  auto trace_row = [&](const std::string& name, int p,
+                       const core::DistSolveResult& r, double t1_sp2,
+                       double t1_origin) {
+    const par::PerfCounters& c = r.rank_counters[0];
+    std::uint64_t msgs = 0, bytes = 0;
+    for (const auto& rc : r.rank_counters) {
+      msgs += rc.neighbor_msgs;
+      bytes += rc.neighbor_bytes;
+    }
+    const double t_sp2 =
+        par::model_time(par::MachineModel::ibm_sp2(), r.rank_counters).total();
+    const double t_origin =
+        par::model_time(par::MachineModel::sgi_origin(), r.rank_counters)
+            .total();
+    table.add_row({name, exp::Table::integer(p),
+                   exp::Table::integer(r.iterations),
+                   exp::Table::integer(static_cast<long long>(
+                       c.neighbor_exchanges)),
+                   exp::Table::integer(static_cast<long long>(msgs)),
+                   exp::Table::num(static_cast<double>(bytes) / 1024.0, 1),
+                   exp::Table::integer(static_cast<long long>(
+                       c.global_reductions)),
+                   exp::Table::num(t1_sp2 / t_sp2, 2),
+                   exp::Table::num(t1_origin / t_origin, 2)});
+  };
+
+  double edd_t1_sp2 = 0, edd_t1_origin = 0, rdd_t1_sp2 = 0, rdd_t1_origin = 0;
+  for (int p = 1; p <= max_p; p *= 2) {
+    const auto epart = exp::make_edd(prob, p);
+    const auto eres = core::solve_edd(epart, prob.load, poly, opts);
+    if (p == 1) {
+      edd_t1_sp2 = par::model_time(par::MachineModel::ibm_sp2(),
+                                   eres.rank_counters).total();
+      edd_t1_origin = par::model_time(par::MachineModel::sgi_origin(),
+                                      eres.rank_counters).total();
+    }
+    trace_row("EDD", p, eres, edd_t1_sp2, edd_t1_origin);
+  }
+  for (int p = 1; p <= max_p; p *= 2) {
+    const auto rpart = exp::make_rdd(prob, p);
+    core::RddOptions rdd_opts;
+    rdd_opts.poly = poly;
+    const auto rres = core::solve_rdd(rpart, prob.load, rdd_opts, opts);
+    if (p == 1) {
+      rdd_t1_sp2 = par::model_time(par::MachineModel::ibm_sp2(),
+                                   rres.rank_counters).total();
+      rdd_t1_origin = par::model_time(par::MachineModel::sgi_origin(),
+                                      rres.rank_counters).total();
+    }
+    trace_row("RDD", p, rres, rdd_t1_sp2, rdd_t1_origin);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Error handling: precondition/invariant checks that throw `pfem::Error`.
+//
+// Checks guard API boundaries (user-supplied meshes, matrices, solver
+// parameters).  Hot loops use PFEM_DEBUG_CHECK which compiles out in
+// release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pfem {
+
+/// Exception thrown on violated preconditions or numerical failures
+/// (e.g. zero pivot in ILU(0) on a floating subdomain).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace pfem
+
+#define PFEM_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::pfem::detail::throw_error(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define PFEM_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream pfem_os_;                                    \
+      pfem_os_ << msg;                                                \
+      ::pfem::detail::throw_error(#expr, __FILE__, __LINE__,          \
+                                  pfem_os_.str());                    \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define PFEM_DEBUG_CHECK(expr) ((void)0)
+#else
+#define PFEM_DEBUG_CHECK(expr) PFEM_CHECK(expr)
+#endif

@@ -1,0 +1,26 @@
+// Wall-clock timing used by the experiment harness.
+#pragma once
+
+#include <chrono>
+
+namespace pfem {
+
+/// Monotonic wall-clock stopwatch.  Construction starts the clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the clock.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pfem

@@ -1,0 +1,60 @@
+// Chebyshev polynomial preconditioner — the classical min-max member of
+// the polynomial family the paper surveys ("Neumann series,
+// least-squares, Chebyshev etc.", §2.1.3).
+//
+// For SPD systems with σ(A) ⊂ [a, b], 0 < a < b, the degree-m polynomial
+// minimizing max_{λ∈[a,b]} |1 − λp(λ)| satisfies
+//   1 − λ p_m(λ) = T_{m+1}(t(λ)) / T_{m+1}(t(0)),
+//   t(λ) = (b + a − 2λ)/(b − a),
+// and p_m(A)v is exactly m steps of the Chebyshev semi-iteration
+// (Golub–Varga three-term recurrence) applied to A z = v from z = 0 —
+// i.e. m mat-vecs through the same abstract operator the other
+// polynomials use.  Unlike GLS it requires a single positive interval;
+// its min-max (∞-norm) optimality makes it the natural cross-check for
+// the GLS least-squares (w-norm) fit on Θ = (ε, 1).
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "core/intervals.hpp"
+#include "core/operator.hpp"
+
+namespace pfem::core {
+
+class ChebyshevPolynomial {
+ public:
+  /// @param interval spectrum bound [a, b] with 0 < a < b
+  /// @param degree   m >= 0 (degree 0 is the optimal constant 2/(a+b))
+  ChebyshevPolynomial(Interval interval, int degree);
+
+  [[nodiscard]] int degree() const noexcept { return m_; }
+  [[nodiscard]] const Interval& interval() const noexcept { return iv_; }
+
+  /// z <- p_m(A) v  (m applications of A).
+  void apply(const LinearOp& a, std::span<const real_t> v,
+             std::span<real_t> z) const;
+
+  /// Scalar p_m(λ).
+  [[nodiscard]] real_t eval(real_t lambda) const;
+
+  /// Residual 1 − λ p_m(λ) = T_{m+1}(t(λ))/T_{m+1}(t0).
+  [[nodiscard]] real_t residual(real_t lambda) const;
+
+  /// The min-max value on [a,b]: 1/T_{m+1}(t0) (all |residual| <= this).
+  [[nodiscard]] real_t minimax_bound() const;
+
+  /// Power-basis coefficients a_0..a_m (Eq. 23 / Fig. 3 input).
+  [[nodiscard]] Vector power_coeffs() const;
+
+  [[nodiscard]] real_t coeff_abs_sum() const;
+
+ private:
+  Interval iv_;
+  int m_;
+  real_t theta_;   // (a+b)/2
+  real_t delta_;   // (b-a)/2
+  real_t sigma1_;  // theta/delta
+};
+
+}  // namespace pfem::core

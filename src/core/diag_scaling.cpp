@@ -1,0 +1,38 @@
+#include "core/diag_scaling.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pfem::core {
+
+Vector norm1_scaling(const sparse::CsrMatrix& k) {
+  Vector d = k.row_norms1();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    PFEM_CHECK_MSG(d[i] > 0.0, "norm-1 scaling: zero row " << i);
+    d[i] = 1.0 / std::sqrt(d[i]);
+  }
+  return d;
+}
+
+Vector ScaledSystem::unscale(std::span<const real_t> x) const {
+  PFEM_CHECK(x.size() == d.size());
+  Vector u(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) u[i] = d[i] * x[i];
+  return u;
+}
+
+ScaledSystem scale_system(const sparse::CsrMatrix& k,
+                          std::span<const real_t> f) {
+  PFEM_CHECK(k.rows() == k.cols());
+  PFEM_CHECK(f.size() == static_cast<std::size_t>(k.rows()));
+  ScaledSystem s;
+  s.d = norm1_scaling(k);
+  s.a = k;
+  s.a.scale_symmetric(s.d);
+  s.b.resize(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) s.b[i] = s.d[i] * f[i];
+  return s;
+}
+
+}  // namespace pfem::core

@@ -1,0 +1,34 @@
+// Norm-1 diagonal scaling (§2.1.1, Algorithms 3–4).
+//
+// D = diag(1/√d_i), d_i = ‖k_i‖₁, transforms K u = f into
+// A x = b with A = DKD, b = Df, u = Dx, and — by Gershgorin (Theorem 1) —
+// σ(A) ⊂ (−1, 1), in fact (0, 1) for SPD K.  This is the pre-processing
+// step that lets the polynomial preconditioner always use Θ = (ε, 1)
+// without estimating eigenvalues.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace pfem::core {
+
+/// The scaling diagonal: D_ii = 1/√(‖k_i‖₁).  Throws if a row is all zero.
+[[nodiscard]] Vector norm1_scaling(const sparse::CsrMatrix& k);
+
+/// A scaled system plus what is needed to map solutions back.
+struct ScaledSystem {
+  sparse::CsrMatrix a;  ///< A = D K D
+  Vector b;             ///< b = D f
+  Vector d;             ///< D diagonal
+
+  /// u = D x.
+  [[nodiscard]] Vector unscale(std::span<const real_t> x) const;
+};
+
+/// Apply Algorithm 4 to (K, f).
+[[nodiscard]] ScaledSystem scale_system(const sparse::CsrMatrix& k,
+                                        std::span<const real_t> f);
+
+}  // namespace pfem::core

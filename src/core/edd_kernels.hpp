@@ -1,0 +1,387 @@
+// Internal rank-local kernels shared by the EDD solvers (FGMRES and CG):
+// the nearest-neighbor exchange, distributed inner products in the two
+// vector formats, and the distributed polynomial application
+// (Algorithm 7 generalized to Neumann and GLS, in both the local- and
+// global-format disciplines).  Not part of the public API.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <span>
+
+#include "common/error.hpp"
+#include "core/chebyshev.hpp"
+#include "core/edd_solver.hpp"
+#include "core/gls_poly.hpp"
+#include "core/neumann.hpp"
+#include "la/vector_ops.hpp"
+#include "par/comm.hpp"
+#include "partition/edd.hpp"
+#include "sparse/csr.hpp"
+
+namespace pfem::core::detail {
+
+using partition::EddPartition;
+using partition::EddSubdomain;
+using sparse::CsrMatrix;
+
+
+
+inline constexpr int kExchangeTag = 0;
+
+/// sqrt clamped at zero: distributed ⟨x_loc, x_glob⟩ equals ‖x‖² only in
+/// exact arithmetic — near convergence the cross-format partial sums can
+/// round to a tiny negative value.
+inline real_t sqrt_nonneg(real_t v) { return v > 0.0 ? std::sqrt(v) : 0.0; }
+
+/// Rank-local helper: exchange, distributed inner products, counting.
+class EddRank {
+ public:
+  EddRank(const EddSubdomain& sub, par::Comm& comm)
+      : sub_(sub), comm_(comm), nl_(static_cast<std::size_t>(sub.n_local())) {}
+
+  [[nodiscard]] std::size_t nl() const noexcept { return nl_; }
+  [[nodiscard]] par::Comm& comm() noexcept { return comm_; }
+  [[nodiscard]] par::PerfCounters& counters() noexcept {
+    return comm_.counters();
+  }
+
+  /// û_glob = ⊕Σ_{∂Ω_s} û_loc (Eq. 28): in-place sum of neighbors'
+  /// shared-dof contributions.  One logical nearest-neighbor exchange.
+  ///
+  /// Determinism: contributions are folded in ascending *rank* order
+  /// (own contribution inserted at this rank's position), so every
+  /// sharer of a dof computes the bit-identical sum even when three or
+  /// more subdomains meet at a point.  Without this, the per-rank
+  /// "global format" copies drift apart by ulps — harmless for restarted
+  /// FGMRES but fatal for CG's recursively updated residual.
+  void exchange(std::span<real_t> v) {
+    PFEM_DEBUG_CHECK(v.size() == nl_);
+    counters().neighbor_exchanges += 1;
+    for (const auto& nb : sub_.neighbors) {
+      send_buf_.resize(nb.shared_local_dofs.size());
+      for (std::size_t k = 0; k < nb.shared_local_dofs.size(); ++k)
+        send_buf_[k] = v[static_cast<std::size_t>(nb.shared_local_dofs[k])];
+      comm_.send(nb.rank, kExchangeTag, send_buf_);
+    }
+    // Stash own interface contributions and zero them, then fold all
+    // sharers' contributions in ascending rank order.
+    buf_.resize(sub_.interface_local_dofs.size());
+    for (std::size_t k = 0; k < sub_.interface_local_dofs.size(); ++k) {
+      const auto l = static_cast<std::size_t>(sub_.interface_local_dofs[k]);
+      buf_[k] = v[l];
+      v[l] = 0.0;
+    }
+    bool own_added = sub_.neighbors.empty();
+    auto add_own = [&] {
+      for (std::size_t k = 0; k < sub_.interface_local_dofs.size(); ++k)
+        v[static_cast<std::size_t>(sub_.interface_local_dofs[k])] += buf_[k];
+      own_added = true;
+    };
+    if (own_added) add_own();
+    for (const auto& nb : sub_.neighbors) {  // sorted by rank
+      if (!own_added && nb.rank > comm_.rank()) add_own();
+      comm_.recv(nb.rank, kExchangeTag, recv_buf_);
+      PFEM_CHECK(recv_buf_.size() == nb.shared_local_dofs.size());
+      for (std::size_t k = 0; k < nb.shared_local_dofs.size(); ++k)
+        v[static_cast<std::size_t>(nb.shared_local_dofs[k])] += recv_buf_[k];
+      counters().flops += recv_buf_.size();
+    }
+    if (!own_added) add_own();
+  }
+
+  /// ⟨x, y⟩ with x local-distributed and y global-distributed (Eq. 33):
+  /// local partial + allreduce.
+  [[nodiscard]] real_t dot_lg(std::span<const real_t> x_loc,
+                              std::span<const real_t> y_glob) {
+    counters().inner_products += 1;
+    counters().flops += 2 * nl_;
+    return comm_.allreduce_sum(la::dot(x_loc, y_glob));
+  }
+
+  /// Local partial of ⟨x_loc, y_glob⟩ without the reduction — used when
+  /// the caller batches several coefficients into one allreduce.
+  [[nodiscard]] real_t dot_lg_partial(std::span<const real_t> x_loc,
+                                      std::span<const real_t> y_glob) {
+    counters().inner_products += 1;
+    counters().flops += 2 * nl_;
+    return la::dot(x_loc, y_glob);
+  }
+
+  /// ‖x‖² for a global-distributed x via the partition-of-unity weights
+  /// 1/mult (each global dof counted exactly once across ranks).
+  [[nodiscard]] real_t norm2_sq_global(std::span<const real_t> x_glob) {
+    return comm_.allreduce_sum(dot_gg_partial(x_glob, x_glob));
+  }
+
+  /// ⟨x, y⟩ with both operands in global-distributed format (weighted by
+  /// 1/mult), allreduced.
+  [[nodiscard]] real_t dot_gg(std::span<const real_t> x_glob,
+                              std::span<const real_t> y_glob) {
+    return comm_.allreduce_sum(dot_gg_partial(x_glob, y_glob));
+  }
+
+  /// Local partial of the weighted global-format inner product.
+  [[nodiscard]] real_t dot_gg_partial(std::span<const real_t> x_glob,
+                                      std::span<const real_t> y_glob) {
+    counters().inner_products += 1;
+    counters().flops += 3 * nl_;
+    real_t s = 0.0;
+    for (std::size_t l = 0; l < nl_; ++l)
+      s += x_glob[l] * y_glob[l] /
+           static_cast<real_t>(sub_.multiplicity[l]);
+    return s;
+  }
+
+  /// Local SpMV ŷ_loc = Â x̂_glob (Eq. 37) with counting.
+  void spmv(const CsrMatrix& a, std::span<const real_t> x_glob,
+            std::span<real_t> y_loc) {
+    a.spmv(x_glob, y_loc);
+    counters().matvecs += 1;
+    counters().flops += a.spmv_flops();
+  }
+
+  const EddSubdomain& sub() const noexcept { return sub_; }
+
+ private:
+  const EddSubdomain& sub_;
+  par::Comm& comm_;
+  std::size_t nl_;
+  Vector buf_, send_buf_, recv_buf_;
+};
+
+/// Distributed polynomial preconditioner: the Algorithm-7 pattern for
+/// both Neumann and GLS, in both vector-format disciplines.
+class DistPoly {
+ public:
+  DistPoly(const PolySpec& spec, std::size_t nl) : spec_(spec) {
+    if (spec.kind == PolyKind::Gls) {
+      gls_.emplace(spec.theta, spec.degree);
+    } else if (spec.kind == PolyKind::Chebyshev) {
+      PFEM_CHECK_MSG(!spec.theta.empty(),
+                     "Chebyshev preconditioner needs an interval");
+      cheb_.emplace(spec.theta.front(), spec.degree);
+    }
+    scratch_a_.resize(nl);
+    scratch_b_.resize(nl);
+    scratch_c_.resize(nl);
+    scratch_d_.resize(nl);
+  }
+
+  [[nodiscard]] int degree() const noexcept {
+    return spec_.kind == PolyKind::None ? 0 : spec_.degree;
+  }
+
+  /// Enhanced discipline (Algorithm 6 line 10): v and z in *global*
+  /// distributed format; exactly `degree` exchanges.
+  void apply_global(EddRank& r, const CsrMatrix& a,
+                    std::span<const real_t> v_glob, std::span<real_t> z_glob) {
+    const std::size_t n = r.nl();
+    switch (spec_.kind) {
+      case PolyKind::None:
+        la::copy(v_glob, z_glob);
+        return;
+      case PolyKind::Neumann: {
+        // w_k = v + (I − ωA) w_{k−1}, all in global format.
+        Vector& w = scratch_a_;
+        Vector& aw = scratch_b_;
+        la::copy(v_glob, w);
+        for (int k = 0; k < spec_.degree; ++k) {
+          r.spmv(a, w, aw);
+          r.exchange(aw);
+          for (std::size_t i = 0; i < n; ++i)
+            w[i] = v_glob[i] + w[i] - spec_.omega * aw[i];
+          r.counters().flops += 3 * n;
+          r.counters().vector_updates += 1;
+        }
+        for (std::size_t i = 0; i < n; ++i) z_glob[i] = spec_.omega * w[i];
+        r.counters().flops += n;
+        return;
+      }
+      case PolyKind::Gls: {
+        const OrthoBasis& basis = gls_->basis();
+        const auto mu = gls_->mu();
+        Vector& u_prev = scratch_a_;
+        Vector& u = scratch_b_;
+        Vector& au = scratch_c_;
+        la::fill(u_prev, 0.0);
+        const real_t inv0 = 1.0 / basis.sqrt_beta(0);
+        for (std::size_t i = 0; i < n; ++i) {
+          u[i] = inv0 * v_glob[i];
+          z_glob[i] = mu[0] * u[i];
+        }
+        r.counters().flops += 2 * n;
+        for (int i = 0; i < spec_.degree; ++i) {
+          r.spmv(a, u, au);
+          r.exchange(au);
+          const real_t ai = basis.alpha(i);
+          const real_t sb_i = basis.sqrt_beta(i);
+          const real_t sb_n = basis.sqrt_beta(i + 1);
+          const real_t mu_next = mu[static_cast<std::size_t>(i) + 1];
+          for (std::size_t k = 0; k < n; ++k) {
+            const real_t t =
+                (au[k] - ai * u[k] - (i > 0 ? sb_i * u_prev[k] : 0.0)) / sb_n;
+            u_prev[k] = u[k];
+            u[k] = t;
+            z_glob[k] += mu_next * t;
+          }
+          r.counters().flops += 7 * n;
+          r.counters().vector_updates += 1;
+        }
+        return;
+      }
+      case PolyKind::Chebyshev: {
+        // Chebyshev semi-iteration, all vectors in global format; each
+        // step's SpMV output is globalized by one exchange.
+        const real_t theta = cheb_theta();
+        const real_t delta = cheb_delta();
+        const real_t sigma1 = theta / delta;
+        Vector& res = scratch_a_;
+        Vector& d = scratch_b_;
+        Vector& ad = scratch_c_;
+        la::copy(v_glob, res);
+        real_t rho = 1.0 / sigma1;
+        for (std::size_t i = 0; i < n; ++i) {
+          d[i] = res[i] / theta;
+          z_glob[i] = d[i];
+        }
+        r.counters().flops += 2 * n;
+        for (int k = 1; k <= spec_.degree; ++k) {
+          r.spmv(a, d, ad);
+          r.exchange(ad);
+          const real_t rho_next = 1.0 / (2.0 * sigma1 - rho);
+          const real_t c1 = rho_next * rho;
+          const real_t c2 = 2.0 * rho_next / delta;
+          for (std::size_t i = 0; i < n; ++i) {
+            res[i] -= ad[i];
+            d[i] = c1 * d[i] + c2 * res[i];
+            z_glob[i] += d[i];
+          }
+          rho = rho_next;
+          r.counters().flops += 6 * n;
+          r.counters().vector_updates += 1;
+        }
+        return;
+      }
+    }
+  }
+
+  /// Basic discipline (Algorithm 5 line 12 via Algorithm 7): v and z in
+  /// *local* distributed format; the recursion state is kept in both
+  /// formats so the result needs no final exchange.  Exactly `degree`
+  /// exchanges.
+  void apply_local(EddRank& r, const CsrMatrix& a,
+                   std::span<const real_t> v_loc, std::span<real_t> z_loc) {
+    const std::size_t n = r.nl();
+    switch (spec_.kind) {
+      case PolyKind::None:
+        la::copy(v_loc, z_loc);
+        return;
+      case PolyKind::Neumann: {
+        // w_loc holds w_k in local format; each step exchanges a copy to
+        // get the global format needed by the SpMV.
+        Vector& w_loc = scratch_a_;
+        Vector& w_glob = scratch_b_;
+        Vector& aw = scratch_c_;
+        la::copy(v_loc, w_loc);
+        for (int k = 0; k < spec_.degree; ++k) {
+          la::copy(w_loc, w_glob);
+          r.exchange(w_glob);
+          r.spmv(a, w_glob, aw);
+          for (std::size_t i = 0; i < n; ++i)
+            w_loc[i] = v_loc[i] + w_loc[i] - spec_.omega * aw[i];
+          r.counters().flops += 3 * n;
+          r.counters().vector_updates += 1;
+        }
+        for (std::size_t i = 0; i < n; ++i) z_loc[i] = spec_.omega * w_loc[i];
+        r.counters().flops += n;
+        return;
+      }
+      case PolyKind::Gls: {
+        const OrthoBasis& basis = gls_->basis();
+        const auto mu = gls_->mu();
+        Vector& u_prev = scratch_a_;
+        Vector& u = scratch_b_;
+        Vector& work = scratch_c_;  // doubles as u_glob and au
+        la::fill(u_prev, 0.0);
+        const real_t inv0 = 1.0 / basis.sqrt_beta(0);
+        for (std::size_t i = 0; i < n; ++i) {
+          u[i] = inv0 * v_loc[i];
+          z_loc[i] = mu[0] * u[i];
+        }
+        r.counters().flops += 2 * n;
+        Vector au(n);
+        for (int i = 0; i < spec_.degree; ++i) {
+          la::copy(u, work);
+          r.exchange(work);          // u in global format
+          r.spmv(a, work, au);       // au back in local format
+          const real_t ai = basis.alpha(i);
+          const real_t sb_i = basis.sqrt_beta(i);
+          const real_t sb_n = basis.sqrt_beta(i + 1);
+          const real_t mu_next = mu[static_cast<std::size_t>(i) + 1];
+          for (std::size_t k = 0; k < n; ++k) {
+            const real_t t =
+                (au[k] - ai * u[k] - (i > 0 ? sb_i * u_prev[k] : 0.0)) / sb_n;
+            u_prev[k] = u[k];
+            u[k] = t;
+            z_loc[k] += mu_next * t;
+          }
+          r.counters().flops += 7 * n;
+          r.counters().vector_updates += 1;
+        }
+        return;
+      }
+      case PolyKind::Chebyshev: {
+        // Chebyshev semi-iteration with res/d/z in local format; each
+        // step exchanges a copy of d to feed the SpMV.
+        const real_t theta = cheb_theta();
+        const real_t delta = cheb_delta();
+        const real_t sigma1 = theta / delta;
+        Vector& res = scratch_a_;
+        Vector& d = scratch_b_;
+        Vector& ad = scratch_c_;
+        Vector& d_glob = scratch_d_;
+        la::copy(v_loc, res);
+        real_t rho = 1.0 / sigma1;
+        for (std::size_t i = 0; i < n; ++i) {
+          d[i] = res[i] / theta;
+          z_loc[i] = d[i];
+        }
+        r.counters().flops += 2 * n;
+        for (int k = 1; k <= spec_.degree; ++k) {
+          la::copy(d, d_glob);
+          r.exchange(d_glob);
+          r.spmv(a, d_glob, ad);  // local-format result
+          const real_t rho_next = 1.0 / (2.0 * sigma1 - rho);
+          const real_t c1 = rho_next * rho;
+          const real_t c2 = 2.0 * rho_next / delta;
+          for (std::size_t i = 0; i < n; ++i) {
+            res[i] -= ad[i];
+            d[i] = c1 * d[i] + c2 * res[i];
+            z_loc[i] += d[i];
+          }
+          rho = rho_next;
+          r.counters().flops += 6 * n;
+          r.counters().vector_updates += 1;
+        }
+        return;
+      }
+    }
+  }
+
+ private:
+  PolySpec spec_;
+  std::optional<GlsPolynomial> gls_;
+  std::optional<ChebyshevPolynomial> cheb_;
+  Vector scratch_a_, scratch_b_, scratch_c_, scratch_d_;
+
+  [[nodiscard]] real_t cheb_theta() const {
+    return 0.5 * (cheb_->interval().lo + cheb_->interval().hi);
+  }
+  [[nodiscard]] real_t cheb_delta() const {
+    return 0.5 * (cheb_->interval().hi - cheb_->interval().lo);
+  }
+};
+
+
+}  // namespace pfem::core::detail

@@ -1,0 +1,344 @@
+#include "core/edd_solver.hpp"
+
+#include "core/edd_kernels.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/gls_poly.hpp"
+#include "core/neumann.hpp"
+#include "la/hessenberg_lsq.hpp"
+#include "la/vector_ops.hpp"
+
+namespace pfem::core {
+
+std::string PolySpec::name() const {
+  switch (kind) {
+    case PolyKind::None: return "none";
+    case PolyKind::Neumann: return "Neumann(" + std::to_string(degree) + ")";
+    case PolyKind::Gls: return "GLS(" + std::to_string(degree) + ")";
+    case PolyKind::Chebyshev: return "Cheb(" + std::to_string(degree) + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+using partition::EddPartition;
+using partition::EddSubdomain;
+using sparse::CsrMatrix;
+using detail::DistPoly;
+using detail::EddRank;
+using detail::sqrt_nonneg;
+
+/// Shared output written by the ranks (join() publishes it).
+struct SharedOut {
+  std::vector<Vector> solutions;  // per-rank u in global distributed format
+  bool converged = false;
+  index_t iterations = 0;
+  index_t restarts = 0;
+  real_t final_relres = 0.0;
+  std::vector<real_t> history;
+  std::vector<par::PerfCounters> setup_counters;
+};
+
+void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
+                    std::span<const real_t> f_global, const PolySpec& spec,
+                    const SolveOptions& opts, EddVariant variant,
+                    par::Comm& comm, SharedOut& out) {
+  const int s = comm.rank();
+  const EddSubdomain& sub = part.subs[static_cast<std::size_t>(s)];
+  EddRank r(sub, comm);
+  const std::size_t nl = r.nl();
+  const index_t m = opts.restart;
+  const bool basic = (variant == EddVariant::Basic);
+
+  // ---- Setup: rhs in local distributed format, distributed norm-1
+  // scaling (Algorithms 3/4), redundant preconditioner construction.
+  CsrMatrix a = k_in;  // private copy; scaled in place
+  Vector f_loc(nl);
+  for (std::size_t l = 0; l < nl; ++l)
+    f_loc[l] =
+        f_global[static_cast<std::size_t>(sub.local_to_global[l])] /
+        static_cast<real_t>(sub.multiplicity[l]);
+
+  Vector d = a.row_norms1();  // partial row norms d_i^(s) (Eq. 43)
+  r.counters().flops += static_cast<std::uint64_t>(a.nnz());
+  r.exchange(d);              // d_i = Σ_s d_i^(s) (Eq. 42)
+  for (std::size_t l = 0; l < nl; ++l) {
+    PFEM_CHECK_MSG(d[l] > 0.0, "norm-1 scaling: zero row");
+    d[l] = 1.0 / std::sqrt(d[l]);
+  }
+  a.scale_symmetric(d);  // Â = D̂ K̂ D̂ (Eq. 44)
+  r.counters().flops += 2ull * static_cast<std::uint64_t>(a.nnz());
+  Vector b_loc(nl);
+  for (std::size_t l = 0; l < nl; ++l) b_loc[l] = d[l] * f_loc[l];
+  r.counters().flops += nl;
+
+  DistPoly poly(spec, nl);
+  out.setup_counters[static_cast<std::size_t>(s)] = comm.counters();
+
+  // ---- FGMRES (Algorithm 5 when basic, Algorithm 6 otherwise).
+  // Basic keeps x and the Arnoldi basis in local format; Enhanced keeps
+  // them in global format.
+  Vector x(nl, 0.0);
+  Vector r_loc(nl), r_glob(nl), w_loc(nl), w_glob(nl), tmp(nl);
+  std::vector<Vector> v(static_cast<std::size_t>(m) + 1, Vector(nl));
+  std::vector<Vector> z(static_cast<std::size_t>(m), Vector(nl));
+  Vector h(static_cast<std::size_t>(m) + 2);
+  Vector h2(static_cast<std::size_t>(m) + 2);  // re-orthogonalization pass
+
+  bool converged = false;
+  index_t iterations = 0, restarts = 0;
+  real_t beta0 = -1.0, relres = 1.0;
+  std::vector<real_t> history;
+
+  while (iterations < opts.max_iters) {
+    // Residual r = b − A x.
+    if (basic) {
+      la::copy(x, tmp);
+      r.exchange(tmp);  // x must be global for the SpMV
+      r.spmv(a, tmp, r_loc);
+    } else {
+      r.spmv(a, x, r_loc);
+    }
+    for (std::size_t l = 0; l < nl; ++l) r_loc[l] = b_loc[l] - r_loc[l];
+    r.counters().flops += nl;
+    la::copy(r_loc, r_glob);
+    r.exchange(r_glob);
+    const real_t beta = sqrt_nonneg(r.dot_lg(r_loc, r_glob));
+    if (beta0 < 0.0) {
+      beta0 = beta;
+      if (beta0 == 0.0) {  // zero rhs: x = 0 is exact
+        converged = true;
+        relres = 0.0;
+        break;
+      }
+    }
+    relres = beta / beta0;
+    if (relres <= opts.tol) {
+      converged = true;
+      break;
+    }
+
+    // v_0 = r / beta in the variant's basis format.
+    if (basic)
+      for (std::size_t l = 0; l < nl; ++l) v[0][l] = r_loc[l] / beta;
+    else
+      for (std::size_t l = 0; l < nl; ++l) v[0][l] = r_glob[l] / beta;
+    r.counters().flops += nl;
+    r.counters().vector_updates += 1;
+
+    la::HessenbergLsq lsq(m, beta);
+    index_t j = 0;
+    bool breakdown = false;
+    for (; j < m && iterations < opts.max_iters; ++j) {
+      auto& vj = v[static_cast<std::size_t>(j)];
+      auto& zj = z[static_cast<std::size_t>(j)];
+
+      const int gs_passes = opts.reorthogonalize ? 2 : 1;
+      if (basic) {
+        // -- Algorithm 5 inner step: m+3 exchanges total.
+        poly.apply_local(r, a, vj, zj);        // m exchanges
+        la::copy(zj, tmp);
+        r.exchange(tmp);                       // (+1) ẑ -> global
+        r.spmv(a, tmp, w_loc);
+        la::copy(w_loc, w_glob);
+        r.exchange(w_glob);                    // (+1) ŵ -> global
+        // h_i = <w, v_i> = ⊕Σ <ŵ_glob, v̂_i_loc> (Eq. 34) — one global
+        // reduction per i, as in the paper's Algorithm 5 line 18 (its
+        // Table 1 charges ~m̃+1 global communications per iteration),
+        // unless batched_reductions folds them into one allreduce.
+        for (int pass = 0; pass < gs_passes; ++pass) {
+          if (pass > 0) {  // refresh the global copy of the updated w
+            la::copy(w_loc, w_glob);
+            r.exchange(w_glob);
+          }
+          Vector& coeff = pass == 0 ? h : h2;
+          if (opts.batched_reductions) {
+            for (index_t i = 0; i <= j; ++i)
+              coeff[static_cast<std::size_t>(i)] = r.dot_lg_partial(
+                  v[static_cast<std::size_t>(i)], w_glob);
+            comm.allreduce_sum(std::span<real_t>(
+                coeff.data(), static_cast<std::size_t>(j) + 1));
+          } else {
+            for (index_t i = 0; i <= j; ++i)
+              coeff[static_cast<std::size_t>(i)] =
+                  r.dot_lg(v[static_cast<std::size_t>(i)], w_glob);
+          }
+          // w -= Σ coeff_i v_i, kept in local format.
+          for (index_t i = 0; i <= j; ++i)
+            la::axpy(-coeff[static_cast<std::size_t>(i)],
+                     v[static_cast<std::size_t>(i)], w_loc);
+          r.counters().flops += 2 * nl * static_cast<std::size_t>(j + 1);
+          r.counters().vector_updates += static_cast<std::uint64_t>(j) + 1;
+          if (pass > 0)
+            for (index_t i = 0; i <= j; ++i)
+              h[static_cast<std::size_t>(i)] +=
+                  coeff[static_cast<std::size_t>(i)];
+        }
+        la::copy(w_loc, w_glob);
+        r.exchange(w_glob);                    // (+1) for the norm
+        h[static_cast<std::size_t>(j) + 1] =
+            sqrt_nonneg(r.dot_lg(w_loc, w_glob));
+      } else {
+        // -- Algorithm 6 inner step: m+1 exchanges total.
+        poly.apply_global(r, a, vj, zj);       // m exchanges
+        r.spmv(a, zj, w_loc);
+        la::copy(w_loc, w_glob);
+        r.exchange(w_glob);                    // (+1) the only extra one
+        // h_i = ⊕Σ <ŵ_loc, v̂_i_glob> (Eq. 33) — one global reduction
+        // per i (Algorithm 6 line 13 / Table 1), optionally batched.
+        // The re-orthogonalization pass uses the 1/mult-weighted dot on
+        // the updated global-format w (no extra exchange).
+        for (int pass = 0; pass < gs_passes; ++pass) {
+          Vector& coeff = pass == 0 ? h : h2;
+          if (opts.batched_reductions) {
+            for (index_t i = 0; i <= j; ++i)
+              coeff[static_cast<std::size_t>(i)] =
+                  pass == 0 ? r.dot_lg_partial(
+                                  w_loc, v[static_cast<std::size_t>(i)])
+                            : r.dot_gg_partial(
+                                  w_glob, v[static_cast<std::size_t>(i)]);
+            comm.allreduce_sum(std::span<real_t>(
+                coeff.data(), static_cast<std::size_t>(j) + 1));
+          } else {
+            for (index_t i = 0; i <= j; ++i)
+              coeff[static_cast<std::size_t>(i)] =
+                  pass == 0
+                      ? r.dot_lg(w_loc, v[static_cast<std::size_t>(i)])
+                      : r.dot_gg(w_glob, v[static_cast<std::size_t>(i)]);
+          }
+          for (index_t i = 0; i <= j; ++i)
+            la::axpy(-coeff[static_cast<std::size_t>(i)],
+                     v[static_cast<std::size_t>(i)], w_glob);
+          r.counters().flops += 2 * nl * static_cast<std::size_t>(j + 1);
+          r.counters().vector_updates += static_cast<std::uint64_t>(j) + 1;
+          if (pass > 0)
+            for (index_t i = 0; i <= j; ++i)
+              h[static_cast<std::size_t>(i)] +=
+                  coeff[static_cast<std::size_t>(i)];
+        }
+        h[static_cast<std::size_t>(j) + 1] =
+            std::sqrt(r.norm2_sq_global(w_glob));
+      }
+
+      const real_t hnext = h[static_cast<std::size_t>(j) + 1];
+      relres = lsq.push_column(std::span<const real_t>(
+                   h.data(), static_cast<std::size_t>(j) + 2)) /
+               beta0;
+      ++iterations;
+      history.push_back(relres);
+
+      if (hnext <= 1e-14 * beta0) {
+        breakdown = true;
+        ++j;
+        break;
+      }
+      auto& vnext = v[static_cast<std::size_t>(j) + 1];
+      if (basic) {
+        for (std::size_t l = 0; l < nl; ++l) vnext[l] = w_loc[l] / hnext;
+      } else {
+        for (std::size_t l = 0; l < nl; ++l) vnext[l] = w_glob[l] / hnext;
+      }
+      r.counters().flops += nl;
+      r.counters().vector_updates += 1;
+
+      if (relres <= opts.tol) {
+        ++j;
+        break;
+      }
+    }
+
+    if (j > 0) {
+      const Vector y = lsq.solve();
+      for (index_t i = 0; i < j; ++i)
+        la::axpy(y[static_cast<std::size_t>(i)], z[static_cast<std::size_t>(i)],
+                 x);
+      r.counters().flops += 2 * nl * static_cast<std::size_t>(j);
+      r.counters().vector_updates += static_cast<std::uint64_t>(j);
+    }
+    ++restarts;
+    if (relres <= opts.tol || breakdown) {
+      converged = true;
+      break;
+    }
+  }
+
+  // ---- Final true residual and solution in physical variables u = D x.
+  if (basic) {
+    la::copy(x, tmp);
+    r.exchange(tmp);
+    r.spmv(a, tmp, r_loc);
+  } else {
+    la::copy(x, tmp);  // x already global; tmp used for uniformity
+    r.spmv(a, tmp, r_loc);
+  }
+  for (std::size_t l = 0; l < nl; ++l) r_loc[l] = b_loc[l] - r_loc[l];
+  la::copy(r_loc, r_glob);
+  r.exchange(r_glob);
+  const real_t final_res = sqrt_nonneg(r.dot_lg(r_loc, r_glob));
+  const real_t final_relres = beta0 > 0.0 ? final_res / beta0 : 0.0;
+
+  Vector x_glob(nl);
+  if (basic) {
+    la::copy(x, x_glob);
+    r.exchange(x_glob);
+  } else {
+    la::copy(x, x_glob);
+  }
+  Vector u(nl);
+  for (std::size_t l = 0; l < nl; ++l) u[l] = d[l] * x_glob[l];
+  out.solutions[static_cast<std::size_t>(s)] = std::move(u);
+
+  if (s == 0) {
+    out.converged = converged || final_relres <= opts.tol;
+    out.iterations = iterations;
+    out.restarts = restarts;
+    out.final_relres = final_relres;
+    out.history = std::move(history);
+  }
+}
+
+}  // namespace
+
+DistSolveResult solve_edd(const EddPartition& part,
+                          std::span<const real_t> f_global,
+                          const PolySpec& spec, const SolveOptions& opts,
+                          EddVariant variant,
+                          const std::vector<sparse::CsrMatrix>* local_matrices) {
+  PFEM_CHECK(f_global.size() == static_cast<std::size_t>(part.n_global));
+  if (spec.kind == PolyKind::Gls) validate_theta(spec.theta);
+  if (local_matrices != nullptr)
+    PFEM_CHECK(local_matrices->size() == part.subs.size());
+  const int p = part.nparts();
+
+  SharedOut out;
+  out.solutions.resize(static_cast<std::size_t>(p));
+  out.setup_counters.resize(static_cast<std::size_t>(p));
+
+  WallTimer timer;
+  std::vector<par::PerfCounters> counters =
+      par::run_spmd(p, [&](par::Comm& comm) {
+        const auto s = static_cast<std::size_t>(comm.rank());
+        const sparse::CsrMatrix& k =
+            local_matrices ? (*local_matrices)[s] : part.subs[s].k_loc;
+        edd_rank_solve(part, k, f_global, spec, opts, variant, comm, out);
+      });
+
+  DistSolveResult result;
+  result.wall_seconds = timer.seconds();
+  result.x = partition::edd_gather_global(part, out.solutions);
+  result.converged = out.converged;
+  result.iterations = out.iterations;
+  result.restarts = out.restarts;
+  result.final_relres = out.final_relres;
+  result.history = std::move(out.history);
+  result.rank_counters = std::move(counters);
+  result.setup_counters = std::move(out.setup_counters);
+  return result;
+}
+
+}  // namespace pfem::core

@@ -1,0 +1,129 @@
+#include "core/fgmres.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/hessenberg_lsq.hpp"
+#include "la/vector_ops.hpp"
+
+namespace pfem::core {
+
+SolveResult fgmres(const LinearOp& a, std::span<const real_t> b,
+                   std::span<real_t> x, Preconditioner& precond,
+                   const SolveOptions& opts) {
+  const std::size_t n = b.size();
+  PFEM_CHECK(x.size() == n);
+  PFEM_CHECK(a.size() == as_index(n));
+  PFEM_CHECK(opts.restart >= 1 && opts.max_iters >= 1 && opts.tol > 0.0);
+
+  SolveResult result;
+  const index_t m = opts.restart;
+
+  Vector r(n);
+  a.apply(x, r);                       // r = b - A x0
+  la::sub(b, r, r);
+  const real_t beta0 = la::nrm2(r);
+  if (beta0 == 0.0) {                  // x0 already exact
+    result.converged = true;
+    result.final_relres = 0.0;
+    return result;
+  }
+
+  std::vector<Vector> v(static_cast<std::size_t>(m) + 1, Vector(n));
+  std::vector<Vector> z(static_cast<std::size_t>(m), Vector(n));
+  Vector w(n);
+  Vector h(static_cast<std::size_t>(m) + 1);
+  Vector h2(static_cast<std::size_t>(m) + 1);
+
+  real_t relres = 1.0;
+  while (result.iterations < opts.max_iters) {
+    // (Re)start: r = b - A x; beta = ||r||.
+    a.apply(x, r);
+    la::sub(b, r, r);
+    const real_t beta = la::nrm2(r);
+    relres = beta / beta0;
+    if (relres <= opts.tol) {
+      result.converged = true;
+      break;
+    }
+    la::copy(r, v[0]);
+    la::scal(1.0 / beta, v[0]);
+
+    la::HessenbergLsq lsq(m, beta);
+    index_t j = 0;
+    bool breakdown = false;
+    for (; j < m && result.iterations < opts.max_iters; ++j) {
+      // Flexible step: z_j = C v_j, w = A z_j.
+      precond.apply(v[static_cast<std::size_t>(j)],
+                    z[static_cast<std::size_t>(j)]);
+      a.apply(z[static_cast<std::size_t>(j)], w);
+
+      // Classical Gram-Schmidt (optionally a second pass, CGS2).
+      const int gs_passes = opts.reorthogonalize ? 2 : 1;
+      for (int pass = 0; pass < gs_passes; ++pass) {
+        for (index_t i = 0; i <= j; ++i)
+          h2[static_cast<std::size_t>(i)] =
+              la::dot(w, v[static_cast<std::size_t>(i)]);
+        for (index_t i = 0; i <= j; ++i)
+          la::axpy(-h2[static_cast<std::size_t>(i)],
+                   v[static_cast<std::size_t>(i)], w);
+        for (index_t i = 0; i <= j; ++i) {
+          if (pass == 0)
+            h[static_cast<std::size_t>(i)] = h2[static_cast<std::size_t>(i)];
+          else
+            h[static_cast<std::size_t>(i)] += h2[static_cast<std::size_t>(i)];
+        }
+      }
+      const real_t hnext = la::nrm2(w);
+      h[static_cast<std::size_t>(j) + 1] = hnext;
+
+      relres = lsq.push_column(
+                   std::span<const real_t>(h.data(),
+                                           static_cast<std::size_t>(j) + 2)) /
+               beta0;
+      ++result.iterations;
+      result.history.push_back(relres);
+
+      if (hnext <= 1e-14 * beta0) {  // lucky breakdown: exact solution
+        breakdown = true;
+        ++j;
+        break;
+      }
+      la::copy(w, v[static_cast<std::size_t>(j) + 1]);
+      la::scal(1.0 / hnext, v[static_cast<std::size_t>(j) + 1]);
+
+      if (relres <= opts.tol) {
+        ++j;
+        break;
+      }
+    }
+
+    // Update x with the flexible basis: x += Z y.
+    if (j > 0) {
+      const Vector y = lsq.solve();
+      for (index_t i = 0; i < j; ++i)
+        la::axpy(y[static_cast<std::size_t>(i)], z[static_cast<std::size_t>(i)],
+                 x);
+    }
+    ++result.restarts;
+    if (relres <= opts.tol || breakdown) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final true residual.
+  a.apply(x, r);
+  la::sub(b, r, r);
+  result.final_relres = la::nrm2(r) / beta0;
+  if (result.final_relres <= opts.tol) result.converged = true;
+  return result;
+}
+
+SolveResult fgmres(const sparse::CsrMatrix& a, std::span<const real_t> b,
+                   std::span<real_t> x, Preconditioner& precond,
+                   const SolveOptions& opts) {
+  return fgmres(LinearOp::from_csr(a), b, x, precond, opts);
+}
+
+}  // namespace pfem::core

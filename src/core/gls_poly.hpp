@@ -1,0 +1,70 @@
+// Generalized least-squares (GLS) polynomial preconditioner (§2.1.3).
+//
+// Given a spectrum estimate Θ = ∪(l_k, h_k), 0 ∉ Θ, construct
+//   P_m = argmin_{p ∈ P_m[Θ]} ‖1 − λ p(λ)‖_w
+// with w the per-interval Chebyshev weight, via the orthogonal sequence
+// {λφ_i} built by the Stieltjes procedure (see orthopoly.hpp):
+//   P_m(λ) = Σ_{i=0}^m μ_i φ_i(λ),   μ_i = ⟨1, λφ_i⟩_w    (Eqs. 20–21)
+// Application P_m(A)v runs the φ recursion in vector space: m mat-vecs,
+// no factorization, no assembled matrix — the property that makes this
+// the preconditioner of choice for the EDD solver.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "core/intervals.hpp"
+#include "core/operator.hpp"
+#include "core/orthopoly.hpp"
+
+namespace pfem::core {
+
+class GlsPolynomial {
+ public:
+  /// @param theta   spectrum estimate (validated per Eq. 18)
+  /// @param degree  m >= 0
+  /// @param points_per_interval quadrature resolution; default scales
+  ///        with the degree so all inner products are exact.
+  GlsPolynomial(Theta theta, int degree, int points_per_interval = 0);
+
+  [[nodiscard]] int degree() const noexcept { return m_; }
+  [[nodiscard]] const Theta& theta() const noexcept { return theta_; }
+
+  /// z <- P_m(A) v  (m applications of A through the recursion).
+  void apply(const LinearOp& a, std::span<const real_t> v,
+             std::span<real_t> z) const;
+
+  /// Scalar P_m(λ) (Fig. 2 residual plots).
+  [[nodiscard]] real_t eval(real_t lambda) const;
+
+  /// Residual polynomial 1 − λ P_m(λ).
+  [[nodiscard]] real_t residual(real_t lambda) const;
+
+  /// max |1 − λP_m(λ)| sampled over Θ (convergence-quality metric).
+  [[nodiscard]] real_t residual_sup_on_theta(int samples_per_interval = 512)
+      const;
+
+  /// Power-basis coefficients a_0..a_m of P_m (Eq. 23, Fig. 3 input).
+  [[nodiscard]] Vector power_coeffs() const;
+
+  /// Σ|a_i| over the power basis.
+  [[nodiscard]] real_t coeff_abs_sum() const;
+
+  /// Recursion data, exposed so distributed solvers can run the φ
+  /// recursion on their own vector formats (Basic-variant EDD keeps the
+  /// iterates in both local and global distributed form).
+  [[nodiscard]] const OrthoBasis& basis() const noexcept { return basis_; }
+  [[nodiscard]] std::span<const real_t> mu() const noexcept { return mu_; }
+
+ private:
+  Theta theta_;
+  int m_;
+  OrthoBasis basis_;   // orthonormal under λ²w
+  Vector mu_;          // μ_0..μ_m
+
+  [[nodiscard]] static OrthoBasis build_basis(const Theta& theta, int degree,
+                                              int points_per_interval,
+                                              QuadratureRule& w_rule_out);
+};
+
+}  // namespace pfem::core

@@ -1,0 +1,52 @@
+// Spectrum estimate Θ — a union of disjoint intervals (Eq. 18).
+//
+// The GLS polynomial is built on Θ = ∪_k (l_k, h_k) with
+// l_1 < h_1 <= l_2 < ... and 0 ∉ Θ, which admits symmetric *indefinite*
+// systems (intervals on both sides of zero).  After norm-1 diagonal
+// scaling, SPD systems always admit Θ = (ε, 1) (Eq. 12), which is the
+// solver default.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pfem::core {
+
+struct Interval {
+  real_t lo;
+  real_t hi;
+};
+
+using Theta = std::vector<Interval>;
+
+/// Validate Eq. 18: non-empty, each lo < hi, ordered and disjoint, 0 ∉ Θ.
+inline void validate_theta(const Theta& theta) {
+  PFEM_CHECK_MSG(!theta.empty(), "Theta must contain at least one interval");
+  for (std::size_t k = 0; k < theta.size(); ++k) {
+    PFEM_CHECK_MSG(theta[k].lo < theta[k].hi,
+                   "Theta interval " << k << " is empty or inverted");
+    PFEM_CHECK_MSG(!(theta[k].lo < 0.0 && theta[k].hi > 0.0),
+                   "Theta must not contain 0 (Eq. 18)");
+    if (k > 0)
+      PFEM_CHECK_MSG(theta[k - 1].hi <= theta[k].lo,
+                     "Theta intervals must be ordered and disjoint");
+  }
+}
+
+/// Is lambda inside Θ (closed intervals)?
+[[nodiscard]] inline bool theta_contains(const Theta& theta, real_t lambda) {
+  for (const Interval& iv : theta)
+    if (lambda >= iv.lo && lambda <= iv.hi) return true;
+  return false;
+}
+
+/// The default Θ after norm-1 diagonal scaling: (ε, 1) with ε the machine
+/// precision (paper §6.1: "Θ can be simply defined as (ε, 1)").
+[[nodiscard]] inline Theta default_theta_after_scaling() {
+  return {Interval{std::numeric_limits<real_t>::epsilon(), 1.0}};
+}
+
+}  // namespace pfem::core

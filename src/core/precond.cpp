@@ -1,0 +1,40 @@
+#include "core/precond.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pfem::core {
+
+void IdentityPrecond::apply(std::span<const real_t> v, std::span<real_t> z) {
+  PFEM_CHECK(v.size() == z.size());
+  std::copy(v.begin(), v.end(), z.begin());
+}
+
+JacobiPrecond::JacobiPrecond(const sparse::CsrMatrix& a)
+    : inv_diag_(a.diagonal()) {
+  for (real_t& d : inv_diag_) {
+    PFEM_CHECK_MSG(d != 0.0, "Jacobi: zero diagonal entry");
+    d = 1.0 / d;
+  }
+}
+
+void JacobiPrecond::apply(std::span<const real_t> v, std::span<real_t> z) {
+  PFEM_CHECK(v.size() == inv_diag_.size() && z.size() == inv_diag_.size());
+  for (std::size_t i = 0; i < inv_diag_.size(); ++i) z[i] = inv_diag_[i] * v[i];
+}
+
+Ilu0Precond::Ilu0Precond(const sparse::CsrMatrix& a) : ilu_(a) {}
+
+void Ilu0Precond::apply(std::span<const real_t> v, std::span<real_t> z) {
+  ilu_.solve(v, z);
+}
+
+IlukPrecond::IlukPrecond(const sparse::CsrMatrix& a, int level)
+    : iluk_(a, level) {}
+
+void IlukPrecond::apply(std::span<const real_t> v, std::span<real_t> z) {
+  iluk_.solve(v, z);
+}
+
+}  // namespace pfem::core

@@ -1,0 +1,150 @@
+#include "exp/experiments.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "partition/geom.hpp"
+
+namespace pfem::exp {
+
+namespace {
+
+IndexVector partition_points(const std::vector<partition::Point>& pts,
+                             int nparts, PartitionMethod method) {
+  if (nparts == 1) return IndexVector(pts.size(), 0);
+  return method == PartitionMethod::Strips
+             ? partition::partition_strips(pts, nparts)
+             : partition::partition_rcb(pts, nparts);
+}
+
+/// Element centroid as a 3-D point (z = 0 for 2-D meshes).
+partition::Point3 centroid3(const fem::Mesh& mesh, index_t e) {
+  partition::Point3 c{0.0, 0.0, 0.0};
+  const auto nodes = mesh.elem_nodes(e);
+  for (index_t n : nodes) {
+    c[0] += mesh.x(n);
+    c[1] += mesh.y(n);
+    c[2] += mesh.z(n);
+  }
+  const real_t inv = 1.0 / static_cast<real_t>(nodes.size());
+  for (real_t& v : c) v *= inv;
+  return c;
+}
+
+}  // namespace
+
+partition::EddPartition make_edd(const fem::CantileverProblem& prob,
+                                 int nparts, PartitionMethod method) {
+  IndexVector elem_part;
+  if (prob.mesh.dim() == 3 && method == PartitionMethod::Rcb && nparts > 1) {
+    std::vector<partition::Point3> centroids;
+    centroids.reserve(static_cast<std::size_t>(prob.mesh.num_elems()));
+    for (index_t e = 0; e < prob.mesh.num_elems(); ++e)
+      centroids.push_back(centroid3(prob.mesh, e));
+    elem_part = partition::partition_rcb3(centroids, nparts);
+  } else {
+    std::vector<partition::Point> centroids;
+    centroids.reserve(static_cast<std::size_t>(prob.mesh.num_elems()));
+    for (index_t e = 0; e < prob.mesh.num_elems(); ++e)
+      centroids.push_back(prob.mesh.elem_centroid(e));
+    elem_part = partition_points(centroids, nparts, method);
+  }
+  return partition::build_edd_partition(prob.mesh, prob.dofs, prob.material,
+                                        fem::Operator::Stiffness, elem_part,
+                                        nparts);
+}
+
+partition::RddPartition make_rdd(const fem::CantileverProblem& prob,
+                                 int nparts, PartitionMethod method) {
+  IndexVector node_part;
+  if (prob.mesh.dim() == 3 && method == PartitionMethod::Rcb && nparts > 1) {
+    std::vector<partition::Point3> coords;
+    coords.reserve(static_cast<std::size_t>(prob.mesh.num_nodes()));
+    for (index_t n = 0; n < prob.mesh.num_nodes(); ++n)
+      coords.push_back({prob.mesh.x(n), prob.mesh.y(n), prob.mesh.z(n)});
+    node_part = partition::partition_rcb3(coords, nparts);
+  } else {
+    std::vector<partition::Point> coords;
+    coords.reserve(static_cast<std::size_t>(prob.mesh.num_nodes()));
+    for (index_t n = 0; n < prob.mesh.num_nodes(); ++n)
+      coords.emplace_back(prob.mesh.x(n), prob.mesh.y(n));
+    node_part = partition_points(coords, nparts, method);
+  }
+  const IndexVector dof_part =
+      partition::node_part_to_dof_part(prob.dofs, node_part);
+  partition::RddPartition part =
+      partition::build_rdd_partition(prob.stiffness, dof_part, nparts);
+  // Account the node-based FE layout's duplicated interface elements
+  // (paper Fig. 8) in the cost model.
+  partition::annotate_rdd_fe_duplication(part, prob.mesh, prob.dofs);
+  return part;
+}
+
+namespace {
+
+std::vector<int> with_baseline(std::vector<int> procs) {
+  if (std::find(procs.begin(), procs.end(), 1) == procs.end())
+    procs.insert(procs.begin(), 1);
+  return procs;
+}
+
+}  // namespace
+
+std::vector<SpeedupRow> edd_speedup_study(const fem::CantileverProblem& prob,
+                                          const core::PolySpec& poly,
+                                          std::vector<int> procs,
+                                          const par::MachineModel& machine,
+                                          const core::SolveOptions& opts,
+                                          core::EddVariant variant,
+                                          PartitionMethod method) {
+  procs = with_baseline(std::move(procs));
+  std::vector<SpeedupRow> rows;
+  double t1 = 0.0;
+  for (int p : procs) {
+    const partition::EddPartition part = make_edd(prob, p, method);
+    const core::DistSolveResult res =
+        core::solve_edd(part, prob.load, poly, opts, variant);
+    const double t =
+        par::model_time(machine, res.rank_counters).total();
+    if (p == 1) t1 = t;
+    SpeedupRow row;
+    row.nprocs = p;
+    row.iterations = res.iterations;
+    row.converged = res.converged;
+    row.modeled_seconds = t;
+    row.speedup = t > 0.0 ? t1 / t : 0.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<SpeedupRow> rdd_speedup_study(const fem::CantileverProblem& prob,
+                                          const core::PolySpec& poly,
+                                          std::vector<int> procs,
+                                          const par::MachineModel& machine,
+                                          const core::SolveOptions& opts,
+                                          PartitionMethod method) {
+  procs = with_baseline(std::move(procs));
+  std::vector<SpeedupRow> rows;
+  double t1 = 0.0;
+  core::RddOptions rdd_opts;
+  rdd_opts.poly = poly;
+  for (int p : procs) {
+    const partition::RddPartition part = make_rdd(prob, p, method);
+    const core::DistSolveResult res =
+        core::solve_rdd(part, prob.load, rdd_opts, opts);
+    const double t =
+        par::model_time(machine, res.rank_counters).total();
+    if (p == 1) t1 = t;
+    SpeedupRow row;
+    row.nprocs = p;
+    row.iterations = res.iterations;
+    row.converged = res.converged;
+    row.modeled_seconds = t;
+    row.speedup = t > 0.0 ? t1 / t : 0.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace pfem::exp

@@ -1,0 +1,55 @@
+// Shared experiment plumbing for the bench binaries: partition builders
+// for cantilever problems and the speedup-study runner that evaluates
+// the machine cost model on solver traces.
+#pragma once
+
+#include <vector>
+
+#include "core/edd_solver.hpp"
+#include "core/rdd_solver.hpp"
+#include "fem/problems.hpp"
+#include "par/cost_model.hpp"
+#include "partition/edd.hpp"
+#include "partition/rdd.hpp"
+
+namespace pfem::exp {
+
+enum class PartitionMethod { Strips, Rcb };
+
+/// Element partition + EDD structures for a cantilever problem.
+[[nodiscard]] partition::EddPartition make_edd(
+    const fem::CantileverProblem& prob, int nparts,
+    PartitionMethod method = PartitionMethod::Rcb);
+
+/// Node partition + RDD structures for a cantilever problem.
+[[nodiscard]] partition::RddPartition make_rdd(
+    const fem::CantileverProblem& prob, int nparts,
+    PartitionMethod method = PartitionMethod::Rcb);
+
+/// One row of a speedup study.
+struct SpeedupRow {
+  int nprocs = 0;
+  index_t iterations = 0;
+  bool converged = false;
+  double modeled_seconds = 0.0;  ///< on the selected machine
+  double speedup = 0.0;          ///< vs the 1-proc modeled time
+};
+
+/// Run the EDD solver for each P in `procs` and model the time on
+/// `machine`.  P = 1 must be included (speedup baseline); if absent it is
+/// prepended.
+[[nodiscard]] std::vector<SpeedupRow> edd_speedup_study(
+    const fem::CantileverProblem& prob, const core::PolySpec& poly,
+    std::vector<int> procs, const par::MachineModel& machine,
+    const core::SolveOptions& opts = {},
+    core::EddVariant variant = core::EddVariant::Enhanced,
+    PartitionMethod method = PartitionMethod::Rcb);
+
+/// Same study for the RDD baseline.
+[[nodiscard]] std::vector<SpeedupRow> rdd_speedup_study(
+    const fem::CantileverProblem& prob, const core::PolySpec& poly,
+    std::vector<int> procs, const par::MachineModel& machine,
+    const core::SolveOptions& opts = {},
+    PartitionMethod method = PartitionMethod::Rcb);
+
+}  // namespace pfem::exp

@@ -1,0 +1,36 @@
+// Column-aligned plain-text tables for the benchmark harness output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pfem::exp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  /// Machine-readable CSV (header + rows), for plotting pipelines.
+  void print_csv(std::ostream& os) const;
+
+  /// Fixed-precision double formatting.
+  [[nodiscard]] static std::string num(double v, int precision = 4);
+  /// Scientific formatting (residuals).
+  [[nodiscard]] static std::string sci(double v, int precision = 2);
+  [[nodiscard]] static std::string integer(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner ("== Fig. 11: ... ==").
+void banner(std::ostream& os, const std::string& title);
+
+}  // namespace pfem::exp

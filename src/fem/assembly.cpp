@@ -1,0 +1,178 @@
+#include "fem/assembly.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "fem/elements.hpp"
+#include "sparse/coo.hpp"
+
+namespace pfem::fem {
+
+namespace {
+
+QuadCoords quad_coords(const Mesh& mesh, index_t e) {
+  const auto nodes = mesh.elem_nodes(e);
+  QuadCoords xy{};
+  for (int i = 0; i < 4; ++i) {
+    xy[2 * i] = mesh.x(nodes[i]);
+    xy[2 * i + 1] = mesh.y(nodes[i]);
+  }
+  return xy;
+}
+
+TriCoords tri_coords(const Mesh& mesh, index_t e) {
+  const auto nodes = mesh.elem_nodes(e);
+  TriCoords xy{};
+  for (int i = 0; i < 3; ++i) {
+    xy[2 * i] = mesh.x(nodes[i]);
+    xy[2 * i + 1] = mesh.y(nodes[i]);
+  }
+  return xy;
+}
+
+Quad8Coords quad8_coords(const Mesh& mesh, index_t e) {
+  const auto nodes = mesh.elem_nodes(e);
+  Quad8Coords xy{};
+  for (int i = 0; i < 8; ++i) {
+    xy[2 * i] = mesh.x(nodes[i]);
+    xy[2 * i + 1] = mesh.y(nodes[i]);
+  }
+  return xy;
+}
+
+HexCoords hex_coords(const Mesh& mesh, index_t e) {
+  const auto nodes = mesh.elem_nodes(e);
+  HexCoords xyz{};
+  for (int i = 0; i < 8; ++i) {
+    xyz[3 * i] = mesh.x(nodes[i]);
+    xyz[3 * i + 1] = mesh.y(nodes[i]);
+    xyz[3 * i + 2] = mesh.z(nodes[i]);
+  }
+  return xyz;
+}
+
+index_t dofs_per_node_for(const Mesh& mesh, Operator op) {
+  return op == Operator::Poisson ? 1 : mesh.dim();
+}
+
+}  // namespace
+
+la::DenseMatrix element_matrix(const Mesh& mesh, const Material& mat,
+                               Operator op, index_t e) {
+  switch (mesh.type()) {
+    case ElemType::Quad4:
+      switch (op) {
+        case Operator::Stiffness:
+          return quad4_stiffness(quad_coords(mesh, e), mat);
+        case Operator::Mass: return quad4_mass(quad_coords(mesh, e), mat);
+        case Operator::Poisson: return quad4_poisson(quad_coords(mesh, e));
+      }
+      break;
+    case ElemType::Tri3:
+      switch (op) {
+        case Operator::Stiffness:
+          return tri3_stiffness(tri_coords(mesh, e), mat);
+        case Operator::Mass: return tri3_mass(tri_coords(mesh, e), mat);
+        case Operator::Poisson: return tri3_poisson(tri_coords(mesh, e));
+      }
+      break;
+    case ElemType::Quad8:
+      switch (op) {
+        case Operator::Stiffness:
+          return quad8_stiffness(quad8_coords(mesh, e), mat);
+        case Operator::Mass: return quad8_mass(quad8_coords(mesh, e), mat);
+        case Operator::Poisson:
+          PFEM_CHECK_MSG(false, "scalar Poisson not provided for Q8");
+      }
+      break;
+    case ElemType::Hex8:
+      switch (op) {
+        case Operator::Stiffness:
+          return hex8_stiffness(hex_coords(mesh, e), mat);
+        case Operator::Mass: return hex8_mass(hex_coords(mesh, e), mat);
+        case Operator::Poisson:
+          PFEM_CHECK_MSG(false, "scalar Poisson not provided for Hex8");
+      }
+      break;
+  }
+  PFEM_CHECK_MSG(false, "unreachable operator kind");
+}
+
+IndexVector element_dofs(const Mesh& mesh, const DofMap& dofs, index_t e) {
+  const auto nodes = mesh.elem_nodes(e);
+  const index_t dpn = dofs.dofs_per_node();
+  IndexVector out;
+  out.reserve(nodes.size() * static_cast<std::size_t>(dpn));
+  for (index_t n : nodes)
+    for (index_t c = 0; c < dpn; ++c) out.push_back(dofs.dof(n, c));
+  return out;
+}
+
+namespace {
+
+/// Shared scatter loop: assemble `elems` with rows/cols mapped through
+/// `map` (identity when `map` is empty); n is the output dimension.
+sparse::CsrMatrix assemble_impl(const Mesh& mesh, const DofMap& dofs,
+                                const Material& mat, Operator op,
+                                std::span<const index_t> elems,
+                                std::span<const index_t> map, index_t n) {
+  PFEM_CHECK_MSG(dofs.dofs_per_node() == dofs_per_node_for(mesh, op),
+                 "DofMap dofs-per-node does not match operator/dimension");
+  sparse::CooBuilder coo(n, n);
+  const index_t edofs =
+      nodes_per_elem(mesh.type()) * dofs.dofs_per_node();
+  coo.reserve(elems.size() * static_cast<std::size_t>(edofs) * edofs);
+  for (index_t e : elems) {
+    const la::DenseMatrix ke = element_matrix(mesh, mat, op, e);
+    const IndexVector gd = element_dofs(mesh, dofs, e);
+    for (index_t r = 0; r < edofs; ++r) {
+      index_t gr = gd[r];
+      if (gr < 0) continue;
+      if (!map.empty()) gr = map[gr];
+      if (gr < 0) continue;
+      for (index_t c = 0; c < edofs; ++c) {
+        index_t gc = gd[c];
+        if (gc < 0) continue;
+        if (!map.empty()) gc = map[gc];
+        if (gc < 0) continue;
+        coo.add(gr, gc, ke(r, c));
+      }
+    }
+  }
+  return coo.build();
+}
+
+}  // namespace
+
+sparse::CsrMatrix assemble(const Mesh& mesh, const DofMap& dofs,
+                           const Material& mat, Operator op) {
+  IndexVector all(static_cast<std::size_t>(mesh.num_elems()));
+  std::iota(all.begin(), all.end(), index_t{0});
+  return assemble_impl(mesh, dofs, mat, op, all, {}, dofs.num_free());
+}
+
+sparse::CsrMatrix assemble_subset(const Mesh& mesh, const DofMap& dofs,
+                                  const Material& mat, Operator op,
+                                  std::span<const index_t> elems,
+                                  std::span<const index_t> global_to_local,
+                                  index_t n_local) {
+  PFEM_CHECK(global_to_local.size() ==
+             static_cast<std::size_t>(dofs.num_free()));
+  return assemble_impl(mesh, dofs, mat, op, elems, global_to_local, n_local);
+}
+
+void add_point_load(const DofMap& dofs, index_t node, index_t comp,
+                    real_t value, std::span<real_t> f) {
+  PFEM_CHECK(f.size() == static_cast<std::size_t>(dofs.num_free()));
+  const index_t d = dofs.dof(node, comp);
+  if (d >= 0) f[d] += value;
+}
+
+void add_edge_load(const DofMap& dofs, std::span<const index_t> nodes,
+                   index_t comp, real_t total, std::span<real_t> f) {
+  PFEM_CHECK(!nodes.empty());
+  const real_t per = total / static_cast<real_t>(nodes.size());
+  for (index_t n : nodes) add_point_load(dofs, n, comp, per, f);
+}
+
+}  // namespace pfem::fem

@@ -1,0 +1,47 @@
+#include "fem/dofmap.hpp"
+
+#include "common/error.hpp"
+
+namespace pfem::fem {
+
+DofMap::DofMap(index_t num_nodes, index_t dofs_per_node)
+    : nodes_(num_nodes), dpn_(dofs_per_node) {
+  PFEM_CHECK(num_nodes >= 0);
+  PFEM_CHECK(dofs_per_node >= 1);
+  numbering_.assign(static_cast<std::size_t>(nodes_) * dpn_, 0);
+}
+
+void DofMap::fix(index_t node, index_t comp) {
+  PFEM_CHECK_MSG(!finalized_, "fix() after finalize()");
+  PFEM_CHECK(node >= 0 && node < nodes_);
+  PFEM_CHECK(comp >= 0 && comp < dpn_);
+  numbering_[static_cast<std::size_t>(node) * dpn_ + comp] = -1;
+}
+
+void DofMap::fix_node(index_t node) {
+  for (index_t c = 0; c < dpn_; ++c) fix(node, c);
+}
+
+void DofMap::finalize() {
+  PFEM_CHECK_MSG(!finalized_, "finalize() called twice");
+  index_t next = 0;
+  for (auto& v : numbering_)
+    v = (v == -1) ? -1 : next++;
+  finalized_ = true;
+}
+
+index_t DofMap::dof(index_t node, index_t comp) const {
+  PFEM_CHECK_MSG(finalized_, "dof() before finalize()");
+  PFEM_DEBUG_CHECK(node >= 0 && node < nodes_ && comp >= 0 && comp < dpn_);
+  return numbering_[static_cast<std::size_t>(node) * dpn_ + comp];
+}
+
+index_t DofMap::num_free() const {
+  PFEM_CHECK_MSG(finalized_, "num_free() before finalize()");
+  index_t n = 0;
+  for (index_t v : numbering_)
+    if (v >= 0) ++n;
+  return n;
+}
+
+}  // namespace pfem::fem

@@ -1,0 +1,48 @@
+// Degree-of-freedom numbering with Dirichlet elimination.
+//
+// Fixed dofs are removed from the numbering *before* partitioning, so a
+// subdomain operator is just the sub-assembly of its elements on free
+// dofs — matching the paper's "apply boundary condition over
+// ∂Ω^(s)\Γ" step (Algorithm 2, step 5).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pfem::fem {
+
+class DofMap {
+ public:
+  /// @param num_nodes       nodes in the mesh
+  /// @param dofs_per_node   1 (scalar problems) or 2 (plane elasticity)
+  DofMap(index_t num_nodes, index_t dofs_per_node);
+
+  [[nodiscard]] index_t dofs_per_node() const noexcept { return dpn_; }
+  [[nodiscard]] index_t num_nodes() const noexcept { return nodes_; }
+
+  /// Mark one component of a node as Dirichlet-fixed.  Must precede
+  /// finalize().
+  void fix(index_t node, index_t comp);
+
+  /// Fix all components of a node.
+  void fix_node(index_t node);
+
+  /// Build the free-dof numbering.  Idempotent calls are an error.
+  void finalize();
+
+  /// Free-dof index of (node, comp), or -1 if fixed.  Requires finalize().
+  [[nodiscard]] index_t dof(index_t node, index_t comp) const;
+
+  [[nodiscard]] index_t num_free() const;
+  [[nodiscard]] index_t num_total() const noexcept { return nodes_ * dpn_; }
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+ private:
+  index_t nodes_;
+  index_t dpn_;
+  bool finalized_ = false;
+  IndexVector numbering_;  // per (node,comp): free index or -1
+};
+
+}  // namespace pfem::fem

@@ -1,0 +1,54 @@
+// Element-by-element (EBE) operator — mat-vec without any assembly.
+//
+// The paper's EDD already skips *global* assembly; EBE goes one step
+// further and skips the subdomain CSR too: the operator keeps each
+// element's dense matrix and applies K x = Σ_e B_eᵀ (K_e (B_e x)) by
+// gather–multiply–scatter.  The trade: dense element storage (64
+// entries per Q4 vs ~39 assembled scalars) and duplicated interface
+// work, in exchange for zero assembly time and a perfectly regular
+// data layout.  Classic on vector machines — the HPC lineage the
+// paper's polynomial preconditioners come from.  The storage/time
+// trade-off is measured in bench/ablate_ebe.
+#pragma once
+
+#include <vector>
+
+#include "core/operator.hpp"
+#include "fem/assembly.hpp"
+#include "fem/dofmap.hpp"
+#include "fem/mesh.hpp"
+
+namespace pfem::fem {
+
+class EbeOperator {
+ public:
+  /// Precompute the element matrices of `op` for all mesh elements.
+  EbeOperator(const Mesh& mesh, const DofMap& dofs, const Material& mat,
+              Operator op);
+
+  [[nodiscard]] index_t size() const noexcept { return n_; }
+
+  /// y <- K x (free-dof vectors).
+  void apply(std::span<const real_t> x, std::span<real_t> y) const;
+
+  /// Wrap as an abstract operator for the Krylov solvers.
+  [[nodiscard]] core::LinearOp as_linear_op() const;
+
+  /// Stored matrix entries (dense element matrices).
+  [[nodiscard]] std::uint64_t stored_values() const noexcept {
+    return values_.size();
+  }
+
+  /// Flops of one apply: 2 entries per stored value + gather/scatter.
+  [[nodiscard]] std::uint64_t apply_flops() const noexcept {
+    return 2 * stored_values() + 2 * dof_ids_.size();
+  }
+
+ private:
+  index_t n_;
+  index_t edofs_;               // dofs per element
+  IndexVector dof_ids_;         // edofs_ per element, -1 = fixed
+  std::vector<real_t> values_;  // edofs_^2 per element, row-major
+};
+
+}  // namespace pfem::fem

@@ -1,0 +1,84 @@
+// Element integrals: stiffness and consistent mass matrices.
+//
+// Q4 (4-node bilinear quadrilateral, 2x2 Gauss) and T3 (constant-strain
+// triangle, closed form) for 2-D plane-stress elasticity — the elements
+// the paper evaluates with ("four-node quadrilateral finite elements",
+// §6.1) plus the T3 used in its planar-graph argument (§5).  A scalar
+// Poisson Q4/T3 stiffness is provided for substrate tests with known
+// analytic behaviour.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "fem/material.hpp"
+#include "la/dense.hpp"
+
+namespace pfem::fem {
+
+/// Packed element node coordinates: (x0,y0,...,x3,y3) for Q4, 3 pairs T3,
+/// 8 pairs Q8 (4 CCW corners then midsides of edges 01, 12, 23, 30).
+using QuadCoords = std::array<real_t, 8>;
+using TriCoords = std::array<real_t, 6>;
+using Quad8Coords = std::array<real_t, 16>;
+/// Hex8: (x,y,z) triples, bottom face CCW (viewed from +z) then top face.
+using HexCoords = std::array<real_t, 24>;
+
+/// 8x8 plane-stress stiffness Ke = t * sum_g B^T D B |J| w_g.
+[[nodiscard]] la::DenseMatrix quad4_stiffness(const QuadCoords& xy,
+                                              const Material& mat);
+
+/// 8x8 consistent mass Me = rho * t * sum_g N^T N |J| w_g
+/// (dof order u0,v0,u1,v1,...).
+[[nodiscard]] la::DenseMatrix quad4_mass(const QuadCoords& xy,
+                                         const Material& mat);
+
+/// 6x6 CST stiffness (exact).
+[[nodiscard]] la::DenseMatrix tri3_stiffness(const TriCoords& xy,
+                                             const Material& mat);
+
+/// 6x6 consistent mass (exact closed form).
+[[nodiscard]] la::DenseMatrix tri3_mass(const TriCoords& xy,
+                                        const Material& mat);
+
+/// 16x16 plane-stress stiffness of the 8-node serendipity quadrilateral
+/// (3x3 Gauss) — the higher-order element §5 singles out as making the
+/// matrix graph non-planar.
+[[nodiscard]] la::DenseMatrix quad8_stiffness(const Quad8Coords& xy,
+                                              const Material& mat);
+
+/// 16x16 consistent mass of the Q8 element (3x3 Gauss).
+[[nodiscard]] la::DenseMatrix quad8_mass(const Quad8Coords& xy,
+                                         const Material& mat);
+
+/// 24x24 3-D elasticity stiffness of the trilinear hexahedron
+/// (2x2x2 Gauss); dof order u0,v0,w0,u1,...
+[[nodiscard]] la::DenseMatrix hex8_stiffness(const HexCoords& xyz,
+                                             const Material& mat);
+
+/// 24x24 consistent mass of the Hex8 element.
+[[nodiscard]] la::DenseMatrix hex8_mass(const HexCoords& xyz,
+                                        const Material& mat);
+
+/// 4x4 scalar Laplace stiffness ke = sum_g grad(N)^T grad(N) |J| w_g.
+[[nodiscard]] la::DenseMatrix quad4_poisson(const QuadCoords& xy);
+
+/// 3x3 scalar Laplace stiffness (exact).
+[[nodiscard]] la::DenseMatrix tri3_poisson(const TriCoords& xy);
+
+/// Signed area of the triangle (positive for CCW node order).
+[[nodiscard]] real_t tri3_area(const TriCoords& xy);
+
+/// Centroid strains from element displacement vectors (node-major,
+/// component-minor dof order).  2-D elements return Voigt
+/// (εxx, εyy, γxy); Hex8 returns (εxx, εyy, εzz, γxy, γyz, γzx).
+[[nodiscard]] Vector quad4_centroid_strain(const QuadCoords& xy,
+                                           std::span<const real_t> ue);
+[[nodiscard]] Vector tri3_centroid_strain(const TriCoords& xy,
+                                          std::span<const real_t> ue);
+[[nodiscard]] Vector quad8_centroid_strain(const Quad8Coords& xy,
+                                           std::span<const real_t> ue);
+[[nodiscard]] Vector hex8_centroid_strain(const HexCoords& xyz,
+                                          std::span<const real_t> ue);
+
+}  // namespace pfem::fem

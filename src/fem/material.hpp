@@ -1,0 +1,50 @@
+// Linear elastic material and the plane-stress constitutive matrix.
+#pragma once
+
+#include "common/error.hpp"
+#include "la/dense.hpp"
+
+namespace pfem::fem {
+
+/// Isotropic linear elastic material (plane stress).
+struct Material {
+  real_t youngs_modulus = 1.0e3;  ///< E
+  real_t poisson_ratio = 0.3;     ///< nu, in (-1, 0.5)
+  real_t density = 1.0;           ///< rho (mass matrix)
+  real_t thickness = 1.0;         ///< t (plane problems)
+
+  /// 3x3 plane-stress constitutive matrix D:
+  ///   D = E/(1-nu^2) * [[1, nu, 0], [nu, 1, 0], [0, 0, (1-nu)/2]].
+  [[nodiscard]] la::DenseMatrix plane_stress_d() const {
+    PFEM_CHECK(youngs_modulus > 0.0);
+    PFEM_CHECK(poisson_ratio > -1.0 && poisson_ratio < 0.5);
+    const real_t e = youngs_modulus, nu = poisson_ratio;
+    const real_t c = e / (1.0 - nu * nu);
+    la::DenseMatrix d(3, 3);
+    d(0, 0) = c;
+    d(0, 1) = c * nu;
+    d(1, 0) = c * nu;
+    d(1, 1) = c;
+    d(2, 2) = c * (1.0 - nu) / 2.0;
+    return d;
+  }
+
+  /// 6x6 isotropic 3-D constitutive matrix in Voigt order
+  /// (xx, yy, zz, xy, yz, zx), from the Lamé constants.
+  [[nodiscard]] la::DenseMatrix elastic_3d_d() const {
+    PFEM_CHECK(youngs_modulus > 0.0);
+    PFEM_CHECK(poisson_ratio > -1.0 && poisson_ratio < 0.5);
+    const real_t e = youngs_modulus, nu = poisson_ratio;
+    const real_t lambda = e * nu / ((1.0 + nu) * (1.0 - 2.0 * nu));
+    const real_t mu = e / (2.0 * (1.0 + nu));
+    la::DenseMatrix d(6, 6);
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) d(i, j) = lambda;
+      d(i, i) = lambda + 2.0 * mu;
+      d(i + 3, i + 3) = mu;
+    }
+    return d;
+  }
+};
+
+}  // namespace pfem::fem

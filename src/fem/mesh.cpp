@@ -1,0 +1,61 @@
+#include "fem/mesh.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pfem::fem {
+
+Mesh::Mesh(ElemType type, Vector coords, IndexVector connectivity)
+    : type_(type), coords_(std::move(coords)), conn_(std::move(connectivity)) {
+  PFEM_CHECK_MSG(
+      coords_.size() % static_cast<std::size_t>(elem_dim(type_)) == 0,
+      "coords must be interleaved per node for the element's dimension");
+  const index_t npe = nodes_per_elem(type_);
+  PFEM_CHECK_MSG(conn_.size() % static_cast<std::size_t>(npe) == 0,
+                 "connectivity length not a multiple of nodes-per-element");
+  const index_t nn = num_nodes();
+  for (index_t n : conn_)
+    PFEM_CHECK_MSG(n >= 0 && n < nn, "connectivity node id out of range");
+}
+
+std::pair<real_t, real_t> Mesh::elem_centroid(index_t e) const {
+  const auto nodes = elem_nodes(e);
+  real_t cx = 0.0, cy = 0.0;
+  for (index_t n : nodes) {
+    cx += x(n);
+    cy += y(n);
+  }
+  const real_t inv = 1.0 / static_cast<real_t>(nodes.size());
+  return {cx * inv, cy * inv};
+}
+
+IndexVector Mesh::nodes_at_x(real_t x_value, real_t tol) const {
+  IndexVector out;
+  for (index_t n = 0; n < num_nodes(); ++n)
+    if (std::abs(x(n) - x_value) <= tol) out.push_back(n);
+  return out;
+}
+
+IndexVector Mesh::nodes_at_y(real_t y_value, real_t tol) const {
+  IndexVector out;
+  for (index_t n = 0; n < num_nodes(); ++n)
+    if (std::abs(y(n) - y_value) <= tol) out.push_back(n);
+  return out;
+}
+
+std::array<real_t, 4> Mesh::bounding_box() const {
+  PFEM_CHECK(num_nodes() > 0);
+  std::array<real_t, 4> bb{x(0), x(0), y(0), y(0)};
+  for (index_t n = 1; n < num_nodes(); ++n) {
+    bb[0] = std::min(bb[0], x(n));
+    bb[1] = std::max(bb[1], x(n));
+    bb[2] = std::min(bb[2], y(n));
+    bb[3] = std::max(bb[3], y(n));
+  }
+  return bb;
+}
+
+}  // namespace pfem::fem

@@ -1,0 +1,88 @@
+// 2-D finite element mesh container.
+//
+// Homogeneous element type per mesh (Q4 bilinear quadrilateral or T3
+// linear triangle), struct-of-arrays storage: coordinates packed (x,y)
+// and connectivity packed nodes-per-element, for predictable access.
+#pragma once
+
+#include <array>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pfem::fem {
+
+enum class ElemType { Quad4, Tri3, Quad8, Hex8 };
+
+[[nodiscard]] constexpr index_t nodes_per_elem(ElemType t) {
+  switch (t) {
+    case ElemType::Quad4: return 4;
+    case ElemType::Tri3: return 3;
+    case ElemType::Quad8: return 8;
+    case ElemType::Hex8: return 8;
+  }
+  return 0;
+}
+
+/// Spatial dimension the element lives in.
+[[nodiscard]] constexpr index_t elem_dim(ElemType t) {
+  return t == ElemType::Hex8 ? 3 : 2;
+}
+
+class Mesh {
+ public:
+  /// Coordinates are interleaved per node: (x,y) pairs for 2-D element
+  /// types, (x,y,z) triples for 3-D ones (the dimension follows the
+  /// element type).
+  Mesh(ElemType type, Vector coords, IndexVector connectivity);
+
+  [[nodiscard]] ElemType type() const noexcept { return type_; }
+  [[nodiscard]] index_t dim() const noexcept { return elem_dim(type_); }
+  [[nodiscard]] index_t num_nodes() const noexcept {
+    return as_index(coords_.size() / static_cast<std::size_t>(dim()));
+  }
+  [[nodiscard]] index_t num_elems() const noexcept {
+    return as_index(conn_.size() / nodes_per_elem(type_));
+  }
+
+  [[nodiscard]] real_t x(index_t node) const {
+    return coords_[static_cast<std::size_t>(dim()) * node];
+  }
+  [[nodiscard]] real_t y(index_t node) const {
+    return coords_[static_cast<std::size_t>(dim()) * node + 1];
+  }
+  /// z coordinate; 0 for 2-D meshes.
+  [[nodiscard]] real_t z(index_t node) const {
+    return dim() == 3 ? coords_[3 * static_cast<std::size_t>(node) + 2]
+                      : 0.0;
+  }
+
+  /// Node ids of element e.
+  [[nodiscard]] std::span<const index_t> elem_nodes(index_t e) const {
+    const index_t npe = nodes_per_elem(type_);
+    return {conn_.data() + static_cast<std::size_t>(e) * npe,
+            static_cast<std::size_t>(npe)};
+  }
+
+  /// Element centroid (used by the RCB partitioner).
+  [[nodiscard]] std::pair<real_t, real_t> elem_centroid(index_t e) const;
+
+  /// Nodes with x within tol of the given value (edge selection for BCs
+  /// and tractions on the cantilever).
+  [[nodiscard]] IndexVector nodes_at_x(real_t x_value,
+                                       real_t tol = 1e-9) const;
+  [[nodiscard]] IndexVector nodes_at_y(real_t y_value,
+                                       real_t tol = 1e-9) const;
+
+  /// Bounding box {xmin, xmax, ymin, ymax}.
+  [[nodiscard]] std::array<real_t, 4> bounding_box() const;
+
+ private:
+  ElemType type_;
+  Vector coords_;    // dim*num_nodes, interleaved per node
+  IndexVector conn_; // nodes_per_elem * num_elems
+};
+
+}  // namespace pfem::fem

@@ -1,0 +1,97 @@
+#include "fem/mesh_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pfem::fem {
+
+std::string elem_type_name(ElemType t) {
+  switch (t) {
+    case ElemType::Quad4: return "quad4";
+    case ElemType::Tri3: return "tri3";
+    case ElemType::Quad8: return "quad8";
+    case ElemType::Hex8: return "hex8";
+  }
+  return "?";
+}
+
+ElemType elem_type_from_name(const std::string& name) {
+  if (name == "quad4") return ElemType::Quad4;
+  if (name == "tri3") return ElemType::Tri3;
+  if (name == "quad8") return ElemType::Quad8;
+  if (name == "hex8") return ElemType::Hex8;
+  throw Error("unknown element type '" + name + "'");
+}
+
+void write_mesh(std::ostream& os, const Mesh& mesh) {
+  os << "pfem-mesh 1\n";
+  os << "elemtype " << elem_type_name(mesh.type()) << "\n";
+  os << "nodes " << mesh.num_nodes() << "\n";
+  os << std::setprecision(17);
+  for (index_t n = 0; n < mesh.num_nodes(); ++n) {
+    os << mesh.x(n) << " " << mesh.y(n);
+    if (mesh.dim() == 3) os << " " << mesh.z(n);
+    os << "\n";
+  }
+  os << "elements " << mesh.num_elems() << "\n";
+  for (index_t e = 0; e < mesh.num_elems(); ++e) {
+    const auto nodes = mesh.elem_nodes(e);
+    for (std::size_t k = 0; k < nodes.size(); ++k)
+      os << (k ? " " : "") << nodes[k];
+    os << "\n";
+  }
+}
+
+void write_mesh(const std::string& path, const Mesh& mesh) {
+  std::ofstream os(path);
+  PFEM_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_mesh(os, mesh);
+}
+
+Mesh read_mesh(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  PFEM_CHECK_MSG(static_cast<bool>(is >> magic >> version) &&
+                     magic == "pfem-mesh" && version == 1,
+                 "not a pfem-mesh v1 stream");
+  std::string kw, type_name;
+  PFEM_CHECK_MSG(static_cast<bool>(is >> kw >> type_name) && kw == "elemtype",
+                 "expected 'elemtype'");
+  const ElemType type = elem_type_from_name(type_name);
+  const index_t dim = elem_dim(type);
+
+  index_t n_nodes = 0;
+  PFEM_CHECK_MSG(static_cast<bool>(is >> kw >> n_nodes) && kw == "nodes" &&
+                     n_nodes >= 0,
+                 "expected 'nodes <N>'");
+  Vector coords(static_cast<std::size_t>(n_nodes) *
+                static_cast<std::size_t>(dim));
+  for (std::size_t i = 0; i < coords.size(); ++i)
+    PFEM_CHECK_MSG(static_cast<bool>(is >> coords[i]),
+                   "truncated node coordinates");
+
+  index_t n_elems = 0;
+  PFEM_CHECK_MSG(static_cast<bool>(is >> kw >> n_elems) && kw == "elements" &&
+                     n_elems >= 0,
+                 "expected 'elements <M>'");
+  IndexVector conn(static_cast<std::size_t>(n_elems) *
+                   static_cast<std::size_t>(nodes_per_elem(type)));
+  for (std::size_t i = 0; i < conn.size(); ++i) {
+    PFEM_CHECK_MSG(static_cast<bool>(is >> conn[i]),
+                   "truncated connectivity");
+    PFEM_CHECK_MSG(conn[i] >= 0 && conn[i] < n_nodes,
+                   "connectivity node id out of range");
+  }
+  return Mesh(type, std::move(coords), std::move(conn));
+}
+
+Mesh read_mesh(const std::string& path) {
+  std::ifstream is(path);
+  PFEM_CHECK_MSG(is.good(), "cannot open " << path << " for reading");
+  return read_mesh(is);
+}
+
+}  // namespace pfem::fem

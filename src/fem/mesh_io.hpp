@@ -1,0 +1,30 @@
+// Plain-text mesh I/O — the path for user-supplied (unstructured)
+// meshes.  Format:
+//
+//   pfem-mesh 1
+//   elemtype quad4|tri3|quad8|hex8
+//   nodes <N>
+//   <x> <y> [<z>]        (one line per node; z only for 3-D types)
+//   elements <M>
+//   <n0> <n1> ...        (0-based node ids, nodes_per_elem per line)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fem/mesh.hpp"
+
+namespace pfem::fem {
+
+void write_mesh(std::ostream& os, const Mesh& mesh);
+void write_mesh(const std::string& path, const Mesh& mesh);
+
+/// Throws pfem::Error on malformed input (bad header, wrong counts,
+/// out-of-range connectivity).
+[[nodiscard]] Mesh read_mesh(std::istream& is);
+[[nodiscard]] Mesh read_mesh(const std::string& path);
+
+[[nodiscard]] std::string elem_type_name(ElemType t);
+[[nodiscard]] ElemType elem_type_from_name(const std::string& name);
+
+}  // namespace pfem::fem

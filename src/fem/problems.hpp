@@ -1,0 +1,83 @@
+// The paper's evaluation problem: a 2-D plane-stress cantilever plate,
+// fixed at x = 0, with a "pulling load" applied at the free end
+// (Fig. 9), discretized with Q4 elements on the Table-2 mesh family
+// (Mesh1 = 7x1 ... Mesh10 = 200x100).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fem/assembly.hpp"
+#include "fem/dofmap.hpp"
+#include "fem/mesh.hpp"
+#include "sparse/csr.hpp"
+
+namespace pfem::fem {
+
+/// A fully assembled cantilever problem instance.
+struct CantileverProblem {
+  Mesh mesh;
+  DofMap dofs;
+  Material material;
+  sparse::CsrMatrix stiffness;  ///< K on free dofs (Eq. 50)
+  Vector load;                  ///< f (tip pulling load)
+  index_t nx = 0;               ///< elements along the beam
+  index_t ny = 0;               ///< elements across the beam
+  index_t nz = 0;               ///< elements through the thickness (3-D)
+
+  /// Consistent mass matrix M on free dofs (Eq. 51), assembled on demand
+  /// by dynamic problems.
+  [[nodiscard]] sparse::CsrMatrix assemble_mass() const;
+};
+
+/// Parameters of the cantilever family.  Geometry keeps unit-square
+/// elements (lx = nx, ly = ny) like a stretched plate; the load pulls the
+/// free edge in +x ("pulling load", membrane action).
+struct CantileverSpec {
+  index_t nx = 10;
+  index_t ny = 10;
+  real_t youngs_modulus = 1000.0;
+  real_t poisson_ratio = 0.3;
+  real_t density = 1.0;
+  real_t thickness = 1.0;
+  real_t load_total = 100.0;
+  ElemType elem_type = ElemType::Quad4;
+};
+
+/// Build the cantilever: structured mesh, x=0 edge clamped, +x edge
+/// pulled, stiffness assembled on free dofs.
+[[nodiscard]] CantileverProblem make_cantilever(const CantileverSpec& spec);
+
+/// 3-D variant: an nx x ny x nz bar of trilinear hexahedra, the x = 0
+/// face clamped, the x = lx face pulled in +x.  Exercises the solver
+/// stack on 3-D elasticity (the regime where the paper's §5 discussion
+/// flags the row-based layout's storage growth as "drastic").
+struct Cantilever3dSpec {
+  index_t nx = 8;
+  index_t ny = 2;
+  index_t nz = 2;
+  real_t youngs_modulus = 1000.0;
+  real_t poisson_ratio = 0.3;
+  real_t density = 1.0;
+  real_t load_total = 100.0;
+};
+
+[[nodiscard]] CantileverProblem make_cantilever_3d(
+    const Cantilever3dSpec& spec);
+
+/// One row of the paper's Table 2.
+struct MeshInfo {
+  std::string name;  // "Mesh1" ...
+  index_t nx;
+  index_t ny;
+  index_t n_nodes;   // (nx+1)*(ny+1)
+  index_t n_eqn;     // free dofs after clamping x=0
+};
+
+/// The Table 2 mesh family (Mesh1 .. Mesh10).
+[[nodiscard]] std::vector<MeshInfo> table2_meshes();
+
+/// Build the cantilever for a Table 2 entry (1-based paper index).
+[[nodiscard]] CantileverProblem make_table2_cantilever(int mesh_number);
+
+}  // namespace pfem::fem

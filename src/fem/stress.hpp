@@ -1,0 +1,41 @@
+// Stress recovery — post-processing of a displacement solution.
+//
+// Evaluates the strain/stress at each element's centroid from the solved
+// displacement field (free dofs; homogeneous Dirichlet dofs contribute
+// zero) and the von Mises equivalent stress.  Plane stress for the 2-D
+// elements, full 3-D for Hex8.
+#pragma once
+
+#include <vector>
+
+#include "fem/dofmap.hpp"
+#include "fem/material.hpp"
+#include "fem/mesh.hpp"
+
+namespace pfem::fem {
+
+/// Centroid stress of one element, Voigt components.  2-D elements fill
+/// (sxx, syy, sxy) and leave the out-of-plane terms zero (plane stress).
+struct ElementStress {
+  real_t sxx = 0.0;
+  real_t syy = 0.0;
+  real_t szz = 0.0;
+  real_t sxy = 0.0;
+  real_t syz = 0.0;
+  real_t szx = 0.0;
+  real_t von_mises = 0.0;
+};
+
+/// Stress at the centroid of element e for the free-dof displacement
+/// vector u (homogeneous Dirichlet assumed for fixed dofs).
+[[nodiscard]] ElementStress element_stress(const Mesh& mesh,
+                                           const DofMap& dofs,
+                                           const Material& mat, index_t e,
+                                           std::span<const real_t> u);
+
+/// Stress at every element centroid.
+[[nodiscard]] std::vector<ElementStress> compute_stresses(
+    const Mesh& mesh, const DofMap& dofs, const Material& mat,
+    std::span<const real_t> u);
+
+}  // namespace pfem::fem

@@ -1,0 +1,33 @@
+// Structured rectangle meshers.
+//
+// Generates the paper's cantilever meshes (Table 2): an nx x ny grid of
+// Q4 quadrilaterals over [0,Lx] x [0,Ly], nodes numbered column-major in
+// x-major rows (i + j*(nx+1)), elements row-major.  A T3 variant splits
+// each cell into two triangles (used for the planar-graph discussion
+// tests of §5 and for element-type coverage).
+#pragma once
+
+#include "fem/mesh.hpp"
+
+namespace pfem::fem {
+
+/// nx x ny Q4 elements over [0,Lx] x [0,Ly].
+[[nodiscard]] Mesh structured_quad(index_t nx, index_t ny, real_t lx,
+                                   real_t ly);
+
+/// nx x ny cells, each split into two T3 triangles (2*nx*ny elements).
+[[nodiscard]] Mesh structured_tri(index_t nx, index_t ny, real_t lx,
+                                  real_t ly);
+
+/// nx x ny 8-node serendipity quadrilaterals: corner grid plus edge
+/// midside nodes (numbered corners, then horizontal-edge midsides, then
+/// vertical-edge midsides).
+[[nodiscard]] Mesh structured_quad8(index_t nx, index_t ny, real_t lx,
+                                    real_t ly);
+
+/// nx x ny x nz trilinear hexahedra over [0,lx] x [0,ly] x [0,lz];
+/// nodes numbered i + j*(nx+1) + k*(nx+1)*(ny+1).
+[[nodiscard]] Mesh structured_hex(index_t nx, index_t ny, index_t nz,
+                                  real_t lx, real_t ly, real_t lz);
+
+}  // namespace pfem::fem

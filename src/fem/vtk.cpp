@@ -1,0 +1,82 @@
+#include "fem/vtk.hpp"
+
+#include <fstream>
+#include <iomanip>
+
+#include "common/error.hpp"
+
+namespace pfem::fem {
+
+int vtk_cell_type(ElemType t) {
+  switch (t) {
+    case ElemType::Quad4: return 9;
+    case ElemType::Tri3: return 5;
+    case ElemType::Quad8: return 23;
+    case ElemType::Hex8: return 12;
+  }
+  return 0;
+}
+
+void write_vtk(std::ostream& os, const Mesh& mesh, const DofMap& dofs,
+               std::span<const real_t> u,
+               const std::vector<VtkCellField>& cell_fields) {
+  PFEM_CHECK(u.size() == static_cast<std::size_t>(dofs.num_free()));
+  PFEM_CHECK(dofs.num_nodes() == mesh.num_nodes());
+  for (const VtkCellField& f : cell_fields)
+    PFEM_CHECK_MSG(f.values.size() ==
+                       static_cast<std::size_t>(mesh.num_elems()),
+                   "cell field '" << f.name << "' has wrong length");
+
+  os << "# vtk DataFile Version 3.0\n";
+  os << "pfem-dd-poly solution\n";
+  os << "ASCII\n";
+  os << "DATASET UNSTRUCTURED_GRID\n";
+  os << std::setprecision(12);
+
+  os << "POINTS " << mesh.num_nodes() << " double\n";
+  for (index_t n = 0; n < mesh.num_nodes(); ++n)
+    os << mesh.x(n) << " " << mesh.y(n) << " " << mesh.z(n) << "\n";
+
+  const index_t npe = nodes_per_elem(mesh.type());
+  os << "CELLS " << mesh.num_elems() << " "
+     << static_cast<long long>(mesh.num_elems()) * (npe + 1) << "\n";
+  for (index_t e = 0; e < mesh.num_elems(); ++e) {
+    os << npe;
+    for (index_t n : mesh.elem_nodes(e)) os << " " << n;
+    os << "\n";
+  }
+  os << "CELL_TYPES " << mesh.num_elems() << "\n";
+  const int cell_type = vtk_cell_type(mesh.type());
+  for (index_t e = 0; e < mesh.num_elems(); ++e) os << cell_type << "\n";
+
+  os << "POINT_DATA " << mesh.num_nodes() << "\n";
+  os << "VECTORS displacement double\n";
+  const index_t dpn = dofs.dofs_per_node();
+  for (index_t n = 0; n < mesh.num_nodes(); ++n) {
+    real_t comp[3] = {0.0, 0.0, 0.0};
+    for (index_t c = 0; c < dpn && c < 3; ++c) {
+      const index_t d = dofs.dof(n, c);
+      if (d >= 0) comp[c] = u[static_cast<std::size_t>(d)];
+    }
+    os << comp[0] << " " << comp[1] << " " << comp[2] << "\n";
+  }
+
+  if (!cell_fields.empty()) {
+    os << "CELL_DATA " << mesh.num_elems() << "\n";
+    for (const VtkCellField& f : cell_fields) {
+      os << "SCALARS " << f.name << " double 1\n";
+      os << "LOOKUP_TABLE default\n";
+      for (real_t v : f.values) os << v << "\n";
+    }
+  }
+}
+
+void write_vtk(const std::string& path, const Mesh& mesh, const DofMap& dofs,
+               std::span<const real_t> u,
+               const std::vector<VtkCellField>& cell_fields) {
+  std::ofstream os(path);
+  PFEM_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_vtk(os, mesh, dofs, u, cell_fields);
+}
+
+}  // namespace pfem::fem

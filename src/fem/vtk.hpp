@@ -1,0 +1,36 @@
+// Legacy-VTK export of meshes and solution fields, for ParaView/VisIt.
+//
+// Writes an ASCII "UNSTRUCTURED_GRID" .vtk file with the mesh, the
+// displacement as point vectors, and optional per-element scalars
+// (e.g. von Mises stress from fem/stress.hpp).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fem/dofmap.hpp"
+#include "fem/mesh.hpp"
+
+namespace pfem::fem {
+
+struct VtkCellField {
+  std::string name;
+  Vector values;  ///< one per element
+};
+
+/// Write mesh + displacement (+ per-element scalar fields).
+/// `u` is the free-dof vector; fixed dofs render as zero displacement.
+void write_vtk(std::ostream& os, const Mesh& mesh, const DofMap& dofs,
+               std::span<const real_t> u,
+               const std::vector<VtkCellField>& cell_fields = {});
+
+void write_vtk(const std::string& path, const Mesh& mesh, const DofMap& dofs,
+               std::span<const real_t> u,
+               const std::vector<VtkCellField>& cell_fields = {});
+
+/// The VTK cell type id for an element type (9 = quad, 5 = triangle,
+/// 23 = quadratic quad, 12 = hexahedron).
+[[nodiscard]] int vtk_cell_type(ElemType t);
+
+}  // namespace pfem::fem

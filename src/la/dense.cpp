@@ -1,0 +1,195 @@
+#include "la/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pfem::la {
+
+DenseMatrix::DenseMatrix(index_t rows, index_t cols, real_t value)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, value) {
+  PFEM_CHECK(rows >= 0 && cols >= 0);
+}
+
+void DenseMatrix::matvec(std::span<const real_t> x,
+                         std::span<real_t> y) const {
+  PFEM_CHECK(x.size() == static_cast<std::size_t>(cols_));
+  PFEM_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  for (index_t i = 0; i < rows_; ++i) {
+    real_t s = 0.0;
+    const real_t* r = data_.data() + static_cast<std::size_t>(i) * cols_;
+    for (index_t j = 0; j < cols_; ++j) s += r[j] * x[j];
+    y[i] = s;
+  }
+}
+
+void DenseMatrix::matvec_transpose(std::span<const real_t> x,
+                                   std::span<real_t> y) const {
+  PFEM_CHECK(x.size() == static_cast<std::size_t>(rows_));
+  PFEM_CHECK(y.size() == static_cast<std::size_t>(cols_));
+  std::fill(y.begin(), y.end(), 0.0);
+  for (index_t i = 0; i < rows_; ++i) {
+    const real_t* r = data_.data() + static_cast<std::size_t>(i) * cols_;
+    for (index_t j = 0; j < cols_; ++j) y[j] += r[j] * x[i];
+  }
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& b) const {
+  PFEM_CHECK(cols_ == b.rows_);
+  DenseMatrix c(rows_, b.cols_);
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t k = 0; k < cols_; ++k) {
+      const real_t aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (index_t j = 0; j < b.cols_; ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (index_t i = 0; i < rows_; ++i)
+    for (index_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+real_t DenseMatrix::max_abs_diff(const DenseMatrix& b) const {
+  PFEM_CHECK(rows_ == b.rows_ && cols_ == b.cols_);
+  real_t m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::abs(data_[i] - b.data_[i]));
+  return m;
+}
+
+void cholesky_solve(DenseMatrix& a, std::span<real_t> b) {
+  const index_t n = a.rows();
+  PFEM_CHECK(a.cols() == n);
+  PFEM_CHECK(b.size() == static_cast<std::size_t>(n));
+  // Factor A = L L^T (lower triangle stored in a).
+  for (index_t j = 0; j < n; ++j) {
+    real_t d = a(j, j);
+    for (index_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    PFEM_CHECK_MSG(d > 0.0, "matrix not positive definite at pivot " << j);
+    const real_t ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (index_t i = j + 1; i < n; ++i) {
+      real_t s = a(i, j);
+      for (index_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / ljj;
+    }
+  }
+  // Forward solve L y = b.
+  for (index_t i = 0; i < n; ++i) {
+    real_t s = b[i];
+    for (index_t k = 0; k < i; ++k) s -= a(i, k) * b[k];
+    b[i] = s / a(i, i);
+  }
+  // Backward solve L^T x = y.
+  for (index_t i = n - 1; i >= 0; --i) {
+    real_t s = b[i];
+    for (index_t k = i + 1; k < n; ++k) s -= a(k, i) * b[k];
+    b[i] = s / a(i, i);
+  }
+}
+
+void lu_solve(DenseMatrix& a, std::span<real_t> b) {
+  const index_t n = a.rows();
+  PFEM_CHECK(a.cols() == n);
+  PFEM_CHECK(b.size() == static_cast<std::size_t>(n));
+  std::vector<index_t> piv(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    // Partial pivot.
+    index_t p = j;
+    real_t best = std::abs(a(j, j));
+    for (index_t i = j + 1; i < n; ++i) {
+      const real_t v = std::abs(a(i, j));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    PFEM_CHECK_MSG(best > 0.0, "singular matrix at column " << j);
+    piv[static_cast<std::size_t>(j)] = p;
+    if (p != j) {
+      for (index_t k = 0; k < n; ++k) std::swap(a(j, k), a(p, k));
+      std::swap(b[j], b[p]);
+    }
+    const real_t inv = 1.0 / a(j, j);
+    for (index_t i = j + 1; i < n; ++i) {
+      const real_t lij = a(i, j) * inv;
+      a(i, j) = lij;
+      for (index_t k = j + 1; k < n; ++k) a(i, k) -= lij * a(j, k);
+      b[i] -= lij * b[j];
+    }
+  }
+  for (index_t i = n - 1; i >= 0; --i) {
+    real_t s = b[i];
+    for (index_t k = i + 1; k < n; ++k) s -= a(i, k) * b[k];
+    b[i] = s / a(i, i);
+  }
+}
+
+namespace {
+
+/// Classical cyclic Jacobi: rotate away off-diagonal mass in place.
+void jacobi_diagonalize(DenseMatrix& a, int sweeps) {
+  const index_t n = a.rows();
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    real_t off = 0.0;
+    for (index_t p = 0; p < n; ++p)
+      for (index_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    if (off < 1e-30) break;
+    for (index_t p = 0; p < n; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const real_t apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const real_t theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const real_t t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const real_t c = 1.0 / std::sqrt(t * t + 1.0);
+        const real_t s = t * c;
+        for (index_t k = 0; k < n; ++k) {
+          const real_t akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const real_t apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+EigRange symmetric_eig_range(DenseMatrix a, int sweeps) {
+  const index_t n = a.rows();
+  PFEM_CHECK(a.cols() == n);
+  PFEM_CHECK(n >= 1);
+  jacobi_diagonalize(a, sweeps);
+  EigRange r{a(0, 0), a(0, 0)};
+  for (index_t i = 1; i < n; ++i) {
+    r.min = std::min(r.min, a(i, i));
+    r.max = std::max(r.max, a(i, i));
+  }
+  return r;
+}
+
+Vector symmetric_eigenvalues(DenseMatrix a, int sweeps) {
+  const index_t n = a.rows();
+  PFEM_CHECK(a.cols() == n);
+  PFEM_CHECK(n >= 1);
+  jacobi_diagonalize(a, sweeps);
+  Vector eigs(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) eigs[static_cast<std::size_t>(i)] = a(i, i);
+  std::sort(eigs.begin(), eigs.end());
+  return eigs;
+}
+
+}  // namespace pfem::la

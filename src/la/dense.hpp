@@ -1,0 +1,86 @@
+// Small dense matrices and factorizations.
+//
+// Used for element matrices (8x8 Q4 stiffness), the GLS normal equations
+// (Cholesky, order <= degree+1), and the Hessenberg least-squares fallback.
+// These are *small*-matrix routines: O(n^3) without blocking, which is the
+// right tool below n ~ 200.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pfem::la {
+
+/// Row-major dense matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, index_t cols, real_t value = 0.0);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+
+  real_t& operator()(index_t i, index_t j) {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+  real_t operator()(index_t i, index_t j) const {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+
+  [[nodiscard]] std::span<real_t> row(index_t i) {
+    return {data_.data() + static_cast<std::size_t>(i) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+  [[nodiscard]] std::span<const real_t> row(index_t i) const {
+    return {data_.data() + static_cast<std::size_t>(i) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+
+  [[nodiscard]] std::span<real_t> data() { return data_; }
+  [[nodiscard]] std::span<const real_t> data() const { return data_; }
+
+  /// y <- A x
+  void matvec(std::span<const real_t> x, std::span<real_t> y) const;
+
+  /// y <- A^T x
+  void matvec_transpose(std::span<const real_t> x, std::span<real_t> y) const;
+
+  /// C <- A * B
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& b) const;
+
+  [[nodiscard]] DenseMatrix transposed() const;
+
+  /// Max |a_ij - b_ij|; matrices must be the same shape.
+  [[nodiscard]] real_t max_abs_diff(const DenseMatrix& b) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<real_t> data_;
+};
+
+/// In-place Cholesky solve of SPD system A x = b.  A is overwritten with
+/// its factor.  Throws pfem::Error if A is not positive definite.
+void cholesky_solve(DenseMatrix& a, std::span<real_t> b);
+
+/// LU solve with partial pivoting of A x = b; A overwritten, b becomes x.
+/// Throws pfem::Error on (numerical) singularity.
+void lu_solve(DenseMatrix& a, std::span<real_t> b);
+
+/// Symmetric eigenvalue range estimate [min, max] by a few cycles of the
+/// Jacobi eigenvalue method; exact (to tolerance) for the small matrices
+/// this is applied to in tests.
+struct EigRange {
+  real_t min;
+  real_t max;
+};
+[[nodiscard]] EigRange symmetric_eig_range(DenseMatrix a, int sweeps = 30);
+
+/// All eigenvalues of a symmetric matrix (ascending), by the Jacobi
+/// method.  Intended for the small matrices of tests and the Lanczos
+/// Ritz extraction (n up to a few hundred).
+[[nodiscard]] Vector symmetric_eigenvalues(DenseMatrix a, int sweeps = 50);
+
+}  // namespace pfem::la

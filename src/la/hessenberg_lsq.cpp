@@ -1,0 +1,73 @@
+#include "la/hessenberg_lsq.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pfem::la {
+
+HessenbergLsq::HessenbergLsq(index_t max_m, real_t beta)
+    : max_m_(max_m), res_(std::abs(beta)) {
+  PFEM_CHECK(max_m >= 1);
+  r_.assign(static_cast<std::size_t>(max_m_) * (max_m_ + 1), 0.0);
+  g_.assign(static_cast<std::size_t>(max_m_) + 1, 0.0);
+  g_[0] = beta;
+  cs_.reserve(static_cast<std::size_t>(max_m_));
+  sn_.reserve(static_cast<std::size_t>(max_m_));
+}
+
+real_t HessenbergLsq::push_column(std::span<const real_t> h) {
+  PFEM_CHECK_MSG(j_ < max_m_, "Hessenberg LSQ capacity exceeded");
+  PFEM_CHECK(h.size() == static_cast<std::size_t>(j_) + 2);
+
+  // Copy the new column, apply all previous rotations.
+  std::vector<real_t> col(h.begin(), h.end());
+  for (index_t k = 0; k < j_; ++k) {
+    const real_t t = cs_[static_cast<std::size_t>(k)] * col[k] +
+                     sn_[static_cast<std::size_t>(k)] * col[k + 1];
+    col[static_cast<std::size_t>(k) + 1] =
+        -sn_[static_cast<std::size_t>(k)] * col[k] +
+        cs_[static_cast<std::size_t>(k)] * col[k + 1];
+    col[static_cast<std::size_t>(k)] = t;
+  }
+
+  // New rotation annihilating the subdiagonal entry.
+  const real_t a = col[static_cast<std::size_t>(j_)];
+  const real_t b = col[static_cast<std::size_t>(j_) + 1];
+  const real_t rho = std::hypot(a, b);
+  real_t c = 1.0, s = 0.0;
+  if (rho > 0.0) {
+    c = a / rho;
+    s = b / rho;
+  }
+  cs_.push_back(c);
+  sn_.push_back(s);
+  col[static_cast<std::size_t>(j_)] = rho;
+
+  for (index_t i = 0; i <= j_; ++i)
+    r_entry(i, j_) = col[static_cast<std::size_t>(i)];
+
+  const real_t gj = g_[static_cast<std::size_t>(j_)];
+  g_[static_cast<std::size_t>(j_)] = c * gj;
+  g_[static_cast<std::size_t>(j_) + 1] = -s * gj;
+
+  ++j_;
+  res_ = std::abs(g_[static_cast<std::size_t>(j_)]);
+  return res_;
+}
+
+Vector HessenbergLsq::solve() const {
+  Vector y(static_cast<std::size_t>(j_), 0.0);
+  for (index_t i = j_ - 1; i >= 0; --i) {
+    real_t s = g_[static_cast<std::size_t>(i)];
+    for (index_t k = i + 1; k < j_; ++k)
+      s -= r_entry(i, k) * y[static_cast<std::size_t>(k)];
+    const real_t rii = r_entry(i, i);
+    PFEM_CHECK_MSG(rii != 0.0, "singular Hessenberg R at " << i
+                                << " (lucky breakdown handled by caller)");
+    y[static_cast<std::size_t>(i)] = s / rii;
+  }
+  return y;
+}
+
+}  // namespace pfem::la

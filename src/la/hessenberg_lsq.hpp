@@ -1,0 +1,57 @@
+// Incremental least squares for the GMRES Hessenberg system.
+//
+// GMRES (Algorithm 1 / 5 / 6 / 8 in the paper) needs, at inner step j,
+//   y_j = argmin_y || beta*e_1 - H_j y ||_2
+// where H_j is the (j+2) x (j+1) upper-Hessenberg matrix from the Arnoldi
+// process.  Applying one Givens rotation per step keeps R upper triangular
+// and makes |g_{j+1}| the current residual norm for free — this is how the
+// solver monitors ||r_i||/||r_0|| <= tol each inner iteration without
+// forming x (paper §6.1 convergence criterion).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pfem::la {
+
+/// Incremental QR solve of the (m+1) x m Hessenberg least-squares problem.
+class HessenbergLsq {
+ public:
+  /// @param max_m maximum Krylov dimension (restart length m̃)
+  /// @param beta  initial residual norm ||r_0||
+  HessenbergLsq(index_t max_m, real_t beta);
+
+  /// Feed column j of the Hessenberg matrix: h[0..j+1] inclusive, i.e.
+  /// j+2 entries with h[j+1] the subdiagonal term.  Returns the residual
+  /// norm ||beta*e1 - H y|| after absorbing this column.
+  real_t push_column(std::span<const real_t> h);
+
+  /// Number of columns absorbed so far.
+  [[nodiscard]] index_t size() const noexcept { return j_; }
+
+  /// Current least-squares residual norm.
+  [[nodiscard]] real_t residual_norm() const noexcept { return res_; }
+
+  /// Solve R y = g for the current j columns (y has size() entries).
+  [[nodiscard]] Vector solve() const;
+
+ private:
+  index_t max_m_;
+  index_t j_ = 0;       // columns absorbed
+  real_t res_;          // |g_{j}| after rotations
+  std::vector<real_t> r_;   // packed upper-triangular R, column-major slabs
+  std::vector<real_t> g_;   // rotated rhs
+  std::vector<real_t> cs_;  // Givens cosines
+  std::vector<real_t> sn_;  // Givens sines
+
+  real_t& r_entry(index_t i, index_t j) {
+    return r_[static_cast<std::size_t>(j) * (max_m_ + 1) + i];
+  }
+  real_t r_entry(index_t i, index_t j) const {
+    return r_[static_cast<std::size_t>(j) * (max_m_ + 1) + i];
+  }
+};
+
+}  // namespace pfem::la

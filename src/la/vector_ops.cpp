@@ -1,0 +1,59 @@
+#include "la/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pfem::la {
+
+void axpy(real_t alpha, std::span<const real_t> x, std::span<real_t> y) {
+  PFEM_DEBUG_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void axpby(real_t alpha, std::span<const real_t> x, real_t beta,
+           std::span<real_t> y) {
+  PFEM_DEBUG_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+void scal(real_t alpha, std::span<real_t> x) {
+  for (real_t& v : x) v *= alpha;
+}
+
+real_t dot(std::span<const real_t> x, std::span<const real_t> y) {
+  PFEM_DEBUG_CHECK(x.size() == y.size());
+  real_t s = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+real_t nrm2(std::span<const real_t> x) { return std::sqrt(dot(x, x)); }
+
+real_t nrm_inf(std::span<const real_t> x) {
+  real_t m = 0.0;
+  for (real_t v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void copy(std::span<const real_t> x, std::span<real_t> y) {
+  PFEM_DEBUG_CHECK(x.size() == y.size());
+  std::copy(x.begin(), x.end(), y.begin());
+}
+
+void fill(std::span<real_t> x, real_t value) {
+  std::fill(x.begin(), x.end(), value);
+}
+
+void sub(std::span<const real_t> x, std::span<const real_t> y,
+         std::span<real_t> z) {
+  PFEM_DEBUG_CHECK(x.size() == y.size() && y.size() == z.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) z[i] = x[i] - y[i];
+}
+
+}  // namespace pfem::la

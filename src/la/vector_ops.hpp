@@ -1,0 +1,55 @@
+// Level-1 dense vector kernels.
+//
+// These are the three time-consuming kernels the paper identifies for
+// iterative methods (§3.1.2): vector update (axpy), inner product, and —
+// together with SpMV in src/sparse — the mat-vec.  All kernels operate on
+// raw spans so the same code runs on full vectors and on subdomain-local
+// slices.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace pfem::la {
+
+/// y <- alpha*x + y  (DAXPY)
+void axpy(real_t alpha, std::span<const real_t> x, std::span<real_t> y);
+
+/// y <- alpha*x + beta*y
+void axpby(real_t alpha, std::span<const real_t> x, real_t beta,
+           std::span<real_t> y);
+
+/// x <- alpha*x
+void scal(real_t alpha, std::span<real_t> x);
+
+/// <x, y>
+[[nodiscard]] real_t dot(std::span<const real_t> x, std::span<const real_t> y);
+
+/// ||x||_2
+[[nodiscard]] real_t nrm2(std::span<const real_t> x);
+
+/// ||x||_inf
+[[nodiscard]] real_t nrm_inf(std::span<const real_t> x);
+
+/// y <- x
+void copy(std::span<const real_t> x, std::span<real_t> y);
+
+/// x <- value
+void fill(std::span<real_t> x, real_t value);
+
+/// z <- x - y
+void sub(std::span<const real_t> x, std::span<const real_t> y,
+         std::span<real_t> z);
+
+/// Flop-count formulas for the kernels above, used by the performance
+/// model (Table 1 accounting).  n is the vector length.
+namespace flops {
+constexpr std::uint64_t axpy(std::size_t n) { return 2 * n; }
+constexpr std::uint64_t dot(std::size_t n) { return 2 * n; }
+constexpr std::uint64_t nrm2(std::size_t n) { return 2 * n; }
+constexpr std::uint64_t scal(std::size_t n) { return n; }
+}  // namespace flops
+
+}  // namespace pfem::la

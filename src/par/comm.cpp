@@ -1,0 +1,211 @@
+#include "par/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace pfem::par {
+
+/// Thrown inside ranks that are blocked when another rank fails, so the
+/// whole team unwinds instead of deadlocking.  run_spmd() swallows these
+/// and rethrows the originating error.
+class Aborted : public Error {
+ public:
+  Aborted() : Error("SPMD team aborted because another rank failed") {}
+};
+
+namespace detail {
+
+struct Message {
+  int src;
+  int tag;
+  Vector payload;
+};
+
+struct Mailbox {
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<Message> msgs;
+};
+
+class TeamState {
+ public:
+  explicit TeamState(int size) : size_(size), boxes_(size), slots_(size) {}
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  void deliver(int dest, Message msg) {
+    Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
+    {
+      std::lock_guard<std::mutex> lk(box.m);
+      box.msgs.push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+  }
+
+  Vector take(int dest, int src, int tag) {
+    Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
+    std::unique_lock<std::mutex> lk(box.m);
+    for (;;) {
+      check_abort();
+      const auto it = std::find_if(
+          box.msgs.begin(), box.msgs.end(),
+          [&](const Message& m) { return m.src == src && m.tag == tag; });
+      if (it != box.msgs.end()) {
+        Vector payload = std::move(it->payload);
+        box.msgs.erase(it);
+        return payload;
+      }
+      box.cv.wait_for(lk, std::chrono::milliseconds(50));
+    }
+  }
+
+  /// Sense-reversing barrier that unblocks with Aborted if a rank died.
+  void barrier() {
+    std::unique_lock<std::mutex> lk(barrier_m_);
+    check_abort();
+    const std::uint64_t gen = barrier_gen_;
+    if (++barrier_count_ == size_) {
+      barrier_count_ = 0;
+      ++barrier_gen_;
+      barrier_cv_.notify_all();
+      return;
+    }
+    barrier_cv_.wait(lk, [&] {
+      return barrier_gen_ != gen || aborted_.load(std::memory_order_acquire);
+    });
+    check_abort();
+  }
+
+  /// Deterministic allreduce: every rank deposits into its slot, then all
+  /// ranks fold the slots in rank order (bit-identical results everywhere).
+  void allreduce(int rank, std::span<real_t> inout, bool take_max) {
+    slots_[static_cast<std::size_t>(rank)].assign(inout.begin(), inout.end());
+    barrier();
+    Vector acc(slots_[0]);
+    for (int r = 1; r < size_; ++r) {
+      const Vector& s = slots_[static_cast<std::size_t>(r)];
+      PFEM_CHECK_MSG(s.size() == acc.size(),
+                     "allreduce length mismatch across ranks");
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = take_max ? std::max(acc[i], s[i]) : acc[i] + s[i];
+    }
+    std::copy(acc.begin(), acc.end(), inout.begin());
+    barrier();  // no rank may overwrite its slot before all have folded
+  }
+
+  void abort() {
+    aborted_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lk(barrier_m_);
+      barrier_cv_.notify_all();
+    }
+    for (Mailbox& box : boxes_) {
+      std::lock_guard<std::mutex> lk(box.m);
+      box.cv.notify_all();
+    }
+  }
+
+ private:
+  void check_abort() const {
+    if (aborted_.load(std::memory_order_acquire)) throw Aborted{};
+  }
+
+  int size_;
+  std::vector<Mailbox> boxes_;
+  std::vector<Vector> slots_;
+
+  std::mutex barrier_m_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace detail
+
+int Comm::size() const noexcept { return team_->size(); }
+
+void Comm::send(int dest, int tag, std::span<const real_t> data) {
+  PFEM_CHECK(dest >= 0 && dest < size());
+  PFEM_CHECK_MSG(dest != rank_, "self-send is not supported");
+  counters_->neighbor_msgs += 1;
+  counters_->neighbor_bytes += sizeof(real_t) * data.size();
+  team_->deliver(dest, detail::Message{rank_, tag,
+                                       Vector(data.begin(), data.end())});
+}
+
+void Comm::recv(int src, int tag, Vector& out) {
+  PFEM_CHECK(src >= 0 && src < size());
+  out = team_->take(rank_, src, tag);
+}
+
+void Comm::barrier() { team_->barrier(); }
+
+real_t Comm::allreduce_sum(real_t x) {
+  counters_->global_reductions += 1;
+  counters_->global_bytes += sizeof(real_t);
+  team_->allreduce(rank_, std::span<real_t>(&x, 1), /*take_max=*/false);
+  return x;
+}
+
+void Comm::allreduce_sum(std::span<real_t> inout) {
+  counters_->global_reductions += 1;
+  counters_->global_bytes += sizeof(real_t) * inout.size();
+  team_->allreduce(rank_, inout, /*take_max=*/false);
+}
+
+real_t Comm::allreduce_max(real_t x) {
+  counters_->global_reductions += 1;
+  counters_->global_bytes += sizeof(real_t);
+  team_->allreduce(rank_, std::span<real_t>(&x, 1), /*take_max=*/true);
+  return x;
+}
+
+std::vector<PerfCounters> run_spmd(int nranks,
+                                   const std::function<void(Comm&)>& fn) {
+  PFEM_CHECK(nranks >= 1);
+  detail::TeamState team(nranks);
+  std::vector<PerfCounters> counters(static_cast<std::size_t>(nranks));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(r, &team, &counters[static_cast<std::size_t>(r)]);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        team.abort();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Rethrow the originating failure, preferring real errors over the
+  // secondary Aborted unwinds.
+  std::exception_ptr first_aborted;
+  for (const std::exception_ptr& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const Aborted&) {
+      if (!first_aborted) first_aborted = e;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (first_aborted) std::rethrow_exception(first_aborted);
+  return counters;
+}
+
+}  // namespace pfem::par

@@ -1,0 +1,76 @@
+// Shared-memory message-passing runtime (the MPI substitute).
+//
+// The paper runs C+MPI on an IBM SP2 and an SGI Origin.  Neither machine
+// (nor MPI) is available here, so this module provides the same
+// programming model on one box: `run_spmd(P, fn)` launches P ranks as
+// threads, each receiving a `Comm` handle with blocking point-to-point
+// send/recv (matched on source+tag), barrier, and deterministic
+// allreduce.  All solver code in src/core is written SPMD against this
+// API exactly as it would be against MPI_Send/MPI_Recv/MPI_Allreduce.
+//
+// Determinism: allreduce combines rank contributions in rank order, so
+// every rank observes bit-identical results and all ranks take identical
+// convergence branches — the property MPI programs get from
+// MPI_Allreduce's single rooted combine.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "par/counters.hpp"
+
+namespace pfem::par {
+
+namespace detail {
+class TeamState;
+}
+
+/// Per-rank communicator handle.  Valid only inside run_spmd's callback.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Blocking tagged send of a real vector to `dest`.
+  void send(int dest, int tag, std::span<const real_t> data);
+
+  /// Blocking receive matching (src, tag); resizes `out`.
+  void recv(int src, int tag, Vector& out);
+
+  /// Synchronize all ranks.
+  void barrier();
+
+  /// Deterministic global sum of one scalar (every rank gets the same
+  /// bit pattern).
+  [[nodiscard]] real_t allreduce_sum(real_t x);
+
+  /// Deterministic element-wise global sum.
+  void allreduce_sum(std::span<real_t> inout);
+
+  /// Deterministic global max.
+  [[nodiscard]] real_t allreduce_max(real_t x);
+
+  /// This rank's performance counters (mutable — kernels add to them).
+  [[nodiscard]] PerfCounters& counters() noexcept { return *counters_; }
+
+ private:
+  friend std::vector<PerfCounters> run_spmd(
+      int, const std::function<void(Comm&)>&);
+  Comm(int rank, detail::TeamState* team, PerfCounters* counters)
+      : rank_(rank), team_(team), counters_(counters) {}
+
+  int rank_;
+  detail::TeamState* team_;
+  PerfCounters* counters_;
+};
+
+/// Launch `nranks` SPMD ranks running `fn`, one thread each; returns the
+/// per-rank counters.  Any exception thrown by a rank is rethrown here
+/// after all threads join.
+std::vector<PerfCounters> run_spmd(int nranks,
+                                   const std::function<void(Comm&)>& fn);
+
+}  // namespace pfem::par

@@ -1,0 +1,59 @@
+#include "par/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pfem::par {
+
+MachineModel MachineModel::ibm_sp2() {
+  return MachineModel{"IBM-SP2", 1.0 / 45e6, 40e-6, 1.0 / 35e6, 40e-6};
+}
+
+MachineModel MachineModel::sgi_origin() {
+  return MachineModel{"SGI-Origin", 1.0 / 60e6, 10e-6, 1.0 / 140e6, 10e-6};
+}
+
+MachineModel MachineModel::modern_node() {
+  return MachineModel{"modern-node", 1.0 / 4e9, 0.5e-6, 1.0 / 10e9, 0.5e-6};
+}
+
+ModeledTime model_time(const MachineModel& machine,
+                       std::span<const PerfCounters> ranks) {
+  PFEM_CHECK(!ranks.empty());
+  const int p = static_cast<int>(ranks.size());
+  ModeledTime t;
+  double max_compute = 0.0, max_neighbor = 0.0;
+  std::uint64_t max_reductions = 0, max_red_bytes = 0;
+  for (const PerfCounters& c : ranks) {
+    max_compute = std::max(
+        max_compute, static_cast<double>(c.flops) * machine.flop_time);
+    max_neighbor =
+        std::max(max_neighbor,
+                 static_cast<double>(c.neighbor_msgs) * machine.latency +
+                     static_cast<double>(c.neighbor_bytes) * machine.byte_time);
+    max_reductions = std::max(max_reductions, c.global_reductions);
+    max_red_bytes = std::max(max_red_bytes, c.global_bytes);
+  }
+  t.compute = max_compute;
+  t.neighbor = max_neighbor;
+  if (p > 1) {
+    const double stages = std::ceil(std::log2(static_cast<double>(p)));
+    t.global_comm =
+        stages * (static_cast<double>(max_reductions) * machine.reduce_latency +
+                  static_cast<double>(max_red_bytes) * machine.byte_time);
+  }
+  return t;
+}
+
+double modeled_speedup(const MachineModel& machine,
+                       std::span<const PerfCounters> serial,
+                       std::span<const PerfCounters> parallel) {
+  const double t1 = model_time(machine, serial).total();
+  const double tp = model_time(machine, parallel).total();
+  PFEM_CHECK(tp > 0.0);
+  return t1 / tp;
+}
+
+}  // namespace pfem::par

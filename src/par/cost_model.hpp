@@ -1,0 +1,65 @@
+// α–β–γ machine cost model.
+//
+// The paper measures wall-clock speedup on an IBM SP2 and an SGI Origin
+// (Figs. 15–17, Table 3).  Those machines are simulated here: the
+// distributed solvers record exact per-rank communication/computation
+// traces (par::PerfCounters), and this model converts a trace into
+// machine time:
+//
+//   T_p = max_s [ flops(s)·γ  +  msgs(s)·α + bytes(s)·β ]
+//         + reductions·⌈log2 P⌉·(α_red + bytes_red·β)
+//
+// which is the standard postal/LogP-style model the paper itself appeals
+// to ("communication time per inner product is O(log P) on the
+// hypercube/HiPPI-switch architectures", §5).  Machine presets encode the
+// published characteristics of the two systems: the SP2's message latency
+// is an order of magnitude above the Origin's ccNUMA remote access, which
+// is what makes the Origin scale better at small P in Fig. 17(e).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "par/counters.hpp"
+
+namespace pfem::par {
+
+struct MachineModel {
+  std::string name;
+  double flop_time;       ///< γ — seconds per sustained flop
+  double latency;         ///< α — seconds per point-to-point message
+  double byte_time;       ///< β — seconds per payload byte
+  double reduce_latency;  ///< α per reduction stage (software tree)
+
+  /// IBM SP2 (P2SC nodes, TB3 switch): ~45 sustained MFLOP/s on sparse
+  /// kernels, ~40 µs MPI latency, ~35 MB/s effective bandwidth.
+  [[nodiscard]] static MachineModel ibm_sp2();
+
+  /// SGI Origin 2000 (R10k, ccNUMA): ~60 sustained MFLOP/s sparse,
+  /// ~10 µs MPI latency, ~140 MB/s effective bandwidth.
+  [[nodiscard]] static MachineModel sgi_origin();
+
+  /// A contemporary multicore node, for perspective runs.
+  [[nodiscard]] static MachineModel modern_node();
+};
+
+/// Modeled time decomposition for one SPMD run.
+struct ModeledTime {
+  double compute = 0.0;       ///< max-rank flops · γ
+  double neighbor = 0.0;      ///< max-rank p2p cost
+  double global_comm = 0.0;   ///< reduction tree cost
+  [[nodiscard]] double total() const {
+    return compute + neighbor + global_comm;
+  }
+};
+
+/// Evaluate the model on per-rank counters from run_spmd().
+[[nodiscard]] ModeledTime model_time(const MachineModel& machine,
+                                     std::span<const PerfCounters> ranks);
+
+/// Convenience: modeled speedup of `ranks` relative to a 1-rank trace.
+[[nodiscard]] double modeled_speedup(const MachineModel& machine,
+                                     std::span<const PerfCounters> serial,
+                                     std::span<const PerfCounters> parallel);
+
+}  // namespace pfem::par

@@ -1,0 +1,67 @@
+// Per-rank performance counters.
+//
+// The paper's Table 1 accounts the parallel cost of one Arnoldi iteration
+// in terms of nearest-neighbor communications, global communications,
+// mat-vecs, inner products and vector updates.  Every distributed kernel
+// increments these counters; the cost model (cost_model.hpp) turns them
+// into modeled machine time, and bench/table1_complexity prints them per
+// iteration to reproduce the table.
+#pragma once
+
+#include <cstdint>
+
+namespace pfem::par {
+
+struct PerfCounters {
+  // Raw work.
+  std::uint64_t flops = 0;
+
+  // Nearest-neighbor (point-to-point) traffic, counted at the sender.
+  std::uint64_t neighbor_msgs = 0;
+  std::uint64_t neighbor_bytes = 0;
+  std::uint64_t neighbor_exchanges = 0;  ///< logical ⊕Σ_{∂Ω} operations
+
+  // Global collectives.
+  std::uint64_t global_reductions = 0;
+  std::uint64_t global_bytes = 0;  ///< payload bytes summed over reductions
+
+  // Algorithmic kernel counts (Table 1 columns).
+  std::uint64_t matvecs = 0;
+  std::uint64_t inner_products = 0;
+  std::uint64_t vector_updates = 0;
+
+  void reset() { *this = PerfCounters{}; }
+
+  PerfCounters& operator+=(const PerfCounters& o) {
+    flops += o.flops;
+    neighbor_msgs += o.neighbor_msgs;
+    neighbor_bytes += o.neighbor_bytes;
+    neighbor_exchanges += o.neighbor_exchanges;
+    global_reductions += o.global_reductions;
+    global_bytes += o.global_bytes;
+    matvecs += o.matvecs;
+    inner_products += o.inner_products;
+    vector_updates += o.vector_updates;
+    return *this;
+  }
+
+  /// Component-wise difference (for per-phase deltas); saturates at 0.
+  [[nodiscard]] PerfCounters delta_since(const PerfCounters& base) const {
+    auto sub = [](std::uint64_t a, std::uint64_t b) {
+      return a >= b ? a - b : 0;
+    };
+    PerfCounters d;
+    d.flops = sub(flops, base.flops);
+    d.neighbor_msgs = sub(neighbor_msgs, base.neighbor_msgs);
+    d.neighbor_bytes = sub(neighbor_bytes, base.neighbor_bytes);
+    d.neighbor_exchanges = sub(neighbor_exchanges, base.neighbor_exchanges);
+    d.global_reductions = sub(global_reductions, base.global_reductions);
+    d.global_bytes = sub(global_bytes, base.global_bytes);
+    d.matvecs = sub(matvecs, base.matvecs);
+    d.inner_products = sub(inner_products, base.inner_products);
+    d.vector_updates = sub(vector_updates, base.vector_updates);
+    return d;
+  }
+};
+
+}  // namespace pfem::par

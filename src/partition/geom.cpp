@@ -1,0 +1,158 @@
+#include "partition/geom.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace pfem::partition {
+
+IndexVector partition_strips(const std::vector<Point>& pts, int nparts,
+                             bool along_x) {
+  PFEM_CHECK(nparts >= 1);
+  const std::size_t n = pts.size();
+  if (n == 0) return {};
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return along_x ? pts[a].first < pts[b].first
+                                    : pts[a].second < pts[b].second;
+                   });
+  IndexVector part(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Balanced contiguous blocks: item k of the sorted order goes to
+    // part floor(k * nparts / n).
+    part[order[k]] =
+        static_cast<index_t>((k * static_cast<std::size_t>(nparts)) / n);
+  }
+  return part;
+}
+
+namespace {
+
+void rcb_recurse(const std::vector<Point>& pts, std::vector<std::size_t>& ids,
+                 std::size_t lo, std::size_t hi, int part_lo, int part_hi,
+                 IndexVector& part) {
+  if (part_hi - part_lo == 1) {
+    for (std::size_t k = lo; k < hi; ++k)
+      part[ids[k]] = static_cast<index_t>(part_lo);
+    return;
+  }
+  // Split proportionally: left gets floor(nparts/2) parts.
+  const int nl = (part_hi - part_lo) / 2;
+  const int nr = (part_hi - part_lo) - nl;
+  const std::size_t n = hi - lo;
+  const std::size_t cut =
+      lo + (n * static_cast<std::size_t>(nl)) /
+               static_cast<std::size_t>(nl + nr);
+
+  if (lo == hi) return;  // nothing left: remaining parts stay empty
+  // Choose the axis with the larger extent.
+  real_t xmin = pts[ids[lo]].first, xmax = xmin;
+  real_t ymin = pts[ids[lo]].second, ymax = ymin;
+  for (std::size_t k = lo; k < hi; ++k) {
+    xmin = std::min(xmin, pts[ids[k]].first);
+    xmax = std::max(xmax, pts[ids[k]].first);
+    ymin = std::min(ymin, pts[ids[k]].second);
+    ymax = std::max(ymax, pts[ids[k]].second);
+  }
+  const bool along_x = (xmax - xmin) >= (ymax - ymin);
+
+  std::nth_element(ids.begin() + static_cast<std::ptrdiff_t>(lo),
+                   ids.begin() + static_cast<std::ptrdiff_t>(cut),
+                   ids.begin() + static_cast<std::ptrdiff_t>(hi),
+                   [&](std::size_t a, std::size_t b) {
+                     return along_x ? pts[a].first < pts[b].first
+                                    : pts[a].second < pts[b].second;
+                   });
+  rcb_recurse(pts, ids, lo, cut, part_lo, part_lo + nl, part);
+  rcb_recurse(pts, ids, cut, hi, part_lo + nl, part_hi, part);
+}
+
+}  // namespace
+
+IndexVector partition_rcb(const std::vector<Point>& pts, int nparts) {
+  PFEM_CHECK(nparts >= 1);
+  const std::size_t n = pts.size();
+  // With fewer items than parts the surplus parts simply stay empty —
+  // this matches the paper's Table 3, which runs Mesh1 (7 elements) on
+  // 8 processors.
+  std::vector<std::size_t> ids(n);
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+  IndexVector part(n, 0);
+  rcb_recurse(pts, ids, 0, n, 0, nparts, part);
+  return part;
+}
+
+namespace {
+
+void rcb3_recurse(const std::vector<Point3>& pts,
+                  std::vector<std::size_t>& ids, std::size_t lo,
+                  std::size_t hi, int part_lo, int part_hi,
+                  IndexVector& part) {
+  if (part_hi - part_lo == 1) {
+    for (std::size_t k = lo; k < hi; ++k)
+      part[ids[k]] = static_cast<index_t>(part_lo);
+    return;
+  }
+  if (lo == hi) return;
+  const int nl = (part_hi - part_lo) / 2;
+  const int nr = (part_hi - part_lo) - nl;
+  const std::size_t n = hi - lo;
+  const std::size_t cut =
+      lo + (n * static_cast<std::size_t>(nl)) /
+               static_cast<std::size_t>(nl + nr);
+
+  std::array<real_t, 3> mins = pts[ids[lo]], maxs = pts[ids[lo]];
+  for (std::size_t k = lo; k < hi; ++k)
+    for (int d = 0; d < 3; ++d) {
+      mins[static_cast<std::size_t>(d)] = std::min(
+          mins[static_cast<std::size_t>(d)],
+          pts[ids[k]][static_cast<std::size_t>(d)]);
+      maxs[static_cast<std::size_t>(d)] = std::max(
+          maxs[static_cast<std::size_t>(d)],
+          pts[ids[k]][static_cast<std::size_t>(d)]);
+    }
+  int axis = 0;
+  real_t extent = maxs[0] - mins[0];
+  for (int d = 1; d < 3; ++d)
+    if (maxs[static_cast<std::size_t>(d)] -
+            mins[static_cast<std::size_t>(d)] > extent) {
+      extent = maxs[static_cast<std::size_t>(d)] -
+               mins[static_cast<std::size_t>(d)];
+      axis = d;
+    }
+  std::nth_element(ids.begin() + static_cast<std::ptrdiff_t>(lo),
+                   ids.begin() + static_cast<std::ptrdiff_t>(cut),
+                   ids.begin() + static_cast<std::ptrdiff_t>(hi),
+                   [&](std::size_t a, std::size_t b) {
+                     return pts[a][static_cast<std::size_t>(axis)] <
+                            pts[b][static_cast<std::size_t>(axis)];
+                   });
+  rcb3_recurse(pts, ids, lo, cut, part_lo, part_lo + nl, part);
+  rcb3_recurse(pts, ids, cut, hi, part_lo + nl, part_hi, part);
+}
+
+}  // namespace
+
+IndexVector partition_rcb3(const std::vector<Point3>& pts, int nparts) {
+  PFEM_CHECK(nparts >= 1);
+  const std::size_t n = pts.size();
+  std::vector<std::size_t> ids(n);
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+  IndexVector part(n, 0);
+  rcb3_recurse(pts, ids, 0, n, 0, nparts, part);
+  return part;
+}
+
+IndexVector part_sizes(const IndexVector& part, int nparts) {
+  IndexVector sizes(static_cast<std::size_t>(nparts), 0);
+  for (index_t p : part) {
+    PFEM_CHECK(p >= 0 && p < nparts);
+    ++sizes[static_cast<std::size_t>(p)];
+  }
+  return sizes;
+}
+
+}  // namespace pfem::partition

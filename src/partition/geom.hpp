@@ -1,0 +1,40 @@
+// Geometric k-way partitioners.
+//
+// The paper partitions its structured cantilever meshes into P
+// sub-domains ("partition Ω into P non-overlapping sub-domains in terms
+// of element", Algorithm 2).  On structured rectangles, coordinate
+// strips and recursive coordinate bisection (RCB) give balanced
+// partitions with minimal interfaces — the role METIS-style graph
+// partitioners play on unstructured meshes.
+#pragma once
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pfem::partition {
+
+using Point = std::pair<real_t, real_t>;
+
+/// Slice items into `nparts` contiguous strips along x (or y), balanced
+/// by count.  Returns one part id per item, 0..nparts-1.
+[[nodiscard]] IndexVector partition_strips(const std::vector<Point>& pts,
+                                           int nparts, bool along_x = true);
+
+/// Recursive coordinate bisection: splits along the longer extent,
+/// proportionally for non-power-of-two part counts.
+[[nodiscard]] IndexVector partition_rcb(const std::vector<Point>& pts,
+                                        int nparts);
+
+/// Part sizes (for balance checks).
+[[nodiscard]] IndexVector part_sizes(const IndexVector& part, int nparts);
+
+/// 3-D recursive coordinate bisection: splits along the axis of largest
+/// extent among x, y, z.
+using Point3 = std::array<real_t, 3>;
+[[nodiscard]] IndexVector partition_rcb3(const std::vector<Point3>& pts,
+                                         int nparts);
+
+}  // namespace pfem::partition

@@ -1,0 +1,107 @@
+#include "partition/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace pfem::partition {
+
+std::vector<IndexVector> element_adjacency(const fem::Mesh& mesh,
+                                           int min_shared_nodes) {
+  PFEM_CHECK(min_shared_nodes >= 1);
+  const index_t ne = mesh.num_elems();
+  // Node -> elements touching it.
+  std::vector<IndexVector> node_elems(
+      static_cast<std::size_t>(mesh.num_nodes()));
+  for (index_t e = 0; e < ne; ++e)
+    for (index_t n : mesh.elem_nodes(e))
+      node_elems[static_cast<std::size_t>(n)].push_back(e);
+
+  std::vector<IndexVector> adj(static_cast<std::size_t>(ne));
+  std::map<index_t, int> shared;  // neighbor candidate -> shared count
+  for (index_t e = 0; e < ne; ++e) {
+    shared.clear();
+    for (index_t n : mesh.elem_nodes(e))
+      for (index_t other : node_elems[static_cast<std::size_t>(n)])
+        if (other != e) ++shared[other];
+    for (const auto& [other, count] : shared)
+      if (count >= min_shared_nodes)
+        adj[static_cast<std::size_t>(e)].push_back(other);
+  }
+  return adj;
+}
+
+IndexVector partition_greedy(const std::vector<IndexVector>& adjacency,
+                             int nparts) {
+  PFEM_CHECK(nparts >= 1);
+  const std::size_t n = adjacency.size();
+  PFEM_CHECK(n >= static_cast<std::size_t>(nparts));
+  IndexVector part(n, -1);
+  std::size_t assigned = 0;
+
+  for (int p = 0; p < nparts; ++p) {
+    const std::size_t quota =
+        (n - assigned) / static_cast<std::size_t>(nparts - p);
+    if (quota == 0) continue;
+
+    // Peripheral seed: unassigned vertex with the fewest unassigned
+    // neighbors (breaks the grid open at a corner).
+    std::size_t seed = n;
+    std::size_t best_degree = n + 1;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (part[v] != -1) continue;
+      std::size_t deg = 0;
+      for (index_t u : adjacency[v])
+        if (part[static_cast<std::size_t>(u)] == -1) ++deg;
+      if (deg < best_degree) {
+        best_degree = deg;
+        seed = v;
+      }
+    }
+    PFEM_CHECK(seed < n);
+
+    // BFS growth; if the frontier dries up (disconnected remainder),
+    // re-seed at the next unassigned vertex.
+    std::size_t grown = 0;
+    std::deque<std::size_t> frontier{seed};
+    while (grown < quota) {
+      if (frontier.empty()) {
+        for (std::size_t v = 0; v < n; ++v)
+          if (part[v] == -1) {
+            frontier.push_back(v);
+            break;
+          }
+        PFEM_CHECK(!frontier.empty());
+      }
+      const std::size_t v = frontier.front();
+      frontier.pop_front();
+      if (part[v] != -1) continue;
+      part[v] = p;
+      ++grown;
+      ++assigned;
+      for (index_t u : adjacency[v])
+        if (part[static_cast<std::size_t>(u)] == -1)
+          frontier.push_back(static_cast<std::size_t>(u));
+    }
+  }
+  // Any stragglers (rounding) go to the last part.
+  for (std::size_t v = 0; v < n; ++v)
+    if (part[v] == -1) part[v] = nparts - 1;
+  return part;
+}
+
+std::int64_t edge_cut(const std::vector<IndexVector>& adjacency,
+                      const IndexVector& part) {
+  PFEM_CHECK(adjacency.size() == part.size());
+  std::int64_t cut = 0;
+  for (std::size_t v = 0; v < adjacency.size(); ++v)
+    for (index_t u : adjacency[v])
+      if (static_cast<std::size_t>(u) > v &&
+          part[v] != part[static_cast<std::size_t>(u)])
+        ++cut;
+  return cut;
+}
+
+}  // namespace pfem::partition

@@ -1,0 +1,33 @@
+// Graph-based partitioning: element adjacency and greedy graph growing.
+//
+// The geometric partitioners (strips/RCB) exploit the structured meshes
+// of the paper's experiments; graph growing is the mesh-topology-driven
+// alternative ("specific graph methods", §4.1.1) that works on any
+// connectivity.  Also provides partition-quality metrics used by the
+// partitioner ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "fem/mesh.hpp"
+
+namespace pfem::partition {
+
+/// Element adjacency lists: elements are neighbors when they share at
+/// least `min_shared_nodes` nodes (1 = node adjacency, 2 = edge
+/// adjacency for 2-D elements).
+[[nodiscard]] std::vector<IndexVector> element_adjacency(
+    const fem::Mesh& mesh, int min_shared_nodes = 2);
+
+/// Greedy graph growing: grow each part by BFS from a peripheral seed
+/// until its quota is met.  Returns a part id per vertex.
+[[nodiscard]] IndexVector partition_greedy(
+    const std::vector<IndexVector>& adjacency, int nparts);
+
+/// Edge cut of a partition: number of adjacency edges whose endpoints
+/// land in different parts (each counted once).
+[[nodiscard]] std::int64_t edge_cut(const std::vector<IndexVector>& adjacency,
+                                    const IndexVector& part);
+
+}  // namespace pfem::partition

@@ -1,0 +1,210 @@
+#include "partition/rdd.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "fem/assembly.hpp"
+#include "sparse/coo.hpp"
+
+namespace pfem::partition {
+
+RddPartition build_rdd_partition(const sparse::CsrMatrix& a,
+                                 const IndexVector& row_part, int nparts) {
+  PFEM_CHECK(a.rows() == a.cols());
+  PFEM_CHECK(row_part.size() == static_cast<std::size_t>(a.rows()));
+  PFEM_CHECK(nparts >= 1);
+  const index_t n = a.rows();
+
+  RddPartition part;
+  part.n_global = n;
+  part.row_owner = row_part;
+  part.subs.resize(static_cast<std::size_t>(nparts));
+
+  for (index_t g = 0; g < n; ++g) {
+    const index_t p = row_part[g];
+    PFEM_CHECK(p >= 0 && p < nparts);
+    part.subs[static_cast<std::size_t>(p)].rows.push_back(g);
+  }
+
+  // Global -> local row index within the owner.
+  IndexVector g2l(static_cast<std::size_t>(n), -1);
+  for (auto& sub : part.subs) {
+    std::sort(sub.rows.begin(), sub.rows.end());
+    for (std::size_t l = 0; l < sub.rows.size(); ++l)
+      g2l[static_cast<std::size_t>(sub.rows[l])] = as_index(l);
+  }
+
+  // Per part: external columns grouped by owner, then build matrices.
+  for (int p = 0; p < nparts; ++p) {
+    RddSubdomain& sub = part.subs[static_cast<std::size_t>(p)];
+    std::set<index_t> ext;
+    for (index_t g : sub.rows)
+      for (index_t c : a.row_cols(g))
+        if (row_part[static_cast<std::size_t>(c)] != p) ext.insert(c);
+    sub.ext_global.assign(ext.begin(), ext.end());
+
+    IndexVector ext_pos(static_cast<std::size_t>(n), -1);
+    for (std::size_t k = 0; k < sub.ext_global.size(); ++k)
+      ext_pos[static_cast<std::size_t>(sub.ext_global[k])] = as_index(k);
+
+    const index_t nl = sub.n_local();
+    sparse::CooBuilder loc(nl, nl);
+    sparse::CooBuilder extm(nl, std::max<index_t>(sub.n_ext(), 1));
+    for (index_t l = 0; l < nl; ++l) {
+      const index_t g = sub.rows[static_cast<std::size_t>(l)];
+      const auto cols = a.row_cols(g);
+      const auto vals = a.row_vals(g);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const index_t c = cols[k];
+        if (row_part[static_cast<std::size_t>(c)] == p)
+          loc.add(l, g2l[static_cast<std::size_t>(c)], vals[k]);
+        else
+          extm.add(l, ext_pos[static_cast<std::size_t>(c)], vals[k]);
+      }
+    }
+    sub.a_loc = loc.build();
+    sub.a_ext = extm.build();
+
+    // Overlap-1 Schwarz block: owned rows first, externals appended.
+    IndexVector keep = sub.rows;
+    keep.insert(keep.end(), sub.ext_global.begin(), sub.ext_global.end());
+    sub.a_overlap = a.extract_square(keep);
+  }
+
+  // Communication schedules.  For each (consumer p, owner q): the list of
+  // q-owned dofs appearing among p's externals, in ascending global order
+  // — q sends them, p writes them into x_ext.
+  std::map<std::pair<int, int>, IndexVector> needed;  // (p,q) -> global dofs
+  for (int p = 0; p < nparts; ++p) {
+    const RddSubdomain& sub = part.subs[static_cast<std::size_t>(p)];
+    for (index_t g : sub.ext_global)
+      needed[{p, static_cast<int>(row_part[static_cast<std::size_t>(g)])}]
+          .push_back(g);
+  }
+  // Track boundary rows of each part (rows whose value some neighbor needs
+  // or that read external values).
+  std::vector<std::set<index_t>> boundary_rows(
+      static_cast<std::size_t>(nparts));
+  for (const auto& [key, gdofs] : needed) {
+    const auto [p, q] = key;
+    RddSubdomain& consumer = part.subs[static_cast<std::size_t>(p)];
+    RddSubdomain& owner = part.subs[static_cast<std::size_t>(q)];
+
+    IndexVector ext_pos(gdofs.size());
+    IndexVector send_rows(gdofs.size());
+    for (std::size_t k = 0; k < gdofs.size(); ++k) {
+      const index_t g = gdofs[k];
+      const auto it = std::lower_bound(consumer.ext_global.begin(),
+                                       consumer.ext_global.end(), g);
+      ext_pos[k] = as_index(it - consumer.ext_global.begin());
+      send_rows[k] = g2l[static_cast<std::size_t>(g)];
+      boundary_rows[static_cast<std::size_t>(q)].insert(
+          g2l[static_cast<std::size_t>(g)]);
+    }
+    // Consumer side: receives from q.
+    auto get_neighbor = [](RddSubdomain& s, int rank) -> RddSubdomain::Neighbor& {
+      for (auto& nb : s.neighbors)
+        if (nb.rank == rank) return nb;
+      s.neighbors.push_back(RddSubdomain::Neighbor{rank, {}, {}});
+      return s.neighbors.back();
+    };
+    get_neighbor(consumer, q).recv_ext_positions = std::move(ext_pos);
+    get_neighbor(owner, p).send_local_rows = std::move(send_rows);
+  }
+  for (int p = 0; p < nparts; ++p) {
+    RddSubdomain& sub = part.subs[static_cast<std::size_t>(p)];
+    std::sort(sub.neighbors.begin(), sub.neighbors.end(),
+              [](const auto& a_, const auto& b_) { return a_.rank < b_.rank; });
+    // Rows reading externals are also boundary rows.
+    for (index_t l = 0; l < sub.n_local(); ++l)
+      if (sub.a_ext.row_cols(l).size() > 0 && sub.n_ext() > 0)
+        boundary_rows[static_cast<std::size_t>(p)].insert(l);
+    sub.n_boundary = as_index(boundary_rows[static_cast<std::size_t>(p)].size());
+    sub.n_interior = sub.n_local() - sub.n_boundary;
+  }
+  return part;
+}
+
+void annotate_rdd_fe_duplication(RddPartition& part, const fem::Mesh& mesh,
+                                 const fem::DofMap& dofs) {
+  const int nparts = part.nparts();
+  if (nparts <= 1) return;  // no duplication with a single processor
+  PFEM_CHECK(dofs.num_free() == part.n_global);
+
+  // Owner part of each free dof.
+  const IndexVector& owner = part.row_owner;
+
+  // For each part: the set of stored (row, col) pairs of the
+  // duplicated-element sub-assembly — all elements touching an owned
+  // dof, all rows those elements produce.
+  std::vector<std::set<std::pair<index_t, index_t>>> stored(
+      static_cast<std::size_t>(nparts));
+  for (index_t e = 0; e < mesh.num_elems(); ++e) {
+    const IndexVector ed = fem::element_dofs(mesh, dofs, e);
+    std::set<index_t> parts_here;
+    for (index_t g : ed)
+      if (g >= 0) parts_here.insert(owner[static_cast<std::size_t>(g)]);
+    for (index_t p : parts_here) {
+      auto& s = stored[static_cast<std::size_t>(p)];
+      for (index_t gi : ed) {
+        if (gi < 0) continue;
+        for (index_t gj : ed) {
+          if (gj < 0) continue;
+          s.insert({gi, gj});
+        }
+      }
+    }
+  }
+  for (int p = 0; p < nparts; ++p) {
+    RddSubdomain& sub = part.subs[static_cast<std::size_t>(p)];
+    const std::uint64_t dup_nnz = stored[static_cast<std::size_t>(p)].size();
+    const std::uint64_t owned_nnz =
+        static_cast<std::uint64_t>(sub.a_loc.nnz()) +
+        static_cast<std::uint64_t>(sub.a_ext.nnz());
+    sub.duplicated_nnz = dup_nnz;
+    sub.matvec_extra_flops =
+        dup_nnz > owned_nnz ? 2 * (dup_nnz - owned_nnz) : 0;
+  }
+}
+
+IndexVector node_part_to_dof_part(const fem::DofMap& dofs,
+                                  const IndexVector& node_part) {
+  PFEM_CHECK(node_part.size() == static_cast<std::size_t>(dofs.num_nodes()));
+  IndexVector dof_part(static_cast<std::size_t>(dofs.num_free()), 0);
+  for (index_t n = 0; n < dofs.num_nodes(); ++n) {
+    for (index_t c = 0; c < dofs.dofs_per_node(); ++c) {
+      const index_t d = dofs.dof(n, c);
+      if (d >= 0) dof_part[static_cast<std::size_t>(d)] =
+          node_part[static_cast<std::size_t>(n)];
+    }
+  }
+  return dof_part;
+}
+
+Vector rdd_scatter(const RddPartition& part, int s,
+                   std::span<const real_t> global) {
+  PFEM_CHECK(s >= 0 && s < part.nparts());
+  PFEM_CHECK(global.size() == static_cast<std::size_t>(part.n_global));
+  const RddSubdomain& sub = part.subs[static_cast<std::size_t>(s)];
+  Vector local(sub.rows.size());
+  for (std::size_t l = 0; l < sub.rows.size(); ++l)
+    local[l] = global[static_cast<std::size_t>(sub.rows[l])];
+  return local;
+}
+
+Vector rdd_gather(const RddPartition& part,
+                  const std::vector<Vector>& local_vectors) {
+  PFEM_CHECK(local_vectors.size() == part.subs.size());
+  Vector global(static_cast<std::size_t>(part.n_global), 0.0);
+  for (std::size_t s = 0; s < part.subs.size(); ++s) {
+    const RddSubdomain& sub = part.subs[s];
+    PFEM_CHECK(local_vectors[s].size() == sub.rows.size());
+    for (std::size_t l = 0; l < sub.rows.size(); ++l)
+      global[static_cast<std::size_t>(sub.rows[l])] = local_vectors[s][l];
+  }
+  return global;
+}
+
+}  // namespace pfem::partition

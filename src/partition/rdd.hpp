@@ -1,0 +1,95 @@
+// Row-based domain decomposition (RDD) — the paper's §4 baseline.
+//
+// A node-based partition of the finite element mesh induces a block-row
+// partition of the assembled matrix (Fig. 6).  Each subdomain owns a set
+// of global rows; its equations decouple into a local block A_loc (columns
+// it owns) and an external block A_ext (columns owned by neighbors).
+// The mat-vec (Eq. 48) scatters owned boundary values to neighbors,
+// gathers externals, then computes y = A_loc x_loc + A_ext x_ext.
+// This is the PSPARSLIB/Aztec/pARMS data layout.
+#pragma once
+
+#include <vector>
+
+#include "fem/dofmap.hpp"
+#include "fem/mesh.hpp"
+#include "sparse/csr.hpp"
+
+namespace pfem::partition {
+
+struct RddSubdomain {
+  IndexVector rows;            ///< global rows owned (sorted; local idx = pos)
+  sparse::CsrMatrix a_loc;     ///< n_loc x n_loc, owned columns
+  sparse::CsrMatrix a_ext;     ///< n_loc x n_ext, external columns
+  IndexVector ext_global;      ///< global ids of external columns (sorted)
+
+  /// Square block on owned ∪ external dofs (owned first, externals at
+  /// n_local()+k) — the overlap-1 subdomain of restricted additive
+  /// Schwarz (one of the §4.1.2 RDD preconditioners).
+  sparse::CsrMatrix a_overlap;
+
+  /// Communication schedule with one neighbor (two-sided):
+  /// this rank sends the values of `send_local_rows` and receives a
+  /// payload written into x_ext at `recv_ext_positions`.
+  struct Neighbor {
+    int rank;
+    IndexVector send_local_rows;
+    IndexVector recv_ext_positions;
+  };
+  std::vector<Neighbor> neighbors;
+
+  index_t n_interior = 0;  ///< rows with no external coupling
+  index_t n_boundary = 0;  ///< rows coupled to (or needed by) neighbors
+
+  /// Redundant flops per mat-vec from the paper's node-based FE layout
+  /// (Fig. 8): every element touching an owned node is assigned to this
+  /// processor, so rows of non-owned ("ghost") nodes are computed and
+  /// thrown away.  Zero until annotate_rdd_fe_duplication() runs and for
+  /// P = 1.  Affects only the cost accounting, never the values.
+  std::uint64_t matvec_extra_flops = 0;
+
+  /// Stored nonzeros of the duplicated-element sub-assembly (the paper's
+  /// "storage requirements may increase drastically" drawback).
+  std::uint64_t duplicated_nnz = 0;
+
+  [[nodiscard]] index_t n_local() const { return as_index(rows.size()); }
+  [[nodiscard]] index_t n_ext() const { return as_index(ext_global.size()); }
+};
+
+struct RddPartition {
+  index_t n_global = 0;
+  std::vector<RddSubdomain> subs;
+  IndexVector row_owner;  ///< global row -> part
+
+  [[nodiscard]] int nparts() const { return static_cast<int>(subs.size()); }
+};
+
+/// Build the RDD decomposition of an assembled matrix from a row->part
+/// assignment.
+[[nodiscard]] RddPartition build_rdd_partition(const sparse::CsrMatrix& a,
+                                               const IndexVector& row_part,
+                                               int nparts);
+
+/// Derive a dof(row) partition from a node partition (a dof inherits its
+/// node's part) — the paper's "node-based partitioning".
+[[nodiscard]] IndexVector node_part_to_dof_part(const fem::DofMap& dofs,
+                                                const IndexVector& node_part);
+
+/// Annotate an RDD partition with the redundant computation/storage of
+/// the paper's node-based FE layout (Fig. 8): each processor holds every
+/// element sharing one of its nodes, so interface elements are assigned
+/// to several processors and the rows of their non-owned nodes are
+/// computed redundantly.  Fills matvec_extra_flops / duplicated_nnz per
+/// subdomain from the mesh connectivity.
+void annotate_rdd_fe_duplication(RddPartition& part, const fem::Mesh& mesh,
+                                 const fem::DofMap& dofs);
+
+/// Scatter a global vector to subdomain s (owned rows only): x̄^(s) = B_s x.
+[[nodiscard]] Vector rdd_scatter(const RddPartition& part, int s,
+                                 std::span<const real_t> global);
+
+/// Gather owned rows of all subdomains into the global vector.
+[[nodiscard]] Vector rdd_gather(const RddPartition& part,
+                                const std::vector<Vector>& local_vectors);
+
+}  // namespace pfem::partition

@@ -1,0 +1,71 @@
+#include "sparse/bsr.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pfem::sparse {
+
+Bsr2::Bsr2(const CsrMatrix& a) {
+  PFEM_CHECK(a.rows() == a.cols());
+  PFEM_CHECK_MSG(a.rows() % 2 == 0, "Bsr2 needs an even dimension");
+  block_rows_ = a.rows() / 2;
+  block_ptr_.assign(static_cast<std::size_t>(block_rows_) + 1, 0);
+
+  // Pass 1: block columns per block row (sorted, deduplicated).
+  std::vector<IndexVector> row_blocks(static_cast<std::size_t>(block_rows_));
+  for (index_t br = 0; br < block_rows_; ++br) {
+    IndexVector& cols = row_blocks[static_cast<std::size_t>(br)];
+    for (index_t r = 2 * br; r <= 2 * br + 1; ++r)
+      for (index_t c : a.row_cols(r)) cols.push_back(c / 2);
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    block_ptr_[static_cast<std::size_t>(br) + 1] =
+        block_ptr_[static_cast<std::size_t>(br)] + as_index(cols.size());
+  }
+  block_cols_.reserve(static_cast<std::size_t>(block_ptr_.back()));
+  for (const IndexVector& cols : row_blocks)
+    block_cols_.insert(block_cols_.end(), cols.begin(), cols.end());
+  values_.assign(4ull * block_cols_.size(), 0.0);
+
+  // Pass 2: scatter scalar values into their blocks.
+  for (index_t br = 0; br < block_rows_; ++br) {
+    const index_t begin = block_ptr_[static_cast<std::size_t>(br)];
+    const index_t end = block_ptr_[static_cast<std::size_t>(br) + 1];
+    for (index_t local_r = 0; local_r < 2; ++local_r) {
+      const index_t r = 2 * br + local_r;
+      const auto cols = a.row_cols(r);
+      const auto vals = a.row_vals(r);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const index_t bc = cols[k] / 2;
+        const index_t local_c = cols[k] % 2;
+        const auto it = std::lower_bound(block_cols_.begin() + begin,
+                                         block_cols_.begin() + end, bc);
+        const auto pos =
+            static_cast<std::size_t>(it - block_cols_.begin());
+        values_[4 * pos + 2 * static_cast<std::size_t>(local_r) +
+                static_cast<std::size_t>(local_c)] = vals[k];
+      }
+    }
+  }
+}
+
+void Bsr2::spmv(std::span<const real_t> x, std::span<real_t> y) const {
+  PFEM_CHECK(x.size() == static_cast<std::size_t>(rows()));
+  PFEM_CHECK(y.size() == static_cast<std::size_t>(rows()));
+  for (index_t br = 0; br < block_rows_; ++br) {
+    real_t y0 = 0.0, y1 = 0.0;
+    for (index_t k = block_ptr_[br]; k < block_ptr_[br + 1]; ++k) {
+      const std::size_t base = 4ull * static_cast<std::size_t>(k);
+      const index_t bc = block_cols_[k];
+      const real_t x0 = x[2 * static_cast<std::size_t>(bc)];
+      const real_t x1 = x[2 * static_cast<std::size_t>(bc) + 1];
+      y0 += values_[base] * x0 + values_[base + 1] * x1;
+      y1 += values_[base + 2] * x0 + values_[base + 3] * x1;
+    }
+    y[2 * static_cast<std::size_t>(br)] = y0;
+    y[2 * static_cast<std::size_t>(br) + 1] = y1;
+  }
+}
+
+}  // namespace pfem::sparse

@@ -1,0 +1,47 @@
+// 2x2 block CSR (BSR) — a compact-storage SpMV for 2-D vector problems.
+//
+// Plane-elasticity matrices couple the (u, v) dofs of node pairs, so the
+// CSR pattern naturally tiles into dense 2x2 blocks when dofs are
+// numbered node-major (as this library's DofMap does away from Dirichlet
+// boundaries).  Storing the blocks contiguously halves the index
+// metadata and gives the SpMV unit-stride access to 4 values per index
+// load — the "compact data structures / predictable access" guidance of
+// performance-conscious C++.  bench/micro_kernels measures the win.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace pfem::sparse {
+
+/// 2x2-blocked sparse matrix.  Rows/cols must be even; entries that do
+/// not fill a whole block are zero-padded (correctness is unaffected).
+class Bsr2 {
+ public:
+  /// Convert from CSR (rows == cols, both even).
+  explicit Bsr2(const CsrMatrix& a);
+
+  [[nodiscard]] index_t rows() const noexcept { return 2 * block_rows_; }
+  [[nodiscard]] index_t block_rows() const noexcept { return block_rows_; }
+  [[nodiscard]] index_t block_nnz() const noexcept {
+    return as_index(block_cols_.size());
+  }
+
+  /// Stored scalar values (4 per block) — includes padding zeros.
+  [[nodiscard]] std::uint64_t stored_values() const noexcept {
+    return 4ull * static_cast<std::uint64_t>(block_nnz());
+  }
+
+  /// y <- A x
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const;
+
+ private:
+  index_t block_rows_ = 0;
+  IndexVector block_ptr_;   // block_rows + 1
+  IndexVector block_cols_;  // block column indices
+  Vector values_;           // 4 * block_nnz, row-major within a block
+};
+
+}  // namespace pfem::sparse

@@ -1,0 +1,64 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace pfem::sparse {
+
+CooBuilder::CooBuilder(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+  PFEM_CHECK(rows >= 0 && cols >= 0);
+}
+
+void CooBuilder::reserve(std::size_t nnz) {
+  i_.reserve(nnz);
+  j_.reserve(nnz);
+  v_.reserve(nnz);
+}
+
+void CooBuilder::add(index_t i, index_t j, real_t v) {
+  PFEM_DEBUG_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  i_.push_back(i);
+  j_.push_back(j);
+  v_.push_back(v);
+}
+
+CsrMatrix CooBuilder::build() const {
+  const std::size_t n = i_.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (i_[a] != i_[b]) return i_[a] < i_[b];
+    return j_[a] < j_[b];
+  });
+
+  IndexVector row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  IndexVector col_idx;
+  Vector values;
+  col_idx.reserve(n);
+  values.reserve(n);
+
+  std::size_t k = 0;
+  while (k < n) {
+    const index_t row = i_[order[k]];
+    const index_t col = j_[order[k]];
+    real_t sum = 0.0;
+    while (k < n && i_[order[k]] == row && j_[order[k]] == col) {
+      sum += v_[order[k]];
+      ++k;
+    }
+    col_idx.push_back(col);
+    values.push_back(sum);
+    ++row_ptr[static_cast<std::size_t>(row) + 1];
+  }
+  for (index_t r = 0; r < rows_; ++r)
+    row_ptr[static_cast<std::size_t>(r) + 1] +=
+        row_ptr[static_cast<std::size_t>(r)];
+
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+}  // namespace pfem::sparse

@@ -1,0 +1,43 @@
+// Coordinate-format accumulator used during finite element assembly.
+//
+// Elements scatter their local stiffness/mass entries here; `build()`
+// sorts, merges duplicates (the FE "assembly" Σ operation), and emits a
+// CSR matrix.  This is the only assembly path in the library — the EDD
+// solver uses it *per subdomain only*, which is exactly the paper's point:
+// interface entries are never merged across processors.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pfem::sparse {
+
+class CsrMatrix;
+
+/// Triplet accumulator.  add() is O(1); build() is O(nnz log nnz).
+class CooBuilder {
+ public:
+  CooBuilder(index_t rows, index_t cols);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t entry_count() const noexcept { return i_.size(); }
+
+  void reserve(std::size_t nnz);
+
+  /// Append one triplet; duplicates are summed at build() time.
+  void add(index_t i, index_t j, real_t v);
+
+  /// Sort + merge duplicates + compress to CSR.
+  [[nodiscard]] CsrMatrix build() const;
+
+ private:
+  index_t rows_;
+  index_t cols_;
+  IndexVector i_;
+  IndexVector j_;
+  Vector v_;
+};
+
+}  // namespace pfem::sparse

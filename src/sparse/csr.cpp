@@ -1,0 +1,202 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pfem::sparse {
+
+CsrMatrix::CsrMatrix(index_t rows, index_t cols, IndexVector row_ptr,
+                     IndexVector col_idx, Vector values)
+    : rows_(rows), cols_(cols), row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)), values_(std::move(values)) {
+  PFEM_CHECK(rows >= 0 && cols >= 0);
+  PFEM_CHECK(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1);
+  PFEM_CHECK(col_idx_.size() == values_.size());
+  PFEM_CHECK(row_ptr_.front() == 0);
+  PFEM_CHECK(static_cast<std::size_t>(row_ptr_.back()) == col_idx_.size());
+#ifndef NDEBUG
+  for (index_t i = 0; i < rows_; ++i) {
+    PFEM_CHECK(row_ptr_[i] <= row_ptr_[i + 1]);
+    for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      PFEM_CHECK(col_idx_[k] >= 0 && col_idx_[k] < cols_);
+      if (k > row_ptr_[i]) PFEM_CHECK(col_idx_[k - 1] < col_idx_[k]);
+    }
+  }
+#endif
+}
+
+std::span<const index_t> CsrMatrix::row_cols(index_t i) const {
+  PFEM_DEBUG_CHECK(i >= 0 && i < rows_);
+  return {col_idx_.data() + row_ptr_[i],
+          static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i])};
+}
+
+std::span<const real_t> CsrMatrix::row_vals(index_t i) const {
+  PFEM_DEBUG_CHECK(i >= 0 && i < rows_);
+  return {values_.data() + row_ptr_[i],
+          static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i])};
+}
+
+void CsrMatrix::spmv(std::span<const real_t> x, std::span<real_t> y) const {
+  PFEM_CHECK(x.size() == static_cast<std::size_t>(cols_));
+  PFEM_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  for (index_t i = 0; i < rows_; ++i) {
+    real_t s = 0.0;
+    for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      s += values_[k] * x[col_idx_[k]];
+    y[i] = s;
+  }
+}
+
+void CsrMatrix::spmv_add(std::span<const real_t> x, std::span<real_t> y,
+                         real_t alpha) const {
+  PFEM_CHECK(x.size() == static_cast<std::size_t>(cols_));
+  PFEM_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  for (index_t i = 0; i < rows_; ++i) {
+    real_t s = 0.0;
+    for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      s += values_[k] * x[col_idx_[k]];
+    y[i] += alpha * s;
+  }
+}
+
+real_t CsrMatrix::at(index_t i, index_t j) const {
+  PFEM_DEBUG_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  const auto cols = row_cols(i);
+  const auto it = std::lower_bound(cols.begin(), cols.end(), j);
+  if (it == cols.end() || *it != j) return 0.0;
+  return row_vals(i)[static_cast<std::size_t>(it - cols.begin())];
+}
+
+Vector CsrMatrix::diagonal() const {
+  Vector d(static_cast<std::size_t>(rows_), 0.0);
+  for (index_t i = 0; i < std::min(rows_, cols_); ++i) d[i] = at(i, i);
+  return d;
+}
+
+Vector CsrMatrix::row_norms1() const {
+  Vector d(static_cast<std::size_t>(rows_), 0.0);
+  for (index_t i = 0; i < rows_; ++i) {
+    real_t s = 0.0;
+    for (real_t v : row_vals(i)) s += std::abs(v);
+    d[i] = s;
+  }
+  return d;
+}
+
+void CsrMatrix::scale_symmetric(std::span<const real_t> d) {
+  PFEM_CHECK(rows_ == cols_);
+  PFEM_CHECK(d.size() == static_cast<std::size_t>(rows_));
+  for (index_t i = 0; i < rows_; ++i)
+    for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      values_[k] *= d[i] * d[col_idx_[k]];
+}
+
+void CsrMatrix::add_same_pattern(const CsrMatrix& b, real_t alpha) {
+  PFEM_CHECK_MSG(rows_ == b.rows_ && cols_ == b.cols_ &&
+                     row_ptr_ == b.row_ptr_ && col_idx_ == b.col_idx_,
+                 "add_same_pattern requires identical sparsity");
+  for (std::size_t k = 0; k < values_.size(); ++k)
+    values_[k] += alpha * b.values_[k];
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  IndexVector row_ptr(static_cast<std::size_t>(cols_) + 1, 0);
+  for (index_t c : col_idx_) ++row_ptr[static_cast<std::size_t>(c) + 1];
+  for (index_t j = 0; j < cols_; ++j)
+    row_ptr[static_cast<std::size_t>(j) + 1] +=
+        row_ptr[static_cast<std::size_t>(j)];
+  IndexVector col_idx(col_idx_.size());
+  Vector values(values_.size());
+  IndexVector next(row_ptr.begin(), row_ptr.end() - 1);
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const index_t j = col_idx_[k];
+      const index_t pos = next[j]++;
+      col_idx[pos] = i;
+      values[pos] = values_[k];
+    }
+  }
+  return CsrMatrix(cols_, rows_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+real_t CsrMatrix::symmetry_defect() const {
+  PFEM_CHECK(rows_ == cols_);
+  const CsrMatrix t = transposed();
+  real_t m = 0.0;
+  for (index_t i = 0; i < rows_; ++i) {
+    // Merge-walk row i of A and A^T.
+    const auto ca = row_cols(i);
+    const auto va = row_vals(i);
+    const auto cb = t.row_cols(i);
+    const auto vb = t.row_vals(i);
+    std::size_t a = 0, b = 0;
+    while (a < ca.size() || b < cb.size()) {
+      if (b == cb.size() || (a < ca.size() && ca[a] < cb[b])) {
+        m = std::max(m, std::abs(va[a]));
+        ++a;
+      } else if (a == ca.size() || cb[b] < ca[a]) {
+        m = std::max(m, std::abs(vb[b]));
+        ++b;
+      } else {
+        m = std::max(m, std::abs(va[a] - vb[b]));
+        ++a;
+        ++b;
+      }
+    }
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::extract_square(
+    std::span<const index_t> rows_keep) const {
+  PFEM_CHECK(rows_ == cols_);
+  IndexVector global_to_local(static_cast<std::size_t>(rows_), -1);
+  for (std::size_t l = 0; l < rows_keep.size(); ++l) {
+    PFEM_CHECK(rows_keep[l] >= 0 && rows_keep[l] < rows_);
+    global_to_local[rows_keep[l]] = as_index(l);
+  }
+  const index_t n = as_index(rows_keep.size());
+  IndexVector row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  IndexVector col_idx;
+  Vector values;
+  for (index_t li = 0; li < n; ++li) {
+    const index_t gi = rows_keep[li];
+    for (index_t k = row_ptr_[gi]; k < row_ptr_[gi + 1]; ++k) {
+      const index_t lj = global_to_local[col_idx_[k]];
+      if (lj < 0) continue;
+      col_idx.push_back(lj);
+      values.push_back(values_[k]);
+    }
+    row_ptr[static_cast<std::size_t>(li) + 1] = as_index(col_idx.size());
+  }
+  // Columns within a row keep global order; re-sort to local order.
+  for (index_t li = 0; li < n; ++li) {
+    const index_t b = row_ptr[li], e = row_ptr[li + 1];
+    std::vector<std::pair<index_t, real_t>> tmp;
+    tmp.reserve(static_cast<std::size_t>(e - b));
+    for (index_t k = b; k < e; ++k) tmp.emplace_back(col_idx[k], values[k]);
+    std::sort(tmp.begin(), tmp.end());
+    for (index_t k = b; k < e; ++k) {
+      col_idx[k] = tmp[static_cast<std::size_t>(k - b)].first;
+      values[k] = tmp[static_cast<std::size_t>(k - b)].second;
+    }
+  }
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix csr_identity(index_t n) {
+  IndexVector row_ptr(static_cast<std::size_t>(n) + 1);
+  IndexVector col_idx(static_cast<std::size_t>(n));
+  Vector values(static_cast<std::size_t>(n), 1.0);
+  for (index_t i = 0; i <= n; ++i) row_ptr[i] = i;
+  for (index_t i = 0; i < n; ++i) col_idx[i] = i;
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+}  // namespace pfem::sparse

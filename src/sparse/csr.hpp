@@ -1,0 +1,91 @@
+// Compressed sparse row matrix — the workhorse storage of the library.
+//
+// Everything the paper's kernels need lives here: SpMV (Eq. 37 locally,
+// Eq. 48 for RDD), norm-1 row sums for the diagonal scaling (Theorem 1 /
+// Algorithm 3), symmetric scaling A = D K D (Eq. 11), and submatrix
+// extraction for subdomain/RDD block construction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pfem::sparse {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Takes ownership of fully formed CSR arrays.  Column indices must be
+  /// strictly increasing within each row.
+  CsrMatrix(index_t rows, index_t cols, IndexVector row_ptr,
+            IndexVector col_idx, Vector values);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t nnz() const noexcept {
+    return row_ptr_.empty() ? 0 : row_ptr_.back();
+  }
+
+  [[nodiscard]] std::span<const index_t> row_ptr() const { return row_ptr_; }
+  [[nodiscard]] std::span<const index_t> col_idx() const { return col_idx_; }
+  [[nodiscard]] std::span<const real_t> values() const { return values_; }
+  [[nodiscard]] std::span<real_t> values() { return values_; }
+
+  /// Column indices / values of row i.
+  [[nodiscard]] std::span<const index_t> row_cols(index_t i) const;
+  [[nodiscard]] std::span<const real_t> row_vals(index_t i) const;
+
+  /// y <- A x
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const;
+
+  /// y <- y + alpha * A x
+  void spmv_add(std::span<const real_t> x, std::span<real_t> y,
+                real_t alpha = 1.0) const;
+
+  /// Entry lookup (binary search within the row); 0 if not stored.
+  [[nodiscard]] real_t at(index_t i, index_t j) const;
+
+  /// Main diagonal (0 where absent).
+  [[nodiscard]] Vector diagonal() const;
+
+  /// d_i = ||k_i||_1 = sum_j |a_ij|  (Theorem 1 row norms).
+  [[nodiscard]] Vector row_norms1() const;
+
+  /// A <- diag(d) * A * diag(d)  — the symmetric norm-1 scaling (Eq. 11).
+  void scale_symmetric(std::span<const real_t> d);
+
+  /// A <- A + alpha * B for B with identical sparsity pattern; throws if
+  /// patterns differ.  Used to form the dynamic effective stiffness
+  /// K_eff = K + a0*M without re-assembly.
+  void add_same_pattern(const CsrMatrix& b, real_t alpha);
+
+  /// A^T (also used to verify symmetry).
+  [[nodiscard]] CsrMatrix transposed() const;
+
+  /// max_{ij} |A_ij - (A^T)_ij| — symmetry defect.
+  [[nodiscard]] real_t symmetry_defect() const;
+
+  /// Extract the square submatrix on `rows_keep` (global->local order as
+  /// given).  Entries whose column is outside the set are dropped.
+  [[nodiscard]] CsrMatrix extract_square(std::span<const index_t> rows_keep)
+      const;
+
+  /// Flops of one SpMV: 2*nnz.
+  [[nodiscard]] std::uint64_t spmv_flops() const {
+    return 2ull * static_cast<std::uint64_t>(nnz());
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  IndexVector row_ptr_;
+  IndexVector col_idx_;
+  Vector values_;
+};
+
+/// n x n identity in CSR.
+[[nodiscard]] CsrMatrix csr_identity(index_t n);
+
+}  // namespace pfem::sparse

@@ -1,0 +1,98 @@
+#include "sparse/generators.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+
+namespace pfem::sparse {
+
+CsrMatrix laplace2d(index_t nx, index_t ny) {
+  PFEM_CHECK(nx >= 1 && ny >= 1);
+  const index_t n = nx * ny;
+  CooBuilder coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * 5);
+  auto id = [nx](index_t i, index_t j) { return j * nx + i; };
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t row = id(i, j);
+      coo.add(row, row, 4.0);
+      if (i > 0) coo.add(row, id(i - 1, j), -1.0);
+      if (i + 1 < nx) coo.add(row, id(i + 1, j), -1.0);
+      if (j > 0) coo.add(row, id(i, j - 1), -1.0);
+      if (j + 1 < ny) coo.add(row, id(i, j + 1), -1.0);
+    }
+  }
+  return coo.build();
+}
+
+CsrMatrix random_spd(index_t n, index_t per_row, real_t margin,
+                     std::uint64_t seed) {
+  PFEM_CHECK(n >= 1 && per_row >= 0 && margin > 0.0);
+  Rng rng(seed);
+  CooBuilder coo(n, n);
+  // Build the strictly-upper part, mirror it, then add a dominant diagonal.
+  Vector rowsum(static_cast<std::size_t>(n), 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    std::set<index_t> cols;
+    for (index_t k = 0; k < per_row; ++k) {
+      if (i + 1 >= n) break;
+      const index_t j = rng.uniform_index(i + 1, n - 1);
+      if (!cols.insert(j).second) continue;
+      const real_t v = -rng.uniform(0.05, 1.0);
+      coo.add(i, j, v);
+      coo.add(j, i, v);
+      rowsum[i] += std::abs(v);
+      rowsum[j] += std::abs(v);
+    }
+  }
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, rowsum[i] + margin);
+  return coo.build();
+}
+
+CsrMatrix tridiag(index_t n, real_t diag, real_t off) {
+  PFEM_CHECK(n >= 1);
+  CooBuilder coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, diag);
+    if (i > 0) coo.add(i, i - 1, off);
+    if (i + 1 < n) coo.add(i, i + 1, off);
+  }
+  return coo.build();
+}
+
+CsrMatrix convection_diffusion_2d(index_t nx, index_t ny, real_t vx,
+                                  real_t vy) {
+  PFEM_CHECK(nx >= 1 && ny >= 1);
+  const index_t n = nx * ny;
+  CooBuilder coo(n, n);
+  auto id = [nx](index_t i, index_t j) { return j * nx + i; };
+  // Upwind: flow in +x couples to the west neighbor, etc.  Grid h = 1.
+  const real_t w = 1.0 + std::max(vx, 0.0);   // west coefficient
+  const real_t e = 1.0 + std::max(-vx, 0.0);  // east
+  const real_t s = 1.0 + std::max(vy, 0.0);   // south
+  const real_t t = 1.0 + std::max(-vy, 0.0);  // north
+  const real_t diag = w + e + s + t;
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t row = id(i, j);
+      coo.add(row, row, diag);
+      if (i > 0) coo.add(row, id(i - 1, j), -w);
+      if (i + 1 < nx) coo.add(row, id(i + 1, j), -e);
+      if (j > 0) coo.add(row, id(i, j - 1), -s);
+      if (j + 1 < ny) coo.add(row, id(i, j + 1), -t);
+    }
+  }
+  return coo.build();
+}
+
+CsrMatrix diagonal_matrix(const Vector& eigenvalues) {
+  const index_t n = as_index(eigenvalues.size());
+  CooBuilder coo(n, n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, eigenvalues[i]);
+  return coo.build();
+}
+
+}  // namespace pfem::sparse

@@ -1,0 +1,66 @@
+#include "sparse/gershgorin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/vector_ops.hpp"
+
+namespace pfem::sparse {
+
+real_t gershgorin_lambda_max_bound(const CsrMatrix& a) {
+  const Vector norms = a.row_norms1();
+  real_t m = 0.0;
+  for (real_t v : norms) m = std::max(m, v);
+  return m;
+}
+
+Interval gershgorin_interval(const CsrMatrix& a) {
+  PFEM_CHECK(a.rows() == a.cols());
+  Interval iv{0.0, 0.0};
+  bool first = true;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    real_t diag = 0.0, radius = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == i)
+        diag = vals[k];
+      else
+        radius += std::abs(vals[k]);
+    }
+    const real_t lo = diag - radius, hi = diag + radius;
+    if (first) {
+      iv = {lo, hi};
+      first = false;
+    } else {
+      iv.lo = std::min(iv.lo, lo);
+      iv.hi = std::max(iv.hi, hi);
+    }
+  }
+  return iv;
+}
+
+real_t power_method_rho(const CsrMatrix& a, int iters, std::uint64_t seed) {
+  PFEM_CHECK(a.rows() == a.cols());
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  if (n == 0) return 0.0;
+  Rng rng(seed);
+  Vector x(n), y(n);
+  for (real_t& v : x) v = rng.normal();
+  real_t norm = la::nrm2(x);
+  PFEM_CHECK(norm > 0.0);
+  la::scal(1.0 / norm, x);
+  real_t lambda = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    a.spmv(x, y);
+    lambda = la::nrm2(y);
+    if (lambda == 0.0) return 0.0;
+    la::scal(1.0 / lambda, y);
+    std::swap(x, y);
+  }
+  return lambda;
+}
+
+}  // namespace pfem::sparse

@@ -1,0 +1,33 @@
+// Gershgorin spectrum bounds (Theorem 1 of the paper).
+//
+// These power the norm-1 diagonal scaling argument: for the scaled matrix
+// A = D K D with d_i = 1/sqrt(||k_i||_1), every Gershgorin disc lies in
+// [-1, 1], and for an SPD K the spectrum lands in (0, 1) — which is why
+// the polynomial preconditioner can always be built on Θ = (0, 1).
+#pragma once
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace pfem::sparse {
+
+/// Closed interval.
+struct Interval {
+  real_t lo;
+  real_t hi;
+};
+
+/// Upper bound on the largest eigenvalue: max_i ||k_i||_1 (Theorem 1).
+[[nodiscard]] real_t gershgorin_lambda_max_bound(const CsrMatrix& a);
+
+/// Full Gershgorin enclosure [min_i (a_ii - r_i), max_i (a_ii + r_i)]
+/// where r_i is the off-diagonal absolute row sum.
+[[nodiscard]] Interval gershgorin_interval(const CsrMatrix& a);
+
+/// Power iteration estimate of the spectral radius; used in tests to
+/// verify that scaling really maps sigma(A) into (0,1) and that
+/// rho(I - A) < 1 holds for the Neumann series.
+[[nodiscard]] real_t power_method_rho(const CsrMatrix& a, int iters = 200,
+                                      std::uint64_t seed = 42);
+
+}  // namespace pfem::sparse

@@ -1,0 +1,82 @@
+#include "sparse/ilu0.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pfem::sparse {
+
+Ilu0::Ilu0(const CsrMatrix& a, real_t pivot_tol) : lu_(a) {
+  PFEM_CHECK(a.rows() == a.cols());
+  const index_t n = lu_.rows();
+  const auto row_ptr = lu_.row_ptr();
+  const auto col_idx = lu_.col_idx();
+  auto values = lu_.values();
+
+  diag_pos_.assign(static_cast<std::size_t>(n), -1);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
+      if (col_idx[k] == i) diag_pos_[i] = k;
+    PFEM_CHECK_MSG(diag_pos_[i] >= 0,
+                   "ILU(0): missing diagonal entry in row " << i);
+  }
+
+  // IKJ-variant in-place factorization restricted to the pattern of A.
+  // Scratch map: column -> position in current row (or -1).
+  IndexVector pos(static_cast<std::size_t>(n), -1);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
+      pos[col_idx[k]] = k;
+
+    for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const index_t j = col_idx[k];
+      if (j >= i) break;  // only the strictly-lower part is eliminated
+      const real_t piv = values[diag_pos_[j]];
+      PFEM_CHECK_MSG(std::abs(piv) > pivot_tol,
+                     "ILU(0): zero pivot at row "
+                         << j << " (singular local matrix — e.g. floating "
+                            "subdomain without Dirichlet dofs)");
+      const real_t lij = values[k] / piv;
+      values[k] = lij;
+      // Subtract lij * U(j, j+1:) restricted to the pattern of row i.
+      for (index_t kk = diag_pos_[j] + 1; kk < row_ptr[j + 1]; ++kk) {
+        const index_t p = pos[col_idx[kk]];
+        if (p >= 0) values[p] -= lij * values[kk];
+      }
+    }
+    PFEM_CHECK_MSG(std::abs(values[diag_pos_[i]]) > pivot_tol,
+                   "ILU(0): zero pivot at row "
+                       << i << " (singular local matrix — e.g. floating "
+                          "subdomain without Dirichlet dofs)");
+
+    for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
+      pos[col_idx[k]] = -1;
+  }
+}
+
+void Ilu0::solve(std::span<const real_t> v, std::span<real_t> z) const {
+  const index_t n = lu_.rows();
+  PFEM_CHECK(v.size() == static_cast<std::size_t>(n));
+  PFEM_CHECK(z.size() == static_cast<std::size_t>(n));
+  const auto row_ptr = lu_.row_ptr();
+  const auto col_idx = lu_.col_idx();
+  const auto values = lu_.values();
+
+  // Forward: L y = v (unit diagonal).
+  for (index_t i = 0; i < n; ++i) {
+    real_t s = v[i];
+    for (index_t k = row_ptr[i]; k < diag_pos_[i]; ++k)
+      s -= values[k] * z[col_idx[k]];
+    z[i] = s;
+  }
+  // Backward: U z = y.
+  for (index_t i = n - 1; i >= 0; --i) {
+    real_t s = z[i];
+    for (index_t k = diag_pos_[i] + 1; k < row_ptr[i + 1]; ++k)
+      s -= values[k] * z[col_idx[k]];
+    z[i] = s / values[diag_pos_[i]];
+  }
+}
+
+}  // namespace pfem::sparse

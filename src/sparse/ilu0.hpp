@@ -1,0 +1,41 @@
+// ILU(0) — incomplete LU with zero fill-in (paper's sequential baseline).
+//
+// The paper compares polynomial preconditioning against ILU(0) (Figs. 11,
+// 12) and argues that in the EDD setting local ILU(0) can fail outright:
+// a "floating" subdomain (no Dirichlet dofs) has a singular local
+// stiffness and the factorization hits a zero pivot (§3.2.3, Eq. 45).
+// That failure mode is surfaced here as a pfem::Error carrying the pivot
+// row, and is exercised directly by tests/bench.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace pfem::sparse {
+
+/// ILU(0) factorization on the sparsity pattern of A.
+class Ilu0 {
+ public:
+  /// Factor A ≈ L U with no fill-in.  Throws pfem::Error on a zero (or
+  /// numerically tiny) pivot — e.g. a floating-subdomain local matrix.
+  explicit Ilu0(const CsrMatrix& a, real_t pivot_tol = 1e-14);
+
+  /// z <- (LU)^{-1} v  (forward + backward substitution).
+  void solve(std::span<const real_t> v, std::span<real_t> z) const;
+
+  /// Combined factor (unit lower L strictly below diagonal, U on/above).
+  [[nodiscard]] const CsrMatrix& factors() const noexcept { return lu_; }
+
+  /// Flops of one solve: ~2*nnz.
+  [[nodiscard]] std::uint64_t solve_flops() const {
+    return 2ull * static_cast<std::uint64_t>(lu_.nnz());
+  }
+
+ private:
+  CsrMatrix lu_;
+  IndexVector diag_pos_;  // index of the diagonal entry within each row
+};
+
+}  // namespace pfem::sparse

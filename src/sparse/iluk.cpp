@@ -1,0 +1,61 @@
+#include "sparse/iluk.hpp"
+
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+
+namespace pfem::sparse {
+
+CsrMatrix iluk_pattern(const CsrMatrix& a, int level) {
+  PFEM_CHECK(a.rows() == a.cols());
+  PFEM_CHECK(level >= 0);
+  if (level == 0) return a;
+  const index_t n = a.rows();
+
+  // Per processed row: the upper-triangular part (col > row) with its
+  // fill level, needed when later rows eliminate against this row.
+  std::vector<std::vector<std::pair<index_t, int>>> upper(
+      static_cast<std::size_t>(n));
+
+  CooBuilder coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    // Working pattern of row i: col -> level.
+    std::map<index_t, int> row;
+    {
+      const auto cols = a.row_cols(i);
+      for (index_t c : cols) row[c] = 0;
+    }
+    // Walk the strictly-lower entries in ascending column order; fills
+    // insert only columns greater than the pivot, so forward iteration
+    // over the map stays valid.
+    for (auto it = row.begin(); it != row.end() && it->first < i; ++it) {
+      const index_t k = it->first;
+      const int lev_ik = it->second;
+      if (lev_ik >= level) continue;  // cannot spawn fill <= level
+      for (const auto& [j, lev_kj] : upper[static_cast<std::size_t>(k)]) {
+        const int lev = lev_ik + lev_kj + 1;
+        if (lev > level) continue;
+        const auto ins = row.emplace(j, lev);
+        if (!ins.second && ins.first->second > lev)
+          ins.first->second = lev;
+      }
+    }
+    // Emit the pattern (original values, 0 for fill) and record the
+    // upper part for later rows.
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    std::size_t p = 0;
+    for (const auto& [c, lev] : row) {
+      real_t v = 0.0;
+      while (p < cols.size() && cols[p] < c) ++p;
+      if (p < cols.size() && cols[p] == c) v = vals[p];
+      coo.add(i, c, v);
+      if (c > i) upper[static_cast<std::size_t>(i)].emplace_back(c, lev);
+    }
+  }
+  return coo.build();
+}
+
+}  // namespace pfem::sparse

@@ -1,0 +1,78 @@
+#include "sparse/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+
+namespace pfem::sparse {
+
+void write_matrix_market(std::ostream& os, const CsrMatrix& a) {
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << a.rows() << " " << a.cols() << " " << a.nnz() << "\n";
+  os << std::setprecision(17);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      os << i + 1 << " " << cols[k] + 1 << " " << vals[k] << "\n";
+  }
+}
+
+void write_matrix_market(const std::string& path, const CsrMatrix& a) {
+  std::ofstream os(path);
+  PFEM_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_matrix_market(os, a);
+}
+
+CsrMatrix read_matrix_market(std::istream& is) {
+  std::string line;
+  PFEM_CHECK_MSG(std::getline(is, line), "empty MatrixMarket stream");
+  std::string lower = line;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  PFEM_CHECK_MSG(lower.rfind("%%matrixmarket", 0) == 0,
+                 "missing MatrixMarket banner");
+  PFEM_CHECK_MSG(lower.find("coordinate") != std::string::npos,
+                 "only coordinate format is supported");
+  PFEM_CHECK_MSG(lower.find("real") != std::string::npos ||
+                     lower.find("integer") != std::string::npos,
+                 "only real/integer fields are supported");
+  const bool symmetric = lower.find("symmetric") != std::string::npos;
+
+  // Skip comments.
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream hdr(line);
+  index_t rows = 0, cols = 0;
+  long long nnz = 0;
+  PFEM_CHECK_MSG(static_cast<bool>(hdr >> rows >> cols >> nnz),
+                 "malformed size line");
+
+  CooBuilder coo(rows, cols);
+  coo.reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
+  for (long long k = 0; k < nnz; ++k) {
+    index_t i = 0, j = 0;
+    real_t v = 0.0;
+    PFEM_CHECK_MSG(static_cast<bool>(is >> i >> j >> v),
+                   "truncated MatrixMarket data at entry " << k);
+    PFEM_CHECK_MSG(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                   "out-of-range MatrixMarket index at entry " << k);
+    coo.add(i - 1, j - 1, v);
+    if (symmetric && i != j) coo.add(j - 1, i - 1, v);
+  }
+  return coo.build();
+}
+
+CsrMatrix read_matrix_market(const std::string& path) {
+  std::ifstream is(path);
+  PFEM_CHECK_MSG(is.good(), "cannot open " << path << " for reading");
+  return read_matrix_market(is);
+}
+
+}  // namespace pfem::sparse

@@ -1,0 +1,24 @@
+// MatrixMarket coordinate I/O.
+//
+// Lets users feed external systems into the solver stack and lets the
+// examples dump assembled FE matrices for inspection with standard tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace pfem::sparse {
+
+/// Write A in MatrixMarket coordinate format ("%%MatrixMarket matrix
+/// coordinate real general").
+void write_matrix_market(std::ostream& os, const CsrMatrix& a);
+void write_matrix_market(const std::string& path, const CsrMatrix& a);
+
+/// Read a MatrixMarket coordinate file (real, general or symmetric —
+/// symmetric storage is expanded).  Throws pfem::Error on malformed input.
+[[nodiscard]] CsrMatrix read_matrix_market(std::istream& is);
+[[nodiscard]] CsrMatrix read_matrix_market(const std::string& path);
+
+}  // namespace pfem::sparse

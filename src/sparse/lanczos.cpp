@@ -1,0 +1,74 @@
+#include "sparse/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/dense.hpp"
+#include "la/vector_ops.hpp"
+
+namespace pfem::sparse {
+
+LanczosResult lanczos(const CsrMatrix& a, int k, std::uint64_t seed) {
+  PFEM_CHECK(a.rows() == a.cols());
+  PFEM_CHECK(k >= 1);
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  k = std::min<int>(k, a.rows());
+
+  Rng rng(seed);
+  std::vector<Vector> q;  // full re-orthogonalization basis
+  q.reserve(static_cast<std::size_t>(k));
+  Vector v(n);
+  for (real_t& x : v) x = rng.normal();
+  la::scal(1.0 / la::nrm2(v), v);
+  q.push_back(v);
+
+  LanczosResult res;
+  Vector w(n);
+  real_t beta_prev = 0.0;
+  for (int j = 0; j < k; ++j) {
+    a.spmv(q.back(), w);
+    if (j > 0) la::axpy(-beta_prev, q[static_cast<std::size_t>(j) - 1], w);
+    const real_t alpha = la::dot(w, q.back());
+    la::axpy(-alpha, q.back(), w);
+    // Full re-orthogonalization against the whole basis.
+    for (const Vector& qi : q) la::axpy(-la::dot(w, qi), qi, w);
+    res.alphas.push_back(alpha);
+    ++res.steps;
+    const real_t beta = la::nrm2(w);
+    if (j + 1 == k || beta < 1e-12 * std::abs(alpha) || beta == 0.0)
+      break;  // done or invariant subspace found
+    res.betas.push_back(beta);
+    beta_prev = beta;
+    la::scal(1.0 / beta, w);
+    q.push_back(w);
+  }
+
+  // Ritz values = eigenvalues of the tridiagonal T.
+  const index_t ts = as_index(res.alphas.size());
+  la::DenseMatrix t(ts, ts);
+  for (index_t i = 0; i < ts; ++i) {
+    t(i, i) = res.alphas[static_cast<std::size_t>(i)];
+    if (i + 1 < ts) {
+      t(i, i + 1) = res.betas[static_cast<std::size_t>(i)];
+      t(i + 1, i) = res.betas[static_cast<std::size_t>(i)];
+    }
+  }
+  res.ritz_values = la::symmetric_eigenvalues(std::move(t));
+  return res;
+}
+
+Interval estimate_spectrum(const CsrMatrix& a, int steps, real_t safety,
+                           std::uint64_t seed) {
+  PFEM_CHECK(safety >= 1.0);
+  const LanczosResult res = lanczos(a, steps, seed);
+  PFEM_CHECK(!res.ritz_values.empty());
+  real_t lo = res.ritz_values.front() / safety;
+  real_t hi = res.ritz_values.back() * safety;
+  if (lo <= 0.0)
+    lo = std::max(res.ritz_values.front(), real_t(0)) + 1e-12;
+  return Interval{lo, hi};
+}
+
+}  // namespace pfem::sparse

@@ -1,0 +1,88 @@
+#include "sparse/rcm.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+
+namespace pfem::sparse {
+
+IndexVector rcm_ordering(const CsrMatrix& a) {
+  PFEM_CHECK(a.rows() == a.cols());
+  const index_t n = a.rows();
+  IndexVector degree(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    degree[static_cast<std::size_t>(i)] = as_index(a.row_cols(i).size());
+
+  IndexVector order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  IndexVector nbrs;
+
+  while (as_index(order.size()) < n) {
+    // Seed: unvisited vertex of minimum degree (pseudo-peripheral).
+    index_t seed = -1;
+    for (index_t i = 0; i < n; ++i) {
+      if (visited[static_cast<std::size_t>(i)]) continue;
+      if (seed < 0 || degree[static_cast<std::size_t>(i)] <
+                          degree[static_cast<std::size_t>(seed)])
+        seed = i;
+    }
+    std::deque<index_t> queue{seed};
+    visited[static_cast<std::size_t>(seed)] = true;
+    while (!queue.empty()) {
+      const index_t v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      nbrs.clear();
+      for (index_t u : a.row_cols(v))
+        if (u != v && !visited[static_cast<std::size_t>(u)]) {
+          nbrs.push_back(u);
+          visited[static_cast<std::size_t>(u)] = true;
+        }
+      std::sort(nbrs.begin(), nbrs.end(), [&](index_t x, index_t y) {
+        return degree[static_cast<std::size_t>(x)] <
+               degree[static_cast<std::size_t>(y)];
+      });
+      for (index_t u : nbrs) queue.push_back(u);
+    }
+  }
+  std::reverse(order.begin(), order.end());  // the "reverse" in RCM
+  return order;
+}
+
+CsrMatrix permute_symmetric(const CsrMatrix& a, const IndexVector& order) {
+  PFEM_CHECK(a.rows() == a.cols());
+  PFEM_CHECK(order.size() == static_cast<std::size_t>(a.rows()));
+  const index_t n = a.rows();
+  IndexVector inv(static_cast<std::size_t>(n), -1);
+  for (index_t k = 0; k < n; ++k) {
+    PFEM_CHECK(order[static_cast<std::size_t>(k)] >= 0 &&
+               order[static_cast<std::size_t>(k)] < n);
+    PFEM_CHECK_MSG(inv[static_cast<std::size_t>(
+                       order[static_cast<std::size_t>(k)])] == -1,
+                   "order is not a permutation");
+    inv[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = k;
+  }
+  CooBuilder coo(n, n);
+  coo.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t k = 0; k < n; ++k) {
+    const index_t i = order[static_cast<std::size_t>(k)];
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t t = 0; t < cols.size(); ++t)
+      coo.add(k, inv[static_cast<std::size_t>(cols[t])], vals[t]);
+  }
+  return coo.build();
+}
+
+index_t bandwidth(const CsrMatrix& a) {
+  index_t bw = 0;
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j : a.row_cols(i))
+      bw = std::max(bw, j > i ? j - i : i - j);
+  return bw;
+}
+
+}  // namespace pfem::sparse

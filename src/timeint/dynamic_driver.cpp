@@ -1,0 +1,118 @@
+#include "timeint/dynamic_driver.hpp"
+
+#include "common/error.hpp"
+#include "core/diag_scaling.hpp"
+#include "fem/assembly.hpp"
+#include "la/vector_ops.hpp"
+
+namespace pfem::timeint {
+
+namespace {
+
+/// Initial acceleration: M a0 = f - K u0 (u0 = 0 here), solved with
+/// Jacobi-FGMRES — M is well conditioned, this converges in a few steps.
+Vector initial_acceleration(const sparse::CsrMatrix& m,
+                            std::span<const real_t> f) {
+  Vector a(f.size(), 0.0);
+  core::JacobiPrecond jacobi(m);
+  core::SolveOptions opts;
+  opts.tol = 1e-10;
+  const core::SolveResult res = core::fgmres(m, f, a, jacobi, opts);
+  PFEM_CHECK_MSG(res.converged, "initial-acceleration solve failed");
+  return a;
+}
+
+}  // namespace
+
+DynamicRunResult run_dynamic_sequential(const sparse::CsrMatrix& k,
+                                        const sparse::CsrMatrix& m,
+                                        std::span<const real_t> f,
+                                        const DynamicRunOptions& opts,
+                                        const PrecondFactory& make_precond) {
+  PFEM_CHECK(opts.steps >= 1);
+  const std::size_t n = f.size();
+  const Newmark nm(k, m, opts.newmark);
+
+  // Scale the (step-invariant) effective matrix once; per step only the
+  // rhs changes.
+  Vector zero(n, 0.0);
+  core::ScaledSystem scaled = core::scale_system(nm.k_eff(), zero);
+  std::unique_ptr<core::Preconditioner> precond = make_precond(scaled.a);
+  PFEM_CHECK(precond != nullptr);
+
+  DynamicRunResult result;
+  Vector u(n, 0.0), v(n, 0.0);
+  Vector a = initial_acceleration(m, f);
+
+  Vector x(n), b(n);
+  for (index_t step = 0; step < opts.steps; ++step) {
+    const Vector rhs = nm.effective_rhs(u, v, a, f);
+    for (std::size_t i = 0; i < n; ++i) b[i] = scaled.d[i] * rhs[i];
+    la::fill(x, 0.0);
+    const core::SolveResult sr =
+        core::fgmres(scaled.a, b, x, *precond, opts.solve);
+    result.all_converged = result.all_converged && sr.converged;
+    result.iterations_per_step.push_back(sr.iterations);
+    result.total_iterations += sr.iterations;
+    if (step == 0) result.first_step_history = sr.history;
+
+    const Vector u_new = scaled.unscale(x);
+    nm.advance(u_new, u, v, a);
+  }
+  result.u_final = std::move(u);
+  return result;
+}
+
+EddDynamicResult run_dynamic_edd(const fem::Mesh& mesh,
+                                 const fem::DofMap& dofs,
+                                 const fem::Material& mat,
+                                 const partition::EddPartition& part,
+                                 std::span<const real_t> f,
+                                 const DynamicRunOptions& opts,
+                                 const core::PolySpec& poly,
+                                 core::EddVariant variant) {
+  PFEM_CHECK(opts.steps >= 1);
+  const std::size_t n = f.size();
+  PFEM_CHECK(n == static_cast<std::size_t>(part.n_global));
+
+  // Global operators for the (sequential) Newmark bookkeeping.
+  const sparse::CsrMatrix k = fem::assemble(mesh, dofs, mat,
+                                            fem::Operator::Stiffness);
+  const sparse::CsrMatrix m = fem::assemble(mesh, dofs, mat,
+                                            fem::Operator::Mass);
+  const Newmark nm(k, m, opts.newmark);
+
+  // Per-subdomain effective matrices: K̂_loc + a0·M̂_loc.
+  std::vector<sparse::CsrMatrix> k_eff_loc;
+  k_eff_loc.reserve(part.subs.size());
+  for (int s = 0; s < part.nparts(); ++s) {
+    sparse::CsrMatrix ke = part.subs[static_cast<std::size_t>(s)].k_loc;
+    const sparse::CsrMatrix ml = partition::assemble_edd_local(
+        mesh, dofs, mat, fem::Operator::Mass, part, s);
+    ke.add_same_pattern(ml, nm.a0());
+    k_eff_loc.push_back(std::move(ke));
+  }
+
+  EddDynamicResult result;
+  result.rank_counters_total.resize(part.subs.size());
+  Vector u(n, 0.0), v(n, 0.0);
+  Vector a = initial_acceleration(m, f);
+
+  for (index_t step = 0; step < opts.steps; ++step) {
+    const Vector rhs = nm.effective_rhs(u, v, a, f);
+    const core::DistSolveResult sr = core::solve_edd(
+        part, rhs, poly, opts.solve, variant, &k_eff_loc);
+    result.all_converged = result.all_converged && sr.converged;
+    result.iterations_per_step.push_back(sr.iterations);
+    result.total_iterations += sr.iterations;
+    if (step == 0) result.first_step_history = sr.history;
+    for (std::size_t r = 0; r < sr.rank_counters.size(); ++r)
+      result.rank_counters_total[r] += sr.rank_counters[r];
+
+    nm.advance(sr.x, u, v, a);
+  }
+  result.u_final = std::move(u);
+  return result;
+}
+
+}  // namespace pfem::timeint

@@ -1,0 +1,59 @@
+// Elastodynamics solve drivers: march Newmark steps and record the
+// iterative-solver behaviour per step — the paper's "dynamic analysis"
+// experiments (Figs. 12/14 and the dynamic columns of the speedup
+// studies).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/edd_solver.hpp"
+#include "core/fgmres.hpp"
+#include "core/precond.hpp"
+#include "fem/problems.hpp"
+#include "partition/edd.hpp"
+#include "timeint/newmark.hpp"
+
+namespace pfem::timeint {
+
+struct DynamicRunOptions {
+  NewmarkOptions newmark;
+  index_t steps = 5;
+  core::SolveOptions solve;
+};
+
+struct DynamicRunResult {
+  std::vector<index_t> iterations_per_step;
+  index_t total_iterations = 0;
+  std::vector<real_t> first_step_history;  ///< residual history, step 1
+  Vector u_final;
+  bool all_converged = true;
+};
+
+/// Builds the preconditioner for the *scaled* effective matrix once per
+/// run (the effective matrix is constant over steps).
+using PrecondFactory = std::function<std::unique_ptr<core::Preconditioner>(
+    const sparse::CsrMatrix& a_scaled)>;
+
+/// Sequential dynamic run: constant load f, homogeneous initial
+/// conditions, initial acceleration from M a₀ = f − K u₀.
+[[nodiscard]] DynamicRunResult run_dynamic_sequential(
+    const sparse::CsrMatrix& k, const sparse::CsrMatrix& m,
+    std::span<const real_t> f, const DynamicRunOptions& opts,
+    const PrecondFactory& make_precond);
+
+struct EddDynamicResult : DynamicRunResult {
+  /// Element-wise per-rank counters summed over all steps' solves.
+  std::vector<par::PerfCounters> rank_counters_total;
+};
+
+/// EDD dynamic run: per-subdomain effective matrices
+/// K̂_eff = K̂_loc + a0·M̂_loc (same sub-assembly layout; never merged
+/// across interfaces), each step solved by the parallel EDD-FGMRES.
+[[nodiscard]] EddDynamicResult run_dynamic_edd(
+    const fem::Mesh& mesh, const fem::DofMap& dofs, const fem::Material& mat,
+    const partition::EddPartition& part, std::span<const real_t> f,
+    const DynamicRunOptions& opts, const core::PolySpec& poly,
+    core::EddVariant variant = core::EddVariant::Enhanced);
+
+}  // namespace pfem::timeint

@@ -1,0 +1,65 @@
+#include "timeint/newmark.hpp"
+
+#include "common/error.hpp"
+
+namespace pfem::timeint {
+
+Newmark::Newmark(const sparse::CsrMatrix& k, const sparse::CsrMatrix& m,
+                 const NewmarkOptions& opts)
+    : opts_(opts), m_(m), k_eff_(k) {
+  PFEM_CHECK(opts.beta > 0.0 && opts.gamma > 0.0 && opts.dt > 0.0);
+  PFEM_CHECK(opts.rayleigh_alpha >= 0.0 && opts.rayleigh_beta >= 0.0);
+  const real_t dt = opts.dt, beta = opts.beta, gamma = opts.gamma;
+  a0_ = 1.0 / (beta * dt * dt);
+  a1_ = gamma / (beta * dt);
+  a2_ = 1.0 / (beta * dt);
+  a3_ = 1.0 / (2.0 * beta) - 1.0;
+  a4_ = gamma / beta - 1.0;
+  a5_ = 0.5 * dt * (gamma / beta - 2.0);
+  a6_ = dt * (1.0 - gamma);
+  a7_ = gamma * dt;
+  k_eff_.add_same_pattern(m, a0_);  // K_eff = K + a0*M (Eq. 52)
+
+  damped_ = opts.rayleigh_alpha > 0.0 || opts.rayleigh_beta > 0.0;
+  if (damped_) {
+    // Rayleigh damping C = alpha*M + beta_r*K (same sparsity as K, M).
+    damping_ = k;
+    auto vals = damping_.values();
+    for (real_t& v : vals) v *= opts.rayleigh_beta;
+    damping_.add_same_pattern(m, opts.rayleigh_alpha);
+    k_eff_.add_same_pattern(damping_, a1_);  // + a1*C
+  }
+}
+
+Vector Newmark::effective_rhs(std::span<const real_t> u,
+                              std::span<const real_t> v,
+                              std::span<const real_t> a,
+                              std::span<const real_t> f_next) const {
+  const std::size_t n = u.size();
+  PFEM_CHECK(v.size() == n && a.size() == n && f_next.size() == n);
+  Vector tmp(n), rhs(n);
+  for (std::size_t i = 0; i < n; ++i)
+    tmp[i] = a0_ * u[i] + a2_ * v[i] + a3_ * a[i];
+  m_.spmv(tmp, rhs);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] += f_next[i];
+  if (damped_) {
+    for (std::size_t i = 0; i < n; ++i)
+      tmp[i] = a1_ * u[i] + a4_ * v[i] + a5_ * a[i];
+    damping_.spmv_add(tmp, rhs);
+  }
+  return rhs;
+}
+
+void Newmark::advance(std::span<const real_t> u_new, std::span<real_t> u,
+                      std::span<real_t> v, std::span<real_t> a) const {
+  const std::size_t n = u_new.size();
+  PFEM_CHECK(u.size() == n && v.size() == n && a.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const real_t a_new = a0_ * (u_new[i] - u[i]) - a2_ * v[i] - a3_ * a[i];
+    v[i] = v[i] + a6_ * a[i] + a7_ * a_new;
+    a[i] = a_new;
+    u[i] = u_new[i];
+  }
+}
+
+}  // namespace pfem::timeint

@@ -1,0 +1,235 @@
+#include "timeint/nonlinear_driver.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/diag_scaling.hpp"
+#include "core/precond.hpp"
+#include "fem/assembly.hpp"
+#include "fem/elements.hpp"
+#include "fem/stress.hpp"
+#include "la/vector_ops.hpp"
+#include "sparse/coo.hpp"
+
+namespace pfem::timeint {
+
+namespace {
+
+/// Equivalent centroid strain of element e for displacement u.
+real_t equivalent_strain(const fem::Mesh& mesh, const fem::DofMap& dofs,
+                         index_t e, std::span<const real_t> u) {
+  // Reuse the stress-recovery strain path by computing strains from the
+  // element kinematics directly.
+  const IndexVector gd = fem::element_dofs(mesh, dofs, e);
+  Vector ue(gd.size(), 0.0);
+  for (std::size_t k = 0; k < gd.size(); ++k)
+    if (gd[k] >= 0) ue[k] = u[static_cast<std::size_t>(gd[k])];
+
+  const auto nodes = mesh.elem_nodes(e);
+  Vector eps;
+  switch (mesh.type()) {
+    case fem::ElemType::Quad4: {
+      fem::QuadCoords xy{};
+      for (int i = 0; i < 4; ++i) {
+        xy[2 * i] = mesh.x(nodes[i]);
+        xy[2 * i + 1] = mesh.y(nodes[i]);
+      }
+      eps = fem::quad4_centroid_strain(xy, ue);
+      break;
+    }
+    case fem::ElemType::Tri3: {
+      fem::TriCoords xy{};
+      for (int i = 0; i < 3; ++i) {
+        xy[2 * i] = mesh.x(nodes[i]);
+        xy[2 * i + 1] = mesh.y(nodes[i]);
+      }
+      eps = fem::tri3_centroid_strain(xy, ue);
+      break;
+    }
+    case fem::ElemType::Quad8: {
+      fem::Quad8Coords xy{};
+      for (int i = 0; i < 8; ++i) {
+        xy[2 * i] = mesh.x(nodes[i]);
+        xy[2 * i + 1] = mesh.y(nodes[i]);
+      }
+      eps = fem::quad8_centroid_strain(xy, ue);
+      break;
+    }
+    case fem::ElemType::Hex8: {
+      fem::HexCoords xyz{};
+      for (int i = 0; i < 8; ++i) {
+        xyz[3 * i] = mesh.x(nodes[i]);
+        xyz[3 * i + 1] = mesh.y(nodes[i]);
+        xyz[3 * i + 2] = mesh.z(nodes[i]);
+      }
+      const Vector e6 = fem::hex8_centroid_strain(xyz, ue);
+      return std::sqrt(e6[0] * e6[0] + e6[1] * e6[1] + e6[2] * e6[2] +
+                       0.5 * (e6[3] * e6[3] + e6[4] * e6[4] +
+                              e6[5] * e6[5]));
+    }
+  }
+  return std::sqrt(eps[0] * eps[0] + eps[1] * eps[1] +
+                   0.5 * eps[2] * eps[2]);
+}
+
+/// Assemble Σ f_e · Ke over all elements in the global numbering.
+sparse::CsrMatrix assemble_scaled(const fem::Mesh& mesh,
+                                  const fem::DofMap& dofs,
+                                  const fem::Material& mat,
+                                  std::span<const real_t> factors) {
+  const index_t n = dofs.num_free();
+  sparse::CooBuilder coo(n, n);
+  for (index_t e = 0; e < mesh.num_elems(); ++e) {
+    const la::DenseMatrix ke =
+        fem::element_matrix(mesh, mat, fem::Operator::Stiffness, e);
+    const IndexVector gd = fem::element_dofs(mesh, dofs, e);
+    const real_t fe = factors[static_cast<std::size_t>(e)];
+    for (std::size_t r = 0; r < gd.size(); ++r) {
+      if (gd[r] < 0) continue;
+      for (std::size_t c = 0; c < gd.size(); ++c) {
+        if (gd[c] < 0) continue;
+        coo.add(gd[r], gd[c],
+                fe * ke(as_index(r), as_index(c)));
+      }
+    }
+  }
+  return coo.build();
+}
+
+/// Assemble Σ f_e · Ke over a subdomain's elements in its local
+/// numbering (no interface merging — the EDD discipline).
+sparse::CsrMatrix assemble_scaled_local(const fem::Mesh& mesh,
+                                        const fem::DofMap& dofs,
+                                        const fem::Material& mat,
+                                        const partition::EddSubdomain& sub,
+                                        std::span<const real_t> factors,
+                                        const IndexVector& g2l) {
+  sparse::CooBuilder coo(sub.n_local(), sub.n_local());
+  for (index_t e : sub.elems) {
+    const la::DenseMatrix ke =
+        fem::element_matrix(mesh, mat, fem::Operator::Stiffness, e);
+    const IndexVector gd = fem::element_dofs(mesh, dofs, e);
+    const real_t fe = factors[static_cast<std::size_t>(e)];
+    for (std::size_t r = 0; r < gd.size(); ++r) {
+      if (gd[r] < 0) continue;
+      const index_t lr = g2l[static_cast<std::size_t>(gd[r])];
+      for (std::size_t c = 0; c < gd.size(); ++c) {
+        if (gd[c] < 0) continue;
+        const index_t lc = g2l[static_cast<std::size_t>(gd[c])];
+        coo.add(lr, lc, fe * ke(as_index(r), as_index(c)));
+      }
+    }
+  }
+  return coo.build();
+}
+
+}  // namespace
+
+Vector secant_factors(const fem::Mesh& mesh, const fem::DofMap& dofs,
+                      std::span<const real_t> u, real_t softening) {
+  Vector factors(static_cast<std::size_t>(mesh.num_elems()), 1.0);
+  if (softening == 0.0) return factors;
+  for (index_t e = 0; e < mesh.num_elems(); ++e) {
+    const real_t eq = equivalent_strain(mesh, dofs, e, u);
+    factors[static_cast<std::size_t>(e)] = 1.0 / (1.0 + softening * eq);
+  }
+  return factors;
+}
+
+NonlinearResult solve_nonlinear_sequential(const fem::Mesh& mesh,
+                                           const fem::DofMap& dofs,
+                                           const fem::Material& mat,
+                                           std::span<const real_t> f,
+                                           const NonlinearOptions& opts) {
+  PFEM_CHECK(opts.softening >= 0.0 && opts.max_picard >= 1);
+  const std::size_t n = f.size();
+  PFEM_CHECK(n == static_cast<std::size_t>(dofs.num_free()));
+
+  NonlinearResult result;
+  result.u.assign(n, 0.0);
+  Vector u_prev(n, 0.0);
+
+  for (int it = 0; it < opts.max_picard; ++it) {
+    const Vector factors =
+        secant_factors(mesh, dofs, result.u, opts.softening);
+    const sparse::CsrMatrix k = assemble_scaled(mesh, dofs, mat, factors);
+    const core::ScaledSystem s = core::scale_system(k, f);
+    core::Ilu0Precond precond(s.a);
+    Vector x(n, 0.0);
+    const core::SolveResult sr =
+        core::fgmres(s.a, s.b, x, precond, opts.solve);
+    PFEM_CHECK_MSG(sr.converged, "inner linear solve failed");
+    result.total_linear_iterations += sr.iterations;
+    la::copy(result.u, u_prev);
+    result.u = s.unscale(x);
+    ++result.picard_iterations;
+
+    real_t du = 0.0, scale = 1e-30;
+    for (std::size_t i = 0; i < n; ++i) {
+      du = std::max(du, std::abs(result.u[i] - u_prev[i]));
+      scale = std::max(scale, std::abs(result.u[i]));
+    }
+    result.picard_history.push_back(du / scale);
+    if (du <= opts.picard_tol * scale || opts.softening == 0.0) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+NonlinearResult solve_nonlinear_edd(const fem::Mesh& mesh,
+                                    const fem::DofMap& dofs,
+                                    const fem::Material& mat,
+                                    const partition::EddPartition& part,
+                                    std::span<const real_t> f,
+                                    const core::PolySpec& poly,
+                                    const NonlinearOptions& opts) {
+  PFEM_CHECK(opts.softening >= 0.0 && opts.max_picard >= 1);
+  const std::size_t n = f.size();
+  PFEM_CHECK(n == static_cast<std::size_t>(part.n_global));
+
+  // Per-subdomain global->local maps, built once.
+  std::vector<IndexVector> g2l(part.subs.size(),
+                               IndexVector(n, -1));
+  for (std::size_t s = 0; s < part.subs.size(); ++s)
+    for (std::size_t l = 0; l < part.subs[s].local_to_global.size(); ++l)
+      g2l[s][static_cast<std::size_t>(part.subs[s].local_to_global[l])] =
+          as_index(l);
+
+  NonlinearResult result;
+  result.u.assign(n, 0.0);
+  Vector u_prev(n, 0.0);
+
+  for (int it = 0; it < opts.max_picard; ++it) {
+    const Vector factors =
+        secant_factors(mesh, dofs, result.u, opts.softening);
+    std::vector<sparse::CsrMatrix> k_loc;
+    k_loc.reserve(part.subs.size());
+    for (std::size_t s = 0; s < part.subs.size(); ++s)
+      k_loc.push_back(assemble_scaled_local(mesh, dofs, mat, part.subs[s],
+                                            factors, g2l[s]));
+    const core::DistSolveResult sr =
+        core::solve_edd(part, f, poly, opts.solve,
+                        core::EddVariant::Enhanced, &k_loc);
+    PFEM_CHECK_MSG(sr.converged, "inner EDD solve failed");
+    result.total_linear_iterations += sr.iterations;
+    la::copy(result.u, u_prev);
+    result.u = sr.x;
+    ++result.picard_iterations;
+
+    real_t du = 0.0, scale = 1e-30;
+    for (std::size_t i = 0; i < n; ++i) {
+      du = std::max(du, std::abs(result.u[i] - u_prev[i]));
+      scale = std::max(scale, std::abs(result.u[i]));
+    }
+    result.picard_history.push_back(du / scale);
+    if (du <= opts.picard_tol * scale || opts.softening == 0.0) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace pfem::timeint

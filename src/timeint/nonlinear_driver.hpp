@@ -1,0 +1,60 @@
+// Quasi-static nonlinear driver (Picard / successive substitution).
+//
+// The paper scopes its solver to "linear/nonlinear, static or dynamic"
+// implicit FE computations (§2.1): in the nonlinear case each iteration
+// re-assembles a deformation-dependent stiffness and calls the same
+// preconditioned iterative solver.  This driver implements that loop for
+// a strain-softening secant material
+//
+//   E_e(u) = E0 / (1 + c · ε_eq(u_e)),   ε_eq = √(εxx² + εyy² + ½γxy²)
+//
+// evaluated at each element centroid (c = 0 recovers the linear
+// problem exactly).  Because Young's modulus scales the element
+// stiffness linearly, re-assembly is a cheap per-element rescale.
+// Both a sequential path and an EDD-parallel path (per-subdomain
+// re-assembly — still no interface merging) are provided.
+#pragma once
+
+#include "core/edd_solver.hpp"
+#include "core/fgmres.hpp"
+#include "fem/problems.hpp"
+#include "partition/edd.hpp"
+
+namespace pfem::timeint {
+
+struct NonlinearOptions {
+  real_t softening = 0.1;       ///< c; 0 = linear
+  int max_picard = 100;         ///< fixed-point iteration cap
+  real_t picard_tol = 1e-8;     ///< relative ‖u_{k+1} − u_k‖∞ target
+  core::SolveOptions solve;     ///< inner linear-solver settings
+};
+
+struct NonlinearResult {
+  Vector u;
+  bool converged = false;
+  int picard_iterations = 0;
+  index_t total_linear_iterations = 0;
+  std::vector<real_t> picard_history;  ///< relative update per iteration
+};
+
+/// Sequential Picard loop with an ILU(0)-preconditioned FGMRES inner
+/// solve on the scaled system.
+[[nodiscard]] NonlinearResult solve_nonlinear_sequential(
+    const fem::Mesh& mesh, const fem::DofMap& dofs, const fem::Material& mat,
+    std::span<const real_t> f, const NonlinearOptions& opts = {});
+
+/// EDD-parallel Picard loop: each iteration re-assembles the subdomain
+/// matrices from the current deformation and runs EDD-FGMRES.
+[[nodiscard]] NonlinearResult solve_nonlinear_edd(
+    const fem::Mesh& mesh, const fem::DofMap& dofs, const fem::Material& mat,
+    const partition::EddPartition& part, std::span<const real_t> f,
+    const core::PolySpec& poly, const NonlinearOptions& opts = {});
+
+/// The per-element secant factors E_e(u)/E0 for the current displacement
+/// (exposed for tests).
+[[nodiscard]] Vector secant_factors(const fem::Mesh& mesh,
+                                    const fem::DofMap& dofs,
+                                    std::span<const real_t> u,
+                                    real_t softening);
+
+}  // namespace pfem::timeint

@@ -1,0 +1,120 @@
+// Tests for Gershgorin spectrum bounds (Theorem 1) and ILU(0), including
+// the paper's floating-subdomain failure mode (§3.2.3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "fem/assembly.hpp"
+#include "fem/dofmap.hpp"
+#include "fem/structured.hpp"
+#include "la/vector_ops.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/gershgorin.hpp"
+#include "sparse/ilu0.hpp"
+
+namespace pfem::sparse {
+namespace {
+
+TEST(Gershgorin, LambdaMaxBoundHoldsForTridiag) {
+  const index_t n = 50;
+  const CsrMatrix a = tridiag(n, 2.0, -1.0);
+  const double lmax = 2.0 + 2.0 * std::cos(M_PI / static_cast<double>(n + 1));
+  const double bound = gershgorin_lambda_max_bound(a);
+  EXPECT_LE(lmax, bound);
+  EXPECT_DOUBLE_EQ(bound, 4.0);
+}
+
+TEST(Gershgorin, IntervalEnclosesSpectrum) {
+  const CsrMatrix a = tridiag(30, 2.0, -1.0);
+  const Interval iv = gershgorin_interval(a);
+  EXPECT_LE(iv.lo, 2.0 - 2.0 * std::cos(M_PI / 31.0));
+  EXPECT_GE(iv.hi, 2.0 + 2.0 * std::cos(M_PI / 31.0));
+  EXPECT_DOUBLE_EQ(iv.lo, 0.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 4.0);
+}
+
+TEST(Gershgorin, PowerMethodFindsSpectralRadius) {
+  const index_t n = 40;
+  const CsrMatrix a = tridiag(n, 2.0, -1.0);
+  const double lmax = 2.0 + 2.0 * std::cos(M_PI / static_cast<double>(n + 1));
+  EXPECT_NEAR(power_method_rho(a, 2000), lmax, 1e-6);
+}
+
+TEST(Ilu0, ExactForTridiagonal) {
+  // ILU(0) on a tridiagonal matrix incurs no fill, so LU is exact and a
+  // single solve gives the exact solution.
+  const index_t n = 25;
+  const CsrMatrix a = tridiag(n, 3.0, -1.0);
+  const Ilu0 ilu(a);
+  Vector b(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) b[i] = std::sin(0.3 * i + 1.0);
+  Vector x(static_cast<std::size_t>(n));
+  ilu.solve(b, x);
+  Vector check(static_cast<std::size_t>(n));
+  a.spmv(x, check);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(check[i], b[i], 1e-12);
+}
+
+TEST(Ilu0, RichardsonWithIluPreconditionerConverges) {
+  // For an M-matrix the ILU(0) splitting is convergent: the
+  // preconditioned Richardson iteration z += C(b − Az) contracts.
+  const CsrMatrix a = laplace2d(12, 12);
+  const Ilu0 ilu(a);
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  Vector b(n, 1.0), z(n, 0.0), r(n), dz(n);
+  real_t res0 = 0.0, res = 0.0;
+  for (int it = 0; it < 120; ++it) {
+    a.spmv(z, r);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    res = la::nrm2(r);
+    if (it == 0) res0 = res;
+    ilu.solve(r, dz);
+    la::axpy(1.0, dz, z);
+  }
+  EXPECT_LT(res, 1e-6 * res0);
+}
+
+TEST(Ilu0, ThrowsOnMissingDiagonal) {
+  CooBuilder coo(2, 2);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 0, 1.0);
+  const CsrMatrix a = coo.build();
+  EXPECT_THROW(Ilu0 ilu(a), Error);
+}
+
+TEST(Ilu0, FloatingSubdomainZeroPivot) {
+  // The paper's §3.2.3 failure mode: a subdomain stiffness with no
+  // Dirichlet support is singular (rigid-body modes).  On a one-element
+  // subdomain the pattern is dense, so ILU(0) is an exact LU and must
+  // hit a (numerically) zero pivot when eliminating into the rigid-body
+  // nullspace.
+  fem::Mesh mesh = fem::structured_quad(1, 1, 1.0, 1.0);
+  fem::DofMap dofs(mesh.num_nodes(), 2);
+  dofs.finalize();  // nothing fixed -> floating
+  fem::Material mat;
+  const CsrMatrix k = fem::assemble(mesh, dofs, mat,
+                                    fem::Operator::Stiffness);
+  EXPECT_THROW(Ilu0 ilu(k, /*pivot_tol=*/1e-8), Error);
+}
+
+TEST(Ilu0, ConstrainedSubdomainFactors) {
+  // Same mesh with one edge clamped factors fine.
+  fem::Mesh mesh = fem::structured_quad(2, 2, 2.0, 2.0);
+  fem::DofMap dofs(mesh.num_nodes(), 2);
+  for (index_t node : mesh.nodes_at_x(0.0)) dofs.fix_node(node);
+  dofs.finalize();
+  fem::Material mat;
+  const CsrMatrix k = fem::assemble(mesh, dofs, mat,
+                                    fem::Operator::Stiffness);
+  EXPECT_NO_THROW(Ilu0 ilu(k));
+}
+
+TEST(Ilu0, SolveFlopsPositive) {
+  const Ilu0 ilu(tridiag(10, 2.0, -1.0));
+  EXPECT_GT(ilu.solve_flops(), 0u);
+}
+
+}  // namespace
+}  // namespace pfem::sparse

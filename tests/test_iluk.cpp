@@ -1,0 +1,109 @@
+// ILU(k) level-of-fill tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/diag_scaling.hpp"
+#include "core/fgmres.hpp"
+#include "fem/problems.hpp"
+#include "la/vector_ops.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/iluk.hpp"
+
+namespace pfem::sparse {
+namespace {
+
+TEST(IlukPattern, LevelZeroIsIdentityTransformation) {
+  const CsrMatrix a = laplace2d(6, 5);
+  const CsrMatrix p = iluk_pattern(a, 0);
+  EXPECT_EQ(p.nnz(), a.nnz());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto ca = a.row_cols(i);
+    const auto cp = p.row_cols(i);
+    ASSERT_EQ(ca.size(), cp.size());
+    for (std::size_t k = 0; k < ca.size(); ++k) EXPECT_EQ(ca[k], cp[k]);
+  }
+}
+
+TEST(IlukPattern, FillGrowsMonotonicallyWithLevel) {
+  const CsrMatrix a = laplace2d(8, 8);
+  index_t prev = a.nnz();
+  for (int k : {1, 2, 3}) {
+    const index_t nnz = iluk_pattern(a, k).nnz();
+    EXPECT_GE(nnz, prev) << "level " << k;
+    prev = nnz;
+  }
+  // Laplacian fill is strict at level 1.
+  EXPECT_GT(iluk_pattern(a, 1).nnz(), a.nnz());
+}
+
+TEST(IlukPattern, PreservesOriginalValues) {
+  const CsrMatrix a = random_spd(30, 4, 0.2, 13);
+  const CsrMatrix p = iluk_pattern(a, 2);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      EXPECT_DOUBLE_EQ(p.at(i, cols[k]), vals[k]);
+  }
+}
+
+TEST(IlukPattern, TridiagonalGainsNoFill) {
+  // A tridiagonal matrix factors without fill at any level.
+  const CsrMatrix a = tridiag(20, 2.0, -1.0);
+  EXPECT_EQ(iluk_pattern(a, 3).nnz(), a.nnz());
+}
+
+TEST(Iluk, HighLevelOnBandedMatrixIsExact) {
+  // On a pentadiagonal band, enough fill levels give the complete LU:
+  // the solve is then exact.
+  const CsrMatrix a = laplace2d(2, 12);  // bandwidth 2 (nx = 2)
+  const IluK ilu(a, 4);
+  const index_t n = a.rows();
+  Vector b(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) b[i] = std::cos(0.3 * i);
+  Vector x(static_cast<std::size_t>(n));
+  ilu.solve(b, x);
+  Vector check(static_cast<std::size_t>(n));
+  a.spmv(x, check);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(check[i], b[i], 1e-10);
+}
+
+TEST(Iluk, HigherLevelReducesFgmresIterations) {
+  // Fig. 11's ILU family: ILU(1) must beat ILU(0) in iterations on the
+  // scaled cantilever system.
+  fem::CantileverSpec spec;
+  spec.nx = 20;
+  spec.ny = 10;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  const core::ScaledSystem s = core::scale_system(prob.stiffness, prob.load);
+  core::SolveOptions opts;
+  opts.tol = 1e-8;
+  opts.max_iters = 50000;
+
+  index_t prev = std::numeric_limits<index_t>::max();
+  for (int level : {0, 1, 2}) {
+    core::IlukPrecond p(s.a, level);
+    Vector x(s.b.size(), 0.0);
+    const core::SolveResult res = core::fgmres(s.a, s.b, x, p, opts);
+    ASSERT_TRUE(res.converged) << "ILU(" << level << ")";
+    EXPECT_LE(res.iterations, prev) << "ILU(" << level << ")";
+    prev = res.iterations;
+    EXPECT_EQ(p.name(), "ILU(" + std::to_string(level) + ")");
+  }
+}
+
+TEST(Iluk, SolutionMatchesIlu0PathAtLevelZero) {
+  const CsrMatrix a = random_spd(25, 3, 0.2, 31);
+  const IluK k0(a, 0);
+  const Ilu0 reference(a);
+  Vector v(25);
+  for (std::size_t i = 0; i < 25; ++i) v[i] = std::sin(double(i));
+  Vector z1(25), z2(25);
+  k0.solve(v, z1);
+  reference.solve(v, z2);
+  for (std::size_t i = 0; i < 25; ++i) EXPECT_DOUBLE_EQ(z1[i], z2[i]);
+}
+
+}  // namespace
+}  // namespace pfem::sparse

@@ -1,0 +1,240 @@
+// Unit tests for the dense linear algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/dense.hpp"
+#include "la/hessenberg_lsq.hpp"
+#include "la/vector_ops.hpp"
+
+namespace pfem::la {
+namespace {
+
+TEST(VectorOps, AxpyAndScal) {
+  Vector x{1.0, 2.0, 3.0};
+  Vector y{1.0, 1.0, 1.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+  scal(0.5, y);
+  EXPECT_DOUBLE_EQ(y[2], 3.5);
+}
+
+TEST(VectorOps, Axpby) {
+  Vector x{1.0, -1.0};
+  Vector y{2.0, 2.0};
+  axpby(3.0, x, -1.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], -5.0);
+}
+
+TEST(VectorOps, DotAndNorms) {
+  Vector x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(nrm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(nrm_inf(x), 4.0);
+}
+
+TEST(VectorOps, SubAndCopyAndFill) {
+  Vector x{5.0, 7.0}, y{1.0, 2.0}, z(2);
+  sub(x, y, z);
+  EXPECT_DOUBLE_EQ(z[0], 4.0);
+  EXPECT_DOUBLE_EQ(z[1], 5.0);
+  copy(z, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  fill(y, 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(VectorOps, FlopFormulas) {
+  EXPECT_EQ(flops::axpy(10), 20u);
+  EXPECT_EQ(flops::dot(10), 20u);
+  EXPECT_EQ(flops::scal(10), 10u);
+}
+
+TEST(DenseMatrix, MatvecAndTranspose) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Vector x{1.0, 1.0, 1.0}, y(2);
+  a.matvec(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+
+  Vector xt{1.0, 1.0}, yt(3);
+  a.matvec_transpose(xt, yt);
+  EXPECT_DOUBLE_EQ(yt[0], 5.0);
+  EXPECT_DOUBLE_EQ(yt[2], 9.0);
+
+  const DenseMatrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(DenseMatrix, Multiply) {
+  DenseMatrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const DenseMatrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  DenseMatrix a(3, 3);
+  // SPD: A = L L^T of L = [[2,0,0],[1,3,0],[0,1,1]].
+  const double l[3][3] = {{2, 0, 0}, {1, 3, 0}, {0, 1, 1}};
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) {
+      double s = 0;
+      for (int k = 0; k < 3; ++k) s += l[i][k] * l[j][k];
+      a(i, j) = s;
+    }
+  Vector b{1.0, 2.0, 3.0};
+  Vector x = b;
+  DenseMatrix acopy = a;
+  cholesky_solve(acopy, x);
+  Vector check(3);
+  a.matvec(x, check);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(check[i], b[i], 1e-12);
+}
+
+TEST(Cholesky, ThrowsOnIndefinite) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = -1;
+  Vector b{1.0, 1.0};
+  EXPECT_THROW(cholesky_solve(a, b), Error);
+}
+
+TEST(Lu, SolvesGeneralSystemWithPivoting) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 0;  // forces a pivot swap
+  a(0, 1) = 2;
+  a(0, 2) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 1;
+  a(1, 2) = 1;
+  a(2, 0) = 4;
+  a(2, 1) = -1;
+  a(2, 2) = 3;
+  const DenseMatrix orig = a;
+  Vector b{4.0, 3.0, 6.0};
+  Vector x = b;
+  lu_solve(a, x);
+  Vector check(3);
+  orig.matvec(x, check);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(check[i], b[i], 1e-12);
+}
+
+TEST(Lu, ThrowsOnSingular) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  Vector b{1.0, 2.0};
+  EXPECT_THROW(lu_solve(a, b), Error);
+}
+
+TEST(JacobiEig, DiagonalMatrixExact) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = -2.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 5.0;
+  const EigRange r = symmetric_eig_range(a);
+  EXPECT_NEAR(r.min, -2.0, 1e-12);
+  EXPECT_NEAR(r.max, 5.0, 1e-12);
+}
+
+TEST(JacobiEig, KnownSymmetricMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  const EigRange r = symmetric_eig_range(a);
+  EXPECT_NEAR(r.min, 1.0, 1e-10);
+  EXPECT_NEAR(r.max, 3.0, 1e-10);
+}
+
+TEST(HessenbergLsq, MatchesNormalEquationsSolution) {
+  // Hessenberg system from a fake 3-step Arnoldi; compare against the
+  // dense least-squares solution of min ||beta e1 - H y||.
+  const double beta = 2.0;
+  // Columns (each j+2 long).
+  const std::vector<Vector> cols = {
+      {1.0, 0.5}, {0.3, 1.2, 0.4}, {0.1, 0.7, 0.9, 0.2}};
+  HessenbergLsq lsq(3, beta);
+  double res = 0;
+  for (const auto& c : cols) res = lsq.push_column(c);
+  const Vector y = lsq.solve();
+  ASSERT_EQ(y.size(), 3u);
+
+  // Dense reference: H is 4x3, solve normal equations H^T H y = H^T b.
+  DenseMatrix h(4, 3);
+  for (int j = 0; j < 3; ++j)
+    for (std::size_t i = 0; i < cols[static_cast<std::size_t>(j)].size(); ++i)
+      h(static_cast<index_t>(i), j) = cols[static_cast<std::size_t>(j)][i];
+  Vector b{beta, 0.0, 0.0, 0.0};
+  DenseMatrix hth(3, 3);
+  Vector htb(3, 0.0);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double s = 0;
+      for (int k = 0; k < 4; ++k) s += h(k, i) * h(k, j);
+      hth(i, j) = s;
+    }
+    for (int k = 0; k < 4; ++k) htb[static_cast<std::size_t>(i)] += h(k, i) * b[static_cast<std::size_t>(k)];
+  }
+  cholesky_solve(hth, htb);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], htb[static_cast<std::size_t>(i)], 1e-10);
+
+  // Residual reported by the incremental QR equals the true residual.
+  Vector hy(4, 0.0);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 3; ++j)
+      hy[static_cast<std::size_t>(i)] += h(i, j) * htb[static_cast<std::size_t>(j)];
+  double true_res = 0;
+  for (int i = 0; i < 4; ++i) {
+    const double d = b[static_cast<std::size_t>(i)] - hy[static_cast<std::size_t>(i)];
+    true_res += d * d;
+  }
+  EXPECT_NEAR(res, std::sqrt(true_res), 1e-10);
+}
+
+TEST(HessenbergLsq, ResidualMonotoneNonIncreasing) {
+  HessenbergLsq lsq(4, 1.0);
+  double prev = 1.0;
+  const std::vector<Vector> cols = {
+      {0.9, 0.6}, {0.2, 0.8, 0.5}, {0.1, 0.3, 0.7, 0.4},
+      {0.05, 0.2, 0.3, 0.6, 0.3}};
+  for (const auto& c : cols) {
+    const double r = lsq.push_column(c);
+    EXPECT_LE(r, prev + 1e-14);
+    prev = r;
+  }
+}
+
+TEST(HessenbergLsq, CapacityEnforced) {
+  HessenbergLsq lsq(1, 1.0);
+  (void)lsq.push_column(Vector{1.0, 0.1});
+  EXPECT_THROW((void)lsq.push_column(Vector{0.1, 1.0, 0.1}), Error);
+}
+
+}  // namespace
+}  // namespace pfem::la

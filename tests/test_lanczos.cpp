@@ -1,0 +1,100 @@
+// Lanczos spectrum estimation tests and the adaptive-Θ workflow it
+// enables (the paper's Fig. 10 observation that a tighter Θ can beat the
+// always-valid (ε, 1) default).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/diag_scaling.hpp"
+#include "core/edd_solver.hpp"
+#include "exp/experiments.hpp"
+#include "fem/problems.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/lanczos.hpp"
+
+namespace pfem::sparse {
+namespace {
+
+TEST(Lanczos, RitzValuesBracketTridiagSpectrum) {
+  const index_t n = 100;
+  const CsrMatrix a = tridiag(n, 2.0, -1.0);
+  const double lmin = 2.0 - 2.0 * std::cos(M_PI / (n + 1.0));
+  const double lmax = 2.0 + 2.0 * std::cos(M_PI / (n + 1.0));
+  const LanczosResult res = lanczos(a, 40);
+  ASSERT_GE(res.steps, 10);
+  // Ritz values lie inside the spectrum and the extremes converge fast.
+  EXPECT_GE(res.ritz_values.front(), lmin - 1e-10);
+  EXPECT_LE(res.ritz_values.back(), lmax + 1e-10);
+  // Extreme Ritz values converge slowly for this uniformly spread
+  // spectrum; 40 steps give ~1e-2 absolute accuracy.
+  EXPECT_NEAR(res.ritz_values.back(), lmax, 2e-2);
+  EXPECT_NEAR(res.ritz_values.front(), lmin, 2e-2);
+}
+
+TEST(Lanczos, ExactOnDiagonalMatrixWithFewDistinctEigenvalues) {
+  // 3 distinct eigenvalues -> Lanczos terminates after ~3 steps with the
+  // exact spectrum.
+  Vector eigs;
+  for (int k = 0; k < 30; ++k)
+    eigs.push_back(k % 3 == 0 ? 1.0 : (k % 3 == 1 ? 2.0 : 5.0));
+  const CsrMatrix a = diagonal_matrix(eigs);
+  const LanczosResult res = lanczos(a, 20);
+  EXPECT_LE(res.steps, 4);
+  EXPECT_NEAR(res.ritz_values.front(), 1.0, 1e-8);
+  EXPECT_NEAR(res.ritz_values.back(), 5.0, 1e-8);
+}
+
+TEST(Lanczos, EstimateEnclosesScaledFeSpectrum) {
+  fem::CantileverSpec spec;
+  spec.nx = 12;
+  spec.ny = 6;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  const core::ScaledSystem s =
+      core::scale_system(prob.stiffness, prob.load);
+  const Interval iv = estimate_spectrum(s.a, 40);
+  EXPECT_GT(iv.lo, 0.0);
+  EXPECT_LT(iv.hi, 1.2);  // scaled spectrum is inside (0, 1)
+  const double rho = power_method_rho(s.a, 600);
+  EXPECT_GE(iv.hi, rho * 0.99);
+}
+
+TEST(Lanczos, AdaptiveThetaSolvesAndIsCompetitive) {
+  // Build Θ from the Lanczos estimate of the scaled operator and solve;
+  // must converge in no more iterations than the default Θ = (ε, 1)
+  // (often fewer — Fig. 10's point).
+  fem::CantileverSpec spec;
+  spec.nx = 16;
+  spec.ny = 8;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  const core::ScaledSystem s =
+      core::scale_system(prob.stiffness, prob.load);
+  const Interval iv = estimate_spectrum(s.a, 30);
+
+  const partition::EddPartition part = exp::make_edd(prob, 2);
+  core::SolveOptions opts;
+  opts.tol = 1e-6;
+  opts.max_iters = 40000;
+
+  core::PolySpec adaptive;
+  adaptive.degree = 10;
+  adaptive.theta = {{iv.lo, iv.hi}};
+  const auto res_adaptive = core::solve_edd(part, prob.load, adaptive, opts);
+
+  core::PolySpec fallback;
+  fallback.degree = 10;
+  const auto res_default = core::solve_edd(part, prob.load, fallback, opts);
+
+  ASSERT_TRUE(res_adaptive.converged);
+  ASSERT_TRUE(res_default.converged);
+  EXPECT_LE(res_adaptive.iterations, res_default.iterations + 2);
+}
+
+TEST(Lanczos, StepCapRespected) {
+  const CsrMatrix a = laplace2d(8, 8);
+  const LanczosResult res = lanczos(a, 12);
+  EXPECT_LE(res.steps, 12);
+  EXPECT_EQ(res.ritz_values.size(), static_cast<std::size_t>(res.steps));
+}
+
+}  // namespace
+}  // namespace pfem::sparse

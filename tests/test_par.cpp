@@ -1,0 +1,224 @@
+// Tests for the message-passing runtime (the MPI substitute) and the
+// machine cost model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "par/comm.hpp"
+#include "par/cost_model.hpp"
+
+namespace pfem::par {
+namespace {
+
+TEST(Comm, PointToPointDelivers) {
+  run_spmd(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      Vector data{1.0, 2.0, 3.0};
+      c.send(1, 7, data);
+    } else {
+      Vector out;
+      c.recv(0, 7, out);
+      ASSERT_EQ(out.size(), 3u);
+      EXPECT_DOUBLE_EQ(out[1], 2.0);
+    }
+  });
+}
+
+TEST(Comm, MessagesWithSameTagStayOrdered) {
+  run_spmd(2, [](Comm& c) {
+    constexpr int kMsgs = 50;
+    if (c.rank() == 0) {
+      for (int k = 0; k < kMsgs; ++k) {
+        Vector data{static_cast<real_t>(k)};
+        c.send(1, 0, data);
+      }
+    } else {
+      Vector out;
+      for (int k = 0; k < kMsgs; ++k) {
+        c.recv(0, 0, out);
+        EXPECT_DOUBLE_EQ(out[0], static_cast<real_t>(k));
+      }
+    }
+  });
+}
+
+TEST(Comm, TagsMatchSelectively) {
+  run_spmd(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      Vector a{10.0}, b{20.0};
+      c.send(1, /*tag=*/2, a);
+      c.send(1, /*tag=*/1, b);
+    } else {
+      Vector out;
+      c.recv(0, 1, out);  // delivered second, matched first by tag
+      EXPECT_DOUBLE_EQ(out[0], 20.0);
+      c.recv(0, 2, out);
+      EXPECT_DOUBLE_EQ(out[0], 10.0);
+    }
+  });
+}
+
+TEST(Comm, AllreduceSumScalar) {
+  for (int p : {1, 2, 4, 7}) {
+    run_spmd(p, [p](Comm& c) {
+      const real_t sum = c.allreduce_sum(static_cast<real_t>(c.rank() + 1));
+      EXPECT_DOUBLE_EQ(sum, p * (p + 1) / 2.0);
+    });
+  }
+}
+
+TEST(Comm, AllreduceSumVectorDeterministicAcrossRanks) {
+  // All ranks must observe bit-identical results.
+  constexpr int kP = 5;
+  std::vector<Vector> results(kP);
+  run_spmd(kP, [&](Comm& c) {
+    Vector v(8);
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v[i] = std::sin(static_cast<real_t>(c.rank()) * 1.7 +
+                      static_cast<real_t>(i));
+    c.allreduce_sum(v);
+    results[static_cast<std::size_t>(c.rank())] = v;
+  });
+  for (int r = 1; r < kP; ++r)
+    for (std::size_t i = 0; i < results[0].size(); ++i)
+      EXPECT_EQ(results[0][i], results[static_cast<std::size_t>(r)][i])
+          << "bitwise mismatch at rank " << r;
+}
+
+TEST(Comm, AllreduceMax) {
+  run_spmd(4, [](Comm& c) {
+    const real_t m = c.allreduce_max(static_cast<real_t>(-c.rank()));
+    EXPECT_DOUBLE_EQ(m, 0.0);
+  });
+}
+
+TEST(Comm, BarrierOrdersPhases) {
+  constexpr int kP = 4;
+  std::atomic<int> phase1{0};
+  run_spmd(kP, [&](Comm& c) {
+    phase1.fetch_add(1);
+    c.barrier();
+    // After the barrier every rank must see all increments.
+    EXPECT_EQ(phase1.load(), kP);
+    (void)c;
+  });
+}
+
+TEST(Comm, ExceptionPropagatesAndTeamUnwinds) {
+  // Rank 1 throws; rank 0 is blocked in a barrier and must be released.
+  EXPECT_THROW(
+      run_spmd(3,
+               [](Comm& c) {
+                 if (c.rank() == 1) throw Error("rank 1 failed");
+                 c.barrier();  // would deadlock without abort handling
+               }),
+      Error);
+}
+
+TEST(Comm, ExceptionWhileBlockedInRecv) {
+  EXPECT_THROW(run_spmd(2,
+                        [](Comm& c) {
+                          if (c.rank() == 1) throw Error("boom");
+                          Vector out;
+                          c.recv(1, 0, out);  // never arrives
+                        }),
+               Error);
+}
+
+TEST(Comm, CountersTrackTraffic) {
+  const auto counters = run_spmd(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      Vector data(10, 1.0);
+      c.send(1, 0, data);
+    } else {
+      Vector out;
+      c.recv(0, 0, out);
+    }
+    (void)c.allreduce_sum(1.0);
+  });
+  EXPECT_EQ(counters[0].neighbor_msgs, 1u);
+  EXPECT_EQ(counters[0].neighbor_bytes, 80u);
+  EXPECT_EQ(counters[1].neighbor_msgs, 0u);
+  EXPECT_EQ(counters[0].global_reductions, 1u);
+  EXPECT_EQ(counters[1].global_reductions, 1u);
+}
+
+TEST(Comm, SelfSendRejected) {
+  EXPECT_THROW(run_spmd(1,
+                        [](Comm& c) {
+                          Vector v{1.0};
+                          c.send(0, 0, v);
+                        }),
+               Error);
+}
+
+TEST(Counters, DeltaAndAccumulate) {
+  PerfCounters a;
+  a.flops = 100;
+  a.neighbor_msgs = 3;
+  PerfCounters b = a;
+  b.flops = 150;
+  b.global_reductions = 2;
+  const PerfCounters d = b.delta_since(a);
+  EXPECT_EQ(d.flops, 50u);
+  EXPECT_EQ(d.neighbor_msgs, 0u);
+  EXPECT_EQ(d.global_reductions, 2u);
+  PerfCounters sum;
+  sum += a;
+  sum += d;
+  EXPECT_EQ(sum.flops, 150u);
+}
+
+TEST(CostModel, SerialHasNoCommCost) {
+  PerfCounters c;
+  c.flops = 1000000;
+  c.global_reductions = 50;  // ignored at P=1
+  c.global_bytes = 400;
+  const ModeledTime t =
+      model_time(MachineModel::sgi_origin(), std::vector<PerfCounters>{c});
+  EXPECT_GT(t.compute, 0.0);
+  EXPECT_DOUBLE_EQ(t.neighbor, 0.0);
+  EXPECT_DOUBLE_EQ(t.global_comm, 0.0);
+}
+
+TEST(CostModel, CommCostScalesWithLatency) {
+  PerfCounters c;
+  c.flops = 1000;
+  c.neighbor_msgs = 100;
+  c.neighbor_bytes = 8000;
+  c.global_reductions = 10;
+  c.global_bytes = 80;
+  const std::vector<PerfCounters> ranks(4, c);
+  const ModeledTime sp2 = model_time(MachineModel::ibm_sp2(), ranks);
+  const ModeledTime origin = model_time(MachineModel::sgi_origin(), ranks);
+  // SP2 latency is 4x the Origin's: neighbor time strictly larger.
+  EXPECT_GT(sp2.neighbor, origin.neighbor);
+  EXPECT_GT(sp2.global_comm, origin.global_comm);
+}
+
+TEST(CostModel, SpeedupOfPerfectlySplitWork) {
+  PerfCounters serial;
+  serial.flops = 8000000;
+  PerfCounters quarter;
+  quarter.flops = 2000000;  // no comm: ideal speedup 4
+  const double s = modeled_speedup(
+      MachineModel::sgi_origin(), std::vector<PerfCounters>{serial},
+      std::vector<PerfCounters>(4, quarter));
+  EXPECT_NEAR(s, 4.0, 1e-9);
+}
+
+TEST(CostModel, MaxRankDominates) {
+  PerfCounters fast, slow;
+  fast.flops = 100;
+  slow.flops = 10000;
+  const ModeledTime t = model_time(MachineModel::modern_node(),
+                                   std::vector<PerfCounters>{fast, slow});
+  const ModeledTime t_slow = model_time(MachineModel::modern_node(),
+                                        std::vector<PerfCounters>{slow});
+  EXPECT_DOUBLE_EQ(t.compute, t_slow.compute);
+}
+
+}  // namespace
+}  // namespace pfem::par

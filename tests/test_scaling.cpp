@@ -1,0 +1,108 @@
+// Norm-1 diagonal scaling tests (§2.1.1): spectrum mapping into (0,1),
+// solution recovery, and the Neumann-series precondition ρ(I−A) < 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/diag_scaling.hpp"
+#include "fem/problems.hpp"
+#include "la/dense.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/gershgorin.hpp"
+
+namespace pfem::core {
+namespace {
+
+sparse::CsrMatrix identity_minus(const sparse::CsrMatrix& a) {
+  sparse::CooBuilder coo(a.rows(), a.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    coo.add(i, i, 1.0);
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      coo.add(i, cols[k], -vals[k]);
+  }
+  return coo.build();
+}
+
+class ScalingSpectrumTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScalingSpectrumTest, RandomSpdSpectrumMapsIntoUnitInterval) {
+  // Theorem 1 consequence (Eq. 12): σ(DKD) ⊂ (0, 1) for SPD K.  (The
+  // bound is |x^T DKD x| ≤ Σ|k_ij|·|x_i||x_j|/√(d_i d_j) ≤ ‖x‖² by
+  // AM-GM — row 1-norms of the *scaled* matrix may individually exceed
+  // 1, so the check is on the spectral radius, not Gershgorin rows.)
+  const sparse::CsrMatrix k = sparse::random_spd(60, 4, 0.2, GetParam());
+  Vector f(60, 1.0);
+  const ScaledSystem s = scale_system(k, f);
+  EXPECT_LT(sparse::power_method_rho(s.a, 500), 1.0 + 1e-10);
+  // Neumann precondition: ρ(I − A) < 1.
+  EXPECT_LT(sparse::power_method_rho(identity_minus(s.a), 500), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalingSpectrumTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(Scaling, FeStiffnessSpectrumInUnitInterval) {
+  fem::CantileverSpec spec;
+  spec.nx = 10;
+  spec.ny = 4;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  const ScaledSystem s = scale_system(prob.stiffness, prob.load);
+  const double rho = sparse::power_method_rho(s.a, 800);
+  EXPECT_LT(rho, 1.0);
+  EXPECT_GT(rho, 0.1);  // and not degenerate
+}
+
+TEST(Scaling, UnscaledSolutionSolvesOriginalSystem) {
+  // Solve the scaled system densely, unscale, check K u = f.
+  const sparse::CsrMatrix k = sparse::tridiag(8, 4.0, -1.0);
+  Vector f(8);
+  for (std::size_t i = 0; i < 8; ++i) f[i] = std::sin(double(i) + 0.5);
+  const ScaledSystem s = scale_system(k, f);
+
+  la::DenseMatrix ad(8, 8);
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j < 8; ++j) ad(i, j) = s.a.at(i, j);
+  Vector x = s.b;
+  la::lu_solve(ad, x);
+  const Vector u = s.unscale(x);
+
+  Vector ku(8);
+  k.spmv(u, ku);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(ku[i], f[i], 1e-10);
+}
+
+TEST(Scaling, ScaledDiagonalIsRowNormalized) {
+  // (DKD)_ii = K_ii / ||k_i||_1 — diagonally dominant rows scale their
+  // diagonal to at least 1/2.
+  const sparse::CsrMatrix k = sparse::random_spd(40, 5, 0.3, 4);
+  const Vector norms = k.row_norms1();
+  Vector f(40, 0.0);
+  const ScaledSystem s = scale_system(k, f);
+  for (index_t i = 0; i < 40; ++i) {
+    EXPECT_NEAR(s.a.at(i, i), k.at(i, i) / norms[static_cast<std::size_t>(i)],
+                1e-12);
+    EXPECT_GT(s.a.at(i, i), 0.5);
+  }
+}
+
+TEST(Scaling, ZeroRowRejected) {
+  sparse::CooBuilder coo(2, 2);
+  coo.add(0, 0, 1.0);
+  const sparse::CsrMatrix k = coo.build();
+  Vector f(2, 0.0);
+  EXPECT_THROW((void)scale_system(k, f), Error);
+}
+
+TEST(Scaling, Norm1ScalingVectorMatchesDefinition) {
+  const sparse::CsrMatrix k = sparse::tridiag(5, 3.0, -1.0);
+  const Vector d = norm1_scaling(k);
+  EXPECT_NEAR(d[0], 1.0 / std::sqrt(4.0), 1e-14);
+  EXPECT_NEAR(d[1], 1.0 / std::sqrt(5.0), 1e-14);
+}
+
+}  // namespace
+}  // namespace pfem::core

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure at paper scale (--full where the
+# bench supports it) plus all ablations.  Expects the repo already built:
+#   cmake -B build -G Ninja && cmake --build build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=build/bench
+FULL="fig10_theta_sensitivity fig15_speedup_degree fig17_speedup_size \
+      fig17_machines table2_meshes table3_speedup ablate_gs_reductions \
+      ablate_partition ablate_variant ablate_solver_precond \
+      ablate_elements ablate_adaptive_theta ablate_reordering \
+      ablate_rdd_precond ext_3d_scaling ablate_ebe"
+PLAIN="fig01_neumann_residual fig02_gls_residual fig03_stability \
+       fig11_static_precond fig12_dynamic_precond fig13_degree_static \
+       fig14_degree_dynamic table1_complexity"
+
+for b in $PLAIN; do
+  echo "### $b"
+  "$BENCH/$b"
+done
+for b in $FULL; do
+  echo "### $b --full"
+  "$BENCH/$b" --full
+done
+echo "### micro_kernels"
+"$BENCH/micro_kernels"
