@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_adaptive_theta"
+  "../bench/ablate_adaptive_theta.pdb"
+  "CMakeFiles/ablate_adaptive_theta.dir/ablate_adaptive_theta.cpp.o"
+  "CMakeFiles/ablate_adaptive_theta.dir/ablate_adaptive_theta.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_adaptive_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

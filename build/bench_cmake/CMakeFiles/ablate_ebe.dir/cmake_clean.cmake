@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_ebe"
+  "../bench/ablate_ebe.pdb"
+  "CMakeFiles/ablate_ebe.dir/ablate_ebe.cpp.o"
+  "CMakeFiles/ablate_ebe.dir/ablate_ebe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_ebe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

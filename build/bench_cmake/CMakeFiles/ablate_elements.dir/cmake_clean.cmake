@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_elements"
+  "../bench/ablate_elements.pdb"
+  "CMakeFiles/ablate_elements.dir/ablate_elements.cpp.o"
+  "CMakeFiles/ablate_elements.dir/ablate_elements.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_elements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

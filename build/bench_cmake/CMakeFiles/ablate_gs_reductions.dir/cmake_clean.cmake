@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_gs_reductions"
+  "../bench/ablate_gs_reductions.pdb"
+  "CMakeFiles/ablate_gs_reductions.dir/ablate_gs_reductions.cpp.o"
+  "CMakeFiles/ablate_gs_reductions.dir/ablate_gs_reductions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_gs_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

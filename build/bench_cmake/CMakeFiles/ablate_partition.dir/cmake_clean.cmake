@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_partition"
+  "../bench/ablate_partition.pdb"
+  "CMakeFiles/ablate_partition.dir/ablate_partition.cpp.o"
+  "CMakeFiles/ablate_partition.dir/ablate_partition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

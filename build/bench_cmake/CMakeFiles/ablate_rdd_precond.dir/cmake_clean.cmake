@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_rdd_precond"
+  "../bench/ablate_rdd_precond.pdb"
+  "CMakeFiles/ablate_rdd_precond.dir/ablate_rdd_precond.cpp.o"
+  "CMakeFiles/ablate_rdd_precond.dir/ablate_rdd_precond.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rdd_precond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_reordering"
+  "../bench/ablate_reordering.pdb"
+  "CMakeFiles/ablate_reordering.dir/ablate_reordering.cpp.o"
+  "CMakeFiles/ablate_reordering.dir/ablate_reordering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_solver_precond"
+  "../bench/ablate_solver_precond.pdb"
+  "CMakeFiles/ablate_solver_precond.dir/ablate_solver_precond.cpp.o"
+  "CMakeFiles/ablate_solver_precond.dir/ablate_solver_precond.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_solver_precond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_variant"
+  "../bench/ablate_variant.pdb"
+  "CMakeFiles/ablate_variant.dir/ablate_variant.cpp.o"
+  "CMakeFiles/ablate_variant.dir/ablate_variant.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

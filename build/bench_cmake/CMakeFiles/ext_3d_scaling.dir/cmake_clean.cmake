@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_3d_scaling"
+  "../bench/ext_3d_scaling.pdb"
+  "CMakeFiles/ext_3d_scaling.dir/ext_3d_scaling.cpp.o"
+  "CMakeFiles/ext_3d_scaling.dir/ext_3d_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_3d_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_neumann_residual"
+  "../bench/fig01_neumann_residual.pdb"
+  "CMakeFiles/fig01_neumann_residual.dir/fig01_neumann_residual.cpp.o"
+  "CMakeFiles/fig01_neumann_residual.dir/fig01_neumann_residual.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_neumann_residual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

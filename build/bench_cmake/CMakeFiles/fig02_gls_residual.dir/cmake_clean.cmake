@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_gls_residual"
+  "../bench/fig02_gls_residual.pdb"
+  "CMakeFiles/fig02_gls_residual.dir/fig02_gls_residual.cpp.o"
+  "CMakeFiles/fig02_gls_residual.dir/fig02_gls_residual.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_gls_residual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_stability"
+  "../bench/fig03_stability.pdb"
+  "CMakeFiles/fig03_stability.dir/fig03_stability.cpp.o"
+  "CMakeFiles/fig03_stability.dir/fig03_stability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

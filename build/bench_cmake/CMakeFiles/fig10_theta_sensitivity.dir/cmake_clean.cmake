@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_theta_sensitivity"
+  "../bench/fig10_theta_sensitivity.pdb"
+  "CMakeFiles/fig10_theta_sensitivity.dir/fig10_theta_sensitivity.cpp.o"
+  "CMakeFiles/fig10_theta_sensitivity.dir/fig10_theta_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_theta_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

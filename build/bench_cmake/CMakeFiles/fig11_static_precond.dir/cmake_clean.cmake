@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_static_precond"
+  "../bench/fig11_static_precond.pdb"
+  "CMakeFiles/fig11_static_precond.dir/fig11_static_precond.cpp.o"
+  "CMakeFiles/fig11_static_precond.dir/fig11_static_precond.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_static_precond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_dynamic_precond"
+  "../bench/fig12_dynamic_precond.pdb"
+  "CMakeFiles/fig12_dynamic_precond.dir/fig12_dynamic_precond.cpp.o"
+  "CMakeFiles/fig12_dynamic_precond.dir/fig12_dynamic_precond.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dynamic_precond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

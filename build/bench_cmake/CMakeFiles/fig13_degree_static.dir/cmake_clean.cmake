@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_degree_static"
+  "../bench/fig13_degree_static.pdb"
+  "CMakeFiles/fig13_degree_static.dir/fig13_degree_static.cpp.o"
+  "CMakeFiles/fig13_degree_static.dir/fig13_degree_static.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_degree_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

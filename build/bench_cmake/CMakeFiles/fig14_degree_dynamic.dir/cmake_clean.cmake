@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_degree_dynamic"
+  "../bench/fig14_degree_dynamic.pdb"
+  "CMakeFiles/fig14_degree_dynamic.dir/fig14_degree_dynamic.cpp.o"
+  "CMakeFiles/fig14_degree_dynamic.dir/fig14_degree_dynamic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_degree_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

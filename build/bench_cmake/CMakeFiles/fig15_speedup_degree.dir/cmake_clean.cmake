@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_speedup_degree"
+  "../bench/fig15_speedup_degree.pdb"
+  "CMakeFiles/fig15_speedup_degree.dir/fig15_speedup_degree.cpp.o"
+  "CMakeFiles/fig15_speedup_degree.dir/fig15_speedup_degree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_speedup_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

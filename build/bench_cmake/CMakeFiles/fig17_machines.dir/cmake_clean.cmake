@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_machines"
+  "../bench/fig17_machines.pdb"
+  "CMakeFiles/fig17_machines.dir/fig17_machines.cpp.o"
+  "CMakeFiles/fig17_machines.dir/fig17_machines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

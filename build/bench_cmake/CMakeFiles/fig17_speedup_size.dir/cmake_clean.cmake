@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_speedup_size"
+  "../bench/fig17_speedup_size.pdb"
+  "CMakeFiles/fig17_speedup_size.dir/fig17_speedup_size.cpp.o"
+  "CMakeFiles/fig17_speedup_size.dir/fig17_speedup_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_speedup_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_meshes"
+  "../bench/table2_meshes.pdb"
+  "CMakeFiles/table2_meshes.dir/table2_meshes.cpp.o"
+  "CMakeFiles/table2_meshes.dir/table2_meshes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_meshes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_speedup"
+  "../bench/table3_speedup.pdb"
+  "CMakeFiles/table3_speedup.dir/table3_speedup.cpp.o"
+  "CMakeFiles/table3_speedup.dir/table3_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cantilever3d.dir/cantilever3d.cpp.o"
+  "CMakeFiles/cantilever3d.dir/cantilever3d.cpp.o.d"
+  "cantilever3d"
+  "cantilever3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cantilever3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_cantilever.dir/dynamic_cantilever.cpp.o"
+  "CMakeFiles/dynamic_cantilever.dir/dynamic_cantilever.cpp.o.d"
+  "dynamic_cantilever"
+  "dynamic_cantilever.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_cantilever.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

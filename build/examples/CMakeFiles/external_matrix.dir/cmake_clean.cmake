@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_matrix.dir/external_matrix.cpp.o"
+  "CMakeFiles/external_matrix.dir/external_matrix.cpp.o.d"
+  "external_matrix"
+  "external_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonlinear_softening.dir/nonlinear_softening.cpp.o"
+  "CMakeFiles/nonlinear_softening.dir/nonlinear_softening.cpp.o.d"
+  "nonlinear_softening"
+  "nonlinear_softening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonlinear_softening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_cli.dir/solve_cli.cpp.o"
+  "CMakeFiles/solve_cli.dir/solve_cli.cpp.o.d"
+  "solve_cli"
+  "solve_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_cantilever.dir/static_cantilever.cpp.o"
+  "CMakeFiles/static_cantilever.dir/static_cantilever.cpp.o.d"
+  "static_cantilever"
+  "static_cantilever.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_cantilever.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bicgstab.cpp" "src/core/CMakeFiles/pfem_core.dir/bicgstab.cpp.o" "gcc" "src/core/CMakeFiles/pfem_core.dir/bicgstab.cpp.o.d"
+  "/root/repo/src/core/cg.cpp" "src/core/CMakeFiles/pfem_core.dir/cg.cpp.o" "gcc" "src/core/CMakeFiles/pfem_core.dir/cg.cpp.o.d"
+  "/root/repo/src/core/chebyshev.cpp" "src/core/CMakeFiles/pfem_core.dir/chebyshev.cpp.o" "gcc" "src/core/CMakeFiles/pfem_core.dir/chebyshev.cpp.o.d"
+  "/root/repo/src/core/diag_scaling.cpp" "src/core/CMakeFiles/pfem_core.dir/diag_scaling.cpp.o" "gcc" "src/core/CMakeFiles/pfem_core.dir/diag_scaling.cpp.o.d"
+  "/root/repo/src/core/edd_solver.cpp" "src/core/CMakeFiles/pfem_core.dir/edd_solver.cpp.o" "gcc" "src/core/CMakeFiles/pfem_core.dir/edd_solver.cpp.o.d"
+  "/root/repo/src/core/fgmres.cpp" "src/core/CMakeFiles/pfem_core.dir/fgmres.cpp.o" "gcc" "src/core/CMakeFiles/pfem_core.dir/fgmres.cpp.o.d"
+  "/root/repo/src/core/gls_poly.cpp" "src/core/CMakeFiles/pfem_core.dir/gls_poly.cpp.o" "gcc" "src/core/CMakeFiles/pfem_core.dir/gls_poly.cpp.o.d"
+  "/root/repo/src/core/neumann.cpp" "src/core/CMakeFiles/pfem_core.dir/neumann.cpp.o" "gcc" "src/core/CMakeFiles/pfem_core.dir/neumann.cpp.o.d"
+  "/root/repo/src/core/orthopoly.cpp" "src/core/CMakeFiles/pfem_core.dir/orthopoly.cpp.o" "gcc" "src/core/CMakeFiles/pfem_core.dir/orthopoly.cpp.o.d"
+  "/root/repo/src/core/precond.cpp" "src/core/CMakeFiles/pfem_core.dir/precond.cpp.o" "gcc" "src/core/CMakeFiles/pfem_core.dir/precond.cpp.o.d"
+  "/root/repo/src/core/rdd_solver.cpp" "src/core/CMakeFiles/pfem_core.dir/rdd_solver.cpp.o" "gcc" "src/core/CMakeFiles/pfem_core.dir/rdd_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/pfem_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/pfem_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/pfem_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/fem/CMakeFiles/pfem_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/pfem_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfem_core.dir/bicgstab.cpp.o"
+  "CMakeFiles/pfem_core.dir/bicgstab.cpp.o.d"
+  "CMakeFiles/pfem_core.dir/cg.cpp.o"
+  "CMakeFiles/pfem_core.dir/cg.cpp.o.d"
+  "CMakeFiles/pfem_core.dir/chebyshev.cpp.o"
+  "CMakeFiles/pfem_core.dir/chebyshev.cpp.o.d"
+  "CMakeFiles/pfem_core.dir/diag_scaling.cpp.o"
+  "CMakeFiles/pfem_core.dir/diag_scaling.cpp.o.d"
+  "CMakeFiles/pfem_core.dir/edd_solver.cpp.o"
+  "CMakeFiles/pfem_core.dir/edd_solver.cpp.o.d"
+  "CMakeFiles/pfem_core.dir/fgmres.cpp.o"
+  "CMakeFiles/pfem_core.dir/fgmres.cpp.o.d"
+  "CMakeFiles/pfem_core.dir/gls_poly.cpp.o"
+  "CMakeFiles/pfem_core.dir/gls_poly.cpp.o.d"
+  "CMakeFiles/pfem_core.dir/neumann.cpp.o"
+  "CMakeFiles/pfem_core.dir/neumann.cpp.o.d"
+  "CMakeFiles/pfem_core.dir/orthopoly.cpp.o"
+  "CMakeFiles/pfem_core.dir/orthopoly.cpp.o.d"
+  "CMakeFiles/pfem_core.dir/precond.cpp.o"
+  "CMakeFiles/pfem_core.dir/precond.cpp.o.d"
+  "CMakeFiles/pfem_core.dir/rdd_solver.cpp.o"
+  "CMakeFiles/pfem_core.dir/rdd_solver.cpp.o.d"
+  "libpfem_core.a"
+  "libpfem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfem_exp.dir/experiments.cpp.o"
+  "CMakeFiles/pfem_exp.dir/experiments.cpp.o.d"
+  "CMakeFiles/pfem_exp.dir/table.cpp.o"
+  "CMakeFiles/pfem_exp.dir/table.cpp.o.d"
+  "libpfem_exp.a"
+  "libpfem_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfem_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

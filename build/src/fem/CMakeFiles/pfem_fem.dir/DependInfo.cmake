@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fem/assembly.cpp" "src/fem/CMakeFiles/pfem_fem.dir/assembly.cpp.o" "gcc" "src/fem/CMakeFiles/pfem_fem.dir/assembly.cpp.o.d"
+  "/root/repo/src/fem/dofmap.cpp" "src/fem/CMakeFiles/pfem_fem.dir/dofmap.cpp.o" "gcc" "src/fem/CMakeFiles/pfem_fem.dir/dofmap.cpp.o.d"
+  "/root/repo/src/fem/ebe.cpp" "src/fem/CMakeFiles/pfem_fem.dir/ebe.cpp.o" "gcc" "src/fem/CMakeFiles/pfem_fem.dir/ebe.cpp.o.d"
+  "/root/repo/src/fem/elements.cpp" "src/fem/CMakeFiles/pfem_fem.dir/elements.cpp.o" "gcc" "src/fem/CMakeFiles/pfem_fem.dir/elements.cpp.o.d"
+  "/root/repo/src/fem/mesh.cpp" "src/fem/CMakeFiles/pfem_fem.dir/mesh.cpp.o" "gcc" "src/fem/CMakeFiles/pfem_fem.dir/mesh.cpp.o.d"
+  "/root/repo/src/fem/mesh_io.cpp" "src/fem/CMakeFiles/pfem_fem.dir/mesh_io.cpp.o" "gcc" "src/fem/CMakeFiles/pfem_fem.dir/mesh_io.cpp.o.d"
+  "/root/repo/src/fem/problems.cpp" "src/fem/CMakeFiles/pfem_fem.dir/problems.cpp.o" "gcc" "src/fem/CMakeFiles/pfem_fem.dir/problems.cpp.o.d"
+  "/root/repo/src/fem/stress.cpp" "src/fem/CMakeFiles/pfem_fem.dir/stress.cpp.o" "gcc" "src/fem/CMakeFiles/pfem_fem.dir/stress.cpp.o.d"
+  "/root/repo/src/fem/structured.cpp" "src/fem/CMakeFiles/pfem_fem.dir/structured.cpp.o" "gcc" "src/fem/CMakeFiles/pfem_fem.dir/structured.cpp.o.d"
+  "/root/repo/src/fem/vtk.cpp" "src/fem/CMakeFiles/pfem_fem.dir/vtk.cpp.o" "gcc" "src/fem/CMakeFiles/pfem_fem.dir/vtk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/pfem_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/pfem_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfem_fem.dir/assembly.cpp.o"
+  "CMakeFiles/pfem_fem.dir/assembly.cpp.o.d"
+  "CMakeFiles/pfem_fem.dir/dofmap.cpp.o"
+  "CMakeFiles/pfem_fem.dir/dofmap.cpp.o.d"
+  "CMakeFiles/pfem_fem.dir/ebe.cpp.o"
+  "CMakeFiles/pfem_fem.dir/ebe.cpp.o.d"
+  "CMakeFiles/pfem_fem.dir/elements.cpp.o"
+  "CMakeFiles/pfem_fem.dir/elements.cpp.o.d"
+  "CMakeFiles/pfem_fem.dir/mesh.cpp.o"
+  "CMakeFiles/pfem_fem.dir/mesh.cpp.o.d"
+  "CMakeFiles/pfem_fem.dir/mesh_io.cpp.o"
+  "CMakeFiles/pfem_fem.dir/mesh_io.cpp.o.d"
+  "CMakeFiles/pfem_fem.dir/problems.cpp.o"
+  "CMakeFiles/pfem_fem.dir/problems.cpp.o.d"
+  "CMakeFiles/pfem_fem.dir/stress.cpp.o"
+  "CMakeFiles/pfem_fem.dir/stress.cpp.o.d"
+  "CMakeFiles/pfem_fem.dir/structured.cpp.o"
+  "CMakeFiles/pfem_fem.dir/structured.cpp.o.d"
+  "CMakeFiles/pfem_fem.dir/vtk.cpp.o"
+  "CMakeFiles/pfem_fem.dir/vtk.cpp.o.d"
+  "libpfem_fem.a"
+  "libpfem_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfem_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

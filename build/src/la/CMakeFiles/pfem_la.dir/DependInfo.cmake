@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/dense.cpp" "src/la/CMakeFiles/pfem_la.dir/dense.cpp.o" "gcc" "src/la/CMakeFiles/pfem_la.dir/dense.cpp.o.d"
+  "/root/repo/src/la/hessenberg_lsq.cpp" "src/la/CMakeFiles/pfem_la.dir/hessenberg_lsq.cpp.o" "gcc" "src/la/CMakeFiles/pfem_la.dir/hessenberg_lsq.cpp.o.d"
+  "/root/repo/src/la/vector_ops.cpp" "src/la/CMakeFiles/pfem_la.dir/vector_ops.cpp.o" "gcc" "src/la/CMakeFiles/pfem_la.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

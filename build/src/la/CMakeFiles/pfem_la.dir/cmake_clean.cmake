@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfem_la.dir/dense.cpp.o"
+  "CMakeFiles/pfem_la.dir/dense.cpp.o.d"
+  "CMakeFiles/pfem_la.dir/hessenberg_lsq.cpp.o"
+  "CMakeFiles/pfem_la.dir/hessenberg_lsq.cpp.o.d"
+  "CMakeFiles/pfem_la.dir/vector_ops.cpp.o"
+  "CMakeFiles/pfem_la.dir/vector_ops.cpp.o.d"
+  "libpfem_la.a"
+  "libpfem_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfem_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfem_par.dir/comm.cpp.o"
+  "CMakeFiles/pfem_par.dir/comm.cpp.o.d"
+  "CMakeFiles/pfem_par.dir/cost_model.cpp.o"
+  "CMakeFiles/pfem_par.dir/cost_model.cpp.o.d"
+  "libpfem_par.a"
+  "libpfem_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfem_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

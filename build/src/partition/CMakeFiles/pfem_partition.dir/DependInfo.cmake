@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/edd.cpp" "src/partition/CMakeFiles/pfem_partition.dir/edd.cpp.o" "gcc" "src/partition/CMakeFiles/pfem_partition.dir/edd.cpp.o.d"
+  "/root/repo/src/partition/geom.cpp" "src/partition/CMakeFiles/pfem_partition.dir/geom.cpp.o" "gcc" "src/partition/CMakeFiles/pfem_partition.dir/geom.cpp.o.d"
+  "/root/repo/src/partition/graph.cpp" "src/partition/CMakeFiles/pfem_partition.dir/graph.cpp.o" "gcc" "src/partition/CMakeFiles/pfem_partition.dir/graph.cpp.o.d"
+  "/root/repo/src/partition/rdd.cpp" "src/partition/CMakeFiles/pfem_partition.dir/rdd.cpp.o" "gcc" "src/partition/CMakeFiles/pfem_partition.dir/rdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fem/CMakeFiles/pfem_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/pfem_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/pfem_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfem_partition.dir/edd.cpp.o"
+  "CMakeFiles/pfem_partition.dir/edd.cpp.o.d"
+  "CMakeFiles/pfem_partition.dir/geom.cpp.o"
+  "CMakeFiles/pfem_partition.dir/geom.cpp.o.d"
+  "CMakeFiles/pfem_partition.dir/graph.cpp.o"
+  "CMakeFiles/pfem_partition.dir/graph.cpp.o.d"
+  "CMakeFiles/pfem_partition.dir/rdd.cpp.o"
+  "CMakeFiles/pfem_partition.dir/rdd.cpp.o.d"
+  "libpfem_partition.a"
+  "libpfem_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfem_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/bsr.cpp" "src/sparse/CMakeFiles/pfem_sparse.dir/bsr.cpp.o" "gcc" "src/sparse/CMakeFiles/pfem_sparse.dir/bsr.cpp.o.d"
+  "/root/repo/src/sparse/coo.cpp" "src/sparse/CMakeFiles/pfem_sparse.dir/coo.cpp.o" "gcc" "src/sparse/CMakeFiles/pfem_sparse.dir/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/pfem_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/pfem_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/generators.cpp" "src/sparse/CMakeFiles/pfem_sparse.dir/generators.cpp.o" "gcc" "src/sparse/CMakeFiles/pfem_sparse.dir/generators.cpp.o.d"
+  "/root/repo/src/sparse/gershgorin.cpp" "src/sparse/CMakeFiles/pfem_sparse.dir/gershgorin.cpp.o" "gcc" "src/sparse/CMakeFiles/pfem_sparse.dir/gershgorin.cpp.o.d"
+  "/root/repo/src/sparse/ilu0.cpp" "src/sparse/CMakeFiles/pfem_sparse.dir/ilu0.cpp.o" "gcc" "src/sparse/CMakeFiles/pfem_sparse.dir/ilu0.cpp.o.d"
+  "/root/repo/src/sparse/iluk.cpp" "src/sparse/CMakeFiles/pfem_sparse.dir/iluk.cpp.o" "gcc" "src/sparse/CMakeFiles/pfem_sparse.dir/iluk.cpp.o.d"
+  "/root/repo/src/sparse/io.cpp" "src/sparse/CMakeFiles/pfem_sparse.dir/io.cpp.o" "gcc" "src/sparse/CMakeFiles/pfem_sparse.dir/io.cpp.o.d"
+  "/root/repo/src/sparse/lanczos.cpp" "src/sparse/CMakeFiles/pfem_sparse.dir/lanczos.cpp.o" "gcc" "src/sparse/CMakeFiles/pfem_sparse.dir/lanczos.cpp.o.d"
+  "/root/repo/src/sparse/rcm.cpp" "src/sparse/CMakeFiles/pfem_sparse.dir/rcm.cpp.o" "gcc" "src/sparse/CMakeFiles/pfem_sparse.dir/rcm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/pfem_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

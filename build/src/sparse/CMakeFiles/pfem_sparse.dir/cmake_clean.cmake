@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfem_sparse.dir/bsr.cpp.o"
+  "CMakeFiles/pfem_sparse.dir/bsr.cpp.o.d"
+  "CMakeFiles/pfem_sparse.dir/coo.cpp.o"
+  "CMakeFiles/pfem_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/pfem_sparse.dir/csr.cpp.o"
+  "CMakeFiles/pfem_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/pfem_sparse.dir/generators.cpp.o"
+  "CMakeFiles/pfem_sparse.dir/generators.cpp.o.d"
+  "CMakeFiles/pfem_sparse.dir/gershgorin.cpp.o"
+  "CMakeFiles/pfem_sparse.dir/gershgorin.cpp.o.d"
+  "CMakeFiles/pfem_sparse.dir/ilu0.cpp.o"
+  "CMakeFiles/pfem_sparse.dir/ilu0.cpp.o.d"
+  "CMakeFiles/pfem_sparse.dir/iluk.cpp.o"
+  "CMakeFiles/pfem_sparse.dir/iluk.cpp.o.d"
+  "CMakeFiles/pfem_sparse.dir/io.cpp.o"
+  "CMakeFiles/pfem_sparse.dir/io.cpp.o.d"
+  "CMakeFiles/pfem_sparse.dir/lanczos.cpp.o"
+  "CMakeFiles/pfem_sparse.dir/lanczos.cpp.o.d"
+  "CMakeFiles/pfem_sparse.dir/rcm.cpp.o"
+  "CMakeFiles/pfem_sparse.dir/rcm.cpp.o.d"
+  "libpfem_sparse.a"
+  "libpfem_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfem_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

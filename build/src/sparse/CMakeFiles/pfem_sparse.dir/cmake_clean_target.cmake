@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpfem_sparse.a"
+)

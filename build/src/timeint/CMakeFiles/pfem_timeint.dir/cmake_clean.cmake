@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfem_timeint.dir/dynamic_driver.cpp.o"
+  "CMakeFiles/pfem_timeint.dir/dynamic_driver.cpp.o.d"
+  "CMakeFiles/pfem_timeint.dir/newmark.cpp.o"
+  "CMakeFiles/pfem_timeint.dir/newmark.cpp.o.d"
+  "CMakeFiles/pfem_timeint.dir/nonlinear_driver.cpp.o"
+  "CMakeFiles/pfem_timeint.dir/nonlinear_driver.cpp.o.d"
+  "libpfem_timeint.a"
+  "libpfem_timeint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfem_timeint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

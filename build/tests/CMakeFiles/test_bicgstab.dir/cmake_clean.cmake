@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bicgstab.dir/test_bicgstab.cpp.o"
+  "CMakeFiles/test_bicgstab.dir/test_bicgstab.cpp.o.d"
+  "test_bicgstab"
+  "test_bicgstab.pdb"
+  "test_bicgstab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bicgstab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edd_solver.dir/test_edd_solver.cpp.o"
+  "CMakeFiles/test_edd_solver.dir/test_edd_solver.cpp.o.d"
+  "test_edd_solver"
+  "test_edd_solver.pdb"
+  "test_edd_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edd_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

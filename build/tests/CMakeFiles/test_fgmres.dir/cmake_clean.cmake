@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fgmres.dir/test_fgmres.cpp.o"
+  "CMakeFiles/test_fgmres.dir/test_fgmres.cpp.o.d"
+  "test_fgmres"
+  "test_fgmres.pdb"
+  "test_fgmres[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fgmres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

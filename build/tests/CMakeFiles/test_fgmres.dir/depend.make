@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fgmres.
+# This may be replaced when dependencies are built.

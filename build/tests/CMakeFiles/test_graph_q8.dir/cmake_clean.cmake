@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_q8.dir/test_graph_q8.cpp.o"
+  "CMakeFiles/test_graph_q8.dir/test_graph_q8.cpp.o.d"
+  "test_graph_q8"
+  "test_graph_q8.pdb"
+  "test_graph_q8[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_q8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

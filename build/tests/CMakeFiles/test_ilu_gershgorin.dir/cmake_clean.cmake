@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ilu_gershgorin.dir/test_ilu_gershgorin.cpp.o"
+  "CMakeFiles/test_ilu_gershgorin.dir/test_ilu_gershgorin.cpp.o.d"
+  "test_ilu_gershgorin"
+  "test_ilu_gershgorin.pdb"
+  "test_ilu_gershgorin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ilu_gershgorin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

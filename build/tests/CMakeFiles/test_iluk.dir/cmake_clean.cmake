@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iluk.dir/test_iluk.cpp.o"
+  "CMakeFiles/test_iluk.dir/test_iluk.cpp.o.d"
+  "test_iluk"
+  "test_iluk.pdb"
+  "test_iluk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iluk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rcm_schwarz_damping.cpp" "tests/CMakeFiles/test_rcm_schwarz_damping.dir/test_rcm_schwarz_damping.cpp.o" "gcc" "tests/CMakeFiles/test_rcm_schwarz_damping.dir/test_rcm_schwarz_damping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/pfem_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeint/CMakeFiles/pfem_timeint.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pfem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/pfem_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/pfem_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/fem/CMakeFiles/pfem_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/pfem_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/pfem_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcm_schwarz_damping.dir/test_rcm_schwarz_damping.cpp.o"
+  "CMakeFiles/test_rcm_schwarz_damping.dir/test_rcm_schwarz_damping.cpp.o.d"
+  "test_rcm_schwarz_damping"
+  "test_rcm_schwarz_damping.pdb"
+  "test_rcm_schwarz_damping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcm_schwarz_damping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

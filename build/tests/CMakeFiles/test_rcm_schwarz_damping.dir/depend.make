@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rcm_schwarz_damping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdd_solver.dir/test_rdd_solver.cpp.o"
+  "CMakeFiles/test_rdd_solver.dir/test_rdd_solver.cpp.o.d"
+  "test_rdd_solver"
+  "test_rdd_solver.pdb"
+  "test_rdd_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdd_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stress_meshio_nonlinear.dir/test_stress_meshio_nonlinear.cpp.o"
+  "CMakeFiles/test_stress_meshio_nonlinear.dir/test_stress_meshio_nonlinear.cpp.o.d"
+  "test_stress_meshio_nonlinear"
+  "test_stress_meshio_nonlinear.pdb"
+  "test_stress_meshio_nonlinear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stress_meshio_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeint.dir/test_timeint.cpp.o"
+  "CMakeFiles/test_timeint.dir/test_timeint.cpp.o.d"
+  "test_timeint"
+  "test_timeint.pdb"
+  "test_timeint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

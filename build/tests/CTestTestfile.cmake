@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_la[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_ilu_gershgorin[1]_include.cmake")
+include("/root/repo/build/tests/test_fem[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_par[1]_include.cmake")
+include("/root/repo/build/tests/test_poly[1]_include.cmake")
+include("/root/repo/build/tests/test_scaling[1]_include.cmake")
+include("/root/repo/build/tests/test_fgmres[1]_include.cmake")
+include("/root/repo/build/tests/test_edd_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_rdd_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_timeint[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_cg[1]_include.cmake")
+include("/root/repo/build/tests/test_chebyshev[1]_include.cmake")
+include("/root/repo/build/tests/test_lanczos[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_q8[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_options[1]_include.cmake")
+include("/root/repo/build/tests/test_3d[1]_include.cmake")
+include("/root/repo/build/tests/test_rcm_schwarz_damping[1]_include.cmake")
+include("/root/repo/build/tests/test_property_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_stress_meshio_nonlinear[1]_include.cmake")
+include("/root/repo/build/tests/test_iluk[1]_include.cmake")
+include("/root/repo/build/tests/test_bicgstab[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
