@@ -3,10 +3,12 @@
 
 #include <cstring>
 #include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "exp/table.hpp"
+#include "par/counters.hpp"
 
 namespace pfem::bench {
 
@@ -32,6 +34,33 @@ inline void print_history(const std::string& label,
     std::cout << i + 1 << ": " << exp::Table::sci(history[i], 1) << "  ";
   std::cout << history.size() << ": "
             << exp::Table::sci(history.back(), 1) << "\n";
+}
+
+/// Path given via --counters-json=FILE, or "" when the flag is absent.
+inline std::string counters_json_path(int argc, char** argv) {
+  constexpr const char* kFlag = "--counters-json=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0)
+      return std::string(argv[i] + std::strlen(kFlag));
+  return {};
+}
+
+/// When --counters-json=FILE was passed, dump the per-rank PerfCounters of
+/// the run (typically DistSolveResult::rank_counters / ::setup_counters)
+/// to FILE and print a confirmation line.  Returns false only when the
+/// dump was requested and failed, so callers can surface it in the exit
+/// code.
+inline bool dump_counters_if_requested(
+    int argc, char** argv, std::span<const par::PerfCounters> ranks,
+    std::span<const par::PerfCounters> setup = {}) {
+  const std::string path = counters_json_path(argc, argv);
+  if (path.empty()) return true;
+  if (!par::dump_counters_json(path, ranks, setup)) {
+    std::cerr << "error: could not write counters to " << path << "\n";
+    return false;
+  }
+  std::cout << "per-rank counters written to " << path << "\n";
+  return true;
 }
 
 }  // namespace pfem::bench

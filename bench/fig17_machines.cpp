@@ -34,10 +34,12 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<par::PerfCounters>> traces;
   std::vector<index_t> iters;
+  std::vector<par::PerfCounters> last_setup;
   for (int p : {1, 2, 4, 8}) {
     const partition::EddPartition part = exp::make_edd(prob, p);
     const auto res = core::solve_edd(part, prob.load, poly, opts);
     traces.push_back(res.rank_counters);
+    last_setup = res.setup_counters;
     iters.push_back(res.iterations);
   }
 
@@ -61,5 +63,8 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nexpected shape: S(Origin) > S(SP2) at every P > 1.\n";
   if (!full) std::cout << "(pass --full for the 60x60 mesh)\n";
-  return 0;
+  return bench::dump_counters_if_requested(argc, argv, traces.back(),
+                                           last_setup)
+             ? 0
+             : 1;
 }

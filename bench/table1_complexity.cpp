@@ -59,7 +59,7 @@ std::vector<std::string> row(const std::string& alg, int m,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   exp::banner(std::cout,
               "Table 1 — measured cost of one inner Arnoldi iteration "
               "(4th iteration, j = 3; P = 4; GLS(m))");
@@ -89,5 +89,16 @@ int main() {
                "m+1 (Alg.6), m+1 (Alg.8); mat-vec = m+1;\n"
                "global comm = (j+1) Gram-Schmidt reductions + 1 norm = 5 at "
                "j = 3.\n";
+
+  if (!bench::counters_json_path(argc, argv).empty()) {
+    // Full per-rank trace of a representative run (Alg.6, GLS(7), 4 its).
+    core::PolySpec poly;
+    poly.degree = 7;
+    const auto res = core::solve_edd(epart, prob.load, poly, capped(4),
+                                     core::EddVariant::Enhanced);
+    if (!bench::dump_counters_if_requested(argc, argv, res.rank_counters,
+                                           res.setup_counters))
+      return 1;
+  }
   return 0;
 }

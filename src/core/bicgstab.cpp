@@ -17,6 +17,14 @@ SolveResult bicgstab(const LinearOp& a, std::span<const real_t> b,
   PFEM_CHECK(a.size() == as_index(n));
 
   SolveResult result;
+  // ‖b‖ = 0: x = 0 solves exactly and any relative residual is 0/0 —
+  // return it in 0 iterations instead of iterating on NaNs.
+  if (la::nrm2(b) == 0.0) {
+    la::fill(x, 0.0);
+    result.converged = true;
+    return result;
+  }
+
   Vector r(n), rhat(n), p(n, 0.0), v(n, 0.0), phat(n), shat(n), s(n), t(n);
   a.apply(x, r);
   la::sub(b, r, r);

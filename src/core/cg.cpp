@@ -18,6 +18,14 @@ SolveResult pcg(const LinearOp& a, std::span<const real_t> b,
   PFEM_CHECK(opts.max_iters >= 1 && opts.tol > 0.0);
 
   SolveResult result;
+  // ‖b‖ = 0: x = 0 solves exactly and any relative residual is 0/0 —
+  // return it in 0 iterations instead of iterating on NaNs.
+  if (la::nrm2(b) == 0.0) {
+    la::fill(x, 0.0);
+    result.converged = true;
+    return result;
+  }
+
   Vector r(n), z(n), p(n), ap(n);
   a.apply(x, r);
   la::sub(b, r, r);

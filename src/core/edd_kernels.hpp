@@ -38,7 +38,16 @@ inline real_t sqrt_nonneg(real_t v) { return v > 0.0 ? std::sqrt(v) : 0.0; }
 class EddRank {
  public:
   EddRank(const EddSubdomain& sub, par::Comm& comm)
-      : sub_(sub), comm_(comm), nl_(static_cast<std::size_t>(sub.n_local())) {}
+      : sub_(sub), comm_(comm), nl_(static_cast<std::size_t>(sub.n_local())) {
+    // Prepost the exchange buffers: capacities are fixed by the neighbor
+    // lists, so the per-iteration resizes below never allocate.
+    std::size_t max_shared = 0;
+    for (const auto& nb : sub_.neighbors)
+      max_shared = std::max(max_shared, nb.shared_local_dofs.size());
+    send_buf_.reserve(max_shared);
+    recv_buf_.reserve(max_shared);
+    buf_.reserve(sub_.interface_local_dofs.size());
+  }
 
   [[nodiscard]] std::size_t nl() const noexcept { return nl_; }
   [[nodiscard]] par::Comm& comm() noexcept { return comm_; }
@@ -74,15 +83,19 @@ class EddRank {
     }
     bool own_added = sub_.neighbors.empty();
     auto add_own = [&] {
+      // The own-contribution fold is the same work as a neighbor fold —
+      // account its flops symmetrically.
       for (std::size_t k = 0; k < sub_.interface_local_dofs.size(); ++k)
         v[static_cast<std::size_t>(sub_.interface_local_dofs[k])] += buf_[k];
+      counters().flops += sub_.interface_local_dofs.size();
       own_added = true;
     };
     if (own_added) add_own();
     for (const auto& nb : sub_.neighbors) {  // sorted by rank
       if (!own_added && nb.rank > comm_.rank()) add_own();
-      comm_.recv(nb.rank, kExchangeTag, recv_buf_);
-      PFEM_CHECK(recv_buf_.size() == nb.shared_local_dofs.size());
+      recv_buf_.resize(nb.shared_local_dofs.size());
+      comm_.recv(nb.rank, kExchangeTag,
+                 std::span<real_t>(recv_buf_.data(), recv_buf_.size()));
       for (std::size_t k = 0; k < nb.shared_local_dofs.size(); ++k)
         v[static_cast<std::size_t>(nb.shared_local_dofs[k])] += recv_buf_[k];
       counters().flops += recv_buf_.size();

@@ -19,6 +19,15 @@ SolveResult fgmres(const LinearOp& a, std::span<const real_t> b,
   SolveResult result;
   const index_t m = opts.restart;
 
+  // ‖b‖ = 0: x = 0 solves exactly and any relative residual is 0/0 —
+  // return it in 0 iterations instead of iterating on NaNs.
+  if (la::nrm2(b) == 0.0) {
+    la::fill(x, 0.0);
+    result.converged = true;
+    result.final_relres = 0.0;
+    return result;
+  }
+
   Vector r(n);
   a.apply(x, r);                       // r = b - A x0
   la::sub(b, r, r);

@@ -27,7 +27,17 @@ class RddRank {
   RddRank(const RddSubdomain& sub, par::Comm& comm)
       : sub_(sub), comm_(comm), nl_(static_cast<std::size_t>(sub.n_local())),
         x_ext_(std::max<std::size_t>(
-            static_cast<std::size_t>(sub.n_ext()), 1)) {}
+            static_cast<std::size_t>(sub.n_ext()), 1)) {
+    // Prepost the exchange buffers: sizes are fixed by the comm schedule,
+    // so the per-iteration resizes in exchange_into_ext never allocate.
+    std::size_t max_send = 0, max_recv = 0;
+    for (const auto& nb : sub_.neighbors) {
+      max_send = std::max(max_send, nb.send_local_rows.size());
+      max_recv = std::max(max_recv, nb.recv_ext_positions.size());
+    }
+    send_buf_.reserve(max_send);
+    recv_buf_.reserve(max_recv);
+  }
 
   [[nodiscard]] std::size_t nl() const noexcept { return nl_; }
   [[nodiscard]] par::Comm& comm() noexcept { return comm_; }
@@ -61,8 +71,9 @@ class RddRank {
     }
     for (const auto& nb : sub_.neighbors) {
       if (nb.recv_ext_positions.empty()) continue;
-      comm_.recv(nb.rank, kRddTag, recv_buf_);
-      PFEM_CHECK(recv_buf_.size() == nb.recv_ext_positions.size());
+      recv_buf_.resize(nb.recv_ext_positions.size());
+      comm_.recv(nb.rank, kRddTag,
+                 std::span<real_t>(recv_buf_.data(), recv_buf_.size()));
       for (std::size_t k = 0; k < nb.recv_ext_positions.size(); ++k)
         x_ext_[static_cast<std::size_t>(nb.recv_ext_positions[k])] =
             recv_buf_[k];

@@ -1,11 +1,13 @@
 #include "par/comm.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -23,109 +25,378 @@ class Aborted : public Error {
 
 namespace detail {
 
-struct Message {
-  int src;
-  int tag;
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+inline double seconds_since(SteadyClock::time_point t0) {
+  return std::chrono::duration<double>(SteadyClock::now() - t0).count();
+}
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Busy-wait budget before parking on a condition variable.  Arrivals in
+/// the solver hot paths (neighbor exchange, reduction tree) land within a
+/// few hundred nanoseconds, so the spin phase absorbs nearly all waits;
+/// the condvar is the backstop for genuinely idle ranks.
+constexpr int kSpinIters = 1 << 14;
+
+/// Spinning only helps when the partner can make progress on another
+/// core; on a single-CPU machine it burns the waiter's whole timeslice
+/// while the partner is runnable-but-not-running, so skip straight to
+/// the yield phase there.
+inline int spin_budget() {
+  static const int budget =
+      std::thread::hardware_concurrency() > 1 ? kSpinIters : 0;
+  return budget;
+}
+
+/// sched_yield attempts between spinning and parking.  When ranks are
+/// oversubscribed a yield donates the timeslice to the runnable partner
+/// and the handoff completes without the futex sleep/wake syscall pair.
+constexpr int kYieldIters = 256;
+
+}  // namespace
+
+/// One preallocated message slot of an SPSC ring.  `full` is the
+/// synchronization point: the sender owns the slot while false, the
+/// receiver while true.  Payload capacity grows on first use and is then
+/// reused forever — no steady-state allocation.
+struct Slot {
+  std::atomic<bool> full{false};
+  int tag = 0;
+  std::size_t size = 0;
   Vector payload;
 };
 
-struct Mailbox {
+/// Persistent single-producer/single-consumer channel for one ordered
+/// rank pair.  head is touched only by the sender, tail and stash only by
+/// the receiver; cross-thread visibility runs through Slot::full.
+///
+/// The stash holds messages the receiver popped while scanning for a
+/// different tag (a seldom-used MPI-style out-of-order match); FIFO order
+/// per tag is preserved because stashed messages are always older than
+/// anything still in the ring.
+struct Channel {
+  // Deep enough that the solver's 1-2 messages per neighbor per
+  // iteration never block, shallow enough that the ring's payload
+  // buffers are revisited while still cache-resident.
+  static constexpr std::size_t kSlots = 8;
+
+  struct Stashed {
+    int tag;
+    Vector payload;
+  };
+
+  std::array<Slot, kSlots> slots;
+  std::size_t head = 0;  ///< sender-owned: next slot to fill
+  std::size_t tail = 0;  ///< receiver-owned: next slot to drain
+  std::vector<Stashed> stash;  ///< receiver-owned out-of-order buffer
+
+  // Parking lot.  The waiting counters gate the notify calls so the
+  // uncontended fast path never touches the mutex; the seq_cst handshake
+  // (Slot::full / *_waiting) makes the gate lost-wakeup-free.
   std::mutex m;
-  std::condition_variable cv;
-  std::deque<Message> msgs;
+  std::condition_variable data_cv;   ///< receiver waits for a full slot
+  std::condition_variable space_cv;  ///< sender waits for a free slot
+  std::atomic<int> recv_waiting{0};
+  std::atomic<int> send_waiting{0};
+};
+
+/// Handoff cell of the reduction tree: the child at tree stage k deposits
+/// its partial accumulator here; the parent folds it.  seq carries the
+/// collective-op generation, so cells need no reset between operations.
+struct ReduceCell {
+  std::atomic<std::uint64_t> seq{0};
+  Vector data;
 };
 
 class TeamState {
  public:
-  explicit TeamState(int size) : size_(size), boxes_(size), slots_(size) {}
+  explicit TeamState(int size)
+      : size_(size),
+        channels_(static_cast<std::size_t>(size) *
+                  static_cast<std::size_t>(size)) {
+    while ((1 << stages_) < size_) ++stages_;
+    cells_ = std::make_unique<ReduceCell[]>(
+        static_cast<std::size_t>(size_) *
+        static_cast<std::size_t>(stages_ == 0 ? 1 : stages_));
+  }
 
   [[nodiscard]] int size() const noexcept { return size_; }
 
-  void deliver(int dest, Message msg) {
-    Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
-    {
-      std::lock_guard<std::mutex> lk(box.m);
-      box.msgs.push_back(std::move(msg));
+  // ---- Point-to-point ---------------------------------------------------
+
+  void push(int src, int dst, int tag, std::span<const real_t> data,
+            PerfCounters& c) {
+    Channel& ch = channel(src, dst);
+    Slot& slot = ch.slots[ch.head % Channel::kSlots];
+    // Ring full: wait for the receiver to free this slot.
+    if (slot.full.load(std::memory_order_seq_cst)) {
+      const auto t0 = SteadyClock::now();
+      wait_until(
+          [&] { return !slot.full.load(std::memory_order_seq_cst); },
+          ch.m, ch.space_cv, ch.send_waiting);
+      c.neighbor_wait_seconds += seconds_since(t0);
     }
-    box.cv.notify_all();
+    check_abort();
+    slot.tag = tag;
+    slot.size = data.size();
+    if (slot.payload.size() < data.size()) slot.payload.resize(data.size());
+    std::copy(data.begin(), data.end(), slot.payload.begin());
+    slot.full.store(true, std::memory_order_seq_cst);
+    ++ch.head;
+    notify_if_waiting(ch.m, ch.data_cv, ch.recv_waiting);
   }
 
-  Vector take(int dest, int src, int tag) {
-    Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
-    std::unique_lock<std::mutex> lk(box.m);
-    for (;;) {
-      check_abort();
-      const auto it = std::find_if(
-          box.msgs.begin(), box.msgs.end(),
-          [&](const Message& m) { return m.src == src && m.tag == tag; });
-      if (it != box.msgs.end()) {
-        Vector payload = std::move(it->payload);
-        box.msgs.erase(it);
-        return payload;
+  /// Pop the oldest (src -> dst) message with a matching tag and hand it
+  /// to `sink(payload, n)`.  The payload Vector is mutable so the sink
+  /// may swap its buffer out (single-copy receive) — the slot keeps
+  /// whatever buffer the sink leaves behind, preserving preallocation.
+  /// Non-matching older messages move to the stash so the ring stays a
+  /// compact FIFO.
+  template <typename Sink>
+  void take(int dst, int src, int tag, Sink&& sink, PerfCounters& c) {
+    Channel& ch = channel(src, dst);
+    check_abort();
+    for (auto it = ch.stash.begin(); it != ch.stash.end(); ++it) {
+      if (it->tag == tag) {
+        sink(it->payload, it->payload.size());
+        ch.stash.erase(it);
+        return;
       }
-      box.cv.wait_for(lk, std::chrono::milliseconds(50));
+    }
+    for (;;) {
+      Slot& slot = ch.slots[ch.tail % Channel::kSlots];
+      if (!slot.full.load(std::memory_order_seq_cst)) {
+        const auto t0 = SteadyClock::now();
+        wait_until([&] { return slot.full.load(std::memory_order_seq_cst); },
+                   ch.m, ch.data_cv, ch.recv_waiting);
+        c.neighbor_wait_seconds += seconds_since(t0);
+      }
+      check_abort();
+      if (slot.tag == tag) {
+        sink(slot.payload, slot.size);
+        release_slot(ch, slot);
+        return;
+      }
+      // Tag mismatch: move the message aside.  The slot keeps an empty
+      // Vector; push() regrows it on the next use of this ring position.
+      ch.stash.push_back(Channel::Stashed{slot.tag, Vector()});
+      ch.stash.back().payload.swap(slot.payload);
+      ch.stash.back().payload.resize(slot.size);
+      release_slot(ch, slot);
     }
   }
+
+  // ---- Collectives ------------------------------------------------------
 
   /// Sense-reversing barrier that unblocks with Aborted if a rank died.
-  void barrier() {
-    std::unique_lock<std::mutex> lk(barrier_m_);
+  void barrier(PerfCounters& c) {
     check_abort();
-    const std::uint64_t gen = barrier_gen_;
-    if (++barrier_count_ == size_) {
-      barrier_count_ = 0;
-      ++barrier_gen_;
-      barrier_cv_.notify_all();
-      return;
+    if (size_ == 1) return;
+    std::uint64_t gen;
+    bool last;
+    {
+      std::lock_guard<std::mutex> lk(barrier_m_);
+      gen = barrier_gen_.load(std::memory_order_relaxed);
+      last = (++barrier_count_ == size_);
+      if (last) {
+        barrier_count_ = 0;
+        barrier_gen_.store(gen + 1, std::memory_order_seq_cst);
+      }
     }
-    barrier_cv_.wait(lk, [&] {
-      return barrier_gen_ != gen || aborted_.load(std::memory_order_acquire);
-    });
+    if (last) {
+      notify_if_waiting(barrier_m_, barrier_cv_, barrier_waiting_);
+    } else {
+      auto passed = [&] {
+        return barrier_gen_.load(std::memory_order_seq_cst) != gen;
+      };
+      if (!passed() && !aborted()) {
+        const auto t0 = SteadyClock::now();
+        wait_until(passed, barrier_m_, barrier_cv_, barrier_waiting_);
+        c.reduce_wait_seconds += seconds_since(t0);
+      }
+    }
     check_abort();
   }
 
-  /// Deterministic allreduce: every rank deposits into its slot, then all
-  /// ranks fold the slots in rank order (bit-identical results everywhere).
-  void allreduce(int rank, std::span<real_t> inout, bool take_max) {
-    slots_[static_cast<std::size_t>(rank)].assign(inout.begin(), inout.end());
-    barrier();
-    Vector acc(slots_[0]);
-    for (int r = 1; r < size_; ++r) {
-      const Vector& s = slots_[static_cast<std::size_t>(r)];
-      PFEM_CHECK_MSG(s.size() == acc.size(),
-                     "allreduce length mismatch across ranks");
-      for (std::size_t i = 0; i < acc.size(); ++i)
-        acc[i] = take_max ? std::max(acc[i], s[i]) : acc[i] + s[i];
+  /// Deterministic tournament-tree allreduce: contributions flow up a
+  /// binary tree whose pairing is fixed by rank indices (stage k merges
+  /// rank r|2^k into rank r), the root folds in low-rank-first order, and
+  /// the root's bytes are broadcast back — one synchronization sweep, no
+  /// barriers, results independent of arrival order.
+  ///
+  /// `g` is the per-rank collective-op generation; since collectives are
+  /// executed by every rank in the same order, equal g identifies the
+  /// same logical operation on all ranks and the cells/broadcast buffer
+  /// never need clearing between operations.
+  void allreduce(int rank, std::uint64_t g, std::span<real_t> inout,
+                 bool take_max, PerfCounters& c) {
+    check_abort();
+    if (size_ == 1) return;
+    bool deposited = false;
+    for (int k = 0; k < stages_ && !deposited; ++k) {
+      const int bit = 1 << k;
+      if ((rank & bit) == 0) {
+        const int partner = rank | bit;
+        if (partner >= size_) continue;  // no child in this stage
+        ReduceCell& cell = cell_at(partner, k);
+        wait_collective(
+            [&] { return cell.seq.load(std::memory_order_seq_cst) >= g; }, c);
+        PFEM_CHECK_MSG(cell.data.size() == inout.size(),
+                       "allreduce length mismatch across ranks");
+        const real_t* s = cell.data.data();
+        for (std::size_t i = 0; i < inout.size(); ++i)
+          inout[i] = take_max ? std::max(inout[i], s[i]) : inout[i] + s[i];
+      } else {
+        ReduceCell& cell = cell_at(rank, k);
+        cell.data.assign(inout.begin(), inout.end());
+        cell.seq.store(g, std::memory_order_seq_cst);
+        notify_collective();
+        deposited = true;
+      }
     }
-    std::copy(acc.begin(), acc.end(), inout.begin());
-    barrier();  // no rank may overwrite its slot before all have folded
+    if (rank == 0) {
+      bcast_.assign(inout.begin(), inout.end());
+      bcast_gen_.store(g, std::memory_order_seq_cst);
+      notify_collective();
+    } else {
+      wait_collective(
+          [&] { return bcast_gen_.load(std::memory_order_seq_cst) >= g; }, c);
+      // Lengths agree by now: rank 0 folded every contribution (checking
+      // sizes) or threw, which aborts the team before we get here.
+      std::copy_n(bcast_.begin(), inout.size(), inout.begin());
+    }
+    check_abort();
   }
+
+  // ---- Failure handling --------------------------------------------------
 
   void abort() {
-    aborted_.store(true, std::memory_order_release);
+    aborted_.store(true, std::memory_order_seq_cst);
+    for (Channel& ch : channels_) {
+      std::lock_guard<std::mutex> lk(ch.m);
+      ch.data_cv.notify_all();
+      ch.space_cv.notify_all();
+    }
     {
       std::lock_guard<std::mutex> lk(barrier_m_);
       barrier_cv_.notify_all();
     }
-    for (Mailbox& box : boxes_) {
-      std::lock_guard<std::mutex> lk(box.m);
-      box.cv.notify_all();
+    {
+      std::lock_guard<std::mutex> lk(coll_m_);
+      coll_cv_.notify_all();
     }
   }
 
  private:
+  [[nodiscard]] Channel& channel(int src, int dst) {
+    return channels_[static_cast<std::size_t>(src) *
+                         static_cast<std::size_t>(size_) +
+                     static_cast<std::size_t>(dst)];
+  }
+
+  [[nodiscard]] ReduceCell& cell_at(int rank, int stage) {
+    return cells_[static_cast<std::size_t>(rank) *
+                      static_cast<std::size_t>(stages_) +
+                  static_cast<std::size_t>(stage)];
+  }
+
+  [[nodiscard]] bool aborted() const {
+    return aborted_.load(std::memory_order_seq_cst);
+  }
+
   void check_abort() const {
-    if (aborted_.load(std::memory_order_acquire)) throw Aborted{};
+    if (aborted()) throw Aborted{};
+  }
+
+  void release_slot(Channel& ch, Slot& slot) {
+    slot.full.store(false, std::memory_order_seq_cst);
+    ++ch.tail;
+    notify_if_waiting(ch.m, ch.space_cv, ch.send_waiting);
+  }
+
+  /// Publisher side of the parking-lot handshake: the waiting counter is
+  /// read after the seq_cst publish of the condition, so a waiter that
+  /// missed the publish is guaranteed to be visible here (and vice
+  /// versa) — the Dekker-style store/load pairing rules out lost wakeups
+  /// without taking the mutex on the fast path.
+  static void notify_if_waiting(std::mutex& m, std::condition_variable& cv,
+                                std::atomic<int>& waiting) {
+    if (waiting.load(std::memory_order_seq_cst) != 0) {
+      // Empty critical section: any waiter that registered but has not
+      // finished its predicate re-check under the lock is flushed out.
+      // notify_all runs after unlock so the woken thread never bounces
+      // off a mutex we still hold.
+      { std::lock_guard<std::mutex> lk(m); }
+      cv.notify_all();
+    }
+  }
+
+  /// Waiter side: spin on the predicate, then yield, then park.  The
+  /// waiting counter is bumped before the final predicate check inside
+  /// cv.wait.
+  template <typename Pred>
+  void wait_until(Pred pred, std::mutex& m, std::condition_variable& cv,
+                  std::atomic<int>& waiting) {
+    auto done = [&] { return pred() || aborted(); };
+    for (int i = spin_budget(); i > 0; --i) {
+      if (done()) return;
+      cpu_relax();
+    }
+    for (int i = 0; i < kYieldIters; ++i) {
+      if (done()) return;
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lk(m);
+    waiting.fetch_add(1, std::memory_order_seq_cst);
+    cv.wait(lk, done);
+    waiting.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  template <typename Pred>
+  void wait_collective(Pred pred, PerfCounters& c) {
+    auto done = [&] { return pred() || aborted(); };
+    if (!done()) {
+      const auto t0 = SteadyClock::now();
+      wait_until(pred, coll_m_, coll_cv_, coll_waiting_);
+      c.reduce_wait_seconds += seconds_since(t0);
+    }
+    check_abort();
+  }
+
+  void notify_collective() {
+    notify_if_waiting(coll_m_, coll_cv_, coll_waiting_);
   }
 
   int size_;
-  std::vector<Mailbox> boxes_;
-  std::vector<Vector> slots_;
+  std::vector<Channel> channels_;  ///< channel(src, dst) = src * P + dst
 
+  // Reduction tree state.
+  int stages_ = 0;  ///< ceil(log2 P)
+  std::unique_ptr<ReduceCell[]> cells_;
+  Vector bcast_;
+  std::atomic<std::uint64_t> bcast_gen_{0};
+  std::mutex coll_m_;
+  std::condition_variable coll_cv_;
+  std::atomic<int> coll_waiting_{0};
+
+  // Barrier state.
   std::mutex barrier_m_;
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
-  std::uint64_t barrier_gen_ = 0;
+  std::atomic<std::uint64_t> barrier_gen_{0};
+  std::atomic<int> barrier_waiting_{0};
+
   std::atomic<bool> aborted_{false};
 };
 
@@ -138,34 +409,64 @@ void Comm::send(int dest, int tag, std::span<const real_t> data) {
   PFEM_CHECK_MSG(dest != rank_, "self-send is not supported");
   counters_->neighbor_msgs += 1;
   counters_->neighbor_bytes += sizeof(real_t) * data.size();
-  team_->deliver(dest, detail::Message{rank_, tag,
-                                       Vector(data.begin(), data.end())});
+  counters_->msg_size_hist[PerfCounters::hist_bucket(
+      sizeof(real_t) * data.size())] += 1;
+  team_->push(rank_, dest, tag, data, *counters_);
 }
 
 void Comm::recv(int src, int tag, Vector& out) {
   PFEM_CHECK(src >= 0 && src < size());
-  out = team_->take(rank_, src, tag);
+  PFEM_CHECK_MSG(src != rank_, "self-recv is not supported");
+  team_->take(
+      rank_, src, tag,
+      [&](Vector& payload, std::size_t n) {
+        // Single-copy receive: steal the message buffer and leave ours
+        // behind for the channel to reuse.
+        out.swap(payload);
+        out.resize(n);
+      },
+      *counters_);
+  counters_->neighbor_msgs_recv += 1;
+  counters_->neighbor_bytes_recv += sizeof(real_t) * out.size();
 }
 
-void Comm::barrier() { team_->barrier(); }
+void Comm::recv(int src, int tag, std::span<real_t> out) {
+  PFEM_CHECK(src >= 0 && src < size());
+  PFEM_CHECK_MSG(src != rank_, "self-recv is not supported");
+  team_->take(
+      rank_, src, tag,
+      [&](Vector& payload, std::size_t n) {
+        PFEM_CHECK_MSG(n == out.size(),
+                       "recv into span: message length does not match the "
+                       "preposted buffer");
+        std::copy_n(payload.begin(), n, out.begin());
+      },
+      *counters_);
+  counters_->neighbor_msgs_recv += 1;
+  counters_->neighbor_bytes_recv += sizeof(real_t) * out.size();
+}
+
+void Comm::barrier() { team_->barrier(*counters_); }
 
 real_t Comm::allreduce_sum(real_t x) {
   counters_->global_reductions += 1;
   counters_->global_bytes += sizeof(real_t);
-  team_->allreduce(rank_, std::span<real_t>(&x, 1), /*take_max=*/false);
+  team_->allreduce(rank_, ++coll_seq_, std::span<real_t>(&x, 1),
+                   /*take_max=*/false, *counters_);
   return x;
 }
 
 void Comm::allreduce_sum(std::span<real_t> inout) {
   counters_->global_reductions += 1;
   counters_->global_bytes += sizeof(real_t) * inout.size();
-  team_->allreduce(rank_, inout, /*take_max=*/false);
+  team_->allreduce(rank_, ++coll_seq_, inout, /*take_max=*/false, *counters_);
 }
 
 real_t Comm::allreduce_max(real_t x) {
   counters_->global_reductions += 1;
   counters_->global_bytes += sizeof(real_t);
-  team_->allreduce(rank_, std::span<real_t>(&x, 1), /*take_max=*/true);
+  team_->allreduce(rank_, ++coll_seq_, std::span<real_t>(&x, 1),
+                   /*take_max=*/true, *counters_);
   return x;
 }
 
@@ -180,13 +481,18 @@ std::vector<PerfCounters> run_spmd(int nranks,
 
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
-      Comm comm(r, &team, &counters[static_cast<std::size_t>(r)]);
+      PerfCounters& c = counters[static_cast<std::size_t>(r)];
+      Comm comm(r, &team, &c);
+      const auto t0 = std::chrono::steady_clock::now();
       try {
         fn(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         team.abort();
       }
+      c.total_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
     });
   }
   for (std::thread& t : threads) t.join();

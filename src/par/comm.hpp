@@ -8,10 +8,18 @@
 // allreduce.  All solver code in src/core is written SPMD against this
 // API exactly as it would be against MPI_Send/MPI_Recv/MPI_Allreduce.
 //
-// Determinism: allreduce combines rank contributions in rank order, so
-// every rank observes bit-identical results and all ranks take identical
-// convergence branches — the property MPI programs get from
-// MPI_Allreduce's single rooted combine.
+// Transport: one persistent single-producer/single-consumer channel per
+// ordered rank pair, with a fixed ring of preallocated payload slots.
+// Steady state a message costs two memcpys (sender -> slot -> receiver)
+// and zero heap allocations; blocked ranks spin briefly, then park on a
+// condition variable with a predicate (no timed polling).
+//
+// Determinism: allreduce combines contributions along a fixed binary
+// tournament tree (pair order determined by rank indices alone, never by
+// arrival), the root's result is broadcast, so every rank observes
+// bit-identical results and all ranks take identical convergence
+// branches — the property MPI programs get from MPI_Allreduce's single
+// rooted combine.
 #pragma once
 
 #include <functional>
@@ -40,6 +48,11 @@ class Comm {
   /// Blocking receive matching (src, tag); resizes `out`.
   void recv(int src, int tag, Vector& out);
 
+  /// Blocking receive matching (src, tag) into a preposted buffer whose
+  /// size must equal the message length exactly — the zero-allocation
+  /// path the exchange kernels use.
+  void recv(int src, int tag, std::span<real_t> out);
+
   /// Synchronize all ranks.
   void barrier();
 
@@ -65,6 +78,7 @@ class Comm {
   int rank_;
   detail::TeamState* team_;
   PerfCounters* counters_;
+  std::uint64_t coll_seq_ = 0;  ///< this rank's collective-op count
 };
 
 /// Launch `nranks` SPMD ranks running `fn`, one thread each; returns the

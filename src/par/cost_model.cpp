@@ -29,10 +29,15 @@ ModeledTime model_time(const MachineModel& machine,
   for (const PerfCounters& c : ranks) {
     max_compute = std::max(
         max_compute, static_cast<double>(c.flops) * machine.flop_time);
-    max_neighbor =
-        std::max(max_neighbor,
-                 static_cast<double>(c.neighbor_msgs) * machine.latency +
-                     static_cast<double>(c.neighbor_bytes) * machine.byte_time);
+    // A rank pays α + bytes·β at each end of a point-to-point message:
+    // sends and receives are both charged (the counters record the two
+    // sides separately).
+    const auto msgs = static_cast<double>(c.neighbor_msgs) +
+                      static_cast<double>(c.neighbor_msgs_recv);
+    const auto bytes = static_cast<double>(c.neighbor_bytes) +
+                       static_cast<double>(c.neighbor_bytes_recv);
+    max_neighbor = std::max(
+        max_neighbor, msgs * machine.latency + bytes * machine.byte_time);
     max_reductions = std::max(max_reductions, c.global_reductions);
     max_red_bytes = std::max(max_red_bytes, c.global_bytes);
   }

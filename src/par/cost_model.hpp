@@ -9,6 +9,10 @@
 //   T_p = max_s [ flops(s)·γ  +  msgs(s)·α + bytes(s)·β ]
 //         + reductions·⌈log2 P⌉·(α_red + bytes_red·β)
 //
+// where msgs(s)/bytes(s) cover both directions of rank s's traffic — a
+// message costs α + bytes·β at the sender and again at the receiver
+// (the counters record the two sides separately).
+//
 // which is the standard postal/LogP-style model the paper itself appeals
 // to ("communication time per inner product is O(log P) on the
 // hypercube/HiPPI-switch architectures", §5).  Machine presets encode the

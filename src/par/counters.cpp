@@ -1,0 +1,76 @@
+#include "par/counters.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pfem::par {
+
+namespace {
+
+void append_rank(std::ostringstream& os, const PerfCounters& c) {
+  os << "{"
+     << "\"flops\":" << c.flops << ","
+     << "\"neighbor\":{"
+     << "\"msgs_sent\":" << c.neighbor_msgs << ","
+     << "\"bytes_sent\":" << c.neighbor_bytes << ","
+     << "\"msgs_recv\":" << c.neighbor_msgs_recv << ","
+     << "\"bytes_recv\":" << c.neighbor_bytes_recv << ","
+     << "\"exchanges\":" << c.neighbor_exchanges << "},"
+     << "\"global\":{"
+     << "\"reductions\":" << c.global_reductions << ","
+     << "\"bytes\":" << c.global_bytes << "},"
+     << "\"kernels\":{"
+     << "\"matvecs\":" << c.matvecs << ","
+     << "\"inner_products\":" << c.inner_products << ","
+     << "\"vector_updates\":" << c.vector_updates << "},"
+     << "\"time\":{"
+     << "\"total_s\":" << c.total_seconds << ","
+     << "\"compute_s\":" << c.compute_seconds() << ","
+     << "\"neighbor_wait_s\":" << c.neighbor_wait_seconds << ","
+     << "\"reduce_wait_s\":" << c.reduce_wait_seconds << "},"
+     << "\"msg_size_hist\":[";
+  for (std::size_t b = 0; b < PerfCounters::kHistBuckets; ++b) {
+    if (b != 0) os << ",";
+    os << c.msg_size_hist[b];
+  }
+  os << "]}";
+}
+
+void append_list(std::ostringstream& os, std::span<const PerfCounters> list) {
+  os << "[";
+  for (std::size_t r = 0; r < list.size(); ++r) {
+    if (r != 0) os << ",";
+    append_rank(os, list[r]);
+  }
+  os << "]";
+}
+
+}  // namespace
+
+std::string counters_json(std::span<const PerfCounters> ranks,
+                          std::span<const PerfCounters> setup) {
+  std::ostringstream os;
+  os << "{\"ranks\":";
+  append_list(os, ranks);
+  if (!setup.empty()) {
+    os << ",\"setup\":";
+    append_list(os, setup);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+bool dump_counters_json(const std::string& path,
+                        std::span<const PerfCounters> ranks,
+                        std::span<const PerfCounters> setup) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "counters-json: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  out << counters_json(ranks, setup);
+  return out.good();
+}
+
+}  // namespace pfem::par

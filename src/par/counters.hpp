@@ -6,19 +6,36 @@
 // increments these counters; the cost model (cost_model.hpp) turns them
 // into modeled machine time, and bench/table1_complexity prints them per
 // iteration to reproduce the table.
+//
+// Beyond the Table-1 counts, the runtime records an observability layer:
+// wall time split into compute / neighbor-wait / reduction-wait, both
+// sides of the point-to-point traffic (messages are charged to the sender
+// *and* the receiver — the cost model bills α at each end), and a log2
+// histogram of sent message sizes.  counters_json() serializes all of it
+// for the bench binaries' --counters-json dumps.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <span>
+#include <string>
 
 namespace pfem::par {
 
 struct PerfCounters {
+  /// Histogram buckets: bucket b counts sent messages whose payload is in
+  /// [2^(b-1), 2^b) bytes (bucket 0: empty payloads; last bucket: >= 1 MiB).
+  static constexpr std::size_t kHistBuckets = 22;
+
   // Raw work.
   std::uint64_t flops = 0;
 
-  // Nearest-neighbor (point-to-point) traffic, counted at the sender.
+  // Nearest-neighbor (point-to-point) traffic, counted symmetrically:
+  // *_msgs/*_bytes at the sender, *_msgs_recv/*_bytes_recv at the receiver.
   std::uint64_t neighbor_msgs = 0;
   std::uint64_t neighbor_bytes = 0;
+  std::uint64_t neighbor_msgs_recv = 0;
+  std::uint64_t neighbor_bytes_recv = 0;
   std::uint64_t neighbor_exchanges = 0;  ///< logical ⊕Σ_{∂Ω} operations
 
   // Global collectives.
@@ -30,18 +47,52 @@ struct PerfCounters {
   std::uint64_t inner_products = 0;
   std::uint64_t vector_updates = 0;
 
+  // Wall-time split (seconds).  total_seconds covers the whole rank
+  // callback; the wait fields accumulate time spent blocked in the
+  // runtime (send/recv vs. barrier/allreduce).  Compute time is the
+  // remainder, see compute_seconds().
+  double total_seconds = 0.0;
+  double neighbor_wait_seconds = 0.0;
+  double reduce_wait_seconds = 0.0;
+
+  /// Sent-message size histogram (log2 buckets of payload bytes).
+  std::array<std::uint64_t, kHistBuckets> msg_size_hist{};
+
+  [[nodiscard]] double compute_seconds() const {
+    const double c = total_seconds - neighbor_wait_seconds -
+                     reduce_wait_seconds;
+    return c > 0.0 ? c : 0.0;
+  }
+
+  /// Bucket index for a sent payload of `bytes` bytes.
+  [[nodiscard]] static std::size_t hist_bucket(std::uint64_t bytes) {
+    std::size_t b = 0;
+    while (bytes != 0 && b + 1 < kHistBuckets) {
+      bytes >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
   void reset() { *this = PerfCounters{}; }
 
   PerfCounters& operator+=(const PerfCounters& o) {
     flops += o.flops;
     neighbor_msgs += o.neighbor_msgs;
     neighbor_bytes += o.neighbor_bytes;
+    neighbor_msgs_recv += o.neighbor_msgs_recv;
+    neighbor_bytes_recv += o.neighbor_bytes_recv;
     neighbor_exchanges += o.neighbor_exchanges;
     global_reductions += o.global_reductions;
     global_bytes += o.global_bytes;
     matvecs += o.matvecs;
     inner_products += o.inner_products;
     vector_updates += o.vector_updates;
+    total_seconds += o.total_seconds;
+    neighbor_wait_seconds += o.neighbor_wait_seconds;
+    reduce_wait_seconds += o.reduce_wait_seconds;
+    for (std::size_t b = 0; b < kHistBuckets; ++b)
+      msg_size_hist[b] += o.msg_size_hist[b];
     return *this;
   }
 
@@ -50,18 +101,39 @@ struct PerfCounters {
     auto sub = [](std::uint64_t a, std::uint64_t b) {
       return a >= b ? a - b : 0;
     };
+    auto subd = [](double a, double b) { return a >= b ? a - b : 0.0; };
     PerfCounters d;
     d.flops = sub(flops, base.flops);
     d.neighbor_msgs = sub(neighbor_msgs, base.neighbor_msgs);
     d.neighbor_bytes = sub(neighbor_bytes, base.neighbor_bytes);
+    d.neighbor_msgs_recv = sub(neighbor_msgs_recv, base.neighbor_msgs_recv);
+    d.neighbor_bytes_recv = sub(neighbor_bytes_recv, base.neighbor_bytes_recv);
     d.neighbor_exchanges = sub(neighbor_exchanges, base.neighbor_exchanges);
     d.global_reductions = sub(global_reductions, base.global_reductions);
     d.global_bytes = sub(global_bytes, base.global_bytes);
     d.matvecs = sub(matvecs, base.matvecs);
     d.inner_products = sub(inner_products, base.inner_products);
     d.vector_updates = sub(vector_updates, base.vector_updates);
+    d.total_seconds = subd(total_seconds, base.total_seconds);
+    d.neighbor_wait_seconds =
+        subd(neighbor_wait_seconds, base.neighbor_wait_seconds);
+    d.reduce_wait_seconds = subd(reduce_wait_seconds, base.reduce_wait_seconds);
+    for (std::size_t b = 0; b < kHistBuckets; ++b)
+      d.msg_size_hist[b] = sub(msg_size_hist[b], base.msg_size_hist[b]);
     return d;
   }
 };
+
+/// Serialize per-rank counters (and optionally the setup-phase counters)
+/// as a JSON document: {"ranks": [...], "setup": [...]}.
+[[nodiscard]] std::string counters_json(
+    std::span<const PerfCounters> ranks,
+    std::span<const PerfCounters> setup = {});
+
+/// Write counters_json() to `path`; returns false (with a message on
+/// stderr) if the file cannot be opened.
+bool dump_counters_json(const std::string& path,
+                        std::span<const PerfCounters> ranks,
+                        std::span<const PerfCounters> setup = {});
 
 }  // namespace pfem::par

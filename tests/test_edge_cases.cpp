@@ -5,6 +5,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/bicgstab.hpp"
+#include "core/cg.hpp"
 #include "core/fgmres.hpp"
 #include "core/orthopoly.hpp"
 #include "core/precond.hpp"
@@ -118,6 +120,32 @@ TEST(FgmresEdge, MaxItersCapReportsNotConverged) {
   EXPECT_FALSE(res.converged);
   EXPECT_EQ(res.iterations, 3);
   EXPECT_EQ(res.history.size(), 3u);
+}
+
+TEST(SolverEdge, ZeroRhsConvergesInZeroIterations) {
+  // ‖f‖ = 0 makes the relative residual 0/0; every Krylov driver must
+  // short-circuit to x = 0, converged, without touching NaNs — even from
+  // a nonzero initial guess.
+  const sparse::CsrMatrix a = sparse::laplace2d(8, 8);
+  const Vector b(64, 0.0);
+  core::IdentityPrecond none;
+  core::SolveOptions opts;
+  opts.tol = 1e-10;
+
+  const auto check = [](const core::SolveResult& res, const Vector& x) {
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, 0);
+    EXPECT_EQ(res.final_relres, 0.0);
+    EXPECT_FALSE(std::isnan(res.final_relres));
+    for (real_t v : x) EXPECT_EQ(v, 0.0);
+  };
+
+  Vector x(64, 3.0);  // nonzero guess must be overwritten with the solution
+  check(core::fgmres(a, b, x, none, opts), x);
+  x.assign(64, -2.0);
+  check(core::pcg(a, b, x, none, opts), x);
+  x.assign(64, 1.5);
+  check(core::bicgstab(a, b, x, none, opts), x);
 }
 
 TEST(FgmresEdge, InvalidOptionsRejected) {

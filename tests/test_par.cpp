@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/error.hpp"
+#include "core/edd_solver.hpp"
+#include "exp/experiments.hpp"
+#include "fem/problems.hpp"
 #include "par/comm.hpp"
 #include "par/cost_model.hpp"
 
@@ -127,7 +132,7 @@ TEST(Comm, ExceptionWhileBlockedInRecv) {
                Error);
 }
 
-TEST(Comm, CountersTrackTraffic) {
+TEST(Comm, CountersTrackTrafficOnBothSides) {
   const auto counters = run_spmd(2, [](Comm& c) {
     if (c.rank() == 0) {
       Vector data(10, 1.0);
@@ -138,11 +143,207 @@ TEST(Comm, CountersTrackTraffic) {
     }
     (void)c.allreduce_sum(1.0);
   });
+  // Send side.
   EXPECT_EQ(counters[0].neighbor_msgs, 1u);
   EXPECT_EQ(counters[0].neighbor_bytes, 80u);
+  EXPECT_EQ(counters[0].neighbor_msgs_recv, 0u);
   EXPECT_EQ(counters[1].neighbor_msgs, 0u);
+  // Receive side is accounted symmetrically.
+  EXPECT_EQ(counters[1].neighbor_msgs_recv, 1u);
+  EXPECT_EQ(counters[1].neighbor_bytes_recv, 80u);
+  // 80-byte payload lands in the [64, 128) histogram bucket of the sender.
+  EXPECT_EQ(counters[0].msg_size_hist[PerfCounters::hist_bucket(80)], 1u);
   EXPECT_EQ(counters[0].global_reductions, 1u);
   EXPECT_EQ(counters[1].global_reductions, 1u);
+}
+
+TEST(Comm, RecvIntoPrepostedSpan) {
+  run_spmd(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      Vector data{4.0, 5.0, 6.0};
+      c.send(1, 3, data);
+    } else {
+      Vector buf(3, 0.0);
+      c.recv(0, 3, std::span<real_t>(buf.data(), buf.size()));
+      EXPECT_DOUBLE_EQ(buf[0], 4.0);
+      EXPECT_DOUBLE_EQ(buf[2], 6.0);
+    }
+  });
+}
+
+TEST(Comm, RecvIntoWrongSizedSpanFails) {
+  EXPECT_THROW(run_spmd(2,
+                        [](Comm& c) {
+                          if (c.rank() == 0) {
+                            Vector data{1.0, 2.0, 3.0};
+                            c.send(1, 0, data);
+                          } else {
+                            Vector buf(4, 0.0);
+                            c.recv(0, 0,
+                                   std::span<real_t>(buf.data(), buf.size()));
+                          }
+                        }),
+               Error);
+}
+
+TEST(Comm, PingPongLatencyWellUnder50ms) {
+  // Regression guard for the seed runtime's 50 ms-granularity polling
+  // receive: a notify racing the mailbox scan cost up to 50 ms per recv.
+  // 250 round trips must average far below that (they take microseconds
+  // on the channel runtime).
+  constexpr int kRounds = 250;
+  const auto t0 = std::chrono::steady_clock::now();
+  run_spmd(2, [](Comm& c) {
+    Vector ball(8, 1.0);
+    Vector buf(8, 0.0);
+    const std::span<real_t> view(buf.data(), buf.size());
+    for (int k = 0; k < kRounds; ++k) {
+      if (c.rank() == 0) {
+        c.send(1, 0, ball);
+        c.recv(1, 0, view);
+      } else {
+        c.recv(0, 0, view);
+        c.send(0, 0, ball);
+      }
+    }
+  });
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // 10 ms per round trip is ~50x looser than measured, but a single
+  // 50 ms poll per recv would need >= 12 s.
+  EXPECT_LT(secs, 0.010 * kRounds);
+}
+
+TEST(Comm, WaitTimeSplitIsRecorded) {
+  const auto counters = run_spmd(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      Vector out;
+      c.recv(1, 0, out);  // blocks ~20 ms -> neighbor wait
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      Vector data{1.0};
+      c.send(0, 0, data);
+    }
+    if (c.rank() == 1)
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    (void)c.allreduce_sum(1.0);  // rank 0 waits ~20 ms -> reduction wait
+  });
+  EXPECT_GT(counters[0].neighbor_wait_seconds, 0.005);
+  EXPECT_GT(counters[0].reduce_wait_seconds, 0.005);
+  EXPECT_GT(counters[0].total_seconds,
+            counters[0].neighbor_wait_seconds +
+                counters[0].reduce_wait_seconds - 1e-9);
+  EXPECT_GE(counters[0].compute_seconds(), 0.0);
+  EXPECT_EQ(counters[1].neighbor_wait_seconds, 0.0);
+}
+
+TEST(Comm, AbortWhileBlockedInAllreduce) {
+  // Ranks 0 and 1 are inside the reduction tree when rank 2 dies; the
+  // whole team must unwind with the originating error.
+  EXPECT_THROW(run_spmd(3,
+                        [](Comm& c) {
+                          if (c.rank() == 2) throw Error("rank 2 failed");
+                          (void)c.allreduce_sum(1.0);
+                        }),
+               Error);
+}
+
+TEST(Comm, AbortWhileBlockedInSend) {
+  // Rank 0 fills the channel ring (the peer never drains it) and blocks
+  // in send; rank 1's failure must release it.
+  EXPECT_THROW(run_spmd(2,
+                        [](Comm& c) {
+                          if (c.rank() == 1) {
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(20));
+                            throw Error("receiver died");
+                          }
+                          Vector v{1.0};
+                          for (int k = 0; k < 4096; ++k) c.send(1, 0, v);
+                        }),
+               Error);
+}
+
+TEST(Comm, ManyMessagesThroughBoundedRing) {
+  // More in-flight traffic than the ring has slots: the sender must
+  // back-pressure and every message still arrives in order.
+  constexpr int kMsgs = 1000;
+  run_spmd(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int k = 0; k < kMsgs; ++k) {
+        Vector data{static_cast<real_t>(k)};
+        c.send(1, 0, data);
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      Vector out;
+      for (int k = 0; k < kMsgs; ++k) {
+        c.recv(0, 0, out);
+        ASSERT_EQ(out.size(), 1u);
+        EXPECT_DOUBLE_EQ(out[0], static_cast<real_t>(k));
+      }
+    }
+  });
+}
+
+// ---- Table-1 exchange accounting and determinism of the full solver ----
+
+TEST(Comm, ExchangeCountsMatchTable1Exactly) {
+  // Whole-run exact counts for a capped solve (tolerance unreachable, one
+  // restart cycle of `it` inner iterations, polynomial degree `deg`):
+  //   Enhanced (Alg. 6): 1 setup + 1 restart residual + it*(deg+1) + 1 final
+  //   Basic    (Alg. 5): 1 setup + 2 restart residual + it*(deg+3) + 3 final
+  // locking the paper's m+1 vs m+3 per-iteration exchanges.
+  fem::CantileverSpec spec;
+  spec.nx = 8;
+  spec.ny = 4;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  const partition::EddPartition part = exp::make_edd(prob, 4);
+
+  core::PolySpec poly;
+  poly.kind = core::PolyKind::Gls;
+  poly.degree = 5;
+  core::SolveOptions opts;
+  opts.tol = 1e-300;
+  opts.max_iters = 3;
+  opts.restart = 25;
+
+  const auto deg = static_cast<std::uint64_t>(poly.degree);
+  const auto it = static_cast<std::uint64_t>(opts.max_iters);
+
+  const core::DistSolveResult enhanced = core::solve_edd(
+      part, prob.load, poly, opts, core::EddVariant::Enhanced);
+  for (const PerfCounters& c : enhanced.rank_counters)
+    EXPECT_EQ(c.neighbor_exchanges, 3 + it * (deg + 1));
+
+  const core::DistSolveResult basic =
+      core::solve_edd(part, prob.load, poly, opts, core::EddVariant::Basic);
+  for (const PerfCounters& c : basic.rank_counters)
+    EXPECT_EQ(c.neighbor_exchanges, 6 + it * (deg + 3));
+}
+
+TEST(Comm, SolveEddIsBitDeterministic) {
+  // The tree allreduce folds in a fixed order and broadcasts the root's
+  // bytes, so two runs over the same inputs must agree bit for bit.
+  fem::CantileverSpec spec;
+  spec.nx = 8;
+  spec.ny = 4;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  const partition::EddPartition part = exp::make_edd(prob, 4);
+
+  core::PolySpec poly;
+  core::SolveOptions opts;
+  opts.tol = 1e-10;
+  const core::DistSolveResult a = core::solve_edd(part, prob.load, poly, opts);
+  const core::DistSolveResult b = core::solve_edd(part, prob.load, poly, opts);
+  ASSERT_TRUE(a.converged && b.converged);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t i = 0; i < a.x.size(); ++i)
+    ASSERT_EQ(a.x[i], b.x[i]) << "bitwise mismatch at dof " << i;
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i)
+    ASSERT_EQ(a.history[i], b.history[i]);
 }
 
 TEST(Comm, SelfSendRejected) {
