@@ -36,6 +36,16 @@ inline void print_history(const std::string& label,
             << exp::Table::sci(history.back(), 1) << "\n";
 }
 
+/// Integer given via e.g. --rhs=N (prefix includes the '='), or the
+/// fallback when the flag is absent.
+inline int int_flag(int argc, char** argv, const char* prefix, int fallback) {
+  const std::size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix, len) == 0)
+      return std::stoi(argv[i] + len);
+  return fallback;
+}
+
 /// Path given via --counters-json=FILE, or "" when the flag is absent.
 inline std::string counters_json_path(int argc, char** argv) {
   constexpr const char* kFlag = "--counters-json=";

@@ -1,0 +1,188 @@
+// Solve-service load bench: what the warm path actually buys.
+//
+// Three ways to push N right-hand sides through the same operator at
+// P = 4:
+//
+//   cold solve_edd   — the pre-service workflow: every solve spawns a
+//                      fresh team, redoes the norm-1 scaling and the
+//                      polynomial build, solves one RHS;
+//   warm closed-loop — a Service with concurrent closed-loop clients:
+//                      operator built once, requests coalesce into
+//                      fused multi-RHS batches;
+//   warm open-loop   — requests arrive in one burst (maximum batching
+//                      headroom), futures harvested afterwards.
+//
+// Prints solves/sec and the speedup over the cold baseline.  The warm
+// batched service is expected to clear 2x cold throughput — that ratio
+// is what justifies the svc layer (see DESIGN.md).
+#include <algorithm>
+#include <future>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "exp/experiments.hpp"
+#include "exp/table.hpp"
+#include "fem/problems.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace pfem;
+
+constexpr int kRanks = 4;
+
+struct Workload {
+  fem::CantileverProblem prob;
+  std::shared_ptr<const partition::EddPartition> part;
+  core::PolySpec poly;
+  std::vector<Vector> rhs;  ///< N distinct load vectors
+};
+
+Workload make_workload(int nx, int ny, int n_rhs) {
+  fem::CantileverSpec spec;
+  spec.nx = nx;
+  spec.ny = ny;
+  fem::CantileverProblem prob = fem::make_cantilever(spec);
+  auto part = std::make_shared<const partition::EddPartition>(
+      exp::make_edd(prob, kRanks));
+  core::PolySpec poly;
+  poly.kind = core::PolyKind::Gls;
+  poly.degree = 7;
+  std::vector<Vector> rhs;
+  for (int i = 0; i < n_rhs; ++i) {
+    Vector f = prob.load;
+    for (real_t& v : f) v *= 1.0 + 0.05 * static_cast<real_t>(i);
+    rhs.push_back(std::move(f));
+  }
+  return Workload{std::move(prob), std::move(part), poly, std::move(rhs)};
+}
+
+double run_cold(const Workload& w) {
+  const WallTimer t;
+  for (const Vector& f : w.rhs) {
+    const auto res = core::solve_edd(*w.part, f, w.poly);
+    PFEM_CHECK(res.converged);
+  }
+  return t.seconds();
+}
+
+double run_warm_burst(const Workload& w, std::uint64_t* batches) {
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  cfg.max_batch_rhs = w.rhs.size();
+  svc::Service service(cfg);
+  service.register_operator("op", w.part, w.poly);
+  // Warm the cache so the bench isolates the steady state.
+  {
+    svc::SolveRequest req;
+    req.operator_key = "op";
+    req.rhs.push_back(w.rhs.front());
+    PFEM_CHECK(svc::ok(service.submit(std::move(req)).outcome.get()));
+  }
+  const WallTimer t;
+  // Hold dispatch while the burst lands so all N RHS coalesce into one
+  // fused batch — the open-loop best case.
+  service.set_paused(true);
+  std::vector<std::future<svc::Outcome>> pending;
+  for (const Vector& f : w.rhs) {
+    svc::SolveRequest req;
+    req.operator_key = "op";
+    req.rhs.push_back(f);
+    pending.push_back(service.submit(std::move(req)).outcome);
+  }
+  service.set_paused(false);
+  for (auto& fut : pending) PFEM_CHECK(svc::ok(fut.get()));
+  const double seconds = t.seconds();
+  if (batches != nullptr) *batches = service.stats().batches - 1;
+  service.shutdown();
+  return seconds;
+}
+
+double run_warm_closed(const Workload& w, int clients) {
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  service.register_operator("op", w.part, w.poly);
+  {
+    svc::SolveRequest req;
+    req.operator_key = "op";
+    req.rhs.push_back(w.rhs.front());
+    PFEM_CHECK(svc::ok(service.submit(std::move(req)).outcome.get()));
+  }
+  std::atomic<std::size_t> next{0};
+  const WallTimer t;
+  std::vector<std::thread> workers;
+  for (int c = 0; c < clients; ++c)
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= w.rhs.size()) return;
+        svc::SolveRequest req;
+        req.operator_key = "op";
+        req.rhs.push_back(w.rhs[i]);
+        PFEM_CHECK(svc::ok(service.submit(std::move(req)).outcome.get()));
+      }
+    });
+  for (auto& th : workers) th.join();
+  const double seconds = t.seconds();
+  service.shutdown();
+  return seconds;
+}
+
+}  // namespace
+
+/// Median of three timing runs: single-core scheduling noise easily
+/// swings one run by 2x, the median run far less.
+template <class Fn>
+double median3(Fn&& fn) {
+  double a = fn(), b = fn(), c = fn();
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+int main(int argc, char** argv) {
+  const bool full = bench::full_run(argc, argv);
+  // Default sizing keeps per-rank compute small so per-solve
+  // synchronization — the thing the fused batch actually removes — is a
+  // visible fraction of the cold baseline.
+  const int nx = bench::int_flag(argc, argv, "--nx=", full ? 24 : 12);
+  const int ny = bench::int_flag(argc, argv, "--ny=", full ? 8 : 4);
+  const int n_rhs = bench::int_flag(argc, argv, "--rhs=", 32);
+  const Workload w = make_workload(nx, ny, n_rhs);
+  exp::banner(std::cout,
+              "Service load bench — " +
+                  std::to_string(w.prob.dofs.num_free()) + " equations, P=" +
+                  std::to_string(kRanks) + ", " + std::to_string(n_rhs) +
+                  " RHS, " + w.poly.name());
+
+  const double cold_s = median3([&] { return run_cold(w); });
+  std::uint64_t burst_batches = 0;
+  const double burst_s =
+      median3([&] { return run_warm_burst(w, &burst_batches); });
+  const double closed_s =
+      median3([&] { return run_warm_closed(w, /*clients=*/4); });
+
+  const double n = static_cast<double>(n_rhs);
+  exp::Table table({"mode", "solves/s", "speedup vs cold"});
+  table.add_row({"cold solve_edd (rebuild every call)",
+                 exp::Table::num(n / cold_s, 1), exp::Table::num(1.0, 2)});
+  table.add_row({"warm service, 4 closed-loop clients",
+                 exp::Table::num(n / closed_s, 1),
+                 exp::Table::num(cold_s / closed_s, 2)});
+  table.add_row({"warm service, burst (" + std::to_string(burst_batches) +
+                     " fused batches)",
+                 exp::Table::num(n / burst_s, 1),
+                 exp::Table::num(cold_s / burst_s, 2)});
+  table.print(std::cout);
+
+  const double speedup = cold_s / burst_s;
+  std::cout << "\nwarm burst speedup over cold: " << exp::Table::num(speedup, 2)
+            << "x (acceptance floor: 2x)\n";
+  if (speedup < 2.0) {
+    std::cerr << "svc_load: FAILED — warm service below 2x cold throughput\n";
+    return 1;
+  }
+  return 0;
+}

@@ -135,7 +135,7 @@ void edd_bicgstab_rank(const EddPartition& part, const CsrMatrix& k_in,
   for (std::size_t l = 0; l < nl; ++l) b_glob[l] = d[l] * f_loc[l];
   r.exchange(b_glob);  // rhs in global format once and for all
 
-  DistPoly poly(spec, nl);
+  DistPoly poly(spec, nl, &r.counters());
   out.setup_counters[static_cast<std::size_t>(rank)] = comm.counters();
 
   // Distributed mat-vec: global -> global (one exchange).
@@ -233,7 +233,7 @@ DistSolveResult solve_edd_bicgstab(
     const PolySpec& spec, const SolveOptions& opts,
     const std::vector<sparse::CsrMatrix>* local_matrices) {
   PFEM_CHECK(f_global.size() == static_cast<std::size_t>(part.n_global));
-  if (spec.kind == PolyKind::Gls) validate_theta(spec.theta);
+  validate_poly_spec(spec);
   if (local_matrices != nullptr)
     PFEM_CHECK(local_matrices->size() == part.subs.size());
   const int p = part.nparts();

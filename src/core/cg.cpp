@@ -122,7 +122,7 @@ void edd_cg_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
   Vector b_loc(nl);
   for (std::size_t l = 0; l < nl; ++l) b_loc[l] = d[l] * f_loc[l];
 
-  DistPoly poly(spec, nl);
+  DistPoly poly(spec, nl, &r.counters());
   out.setup_counters[static_cast<std::size_t>(s)] = comm.counters();
 
   // ---- PCG.  x, p, z in global format; residual kept in both formats.
@@ -205,7 +205,7 @@ DistSolveResult solve_edd_cg(const EddPartition& part,
                              const PolySpec& spec, const SolveOptions& opts,
                              const std::vector<sparse::CsrMatrix>* local_matrices) {
   PFEM_CHECK(f_global.size() == static_cast<std::size_t>(part.n_global));
-  if (spec.kind == PolyKind::Gls) validate_theta(spec.theta);
+  validate_poly_spec(spec);
   if (local_matrices != nullptr)
     PFEM_CHECK(local_matrices->size() == part.subs.size());
   const int p = part.nparts();

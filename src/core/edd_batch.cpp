@@ -1,0 +1,507 @@
+#include "core/edd_batch.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/edd_kernels.hpp"
+#include "la/hessenberg_lsq.hpp"
+#include "la/vector_ops.hpp"
+
+namespace pfem::core {
+
+namespace {
+
+using partition::EddPartition;
+using partition::EddSubdomain;
+using sparse::CsrMatrix;
+using detail::DistPoly;
+using detail::EddRank;
+using detail::sqrt_nonneg;
+
+/// Loop-fused polynomial application z_b = P_m(A) v_b for a set of RHS:
+/// the recursions advance in lockstep so each of the m steps does one
+/// SpMV per RHS but only ONE fused neighbor exchange (global-format
+/// discipline, as in Algorithm 6 line 10 via Algorithm 7).
+class BatchPoly {
+ public:
+  BatchPoly(const EddOperatorState& op, std::size_t nl, std::size_t nb)
+      : spec_(op.poly), gls_(op.gls.get()), cheb_(op.cheb.get()) {
+    wa_.assign(nb, Vector(nl));
+    wb_.assign(nb, Vector(nl));
+    wc_.assign(nb, Vector(nl));
+    ex_.reserve(nb);
+  }
+
+  /// vin[i] -> zout[i] for i in [0, count); scratch row i serves input i.
+  void apply(EddRank& r, const CsrMatrix& a,
+             std::span<const Vector* const> vin, std::span<Vector* const> zout) {
+    const std::size_t nb = vin.size();
+    const std::size_t n = r.nl();
+    switch (spec_.kind) {
+      case PolyKind::None:
+        for (std::size_t i = 0; i < nb; ++i) la::copy(*vin[i], *zout[i]);
+        return;
+      case PolyKind::Neumann: {
+        // w_k = v + (I - omega*A) w_{k-1}, all in global format.
+        for (std::size_t i = 0; i < nb; ++i) la::copy(*vin[i], wa_[i]);
+        for (int k = 0; k < spec_.degree; ++k) {
+          ex_.clear();
+          for (std::size_t i = 0; i < nb; ++i) {
+            r.spmv(a, wa_[i], wb_[i]);
+            ex_.push_back(&wb_[i]);
+          }
+          r.exchange_many(ex_);
+          for (std::size_t i = 0; i < nb; ++i) {
+            const Vector& v = *vin[i];
+            Vector& w = wa_[i];
+            const Vector& aw = wb_[i];
+            for (std::size_t l = 0; l < n; ++l)
+              w[l] = v[l] + w[l] - spec_.omega * aw[l];
+            r.counters().flops += 3 * n;
+            r.counters().vector_updates += 1;
+          }
+        }
+        for (std::size_t i = 0; i < nb; ++i) {
+          Vector& z = *zout[i];
+          for (std::size_t l = 0; l < n; ++l) z[l] = spec_.omega * wa_[i][l];
+          r.counters().flops += n;
+        }
+        return;
+      }
+      case PolyKind::Gls: {
+        const OrthoBasis& basis = gls_->basis();
+        const auto mu = gls_->mu();
+        const real_t inv0 = 1.0 / basis.sqrt_beta(0);
+        for (std::size_t i = 0; i < nb; ++i) {
+          la::fill(wa_[i], 0.0);  // u_prev
+          Vector& u = wb_[i];
+          Vector& z = *zout[i];
+          const Vector& v = *vin[i];
+          for (std::size_t l = 0; l < n; ++l) {
+            u[l] = inv0 * v[l];
+            z[l] = mu[0] * u[l];
+          }
+          r.counters().flops += 2 * n;
+        }
+        for (int s = 0; s < spec_.degree; ++s) {
+          ex_.clear();
+          for (std::size_t i = 0; i < nb; ++i) {
+            r.spmv(a, wb_[i], wc_[i]);
+            ex_.push_back(&wc_[i]);
+          }
+          r.exchange_many(ex_);
+          const real_t as = basis.alpha(s);
+          const real_t sb_s = basis.sqrt_beta(s);
+          const real_t sb_n = basis.sqrt_beta(s + 1);
+          const real_t mu_next = mu[static_cast<std::size_t>(s) + 1];
+          for (std::size_t i = 0; i < nb; ++i) {
+            Vector& u_prev = wa_[i];
+            Vector& u = wb_[i];
+            const Vector& au = wc_[i];
+            Vector& z = *zout[i];
+            for (std::size_t l = 0; l < n; ++l) {
+              const real_t t =
+                  (au[l] - as * u[l] - (s > 0 ? sb_s * u_prev[l] : 0.0)) /
+                  sb_n;
+              u_prev[l] = u[l];
+              u[l] = t;
+              z[l] += mu_next * t;
+            }
+            r.counters().flops += 7 * n;
+            r.counters().vector_updates += 1;
+          }
+        }
+        return;
+      }
+      case PolyKind::Chebyshev: {
+        const real_t theta =
+            0.5 * (cheb_->interval().lo + cheb_->interval().hi);
+        const real_t delta =
+            0.5 * (cheb_->interval().hi - cheb_->interval().lo);
+        const real_t sigma1 = theta / delta;
+        real_t rho = 1.0 / sigma1;
+        for (std::size_t i = 0; i < nb; ++i) {
+          Vector& res = wa_[i];
+          Vector& d = wb_[i];
+          Vector& z = *zout[i];
+          la::copy(*vin[i], res);
+          for (std::size_t l = 0; l < n; ++l) {
+            d[l] = res[l] / theta;
+            z[l] = d[l];
+          }
+          r.counters().flops += 2 * n;
+        }
+        for (int k = 1; k <= spec_.degree; ++k) {
+          ex_.clear();
+          for (std::size_t i = 0; i < nb; ++i) {
+            r.spmv(a, wb_[i], wc_[i]);
+            ex_.push_back(&wc_[i]);
+          }
+          r.exchange_many(ex_);
+          const real_t rho_next = 1.0 / (2.0 * sigma1 - rho);
+          const real_t c1 = rho_next * rho;
+          const real_t c2 = 2.0 * rho_next / delta;
+          for (std::size_t i = 0; i < nb; ++i) {
+            Vector& res = wa_[i];
+            Vector& d = wb_[i];
+            const Vector& ad = wc_[i];
+            Vector& z = *zout[i];
+            for (std::size_t l = 0; l < n; ++l) {
+              res[l] -= ad[l];
+              d[l] = c1 * d[l] + c2 * res[l];
+              z[l] += d[l];
+            }
+            r.counters().flops += 6 * n;
+            r.counters().vector_updates += 1;
+          }
+          rho = rho_next;
+        }
+        return;
+      }
+    }
+  }
+
+ private:
+  PolySpec spec_;
+  const GlsPolynomial* gls_;
+  const ChebyshevPolynomial* cheb_;
+  std::vector<Vector> wa_, wb_, wc_;  // per-RHS recursion scratch
+  std::vector<Vector*> ex_;           // fused-exchange view
+};
+
+/// Shared output of a batch solve, written per rank / by rank 0.
+struct BatchShared {
+  std::vector<std::vector<Vector>> sol;  ///< [rhs][rank] u in global format
+  std::vector<BatchItemResult> items;    ///< written by rank 0
+};
+
+void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
+                      std::span<const Vector> rhs, const SolveOptions& opts,
+                      par::Comm& comm, BatchShared& out) {
+  const int s = comm.rank();
+  const EddSubdomain& sub = part.subs[static_cast<std::size_t>(s)];
+  EddRank r(sub, comm);
+  const std::size_t nl = r.nl();
+  const std::size_t nb = rhs.size();
+  const index_t m = opts.restart;
+  const CsrMatrix& a = op.a[static_cast<std::size_t>(s)];
+  const Vector& d = op.d[static_cast<std::size_t>(s)];
+
+  // RHS in local distributed, scaled format: b = D̂ (f_loc / mult).
+  std::vector<Vector> b_loc(nb, Vector(nl));
+  for (std::size_t b = 0; b < nb; ++b)
+    for (std::size_t l = 0; l < nl; ++l)
+      b_loc[b][l] =
+          d[l] * rhs[b][static_cast<std::size_t>(sub.local_to_global[l])] /
+          static_cast<real_t>(sub.multiplicity[l]);
+  r.counters().flops += 2 * nb * nl;
+
+  // Per-RHS solver state.
+  std::vector<Vector> x(nb, Vector(nl, 0.0));
+  std::vector<Vector> r_loc(nb, Vector(nl)), r_glob(nb, Vector(nl));
+  std::vector<Vector> w_loc(nb, Vector(nl)), w_glob(nb, Vector(nl));
+  std::vector<std::vector<Vector>> v(nb), z(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    v[b].assign(static_cast<std::size_t>(m) + 1, Vector(nl));
+    z[b].assign(static_cast<std::size_t>(m), Vector(nl));
+  }
+  std::vector<Vector> h(nb, Vector(static_cast<std::size_t>(m) + 2));
+  std::vector<Vector> h2(nb, Vector(static_cast<std::size_t>(m) + 2));
+  std::vector<std::optional<la::HessenbergLsq>> lsq(nb);
+  std::vector<char> done(nb, 0), conv(nb, 0), frozen(nb, 0), brk(nb, 0);
+  std::vector<index_t> iters(nb, 0), jcols(nb, 0);
+  std::vector<real_t> beta0(nb, -1.0), relres(nb, 1.0);
+
+  BatchPoly poly(op, nl, nb);
+  std::vector<Vector*> ex;         // fused-exchange view
+  std::vector<const Vector*> pv;   // poly inputs
+  std::vector<Vector*> pz;         // poly outputs
+  Vector red;                      // batched-reduction buffer
+  std::vector<std::size_t> cyc, live;
+  ex.reserve(nb);
+  pv.reserve(nb);
+  pz.reserve(nb);
+  cyc.reserve(nb);
+  live.reserve(nb);
+
+  // Every branch below depends only on allreduced scalars, so all ranks
+  // take identical decisions — the fused-message layouts (who is in the
+  // cycle, who is live) never diverge across ranks.
+  for (;;) {
+    // ---- Residuals r_b = b_b - A x_b for every unfinished RHS.
+    cyc.clear();
+    ex.clear();
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (done[b]) continue;
+      r.spmv(a, x[b], r_loc[b]);
+      for (std::size_t l = 0; l < nl; ++l) r_loc[b][l] = b_loc[b][l] - r_loc[b][l];
+      r.counters().flops += nl;
+      la::copy(r_loc[b], r_glob[b]);
+      ex.push_back(&r_glob[b]);
+      cyc.push_back(b);
+    }
+    if (cyc.empty()) break;
+    r.exchange_many(ex);
+
+    red.resize(cyc.size());
+    for (std::size_t i = 0; i < cyc.size(); ++i)
+      red[i] = r.dot_lg_partial(r_loc[cyc[i]], r_glob[cyc[i]]);
+    comm.allreduce_sum(red);
+
+    std::vector<std::size_t> next_cyc;
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      const std::size_t b = cyc[i];
+      const real_t beta = sqrt_nonneg(red[i]);
+      if (beta0[b] < 0.0) {
+        beta0[b] = beta;
+        if (beta == 0.0) {  // zero rhs: x = 0 is exact
+          done[b] = 1;
+          conv[b] = 1;
+          relres[b] = 0.0;
+          continue;
+        }
+      }
+      relres[b] = beta / beta0[b];
+      if (relres[b] <= opts.tol) {
+        done[b] = 1;
+        conv[b] = 1;
+        continue;
+      }
+      if (iters[b] >= opts.max_iters) {
+        done[b] = 1;
+        continue;
+      }
+      for (std::size_t l = 0; l < nl; ++l) v[b][0][l] = r_glob[b][l] / beta;
+      r.counters().flops += nl;
+      r.counters().vector_updates += 1;
+      lsq[b].emplace(m, beta);
+      frozen[b] = 0;
+      brk[b] = 0;
+      jcols[b] = 0;
+      next_cyc.push_back(b);
+    }
+    cyc.swap(next_cyc);
+    if (cyc.empty()) continue;  // re-enter to terminate cleanly
+
+    // ---- One fused Arnoldi cycle (Algorithm 6 inner loop).
+    const int gs_passes = opts.reorthogonalize ? 2 : 1;
+    for (index_t j = 0; j < m; ++j) {
+      live.clear();
+      for (const std::size_t b : cyc)
+        if (!frozen[b] && iters[b] < opts.max_iters) live.push_back(b);
+      if (live.empty()) break;
+      const auto jj = static_cast<std::size_t>(j);
+
+      // z_b = P_m(A) v_b: m SpMVs per RHS, m fused exchanges in total.
+      pv.clear();
+      pz.clear();
+      for (const std::size_t b : live) {
+        pv.push_back(&v[b][jj]);
+        pz.push_back(&z[b][jj]);
+      }
+      poly.apply(r, a, pv, pz);
+
+      // w_b = A z_b, globalized by the cycle's ONE extra fused exchange.
+      ex.clear();
+      for (const std::size_t b : live) {
+        r.spmv(a, z[b][jj], w_loc[b]);
+        la::copy(w_loc[b], w_glob[b]);
+        ex.push_back(&w_glob[b]);
+      }
+      r.exchange_many(ex);
+
+      // Gram-Schmidt: the whole batch's j+1 coefficients fold into one
+      // allreduce (the batched_reductions idea, across RHS as well).
+      for (int pass = 0; pass < gs_passes; ++pass) {
+        red.resize(live.size() * (jj + 1));
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          const std::size_t b = live[i];
+          for (std::size_t k = 0; k <= jj; ++k)
+            red[i * (jj + 1) + k] =
+                pass == 0 ? r.dot_lg_partial(w_loc[b], v[b][k])
+                          : r.dot_gg_partial(w_glob[b], v[b][k]);
+        }
+        comm.allreduce_sum(red);
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          const std::size_t b = live[i];
+          Vector& coeff = pass == 0 ? h[b] : h2[b];
+          for (std::size_t k = 0; k <= jj; ++k) {
+            coeff[k] = red[i * (jj + 1) + k];
+            la::axpy(-coeff[k], v[b][k], w_glob[b]);
+          }
+          r.counters().flops += 2 * nl * (jj + 1);
+          r.counters().vector_updates += jj + 1;
+          if (pass > 0)
+            for (std::size_t k = 0; k <= jj; ++k) h[b][k] += h2[b][k];
+        }
+      }
+
+      // ||w_b|| for the whole batch: one more allreduce.
+      red.resize(live.size());
+      for (std::size_t i = 0; i < live.size(); ++i)
+        red[i] = r.dot_gg_partial(w_glob[live[i]], w_glob[live[i]]);
+      comm.allreduce_sum(red);
+
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const std::size_t b = live[i];
+        const real_t hnext = sqrt_nonneg(red[i]);
+        h[b][jj + 1] = hnext;
+        relres[b] =
+            lsq[b]->push_column(std::span<const real_t>(h[b].data(), jj + 2)) /
+            beta0[b];
+        ++iters[b];
+        jcols[b] = j + 1;
+        if (hnext <= 1e-14 * beta0[b]) {
+          frozen[b] = 1;
+          brk[b] = 1;
+          continue;
+        }
+        if (relres[b] <= opts.tol) {
+          frozen[b] = 1;  // converged: no next basis vector needed
+          continue;
+        }
+        for (std::size_t l = 0; l < nl; ++l)
+          v[b][jj + 1][l] = w_glob[b][l] / hnext;
+        r.counters().flops += nl;
+        r.counters().vector_updates += 1;
+      }
+    }
+
+    // ---- Solution update x_b += Z_b y_b and cycle bookkeeping.
+    for (const std::size_t b : cyc) {
+      if (jcols[b] > 0) {
+        const Vector y = lsq[b]->solve();
+        for (index_t k = 0; k < jcols[b]; ++k)
+          la::axpy(y[static_cast<std::size_t>(k)],
+                   z[b][static_cast<std::size_t>(k)], x[b]);
+        r.counters().flops += 2 * nl * static_cast<std::size_t>(jcols[b]);
+        r.counters().vector_updates += static_cast<std::uint64_t>(jcols[b]);
+      }
+      if (relres[b] <= opts.tol || brk[b]) {
+        done[b] = 1;
+        conv[b] = 1;  // breakdown exits as converged, like solve_edd
+      }
+    }
+  }
+
+  // ---- Final true residuals (one fused exchange + one reduction) and
+  // solutions in physical variables u = D x.
+  ex.clear();
+  for (std::size_t b = 0; b < nb; ++b) {
+    r.spmv(a, x[b], r_loc[b]);
+    for (std::size_t l = 0; l < nl; ++l) r_loc[b][l] = b_loc[b][l] - r_loc[b][l];
+    la::copy(r_loc[b], r_glob[b]);
+    ex.push_back(&r_glob[b]);
+  }
+  r.exchange_many(ex);
+  red.resize(nb);
+  for (std::size_t b = 0; b < nb; ++b)
+    red[b] = r.dot_lg_partial(r_loc[b], r_glob[b]);
+  comm.allreduce_sum(red);
+
+  for (std::size_t b = 0; b < nb; ++b) {
+    Vector u(nl);
+    for (std::size_t l = 0; l < nl; ++l) u[l] = d[l] * x[b][l];
+    out.sol[b][static_cast<std::size_t>(s)] = std::move(u);
+  }
+  if (s == 0) {
+    for (std::size_t b = 0; b < nb; ++b) {
+      BatchItemResult& item = out.items[b];
+      const real_t final_res = sqrt_nonneg(red[b]);
+      item.final_relres = beta0[b] > 0.0 ? final_res / beta0[b] : 0.0;
+      item.converged = conv[b] != 0 || item.final_relres <= opts.tol;
+      item.iterations = iters[b];
+    }
+  }
+}
+
+}  // namespace
+
+EddOperatorState build_edd_operator(
+    par::Team& team, const partition::EddPartition& part, const PolySpec& spec,
+    const std::vector<sparse::CsrMatrix>* local_matrices) {
+  validate_poly_spec(spec);
+  PFEM_CHECK_MSG(team.size() == part.nparts(),
+                 "build_edd_operator: team size " << team.size()
+                 << " != partition parts " << part.nparts());
+  if (local_matrices != nullptr)
+    PFEM_CHECK(local_matrices->size() == part.subs.size());
+  const auto p = static_cast<std::size_t>(part.nparts());
+
+  WallTimer timer;
+  EddOperatorState op;
+  op.poly = spec;
+  op.a.resize(p);
+  op.d.resize(p);
+  op.setup_counters = team.run([&](par::Comm& comm) {
+    const auto s = static_cast<std::size_t>(comm.rank());
+    const EddSubdomain& sub = part.subs[s];
+    EddRank r(sub, comm);
+    const std::size_t nl = r.nl();
+    CsrMatrix a = local_matrices ? (*local_matrices)[s] : sub.k_loc;
+    Vector d = a.row_norms1();  // partial row norms d_i^(s) (Eq. 43)
+    r.counters().flops += static_cast<std::uint64_t>(a.nnz());
+    r.exchange(d);              // d_i = Σ_s d_i^(s) (Eq. 42)
+    for (std::size_t l = 0; l < nl; ++l) {
+      PFEM_CHECK_MSG(d[l] > 0.0, "norm-1 scaling: zero row");
+      d[l] = 1.0 / std::sqrt(d[l]);
+    }
+    a.scale_symmetric(d);  // Â = D̂ K̂ D̂ (Eq. 44)
+    r.counters().flops += 2ull * static_cast<std::uint64_t>(a.nnz());
+    op.a[s] = std::move(a);
+    op.d[s] = std::move(d);
+  });
+
+  // The polynomial recursion data depends only on the spec (the paper
+  // builds it redundantly per rank with zero communication); one shared
+  // read-only build serves every rank of every later batch solve.
+  if (spec.kind == PolyKind::Gls) {
+    op.gls = std::make_shared<const GlsPolynomial>(spec.theta, spec.degree);
+    const std::uint64_t build = DistPoly::gls_build_flops(*op.gls);
+    for (auto& c : op.setup_counters) c.flops += build;
+  } else if (spec.kind == PolyKind::Chebyshev) {
+    op.cheb = std::make_shared<const ChebyshevPolynomial>(spec.theta.front(),
+                                                          spec.degree);
+  }
+  op.setup_seconds = timer.seconds();
+  for (auto& c : op.setup_counters) c.total_seconds = op.setup_seconds;
+  return op;
+}
+
+BatchSolveResult solve_edd_batch(par::Team& team, const EddPartition& part,
+                                 const EddOperatorState& op,
+                                 std::span<const Vector> rhs,
+                                 const SolveOptions& opts) {
+  PFEM_CHECK_MSG(!rhs.empty(), "solve_edd_batch: empty RHS batch");
+  PFEM_CHECK_MSG(team.size() == part.nparts(),
+                 "solve_edd_batch: team size " << team.size()
+                 << " != partition parts " << part.nparts());
+  PFEM_CHECK(op.a.size() == part.subs.size());
+  validate_poly_spec(op.poly);
+  for (const Vector& f : rhs)
+    PFEM_CHECK(f.size() == static_cast<std::size_t>(part.n_global));
+  const auto p = static_cast<std::size_t>(part.nparts());
+  const std::size_t nb = rhs.size();
+
+  BatchShared out;
+  out.sol.assign(nb, std::vector<Vector>(p));
+  out.items.assign(nb, BatchItemResult{});
+
+  WallTimer timer;
+  std::vector<par::PerfCounters> counters = team.run([&](par::Comm& comm) {
+    batch_rank_solve(part, op, rhs, opts, comm, out);
+  });
+
+  BatchSolveResult result;
+  result.wall_seconds = timer.seconds();
+  result.items = std::move(out.items);
+  result.x.reserve(nb);
+  for (std::size_t b = 0; b < nb; ++b)
+    result.x.push_back(partition::edd_gather_global(part, out.sol[b]));
+  result.rank_counters = std::move(counters);
+  return result;
+}
+
+}  // namespace pfem::core

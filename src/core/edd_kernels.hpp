@@ -103,6 +103,71 @@ class EddRank {
     if (!own_added) add_own();
   }
 
+  /// Fused form of exchange(): one ⊕Σ round for `vs.size()` vectors at
+  /// once — each neighbor gets ONE message carrying every vector's
+  /// shared-dof section, so the per-message latency (the cost model's
+  /// alpha term) is amortized across the batch.  Counted as one logical
+  /// neighbor exchange.  The per-dof fold order is identical to
+  /// exchange()'s (ascending sharer rank), so each vector's result is
+  /// bit-identical to what a standalone exchange would produce.
+  void exchange_many(std::span<Vector* const> vs) {
+    const std::size_t nb = vs.size();
+    if (nb == 0) return;
+    if (nb == 1) {
+      exchange(*vs[0]);
+      return;
+    }
+    counters().neighbor_exchanges += 1;
+    for (const auto& nb_it : sub_.neighbors) {
+      const std::size_t ns = nb_it.shared_local_dofs.size();
+      send_buf_.resize(nb * ns);
+      for (std::size_t b = 0; b < nb; ++b) {
+        const Vector& v = *vs[b];
+        for (std::size_t k = 0; k < ns; ++k)
+          send_buf_[b * ns + k] =
+              v[static_cast<std::size_t>(nb_it.shared_local_dofs[k])];
+      }
+      comm_.send(nb_it.rank, kExchangeTag, send_buf_);
+    }
+    const std::size_t ni = sub_.interface_local_dofs.size();
+    fused_buf_.resize(nb * ni);
+    for (std::size_t b = 0; b < nb; ++b) {
+      Vector& v = *vs[b];
+      for (std::size_t k = 0; k < ni; ++k) {
+        const auto l = static_cast<std::size_t>(sub_.interface_local_dofs[k]);
+        fused_buf_[b * ni + k] = v[l];
+        v[l] = 0.0;
+      }
+    }
+    bool own_added = sub_.neighbors.empty();
+    auto add_own = [&] {
+      for (std::size_t b = 0; b < nb; ++b) {
+        Vector& v = *vs[b];
+        for (std::size_t k = 0; k < ni; ++k)
+          v[static_cast<std::size_t>(sub_.interface_local_dofs[k])] +=
+              fused_buf_[b * ni + k];
+      }
+      counters().flops += nb * ni;
+      own_added = true;
+    };
+    if (own_added) add_own();
+    for (const auto& nb_it : sub_.neighbors) {  // sorted by rank
+      if (!own_added && nb_it.rank > comm_.rank()) add_own();
+      const std::size_t ns = nb_it.shared_local_dofs.size();
+      recv_buf_.resize(nb * ns);
+      comm_.recv(nb_it.rank, kExchangeTag,
+                 std::span<real_t>(recv_buf_.data(), recv_buf_.size()));
+      for (std::size_t b = 0; b < nb; ++b) {
+        Vector& v = *vs[b];
+        for (std::size_t k = 0; k < ns; ++k)
+          v[static_cast<std::size_t>(nb_it.shared_local_dofs[k])] +=
+              recv_buf_[b * ns + k];
+      }
+      counters().flops += recv_buf_.size();
+    }
+    if (!own_added) add_own();
+  }
+
   /// ⟨x, y⟩ with x local-distributed and y global-distributed (Eq. 33):
   /// local partial + allreduce.
   [[nodiscard]] real_t dot_lg(std::span<const real_t> x_loc,
@@ -161,15 +226,22 @@ class EddRank {
   par::Comm& comm_;
   std::size_t nl_;
   Vector buf_, send_buf_, recv_buf_;
+  Vector fused_buf_;  ///< interface stash of exchange_many (nb x ni)
 };
 
 /// Distributed polynomial preconditioner: the Algorithm-7 pattern for
 /// both Neumann and GLS, in both vector-format disciplines.
 class DistPoly {
  public:
-  DistPoly(const PolySpec& spec, std::size_t nl) : spec_(spec) {
+  /// @param counters when non-null, construction work (the GLS Stieltjes
+  ///        basis build) is charged here so setup accounting covers the
+  ///        preconditioner, not just the scaling.
+  DistPoly(const PolySpec& spec, std::size_t nl,
+           par::PerfCounters* counters = nullptr)
+      : spec_(spec) {
     if (spec.kind == PolyKind::Gls) {
       gls_.emplace(spec.theta, spec.degree);
+      if (counters != nullptr) counters->flops += gls_build_flops(*gls_);
     } else if (spec.kind == PolyKind::Chebyshev) {
       PFEM_CHECK_MSG(!spec.theta.empty(),
                      "Chebyshev preconditioner needs an interval");
@@ -179,6 +251,14 @@ class DistPoly {
     scratch_b_.resize(nl);
     scratch_c_.resize(nl);
     scratch_d_.resize(nl);
+  }
+
+  /// Flop estimate of a GLS build: the Stieltjes three-term recursion and
+  /// the mu fit each sweep every quadrature node per basis degree (~10
+  /// flops per node-degree pair, counting the alpha/beta inner products).
+  [[nodiscard]] static std::uint64_t gls_build_flops(const GlsPolynomial& g) {
+    return 10ull * static_cast<std::uint64_t>(g.degree() + 1) *
+           static_cast<std::uint64_t>(g.basis().num_nodes());
   }
 
   [[nodiscard]] int degree() const noexcept {

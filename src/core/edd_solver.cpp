@@ -24,6 +24,29 @@ std::string PolySpec::name() const {
   return "?";
 }
 
+void validate_poly_spec(const PolySpec& spec) {
+  if (spec.kind == PolyKind::None) return;
+  PFEM_CHECK_MSG(spec.degree >= 1,
+                 "polynomial preconditioner " << spec.name()
+                 << ": degree must be >= 1");
+  if (spec.kind == PolyKind::Gls) validate_theta(spec.theta);
+  if (spec.kind == PolyKind::Chebyshev) {
+    PFEM_CHECK_MSG(!spec.theta.empty(),
+                   "Chebyshev preconditioner needs a spectrum interval "
+                   "(theta is empty)");
+    PFEM_CHECK_MSG(spec.theta.size() == 1,
+                   "Chebyshev preconditioner needs a single interval, got "
+                   << spec.theta.size()
+                   << " (the semi-iteration has no multi-interval form; "
+                      "use GLS for indefinite spectra)");
+    PFEM_CHECK_MSG(spec.theta.front().lo < spec.theta.front().hi,
+                   "Chebyshev interval is empty or inverted");
+    PFEM_CHECK_MSG(spec.theta.front().lo > 0.0,
+                   "Chebyshev preconditioner needs a strictly positive "
+                   "interval (lo > 0)");
+  }
+}
+
 namespace {
 
 using partition::EddPartition;
@@ -57,6 +80,7 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
 
   // ---- Setup: rhs in local distributed format, distributed norm-1
   // scaling (Algorithms 3/4), redundant preconditioner construction.
+  const WallTimer setup_timer;
   CsrMatrix a = k_in;  // private copy; scaled in place
   Vector f_loc(nl);
   for (std::size_t l = 0; l < nl; ++l)
@@ -77,8 +101,10 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
   for (std::size_t l = 0; l < nl; ++l) b_loc[l] = d[l] * f_loc[l];
   r.counters().flops += nl;
 
-  DistPoly poly(spec, nl);
+  DistPoly poly(spec, nl, &r.counters());
   out.setup_counters[static_cast<std::size_t>(s)] = comm.counters();
+  out.setup_counters[static_cast<std::size_t>(s)].total_seconds =
+      setup_timer.seconds();
 
   // ---- FGMRES (Algorithm 5 when basic, Algorithm 6 otherwise).
   // Basic keeps x and the Arnoldi basis in local format; Enhanced keeps
@@ -310,7 +336,7 @@ DistSolveResult solve_edd(const EddPartition& part,
                           EddVariant variant,
                           const std::vector<sparse::CsrMatrix>* local_matrices) {
   PFEM_CHECK(f_global.size() == static_cast<std::size_t>(part.n_global));
-  if (spec.kind == PolyKind::Gls) validate_theta(spec.theta);
+  validate_poly_spec(spec);
   if (local_matrices != nullptr)
     PFEM_CHECK(local_matrices->size() == part.subs.size());
   const int p = part.nparts();

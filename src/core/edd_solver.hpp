@@ -43,6 +43,14 @@ struct PolySpec {
   [[nodiscard]] std::string name() const;
 };
 
+/// Validate a PolySpec at solve entry, throwing pfem::Error with a clear
+/// message instead of letting a bad spec silently misbuild:
+///   - any polynomial kind needs degree >= 1 (None ignores the degree);
+///   - GLS needs a valid Eq.-18 Theta (non-empty, ordered, 0 excluded);
+///   - Chebyshev needs exactly one strictly positive interval (the
+///     semi-iteration has no multi-interval form).
+void validate_poly_spec(const PolySpec& spec);
+
 /// Result of a distributed solve.
 struct DistSolveResult {
   Vector x;  ///< global solution u (scaling undone)
@@ -52,7 +60,12 @@ struct DistSolveResult {
   real_t final_relres = 0.0;
   std::vector<real_t> history;  ///< rel. residual per inner iteration
   std::vector<par::PerfCounters> rank_counters;  ///< full run
-  std::vector<par::PerfCounters> setup_counters;  ///< scaling/setup only
+  /// Setup-phase slice of the counters: rhs localization, norm-1 scaling
+  /// (Algorithms 3/4) *and* polynomial preconditioner construction —
+  /// everything a warm-cache solve skips.  total_seconds here is the
+  /// setup wall time of the rank, so cache-hit savings are measurable
+  /// from counters alone.
+  std::vector<par::PerfCounters> setup_counters;
   double wall_seconds = 0.0;
 };
 

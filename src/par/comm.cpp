@@ -279,6 +279,35 @@ class TeamState {
     check_abort();
   }
 
+  // ---- Job recycling -----------------------------------------------------
+
+  /// Restore the quiescent state between Team jobs.  Only called while
+  /// every rank thread is parked (the dispatcher owns the state), so
+  /// plain stores suffice; visibility to the workers is established by
+  /// the job-dispatch mutex handshake.  Payload ring buffers are kept —
+  /// that preallocation is the point of a warm team.
+  void reset_for_job() {
+    aborted_.store(false, std::memory_order_seq_cst);
+    for (Channel& ch : channels_) {
+      for (Slot& slot : ch.slots) {
+        slot.full.store(false, std::memory_order_relaxed);
+        slot.tag = 0;
+        slot.size = 0;
+      }
+      ch.head = 0;
+      ch.tail = 0;
+      ch.stash.clear();
+    }
+    const std::size_t ncells = static_cast<std::size_t>(size_) *
+                               static_cast<std::size_t>(stages_ == 0 ? 1
+                                                                     : stages_);
+    for (std::size_t i = 0; i < ncells; ++i)
+      cells_[i].seq.store(0, std::memory_order_relaxed);
+    bcast_gen_.store(0, std::memory_order_relaxed);
+    barrier_count_ = 0;
+    barrier_gen_.store(0, std::memory_order_relaxed);
+  }
+
   // ---- Failure handling --------------------------------------------------
 
   void abort() {
@@ -400,6 +429,142 @@ class TeamState {
   std::atomic<bool> aborted_{false};
 };
 
+/// The thread side of a persistent Team: P parked worker threads, a
+/// job-generation handshake to dispatch work, and the per-rank counter
+/// and error slots the dispatcher reads back after each job.  All
+/// cross-thread publication runs through `m` (job dispatch) and the
+/// done-count handshake (job completion), so the dispatcher may freely
+/// reset TeamState between jobs.
+class TeamRuntime {
+ public:
+  explicit TeamRuntime(int nranks)
+      : nranks_(nranks),
+        state_(nranks),
+        counters_(static_cast<std::size_t>(nranks)),
+        errors_(static_cast<std::size_t>(nranks)) {
+    threads_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r)
+      threads_.emplace_back([this, r] { worker(r); });
+  }
+
+  ~TeamRuntime() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      shutdown_ = true;
+    }
+    job_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  [[nodiscard]] int size() const noexcept { return nranks_; }
+
+  std::vector<PerfCounters> run(const std::function<void(Comm&)>& fn) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      PFEM_CHECK_MSG(job_ == nullptr, "Team::run: a job is already running");
+      // The previous job (normal, failed or cancelled) may have left
+      // channels and reduction cells mid-flight; restore quiescence while
+      // every rank is parked.
+      state_.reset_for_job();
+      cancel_requested_.store(false, std::memory_order_seq_cst);
+      for (int r = 0; r < nranks_; ++r) {
+        counters_[static_cast<std::size_t>(r)].reset();
+        errors_[static_cast<std::size_t>(r)] = nullptr;
+      }
+      job_ = &fn;
+      done_count_ = 0;
+      ++job_gen_;
+    }
+    job_cv_.notify_all();
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      done_cv_.wait(lk, [&] { return done_count_ == nranks_; });
+      job_ = nullptr;
+    }
+    rethrow_job_error();
+    return counters_;
+  }
+
+  void cancel() {
+    cancel_requested_.store(true, std::memory_order_seq_cst);
+    state_.abort();
+  }
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel_requested_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  void worker(int r) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(Comm&)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        job_cv_.wait(lk, [&] { return shutdown_ || job_gen_ != seen; });
+        if (shutdown_) return;
+        seen = job_gen_;
+        fn = job_;
+      }
+      PerfCounters& c = counters_[static_cast<std::size_t>(r)];
+      Comm comm(r, &state_, &c);
+      const auto t0 = SteadyClock::now();
+      try {
+        (*fn)(comm);
+      } catch (...) {
+        errors_[static_cast<std::size_t>(r)] = std::current_exception();
+        state_.abort();
+      }
+      c.total_seconds += seconds_since(t0);
+      bool last;
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        last = (++done_count_ == nranks_);
+      }
+      if (last) done_cv_.notify_all();
+    }
+  }
+
+  /// Rethrow the originating failure of the finished job: a real error
+  /// wins over the secondary Aborted unwinds; all-Aborted means the
+  /// teardown came from cancel(), reported as Cancelled.
+  void rethrow_job_error() {
+    std::exception_ptr first_aborted;
+    for (const std::exception_ptr& e : errors_) {
+      if (!e) continue;
+      try {
+        std::rethrow_exception(e);
+      } catch (const Aborted&) {
+        if (!first_aborted) first_aborted = e;
+      } catch (...) {
+        std::rethrow_exception(e);
+      }
+    }
+    if (first_aborted) {
+      // A pending cancel is consumed by the job it killed; the flag must
+      // not leak into (or mislabel) the next job.
+      if (cancel_requested_.exchange(false, std::memory_order_seq_cst))
+        throw Cancelled{};
+      std::rethrow_exception(first_aborted);
+    }
+  }
+
+  int nranks_;
+  TeamState state_;
+  std::vector<PerfCounters> counters_;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> threads_;
+
+  std::mutex m_;
+  std::condition_variable job_cv_;   ///< workers wait for a job
+  std::condition_variable done_cv_;  ///< dispatcher waits for completion
+  const std::function<void(Comm&)>* job_ = nullptr;
+  std::uint64_t job_gen_ = 0;
+  int done_count_ = 0;
+  bool shutdown_ = false;
+  std::atomic<bool> cancel_requested_{false};
+};
+
 }  // namespace detail
 
 int Comm::size() const noexcept { return team_->size(); }
@@ -470,48 +635,27 @@ real_t Comm::allreduce_max(real_t x) {
   return x;
 }
 
+Team::Team(int nranks) {
+  PFEM_CHECK(nranks >= 1);
+  rt_ = std::make_unique<detail::TeamRuntime>(nranks);
+}
+
+Team::~Team() = default;
+
+int Team::size() const noexcept { return rt_->size(); }
+
+std::vector<PerfCounters> Team::run(const std::function<void(Comm&)>& fn) {
+  return rt_->run(fn);
+}
+
+void Team::cancel() { rt_->cancel(); }
+
+bool Team::cancel_requested() const noexcept { return rt_->cancel_requested(); }
+
 std::vector<PerfCounters> run_spmd(int nranks,
                                    const std::function<void(Comm&)>& fn) {
-  PFEM_CHECK(nranks >= 1);
-  detail::TeamState team(nranks);
-  std::vector<PerfCounters> counters(static_cast<std::size_t>(nranks));
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks));
-
-  for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&, r] {
-      PerfCounters& c = counters[static_cast<std::size_t>(r)];
-      Comm comm(r, &team, &c);
-      const auto t0 = std::chrono::steady_clock::now();
-      try {
-        fn(comm);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        team.abort();
-      }
-      c.total_seconds +=
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-    });
-  }
-  for (std::thread& t : threads) t.join();
-
-  // Rethrow the originating failure, preferring real errors over the
-  // secondary Aborted unwinds.
-  std::exception_ptr first_aborted;
-  for (const std::exception_ptr& e : errors) {
-    if (!e) continue;
-    try {
-      std::rethrow_exception(e);
-    } catch (const Aborted&) {
-      if (!first_aborted) first_aborted = e;
-    } catch (...) {
-      std::rethrow_exception(e);
-    }
-  }
-  if (first_aborted) std::rethrow_exception(first_aborted);
-  return counters;
+  Team team(nranks);
+  return team.run(fn);
 }
 
 }  // namespace pfem::par

@@ -7,6 +7,9 @@
 // send/recv (matched on source+tag), barrier, and deterministic
 // allreduce.  All solver code in src/core is written SPMD against this
 // API exactly as it would be against MPI_Send/MPI_Recv/MPI_Allreduce.
+// `Team` is the persistent form: ranks are spawned once and parked
+// between jobs, which is what lets a solve service keep a warm team
+// instead of paying P thread spawns per solve.
 //
 // Transport: one persistent single-producer/single-consumer channel per
 // ordered rank pair, with a fixed ring of preallocated payload slots.
@@ -27,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 #include "par/counters.hpp"
 
@@ -34,6 +38,7 @@ namespace pfem::par {
 
 namespace detail {
 class TeamState;
+class TeamRuntime;
 }
 
 /// Per-rank communicator handle.  Valid only inside run_spmd's callback.
@@ -70,8 +75,7 @@ class Comm {
   [[nodiscard]] PerfCounters& counters() noexcept { return *counters_; }
 
  private:
-  friend std::vector<PerfCounters> run_spmd(
-      int, const std::function<void(Comm&)>&);
+  friend class detail::TeamRuntime;
   Comm(int rank, detail::TeamState* team, PerfCounters* counters)
       : rank_(rank), team_(team), counters_(counters) {}
 
@@ -81,9 +85,53 @@ class Comm {
   std::uint64_t coll_seq_ = 0;  ///< this rank's collective-op count
 };
 
+/// Thrown out of Team::run when the job was torn down by Team::cancel()
+/// rather than by a rank's own failure.
+class Cancelled : public Error {
+ public:
+  Cancelled() : Error("SPMD job cancelled") {}
+};
+
+/// A persistent SPMD rank team.  Threads are spawned once at construction
+/// and parked between jobs, so a warm solve pays a condvar wakeup instead
+/// of P thread spawns/joins; channel payload rings, reduction cells and
+/// counters are likewise allocated once and recycled across jobs.
+///
+/// run() dispatches one SPMD job to all ranks and blocks until every rank
+/// returns; jobs are serialized (one in flight).  cancel() requests
+/// cooperative teardown of the in-flight job: blocked ranks unwind
+/// through the abort path immediately, running ranks at their next
+/// communication call, and run() then throws Cancelled.  A rank's own
+/// exception still wins over the secondary unwinds and is rethrown as-is.
+class Team {
+ public:
+  explicit Team(int nranks);
+  ~Team();
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  [[nodiscard]] int size() const noexcept;
+
+  /// Run `fn` as one SPMD job on the parked ranks; returns the per-rank
+  /// counters of this job (reset at job start).
+  std::vector<PerfCounters> run(const std::function<void(Comm&)>& fn);
+
+  /// Request cooperative cancellation of the in-flight job (safe from any
+  /// thread).  No-op when idle; the flag is cleared when the next job
+  /// starts.
+  void cancel();
+
+  /// Has cancel() been called since the current/last job started?
+  [[nodiscard]] bool cancel_requested() const noexcept;
+
+ private:
+  std::unique_ptr<detail::TeamRuntime> rt_;
+};
+
 /// Launch `nranks` SPMD ranks running `fn`, one thread each; returns the
 /// per-rank counters.  Any exception thrown by a rank is rethrown here
-/// after all threads join.
+/// after all threads join.  Equivalent to a single-job Team — callers
+/// with many solves should hold a Team and amortize the spawn.
 std::vector<PerfCounters> run_spmd(int nranks,
                                    const std::function<void(Comm&)>& fn);
 

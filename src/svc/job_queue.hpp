@@ -1,0 +1,127 @@
+// Bounded two-priority FIFO used by the solve service.
+//
+// Admission control lives at the push side: try_push refuses work when
+// the queue is at capacity, which is what turns overload into typed
+// Rejected{queue_full} responses instead of unbounded memory growth and
+// unbounded latency.  High-priority jobs overtake Normal ones but both
+// levels stay FIFO internally, so admission order is preserved within a
+// priority class.
+//
+// The scheduler side gets two extra operations beyond pop():
+// drain_matching() (remove every queued job matching a predicate, up to
+// a cap — how same-operator requests coalesce into one fused batch) and
+// remove_if() (cancellation of a single queued job).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "svc/request.hpp"
+
+namespace pfem::svc {
+
+template <class T>
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns false (job untouched) when full or closed.
+  [[nodiscard]] bool try_push(T&& job, Priority prio) {
+    std::unique_lock lock(m_);
+    if (closed_ || size_locked() >= capacity_) return false;
+    (prio == Priority::High ? high_ : normal_).push_back(std::move(job));
+    lock.unlock();
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a job is available or the queue is closed; nullopt
+  /// means closed-and-empty (the consumer should exit).
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock lock(m_);
+    cv_.wait(lock, [&] { return closed_ || size_locked() > 0; });
+    if (size_locked() == 0) return std::nullopt;
+    auto& q = high_.empty() ? normal_ : high_;
+    T job = std::move(q.front());
+    q.pop_front();
+    return job;
+  }
+
+  /// Remove up to max_n queued jobs satisfying pred (priority order,
+  /// FIFO within a class) — the batch-coalescing hook.
+  template <class Pred>
+  [[nodiscard]] std::vector<T> drain_matching(Pred&& pred, std::size_t max_n) {
+    std::vector<T> out;
+    std::scoped_lock lock(m_);
+    for (auto* q : {&high_, &normal_}) {
+      for (auto it = q->begin(); it != q->end() && out.size() < max_n;) {
+        if (pred(*it)) {
+          out.push_back(std::move(*it));
+          it = q->erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Remove the first queued job satisfying pred (cancellation hook).
+  template <class Pred>
+  [[nodiscard]] std::optional<T> remove_if(Pred&& pred) {
+    std::scoped_lock lock(m_);
+    for (auto* q : {&high_, &normal_}) {
+      for (auto it = q->begin(); it != q->end(); ++it) {
+        if (pred(*it)) {
+          T job = std::move(*it);
+          q->erase(it);
+          return job;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Stop accepting pushes and wake the consumer.  Queued jobs are still
+  /// poppable (drain-style shutdown); drain_all() empties them instead.
+  void close() {
+    {
+      std::scoped_lock lock(m_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::vector<T> drain_all() {
+    std::vector<T> out;
+    std::scoped_lock lock(m_);
+    for (auto* q : {&high_, &normal_}) {
+      for (auto& job : *q) out.push_back(std::move(job));
+      q->clear();
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(m_);
+    return size_locked();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  [[nodiscard]] std::size_t size_locked() const {
+    return high_.size() + normal_.size();
+  }
+
+  std::size_t capacity_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<T> high_, normal_;
+  bool closed_ = false;
+};
+
+}  // namespace pfem::svc

@@ -1,0 +1,93 @@
+// Request/response types of the solve service (pfem::svc).
+//
+// A SolveRequest names a *registered operator* by key, carries a batch
+// of right-hand sides, and optionally a deadline and a priority.  The
+// service answers with exactly one Outcome per request:
+//
+//   Completed — the batch solved (per-RHS convergence in result.items);
+//   Rejected  — typed load shedding: the request never ran (queue full,
+//               deadline missed, unknown key, bad request, shutdown);
+//   Cancelled — the request was cancelled by the client or unwound as
+//               part of a cancelled batch;
+//   Failed    — the solve itself threw (e.g. a singular operator).
+//
+// Rejections are part of the contract, not errors: under overload the
+// service sheds load *explicitly* so clients can back off or retry
+// elsewhere, instead of queueing without bound.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/edd_batch.hpp"
+#include "core/fgmres.hpp"
+
+namespace pfem::svc {
+
+using Clock = std::chrono::steady_clock;
+
+enum class Priority { Normal = 0, High = 1 };
+
+struct SolveRequest {
+  std::string operator_key;  ///< must be registered with the service
+  std::vector<Vector> rhs;   ///< one or more full global RHS vectors
+  core::SolveOptions opts;
+  Priority priority = Priority::Normal;
+  /// Absolute deadline.  Checked at admission AND at dispatch, and
+  /// enforced mid-solve by the service's watchdog (the batch is
+  /// cancelled when its earliest member deadline expires).
+  std::optional<Clock::time_point> deadline;
+};
+
+enum class RejectReason {
+  QueueFull,         ///< bounded queue at capacity (backpressure)
+  DeadlineExceeded,  ///< deadline passed before the solve finished
+  UnknownOperator,   ///< operator_key was never registered
+  BadRequest,        ///< empty RHS batch or wrong vector length
+  ShuttingDown,      ///< service no longer accepting work
+};
+
+[[nodiscard]] const char* reject_reason_name(RejectReason r) noexcept;
+
+struct Rejected {
+  RejectReason reason;
+  std::string detail;
+};
+
+struct Completed {
+  core::BatchSolveResult result;
+  bool cache_hit = false;      ///< operator state came from the cache
+  double queue_seconds = 0.0;  ///< admission -> dispatch
+  double solve_seconds = 0.0;  ///< dispatch -> done (shared by the batch)
+};
+
+struct Cancelled {
+  std::string detail;
+};
+
+struct Failed {
+  std::string error;
+};
+
+using Outcome = std::variant<Completed, Rejected, Cancelled, Failed>;
+
+[[nodiscard]] inline bool ok(const Outcome& o) noexcept {
+  return std::holds_alternative<Completed>(o);
+}
+
+inline const char* reject_reason_name(RejectReason r) noexcept {
+  switch (r) {
+    case RejectReason::QueueFull: return "queue_full";
+    case RejectReason::DeadlineExceeded: return "deadline_exceeded";
+    case RejectReason::UnknownOperator: return "unknown_operator";
+    case RejectReason::BadRequest: return "bad_request";
+    case RejectReason::ShuttingDown: return "shutting_down";
+  }
+  return "?";
+}
+
+}  // namespace pfem::svc

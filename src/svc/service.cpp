@@ -1,0 +1,358 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace pfem::svc {
+
+namespace {
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Requests may only share a fused batch when every per-RHS convergence
+/// parameter matches — the batch solve runs one option set.
+bool compatible_opts(const core::SolveOptions& a, const core::SolveOptions& b) {
+  return a.restart == b.restart && a.max_iters == b.max_iters &&
+         a.tol == b.tol && a.reorthogonalize == b.reorthogonalize;
+}
+
+}  // namespace
+
+Service::Service(const ServiceConfig& cfg)
+    : cfg_(cfg),
+      team_(cfg.nranks),
+      cache_(cfg.cache_capacity),
+      queue_(cfg.queue_capacity) {
+  PFEM_CHECK_MSG(cfg_.max_batch_rhs >= 1, "max_batch_rhs must be >= 1");
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+Service::~Service() { shutdown(/*drain=*/false); }
+
+void Service::register_operator(
+    const std::string& key,
+    std::shared_ptr<const partition::EddPartition> part,
+    const core::PolySpec& poly,
+    std::shared_ptr<const std::vector<sparse::CsrMatrix>> local_matrices) {
+  PFEM_CHECK_MSG(part != nullptr, "register_operator: null partition");
+  PFEM_CHECK_MSG(part->nparts() == cfg_.nranks,
+                 "register_operator: partition has " << part->nparts()
+                 << " parts, service team has " << cfg_.nranks);
+  cache_.register_operator(key, std::move(part), poly,
+                           std::move(local_matrices));
+}
+
+void Service::update_operator(
+    const std::string& key,
+    std::shared_ptr<const std::vector<sparse::CsrMatrix>> local_matrices) {
+  cache_.update_operator(key, std::move(local_matrices));
+}
+
+Service::Submitted Service::reject_now(PendingJob job, RejectReason reason,
+                                       std::string detail) {
+  Submitted out;
+  out.id = job.id;
+  out.outcome = job.promise.get_future();
+  resolve(job, Rejected{reason, std::move(detail)});
+  return out;
+}
+
+Service::Submitted Service::submit(SolveRequest req) {
+  PendingJob job;
+  job.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  job.submit_time = Clock::now();
+  job.req = std::move(req);
+
+  bool accepting;
+  {
+    std::scoped_lock lock(m_);
+    ++stats_.submitted;
+    accepting = accepting_;
+  }
+  if (!accepting)
+    return reject_now(std::move(job), RejectReason::ShuttingDown,
+                      "service is shutting down");
+
+  const auto part = cache_.partition_of(job.req.operator_key);
+  if (part == nullptr)
+    return reject_now(std::move(job), RejectReason::UnknownOperator,
+                      "operator '" + job.req.operator_key +
+                          "' is not registered");
+  if (job.req.rhs.empty())
+    return reject_now(std::move(job), RejectReason::BadRequest,
+                      "empty RHS batch");
+  for (const Vector& f : job.req.rhs)
+    if (f.size() != static_cast<std::size_t>(part->n_global))
+      return reject_now(std::move(job), RejectReason::BadRequest,
+                        "RHS length does not match the operator's dof count");
+  if (job.req.deadline && *job.req.deadline <= Clock::now())
+    return reject_now(std::move(job), RejectReason::DeadlineExceeded,
+                      "deadline expired before admission");
+
+  Submitted out;
+  out.id = job.id;
+  out.outcome = job.promise.get_future();
+  const Priority prio = job.req.priority;
+  if (!queue_.try_push(std::move(job), prio)) {
+    // try_push only moves from the job on success, so on refusal the
+    // promise is still ours to resolve.
+    resolve(job, Rejected{RejectReason::QueueFull,
+                          "queue at capacity (" +
+                              std::to_string(queue_.capacity()) + ")"});
+  }
+  return out;
+}
+
+bool Service::cancel(JobId id) {
+  auto queued =
+      queue_.remove_if([&](const PendingJob& j) { return j.id == id; });
+  if (queued) {
+    resolve(*queued, Cancelled{"cancelled by client while queued"});
+    return true;
+  }
+  std::scoped_lock lock(m_);
+  if (std::find(running_.begin(), running_.end(), id) != running_.end()) {
+    running_cancelled_.push_back(id);
+    team_.cancel();  // cooperative: ranks unwind at their next comm call
+    return true;
+  }
+  return false;
+}
+
+void Service::set_paused(bool paused) {
+  {
+    std::scoped_lock lock(m_);
+    paused_ = paused;
+  }
+  pause_cv_.notify_all();
+}
+
+void Service::shutdown(bool drain) {
+  {
+    std::scoped_lock lock(m_);
+    accepting_ = false;
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+  if (!drain) {
+    auto left = queue_.drain_all();
+    for (auto& j : left) resolve(j, Cancelled{"service shutdown"});
+  }
+  queue_.close();
+  if (scheduler_.joinable()) scheduler_.join();
+  // A submit that raced the close may have left a straggler behind.
+  for (auto& j : queue_.drain_all())
+    resolve(j, Cancelled{"service shutdown"});
+}
+
+ServiceStats Service::stats() const {
+  std::scoped_lock lock(m_);
+  return stats_;
+}
+
+LatencySnapshot Service::latency() const { return latency_.snapshot(); }
+
+void Service::resolve(PendingJob& job, Outcome outcome) {
+  {
+    std::scoped_lock lock(m_);
+    if (const auto* c = std::get_if<Completed>(&outcome)) {
+      ++stats_.completed;
+      stats_.rhs_solved += c->result.x.size();
+    } else if (const auto* r = std::get_if<Rejected>(&outcome)) {
+      if (r->reason == RejectReason::QueueFull)
+        ++stats_.rejected_queue_full;
+      else if (r->reason == RejectReason::DeadlineExceeded)
+        ++stats_.rejected_deadline;
+      else
+        ++stats_.rejected_other;
+    } else if (std::holds_alternative<Cancelled>(outcome)) {
+      ++stats_.cancelled;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  if (ok(outcome))
+    latency_.record(seconds_between(job.submit_time, Clock::now()));
+  job.promise.set_value(std::move(outcome));
+}
+
+void Service::scheduler_loop() {
+  for (;;) {
+    auto popped = queue_.pop();
+    if (!popped) return;  // closed and drained
+    {
+      std::unique_lock lock(m_);
+      pause_cv_.wait(lock, [&] { return !paused_; });
+    }
+    if (popped->req.deadline && *popped->req.deadline <= Clock::now()) {
+      resolve(*popped, Rejected{RejectReason::DeadlineExceeded,
+                                "deadline expired while queued"});
+      continue;
+    }
+
+    std::vector<PendingJob> batch;
+    batch.push_back(std::move(*popped));
+    const SolveRequest& head = batch.front().req;
+    std::size_t rhs_count = head.rhs.size();
+    auto more = queue_.drain_matching(
+        [&](const PendingJob& j) {
+          if (j.req.operator_key != head.operator_key) return false;
+          if (!compatible_opts(j.req.opts, head.opts)) return false;
+          if (rhs_count + j.req.rhs.size() > cfg_.max_batch_rhs) return false;
+          rhs_count += j.req.rhs.size();
+          return true;
+        },
+        std::numeric_limits<std::size_t>::max());
+    for (auto& j : more) {
+      if (j.req.deadline && *j.req.deadline <= Clock::now())
+        resolve(j, Rejected{RejectReason::DeadlineExceeded,
+                            "deadline expired while queued"});
+      else
+        batch.push_back(std::move(j));
+    }
+    dispatch_batch(std::move(batch));
+  }
+}
+
+void Service::dispatch_batch(std::vector<PendingJob> batch) {
+  const std::string key = batch.front().req.operator_key;
+  const auto part = cache_.partition_of(key);
+  PFEM_CHECK(part != nullptr);  // keys are never unregistered
+
+  std::shared_ptr<const core::EddOperatorState> op;
+  bool cache_hit = false;
+  try {
+    std::tie(op, cache_hit) = cache_.get_or_build(key, team_);
+  } catch (const std::exception& e) {
+    for (auto& j : batch)
+      resolve(j, Failed{std::string("operator build failed: ") + e.what()});
+    return;
+  }
+
+  // Flatten the batch's RHS; remember each job's slice.
+  std::vector<std::size_t> counts;
+  counts.reserve(batch.size());
+  std::vector<Vector> rhs;
+  for (auto& j : batch) {
+    counts.push_back(j.req.rhs.size());
+    for (auto& f : j.req.rhs) rhs.push_back(std::move(f));
+    j.req.rhs.clear();
+  }
+
+  {
+    std::scoped_lock lock(m_);
+    running_.clear();
+    running_cancelled_.clear();
+    for (const auto& j : batch) running_.push_back(j.id);
+    ++stats_.batches;
+    if (cache_hit)
+      ++stats_.cache_hits;
+    else
+      ++stats_.cache_misses;
+  }
+
+  // Deadline watchdog: one helper thread armed with the batch's earliest
+  // deadline; it either gets signalled when the solve finishes or fires
+  // team_.cancel(), unwinding every rank through the abort path.  Joined
+  // before the next dispatch, so a late cancel can never leak into a
+  // later batch (Team::run also clears any stale cancel on entry).
+  std::optional<Clock::time_point> min_deadline;
+  for (const auto& j : batch)
+    if (j.req.deadline &&
+        (!min_deadline || *j.req.deadline < *min_deadline))
+      min_deadline = j.req.deadline;
+  std::mutex wd_m;
+  std::condition_variable wd_cv;
+  bool batch_done = false;
+  std::thread watchdog;
+  if (min_deadline)
+    watchdog = std::thread([&] {
+      std::unique_lock lock(wd_m);
+      if (!wd_cv.wait_until(lock, *min_deadline, [&] { return batch_done; }))
+        team_.cancel();
+    });
+
+  const auto t0 = Clock::now();
+  core::BatchSolveResult result;
+  bool was_cancelled = false;
+  std::string failure;
+  bool failed = false;
+  try {
+    result = core::solve_edd_batch(team_, *part, *op, rhs,
+                                   batch.front().req.opts);
+  } catch (const par::Cancelled&) {
+    was_cancelled = true;
+  } catch (const std::exception& e) {
+    failed = true;
+    failure = e.what();
+  }
+  if (watchdog.joinable()) {
+    {
+      std::scoped_lock lock(wd_m);
+      batch_done = true;
+    }
+    wd_cv.notify_one();
+    watchdog.join();
+  }
+  const double solve_s = seconds_between(t0, Clock::now());
+
+  std::vector<JobId> explicit_cancels;
+  {
+    std::scoped_lock lock(m_);
+    explicit_cancels = std::move(running_cancelled_);
+    running_.clear();
+    running_cancelled_.clear();
+    stats_.solve_seconds += solve_s;
+  }
+
+  if (failed) {
+    for (auto& j : batch) resolve(j, Failed{failure});
+    return;
+  }
+  if (was_cancelled) {
+    const auto now = Clock::now();
+    for (auto& j : batch) {
+      const bool client_cancel =
+          std::find(explicit_cancels.begin(), explicit_cancels.end(), j.id) !=
+          explicit_cancels.end();
+      if (client_cancel)
+        resolve(j, Cancelled{"cancelled by client while running"});
+      else if (j.req.deadline && *j.req.deadline <= now)
+        resolve(j, Rejected{RejectReason::DeadlineExceeded,
+                            "deadline expired during solve"});
+      else
+        resolve(j, Cancelled{"batch cancelled (co-member deadline or "
+                             "client cancel)"});
+    }
+    return;
+  }
+
+  std::size_t offset = 0;
+  for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+    PendingJob& j = batch[bi];
+    const std::size_t n = counts[bi];
+    Completed c;
+    c.result.x.assign(std::make_move_iterator(result.x.begin() +
+                                              static_cast<std::ptrdiff_t>(offset)),
+                      std::make_move_iterator(result.x.begin() +
+                                              static_cast<std::ptrdiff_t>(offset + n)));
+    c.result.items.assign(result.items.begin() +
+                              static_cast<std::ptrdiff_t>(offset),
+                          result.items.begin() +
+                              static_cast<std::ptrdiff_t>(offset + n));
+    c.result.rank_counters = result.rank_counters;  // shared by the batch
+    c.result.wall_seconds = solve_s;
+    c.cache_hit = cache_hit;
+    c.queue_seconds = seconds_between(j.submit_time, t0);
+    c.solve_seconds = solve_s;
+    offset += n;
+    resolve(j, std::move(c));
+  }
+}
+
+}  // namespace pfem::svc

@@ -1,0 +1,141 @@
+// pfem::svc::Service — a persistent solve service over a warm rank team.
+//
+// One solve_edd() call pays for a thread team, the distributed norm-1
+// scaling, and the polynomial build before it does any FGMRES work.  A
+// workload that streams solves against a handful of slowly-changing
+// operators (time stepping, design loops, many clients sharing one
+// model) should pay those once.  The service owns:
+//
+//   - a par::Team of P ranks whose threads stay parked between jobs;
+//   - an OperatorCache keyed by client-chosen strings (recipe ->
+//     built scaled matrices + polynomial, LRU-bounded, explicitly
+//     invalidated by update_operator);
+//   - a bounded two-priority JobQueue with admission control;
+//   - a scheduler thread that pops a job, coalesces every queued
+//     request for the same operator (compatible SolveOptions) into ONE
+//     fused multi-RHS solve_edd_batch call, and resolves each request's
+//     future with a typed Outcome;
+//   - a per-batch deadline watchdog that cancels the team through the
+//     cooperative par::Comm abort path when the earliest member
+//     deadline expires mid-solve.
+//
+// Backpressure and deadlines are load *shedding*, not errors: the
+// client always gets a typed Rejected outcome, never a hang.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/job_queue.hpp"
+#include "svc/operator_cache.hpp"
+#include "svc/request.hpp"
+#include "svc/stats.hpp"
+
+namespace pfem::svc {
+
+struct ServiceConfig {
+  int nranks = 4;                  ///< team size == partition parts
+  std::size_t queue_capacity = 64; ///< admission bound (backpressure)
+  std::size_t cache_capacity = 8;  ///< built operators kept (LRU)
+  std::size_t max_batch_rhs = 16;  ///< fused-RHS cap per dispatch
+};
+
+class Service {
+ public:
+  using JobId = std::uint64_t;
+
+  struct Submitted {
+    JobId id = 0;
+    std::future<Outcome> outcome;
+  };
+
+  explicit Service(const ServiceConfig& cfg);
+  ~Service();  ///< shutdown(/*drain=*/false)
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Register (or replace) an operator recipe under `key`.  Replacing
+  /// invalidates any cached built state.  Partition parts must equal
+  /// the configured team size.
+  void register_operator(
+      const std::string& key,
+      std::shared_ptr<const partition::EddPartition> part,
+      const core::PolySpec& poly,
+      std::shared_ptr<const std::vector<sparse::CsrMatrix>> local_matrices =
+          nullptr);
+
+  /// Swap the per-rank matrices of a registered operator (same layout);
+  /// the next solve rebuilds scaling + preconditioner.
+  void update_operator(
+      const std::string& key,
+      std::shared_ptr<const std::vector<sparse::CsrMatrix>> local_matrices);
+
+  /// Admission-controlled submit.  The returned future always resolves
+  /// (Completed/Rejected/Cancelled/Failed); requests refused at
+  /// admission come back with the future already resolved.
+  [[nodiscard]] Submitted submit(SolveRequest req);
+
+  /// Cancel a request: a queued job resolves Cancelled immediately; a
+  /// running job's batch is cancelled through the team's abort path.
+  /// Returns false when the id is unknown or already finished.
+  bool cancel(JobId id);
+
+  /// Stop accepting work; with drain=true finish everything queued,
+  /// otherwise resolve queued jobs as Cancelled.  Idempotent; joins the
+  /// scheduler.  The destructor calls shutdown(false).
+  void shutdown(bool drain = true);
+
+  /// Test/introspection hook: pause dispatching (queued work + at most
+  /// one popped job wait), so a burst of submissions demonstrably
+  /// coalesces into one batch on resume.
+  void set_paused(bool paused);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] LatencySnapshot latency() const;
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] int nranks() const noexcept { return cfg_.nranks; }
+
+ private:
+  struct PendingJob {
+    JobId id = 0;
+    SolveRequest req;
+    std::promise<Outcome> promise;
+    Clock::time_point submit_time;
+  };
+
+  void scheduler_loop();
+  void dispatch_batch(std::vector<PendingJob> batch);
+  void resolve(PendingJob& job, Outcome outcome);
+  [[nodiscard]] Submitted reject_now(PendingJob job, RejectReason reason,
+                                     std::string detail);
+
+  ServiceConfig cfg_;
+  par::Team team_;
+  OperatorCache cache_;
+  JobQueue<PendingJob> queue_;
+
+  mutable std::mutex m_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+  bool accepting_ = true;
+  std::atomic<JobId> next_id_{1};
+  /// Ids of the batch currently inside team_.run, and which of them got
+  /// an explicit cancel() while running.  Guarded by m_; the scheduler
+  /// clears both before resolving outcomes, so a client cancel() either
+  /// lands on the live batch or returns false — never on a later one.
+  std::vector<JobId> running_;
+  std::vector<JobId> running_cancelled_;
+
+  ServiceStats stats_;  ///< guarded by m_
+  LatencyRecorder latency_;
+
+  std::thread scheduler_;
+};
+
+}  // namespace pfem::svc

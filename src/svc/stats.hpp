@@ -1,0 +1,78 @@
+// Service-level observability: monotonic counters and a latency
+// recorder with nearest-rank percentiles.  Everything here is
+// mutex-protected and cheap enough to sample from a live service.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace pfem::svc {
+
+/// One snapshot of the service counters (all monotonic).
+struct ServiceStats {
+  std::uint64_t submitted = 0;  ///< requests that reached submit()
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_other = 0;  ///< unknown key / bad request / shutdown
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cache_hits = 0;    ///< dispatches served by a built operator
+  std::uint64_t cache_misses = 0;  ///< dispatches that had to build
+  std::uint64_t batches = 0;       ///< scheduler dispatches (fused solves)
+  std::uint64_t rhs_solved = 0;    ///< total RHS across completed requests
+  double solve_seconds = 0.0;      ///< wall time inside solve_edd_batch
+};
+
+struct LatencySnapshot {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Records per-request end-to-end latencies (submit -> outcome).
+class LatencyRecorder {
+ public:
+  void record(double seconds) {
+    std::scoped_lock lock(m_);
+    samples_.push_back(seconds);
+  }
+
+  [[nodiscard]] LatencySnapshot snapshot() const {
+    std::vector<double> s;
+    {
+      std::scoped_lock lock(m_);
+      s = samples_;
+    }
+    LatencySnapshot out;
+    out.count = s.size();
+    if (s.empty()) return out;
+    std::sort(s.begin(), s.end());
+    double sum = 0.0;
+    for (const double v : s) sum += v;
+    out.mean = sum / static_cast<double>(s.size());
+    auto rank = [&](double p) {
+      // Nearest-rank percentile: smallest sample with >= p of the mass.
+      const auto n = static_cast<double>(s.size());
+      const auto k = static_cast<std::size_t>(std::ceil(p * n));
+      return s[std::min(s.size() - 1, k == 0 ? 0 : k - 1)];
+    };
+    out.p50 = rank(0.50);
+    out.p90 = rank(0.90);
+    out.p99 = rank(0.99);
+    out.max = s.back();
+    return out;
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::vector<double> samples_;
+};
+
+}  // namespace pfem::svc

@@ -421,5 +421,89 @@ TEST(CostModel, MaxRankDominates) {
   EXPECT_DOUBLE_EQ(t.compute, t_slow.compute);
 }
 
+TEST(Team, ReusedAcrossJobsWithFreshCountersEachJob) {
+  Team team(4);
+  EXPECT_EQ(team.size(), 4);
+  for (int job = 0; job < 3; ++job) {
+    const auto counters = team.run([&](Comm& c) {
+      const real_t total =
+          c.allreduce_sum(static_cast<real_t>(c.rank() + job));
+      EXPECT_DOUBLE_EQ(total, 6.0 + 4.0 * job);
+    });
+    ASSERT_EQ(counters.size(), 4u);
+    // Counters restart per job — a reused team must not accumulate.
+    for (const auto& rc : counters) EXPECT_EQ(rc.global_reductions, 1u);
+  }
+}
+
+TEST(Team, CancelUnblocksBlockedRecvAndTeamSurvives) {
+  Team team(2);
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    team.cancel();
+  });
+  // Both ranks block in recv with nobody sending: only the cancel can
+  // release them, and it must surface as Cancelled, not a rank failure.
+  EXPECT_THROW(team.run([](Comm& c) {
+                 Vector v;
+                 c.recv(1 - c.rank(), 0, v);
+               }),
+               Cancelled);
+  canceller.join();
+  // The team is reusable after a cancelled job.
+  const auto counters = team.run([](Comm& c) {
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(1.0), 2.0);
+  });
+  EXPECT_EQ(counters.size(), 2u);
+}
+
+TEST(Team, SendRecvAgainstCancelledTeamThrowsCancelled) {
+  // Ranks that keep issuing comm calls after cancellation hit the abort
+  // path on every subsequent op; the job still exits as Cancelled.
+  Team team(2);
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    team.cancel();
+  });
+  EXPECT_THROW(team.run([](Comm& c) {
+                 Vector v{1.0};
+                 for (;;) {
+                   if (c.rank() == 0) {
+                     c.send(1, 0, v);
+                   } else {
+                     c.recv(0, 0, v);
+                   }
+                 }
+               }),
+               Cancelled);
+  canceller.join();
+  EXPECT_FALSE(team.cancel_requested());  // consumed by the failed job
+}
+
+TEST(Team, CancelWhileIdleDoesNotPoisonNextJob) {
+  Team team(2);
+  team.cancel();  // no job running: absorbed at the next run()
+  const auto counters = team.run([](Comm& c) {
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(1.0), 2.0);
+  });
+  EXPECT_EQ(counters.size(), 2u);
+}
+
+TEST(Team, RankFailureWinsOverConcurrentWork) {
+  // A real error in one rank unwinds a reused team with the original
+  // error type (not Cancelled), and the team stays usable.
+  Team team(2);
+  EXPECT_THROW(team.run([](Comm& c) {
+                 if (c.rank() == 1) throw Error("rank 1 failed");
+                 Vector v;
+                 c.recv(1, 0, v);  // released by the abort
+               }),
+               Error);
+  const auto counters = team.run([](Comm& c) {
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(1.0), 2.0);
+  });
+  EXPECT_EQ(counters.size(), 2u);
+}
+
 }  // namespace
 }  // namespace pfem::par

@@ -1,0 +1,540 @@
+// Tests for the warm-path solve stack: PolySpec validation, setup
+// accounting, the fused multi-RHS batch solver (core/edd_batch), and
+// the solve service (svc) — caching, batching, deadlines, backpressure,
+// cancellation, shutdown.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+#include "core/edd_batch.hpp"
+#include "core/edd_kernels.hpp"
+#include "exp/experiments.hpp"
+#include "fem/problems.hpp"
+#include "svc/job_queue.hpp"
+#include "svc/operator_cache.hpp"
+#include "svc/service.hpp"
+
+namespace pfem {
+namespace {
+
+constexpr int kRanks = 4;
+
+struct Scene {
+  fem::CantileverProblem prob;
+  std::shared_ptr<const partition::EddPartition> part;
+  core::PolySpec poly;
+};
+
+Scene make_scene(int nx = 16, int ny = 6) {
+  fem::CantileverSpec spec;
+  spec.nx = nx;
+  spec.ny = ny;
+  fem::CantileverProblem prob = fem::make_cantilever(spec);
+  auto part = std::make_shared<const partition::EddPartition>(
+      exp::make_edd(prob, kRanks));
+  core::PolySpec poly;
+  poly.kind = core::PolyKind::Gls;
+  poly.degree = 5;
+  return Scene{std::move(prob), std::move(part), poly};
+}
+
+/// n RHS with genuinely different directions, so per-RHS convergence
+/// (and the fused solver's done-set dropout) actually diverges.
+std::vector<Vector> varied_rhs(const Scene& s, int n) {
+  std::vector<Vector> rhs;
+  for (int i = 0; i < n; ++i) {
+    Vector f = s.prob.load;
+    for (std::size_t k = 0; k < f.size(); ++k)
+      f[k] = f[k] * (1.0 + 0.2 * i) +
+             0.01 * static_cast<real_t>((k * (i + 1)) % 7);
+    rhs.push_back(std::move(f));
+  }
+  return rhs;
+}
+
+double rel_err(const Vector& a, const Vector& b) {
+  real_t num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - b[i]) * (a[i] - b[i]);
+    den += b[i] * b[i];
+  }
+  return std::sqrt(num / den);
+}
+
+// ---------------------------------------------------------------- PolySpec
+
+TEST(PolySpecValidation, RejectsNonPositiveDegree) {
+  core::PolySpec p;
+  p.kind = core::PolyKind::Gls;
+  p.degree = 0;
+  EXPECT_THROW(core::validate_poly_spec(p), Error);
+  p.kind = core::PolyKind::Neumann;
+  p.degree = -3;
+  EXPECT_THROW(core::validate_poly_spec(p), Error);
+  p.kind = core::PolyKind::Chebyshev;
+  p.degree = 0;
+  EXPECT_THROW(core::validate_poly_spec(p), Error);
+}
+
+TEST(PolySpecValidation, NoneIgnoresDegree) {
+  core::PolySpec p;
+  p.kind = core::PolyKind::None;
+  p.degree = -1;
+  EXPECT_NO_THROW(core::validate_poly_spec(p));
+}
+
+TEST(PolySpecValidation, ChebyshevNeedsOneStrictlyPositiveInterval) {
+  core::PolySpec p;
+  p.kind = core::PolyKind::Chebyshev;
+  p.degree = 5;
+  p.theta = {};
+  EXPECT_THROW(core::validate_poly_spec(p), Error);
+  p.theta = {{0.1, 0.5}, {0.7, 1.9}};  // multi-interval has no Chebyshev form
+  EXPECT_THROW(core::validate_poly_spec(p), Error);
+  p.theta = {{0.0, 1.9}};  // 0 included
+  EXPECT_THROW(core::validate_poly_spec(p), Error);
+  p.theta = {{0.5, 0.1}};  // not an interval
+  EXPECT_THROW(core::validate_poly_spec(p), Error);
+  p.theta = {{0.1, 1.9}};
+  EXPECT_NO_THROW(core::validate_poly_spec(p));
+}
+
+TEST(PolySpecValidation, SolveEntryRejectsBadSpecWithClearError) {
+  const Scene s = make_scene(8, 4);
+  core::PolySpec bad;
+  bad.kind = core::PolyKind::Chebyshev;
+  bad.degree = 4;
+  bad.theta = {{0.1, 0.5}, {0.7, 1.9}};
+  try {
+    (void)core::solve_edd(*s.part, s.prob.load, bad);
+    FAIL() << "expected pfem::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("Chebyshev"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------ setup split
+
+TEST(SetupCounters, CoverPreconditionerBuildNotJustScaling) {
+  const Scene s = make_scene(8, 4);
+  core::PolySpec none;
+  none.kind = core::PolyKind::None;
+  const auto r_none = core::solve_edd(*s.part, s.prob.load, none);
+  const auto r_gls = core::solve_edd(*s.part, s.prob.load, s.poly);
+  // The GLS run's setup slice must include the Stieltjes basis build on
+  // top of the (identical) scaling work.
+  EXPECT_GT(r_gls.setup_counters[0].flops, r_none.setup_counters[0].flops);
+  EXPECT_GT(r_gls.setup_counters[0].total_seconds, 0.0);
+}
+
+TEST(BuildOperator, ProducesScaledMatricesAndPrebuiltPolynomial) {
+  const Scene s = make_scene(8, 4);
+  par::Team team(kRanks);
+  const auto op = core::build_edd_operator(team, *s.part, s.poly);
+  ASSERT_EQ(op.a.size(), static_cast<std::size_t>(kRanks));
+  ASSERT_EQ(op.d.size(), static_cast<std::size_t>(kRanks));
+  EXPECT_NE(op.gls, nullptr);
+  EXPECT_EQ(op.cheb, nullptr);
+  EXPECT_GT(op.setup_seconds, 0.0);
+  ASSERT_EQ(op.setup_counters.size(), static_cast<std::size_t>(kRanks));
+  // Each rank did the scaling exchange and was charged the poly build.
+  for (const auto& c : op.setup_counters) {
+    EXPECT_EQ(c.neighbor_exchanges, 1u);
+    EXPECT_GT(c.flops, 0u);
+  }
+}
+
+// ------------------------------------------------------------- batch solve
+
+TEST(BatchSolve, MatchesSequentialSolvePerRhs) {
+  const Scene s = make_scene();
+  const auto rhs = varied_rhs(s, 3);
+  par::Team team(kRanks);
+  const auto op = core::build_edd_operator(team, *s.part, s.poly);
+  const auto batch = core::solve_edd_batch(team, *s.part, op, rhs);
+  ASSERT_EQ(batch.x.size(), 3u);
+  for (int b = 0; b < 3; ++b) {
+    const auto single = core::solve_edd(*s.part, rhs[static_cast<std::size_t>(b)], s.poly);
+    ASSERT_TRUE(single.converged);
+    ASSERT_TRUE(batch.items[static_cast<std::size_t>(b)].converged);
+    EXPECT_LE(batch.items[static_cast<std::size_t>(b)].final_relres, 1e-6);
+    EXPECT_LT(rel_err(batch.x[static_cast<std::size_t>(b)], single.x), 1e-8);
+  }
+}
+
+TEST(BatchSolve, FusedExchangeCountDoesNotScaleWithBatchSize) {
+  const Scene s = make_scene();
+  par::Team team(kRanks);
+  const auto op = core::build_edd_operator(team, *s.part, s.poly);
+  // Scalar multiples of one RHS converge identically, so iteration
+  // counts match and the exchange counts are directly comparable.
+  std::vector<Vector> one{s.prob.load};
+  std::vector<Vector> four;
+  for (int i = 0; i < 4; ++i) {
+    Vector f = s.prob.load;
+    for (real_t& v : f) v *= static_cast<real_t>(i + 1);
+    four.push_back(std::move(f));
+  }
+  const auto r1 = core::solve_edd_batch(team, *s.part, op, one);
+  const auto r4 = core::solve_edd_batch(team, *s.part, op, four);
+  ASSERT_EQ(r1.items[0].iterations, r4.items[0].iterations);
+  for (int rank = 0; rank < kRanks; ++rank) {
+    const auto& c1 = r1.rank_counters[static_cast<std::size_t>(rank)];
+    const auto& c4 = r4.rank_counters[static_cast<std::size_t>(rank)];
+    // One fused message round per exchange regardless of batch width.
+    EXPECT_EQ(c4.neighbor_exchanges, c1.neighbor_exchanges);
+    EXPECT_EQ(c4.global_reductions, c1.global_reductions);
+    // ...while the arithmetic genuinely scales with the batch.
+    EXPECT_GT(c4.flops, 3 * c1.flops);
+  }
+}
+
+TEST(BatchSolve, ZeroRhsIsExactImmediately) {
+  const Scene s = make_scene(8, 4);
+  par::Team team(kRanks);
+  const auto op = core::build_edd_operator(team, *s.part, s.poly);
+  std::vector<Vector> rhs{Vector(s.prob.load.size(), 0.0), s.prob.load};
+  const auto r = core::solve_edd_batch(team, *s.part, op, rhs);
+  EXPECT_TRUE(r.items[0].converged);
+  EXPECT_EQ(r.items[0].iterations, 0);
+  for (const real_t v : r.x[0]) EXPECT_EQ(v, 0.0);
+  EXPECT_TRUE(r.items[1].converged);
+  EXPECT_GT(r.items[1].iterations, 0);
+}
+
+TEST(BatchSolve, HonorsLocalMatrixOverride) {
+  const Scene s = make_scene(8, 4);
+  par::Team team(kRanks);
+  auto stiffened = std::vector<sparse::CsrMatrix>();
+  for (const auto& sub : s.part->subs) {
+    sparse::CsrMatrix k = sub.k_loc;
+    for (real_t& v : k.values()) v *= 4.0;
+    stiffened.push_back(std::move(k));
+  }
+  const auto op = core::build_edd_operator(team, *s.part, s.poly);
+  const auto op4 = core::build_edd_operator(team, *s.part, s.poly, &stiffened);
+  std::vector<Vector> rhs{s.prob.load};
+  const auto r = core::solve_edd_batch(team, *s.part, op, rhs);
+  const auto r4 = core::solve_edd_batch(team, *s.part, op4, rhs);
+  ASSERT_TRUE(r.items[0].converged && r4.items[0].converged);
+  // (4K) x = f  =>  x = (K^-1 f) / 4.
+  Vector quarter = r.x[0];
+  for (real_t& v : quarter) v /= 4.0;
+  EXPECT_LT(rel_err(r4.x[0], quarter), 1e-6);
+}
+
+// ---------------------------------------------------------------- JobQueue
+
+TEST(JobQueue, AdmissionBoundAndPriorityOrder) {
+  svc::JobQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1, svc::Priority::Normal));
+  EXPECT_TRUE(q.try_push(2, svc::Priority::High));
+  EXPECT_FALSE(q.try_push(3, svc::Priority::High));  // full: shed
+  EXPECT_EQ(q.pop().value(), 2);                     // high first
+  EXPECT_EQ(q.pop().value(), 1);
+  q.close();
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(JobQueue, DrainMatchingRemovesAcrossPriorities) {
+  svc::JobQueue<int> q(8);
+  for (int i = 0; i < 6; ++i)
+    ASSERT_TRUE(q.try_push(int(i), i % 2 ? svc::Priority::High
+                                         : svc::Priority::Normal));
+  const auto evens = q.drain_matching([](int v) { return v % 2 == 0; }, 2);
+  EXPECT_EQ(evens.size(), 2u);
+  EXPECT_EQ(q.size(), 4u);
+  const auto gone = q.remove_if([](int v) { return v == 5; });
+  ASSERT_TRUE(gone.has_value());
+  EXPECT_EQ(*gone, 5);
+}
+
+// ----------------------------------------------------------- OperatorCache
+
+TEST(OperatorCache, LruEvictsBuiltStateButKeepsRecipe) {
+  const Scene s = make_scene(8, 4);
+  par::Team team(kRanks);
+  svc::OperatorCache cache(/*capacity=*/1);
+  cache.register_operator("a", s.part, s.poly);
+  cache.register_operator("b", s.part, s.poly);
+  auto [sa, hit_a] = cache.get_or_build("a", team);
+  EXPECT_FALSE(hit_a);
+  auto [sb, hit_b] = cache.get_or_build("b", team);  // evicts a
+  EXPECT_FALSE(hit_b);
+  EXPECT_EQ(cache.built_count(), 1u);
+  auto [sa2, hit_a2] = cache.get_or_build("a", team);  // rebuild
+  EXPECT_FALSE(hit_a2);
+  auto [sa3, hit_a3] = cache.get_or_build("a", team);
+  EXPECT_TRUE(hit_a3);
+  EXPECT_TRUE(cache.contains("b"));  // recipe survives eviction
+  // Evicted-but-handed-out state stays valid through the shared_ptr.
+  EXPECT_EQ(sb->a.size(), static_cast<std::size_t>(kRanks));
+}
+
+// ------------------------------------------------------------------ Service
+
+svc::SolveRequest make_request(const Scene& s, const std::string& key,
+                               real_t scale = 1.0) {
+  svc::SolveRequest req;
+  req.operator_key = key;
+  Vector f = s.prob.load;
+  for (real_t& v : f) v *= scale;
+  req.rhs.push_back(std::move(f));
+  return req;
+}
+
+TEST(Service, SolvesAndCachesOperator) {
+  const Scene s = make_scene();
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  service.register_operator("op", s.part, s.poly);
+
+  auto first = service.submit(make_request(s, "op")).outcome.get();
+  ASSERT_TRUE(svc::ok(first));
+  EXPECT_FALSE(std::get<svc::Completed>(first).cache_hit);
+  EXPECT_TRUE(std::get<svc::Completed>(first).result.items[0].converged);
+
+  auto second = service.submit(make_request(s, "op", 2.0)).outcome.get();
+  ASSERT_TRUE(svc::ok(second));
+  EXPECT_TRUE(std::get<svc::Completed>(second).cache_hit);
+
+  const auto st = service.stats();
+  EXPECT_EQ(st.completed, 2u);
+  EXPECT_EQ(st.cache_misses, 1u);
+  EXPECT_GE(st.cache_hits, 1u);
+  EXPECT_GT(service.latency().count, 0u);
+  service.shutdown();
+}
+
+TEST(Service, PausedBurstCoalescesIntoOneFusedBatch) {
+  const Scene s = make_scene();
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  service.register_operator("op", s.part, s.poly);
+  ASSERT_TRUE(svc::ok(service.submit(make_request(s, "op")).outcome.get()));
+  const auto warm = service.stats();
+
+  service.set_paused(true);
+  std::vector<std::future<svc::Outcome>> pending;
+  for (int i = 0; i < 4; ++i)
+    pending.push_back(
+        service.submit(make_request(s, "op", 1.0 + i)).outcome);
+  service.set_paused(false);
+  for (auto& f : pending) {
+    const auto o = f.get();
+    ASSERT_TRUE(svc::ok(o));
+    EXPECT_TRUE(std::get<svc::Completed>(o).cache_hit);
+  }
+  const auto st = service.stats();
+  EXPECT_EQ(st.batches - warm.batches, 1u);  // 4 requests, ONE fused solve
+  EXPECT_EQ(st.rhs_solved - warm.rhs_solved, 4u);
+  service.shutdown();
+}
+
+TEST(Service, RejectsUnknownOperatorAndBadRequests) {
+  const Scene s = make_scene(8, 4);
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  service.register_operator("op", s.part, s.poly);
+
+  auto unknown = service.submit(make_request(s, "nope")).outcome.get();
+  ASSERT_TRUE(std::holds_alternative<svc::Rejected>(unknown));
+  EXPECT_EQ(std::get<svc::Rejected>(unknown).reason,
+            svc::RejectReason::UnknownOperator);
+
+  svc::SolveRequest empty;
+  empty.operator_key = "op";
+  auto bad = service.submit(std::move(empty)).outcome.get();
+  ASSERT_TRUE(std::holds_alternative<svc::Rejected>(bad));
+  EXPECT_EQ(std::get<svc::Rejected>(bad).reason,
+            svc::RejectReason::BadRequest);
+
+  svc::SolveRequest short_rhs;
+  short_rhs.operator_key = "op";
+  short_rhs.rhs.push_back(Vector(3, 1.0));
+  auto wrong = service.submit(std::move(short_rhs)).outcome.get();
+  ASSERT_TRUE(std::holds_alternative<svc::Rejected>(wrong));
+  EXPECT_EQ(std::get<svc::Rejected>(wrong).reason,
+            svc::RejectReason::BadRequest);
+  service.shutdown();
+}
+
+TEST(Service, DeadlineRejectedAtAdmissionAndAtDispatch) {
+  const Scene s = make_scene();
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  service.register_operator("op", s.part, s.poly);
+
+  // Admission: already expired -> immediate typed rejection, no hang.
+  auto expired = make_request(s, "op");
+  expired.deadline = svc::Clock::now() - std::chrono::milliseconds(1);
+  auto r1 = service.submit(std::move(expired)).outcome.get();
+  ASSERT_TRUE(std::holds_alternative<svc::Rejected>(r1));
+  EXPECT_EQ(std::get<svc::Rejected>(r1).reason,
+            svc::RejectReason::DeadlineExceeded);
+
+  // Dispatch: expires while held in the paused queue.
+  service.set_paused(true);
+  auto queued = make_request(s, "op");
+  queued.deadline = svc::Clock::now() + std::chrono::milliseconds(20);
+  auto fut = service.submit(std::move(queued)).outcome;
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  service.set_paused(false);
+  auto r2 = fut.get();
+  ASSERT_TRUE(std::holds_alternative<svc::Rejected>(r2));
+  EXPECT_EQ(std::get<svc::Rejected>(r2).reason,
+            svc::RejectReason::DeadlineExceeded);
+
+  const auto st = service.stats();
+  EXPECT_EQ(st.rejected_deadline, 2u);
+  service.shutdown();
+}
+
+TEST(Service, WatchdogCancelsMidSolveOnDeadline) {
+  // A solve that cannot converge (tol below attainable) runs until the
+  // deadline watchdog cancels the team; the client gets a typed
+  // rejection, the service survives and completes the next request.
+  const Scene s = make_scene(24, 8);
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  service.register_operator("op", s.part, s.poly);
+
+  auto hopeless = make_request(s, "op");
+  hopeless.opts.tol = 1e-300;  // unattainable
+  hopeless.opts.max_iters = 100000000;
+  hopeless.deadline = svc::Clock::now() + std::chrono::milliseconds(50);
+  const auto t0 = svc::Clock::now();
+  auto outcome = service.submit(std::move(hopeless)).outcome.get();
+  const auto waited = svc::Clock::now() - t0;
+  ASSERT_TRUE(std::holds_alternative<svc::Rejected>(outcome));
+  EXPECT_EQ(std::get<svc::Rejected>(outcome).reason,
+            svc::RejectReason::DeadlineExceeded);
+  EXPECT_LT(std::chrono::duration<double>(waited).count(), 10.0);
+
+  auto after = service.submit(make_request(s, "op")).outcome.get();
+  ASSERT_TRUE(svc::ok(after));
+  service.shutdown();
+}
+
+TEST(Service, QueueFullShedsTypedRejection) {
+  const Scene s = make_scene(8, 4);
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  cfg.queue_capacity = 2;
+  svc::Service service(cfg);
+  service.register_operator("op", s.part, s.poly);
+  service.set_paused(true);
+
+  // First job: wait until the (paused) scheduler holds it, so the queue
+  // is demonstrably empty before the fill — makes the overflow point
+  // deterministic rather than racing the scheduler's pop.
+  std::vector<std::future<svc::Outcome>> pending;
+  pending.push_back(service.submit(make_request(s, "op")).outcome);
+  for (int spin = 0; service.queue_depth() > 0 && spin < 2000; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(service.queue_depth(), 0u);
+
+  // Fill the queue to capacity, then one more: it must be refused.
+  for (int i = 0; i < 2; ++i)
+    pending.push_back(service.submit(make_request(s, "op")).outcome);
+  auto overflow = service.submit(make_request(s, "op"));
+  auto shed = overflow.outcome.get();
+  ASSERT_TRUE(std::holds_alternative<svc::Rejected>(shed));
+  EXPECT_EQ(std::get<svc::Rejected>(shed).reason,
+            svc::RejectReason::QueueFull);
+
+  service.set_paused(false);
+  for (auto& f : pending) EXPECT_TRUE(svc::ok(f.get()));
+  EXPECT_GE(service.stats().rejected_queue_full, 1u);
+  service.shutdown();
+}
+
+TEST(Service, CancelQueuedAndRunningJobs) {
+  const Scene s = make_scene();
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  service.register_operator("op", s.part, s.poly);
+
+  // Queued: pause, submit two, cancel the second while it waits.
+  service.set_paused(true);
+  auto first = service.submit(make_request(s, "op"));
+  auto second = service.submit(make_request(s, "op"));
+  EXPECT_TRUE(service.cancel(second.id));
+  service.set_paused(false);
+  EXPECT_TRUE(svc::ok(first.outcome.get()));
+  EXPECT_TRUE(std::holds_alternative<svc::Cancelled>(second.outcome.get()));
+
+  // Running: an unconvergeable solve is cancelled mid-flight.
+  auto hopeless = make_request(s, "op");
+  hopeless.opts.tol = 1e-300;
+  hopeless.opts.max_iters = 100000000;
+  auto running = service.submit(std::move(hopeless));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(service.cancel(running.id));
+  EXPECT_TRUE(
+      std::holds_alternative<svc::Cancelled>(running.outcome.get()));
+  EXPECT_FALSE(service.cancel(running.id));  // already finished
+
+  // The team survives the abort and keeps serving.
+  EXPECT_TRUE(svc::ok(service.submit(make_request(s, "op")).outcome.get()));
+  service.shutdown();
+}
+
+TEST(Service, UpdateOperatorInvalidatesCacheAndChangesSolution) {
+  const Scene s = make_scene(8, 4);
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  service.register_operator("op", s.part, s.poly);
+
+  auto base = service.submit(make_request(s, "op")).outcome.get();
+  ASSERT_TRUE(svc::ok(base));
+
+  auto stiffened = std::make_shared<std::vector<sparse::CsrMatrix>>();
+  for (const auto& sub : s.part->subs) {
+    sparse::CsrMatrix k = sub.k_loc;
+    for (real_t& v : k.values()) v *= 4.0;
+    stiffened->push_back(std::move(k));
+  }
+  service.update_operator("op", stiffened);
+  auto scaled = service.submit(make_request(s, "op")).outcome.get();
+  ASSERT_TRUE(svc::ok(scaled));
+  EXPECT_FALSE(std::get<svc::Completed>(scaled).cache_hit);  // rebuilt
+  EXPECT_EQ(service.stats().cache_misses, 2u);
+
+  Vector quarter = std::get<svc::Completed>(base).result.x[0];
+  for (real_t& v : quarter) v /= 4.0;
+  EXPECT_LT(rel_err(std::get<svc::Completed>(scaled).result.x[0], quarter),
+            1e-6);
+  service.shutdown();
+}
+
+TEST(Service, ShutdownDrainsThenRefusesNewWork) {
+  const Scene s = make_scene();
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  service.register_operator("op", s.part, s.poly);
+
+  std::vector<std::future<svc::Outcome>> pending;
+  for (int i = 0; i < 3; ++i)
+    pending.push_back(service.submit(make_request(s, "op", 1.0 + i)).outcome);
+  service.shutdown(/*drain=*/true);
+  for (auto& f : pending) EXPECT_TRUE(svc::ok(f.get()));
+
+  auto refused = service.submit(make_request(s, "op")).outcome.get();
+  ASSERT_TRUE(std::holds_alternative<svc::Rejected>(refused));
+  EXPECT_EQ(std::get<svc::Rejected>(refused).reason,
+            svc::RejectReason::ShuttingDown);
+}
+
+}  // namespace
+}  // namespace pfem

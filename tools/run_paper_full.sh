@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # Regenerate every paper table/figure at paper scale (--full where the
-# bench supports it) plus all ablations.  Expects the repo already built:
+# bench supports it) plus all ablations and the service load bench.
+# Expects the repo already built:
 #   cmake -B build -G Ninja && cmake --build build
-set -euo pipefail
+#
+# Every bench runs even if an earlier one fails; each gets an [ok] /
+# [FAIL exit N] line and the script exits nonzero when anything failed,
+# so a broken bench can't hide in pages of output.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH=build/bench
@@ -10,18 +15,45 @@ FULL="fig10_theta_sensitivity fig15_speedup_degree fig17_speedup_size \
       fig17_machines table2_meshes table3_speedup ablate_gs_reductions \
       ablate_partition ablate_variant ablate_solver_precond \
       ablate_elements ablate_adaptive_theta ablate_reordering \
-      ablate_rdd_precond ext_3d_scaling ablate_ebe"
+      ablate_rdd_precond ext_3d_scaling ablate_ebe svc_load"
 PLAIN="fig01_neumann_residual fig02_gls_residual fig03_stability \
        fig11_static_precond fig12_dynamic_precond fig13_degree_static \
        fig14_degree_dynamic table1_complexity"
 
-for b in $PLAIN; do
-  echo "### $b"
-  "$BENCH/$b"
+# Fail fast on an unbuilt tree: missing binaries are a setup error, not
+# a bench result.
+missing=0
+for b in $PLAIN $FULL micro_kernels; do
+  if [ ! -x "$BENCH/$b" ]; then
+    echo "error: $BENCH/$b not built" >&2
+    missing=1
+  fi
 done
-for b in $FULL; do
-  echo "### $b --full"
-  "$BENCH/$b" --full
+[ "$missing" -ne 0 ] && exit 2
+
+declare -A status
+run_bench() {
+  local name=$1
+  shift
+  echo "### $name $*"
+  "$BENCH/$name" "$@"
+  status[$name]=$?
+}
+
+for b in $PLAIN; do run_bench "$b"; done
+for b in $FULL; do run_bench "$b" --full; done
+run_bench micro_kernels
+
+echo
+echo "### summary"
+failed=0
+for b in $PLAIN $FULL micro_kernels; do
+  code=${status[$b]}
+  if [ "$code" -eq 0 ]; then
+    echo "[ok]   $b"
+  else
+    echo "[FAIL exit $code] $b"
+    failed=1
+  fi
 done
-echo "### micro_kernels"
-"$BENCH/micro_kernels"
+exit $failed

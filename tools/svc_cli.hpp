@@ -1,0 +1,104 @@
+// Shared plumbing for the solve-service drivers (pfem_serve,
+// pfem_loadgen): flag parsing, problem/partition setup, and the JSON
+// emitter for stats + latency artifacts.
+#pragma once
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "exp/experiments.hpp"
+#include "fem/problems.hpp"
+#include "svc/service.hpp"
+
+namespace pfem::tools {
+
+inline std::string str_arg(int argc, char** argv, const char* name,
+                           const std::string& fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::string(argv[i] + prefix.size());
+  return fallback;
+}
+
+inline int int_arg(int argc, char** argv, const char* name, int fallback) {
+  const std::string v = str_arg(argc, argv, name, "");
+  return v.empty() ? fallback : std::stoi(v);
+}
+
+inline double double_arg(int argc, char** argv, const char* name,
+                         double fallback) {
+  const std::string v = str_arg(argc, argv, name, "");
+  return v.empty() ? fallback : std::stod(v);
+}
+
+/// Cantilever problem + EDD partition + polynomial spec shared by both
+/// drivers; sized by --nx/--ny, partitioned for --ranks ranks.
+struct ProblemSetup {
+  fem::CantileverProblem prob;
+  std::shared_ptr<const partition::EddPartition> part;
+  core::PolySpec poly;
+};
+
+inline ProblemSetup make_setup(int nx, int ny, int nparts, int degree) {
+  fem::CantileverSpec spec;
+  spec.nx = nx;
+  spec.ny = ny;
+  fem::CantileverProblem prob = fem::make_cantilever(spec);
+  auto part = std::make_shared<const partition::EddPartition>(
+      exp::make_edd(prob, nparts));
+  core::PolySpec poly;
+  poly.kind = core::PolyKind::Gls;
+  poly.degree = degree;
+  return ProblemSetup{std::move(prob), std::move(part), poly};
+}
+
+/// Emit the service stats + latency snapshot (plus caller-provided
+/// extras) as a flat JSON object.  Returns false when FILE can't be
+/// written, so drivers can surface it in their exit code.
+inline bool write_stats_json(const std::string& path,
+                             const svc::ServiceStats& st,
+                             const svc::LatencySnapshot& lat,
+                             const std::string& extra_fields) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: could not write " << path << "\n";
+    return false;
+  }
+  out << "{\n";
+  if (!extra_fields.empty()) out << extra_fields;
+  out << "  \"submitted\": " << st.submitted << ",\n"
+      << "  \"completed\": " << st.completed << ",\n"
+      << "  \"rejected_queue_full\": " << st.rejected_queue_full << ",\n"
+      << "  \"rejected_deadline\": " << st.rejected_deadline << ",\n"
+      << "  \"rejected_other\": " << st.rejected_other << ",\n"
+      << "  \"cancelled\": " << st.cancelled << ",\n"
+      << "  \"failed\": " << st.failed << ",\n"
+      << "  \"cache_hits\": " << st.cache_hits << ",\n"
+      << "  \"cache_misses\": " << st.cache_misses << ",\n"
+      << "  \"batches\": " << st.batches << ",\n"
+      << "  \"rhs_solved\": " << st.rhs_solved << ",\n"
+      << "  \"solve_seconds\": " << st.solve_seconds << ",\n"
+      << "  \"latency_count\": " << lat.count << ",\n"
+      << "  \"latency_mean_s\": " << lat.mean << ",\n"
+      << "  \"latency_p50_s\": " << lat.p50 << ",\n"
+      << "  \"latency_p90_s\": " << lat.p90 << ",\n"
+      << "  \"latency_p99_s\": " << lat.p99 << ",\n"
+      << "  \"latency_max_s\": " << lat.max << "\n"
+      << "}\n";
+  std::cout << "stats JSON written to " << path << "\n";
+  return true;
+}
+
+inline const char* outcome_name(const svc::Outcome& o) {
+  if (std::holds_alternative<svc::Completed>(o)) return "completed";
+  if (const auto* r = std::get_if<svc::Rejected>(&o))
+    return svc::reject_reason_name(r->reason);
+  if (std::holds_alternative<svc::Cancelled>(o)) return "cancelled";
+  return "failed";
+}
+
+}  // namespace pfem::tools
