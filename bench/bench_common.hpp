@@ -1,4 +1,7 @@
-// Shared plumbing for the per-figure/table bench binaries.
+// Shared plumbing for the per-figure/table bench binaries.  Flag parsing
+// and the observability dumps live in exp/cli.hpp (shared with the
+// service tools); this header keeps the bench-flavored names and the
+// residual-history printer.
 #pragma once
 
 #include <cstring>
@@ -7,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/cli.hpp"
 #include "exp/table.hpp"
 #include "par/counters.hpp"
 
@@ -15,9 +19,7 @@ namespace pfem::bench {
 /// True when the binary was invoked with --full (paper-scale sweep);
 /// default runs are sized to finish in seconds.
 inline bool full_run(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--full") == 0) return true;
-  return false;
+  return exp::has_flag(argc, argv, "--full");
 }
 
 /// Print a residual history downsampled to ~`points` rows.
@@ -37,40 +39,24 @@ inline void print_history(const std::string& label,
 }
 
 /// Integer given via e.g. --rhs=N (prefix includes the '='), or the
-/// fallback when the flag is absent.
+/// fallback when the flag is absent.  (Deprecated spelling — new code
+/// should use exp::int_flag with the bare flag name.)
 inline int int_flag(int argc, char** argv, const char* prefix, int fallback) {
-  const std::size_t len = std::strlen(prefix);
-  for (int i = 1; i < argc; ++i)
-    if (std::strncmp(argv[i], prefix, len) == 0)
-      return std::stoi(argv[i] + len);
-  return fallback;
+  std::string name(prefix);
+  if (!name.empty() && name.back() == '=') name.pop_back();
+  return exp::int_flag(argc, argv, name.c_str(), fallback);
 }
 
 /// Path given via --counters-json=FILE, or "" when the flag is absent.
 inline std::string counters_json_path(int argc, char** argv) {
-  constexpr const char* kFlag = "--counters-json=";
-  for (int i = 1; i < argc; ++i)
-    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0)
-      return std::string(argv[i] + std::strlen(kFlag));
-  return {};
+  return exp::counters_json_path(argc, argv);
 }
 
-/// When --counters-json=FILE was passed, dump the per-rank PerfCounters of
-/// the run (typically DistSolveResult::rank_counters / ::setup_counters)
-/// to FILE and print a confirmation line.  Returns false only when the
-/// dump was requested and failed, so callers can surface it in the exit
-/// code.
+/// See exp::dump_counters_if_requested.
 inline bool dump_counters_if_requested(
     int argc, char** argv, std::span<const par::PerfCounters> ranks,
     std::span<const par::PerfCounters> setup = {}) {
-  const std::string path = counters_json_path(argc, argv);
-  if (path.empty()) return true;
-  if (!par::dump_counters_json(path, ranks, setup)) {
-    std::cerr << "error: could not write counters to " << path << "\n";
-    return false;
-  }
-  std::cout << "per-rank counters written to " << path << "\n";
-  return true;
+  return exp::dump_counters_if_requested(argc, argv, ranks, setup);
 }
 
 }  // namespace pfem::bench

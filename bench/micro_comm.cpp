@@ -301,5 +301,19 @@ int main(int argc, char** argv) {
              exp::Table::num(red_us_old / red_us_new, 1) + "x"});
   t.print(std::cout);
 
+  if (exp::trace_requested(argc, argv)) {
+    // A dedicated traced run so the timed probes above stay untouched.
+    const obs::ObserveOptions oo = exp::observe_from_flags(argc, argv);
+    obs::Trace trace(kTeam, oo.ring_capacity);
+    par::run_spmd(
+        kTeam,
+        [&](par::Comm& c) {
+          double s = 0.0;
+          exchange_body(c, kExch, kExchLen, s);
+        },
+        &trace);
+    if (!exp::dump_trace_if_requested(argc, argv, &trace)) return 1;
+  }
+
   return dump_counters_if_requested(argc, argv, last_counters) ? 0 : 1;
 }

@@ -69,10 +69,14 @@ double run_cold(const Workload& w) {
   return t.seconds();
 }
 
-double run_warm_burst(const Workload& w, std::uint64_t* batches) {
+double run_warm_burst(const Workload& w, std::uint64_t* batches, int argc,
+                      char** argv) {
   svc::ServiceConfig cfg;
   cfg.nranks = kRanks;
   cfg.max_batch_rhs = w.rhs.size();
+  // Tracing stays on for the timed runs on purpose: the acceptance
+  // ratio below must hold with spans recording.
+  cfg.observe = exp::observe_from_flags(argc, argv);
   svc::Service service(cfg);
   service.register_operator("op", w.part, w.poly);
   // Warm the cache so the bench isolates the steady state.
@@ -98,6 +102,9 @@ double run_warm_burst(const Workload& w, std::uint64_t* batches) {
   const double seconds = t.seconds();
   if (batches != nullptr) *batches = service.stats().batches - 1;
   service.shutdown();
+  // Each timing run overwrites the dump; the final file is the keeper.
+  if (cfg.observe.trace)
+    PFEM_CHECK(exp::dump_trace_if_requested(argc, argv, service.trace()));
   return seconds;
 }
 
@@ -160,7 +167,7 @@ int main(int argc, char** argv) {
   const double cold_s = median3([&] { return run_cold(w); });
   std::uint64_t burst_batches = 0;
   const double burst_s =
-      median3([&] { return run_warm_burst(w, &burst_batches); });
+      median3([&] { return run_warm_burst(w, &burst_batches, argc, argv); });
   const double closed_s =
       median3([&] { return run_warm_closed(w, /*clients=*/4); });
 

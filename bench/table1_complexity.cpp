@@ -90,15 +90,19 @@ int main(int argc, char** argv) {
                "global comm = (j+1) Gram-Schmidt reductions + 1 norm = 5 at "
                "j = 3.\n";
 
-  if (!bench::counters_json_path(argc, argv).empty()) {
+  if (!bench::counters_json_path(argc, argv).empty() ||
+      exp::trace_requested(argc, argv)) {
     // Full per-rank trace of a representative run (Alg.6, GLS(7), 4 its).
     core::PolySpec poly;
     poly.degree = 7;
-    const auto res = core::solve_edd(epart, prob.load, poly, capped(4),
+    core::SolveOptions opts = capped(4);
+    opts.observe = exp::observe_from_flags(argc, argv);
+    const auto res = core::solve_edd(epart, prob.load, poly, opts,
                                      core::EddVariant::Enhanced);
     if (!bench::dump_counters_if_requested(argc, argv, res.rank_counters,
                                            res.setup_counters))
       return 1;
+    if (!exp::dump_trace_if_requested(argc, argv, res.trace.get())) return 1;
   }
   return 0;
 }

@@ -183,11 +183,14 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
   const int s = comm.rank();
   const EddSubdomain& sub = part.subs[static_cast<std::size_t>(s)];
   EddRank r(sub, comm);
+  obs::Tracer* const tr = comm.tracer();
   const std::size_t nl = r.nl();
   const std::size_t nb = rhs.size();
   const index_t m = opts.restart;
   const CsrMatrix& a = op.a[static_cast<std::size_t>(s)];
   const Vector& d = op.d[static_cast<std::size_t>(s)];
+  OBS_SPAN(tr, "solve_batch", obs::Cat::Solve,
+           static_cast<std::uint32_t>(nb));
 
   // RHS in local distributed, scaled format: b = D̂ (f_loc / mult).
   std::vector<Vector> b_loc(nb, Vector(nl));
@@ -277,6 +280,7 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
       r.counters().flops += nl;
       r.counters().vector_updates += 1;
       lsq[b].emplace(m, beta);
+      if (iters[b] > 0 && s == 0) ++out.items[b].restarts;
       frozen[b] = 0;
       brk[b] = 0;
       jcols[b] = 0;
@@ -294,6 +298,9 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
       if (live.empty()) break;
       const auto jj = static_cast<std::size_t>(j);
 
+      OBS_SPAN(tr, "arnoldi", obs::Cat::Solve,
+               static_cast<std::uint32_t>(live.size()));
+
       // z_b = P_m(A) v_b: m SpMVs per RHS, m fused exchanges in total.
       pv.clear();
       pz.clear();
@@ -301,7 +308,10 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
         pv.push_back(&v[b][jj]);
         pz.push_back(&z[b][jj]);
       }
-      poly.apply(r, a, pv, pz);
+      {
+        OBS_SPAN(tr, "poly_apply", obs::Cat::Precond);
+        poly.apply(r, a, pv, pz);
+      }
 
       // w_b = A z_b, globalized by the cycle's ONE extra fused exchange.
       ex.clear();
@@ -314,27 +324,30 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
 
       // Gram-Schmidt: the whole batch's j+1 coefficients fold into one
       // allreduce (the batched_reductions idea, across RHS as well).
-      for (int pass = 0; pass < gs_passes; ++pass) {
-        red.resize(live.size() * (jj + 1));
-        for (std::size_t i = 0; i < live.size(); ++i) {
-          const std::size_t b = live[i];
-          for (std::size_t k = 0; k <= jj; ++k)
-            red[i * (jj + 1) + k] =
-                pass == 0 ? r.dot_lg_partial(w_loc[b], v[b][k])
-                          : r.dot_gg_partial(w_glob[b], v[b][k]);
-        }
-        comm.allreduce_sum(red);
-        for (std::size_t i = 0; i < live.size(); ++i) {
-          const std::size_t b = live[i];
-          Vector& coeff = pass == 0 ? h[b] : h2[b];
-          for (std::size_t k = 0; k <= jj; ++k) {
-            coeff[k] = red[i * (jj + 1) + k];
-            la::axpy(-coeff[k], v[b][k], w_glob[b]);
+      {
+        OBS_SPAN(tr, "gram_schmidt", obs::Cat::Ortho);
+        for (int pass = 0; pass < gs_passes; ++pass) {
+          red.resize(live.size() * (jj + 1));
+          for (std::size_t i = 0; i < live.size(); ++i) {
+            const std::size_t b = live[i];
+            for (std::size_t k = 0; k <= jj; ++k)
+              red[i * (jj + 1) + k] =
+                  pass == 0 ? r.dot_lg_partial(w_loc[b], v[b][k])
+                            : r.dot_gg_partial(w_glob[b], v[b][k]);
           }
-          r.counters().flops += 2 * nl * (jj + 1);
-          r.counters().vector_updates += jj + 1;
-          if (pass > 0)
-            for (std::size_t k = 0; k <= jj; ++k) h[b][k] += h2[b][k];
+          comm.allreduce_sum(red);
+          for (std::size_t i = 0; i < live.size(); ++i) {
+            const std::size_t b = live[i];
+            Vector& coeff = pass == 0 ? h[b] : h2[b];
+            for (std::size_t k = 0; k <= jj; ++k) {
+              coeff[k] = red[i * (jj + 1) + k];
+              la::axpy(-coeff[k], v[b][k], w_glob[b]);
+            }
+            r.counters().flops += 2 * nl * (jj + 1);
+            r.counters().vector_updates += jj + 1;
+            if (pass > 0)
+              for (std::size_t k = 0; k <= jj; ++k) h[b][k] += h2[b][k];
+          }
         }
       }
 
@@ -352,6 +365,14 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
             lsq[b]->push_column(std::span<const real_t>(h[b].data(), jj + 2)) /
             beta0[b];
         ++iters[b];
+        if (s == 0) {
+          out.items[b].history.push_back(relres[b]);
+          if (tr != nullptr)
+            tr->counter("relres", obs::Cat::Solve, relres[b],
+                        static_cast<std::uint32_t>(b));
+          if (opts.observe.progress)
+            opts.observe.progress(iters[b], relres[b], b);
+        }
         jcols[b] = j + 1;
         if (hnext <= 1e-14 * beta0[b]) {
           frozen[b] = 1;
@@ -421,7 +442,7 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
 
 EddOperatorState build_edd_operator(
     par::Team& team, const partition::EddPartition& part, const PolySpec& spec,
-    const std::vector<sparse::CsrMatrix>* local_matrices) {
+    const std::vector<sparse::CsrMatrix>* local_matrices, obs::Trace* trace) {
   validate_poly_spec(spec);
   PFEM_CHECK_MSG(team.size() == part.nparts(),
                  "build_edd_operator: team size " << team.size()
@@ -435,24 +456,27 @@ EddOperatorState build_edd_operator(
   op.poly = spec;
   op.a.resize(p);
   op.d.resize(p);
-  op.setup_counters = team.run([&](par::Comm& comm) {
-    const auto s = static_cast<std::size_t>(comm.rank());
-    const EddSubdomain& sub = part.subs[s];
-    EddRank r(sub, comm);
-    const std::size_t nl = r.nl();
-    CsrMatrix a = local_matrices ? (*local_matrices)[s] : sub.k_loc;
-    Vector d = a.row_norms1();  // partial row norms d_i^(s) (Eq. 43)
-    r.counters().flops += static_cast<std::uint64_t>(a.nnz());
-    r.exchange(d);              // d_i = Σ_s d_i^(s) (Eq. 42)
-    for (std::size_t l = 0; l < nl; ++l) {
-      PFEM_CHECK_MSG(d[l] > 0.0, "norm-1 scaling: zero row");
-      d[l] = 1.0 / std::sqrt(d[l]);
-    }
-    a.scale_symmetric(d);  // Â = D̂ K̂ D̂ (Eq. 44)
-    r.counters().flops += 2ull * static_cast<std::uint64_t>(a.nnz());
-    op.a[s] = std::move(a);
-    op.d[s] = std::move(d);
-  });
+  op.setup_counters = team.run(
+      [&](par::Comm& comm) {
+        const auto s = static_cast<std::size_t>(comm.rank());
+        const EddSubdomain& sub = part.subs[s];
+        EddRank r(sub, comm);
+        OBS_SPAN(comm.tracer(), "build_operator", obs::Cat::Setup);
+        const std::size_t nl = r.nl();
+        CsrMatrix a = local_matrices ? (*local_matrices)[s] : sub.k_loc;
+        Vector d = a.row_norms1();  // partial row norms d_i^(s) (Eq. 43)
+        r.counters().flops += static_cast<std::uint64_t>(a.nnz());
+        r.exchange(d);              // d_i = Σ_s d_i^(s) (Eq. 42)
+        for (std::size_t l = 0; l < nl; ++l) {
+          PFEM_CHECK_MSG(d[l] > 0.0, "norm-1 scaling: zero row");
+          d[l] = 1.0 / std::sqrt(d[l]);
+        }
+        a.scale_symmetric(d);  // Â = D̂ K̂ D̂ (Eq. 44)
+        r.counters().flops += 2ull * static_cast<std::uint64_t>(a.nnz());
+        op.a[s] = std::move(a);
+        op.d[s] = std::move(d);
+      },
+      trace);
 
   // The polynomial recursion data depends only on the spec (the paper
   // builds it redundantly per rank with zero communication); one shared
@@ -473,7 +497,7 @@ EddOperatorState build_edd_operator(
 BatchSolveResult solve_edd_batch(par::Team& team, const EddPartition& part,
                                  const EddOperatorState& op,
                                  std::span<const Vector> rhs,
-                                 const SolveOptions& opts) {
+                                 const SolveOptions& opts, obs::Trace* trace) {
   PFEM_CHECK_MSG(!rhs.empty(), "solve_edd_batch: empty RHS batch");
   PFEM_CHECK_MSG(team.size() == part.nparts(),
                  "solve_edd_batch: team size " << team.size()
@@ -489,13 +513,23 @@ BatchSolveResult solve_edd_batch(par::Team& team, const EddPartition& part,
   out.sol.assign(nb, std::vector<Vector>(p));
   out.items.assign(nb, BatchItemResult{});
 
+  // An external trace (the service's) wins; otherwise honor the per-call
+  // observe knob with a trace owned by this result.
+  std::shared_ptr<obs::Trace> own_trace;
+  if (trace == nullptr && opts.observe.trace) {
+    own_trace = std::make_shared<obs::Trace>(static_cast<int>(p),
+                                             opts.observe.ring_capacity);
+    trace = own_trace.get();
+  }
+
   WallTimer timer;
-  std::vector<par::PerfCounters> counters = team.run([&](par::Comm& comm) {
-    batch_rank_solve(part, op, rhs, opts, comm, out);
-  });
+  std::vector<par::PerfCounters> counters = team.run(
+      [&](par::Comm& comm) { batch_rank_solve(part, op, rhs, opts, comm, out); },
+      trace);
 
   BatchSolveResult result;
   result.wall_seconds = timer.seconds();
+  result.trace = std::move(own_trace);
   result.items = std::move(out.items);
   result.x.reserve(nb);
   for (std::size_t b = 0; b < nb; ++b)

@@ -51,32 +51,42 @@ struct EddOperatorState {
 /// part.subs[s].k_loc (same dof layout), e.g. a dynamic effective
 /// stiffness — passing an updated set is how time stepping refreshes the
 /// operator without repartitioning.
+/// @param trace optional span trace (lanes == team size) for the build,
+///        e.g. the solve service's long-lived trace.
 [[nodiscard]] EddOperatorState build_edd_operator(
     par::Team& team, const partition::EddPartition& part,
     const PolySpec& spec,
-    const std::vector<sparse::CsrMatrix>* local_matrices = nullptr);
+    const std::vector<sparse::CsrMatrix>* local_matrices = nullptr,
+    obs::Trace* trace = nullptr);
 
-/// Per-RHS outcome of a batch solve.
-struct BatchItemResult {
-  bool converged = false;
-  index_t iterations = 0;
-  real_t final_relres = 0.0;
-};
+/// Per-RHS outcome of a batch solve — the same unified report shape as
+/// every other solver path (with per-iteration residual history, written
+/// by rank 0).
+using BatchItemResult = SolveReport;
 
 struct BatchSolveResult {
   std::vector<Vector> x;  ///< per-RHS global solutions (scaling undone)
   std::vector<BatchItemResult> items;
   std::vector<par::PerfCounters> rank_counters;
   double wall_seconds = 0.0;
+  /// Per-call trace when opts.observe.trace requested one (and no
+  /// external trace was supplied); null otherwise.
+  std::shared_ptr<const obs::Trace> trace;
 };
 
 /// Solve K u = f_b for every RHS in `rhs` (each a full global vector) in
 /// one loop-fused enhanced EDD-FGMRES sweep on the prebuilt operator.
 /// Each RHS converges (or hits max_iters) independently; finished systems
 /// drop out of the fused exchanges.  Team size must equal part.nparts().
+///
+/// Observability: opts.observe.progress is called per iteration per live
+/// RHS with that RHS's batch index.  When `trace` is non-null the ranks
+/// record spans into it (a service passes its own long-lived trace);
+/// otherwise, when opts.observe.trace is set, a per-call trace is
+/// created and returned in BatchSolveResult::trace.
 [[nodiscard]] BatchSolveResult solve_edd_batch(
     par::Team& team, const partition::EddPartition& part,
     const EddOperatorState& op, std::span<const Vector> rhs,
-    const SolveOptions& opts = {});
+    const SolveOptions& opts = {}, obs::Trace* trace = nullptr);
 
 }  // namespace pfem::core

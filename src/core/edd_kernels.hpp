@@ -66,6 +66,10 @@ class EddRank {
   /// FGMRES but fatal for CG's recursively updated residual.
   void exchange(std::span<real_t> v) {
     PFEM_DEBUG_CHECK(v.size() == nl_);
+    // The "exchange" span and neighbor_exchanges count the same logical
+    // event, so a trace is an exact cross-check of the counters (and of
+    // the paper's Table 1 per-iteration exchange counts).
+    OBS_SPAN(comm_.tracer(), "exchange", obs::Cat::Exchange);
     counters().neighbor_exchanges += 1;
     for (const auto& nb : sub_.neighbors) {
       send_buf_.resize(nb.shared_local_dofs.size());
@@ -117,6 +121,8 @@ class EddRank {
       exchange(*vs[0]);
       return;
     }
+    OBS_SPAN(comm_.tracer(), "exchange", obs::Cat::Exchange,
+             static_cast<std::uint32_t>(nb));
     counters().neighbor_exchanges += 1;
     for (const auto& nb_it : sub_.neighbors) {
       const std::size_t ns = nb_it.shared_local_dofs.size();
@@ -214,6 +220,7 @@ class EddRank {
   /// Local SpMV ŷ_loc = Â x̂_glob (Eq. 37) with counting.
   void spmv(const CsrMatrix& a, std::span<const real_t> x_glob,
             std::span<real_t> y_loc) {
+    OBS_SPAN(comm_.tracer(), "spmv", obs::Cat::Matvec);
     a.spmv(x_glob, y_loc);
     counters().matvecs += 1;
     counters().flops += a.spmv_flops();

@@ -74,34 +74,45 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
   const int s = comm.rank();
   const EddSubdomain& sub = part.subs[static_cast<std::size_t>(s)];
   EddRank r(sub, comm);
+  obs::Tracer* const tr = comm.tracer();
   const std::size_t nl = r.nl();
   const index_t m = opts.restart;
   const bool basic = (variant == EddVariant::Basic);
+  OBS_SPAN(tr, "solve_edd", obs::Cat::Solve);
 
   // ---- Setup: rhs in local distributed format, distributed norm-1
   // scaling (Algorithms 3/4), redundant preconditioner construction.
   const WallTimer setup_timer;
   CsrMatrix a = k_in;  // private copy; scaled in place
-  Vector f_loc(nl);
-  for (std::size_t l = 0; l < nl; ++l)
-    f_loc[l] =
-        f_global[static_cast<std::size_t>(sub.local_to_global[l])] /
-        static_cast<real_t>(sub.multiplicity[l]);
-
-  Vector d = a.row_norms1();  // partial row norms d_i^(s) (Eq. 43)
-  r.counters().flops += static_cast<std::uint64_t>(a.nnz());
-  r.exchange(d);              // d_i = Σ_s d_i^(s) (Eq. 42)
-  for (std::size_t l = 0; l < nl; ++l) {
-    PFEM_CHECK_MSG(d[l] > 0.0, "norm-1 scaling: zero row");
-    d[l] = 1.0 / std::sqrt(d[l]);
-  }
-  a.scale_symmetric(d);  // Â = D̂ K̂ D̂ (Eq. 44)
-  r.counters().flops += 2ull * static_cast<std::uint64_t>(a.nnz());
+  Vector d;
   Vector b_loc(nl);
-  for (std::size_t l = 0; l < nl; ++l) b_loc[l] = d[l] * f_loc[l];
-  r.counters().flops += nl;
+  {
+    OBS_SPAN(tr, "setup", obs::Cat::Setup);
+    Vector f_loc(nl);
+    for (std::size_t l = 0; l < nl; ++l)
+      f_loc[l] =
+          f_global[static_cast<std::size_t>(sub.local_to_global[l])] /
+          static_cast<real_t>(sub.multiplicity[l]);
 
-  DistPoly poly(spec, nl, &r.counters());
+    d = a.row_norms1();  // partial row norms d_i^(s) (Eq. 43)
+    r.counters().flops += static_cast<std::uint64_t>(a.nnz());
+    r.exchange(d);              // d_i = Σ_s d_i^(s) (Eq. 42)
+    for (std::size_t l = 0; l < nl; ++l) {
+      PFEM_CHECK_MSG(d[l] > 0.0, "norm-1 scaling: zero row");
+      d[l] = 1.0 / std::sqrt(d[l]);
+    }
+    a.scale_symmetric(d);  // Â = D̂ K̂ D̂ (Eq. 44)
+    r.counters().flops += 2ull * static_cast<std::uint64_t>(a.nnz());
+    for (std::size_t l = 0; l < nl; ++l) b_loc[l] = d[l] * f_loc[l];
+    r.counters().flops += nl;
+  }
+
+  std::optional<DistPoly> poly_store;
+  {
+    OBS_SPAN(tr, "build_poly", obs::Cat::Setup);
+    poly_store.emplace(spec, nl, &r.counters());
+  }
+  DistPoly& poly = *poly_store;
   out.setup_counters[static_cast<std::size_t>(s)] = comm.counters();
   out.setup_counters[static_cast<std::size_t>(s)].total_seconds =
       setup_timer.seconds();
@@ -161,13 +172,18 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
     index_t j = 0;
     bool breakdown = false;
     for (; j < m && iterations < opts.max_iters; ++j) {
+      OBS_SPAN(tr, "arnoldi", obs::Cat::Solve,
+               static_cast<std::uint32_t>(iterations));
       auto& vj = v[static_cast<std::size_t>(j)];
       auto& zj = z[static_cast<std::size_t>(j)];
 
       const int gs_passes = opts.reorthogonalize ? 2 : 1;
       if (basic) {
         // -- Algorithm 5 inner step: m+3 exchanges total.
-        poly.apply_local(r, a, vj, zj);        // m exchanges
+        {
+          OBS_SPAN(tr, "poly_apply", obs::Cat::Precond);
+          poly.apply_local(r, a, vj, zj);      // m exchanges
+        }
         la::copy(zj, tmp);
         r.exchange(tmp);                       // (+1) ẑ -> global
         r.spmv(a, tmp, w_loc);
@@ -177,33 +193,36 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
         // reduction per i, as in the paper's Algorithm 5 line 18 (its
         // Table 1 charges ~m̃+1 global communications per iteration),
         // unless batched_reductions folds them into one allreduce.
-        for (int pass = 0; pass < gs_passes; ++pass) {
-          if (pass > 0) {  // refresh the global copy of the updated w
-            la::copy(w_loc, w_glob);
-            r.exchange(w_glob);
+        {
+          OBS_SPAN(tr, "gram_schmidt", obs::Cat::Ortho);
+          for (int pass = 0; pass < gs_passes; ++pass) {
+            if (pass > 0) {  // refresh the global copy of the updated w
+              la::copy(w_loc, w_glob);
+              r.exchange(w_glob);
+            }
+            Vector& coeff = pass == 0 ? h : h2;
+            if (opts.batched_reductions) {
+              for (index_t i = 0; i <= j; ++i)
+                coeff[static_cast<std::size_t>(i)] = r.dot_lg_partial(
+                    v[static_cast<std::size_t>(i)], w_glob);
+              comm.allreduce_sum(std::span<real_t>(
+                  coeff.data(), static_cast<std::size_t>(j) + 1));
+            } else {
+              for (index_t i = 0; i <= j; ++i)
+                coeff[static_cast<std::size_t>(i)] =
+                    r.dot_lg(v[static_cast<std::size_t>(i)], w_glob);
+            }
+            // w -= Σ coeff_i v_i, kept in local format.
+            for (index_t i = 0; i <= j; ++i)
+              la::axpy(-coeff[static_cast<std::size_t>(i)],
+                       v[static_cast<std::size_t>(i)], w_loc);
+            r.counters().flops += 2 * nl * static_cast<std::size_t>(j + 1);
+            r.counters().vector_updates += static_cast<std::uint64_t>(j) + 1;
+            if (pass > 0)
+              for (index_t i = 0; i <= j; ++i)
+                h[static_cast<std::size_t>(i)] +=
+                    coeff[static_cast<std::size_t>(i)];
           }
-          Vector& coeff = pass == 0 ? h : h2;
-          if (opts.batched_reductions) {
-            for (index_t i = 0; i <= j; ++i)
-              coeff[static_cast<std::size_t>(i)] = r.dot_lg_partial(
-                  v[static_cast<std::size_t>(i)], w_glob);
-            comm.allreduce_sum(std::span<real_t>(
-                coeff.data(), static_cast<std::size_t>(j) + 1));
-          } else {
-            for (index_t i = 0; i <= j; ++i)
-              coeff[static_cast<std::size_t>(i)] =
-                  r.dot_lg(v[static_cast<std::size_t>(i)], w_glob);
-          }
-          // w -= Σ coeff_i v_i, kept in local format.
-          for (index_t i = 0; i <= j; ++i)
-            la::axpy(-coeff[static_cast<std::size_t>(i)],
-                     v[static_cast<std::size_t>(i)], w_loc);
-          r.counters().flops += 2 * nl * static_cast<std::size_t>(j + 1);
-          r.counters().vector_updates += static_cast<std::uint64_t>(j) + 1;
-          if (pass > 0)
-            for (index_t i = 0; i <= j; ++i)
-              h[static_cast<std::size_t>(i)] +=
-                  coeff[static_cast<std::size_t>(i)];
         }
         la::copy(w_loc, w_glob);
         r.exchange(w_glob);                    // (+1) for the norm
@@ -211,7 +230,10 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
             sqrt_nonneg(r.dot_lg(w_loc, w_glob));
       } else {
         // -- Algorithm 6 inner step: m+1 exchanges total.
-        poly.apply_global(r, a, vj, zj);       // m exchanges
+        {
+          OBS_SPAN(tr, "poly_apply", obs::Cat::Precond);
+          poly.apply_global(r, a, vj, zj);     // m exchanges
+        }
         r.spmv(a, zj, w_loc);
         la::copy(w_loc, w_glob);
         r.exchange(w_glob);                    // (+1) the only extra one
@@ -219,33 +241,36 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
         // per i (Algorithm 6 line 13 / Table 1), optionally batched.
         // The re-orthogonalization pass uses the 1/mult-weighted dot on
         // the updated global-format w (no extra exchange).
-        for (int pass = 0; pass < gs_passes; ++pass) {
-          Vector& coeff = pass == 0 ? h : h2;
-          if (opts.batched_reductions) {
+        {
+          OBS_SPAN(tr, "gram_schmidt", obs::Cat::Ortho);
+          for (int pass = 0; pass < gs_passes; ++pass) {
+            Vector& coeff = pass == 0 ? h : h2;
+            if (opts.batched_reductions) {
+              for (index_t i = 0; i <= j; ++i)
+                coeff[static_cast<std::size_t>(i)] =
+                    pass == 0 ? r.dot_lg_partial(
+                                    w_loc, v[static_cast<std::size_t>(i)])
+                              : r.dot_gg_partial(
+                                    w_glob, v[static_cast<std::size_t>(i)]);
+              comm.allreduce_sum(std::span<real_t>(
+                  coeff.data(), static_cast<std::size_t>(j) + 1));
+            } else {
+              for (index_t i = 0; i <= j; ++i)
+                coeff[static_cast<std::size_t>(i)] =
+                    pass == 0
+                        ? r.dot_lg(w_loc, v[static_cast<std::size_t>(i)])
+                        : r.dot_gg(w_glob, v[static_cast<std::size_t>(i)]);
+            }
             for (index_t i = 0; i <= j; ++i)
-              coeff[static_cast<std::size_t>(i)] =
-                  pass == 0 ? r.dot_lg_partial(
-                                  w_loc, v[static_cast<std::size_t>(i)])
-                            : r.dot_gg_partial(
-                                  w_glob, v[static_cast<std::size_t>(i)]);
-            comm.allreduce_sum(std::span<real_t>(
-                coeff.data(), static_cast<std::size_t>(j) + 1));
-          } else {
-            for (index_t i = 0; i <= j; ++i)
-              coeff[static_cast<std::size_t>(i)] =
-                  pass == 0
-                      ? r.dot_lg(w_loc, v[static_cast<std::size_t>(i)])
-                      : r.dot_gg(w_glob, v[static_cast<std::size_t>(i)]);
+              la::axpy(-coeff[static_cast<std::size_t>(i)],
+                       v[static_cast<std::size_t>(i)], w_glob);
+            r.counters().flops += 2 * nl * static_cast<std::size_t>(j + 1);
+            r.counters().vector_updates += static_cast<std::uint64_t>(j) + 1;
+            if (pass > 0)
+              for (index_t i = 0; i <= j; ++i)
+                h[static_cast<std::size_t>(i)] +=
+                    coeff[static_cast<std::size_t>(i)];
           }
-          for (index_t i = 0; i <= j; ++i)
-            la::axpy(-coeff[static_cast<std::size_t>(i)],
-                     v[static_cast<std::size_t>(i)], w_glob);
-          r.counters().flops += 2 * nl * static_cast<std::size_t>(j + 1);
-          r.counters().vector_updates += static_cast<std::uint64_t>(j) + 1;
-          if (pass > 0)
-            for (index_t i = 0; i <= j; ++i)
-              h[static_cast<std::size_t>(i)] +=
-                  coeff[static_cast<std::size_t>(i)];
         }
         h[static_cast<std::size_t>(j) + 1] =
             std::sqrt(r.norm2_sq_global(w_glob));
@@ -257,6 +282,11 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
                beta0;
       ++iterations;
       history.push_back(relres);
+      if (s == 0) {
+        if (tr != nullptr) tr->counter("relres", obs::Cat::Solve, relres);
+        if (opts.observe.progress)
+          opts.observe.progress(iterations, relres, 0);
+      }
 
       if (hnext <= 1e-14 * beta0) {
         breakdown = true;
@@ -345,14 +375,20 @@ DistSolveResult solve_edd(const EddPartition& part,
   out.solutions.resize(static_cast<std::size_t>(p));
   out.setup_counters.resize(static_cast<std::size_t>(p));
 
+  std::shared_ptr<obs::Trace> trace;
+  if (opts.observe.trace)
+    trace = std::make_shared<obs::Trace>(p, opts.observe.ring_capacity);
+
   WallTimer timer;
-  std::vector<par::PerfCounters> counters =
-      par::run_spmd(p, [&](par::Comm& comm) {
+  std::vector<par::PerfCounters> counters = par::run_spmd(
+      p,
+      [&](par::Comm& comm) {
         const auto s = static_cast<std::size_t>(comm.rank());
         const sparse::CsrMatrix& k =
             local_matrices ? (*local_matrices)[s] : part.subs[s].k_loc;
         edd_rank_solve(part, k, f_global, spec, opts, variant, comm, out);
-      });
+      },
+      trace.get());
 
   DistSolveResult result;
   result.wall_seconds = timer.seconds();
@@ -364,6 +400,7 @@ DistSolveResult solve_edd(const EddPartition& part,
   result.history = std::move(out.history);
   result.rank_counters = std::move(counters);
   result.setup_counters = std::move(out.setup_counters);
+  result.trace = std::move(trace);
   return result;
 }
 

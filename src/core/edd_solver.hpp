@@ -51,23 +51,9 @@ struct PolySpec {
 ///     semi-iteration has no multi-interval form).
 void validate_poly_spec(const PolySpec& spec);
 
-/// Result of a distributed solve.
-struct DistSolveResult {
-  Vector x;  ///< global solution u (scaling undone)
-  bool converged = false;
-  index_t iterations = 0;
-  index_t restarts = 0;
-  real_t final_relres = 0.0;
-  std::vector<real_t> history;  ///< rel. residual per inner iteration
-  std::vector<par::PerfCounters> rank_counters;  ///< full run
-  /// Setup-phase slice of the counters: rhs localization, norm-1 scaling
-  /// (Algorithms 3/4) *and* polynomial preconditioner construction —
-  /// everything a warm-cache solve skips.  total_seconds here is the
-  /// setup wall time of the rank, so cache-hit savings are measurable
-  /// from counters alone.
-  std::vector<par::PerfCounters> setup_counters;
-  double wall_seconds = 0.0;
-};
+// The distributed result shape now lives in core/solve_report.hpp as
+// `DistSolve` (alias `DistSolveResult`): the unified SolveReport plus
+// the solution, per-rank counters and optional span trace.
 
 /// Solve K u = f on an EDD partition (K = the partition's k_loc
 /// sub-assemblies).  Applies distributed norm-1 scaling, builds the

@@ -14,6 +14,8 @@
 #include "common/types.hpp"
 #include "core/operator.hpp"
 #include "core/precond.hpp"
+#include "core/solve_report.hpp"
+#include "obs/trace.hpp"
 
 namespace pfem::core {
 
@@ -32,14 +34,11 @@ struct SolveOptions {
   /// (distributed solvers only).  Off by default (paper-faithful); the
   /// ablation bench quantifies what this modern optimization buys.
   bool batched_reductions = false;
-};
 
-struct SolveResult {
-  bool converged = false;
-  index_t iterations = 0;     ///< total inner (Arnoldi) iterations
-  index_t restarts = 0;       ///< outer cycles completed
-  real_t final_relres = 0.0;  ///< ‖r‖/‖r₀‖ at exit
-  std::vector<real_t> history;  ///< rel. residual after each inner iteration
+  /// Observability: span tracing and per-iteration progress callbacks.
+  /// One knob struct shared by every solver entry point and the solve
+  /// service, replacing per-tool flag plumbing.
+  obs::ObserveOptions observe;
 };
 
 /// Solve A x = b with initial guess x (overwritten by the solution).

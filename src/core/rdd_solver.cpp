@@ -9,6 +9,7 @@
 #include "core/gls_poly.hpp"
 #include "la/hessenberg_lsq.hpp"
 #include "la/vector_ops.hpp"
+#include "obs/trace.hpp"
 #include "sparse/ilu0.hpp"
 
 namespace pfem::core {
@@ -49,6 +50,7 @@ class RddRank {
   /// y = A_loc x + A_ext x_ext (Eq. 48).
   void matvec(const CsrMatrix& a_loc, const CsrMatrix& a_ext,
               std::span<const real_t> x, std::span<real_t> y) {
+    OBS_SPAN(comm_.tracer(), "matvec", obs::Cat::Matvec);
     exchange_into_ext(x);
     a_loc.spmv(x, y);
     if (sub_.n_ext() > 0) a_ext.spmv_add(x_ext_, y);
@@ -61,6 +63,9 @@ class RddRank {
 
   /// One scatter/gather phase filling x_ext from neighbors.
   void exchange_into_ext(std::span<const real_t> x) {
+    // The "exchange" span and neighbor_exchanges count the same logical
+    // event — a trace is an exact cross-check of the counters.
+    OBS_SPAN(comm_.tracer(), "exchange", obs::Cat::Exchange);
     counters().neighbor_exchanges += 1;
     for (const auto& nb : sub_.neighbors) {
       if (nb.send_local_rows.empty()) continue;
@@ -123,8 +128,20 @@ void rdd_rank_solve(const RddPartition& part,
   const std::size_t nl = r.nl();
   const index_t m = opts.restart;
 
+  obs::Tracer* const tr = comm.tracer();
+  OBS_SPAN(tr, "solve_rdd", obs::Cat::Solve);
+
   // ---- Setup: local copies, norm-1 scaling (row norms need no comm —
   // rows are complete; external-column scaling needs one exchange).
+  // The setup region declares state the solve loop uses, so it cannot be
+  // a braced scope; open/close the span manually instead.
+  const bool traced = tr != nullptr && tr->enabled();
+  std::uint16_t setup_depth = 0;
+  std::uint64_t setup_t0 = 0;
+  if (traced) {
+    setup_depth = tr->open();
+    setup_t0 = tr->now_ns();
+  }
   CsrMatrix a_loc = sub.a_loc;
   CsrMatrix a_ext = sub.a_ext;
 
@@ -193,6 +210,7 @@ void rdd_rank_solve(const RddPartition& part,
     degree = rdd_opts.poly.degree;
   }
   out.setup_counters[static_cast<std::size_t>(s)] = comm.counters();
+  if (traced) tr->close("setup", obs::Cat::Setup, setup_t0, setup_depth);
 
   // z = P(A) v through the distributed mat-vec: `degree` exchanges.
   Vector pa(nl), pb(nl), pc(nl);
@@ -335,36 +353,44 @@ void rdd_rank_solve(const RddPartition& part,
     index_t j = 0;
     bool breakdown = false;
     for (; j < m && iterations < opts.max_iters; ++j) {
-      precondition(v[static_cast<std::size_t>(j)],
-                   z[static_cast<std::size_t>(j)]);
+      OBS_SPAN(tr, "arnoldi", obs::Cat::Solve,
+               static_cast<std::uint32_t>(iterations));
+      {
+        OBS_SPAN(tr, "precond", obs::Cat::Precond);
+        precondition(v[static_cast<std::size_t>(j)],
+                     z[static_cast<std::size_t>(j)]);
+      }
       r.matvec(a_loc, a_ext, z[static_cast<std::size_t>(j)], w);
 
       // One global reduction per h_ij, as in the paper's Algorithm 8
       // (Table 1: ~m̃+1 global communications per iteration), optionally
       // batched; optional second CGS pass.
       const int gs_passes = opts.reorthogonalize ? 2 : 1;
-      for (int pass = 0; pass < gs_passes; ++pass) {
-        Vector& coeff = pass == 0 ? h : h2;
-        if (opts.batched_reductions) {
+      {
+        OBS_SPAN(tr, "gram_schmidt", obs::Cat::Ortho);
+        for (int pass = 0; pass < gs_passes; ++pass) {
+          Vector& coeff = pass == 0 ? h : h2;
+          if (opts.batched_reductions) {
+            for (index_t i = 0; i <= j; ++i)
+              coeff[static_cast<std::size_t>(i)] =
+                  r.dot_partial(w, v[static_cast<std::size_t>(i)]);
+            comm.allreduce_sum(std::span<real_t>(
+                coeff.data(), static_cast<std::size_t>(j) + 1));
+          } else {
+            for (index_t i = 0; i <= j; ++i)
+              coeff[static_cast<std::size_t>(i)] =
+                  r.dot(w, v[static_cast<std::size_t>(i)]);
+          }
           for (index_t i = 0; i <= j; ++i)
-            coeff[static_cast<std::size_t>(i)] =
-                r.dot_partial(w, v[static_cast<std::size_t>(i)]);
-          comm.allreduce_sum(std::span<real_t>(
-              coeff.data(), static_cast<std::size_t>(j) + 1));
-        } else {
-          for (index_t i = 0; i <= j; ++i)
-            coeff[static_cast<std::size_t>(i)] =
-                r.dot(w, v[static_cast<std::size_t>(i)]);
+            la::axpy(-coeff[static_cast<std::size_t>(i)],
+                     v[static_cast<std::size_t>(i)], w);
+          r.counters().flops += 2 * nl * static_cast<std::size_t>(j + 1);
+          r.counters().vector_updates += static_cast<std::uint64_t>(j) + 1;
+          if (pass > 0)
+            for (index_t i = 0; i <= j; ++i)
+              h[static_cast<std::size_t>(i)] +=
+                  coeff[static_cast<std::size_t>(i)];
         }
-        for (index_t i = 0; i <= j; ++i)
-          la::axpy(-coeff[static_cast<std::size_t>(i)],
-                   v[static_cast<std::size_t>(i)], w);
-        r.counters().flops += 2 * nl * static_cast<std::size_t>(j + 1);
-        r.counters().vector_updates += static_cast<std::uint64_t>(j) + 1;
-        if (pass > 0)
-          for (index_t i = 0; i <= j; ++i)
-            h[static_cast<std::size_t>(i)] +=
-                coeff[static_cast<std::size_t>(i)];
       }
       const real_t hnext = std::sqrt(r.dot(w, w));
       h[static_cast<std::size_t>(j) + 1] = hnext;
@@ -374,6 +400,10 @@ void rdd_rank_solve(const RddPartition& part,
                beta0;
       ++iterations;
       history.push_back(relres);
+      if (s == 0) {
+        if (tr != nullptr) tr->counter("relres", obs::Cat::Solve, relres);
+        if (opts.observe.progress) opts.observe.progress(iterations, relres, 0);
+      }
 
       if (hnext <= 1e-14 * beta0) {
         breakdown = true;
@@ -439,14 +469,21 @@ DistSolveResult solve_rdd(const RddPartition& part,
   out.solutions.resize(static_cast<std::size_t>(p));
   out.setup_counters.resize(static_cast<std::size_t>(p));
 
+  std::shared_ptr<obs::Trace> trace;
+  if (opts.observe.trace)
+    trace = std::make_shared<obs::Trace>(p, opts.observe.ring_capacity);
+
   WallTimer timer;
-  std::vector<par::PerfCounters> counters =
-      par::run_spmd(p, [&](par::Comm& comm) {
+  std::vector<par::PerfCounters> counters = par::run_spmd(
+      p,
+      [&](par::Comm& comm) {
         rdd_rank_solve(part, f_global, rdd_opts, opts, comm, out);
-      });
+      },
+      trace.get());
 
   DistSolveResult result;
   result.wall_seconds = timer.seconds();
+  result.trace = std::move(trace);
   result.x = partition::rdd_gather(part, out.solutions);
   result.converged = out.converged;
   result.iterations = out.iterations;

@@ -1,0 +1,57 @@
+// The unified solver report (api_redesign of ISSUE 3).
+//
+// Before this header, the repo had four divergent result shapes:
+// sequential `SolveResult`, distributed `DistSolveResult`, the batch
+// path's per-RHS `BatchItemResult`, and whatever svc::Completed carried.
+// Every consumer (benches, the convergence tables, the service) had to
+// know which one it was holding.  Now there is one `SolveReport` with
+// the convergence story every solve can tell — including the
+// per-iteration residual history the sequential path always recorded —
+// and one solution-carrying extension `DistSolve` for distributed
+// solves.  The old names remain as aliases so existing call sites
+// compile unchanged.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/trace.hpp"
+#include "par/counters.hpp"
+
+namespace pfem::core {
+
+/// What every solve reports: convergence verdict, iteration counts, and
+/// the per-iteration relative-residual history.
+struct SolveReport {
+  bool converged = false;
+  index_t iterations = 0;     ///< total inner (Arnoldi) iterations
+  index_t restarts = 0;       ///< outer cycles completed
+  real_t final_relres = 0.0;  ///< ‖r‖/‖r₀‖ at exit
+  std::vector<real_t> history;  ///< rel. residual after each inner iteration
+};
+
+/// A distributed solve's report: the convergence story plus the global
+/// solution and the per-rank cost evidence.
+struct DistSolve : SolveReport {
+  Vector x;  ///< global solution u (scaling undone)
+  std::vector<par::PerfCounters> rank_counters;  ///< full run
+  /// Setup-phase slice of the counters: rhs localization, norm-1 scaling
+  /// (Algorithms 3/4) *and* polynomial preconditioner construction —
+  /// everything a warm-cache solve skips.  total_seconds here is the
+  /// setup wall time of the rank, so cache-hit savings are measurable
+  /// from counters alone.
+  std::vector<par::PerfCounters> setup_counters;
+  double wall_seconds = 0.0;
+  /// Span trace of the run when ObserveOptions::trace was set (one lane
+  /// per rank); null otherwise.  Shared so reports stay copyable.
+  std::shared_ptr<const obs::Trace> trace;
+};
+
+// Pre-redesign names, kept so the 100+ existing call sites (and any
+// out-of-tree users) keep compiling; new code should say SolveReport /
+// DistSolve.
+using SolveResult = SolveReport;
+using DistSolveResult = DistSolve;
+
+}  // namespace pfem::core

@@ -1,0 +1,135 @@
+// Shared command-line plumbing for the bench binaries and the service
+// tools: `--name=value` flag parsing plus the observability dump flags
+// every driver understands:
+//
+//   --counters-json=FILE   per-rank PerfCounters of the run
+//   --trace-json=FILE      Chrome trace_event span timeline (obs::Trace)
+//   --metrics-json=FILE    flat per-lane span/counter aggregates
+//   --trace-ring=N         records per trace lane (0 = default)
+//
+// Binaries call observe_from_flags() to turn the flags into the
+// solver-facing obs::ObserveOptions, and the dump_*_if_requested()
+// helpers after the run.  bench/bench_common.hpp and tools/svc_cli.hpp
+// forward here so the ~25 drivers share one implementation.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <span>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "par/counters.hpp"
+
+namespace pfem::exp {
+
+/// True when `name` appears as a bare argument (e.g. has_flag(..,"--full")).
+inline bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+
+/// Value of `--name=value` (pass name without the '='), or `fallback`.
+inline std::string str_flag(int argc, char** argv, const char* name,
+                            const std::string& fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::string(argv[i] + prefix.size());
+  return fallback;
+}
+
+inline int int_flag(int argc, char** argv, const char* name, int fallback) {
+  const std::string v = str_flag(argc, argv, name, "");
+  return v.empty() ? fallback : std::stoi(v);
+}
+
+inline double double_flag(int argc, char** argv, const char* name,
+                          double fallback) {
+  const std::string v = str_flag(argc, argv, name, "");
+  return v.empty() ? fallback : std::stod(v);
+}
+
+// ---- Observability flags --------------------------------------------------
+
+inline std::string counters_json_path(int argc, char** argv) {
+  return str_flag(argc, argv, "--counters-json", "");
+}
+
+inline std::string trace_json_path(int argc, char** argv) {
+  return str_flag(argc, argv, "--trace-json", "");
+}
+
+inline std::string metrics_json_path(int argc, char** argv) {
+  return str_flag(argc, argv, "--metrics-json", "");
+}
+
+/// True when any flag asks for span data — drivers use this to set
+/// observe.trace so spans are recorded at all.
+inline bool trace_requested(int argc, char** argv) {
+  return !trace_json_path(argc, argv).empty() ||
+         !metrics_json_path(argc, argv).empty();
+}
+
+/// The solver-facing observe knobs implied by the flags.
+inline obs::ObserveOptions observe_from_flags(int argc, char** argv) {
+  obs::ObserveOptions o;
+  o.trace = trace_requested(argc, argv);
+  o.ring_capacity =
+      static_cast<std::size_t>(int_flag(argc, argv, "--trace-ring", 0));
+  return o;
+}
+
+/// When --counters-json=FILE was passed, dump per-rank PerfCounters
+/// (typically DistSolveResult::rank_counters / ::setup_counters) to FILE.
+/// Returns false only when the dump was requested and failed, so callers
+/// can surface it in the exit code.
+inline bool dump_counters_if_requested(
+    int argc, char** argv, std::span<const par::PerfCounters> ranks,
+    std::span<const par::PerfCounters> setup = {}) {
+  const std::string path = counters_json_path(argc, argv);
+  if (path.empty()) return true;
+  if (!par::dump_counters_json(path, ranks, setup)) {
+    std::cerr << "error: could not write counters to " << path << "\n";
+    return false;
+  }
+  std::cout << "per-rank counters written to " << path << "\n";
+  return true;
+}
+
+/// When --trace-json / --metrics-json were passed, export `trace` to the
+/// requested files.  A requested dump with a null trace (the run never
+/// recorded spans) or a failed write returns false.
+inline bool dump_trace_if_requested(int argc, char** argv,
+                                    const obs::Trace* trace) {
+  const std::string tpath = trace_json_path(argc, argv);
+  const std::string mpath = metrics_json_path(argc, argv);
+  if (tpath.empty() && mpath.empty()) return true;
+  if (trace == nullptr) {
+    std::cerr << "error: trace output requested but the run recorded no "
+                 "spans\n";
+    return false;
+  }
+  bool ok = true;
+  if (!tpath.empty()) {
+    if (obs::write_chrome_trace(tpath, *trace))
+      std::cout << "trace written to " << tpath << "\n";
+    else {
+      std::cerr << "error: could not write trace to " << tpath << "\n";
+      ok = false;
+    }
+  }
+  if (!mpath.empty()) {
+    if (obs::write_metrics_json(mpath, *trace))
+      std::cout << "metrics written to " << mpath << "\n";
+    else {
+      std::cerr << "error: could not write metrics to " << mpath << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace pfem::exp

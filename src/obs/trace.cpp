@@ -1,0 +1,71 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace pfem::obs {
+
+const char* cat_name(Cat c) noexcept {
+  switch (c) {
+    case Cat::Setup:
+      return "setup";
+    case Cat::Solve:
+      return "solve";
+    case Cat::Matvec:
+      return "matvec";
+    case Cat::Exchange:
+      return "exchange";
+    case Cat::Reduce:
+      return "reduce";
+    case Cat::Precond:
+      return "precond";
+    case Cat::Ortho:
+      return "ortho";
+    case Cat::Svc:
+      return "svc";
+  }
+  return "unknown";
+}
+
+void Tracer::arm(std::chrono::steady_clock::time_point epoch,
+                 std::size_t capacity) {
+  PFEM_CHECK_MSG(!armed_, "Tracer::arm: lane already armed");
+  PFEM_CHECK(capacity > 0);
+  epoch_ = epoch;
+  ring_.resize(capacity);
+  total_ = 0;
+  depth_ = 0;
+  armed_ = true;
+}
+
+std::vector<Record> Tracer::records() const {
+  std::vector<Record> out;
+  if (!armed_ || total_ == 0) return out;
+  const std::size_t n =
+      static_cast<std::size_t>(std::min<std::uint64_t>(total_, ring_.size()));
+  out.reserve(n);
+  // Oldest surviving record first: when the ring wrapped, that is the
+  // slot the next write would overwrite.
+  const std::size_t start =
+      total_ > ring_.size() ? static_cast<std::size_t>(total_ % ring_.size())
+                            : 0;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+Trace::Trace(int nranks, std::size_t ring_capacity)
+    : nranks_(nranks),
+      cap_(ring_capacity == 0 ? kDefaultRingCapacity : ring_capacity),
+      epoch_(std::chrono::steady_clock::now()),
+      lanes_(static_cast<std::size_t>(nranks) + 1) {
+  PFEM_CHECK(nranks >= 1);
+  for (Tracer& lane : lanes_) lane.arm(epoch_, cap_);
+}
+
+std::uint64_t Trace::dropped_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const Tracer& lane : lanes_) total += lane.dropped();
+  return total;
+}
+
+}  // namespace pfem::obs

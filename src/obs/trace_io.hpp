@@ -1,0 +1,108 @@
+// Reading side of the trace pipeline: a minimal JSON parser (no external
+// deps — enough for the files this repo emits), the Chrome trace_event
+// loader, validation, merging, and summaries.  Used by tools/pfem_trace
+// and the obs tests; the hot-path writer lives in export.cpp and never
+// goes through here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pfem::obs::io {
+
+// ---- Minimal JSON value ---------------------------------------------------
+
+/// Parsed JSON value.  Numbers are doubles (the files we read never need
+/// 64-bit-exact integers above 2^53).
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  [[nodiscard]] bool is(Type t) const noexcept { return type == t; }
+  /// Object member or null-typed sentinel when absent / not an object.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] double num_or(double fallback) const noexcept {
+    return type == Type::Number ? num : fallback;
+  }
+  [[nodiscard]] std::string str_or(const std::string& fallback) const {
+    return type == Type::String ? str : fallback;
+  }
+};
+
+/// Parse `text`; returns false and sets `err` (with an offset) on
+/// malformed input.
+bool json_parse(const std::string& text, Json& out, std::string& err);
+
+// ---- Chrome trace model ---------------------------------------------------
+
+/// One trace_event entry ("X" complete span, "C" counter, "M" metadata).
+struct Event {
+  std::string name;
+  std::string cat;
+  char ph = 'X';
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int pid = 0;
+  int tid = 0;
+  double value = 0.0;        ///< counter value (args[name]) for "C"
+  std::string process_name;  ///< args.name for "M" process_name entries
+};
+
+struct TraceFile {
+  std::vector<Event> events;
+  // From the writer's "pfem" footer when present; -1 when absent.
+  long long nranks = -1;
+  long long ring_capacity = -1;
+  long long dropped = -1;
+};
+
+bool parse_chrome_trace(const std::string& text, TraceFile& out,
+                        std::string& err);
+bool load_chrome_trace(const std::string& path, TraceFile& out,
+                       std::string& err);
+
+/// Structural validation: every event has a name and a known phase,
+/// spans have non-negative ts/dur, and the spans within each pid nest
+/// properly (no partial overlap).  Returns false and describes the first
+/// violation in `err`.
+bool check(const TraceFile& t, std::string& err);
+
+/// Merge traces into one timeline; each input's pids are offset past the
+/// previous input's maximum so lanes never collide.
+TraceFile merge(const std::vector<TraceFile>& files);
+
+/// Re-serialize as Chrome trace_event JSON (for `pfem_trace --merge`).
+void write_chrome_trace(std::ostream& os, const TraceFile& t);
+
+// ---- Summaries ------------------------------------------------------------
+
+/// Per-name aggregate over all "X" events, self-time computed from
+/// interval nesting within each pid; sorted by self-time descending.
+struct NameStat {
+  std::string name;
+  std::string cat;
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double self_us = 0.0;
+};
+
+[[nodiscard]] std::vector<NameStat> span_summary(const TraceFile& t);
+
+/// Count of "X" events named `name` per pid (index = pid); pids with no
+/// such events hold 0.  With name "exchange" this is the per-rank count
+/// of logical neighbor exchanges — the number PerfCounters totals.
+[[nodiscard]] std::vector<std::uint64_t> count_by_pid(const TraceFile& t,
+                                                      const std::string& name);
+
+}  // namespace pfem::obs::io

@@ -458,7 +458,11 @@ class TeamRuntime {
 
   [[nodiscard]] int size() const noexcept { return nranks_; }
 
-  std::vector<PerfCounters> run(const std::function<void(Comm&)>& fn) {
+  std::vector<PerfCounters> run(const std::function<void(Comm&)>& fn,
+                                obs::Trace* trace) {
+    if (trace != nullptr)
+      PFEM_CHECK_MSG(trace->nranks() == nranks_,
+                     "Team::run: trace lane count does not match team size");
     {
       std::lock_guard<std::mutex> lk(m_);
       PFEM_CHECK_MSG(job_ == nullptr, "Team::run: a job is already running");
@@ -472,6 +476,7 @@ class TeamRuntime {
         errors_[static_cast<std::size_t>(r)] = nullptr;
       }
       job_ = &fn;
+      trace_ = trace;
       done_count_ = 0;
       ++job_gen_;
     }
@@ -480,6 +485,7 @@ class TeamRuntime {
       std::unique_lock<std::mutex> lk(m_);
       done_cv_.wait(lk, [&] { return done_count_ == nranks_; });
       job_ = nullptr;
+      trace_ = nullptr;
     }
     rethrow_job_error();
     return counters_;
@@ -499,15 +505,17 @@ class TeamRuntime {
     std::uint64_t seen = 0;
     for (;;) {
       const std::function<void(Comm&)>* fn = nullptr;
+      obs::Tracer* lane = nullptr;
       {
         std::unique_lock<std::mutex> lk(m_);
         job_cv_.wait(lk, [&] { return shutdown_ || job_gen_ != seen; });
         if (shutdown_) return;
         seen = job_gen_;
         fn = job_;
+        if (trace_ != nullptr) lane = &trace_->rank(r);
       }
       PerfCounters& c = counters_[static_cast<std::size_t>(r)];
-      Comm comm(r, &state_, &c);
+      Comm comm(r, &state_, &c, lane);
       const auto t0 = SteadyClock::now();
       try {
         (*fn)(comm);
@@ -559,6 +567,7 @@ class TeamRuntime {
   std::condition_variable job_cv_;   ///< workers wait for a job
   std::condition_variable done_cv_;  ///< dispatcher waits for completion
   const std::function<void(Comm&)>* job_ = nullptr;
+  obs::Trace* trace_ = nullptr;  ///< lanes for the in-flight job, or null
   std::uint64_t job_gen_ = 0;
   int done_count_ = 0;
   bool shutdown_ = false;
@@ -570,6 +579,8 @@ class TeamRuntime {
 int Comm::size() const noexcept { return team_->size(); }
 
 void Comm::send(int dest, int tag, std::span<const real_t> data) {
+  OBS_SPAN(tracer_, "send", obs::Cat::Exchange,
+           static_cast<std::uint32_t>(dest));
   PFEM_CHECK(dest >= 0 && dest < size());
   PFEM_CHECK_MSG(dest != rank_, "self-send is not supported");
   counters_->neighbor_msgs += 1;
@@ -580,6 +591,8 @@ void Comm::send(int dest, int tag, std::span<const real_t> data) {
 }
 
 void Comm::recv(int src, int tag, Vector& out) {
+  OBS_SPAN(tracer_, "recv", obs::Cat::Exchange,
+           static_cast<std::uint32_t>(src));
   PFEM_CHECK(src >= 0 && src < size());
   PFEM_CHECK_MSG(src != rank_, "self-recv is not supported");
   team_->take(
@@ -596,6 +609,8 @@ void Comm::recv(int src, int tag, Vector& out) {
 }
 
 void Comm::recv(int src, int tag, std::span<real_t> out) {
+  OBS_SPAN(tracer_, "recv", obs::Cat::Exchange,
+           static_cast<std::uint32_t>(src));
   PFEM_CHECK(src >= 0 && src < size());
   PFEM_CHECK_MSG(src != rank_, "self-recv is not supported");
   team_->take(
@@ -611,9 +626,13 @@ void Comm::recv(int src, int tag, std::span<real_t> out) {
   counters_->neighbor_bytes_recv += sizeof(real_t) * out.size();
 }
 
-void Comm::barrier() { team_->barrier(*counters_); }
+void Comm::barrier() {
+  OBS_SPAN(tracer_, "barrier", obs::Cat::Reduce);
+  team_->barrier(*counters_);
+}
 
 real_t Comm::allreduce_sum(real_t x) {
+  OBS_SPAN(tracer_, "allreduce", obs::Cat::Reduce);
   counters_->global_reductions += 1;
   counters_->global_bytes += sizeof(real_t);
   team_->allreduce(rank_, ++coll_seq_, std::span<real_t>(&x, 1),
@@ -622,12 +641,14 @@ real_t Comm::allreduce_sum(real_t x) {
 }
 
 void Comm::allreduce_sum(std::span<real_t> inout) {
+  OBS_SPAN(tracer_, "allreduce", obs::Cat::Reduce);
   counters_->global_reductions += 1;
   counters_->global_bytes += sizeof(real_t) * inout.size();
   team_->allreduce(rank_, ++coll_seq_, inout, /*take_max=*/false, *counters_);
 }
 
 real_t Comm::allreduce_max(real_t x) {
+  OBS_SPAN(tracer_, "allreduce", obs::Cat::Reduce);
   counters_->global_reductions += 1;
   counters_->global_bytes += sizeof(real_t);
   team_->allreduce(rank_, ++coll_seq_, std::span<real_t>(&x, 1),
@@ -644,8 +665,9 @@ Team::~Team() = default;
 
 int Team::size() const noexcept { return rt_->size(); }
 
-std::vector<PerfCounters> Team::run(const std::function<void(Comm&)>& fn) {
-  return rt_->run(fn);
+std::vector<PerfCounters> Team::run(const std::function<void(Comm&)>& fn,
+                                    obs::Trace* trace) {
+  return rt_->run(fn, trace);
 }
 
 void Team::cancel() { rt_->cancel(); }
@@ -653,9 +675,10 @@ void Team::cancel() { rt_->cancel(); }
 bool Team::cancel_requested() const noexcept { return rt_->cancel_requested(); }
 
 std::vector<PerfCounters> run_spmd(int nranks,
-                                   const std::function<void(Comm&)>& fn) {
+                                   const std::function<void(Comm&)>& fn,
+                                   obs::Trace* trace) {
   Team team(nranks);
-  return team.run(fn);
+  return team.run(fn, trace);
 }
 
 }  // namespace pfem::par

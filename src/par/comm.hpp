@@ -32,6 +32,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 #include "par/counters.hpp"
 
 namespace pfem::par {
@@ -74,14 +75,20 @@ class Comm {
   /// This rank's performance counters (mutable — kernels add to them).
   [[nodiscard]] PerfCounters& counters() noexcept { return *counters_; }
 
+  /// This rank's trace lane, or nullptr when the job runs untraced.
+  /// Kernels pass it straight to OBS_SPAN (null-safe).
+  [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_; }
+
  private:
   friend class detail::TeamRuntime;
-  Comm(int rank, detail::TeamState* team, PerfCounters* counters)
-      : rank_(rank), team_(team), counters_(counters) {}
+  Comm(int rank, detail::TeamState* team, PerfCounters* counters,
+       obs::Tracer* tracer)
+      : rank_(rank), team_(team), counters_(counters), tracer_(tracer) {}
 
   int rank_;
   detail::TeamState* team_;
   PerfCounters* counters_;
+  obs::Tracer* tracer_;
   std::uint64_t coll_seq_ = 0;  ///< this rank's collective-op count
 };
 
@@ -113,8 +120,13 @@ class Team {
   [[nodiscard]] int size() const noexcept;
 
   /// Run `fn` as one SPMD job on the parked ranks; returns the per-rank
-  /// counters of this job (reset at job start).
-  std::vector<PerfCounters> run(const std::function<void(Comm&)>& fn);
+  /// counters of this job (reset at job start).  With a non-null
+  /// `trace` (whose nranks must equal the team size), each rank's Comm
+  /// carries that rank's trace lane and the runtime's send/recv/
+  /// allreduce/barrier record spans into it; the lanes are safe to read
+  /// once run() returned.
+  std::vector<PerfCounters> run(const std::function<void(Comm&)>& fn,
+                                obs::Trace* trace = nullptr);
 
   /// Request cooperative cancellation of the in-flight job (safe from any
   /// thread).  No-op when idle; the flag is cleared when the next job
@@ -133,6 +145,7 @@ class Team {
 /// after all threads join.  Equivalent to a single-job Team — callers
 /// with many solves should hold a Team and amortize the spawn.
 std::vector<PerfCounters> run_spmd(int nranks,
-                                   const std::function<void(Comm&)>& fn);
+                                   const std::function<void(Comm&)>& fn,
+                                   obs::Trace* trace = nullptr);
 
 }  // namespace pfem::par

@@ -80,8 +80,10 @@ class OperatorCache {
   /// second == true means the state was served from cache (a warm hit).
   /// The build runs outside the lock: the scheduler thread is the only
   /// builder, so concurrent readers just see a miss until it lands.
+  /// `trace` (optional, lanes == team size) records the build's spans.
   [[nodiscard]] std::pair<std::shared_ptr<const core::EddOperatorState>, bool>
-  get_or_build(const std::string& key, par::Team& team) {
+  get_or_build(const std::string& key, par::Team& team,
+               obs::Trace* trace = nullptr) {
     std::shared_ptr<const partition::EddPartition> part;
     core::PolySpec poly;
     std::shared_ptr<const std::vector<sparse::CsrMatrix>> mats;
@@ -101,7 +103,8 @@ class OperatorCache {
       version = it->second.version;
     }
     auto built = std::make_shared<const core::EddOperatorState>(
-        core::build_edd_operator(team, *part, poly, mats ? mats.get() : nullptr));
+        core::build_edd_operator(team, *part, poly, mats ? mats.get() : nullptr,
+                                 trace));
     std::scoped_lock lock(m_);
     auto it = entries_.find(key);
     // Store only if the recipe did not change while building.

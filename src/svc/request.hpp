@@ -35,6 +35,11 @@ enum class Priority { Normal = 0, High = 1 };
 struct SolveRequest {
   std::string operator_key;  ///< must be registered with the service
   std::vector<Vector> rhs;   ///< one or more full global RHS vectors
+  /// Convergence parameters must match for requests to share a fused
+  /// batch; opts.observe is per-request and never blocks coalescing —
+  /// observe.progress fires per iteration with *this request's* RHS
+  /// index, and observe.trace requests a per-call trace only when the
+  /// service has no service-lifetime trace of its own.
   core::SolveOptions opts;
   Priority priority = Priority::Normal;
   /// Absolute deadline.  Checked at admission AND at dispatch, and

@@ -29,6 +29,9 @@ Service::Service(const ServiceConfig& cfg)
       cache_(cfg.cache_capacity),
       queue_(cfg.queue_capacity) {
   PFEM_CHECK_MSG(cfg_.max_batch_rhs >= 1, "max_batch_rhs must be >= 1");
+  if (cfg_.observe.trace)
+    trace_ = std::make_unique<obs::Trace>(cfg_.nranks,
+                                          cfg_.observe.ring_capacity);
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
@@ -224,10 +227,29 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
   const auto part = cache_.partition_of(key);
   PFEM_CHECK(part != nullptr);  // keys are never unregistered
 
+  // The aux lane is written only here, on the scheduler thread: stamp
+  // each member's time-in-queue retroactively (the head popped, the
+  // rest coalesced into its batch), then cover the dispatch itself.
+  obs::Tracer* const aux = trace_ != nullptr ? &trace_->aux() : nullptr;
+  const auto t_dispatch = Clock::now();
+  if (aux != nullptr) {
+    const std::uint64_t t1 = aux->to_ns(t_dispatch);
+    for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+      const PendingJob& j = batch[bi];
+      aux->span_at(bi == 0 ? "queued" : "coalesced", obs::Cat::Svc,
+                   aux->to_ns(j.submit_time), t1,
+                   static_cast<std::uint32_t>(j.id));
+    }
+    aux->counter("queue_depth", obs::Cat::Svc,
+                 static_cast<double>(queue_.size()));
+  }
+  OBS_SPAN(aux, "dispatch", obs::Cat::Svc,
+           static_cast<std::uint32_t>(batch.front().id));
+
   std::shared_ptr<const core::EddOperatorState> op;
   bool cache_hit = false;
   try {
-    std::tie(op, cache_hit) = cache_.get_or_build(key, team_);
+    std::tie(op, cache_hit) = cache_.get_or_build(key, team_, trace_.get());
   } catch (const std::exception& e) {
     for (auto& j : batch)
       resolve(j, Failed{std::string("operator build failed: ") + e.what()});
@@ -242,6 +264,37 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
     counts.push_back(j.req.rhs.size());
     for (auto& f : j.req.rhs) rhs.push_back(std::move(f));
     j.req.rhs.clear();
+  }
+  if (aux != nullptr)
+    aux->counter("batch_rhs", obs::Cat::Svc, static_cast<double>(rhs.size()));
+
+  // Fuse the members' progress callbacks: the batch solve reports with
+  // flattened RHS indices; route each to its owning request with a
+  // request-local index.  compatible_opts ignores observe, so members
+  // may carry different callbacks.
+  core::SolveOptions opts = batch.front().req.opts;
+  {
+    std::vector<std::size_t> offsets(batch.size(), 0);
+    for (std::size_t bi = 1; bi < batch.size(); ++bi)
+      offsets[bi] = offsets[bi - 1] + counts[bi - 1];
+    auto cbs = std::make_shared<
+        std::vector<std::function<void(index_t, real_t, std::size_t)>>>();
+    cbs->reserve(batch.size());
+    bool any = false;
+    for (const auto& j : batch) {
+      cbs->push_back(j.req.opts.observe.progress);
+      if (j.req.opts.observe.progress) any = true;
+    }
+    if (any)
+      opts.observe.progress = [offsets = std::move(offsets),
+                               cbs](index_t it, real_t relres, std::size_t b) {
+        const auto owner = static_cast<std::size_t>(
+            std::upper_bound(offsets.begin(), offsets.end(), b) -
+            offsets.begin() - 1);
+        if ((*cbs)[owner]) (*cbs)[owner](it, relres, b - offsets[owner]);
+      };
+    else
+      opts.observe.progress = nullptr;
   }
 
   {
@@ -283,8 +336,7 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
   std::string failure;
   bool failed = false;
   try {
-    result = core::solve_edd_batch(team_, *part, *op, rhs,
-                                   batch.front().req.opts);
+    result = core::solve_edd_batch(team_, *part, *op, rhs, opts, trace_.get());
   } catch (const par::Cancelled&) {
     was_cancelled = true;
   } catch (const std::exception& e) {

@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "svc/job_queue.hpp"
 #include "svc/operator_cache.hpp"
 #include "svc/request.hpp"
@@ -43,6 +44,11 @@ struct ServiceConfig {
   std::size_t queue_capacity = 64; ///< admission bound (backpressure)
   std::size_t cache_capacity = 8;  ///< built operators kept (LRU)
   std::size_t max_batch_rhs = 16;  ///< fused-RHS cap per dispatch
+  /// observe.trace turns on the service-lifetime span trace (rank lanes
+  /// plus a scheduler "svc" lane with queued/coalesced/dispatch spans);
+  /// observe.ring_capacity sizes each lane's flight-recorder ring.  The
+  /// per-request progress callback lives on each request instead.
+  obs::ObserveOptions observe;
 };
 
 class Service {
@@ -101,6 +107,14 @@ class Service {
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] int nranks() const noexcept { return cfg_.nranks; }
 
+  /// The service-lifetime span trace (null unless cfg.observe.trace).
+  /// Lanes are written while work is in flight; export only when the
+  /// service is quiesced — after shutdown(), or while paused with no
+  /// batch running.
+  [[nodiscard]] const obs::Trace* trace() const noexcept {
+    return trace_.get();
+  }
+
  private:
   struct PendingJob {
     JobId id = 0;
@@ -119,6 +133,9 @@ class Service {
   par::Team team_;
   OperatorCache cache_;
   JobQueue<PendingJob> queue_;
+  /// Service-lifetime trace: rank lanes written by the team during a
+  /// dispatch, aux lane written only by the scheduler thread.
+  std::unique_ptr<obs::Trace> trace_;
 
   mutable std::mutex m_;
   std::condition_variable pause_cv_;

@@ -1,0 +1,432 @@
+// pfem::obs tests: tracer semantics (nesting, overflow, disabled-mode
+// cost), export/parse round-trips, and — the load-bearing one — the
+// Table-1 oracle: the per-rank count of "exchange" spans in a trace must
+// equal PerfCounters::neighbor_exchanges exactly, and the per-iteration
+// delta must be m+3 for basic EDD (Algorithm 5) and m+1 for enhanced
+// EDD (Algorithm 6) on the paper's Table-1 configuration.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "core/edd_batch.hpp"
+#include "core/edd_solver.hpp"
+#include "exp/experiments.hpp"
+#include "fem/problems.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
+#include "par/comm.hpp"
+#include "svc/service.hpp"
+
+// ---- Global allocation counter for the zero-overhead test -----------------
+// Counting overloads of the global operator new; delete stays default.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+// GCC pairs the malloc/free inside these replacements with the default
+// operators at some inlined call sites; the replacement set is
+// consistent, so silence that diagnostic here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#pragma GCC diagnostic pop
+
+namespace {
+
+using namespace pfem;
+
+// ---- Tracer semantics -----------------------------------------------------
+
+TEST(Tracer, RecordsNestedSpansWithDepths) {
+  obs::Tracer tr;
+  tr.arm(std::chrono::steady_clock::now(), 64);
+  {
+    obs::Span outer(&tr, "outer", obs::Cat::Solve);
+    {
+      obs::Span inner(&tr, "inner", obs::Cat::Matvec, 7);
+    }
+  }
+  const auto recs = tr.records();
+  ASSERT_EQ(recs.size(), 2u);
+  // Spans land at close time: inner first.
+  EXPECT_STREQ(recs[0].name, "inner");
+  EXPECT_EQ(recs[0].depth, 1);
+  EXPECT_EQ(recs[0].id, 7u);
+  EXPECT_EQ(recs[0].cat, obs::Cat::Matvec);
+  EXPECT_STREQ(recs[1].name, "outer");
+  EXPECT_EQ(recs[1].depth, 0);
+  EXPECT_LE(recs[1].t0_ns, recs[0].t0_ns);
+  EXPECT_GE(recs[1].t1_ns, recs[0].t1_ns);
+}
+
+TEST(Tracer, RingOverflowKeepsNewestAndCountsDropped) {
+  obs::Tracer tr;
+  tr.arm(std::chrono::steady_clock::now(), 8);
+  for (int i = 0; i < 20; ++i)
+    tr.counter("tick", obs::Cat::Solve, static_cast<double>(i));
+  EXPECT_EQ(tr.total(), 20u);
+  EXPECT_EQ(tr.dropped(), 12u);
+  const auto recs = tr.records();
+  ASSERT_EQ(recs.size(), 8u);
+  // Chronological order, oldest surviving record first.
+  for (std::size_t i = 0; i < recs.size(); ++i)
+    EXPECT_DOUBLE_EQ(recs[i].value, static_cast<double>(12 + i));
+}
+
+TEST(Tracer, DisabledModeDoesNotAllocate) {
+  // Null tracer (solver ran without a trace): the span must cost one
+  // branch and zero heap traffic.
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    OBS_SPAN(static_cast<obs::Tracer*>(nullptr), "hot", obs::Cat::Matvec);
+  }
+  obs::Tracer unarmed;  // armed_ == false: same promise
+  for (int i = 0; i < 1000; ++i) {
+    OBS_SPAN(&unarmed, "hot", obs::Cat::Matvec);
+  }
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), before);
+  EXPECT_EQ(unarmed.total(), 0u);
+}
+
+TEST(Tracer, EnabledSpansDoNotAllocateAfterArming) {
+  obs::Tracer tr;
+  tr.arm(std::chrono::steady_clock::now(), 256);
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    OBS_SPAN(&tr, "hot", obs::Cat::Matvec, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), before);
+  EXPECT_EQ(tr.total(), 100u);
+}
+
+TEST(Tracer, SelfTimeExcludesChildren) {
+  obs::Tracer tr;
+  tr.arm(std::chrono::steady_clock::now(), 64);
+  // parent [0, 100], child [10, 60]: self(parent) = 50.
+  tr.span_at("child", obs::Cat::Matvec, 10, 60, 0, 1);
+  tr.span_at("parent", obs::Cat::Solve, 0, 100, 0, 0);
+  const auto stats = obs::span_stats(tr.records());
+  ASSERT_EQ(stats.size(), 2u);
+  for (const auto& s : stats) {
+    if (std::string(s.name) == "parent") {
+      EXPECT_EQ(s.total_ns, 100u);
+      EXPECT_EQ(s.self_ns, 50u);
+    } else {
+      EXPECT_EQ(s.total_ns, 50u);
+      EXPECT_EQ(s.self_ns, 50u);
+    }
+  }
+}
+
+// ---- Concurrent rank lanes (TSan target) ----------------------------------
+
+TEST(Trace, ConcurrentRankLanesAreRaceFree) {
+  constexpr int kRanks = 4;
+  obs::Trace trace(kRanks, 1024);
+  par::run_spmd(
+      kRanks,
+      [](par::Comm& c) {
+        for (int i = 0; i < 50; ++i) {
+          OBS_SPAN(c.tracer(), "work", obs::Cat::Solve,
+                   static_cast<std::uint32_t>(i));
+          (void)c.allreduce_sum(1.0);  // interleave comm spans
+        }
+      },
+      &trace);
+  for (int r = 0; r < kRanks; ++r) {
+    // 50 "work" + 50 "allreduce" spans per lane.
+    EXPECT_EQ(trace.rank(r).total(), 100u) << "rank " << r;
+  }
+  EXPECT_EQ(trace.aux().total(), 0u);
+}
+
+// ---- Export / parse round-trip --------------------------------------------
+
+TEST(Export, ChromeTraceRoundTripsThroughParser) {
+  obs::Trace trace(2, 64);
+  trace.rank(0).span_at("solve", obs::Cat::Solve, 0, 1000);
+  trace.rank(0).span_at("exchange", obs::Cat::Exchange, 100, 200, 3, 1);
+  trace.rank(0).counter("relres", obs::Cat::Solve, 1.5e-7);
+  trace.rank(1).span_at("solve", obs::Cat::Solve, 0, 900);
+  trace.aux().span_at("queued", obs::Cat::Svc, 0, 50, 42);
+
+  std::ostringstream os;
+  obs::chrome_trace_json(os, trace);
+
+  obs::io::TraceFile t;
+  std::string err;
+  ASSERT_TRUE(obs::io::parse_chrome_trace(os.str(), t, err)) << err;
+  EXPECT_TRUE(obs::io::check(t, err)) << err;
+  EXPECT_EQ(t.nranks, 2);
+  EXPECT_EQ(t.dropped, 0);
+
+  const auto exchanges = obs::io::count_by_pid(t, "exchange");
+  ASSERT_GE(exchanges.size(), 2u);
+  EXPECT_EQ(exchanges[0], 1u);
+  EXPECT_EQ(exchanges[1], 0u);
+  const auto solves = obs::io::count_by_pid(t, "solve");
+  EXPECT_EQ(solves[0], 1u);
+  EXPECT_EQ(solves[1], 1u);
+  // The aux lane (pid == nranks) carries the service span.
+  const auto queued = obs::io::count_by_pid(t, "queued");
+  ASSERT_EQ(queued.size(), 3u);
+  EXPECT_EQ(queued[2], 1u);
+}
+
+TEST(Export, MetricsJsonParses) {
+  obs::Trace trace(1, 64);
+  trace.rank(0).span_at("solve", obs::Cat::Solve, 0, 1000);
+  trace.rank(0).counter("relres", obs::Cat::Solve, 0.25);
+  std::ostringstream os;
+  obs::metrics_json(os, trace);
+  obs::io::Json root;
+  std::string err;
+  ASSERT_TRUE(obs::io::json_parse(os.str(), root, err)) << err;
+  EXPECT_EQ(root.at("schema").str_or(""), "pfem-metrics-v1");
+  ASSERT_TRUE(root.at("lanes").is(obs::io::Json::Type::Array));
+}
+
+TEST(Export, MergeOffsetsPids) {
+  obs::Trace a(1, 16), b(1, 16);
+  a.rank(0).span_at("solve", obs::Cat::Solve, 0, 10);
+  b.rank(0).span_at("solve", obs::Cat::Solve, 0, 20);
+  auto to_file = [](const obs::Trace& t) {
+    std::ostringstream os;
+    obs::chrome_trace_json(os, t);
+    obs::io::TraceFile f;
+    std::string err;
+    EXPECT_TRUE(obs::io::parse_chrome_trace(os.str(), f, err)) << err;
+    return f;
+  };
+  const auto merged = obs::io::merge({to_file(a), to_file(b)});
+  const auto solves = obs::io::count_by_pid(merged, "solve");
+  // Lanes must not collide: each input's spans keep their own pid.
+  std::uint64_t total = 0;
+  for (const auto c : solves) {
+    EXPECT_LE(c, 1u);
+    total += c;
+  }
+  EXPECT_EQ(total, 2u);
+}
+
+// ---- The Table-1 oracle ---------------------------------------------------
+
+core::SolveOptions capped(index_t n) {
+  core::SolveOptions opts;
+  opts.tol = 1e-300;  // never reached: run exactly n inner iterations
+  opts.restart = 25;
+  opts.max_iters = n;
+  opts.observe.trace = true;
+  return opts;
+}
+
+/// Per-rank "exchange" span counts of a solve's trace, via the full
+/// export -> parse -> count pipeline.
+std::vector<std::uint64_t> traced_exchanges(const obs::Trace& trace) {
+  std::ostringstream os;
+  obs::chrome_trace_json(os, trace);
+  obs::io::TraceFile t;
+  std::string err;
+  EXPECT_TRUE(obs::io::parse_chrome_trace(os.str(), t, err)) << err;
+  EXPECT_TRUE(obs::io::check(t, err)) << err;
+  EXPECT_EQ(t.dropped, 0);  // ring big enough: counts are exact
+  return obs::io::count_by_pid(t, "exchange");
+}
+
+class Table1Oracle : public ::testing::Test {
+ protected:
+  static constexpr int kRanks = 4;
+  static constexpr int kDegree = 7;  // m
+
+  void SetUp() override {
+    fem::CantileverSpec spec;  // the paper's Table-1 configuration
+    spec.nx = 12;
+    spec.ny = 6;
+    prob_.emplace(fem::make_cantilever(spec));
+    part_.emplace(exp::make_edd(*prob_, kRanks));
+    poly_.kind = core::PolyKind::Gls;
+    poly_.degree = kDegree;
+  }
+
+  /// Solve with exactly n inner iterations; return the per-rank traced
+  /// exchange counts after asserting they equal the PerfCounters totals.
+  std::vector<std::uint64_t> run(core::EddVariant variant, index_t n) {
+    const auto res = core::solve_edd(*part_, prob_->load, poly_, capped(n),
+                                     variant);
+    EXPECT_NE(res.trace, nullptr);
+    auto traced = traced_exchanges(*res.trace);
+    traced.resize(static_cast<std::size_t>(kRanks));
+    for (int r = 0; r < kRanks; ++r) {
+      EXPECT_EQ(traced[static_cast<std::size_t>(r)],
+                res.rank_counters[static_cast<std::size_t>(r)]
+                    .neighbor_exchanges)
+          << "rank " << r << ": trace and PerfCounters disagree";
+    }
+    return traced;
+  }
+
+  std::optional<fem::CantileverProblem> prob_;
+  std::optional<partition::EddPartition> part_;
+  core::PolySpec poly_;
+};
+
+TEST_F(Table1Oracle, BasicVariantExchangesMPlus3PerIteration) {
+  const auto at3 = run(core::EddVariant::Basic, 3);
+  const auto at4 = run(core::EddVariant::Basic, 4);
+  for (int r = 0; r < kRanks; ++r)
+    EXPECT_EQ(at4[static_cast<std::size_t>(r)] -
+                  at3[static_cast<std::size_t>(r)],
+              static_cast<std::uint64_t>(kDegree + 3))
+        << "Algorithm 5 must cost m+3 exchanges per Arnoldi iteration";
+}
+
+TEST_F(Table1Oracle, EnhancedVariantExchangesMPlus1PerIteration) {
+  const auto at3 = run(core::EddVariant::Enhanced, 3);
+  const auto at4 = run(core::EddVariant::Enhanced, 4);
+  for (int r = 0; r < kRanks; ++r)
+    EXPECT_EQ(at4[static_cast<std::size_t>(r)] -
+                  at3[static_cast<std::size_t>(r)],
+              static_cast<std::uint64_t>(kDegree + 1))
+        << "Algorithm 6 must cost m+1 exchanges per Arnoldi iteration";
+}
+
+// ---- Unified report shapes ------------------------------------------------
+
+TEST(SolveReport, DistributedSolveCarriesHistoryAndTrace) {
+  fem::CantileverSpec spec;
+  spec.nx = 8;
+  spec.ny = 4;
+  const auto prob = fem::make_cantilever(spec);
+  const auto part = exp::make_edd(prob, 2);
+  core::PolySpec poly;
+  poly.degree = 3;
+  core::SolveOptions opts;
+  opts.observe.trace = true;
+  std::vector<std::pair<index_t, real_t>> seen;
+  opts.observe.progress = [&](index_t it, real_t relres, std::size_t b) {
+    EXPECT_EQ(b, 0u);
+    seen.emplace_back(it, relres);
+  };
+  const auto res = core::solve_edd(part, prob.load, poly, opts);
+  ASSERT_TRUE(res.converged);
+  ASSERT_FALSE(res.history.empty());
+  EXPECT_EQ(res.history.size(), static_cast<std::size_t>(res.iterations));
+  EXPECT_EQ(seen.size(), res.history.size());
+  EXPECT_NEAR(res.history.back(), res.final_relres,
+              1e-6 + res.final_relres);
+  ASSERT_NE(res.trace, nullptr);
+  EXPECT_GT(res.trace->rank(0).total(), 0u);
+}
+
+TEST(SolveReport, BatchItemsCarryPerRhsHistory) {
+  fem::CantileverSpec spec;
+  spec.nx = 8;
+  spec.ny = 4;
+  const auto prob = fem::make_cantilever(spec);
+  const auto part = exp::make_edd(prob, 2);
+  core::PolySpec poly;
+  poly.degree = 3;
+  par::Team team(2);
+  const auto op = core::build_edd_operator(team, part, poly);
+  std::vector<Vector> rhs;
+  for (int i = 0; i < 3; ++i) {
+    Vector f = prob.load;
+    for (real_t& v : f) v *= 1.0 + 0.25 * static_cast<real_t>(i);
+    rhs.push_back(std::move(f));
+  }
+  core::SolveOptions opts;
+  opts.observe.trace = true;
+  const auto res = core::solve_edd_batch(team, part, op, rhs, opts);
+  ASSERT_EQ(res.items.size(), 3u);
+  for (const auto& item : res.items) {
+    EXPECT_TRUE(item.converged);
+    ASSERT_FALSE(item.history.empty());
+    EXPECT_EQ(item.history.size(), static_cast<std::size_t>(item.iterations));
+  }
+  ASSERT_NE(res.trace, nullptr);
+  EXPECT_GT(res.trace->rank(0).total(), 0u);
+}
+
+// ---- Service lifecycle ----------------------------------------------------
+
+TEST(ServiceObs, LifecycleSpansAndFusedProgress) {
+  fem::CantileverSpec spec;
+  spec.nx = 8;
+  spec.ny = 4;
+  const auto prob = fem::make_cantilever(spec);
+  auto part = std::make_shared<const partition::EddPartition>(
+      exp::make_edd(prob, 2));
+  core::PolySpec poly;
+  poly.degree = 3;
+
+  svc::ServiceConfig cfg;
+  cfg.nranks = 2;
+  cfg.observe.trace = true;
+  svc::Service service(cfg);
+  service.register_operator("op", part, poly);
+
+  std::atomic<int> progress_calls{0};
+  svc::SolveRequest req;
+  req.operator_key = "op";
+  req.rhs.push_back(prob.load);
+  req.opts.observe.progress = [&](index_t, real_t, std::size_t b) {
+    EXPECT_EQ(b, 0u);  // request-local RHS index, not the batch index
+    progress_calls.fetch_add(1, std::memory_order_relaxed);
+  };
+  auto submitted = service.submit(std::move(req));
+  const svc::Outcome outcome = submitted.outcome.get();
+  ASSERT_TRUE(svc::ok(outcome));
+  const auto& completed = std::get<svc::Completed>(outcome);
+  EXPECT_GT(progress_calls.load(), 0);
+  EXPECT_EQ(progress_calls.load(),
+            static_cast<int>(completed.result.items.front().iterations));
+
+  service.shutdown();
+  ASSERT_NE(service.trace(), nullptr);
+
+  std::ostringstream os;
+  obs::chrome_trace_json(os, *service.trace());
+  obs::io::TraceFile t;
+  std::string err;
+  ASSERT_TRUE(obs::io::parse_chrome_trace(os.str(), t, err)) << err;
+  EXPECT_TRUE(obs::io::check(t, err)) << err;
+  // Scheduler lane: the request was stamped queued -> dispatched; rank
+  // lanes carry the operator build and the batch solve.
+  const auto queued = obs::io::count_by_pid(t, "queued");
+  ASSERT_EQ(queued.size(), 3u);
+  EXPECT_EQ(queued[2], 1u);
+  const auto dispatch = obs::io::count_by_pid(t, "dispatch");
+  EXPECT_EQ(dispatch[2], 1u);
+  const auto build = obs::io::count_by_pid(t, "build_operator");
+  EXPECT_EQ(build[0], 1u);
+  EXPECT_EQ(build[1], 1u);
+  const auto solve = obs::io::count_by_pid(t, "solve_batch");
+  EXPECT_EQ(solve[0], 1u);
+  EXPECT_EQ(solve[1], 1u);
+}
+
+}  // namespace

@@ -19,6 +19,7 @@
 //                [--clients=3] [--seconds=5] [--mode=closed|open]
 //                [--rate=20] [--rhs=1] [--deadline-ms=0] [--queue=64]
 //                [--max-batch=16] [--json=FILE]
+//                [--trace-json=FILE] [--metrics-json=FILE] [--trace-ring=N]
 #include <atomic>
 #include <chrono>
 #include <iostream>
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(tools::int_arg(argc, argv, "--queue", 64));
   cfg.max_batch_rhs =
       static_cast<std::size_t>(tools::int_arg(argc, argv, "--max-batch", 16));
+  cfg.observe = exp::observe_from_flags(argc, argv);
   svc::Service service(cfg);
   service.register_operator("op", setup.part, setup.poly);
 
@@ -175,6 +177,8 @@ int main(int argc, char** argv) {
           << "  \"client_failed\": " << tally.failed << ",\n";
     ok = tools::write_stats_json(json, st, lat, extra.str()) && ok;
   }
+  // Export after shutdown: the lanes are quiesced.
+  ok = exp::dump_trace_if_requested(argc, argv, service.trace()) && ok;
   if (!ok) {
     std::cerr << "pfem_loadgen: FAILED (failed=" << tally.failed
               << ", completed=" << tally.completed << ")\n";

@@ -5,6 +5,7 @@
 //
 //   pfem_serve [--ranks=4] [--nx=24] [--ny=8] [--degree=7]
 //              [--burst=8] [--json=FILE]
+//              [--trace-json=FILE] [--metrics-json=FILE] [--trace-ring=N]
 //
 // Exits nonzero when any request fails or an expected solve does not
 // converge, so it doubles as an end-to-end smoke test.
@@ -68,6 +69,7 @@ int main(int argc, char** argv) {
 
   svc::ServiceConfig cfg;
   cfg.nranks = ranks;
+  cfg.observe = pfem::exp::observe_from_flags(argc, argv);
   svc::Service service(cfg);
   service.register_operator("cantilever", setup.part, setup.poly);
 
@@ -119,6 +121,8 @@ int main(int argc, char** argv) {
   if (!json.empty())
     ok = tools::write_stats_json(json, st, lat, "") && ok;
   service.shutdown();
+  // Export after shutdown: the lanes are quiesced.
+  ok = pfem::exp::dump_trace_if_requested(argc, argv, service.trace()) && ok;
   if (!ok) {
     std::cerr << "pfem_serve: FAILED (" << converged << "/" << expected
               << " converged)\n";

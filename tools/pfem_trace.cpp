@@ -1,0 +1,189 @@
+// pfem_trace — offline companion for the span traces the solvers and the
+// solve service emit (--trace-json):
+//
+//   pfem_trace --check FILE...            structural validation (exit 1
+//                                         on the first malformed file)
+//   pfem_trace --summary FILE...          per-span aggregate table
+//                                         (count, total, self time)
+//   pfem_trace --merge=OUT FILE...        one timeline, pids offset so
+//                                         lanes never collide
+//   pfem_trace --counters=CJSON FILE      cross-check the trace's
+//                                         per-rank "exchange" span count
+//                                         against PerfCounters
+//                                         neighbor_exchanges
+//                                         (--counters-json output)
+//
+// The counters cross-check is the paper's Table-1 argument made
+// mechanical: every logical neighbor exchange emits exactly one
+// "exchange" span at the site that bumps the counter, so the two
+// pipelines must agree rank by rank (unless the flight-recorder ring
+// dropped records, which the footer reports).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/cli.hpp"
+#include "obs/trace_io.hpp"
+
+namespace {
+
+using pfem::obs::io::Json;
+using pfem::obs::io::TraceFile;
+
+int usage() {
+  std::cerr
+      << "usage: pfem_trace [--check] [--summary] [--merge=OUT] "
+         "[--counters=COUNTERS.json] FILE...\n"
+         "  --check          validate structure and span nesting\n"
+         "  --summary        per-span-name time aggregates\n"
+         "  --merge=OUT      merge FILEs into one timeline at OUT\n"
+         "  --counters=FILE  cross-check exchange spans vs PerfCounters\n"
+         "with no mode flag, runs --check and --summary\n";
+  return 2;
+}
+
+bool load(const std::string& path, TraceFile& t) {
+  std::string err;
+  if (!pfem::obs::io::load_chrome_trace(path, t, err)) {
+    std::cerr << path << ": " << err << "\n";
+    return false;
+  }
+  return true;
+}
+
+int do_check(const std::vector<std::string>& files) {
+  int rc = 0;
+  for (const auto& path : files) {
+    TraceFile t;
+    if (!load(path, t)) {
+      rc = 1;
+      continue;
+    }
+    std::string err;
+    if (!pfem::obs::io::check(t, err)) {
+      std::cerr << path << ": INVALID: " << err << "\n";
+      rc = 1;
+      continue;
+    }
+    std::cout << path << ": OK (" << t.events.size() << " events";
+    if (t.nranks >= 0) std::cout << ", " << t.nranks << " ranks";
+    if (t.dropped > 0) std::cout << ", " << t.dropped << " dropped";
+    std::cout << ")\n";
+  }
+  return rc;
+}
+
+int do_summary(const std::vector<std::string>& files) {
+  for (const auto& path : files) {
+    TraceFile t;
+    if (!load(path, t)) return 1;
+    const auto stats = pfem::obs::io::span_summary(t);
+    std::cout << path << ":\n";
+    std::printf("  %-16s %-9s %8s %12s %12s\n", "span", "cat", "count",
+                "total_ms", "self_ms");
+    for (const auto& s : stats)
+      std::printf("  %-16s %-9s %8llu %12.3f %12.3f\n", s.name.c_str(),
+                  s.cat.c_str(), static_cast<unsigned long long>(s.count),
+                  s.total_us / 1e3, s.self_us / 1e3);
+  }
+  return 0;
+}
+
+int do_merge(const std::string& out_path,
+             const std::vector<std::string>& files) {
+  std::vector<TraceFile> inputs;
+  for (const auto& path : files) {
+    TraceFile t;
+    if (!load(path, t)) return 1;
+    inputs.push_back(std::move(t));
+  }
+  const TraceFile merged = pfem::obs::io::merge(inputs);
+  std::ofstream os(out_path);
+  if (!os) {
+    std::cerr << "error: could not write " << out_path << "\n";
+    return 1;
+  }
+  pfem::obs::io::write_chrome_trace(os, merged);
+  std::cout << "merged " << files.size() << " trace(s), "
+            << merged.events.size() << " events -> " << out_path << "\n";
+  return 0;
+}
+
+int do_counters(const std::string& counters_path,
+                const std::vector<std::string>& files) {
+  if (files.size() != 1) {
+    std::cerr << "--counters cross-checks exactly one trace file\n";
+    return 2;
+  }
+  TraceFile t;
+  if (!load(files.front(), t)) return 1;
+
+  std::ifstream in(counters_path);
+  if (!in) {
+    std::cerr << "error: could not read " << counters_path << "\n";
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  Json root;
+  std::string err;
+  if (!pfem::obs::io::json_parse(ss.str(), root, err)) {
+    std::cerr << counters_path << ": " << err << "\n";
+    return 1;
+  }
+  const Json& ranks = root.at("ranks");
+  if (!ranks.is(Json::Type::Array) || ranks.arr.empty()) {
+    std::cerr << counters_path << ": no \"ranks\" array\n";
+    return 1;
+  }
+
+  const auto spans = pfem::obs::io::count_by_pid(t, "exchange");
+  if (t.dropped > 0)
+    std::cout << "note: trace dropped " << t.dropped
+              << " records (ring too small); counts are lower bounds\n";
+  int rc = 0;
+  for (std::size_t r = 0; r < ranks.arr.size(); ++r) {
+    const auto counted = static_cast<std::uint64_t>(
+        ranks.arr[r].at("neighbor").at("exchanges").num_or(-1.0));
+    const std::uint64_t traced = r < spans.size() ? spans[r] : 0;
+    const bool match =
+        t.dropped > 0 ? traced <= counted : traced == counted;
+    std::printf("  rank %zu: counters=%llu trace=%llu %s\n", r,
+                static_cast<unsigned long long>(counted),
+                static_cast<unsigned long long>(traced),
+                match ? "OK" : "MISMATCH");
+    if (!match) rc = 1;
+  }
+  if (rc == 0)
+    std::cout << "exchange counts agree (" << ranks.arr.size()
+              << " ranks)\n";
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool check = pfem::exp::has_flag(argc, argv, "--check");
+  const bool summary = pfem::exp::has_flag(argc, argv, "--summary");
+  const std::string merge_out =
+      pfem::exp::str_flag(argc, argv, "--merge", "");
+  const std::string counters =
+      pfem::exp::str_flag(argc, argv, "--counters", "");
+
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i)
+    if (argv[i][0] != '-') files.emplace_back(argv[i]);
+  if (files.empty()) return usage();
+
+  int rc = 0;
+  const bool any_mode =
+      check || summary || !merge_out.empty() || !counters.empty();
+  if (check || !any_mode) rc |= do_check(files);
+  if (summary || !any_mode) rc |= do_summary(files);
+  if (!merge_out.empty()) rc |= do_merge(merge_out, files);
+  if (!counters.empty()) rc |= do_counters(counters, files);
+  return rc;
+}

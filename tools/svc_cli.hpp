@@ -3,36 +3,31 @@
 // emitter for stats + latency artifacts.
 #pragma once
 
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "exp/cli.hpp"
 #include "exp/experiments.hpp"
 #include "fem/problems.hpp"
 #include "svc/service.hpp"
 
 namespace pfem::tools {
 
+// Deprecated spellings kept for the drivers; parsing lives in exp/cli.hpp.
 inline std::string str_arg(int argc, char** argv, const char* name,
                            const std::string& fallback) {
-  const std::string prefix = std::string(name) + "=";
-  for (int i = 1; i < argc; ++i)
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
-      return std::string(argv[i] + prefix.size());
-  return fallback;
+  return exp::str_flag(argc, argv, name, fallback);
 }
 
 inline int int_arg(int argc, char** argv, const char* name, int fallback) {
-  const std::string v = str_arg(argc, argv, name, "");
-  return v.empty() ? fallback : std::stoi(v);
+  return exp::int_flag(argc, argv, name, fallback);
 }
 
 inline double double_arg(int argc, char** argv, const char* name,
                          double fallback) {
-  const std::string v = str_arg(argc, argv, name, "");
-  return v.empty() ? fallback : std::stod(v);
+  return exp::double_flag(argc, argv, name, fallback);
 }
 
 /// Cantilever problem + EDD partition + polynomial spec shared by both
