@@ -523,14 +523,33 @@ BatchSolveResult solve_edd_batch(par::Team& team, const EddPartition& part,
   }
 
   WallTimer timer;
-  std::vector<par::PerfCounters> counters = team.run(
-      [&](par::Comm& comm) { batch_rank_solve(part, op, rhs, opts, comm, out); },
-      trace);
+  std::vector<par::PerfCounters> counters;
+  std::string comm_error;
+  try {
+    counters = team.run(
+        [&](par::Comm& comm) {
+          batch_rank_solve(part, op, rhs, opts, comm, out);
+        },
+        trace);
+  } catch (const par::CommError& e) {
+    // Typed communication failure: all ranks have joined, so the partial
+    // per-RHS histories rank 0 wrote incrementally are intact.  Return a
+    // typed failed report; Cancelled and rank errors still propagate.
+    comm_error = e.what();
+  }
 
   BatchSolveResult result;
   result.wall_seconds = timer.seconds();
   result.trace = std::move(own_trace);
   result.items = std::move(out.items);
+  if (!comm_error.empty()) {
+    for (BatchItemResult& item : result.items) {
+      item.converged = false;
+      item.comm_error = comm_error;
+    }
+    result.comm_error = std::move(comm_error);
+    return result;  // x stays empty: no corrupt solutions
+  }
   result.x.reserve(nb);
   for (std::size_t b = 0; b < nb; ++b)
     result.x.push_back(partition::edd_gather_global(part, out.sol[b]));

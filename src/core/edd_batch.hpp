@@ -72,6 +72,15 @@ struct BatchSolveResult {
   /// Per-call trace when opts.observe.trace requested one (and no
   /// external trace was supplied); null otherwise.
   std::shared_ptr<const obs::Trace> trace;
+  /// Non-empty when the batch died on a typed communication failure
+  /// (channel timeout / injected crash): x is empty and every item
+  /// carries the error plus whatever history it accumulated.  The
+  /// service's retry policy keys off this field.
+  std::string comm_error;
+
+  [[nodiscard]] bool comm_failed() const noexcept {
+    return !comm_error.empty();
+  }
 };
 
 /// Solve K u = f_b for every RHS in `rhs` (each a full global vector) in

@@ -130,7 +130,6 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
   bool converged = false;
   index_t iterations = 0, restarts = 0;
   real_t beta0 = -1.0, relres = 1.0;
-  std::vector<real_t> history;
 
   while (iterations < opts.max_iters) {
     // Residual r = b − A x.
@@ -281,8 +280,13 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
                    h.data(), static_cast<std::size_t>(j) + 2)) /
                beta0;
       ++iterations;
-      history.push_back(relres);
       if (s == 0) {
+        // Rank 0 writes the shared report incrementally (single writer,
+        // published by the team join), so a comm failure mid-solve still
+        // leaves a truthful partial history behind.
+        out.history.push_back(relres);
+        out.iterations = iterations;
+        out.final_relres = relres;
         if (tr != nullptr) tr->counter("relres", obs::Cat::Solve, relres);
         if (opts.observe.progress)
           opts.observe.progress(iterations, relres, 0);
@@ -317,6 +321,7 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
       r.counters().vector_updates += static_cast<std::uint64_t>(j);
     }
     ++restarts;
+    if (s == 0) out.restarts = restarts;
     if (relres <= opts.tol || breakdown) {
       converged = true;
       break;
@@ -354,7 +359,6 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
     out.iterations = iterations;
     out.restarts = restarts;
     out.final_relres = final_relres;
-    out.history = std::move(history);
   }
 }
 
@@ -380,15 +384,39 @@ DistSolveResult solve_edd(const EddPartition& part,
     trace = std::make_shared<obs::Trace>(p, opts.observe.ring_capacity);
 
   WallTimer timer;
-  std::vector<par::PerfCounters> counters = par::run_spmd(
-      p,
-      [&](par::Comm& comm) {
-        const auto s = static_cast<std::size_t>(comm.rank());
-        const sparse::CsrMatrix& k =
-            local_matrices ? (*local_matrices)[s] : part.subs[s].k_loc;
-        edd_rank_solve(part, k, f_global, spec, opts, variant, comm, out);
-      },
-      trace.get());
+  std::vector<par::PerfCounters> counters;
+  std::string comm_error;
+  try {
+    counters = par::run_spmd(
+        p,
+        [&](par::Comm& comm) {
+          const auto s = static_cast<std::size_t>(comm.rank());
+          const sparse::CsrMatrix& k =
+              local_matrices ? (*local_matrices)[s] : part.subs[s].k_loc;
+          edd_rank_solve(part, k, f_global, spec, opts, variant, comm, out);
+        },
+        trace.get(), opts.observe.fault_injector,
+        opts.observe.comm_timeout_seconds);
+  } catch (const par::CommError& e) {
+    // Typed communication failure (timeout / injected crash): every rank
+    // has unwound and joined, so the partial history rank 0 wrote is
+    // safe to report.  Any other exception still propagates — a rank's
+    // own error is not a comm fault.
+    comm_error = e.what();
+  }
+
+  if (!comm_error.empty()) {
+    DistSolveResult result;
+    result.wall_seconds = timer.seconds();
+    result.converged = false;
+    result.comm_error = std::move(comm_error);
+    result.iterations = out.iterations;
+    result.restarts = out.restarts;
+    result.final_relres = out.final_relres;
+    result.history = std::move(out.history);
+    result.trace = std::move(trace);
+    return result;
+  }
 
   DistSolveResult result;
   result.wall_seconds = timer.seconds();

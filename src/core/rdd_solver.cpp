@@ -328,7 +328,6 @@ void rdd_rank_solve(const RddPartition& part,
   bool converged = false;
   index_t iterations = 0, restarts = 0;
   real_t beta0 = -1.0, relres = 1.0;
-  std::vector<real_t> history;
 
   while (iterations < opts.max_iters) {
     r.matvec(a_loc, a_ext, x, res);
@@ -399,8 +398,12 @@ void rdd_rank_solve(const RddPartition& part,
                    h.data(), static_cast<std::size_t>(j) + 2)) /
                beta0;
       ++iterations;
-      history.push_back(relres);
       if (s == 0) {
+        // Incremental single-writer report: a comm failure mid-solve
+        // still leaves a truthful partial history (see edd_solver).
+        out.history.push_back(relres);
+        out.iterations = iterations;
+        out.final_relres = relres;
         if (tr != nullptr) tr->counter("relres", obs::Cat::Solve, relres);
         if (opts.observe.progress) opts.observe.progress(iterations, relres, 0);
       }
@@ -428,6 +431,7 @@ void rdd_rank_solve(const RddPartition& part,
       r.counters().vector_updates += static_cast<std::uint64_t>(j);
     }
     ++restarts;
+    if (s == 0) out.restarts = restarts;
     if (relres <= opts.tol || breakdown) {
       converged = true;
       break;
@@ -449,7 +453,6 @@ void rdd_rank_solve(const RddPartition& part,
     out.iterations = iterations;
     out.restarts = restarts;
     out.final_relres = final_relres;
-    out.history = std::move(history);
   }
 }
 
@@ -474,12 +477,32 @@ DistSolveResult solve_rdd(const RddPartition& part,
     trace = std::make_shared<obs::Trace>(p, opts.observe.ring_capacity);
 
   WallTimer timer;
-  std::vector<par::PerfCounters> counters = par::run_spmd(
-      p,
-      [&](par::Comm& comm) {
-        rdd_rank_solve(part, f_global, rdd_opts, opts, comm, out);
-      },
-      trace.get());
+  std::vector<par::PerfCounters> counters;
+  std::string comm_error;
+  try {
+    counters = par::run_spmd(
+        p,
+        [&](par::Comm& comm) {
+          rdd_rank_solve(part, f_global, rdd_opts, opts, comm, out);
+        },
+        trace.get(), opts.observe.fault_injector,
+        opts.observe.comm_timeout_seconds);
+  } catch (const par::CommError& e) {
+    comm_error = e.what();
+  }
+
+  if (!comm_error.empty()) {
+    DistSolveResult result;
+    result.wall_seconds = timer.seconds();
+    result.trace = std::move(trace);
+    result.converged = false;
+    result.comm_error = std::move(comm_error);
+    result.iterations = out.iterations;
+    result.restarts = out.restarts;
+    result.final_relres = out.final_relres;
+    result.history = std::move(out.history);
+    return result;
+  }
 
   DistSolveResult result;
   result.wall_seconds = timer.seconds();

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -29,6 +30,16 @@ struct SolveReport {
   index_t restarts = 0;       ///< outer cycles completed
   real_t final_relres = 0.0;  ///< ‖r‖/‖r₀‖ at exit
   std::vector<real_t> history;  ///< rel. residual after each inner iteration
+  /// Non-empty when the distributed run died on a typed communication
+  /// failure (channel timeout or injected crash): the par::CommError
+  /// message.  converged is false, history holds the iterations that
+  /// completed before the failure, and any solution fields are empty —
+  /// a typed partial report, never corrupt results.
+  std::string comm_error;
+
+  [[nodiscard]] bool comm_failed() const noexcept {
+    return !comm_error.empty();
+  }
 };
 
 /// A distributed solve's report: the convergence story plus the global

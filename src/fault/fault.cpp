@@ -1,0 +1,246 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pfem::fault {
+
+const char* fault_type_name(FaultType t) noexcept {
+  switch (t) {
+    case FaultType::Delay: return "delay";
+    case FaultType::Drop: return "drop";
+    case FaultType::Duplicate: return "dup";
+    case FaultType::Stall: return "stall";
+    case FaultType::Crash: return "crash";
+  }
+  return "?";
+}
+
+const char* op_name(Op o) noexcept {
+  switch (o) {
+    case Op::Send: return "send";
+    case Op::Recv: return "recv";
+    case Op::Collective: return "collective";
+  }
+  return "?";
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  // splitmix64 finalizer (Steele, Lea & Flood) — full-avalanche, and the
+  // same bits on every platform, unlike std::uniform_int_distribution.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+/// Tiny deterministic stream over mix64: state advances by re-hashing,
+/// draws reduce by modulo (bias is irrelevant for scheduling faults).
+class Stream {
+ public:
+  explicit Stream(std::uint64_t seed) : s_(mix64(seed ^ 0x5eedull)) {}
+
+  std::uint64_t next() noexcept { return s_ = mix64(s_); }
+
+  std::uint64_t below(std::uint64_t n) noexcept {
+    return n == 0 ? 0 : next() % n;
+  }
+
+ private:
+  std::uint64_t s_;
+};
+
+bool is_aborting(FaultType t) noexcept {
+  return t == FaultType::Drop || t == FaultType::Crash;
+}
+
+void describe_fault(std::ostringstream& os, const PlannedFault& f) {
+  os << fault_type_name(f.action.type) << " @ rank " << f.site.rank << " "
+     << op_name(f.site.op);
+  if (f.site.op != Op::Collective) {
+    os << (f.site.op == Op::Send ? " to " : " from ") << f.site.peer;
+  }
+  os << " seq " << f.site.seq;
+  if (f.action.type == FaultType::Delay || f.action.type == FaultType::Stall)
+    os << " (" << f.action.seconds << "s)";
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::generate(std::uint64_t seed, const FaultSpec& spec) {
+  PFEM_CHECK_MSG(spec.nranks >= 1, "FaultPlan: nranks must be >= 1");
+  PFEM_CHECK_MSG(spec.nfaults >= 0, "FaultPlan: negative fault count");
+
+  std::vector<FaultType> types;
+  if (spec.delay) types.push_back(FaultType::Delay);
+  if (spec.stall) types.push_back(FaultType::Stall);
+  if (spec.nranks > 1) {
+    // Point-to-point faults need a peer; a 1-rank team has none.
+    if (spec.drop) types.push_back(FaultType::Drop);
+    if (spec.duplicate) types.push_back(FaultType::Duplicate);
+  }
+  if (spec.crash) types.push_back(FaultType::Crash);
+
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.nranks = spec.nranks;
+  if (types.empty() || spec.nfaults == 0) return plan;
+
+  Stream rng(seed);
+  std::map<FaultSite, FaultAction> sites;
+  bool have_aborting = false;
+  // Bounded attempts so a tiny site space can't loop forever; duplicate
+  // sites are simply re-drawn.
+  const int budget = spec.nfaults * 16 + 16;
+  for (int tries = 0;
+       static_cast<int>(sites.size()) < spec.nfaults && tries < budget;
+       ++tries) {
+    FaultType t = types[rng.below(types.size())];
+    if (spec.at_most_one_aborting && have_aborting && is_aborting(t)) {
+      // Re-map to a quiet type if any is enabled; otherwise skip.
+      if (spec.delay) t = FaultType::Delay;
+      else if (spec.stall) t = FaultType::Stall;
+      else if (spec.duplicate && spec.nranks > 1) t = FaultType::Duplicate;
+      else continue;
+    }
+
+    FaultSite site;
+    site.rank = static_cast<int>(rng.below(static_cast<std::uint64_t>(
+        spec.nranks)));
+    if (t == FaultType::Drop || t == FaultType::Duplicate) {
+      site.op = Op::Send;  // wire-level faults originate at the sender
+    } else {
+      switch (rng.below(spec.nranks > 1 ? 3 : 1)) {
+        case 0: site.op = Op::Collective; break;
+        case 1: site.op = Op::Send; break;
+        default: site.op = Op::Recv; break;
+      }
+    }
+    if (site.op == Op::Collective) {
+      site.peer = -1;
+    } else {
+      const auto other = rng.below(static_cast<std::uint64_t>(spec.nranks - 1));
+      site.peer = static_cast<int>(other) +
+                  (static_cast<int>(other) >= site.rank ? 1 : 0);
+    }
+    site.seq = rng.below(spec.max_seq);
+
+    FaultAction action;
+    action.type = t;
+    if (t == FaultType::Delay) action.seconds = spec.delay_seconds;
+    if (t == FaultType::Stall) action.seconds = spec.stall_seconds;
+
+    if (sites.emplace(site, action).second && is_aborting(t))
+      have_aborting = true;
+  }
+
+  plan.faults.reserve(sites.size());
+  for (const auto& [site, action] : sites)
+    plan.faults.push_back(PlannedFault{site, action});
+  return plan;
+}
+
+bool FaultPlan::aborting() const {
+  return std::any_of(faults.begin(), faults.end(), [](const PlannedFault& f) {
+    return is_aborting(f.action.type);
+  });
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "FaultPlan seed=" << seed << " nranks=" << nranks << " ["
+     << faults.size() << " faults]";
+  for (const PlannedFault& f : faults) {
+    os << "\n  ";
+    describe_fault(os, f);
+  }
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  PFEM_CHECK_MSG(plan_.nranks >= 1, "FaultInjector: plan has no ranks");
+  for (const PlannedFault& f : plan_.faults) {
+    PFEM_CHECK_MSG(f.site.rank >= 0 && f.site.rank < plan_.nranks,
+                   "FaultInjector: fault site rank out of range");
+    entries_.emplace(f.site, Entry{f.action, false});
+  }
+  logs_.resize(static_cast<std::size_t>(plan_.nranks));
+}
+
+const FaultAction* FaultInjector::fire(const FaultSite& site) {
+  const auto it = entries_.find(site);
+  if (it == entries_.end() || it->second.fired) return nullptr;
+  it->second.fired = true;
+  logs_[static_cast<std::size_t>(site.rank)].push_back(
+      FaultEvent{site, it->second.action});
+  return &it->second.action;
+}
+
+const std::vector<FaultEvent>& FaultInjector::events(int rank) const {
+  PFEM_CHECK(rank >= 0 && rank < plan_.nranks);
+  return logs_[static_cast<std::size_t>(rank)];
+}
+
+std::vector<FaultEvent> FaultInjector::all_events() const {
+  std::vector<FaultEvent> all;
+  for (const auto& log : logs_) all.insert(all.end(), log.begin(), log.end());
+  return all;
+}
+
+void FaultInjector::reset() {
+  for (auto& [site, entry] : entries_) entry.fired = false;
+  for (auto& log : logs_) log.clear();
+}
+
+CommError CommError::timeout(int rank, int peer, Op op, double seconds) {
+  std::ostringstream os;
+  os << "comm timeout after " << seconds << "s: rank " << rank << " "
+     << op_name(op);
+  if (op == Op::Send) os << " to " << peer;
+  else if (op == Op::Recv) os << " from " << peer;
+  return CommError(CommErrorKind::Timeout, rank, peer, op, os.str());
+}
+
+CommError CommError::crash(const FaultSite& site) {
+  std::ostringstream os;
+  os << "injected crash: rank " << site.rank << " at " << op_name(site.op);
+  if (site.op != Op::Collective)
+    os << (site.op == Op::Send ? " to " : " from ") << site.peer;
+  os << " seq " << site.seq;
+  return CommError(CommErrorKind::Crash, site.rank, site.peer, site.op,
+                   os.str());
+}
+
+CommError CommError::lost(int rank, int peer, std::uint64_t expected_seq,
+                          std::uint64_t got_seq) {
+  std::ostringstream os;
+  os << "message lost on the wire: rank " << rank << " recv from " << peer
+     << " (wire seq jumped " << expected_seq << " -> " << got_seq << ")";
+  return CommError(CommErrorKind::Lost, rank, peer, Op::Recv, os.str());
+}
+
+std::string event_signature(const std::vector<FaultEvent>& evts) {
+  std::ostringstream os;
+  for (const FaultEvent& e : evts) {
+    describe_fault(os, PlannedFault{e.site, e.action});
+    os << ";";
+  }
+  return os.str();
+}
+
+double backoff_seconds(double base, double max_delay, int attempt,
+                       std::uint64_t seed) noexcept {
+  if (base <= 0.0) return 0.0;
+  double d = base;
+  for (int i = 0; i < attempt && d < max_delay; ++i) d *= 2.0;
+  if (d > max_delay) d = max_delay;
+  const std::uint64_t u =
+      mix64(seed ^ (0xa77e0b5ull + static_cast<std::uint64_t>(attempt)));
+  const double jitter =
+      0.5 + 0.5 * (static_cast<double>(u >> 11) * 0x1.0p-53);
+  return d * jitter;
+}
+
+}  // namespace pfem::fault

@@ -1,0 +1,232 @@
+// Deterministic fault injection for the SPMD runtime.
+//
+// The paper's EDD-FGMRES is all nearest-neighbor exchanges and global
+// reductions (Table 1) — at production scale every one of those channel
+// ops is an opportunity for a peer to be late, lossy or dead.  This
+// module supplies the *schedule* of such failures: a seeded FaultPlan
+// maps (rank, peer, op-sequence-number) sites to actions (delay a
+// message, drop it on the wire, deliver it twice, stall a rank, crash a
+// rank), and a FaultInjector arms the plan inside par::Team so the
+// runtime consults it right at the channel boundary.
+//
+// Everything is replayable bit-for-bit from the seed: plan generation
+// uses a self-contained splitmix64 stream (no libstdc++ distribution
+// whose output could vary across platforms), sites are keyed by each
+// rank's own deterministic op counters, and fired faults are consumed
+// one-shot so a retried job marches past the transient failures of the
+// previous attempt exactly once.
+//
+// This library is a leaf: par links against it (the injector must not
+// know about Team), and the typed CommError that channel timeouts and
+// injected crashes surface as lives here so solvers and the service can
+// catch one exception type without depending on runtime internals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pfem::fault {
+
+/// What happens at a fault site.  Keep in sync with fault_type_name().
+enum class FaultType : std::uint8_t {
+  Delay,      ///< sleep before the op, then perform it normally
+  Drop,       ///< the message never enters the channel (send-side only)
+  Duplicate,  ///< deliver the message twice (send-side only)
+  Stall,      ///< long sleep before the op — a rank that "goes dark"
+  Crash,      ///< the rank dies at this op (throws CommError::crash)
+};
+
+[[nodiscard]] const char* fault_type_name(FaultType t) noexcept;
+
+/// Which channel operation a site refers to.  Keep in sync with
+/// op_name().
+enum class Op : std::uint8_t { Send, Recv, Collective };
+
+[[nodiscard]] const char* op_name(Op o) noexcept;
+
+/// Where a fault bites: the `seq`-th `op` that `rank` performs against
+/// `peer` (peer == -1 for collectives).  Sequence numbers count per
+/// (rank, peer, op-direction) and restart at 0 every job, so a site is
+/// a deterministic point in a rank's program order.
+struct FaultSite {
+  int rank = 0;
+  int peer = -1;
+  Op op = Op::Send;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const FaultSite&, const FaultSite&) = default;
+  friend bool operator<(const FaultSite& a, const FaultSite& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    if (a.peer != b.peer) return a.peer < b.peer;
+    if (a.op != b.op) return a.op < b.op;
+    return a.seq < b.seq;
+  }
+};
+
+struct FaultAction {
+  FaultType type = FaultType::Delay;
+  double seconds = 0.0;  ///< sleep length for Delay/Stall; unused otherwise
+
+  friend bool operator==(const FaultAction&, const FaultAction&) = default;
+};
+
+struct PlannedFault {
+  FaultSite site;
+  FaultAction action;
+
+  friend bool operator==(const PlannedFault&, const PlannedFault&) = default;
+};
+
+/// Knobs for FaultPlan::generate.  Drop/Duplicate only make sense on
+/// the send side (a wire loses or re-delivers a message in flight), so
+/// generation pins those to Op::Send; the other types land on any op.
+struct FaultSpec {
+  int nranks = 4;
+  int nfaults = 1;
+  /// Allowed fault types (all on by default).
+  bool delay = true;
+  bool drop = true;
+  bool duplicate = true;
+  bool stall = true;
+  bool crash = true;
+  /// At most one team-aborting fault (Drop or Crash) per plan.  With
+  /// this set, every fault below a plan's first aborting site fires
+  /// deterministically on replay — the property the chaos harness
+  /// asserts (see DESIGN.md §9 on the determinism boundary).
+  bool at_most_one_aborting = false;
+  /// Sites land on op sequence numbers in [0, max_seq).
+  std::uint64_t max_seq = 64;
+  double delay_seconds = 1e-4;
+  double stall_seconds = 2e-2;
+};
+
+/// splitmix64 — the deterministic stream everything here derives from.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// A seeded, immutable schedule of faults (sorted by site, sites
+/// unique).  Same (seed, spec) always yields the same plan, on any
+/// platform.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  int nranks = 0;
+  std::vector<PlannedFault> faults;
+
+  [[nodiscard]] static FaultPlan generate(std::uint64_t seed,
+                                          const FaultSpec& spec);
+
+  /// True if any fault can abort the team (a Drop surfaces at the
+  /// receiver as a wire-seq gap, or as a timeout when nothing follows
+  /// it; Crash throws).
+  [[nodiscard]] bool aborting() const;
+
+  /// One line per fault, e.g. "crash @ rank 2 send to 0 seq 17" — the
+  /// reproduction recipe printed by failing chaos tests.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// One fired fault, in the order its rank consumed it.
+struct FaultEvent {
+  FaultSite site;
+  FaultAction action;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Arms a FaultPlan for execution.  Thread-safety contract: fire(site)
+/// may only be called with site.rank == the calling rank thread's own
+/// rank, so each plan entry's fired flag and each per-rank event log
+/// has exactly one writer; readers (events(), all_events()) must wait
+/// for the job to finish (Team::run's join provides the ordering).
+///
+/// Faults are one-shot: a site fires on the first job that reaches it
+/// and never again, so a service retry onto the same injector marches
+/// past the previous attempt's transient failures — while a reset()
+/// re-arms everything for a bit-identical replay.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// The action to apply at `site`, or nullptr (not planned / already
+  /// fired).  Firing appends to the rank's event log.
+  [[nodiscard]] const FaultAction* fire(const FaultSite& site);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Events fired by `rank`, in program order.
+  [[nodiscard]] const std::vector<FaultEvent>& events(int rank) const;
+
+  /// All fired events, rank-major (rank 0's in order, then rank 1's...).
+  [[nodiscard]] std::vector<FaultEvent> all_events() const;
+
+  /// Re-arm every fault and clear the logs (only while no job is in
+  /// flight) — the replay switch.
+  void reset();
+
+ private:
+  struct Entry {
+    FaultAction action;
+    bool fired = false;
+  };
+
+  FaultPlan plan_;
+  std::map<FaultSite, Entry> entries_;          ///< structure const after ctor
+  std::vector<std::vector<FaultEvent>> logs_;   ///< one single-writer log/rank
+};
+
+/// Why a channel operation failed.
+enum class CommErrorKind : std::uint8_t {
+  Timeout,  ///< a blocking channel/collective wait exceeded the deadline
+  Crash,    ///< an injected rank crash (chaos testing)
+  /// The receiver observed a gap in the channel's wire sequence numbers:
+  /// a message was dropped on the wire.  Detecting the gap (instead of
+  /// silently consuming the next message in its place) is what keeps a
+  /// drop from corrupting the solve — the stream can never shift.
+  Lost,
+};
+
+/// Typed failure of a channel or collective operation — what a dead or
+/// silent peer surfaces as once timeouts are armed, instead of a hang.
+/// Solvers catch this (and only this) to return a typed failed report;
+/// a rank's own unrelated exception still propagates as itself.
+class CommError : public Error {
+ public:
+  CommError(CommErrorKind kind, int rank, int peer, Op op, std::string what)
+      : Error(std::move(what)), kind_(kind), rank_(rank), peer_(peer),
+        op_(op) {}
+
+  [[nodiscard]] static CommError timeout(int rank, int peer, Op op,
+                                         double seconds);
+  [[nodiscard]] static CommError crash(const FaultSite& site);
+  [[nodiscard]] static CommError lost(int rank, int peer,
+                                      std::uint64_t expected_seq,
+                                      std::uint64_t got_seq);
+
+  [[nodiscard]] CommErrorKind kind() const noexcept { return kind_; }
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int peer() const noexcept { return peer_; }
+  [[nodiscard]] Op op() const noexcept { return op_; }
+
+ private:
+  CommErrorKind kind_;
+  int rank_;
+  int peer_;
+  Op op_;
+};
+
+/// Canonical text form of an event list — what the chaos harness
+/// compares across replays of the same seed.
+[[nodiscard]] std::string event_signature(const std::vector<FaultEvent>& evts);
+
+/// Deterministic exponential backoff with jitter for attempt
+/// `attempt` (0-based): base * 2^attempt, capped at `max_delay`, then
+/// scaled by a jitter factor in [0.5, 1.0] drawn from
+/// mix64(seed ^ attempt).  Pure function — same (seed, attempt) always
+/// gives the same delay, which keeps service retries replayable.
+[[nodiscard]] double backoff_seconds(double base, double max_delay,
+                                     int attempt, std::uint64_t seed) noexcept;
+
+}  // namespace pfem::fault

@@ -22,6 +22,8 @@ const char* cat_name(Cat c) noexcept {
       return "ortho";
     case Cat::Svc:
       return "svc";
+    case Cat::Fault:
+      return "fault";
   }
   return "unknown";
 }

@@ -37,6 +37,10 @@
 #include "common/error.hpp"
 #include "common/types.hpp"
 
+namespace pfem::fault {
+class FaultInjector;  // chaos hook carried by ObserveOptions, not owned
+}
+
 namespace pfem::obs {
 
 /// Span/counter category — coarse buckets for self-time attribution.
@@ -50,6 +54,7 @@ enum class Cat : std::uint8_t {
   Precond,   ///< polynomial preconditioner application
   Ortho,     ///< Gram-Schmidt orthogonalization
   Svc,       ///< service lifecycle (queued/coalesced/solve/done)
+  Fault,     ///< injected faults, channel timeouts, service retries
 };
 
 [[nodiscard]] const char* cat_name(Cat c) noexcept;
@@ -237,6 +242,14 @@ struct ObserveOptions {
   /// residual, RHS index).  Invoked from rank 0's solver thread — keep
   /// it cheap and thread-safe.
   std::function<void(index_t, real_t, std::size_t)> progress;
+  /// Chaos hooks for solvers that own their team internally (solve_edd,
+  /// solve_rdd): a seeded fault plan armed on the solve's team (not
+  /// owned; its plan must match the partition's rank count), and a
+  /// channel-wait deadline (0 disables) that turns a dead peer into a
+  /// typed comm failure instead of a hang.  Pointer-only here — obs
+  /// stays independent of the fault library.
+  fault::FaultInjector* fault_injector = nullptr;
+  double comm_timeout_seconds = 0.0;
 };
 
 }  // namespace pfem::obs

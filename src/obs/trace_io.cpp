@@ -371,9 +371,27 @@ bool check(const TraceFile& t, std::string& err) {
       return false;
     }
   }
+  // Each (pid, tid) track may be named at most once: a duplicate
+  // process_name/thread_name metadata entry means two writers claimed
+  // the same lane (e.g. a bad merge), and every per-lane statistic
+  // downstream would silently mix their spans.
+  {
+    std::map<std::pair<int, int>, std::string> named;
+    for (const Event& e : t.events) {
+      if (e.ph != 'M') continue;
+      const auto key = std::make_pair(e.pid, e.tid);
+      const auto [it, inserted] = named.emplace(key, e.name);
+      if (!inserted && it->second == e.name) {
+        err = "pid " + std::to_string(e.pid) + " tid " +
+              std::to_string(e.tid) + ": duplicate \"" + e.name +
+              "\" metadata — two tracks claim the same lane";
+        return false;
+      }
+    }
+  }
   // Spans within one (pid, tid) track must nest: a span that starts
   // inside another must end inside it too.
-  for (const Lane lane : lanes_of(t)) {
+  for (const Lane& lane : lanes_of(t)) {
     std::vector<double> open_ends;
     for (const std::size_t i : sweep_order(t.events, lane)) {
       const Event& e = t.events[i];
@@ -453,7 +471,7 @@ std::vector<NameStat> span_summary(const TraceFile& t) {
     double child_us;
     std::size_t idx;
   };
-  for (const Lane lane : lanes_of(t)) {
+  for (const Lane& lane : lanes_of(t)) {
     std::vector<Open> stack;
     auto finalize = [&](const Open& o) {
       const Event& e = t.events[o.idx];

@@ -74,6 +74,10 @@ struct Slot {
   std::atomic<bool> full{false};
   int tag = 0;
   std::size_t size = 0;
+  /// Wire sequence number (1-based, per channel).  A duplicated delivery
+  /// reuses its original's number, which is how the receiver recognizes
+  /// and absorbs it — at-least-once off the wire, exactly-once delivered.
+  std::uint64_t seq = 0;
   Vector payload;
 };
 
@@ -100,6 +104,8 @@ struct Channel {
   std::size_t head = 0;  ///< sender-owned: next slot to fill
   std::size_t tail = 0;  ///< receiver-owned: next slot to drain
   std::vector<Stashed> stash;  ///< receiver-owned out-of-order buffer
+  std::uint64_t send_seq = 0;  ///< sender-owned: last wire seq issued
+  std::uint64_t last_drained_seq = 0;  ///< receiver-owned: dedup watermark
 
   // Parking lot.  The waiting counters gate the notify calls so the
   // uncontended fast path never touches the mutex; the seq_cst handshake
@@ -135,21 +141,33 @@ class TeamState {
 
   // ---- Point-to-point ---------------------------------------------------
 
+  /// An injected Drop consumes the wire sequence number it would have
+  /// carried, so the receiver sees a gap and fails typed (see take()).
+  void mark_dropped(int src, int dst) { ++channel(src, dst).send_seq; }
+
+  /// `wire_dup` marks an injected duplicated delivery: the message goes
+  /// out again under its original wire sequence number, so the receiver
+  /// drains and discards it.
   void push(int src, int dst, int tag, std::span<const real_t> data,
-            PerfCounters& c) {
+            PerfCounters& c, bool wire_dup = false) {
     Channel& ch = channel(src, dst);
     Slot& slot = ch.slots[ch.head % Channel::kSlots];
     // Ring full: wait for the receiver to free this slot.
     if (slot.full.load(std::memory_order_seq_cst)) {
       const auto t0 = SteadyClock::now();
-      wait_until(
-          [&] { return !slot.full.load(std::memory_order_seq_cst); },
-          ch.m, ch.space_cv, ch.send_waiting);
+      if (!wait_until(
+              [&] { return !slot.full.load(std::memory_order_seq_cst); },
+              ch.m, ch.space_cv, ch.send_waiting)) {
+        ++c.fault_timeouts;
+        throw CommError::timeout(src, dst, fault::Op::Send,
+                                 timeout_seconds());
+      }
       c.neighbor_wait_seconds += seconds_since(t0);
     }
     check_abort();
     slot.tag = tag;
     slot.size = data.size();
+    slot.seq = wire_dup ? ch.send_seq : ++ch.send_seq;
     if (slot.payload.size() < data.size()) slot.payload.resize(data.size());
     std::copy(data.begin(), data.end(), slot.payload.begin());
     slot.full.store(true, std::memory_order_seq_cst);
@@ -178,11 +196,32 @@ class TeamState {
       Slot& slot = ch.slots[ch.tail % Channel::kSlots];
       if (!slot.full.load(std::memory_order_seq_cst)) {
         const auto t0 = SteadyClock::now();
-        wait_until([&] { return slot.full.load(std::memory_order_seq_cst); },
-                   ch.m, ch.data_cv, ch.recv_waiting);
+        if (!wait_until(
+                [&] { return slot.full.load(std::memory_order_seq_cst); },
+                ch.m, ch.data_cv, ch.recv_waiting)) {
+          ++c.fault_timeouts;
+          throw CommError::timeout(dst, src, fault::Op::Recv,
+                                   timeout_seconds());
+        }
         c.neighbor_wait_seconds += seconds_since(t0);
       }
       check_abort();
+      // Wire-level duplicate (seq at or below the watermark): the
+      // channel absorbs it — at-least-once delivery dedups to
+      // exactly-once before any solver code sees the payload.
+      if (slot.seq <= ch.last_drained_seq) {
+        release_slot(ch, slot);
+        continue;
+      }
+      // A gap above the watermark means a message was dropped on the
+      // wire (an injected Drop consumed its seq without delivering).
+      // Surface it typed right here: consuming the next message in the
+      // lost one's place would silently shift the stream and corrupt
+      // the solve.  (A drop with no later traffic is caught by the
+      // channel timeout instead.)
+      if (slot.seq > ch.last_drained_seq + 1)
+        throw CommError::lost(dst, src, ch.last_drained_seq + 1, slot.seq);
+      ch.last_drained_seq = slot.seq;
       if (slot.tag == tag) {
         sink(slot.payload, slot.size);
         release_slot(ch, slot);
@@ -199,8 +238,9 @@ class TeamState {
 
   // ---- Collectives ------------------------------------------------------
 
-  /// Sense-reversing barrier that unblocks with Aborted if a rank died.
-  void barrier(PerfCounters& c) {
+  /// Sense-reversing barrier that unblocks with Aborted if a rank died
+  /// (or a typed CommError if the wait hits the comm timeout).
+  void barrier(int rank, PerfCounters& c) {
     check_abort();
     if (size_ == 1) return;
     std::uint64_t gen;
@@ -222,7 +262,11 @@ class TeamState {
       };
       if (!passed() && !aborted()) {
         const auto t0 = SteadyClock::now();
-        wait_until(passed, barrier_m_, barrier_cv_, barrier_waiting_);
+        if (!wait_until(passed, barrier_m_, barrier_cv_, barrier_waiting_)) {
+          ++c.fault_timeouts;
+          throw CommError::timeout(rank, -1, fault::Op::Collective,
+                                   timeout_seconds());
+        }
         c.reduce_wait_seconds += seconds_since(t0);
       }
     }
@@ -251,7 +295,8 @@ class TeamState {
         if (partner >= size_) continue;  // no child in this stage
         ReduceCell& cell = cell_at(partner, k);
         wait_collective(
-            [&] { return cell.seq.load(std::memory_order_seq_cst) >= g; }, c);
+            [&] { return cell.seq.load(std::memory_order_seq_cst) >= g; },
+            rank, c);
         PFEM_CHECK_MSG(cell.data.size() == inout.size(),
                        "allreduce length mismatch across ranks");
         const real_t* s = cell.data.data();
@@ -271,7 +316,8 @@ class TeamState {
       notify_collective();
     } else {
       wait_collective(
-          [&] { return bcast_gen_.load(std::memory_order_seq_cst) >= g; }, c);
+          [&] { return bcast_gen_.load(std::memory_order_seq_cst) >= g; },
+          rank, c);
       // Lengths agree by now: rank 0 folded every contribution (checking
       // sizes) or threw, which aborts the team before we get here.
       std::copy_n(bcast_.begin(), inout.size(), inout.begin());
@@ -297,6 +343,8 @@ class TeamState {
       ch.head = 0;
       ch.tail = 0;
       ch.stash.clear();
+      ch.send_seq = 0;
+      ch.last_drained_seq = 0;
     }
     const std::size_t ncells = static_cast<std::size_t>(size_) *
                                static_cast<std::size_t>(stages_ == 0 ? 1
@@ -306,6 +354,34 @@ class TeamState {
     bcast_gen_.store(0, std::memory_order_relaxed);
     barrier_count_ = 0;
     barrier_gen_.store(0, std::memory_order_relaxed);
+  }
+
+  // ---- Fault plumbing ----------------------------------------------------
+
+  /// Deadline for blocking channel/collective waits; 0 disables.
+  void set_timeout(double seconds) {
+    timeout_ns_.store(
+        seconds > 0.0 ? static_cast<std::int64_t>(seconds * 1e9) : 0,
+        std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] double timeout_seconds() const {
+    return static_cast<double>(timeout_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+  /// Injected delay/stall: sleep in 1 ms slices, unwinding with Aborted
+  /// as soon as the team tears down — a stalled rank must not outlive
+  /// its job.
+  void fault_sleep(double seconds) {
+    const auto deadline =
+        SteadyClock::now() + std::chrono::duration_cast<SteadyClock::duration>(
+                                 std::chrono::duration<double>(seconds));
+    while (SteadyClock::now() < deadline) {
+      check_abort();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    check_abort();
   }
 
   // ---- Failure handling --------------------------------------------------
@@ -373,31 +449,45 @@ class TeamState {
 
   /// Waiter side: spin on the predicate, then yield, then park.  The
   /// waiting counter is bumped before the final predicate check inside
-  /// cv.wait.
+  /// cv.wait.  Returns false when a comm timeout is armed and the park
+  /// phase exceeded it with the predicate still false — the caller turns
+  /// that into a typed CommError.  (An abort wakes the waiter through
+  /// `done` and is never reported as a timeout.)
   template <typename Pred>
-  void wait_until(Pred pred, std::mutex& m, std::condition_variable& cv,
-                  std::atomic<int>& waiting) {
+  [[nodiscard]] bool wait_until(Pred pred, std::mutex& m,
+                                std::condition_variable& cv,
+                                std::atomic<int>& waiting) {
     auto done = [&] { return pred() || aborted(); };
     for (int i = spin_budget(); i > 0; --i) {
-      if (done()) return;
+      if (done()) return true;
       cpu_relax();
     }
     for (int i = 0; i < kYieldIters; ++i) {
-      if (done()) return;
+      if (done()) return true;
       std::this_thread::yield();
     }
+    const std::int64_t tns = timeout_ns_.load(std::memory_order_relaxed);
     std::unique_lock<std::mutex> lk(m);
     waiting.fetch_add(1, std::memory_order_seq_cst);
-    cv.wait(lk, done);
+    bool ok = true;
+    if (tns <= 0)
+      cv.wait(lk, done);
+    else
+      ok = cv.wait_for(lk, std::chrono::nanoseconds(tns), done);
     waiting.fetch_sub(1, std::memory_order_relaxed);
+    return ok;
   }
 
   template <typename Pred>
-  void wait_collective(Pred pred, PerfCounters& c) {
+  void wait_collective(Pred pred, int rank, PerfCounters& c) {
     auto done = [&] { return pred() || aborted(); };
     if (!done()) {
       const auto t0 = SteadyClock::now();
-      wait_until(pred, coll_m_, coll_cv_, coll_waiting_);
+      if (!wait_until(pred, coll_m_, coll_cv_, coll_waiting_)) {
+        ++c.fault_timeouts;
+        throw CommError::timeout(rank, -1, fault::Op::Collective,
+                                 timeout_seconds());
+      }
       c.reduce_wait_seconds += seconds_since(t0);
     }
     check_abort();
@@ -427,6 +517,7 @@ class TeamState {
   std::atomic<int> barrier_waiting_{0};
 
   std::atomic<bool> aborted_{false};
+  std::atomic<std::int64_t> timeout_ns_{0};  ///< 0 = waits never time out
 };
 
 /// The thread side of a persistent Team: P parked worker threads, a
@@ -500,22 +591,39 @@ class TeamRuntime {
     return cancel_requested_.load(std::memory_order_seq_cst);
   }
 
+  void set_fault_injector(fault::FaultInjector* injector) {
+    std::lock_guard<std::mutex> lk(m_);
+    PFEM_CHECK_MSG(job_ == nullptr,
+                   "set_fault_injector: a job is in flight");
+    PFEM_CHECK_MSG(injector == nullptr || injector->plan().nranks == nranks_,
+                   "set_fault_injector: plan rank count "
+                   << (injector ? injector->plan().nranks : 0)
+                   << " does not match team size " << nranks_);
+    injector_ = injector;
+  }
+
+  void set_comm_timeout(double seconds) noexcept {
+    state_.set_timeout(seconds);
+  }
+
  private:
   void worker(int r) {
     std::uint64_t seen = 0;
     for (;;) {
       const std::function<void(Comm&)>* fn = nullptr;
       obs::Tracer* lane = nullptr;
+      fault::FaultInjector* injector = nullptr;
       {
         std::unique_lock<std::mutex> lk(m_);
         job_cv_.wait(lk, [&] { return shutdown_ || job_gen_ != seen; });
         if (shutdown_) return;
         seen = job_gen_;
         fn = job_;
+        injector = injector_;
         if (trace_ != nullptr) lane = &trace_->rank(r);
       }
       PerfCounters& c = counters_[static_cast<std::size_t>(r)];
-      Comm comm(r, &state_, &c, lane);
+      Comm comm(r, &state_, &c, lane, injector);
       const auto t0 = SteadyClock::now();
       try {
         (*fn)(comm);
@@ -572,22 +680,110 @@ class TeamRuntime {
   int done_count_ = 0;
   bool shutdown_ = false;
   std::atomic<bool> cancel_requested_{false};
+  fault::FaultInjector* injector_ = nullptr;  ///< guarded by m_
 };
 
 }  // namespace detail
 
+Comm::Comm(int rank, detail::TeamState* team, PerfCounters* counters,
+           obs::Tracer* tracer, fault::FaultInjector* injector)
+    : rank_(rank), team_(team), counters_(counters), tracer_(tracer),
+      injector_(injector) {
+  if (injector_ != nullptr) {
+    send_seq_.assign(static_cast<std::size_t>(team_->size()), 0);
+    recv_seq_.assign(static_cast<std::size_t>(team_->size()), 0);
+  }
+}
+
 int Comm::size() const noexcept { return team_->size(); }
+
+const fault::FaultAction* Comm::consume_fault(fault::Op op, int peer) {
+  fault::FaultSite site;
+  site.rank = rank_;
+  site.peer = peer;
+  site.op = op;
+  switch (op) {
+    case fault::Op::Send:
+      site.seq = send_seq_[static_cast<std::size_t>(peer)]++;
+      break;
+    case fault::Op::Recv:
+      site.seq = recv_seq_[static_cast<std::size_t>(peer)]++;
+      break;
+    case fault::Op::Collective:
+      site.seq = coll_fault_seq_++;
+      break;
+  }
+  const fault::FaultAction* a = injector_->fire(site);
+  if (a == nullptr) return nullptr;
+  const auto id = static_cast<std::uint32_t>(peer + 1);
+  switch (a->type) {
+    case fault::FaultType::Delay: {
+      OBS_SPAN(tracer_, "fault_delay", obs::Cat::Fault, id);
+      ++counters_->fault_delays;
+      team_->fault_sleep(a->seconds);
+      return nullptr;  // op proceeds normally, just late
+    }
+    case fault::FaultType::Stall: {
+      OBS_SPAN(tracer_, "fault_stall", obs::Cat::Fault, id);
+      ++counters_->fault_stalls;
+      team_->fault_sleep(a->seconds);
+      return nullptr;
+    }
+    case fault::FaultType::Crash: {
+      { OBS_SPAN(tracer_, "fault_crash", obs::Cat::Fault, id); }
+      ++counters_->fault_crashes;
+      throw CommError::crash(site);
+    }
+    case fault::FaultType::Drop: {
+      { OBS_SPAN(tracer_, "fault_drop", obs::Cat::Fault, id); }
+      ++counters_->fault_drops;
+      return a;  // send() keeps the message off the wire
+    }
+    case fault::FaultType::Duplicate: {
+      { OBS_SPAN(tracer_, "fault_dup", obs::Cat::Fault, id); }
+      ++counters_->fault_dups;
+      return a;  // send() pushes a second wire copy
+    }
+  }
+  return nullptr;
+}
+
+void Comm::note_comm_error(const CommError& e, int peer) {
+  // 1:1 with the typed failure the op surfaces: a deadline expiry gets
+  // a "fault_timeout" span, a detected wire loss a "fault_lost" span.
+  OBS_SPAN(tracer_,
+           e.kind() == fault::CommErrorKind::Lost ? "fault_lost"
+                                                  : "fault_timeout",
+           obs::Cat::Fault, static_cast<std::uint32_t>(peer + 1));
+}
 
 void Comm::send(int dest, int tag, std::span<const real_t> data) {
   OBS_SPAN(tracer_, "send", obs::Cat::Exchange,
            static_cast<std::uint32_t>(dest));
   PFEM_CHECK(dest >= 0 && dest < size());
   PFEM_CHECK_MSG(dest != rank_, "self-send is not supported");
+  const fault::FaultAction* fa =
+      injector_ != nullptr ? consume_fault(fault::Op::Send, dest) : nullptr;
+  if (fa != nullptr && fa->type == fault::FaultType::Drop) {
+    // Lost on the wire: the payload never enters the channel and the
+    // traffic counters never see it, but its wire seq is consumed — the
+    // receiver detects the gap (CommErrorKind::Lost) at the next
+    // message, or times out if none follows.
+    team_->mark_dropped(rank_, dest);
+    return;
+  }
   counters_->neighbor_msgs += 1;
   counters_->neighbor_bytes += sizeof(real_t) * data.size();
   counters_->msg_size_hist[PerfCounters::hist_bucket(
       sizeof(real_t) * data.size())] += 1;
-  team_->push(rank_, dest, tag, data, *counters_);
+  try {
+    team_->push(rank_, dest, tag, data, *counters_);
+    if (fa != nullptr && fa->type == fault::FaultType::Duplicate)
+      team_->push(rank_, dest, tag, data, *counters_, /*wire_dup=*/true);
+  } catch (const CommError& e) {
+    note_comm_error(e, dest);
+    throw;
+  }
 }
 
 void Comm::recv(int src, int tag, Vector& out) {
@@ -595,15 +791,21 @@ void Comm::recv(int src, int tag, Vector& out) {
            static_cast<std::uint32_t>(src));
   PFEM_CHECK(src >= 0 && src < size());
   PFEM_CHECK_MSG(src != rank_, "self-recv is not supported");
-  team_->take(
-      rank_, src, tag,
-      [&](Vector& payload, std::size_t n) {
-        // Single-copy receive: steal the message buffer and leave ours
-        // behind for the channel to reuse.
-        out.swap(payload);
-        out.resize(n);
-      },
-      *counters_);
+  if (injector_ != nullptr) consume_fault(fault::Op::Recv, src);
+  try {
+    team_->take(
+        rank_, src, tag,
+        [&](Vector& payload, std::size_t n) {
+          // Single-copy receive: steal the message buffer and leave ours
+          // behind for the channel to reuse.
+          out.swap(payload);
+          out.resize(n);
+        },
+        *counters_);
+  } catch (const CommError& e) {
+    note_comm_error(e, src);
+    throw;
+  }
   counters_->neighbor_msgs_recv += 1;
   counters_->neighbor_bytes_recv += sizeof(real_t) * out.size();
 }
@@ -613,46 +815,77 @@ void Comm::recv(int src, int tag, std::span<real_t> out) {
            static_cast<std::uint32_t>(src));
   PFEM_CHECK(src >= 0 && src < size());
   PFEM_CHECK_MSG(src != rank_, "self-recv is not supported");
-  team_->take(
-      rank_, src, tag,
-      [&](Vector& payload, std::size_t n) {
-        PFEM_CHECK_MSG(n == out.size(),
-                       "recv into span: message length does not match the "
-                       "preposted buffer");
-        std::copy_n(payload.begin(), n, out.begin());
-      },
-      *counters_);
+  if (injector_ != nullptr) consume_fault(fault::Op::Recv, src);
+  try {
+    team_->take(
+        rank_, src, tag,
+        [&](Vector& payload, std::size_t n) {
+          PFEM_CHECK_MSG(n == out.size(),
+                         "recv into span: message length does not match the "
+                         "preposted buffer");
+          std::copy_n(payload.begin(), n, out.begin());
+        },
+        *counters_);
+  } catch (const CommError& e) {
+    note_comm_error(e, src);
+    throw;
+  }
   counters_->neighbor_msgs_recv += 1;
   counters_->neighbor_bytes_recv += sizeof(real_t) * out.size();
 }
 
 void Comm::barrier() {
   OBS_SPAN(tracer_, "barrier", obs::Cat::Reduce);
-  team_->barrier(*counters_);
+  if (injector_ != nullptr) consume_fault(fault::Op::Collective, -1);
+  try {
+    team_->barrier(rank_, *counters_);
+  } catch (const CommError& e) {
+    note_comm_error(e, -1);
+    throw;
+  }
 }
 
 real_t Comm::allreduce_sum(real_t x) {
   OBS_SPAN(tracer_, "allreduce", obs::Cat::Reduce);
+  if (injector_ != nullptr) consume_fault(fault::Op::Collective, -1);
   counters_->global_reductions += 1;
   counters_->global_bytes += sizeof(real_t);
-  team_->allreduce(rank_, ++coll_seq_, std::span<real_t>(&x, 1),
-                   /*take_max=*/false, *counters_);
+  try {
+    team_->allreduce(rank_, ++coll_seq_, std::span<real_t>(&x, 1),
+                     /*take_max=*/false, *counters_);
+  } catch (const CommError& e) {
+    note_comm_error(e, -1);
+    throw;
+  }
   return x;
 }
 
 void Comm::allreduce_sum(std::span<real_t> inout) {
   OBS_SPAN(tracer_, "allreduce", obs::Cat::Reduce);
+  if (injector_ != nullptr) consume_fault(fault::Op::Collective, -1);
   counters_->global_reductions += 1;
   counters_->global_bytes += sizeof(real_t) * inout.size();
-  team_->allreduce(rank_, ++coll_seq_, inout, /*take_max=*/false, *counters_);
+  try {
+    team_->allreduce(rank_, ++coll_seq_, inout, /*take_max=*/false,
+                     *counters_);
+  } catch (const CommError& e) {
+    note_comm_error(e, -1);
+    throw;
+  }
 }
 
 real_t Comm::allreduce_max(real_t x) {
   OBS_SPAN(tracer_, "allreduce", obs::Cat::Reduce);
+  if (injector_ != nullptr) consume_fault(fault::Op::Collective, -1);
   counters_->global_reductions += 1;
   counters_->global_bytes += sizeof(real_t);
-  team_->allreduce(rank_, ++coll_seq_, std::span<real_t>(&x, 1),
-                   /*take_max=*/true, *counters_);
+  try {
+    team_->allreduce(rank_, ++coll_seq_, std::span<real_t>(&x, 1),
+                     /*take_max=*/true, *counters_);
+  } catch (const CommError& e) {
+    note_comm_error(e, -1);
+    throw;
+  }
   return x;
 }
 
@@ -674,10 +907,22 @@ void Team::cancel() { rt_->cancel(); }
 
 bool Team::cancel_requested() const noexcept { return rt_->cancel_requested(); }
 
+void Team::set_fault_injector(fault::FaultInjector* injector) {
+  rt_->set_fault_injector(injector);
+}
+
+void Team::set_comm_timeout(double seconds) noexcept {
+  rt_->set_comm_timeout(seconds);
+}
+
 std::vector<PerfCounters> run_spmd(int nranks,
                                    const std::function<void(Comm&)>& fn,
-                                   obs::Trace* trace) {
+                                   obs::Trace* trace,
+                                   fault::FaultInjector* injector,
+                                   double comm_timeout_seconds) {
   Team team(nranks);
+  if (comm_timeout_seconds > 0.0) team.set_comm_timeout(comm_timeout_seconds);
+  if (injector != nullptr) team.set_fault_injector(injector);
   return team.run(fn, trace);
 }
 

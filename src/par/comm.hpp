@@ -32,6 +32,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "par/counters.hpp"
 
@@ -41,6 +42,11 @@ namespace detail {
 class TeamState;
 class TeamRuntime;
 }
+
+/// Typed channel failure (timeout or injected crash) — defined in
+/// fault/fault.hpp so solvers can catch it without runtime internals;
+/// aliased here because the runtime is what throws it.
+using fault::CommError;
 
 /// Per-rank communicator handle.  Valid only inside run_spmd's callback.
 class Comm {
@@ -82,14 +88,30 @@ class Comm {
  private:
   friend class detail::TeamRuntime;
   Comm(int rank, detail::TeamState* team, PerfCounters* counters,
-       obs::Tracer* tracer)
-      : rank_(rank), team_(team), counters_(counters), tracer_(tracer) {}
+       obs::Tracer* tracer, fault::FaultInjector* injector);
+
+  /// Consult the armed injector at the current (op, peer) site and
+  /// advance the site counter.  Applies Delay/Stall (interruptible
+  /// sleep) and Crash (throws CommError) in place; returns the action
+  /// for the op-specific wire faults (Drop/Duplicate) or nullptr.
+  const fault::FaultAction* consume_fault(fault::Op op, int peer);
+
+  /// Stamp the "fault_timeout" span when a channel wait surfaced a
+  /// timeout CommError (the counter is bumped where the wait timed out).
+  void note_comm_error(const CommError& e, int peer);
 
   int rank_;
   detail::TeamState* team_;
   PerfCounters* counters_;
   obs::Tracer* tracer_;
   std::uint64_t coll_seq_ = 0;  ///< this rank's collective-op count
+
+  // Fault-injection site counters (allocated only when a plan is armed;
+  // a fault-free job pays one null check per op).
+  fault::FaultInjector* injector_ = nullptr;
+  std::vector<std::uint64_t> send_seq_;   ///< per-peer send count
+  std::vector<std::uint64_t> recv_seq_;   ///< per-peer recv count
+  std::uint64_t coll_fault_seq_ = 0;      ///< collective count (incl. barrier)
 };
 
 /// Thrown out of Team::run when the job was torn down by Team::cancel()
@@ -136,6 +158,17 @@ class Team {
   /// Has cancel() been called since the current/last job started?
   [[nodiscard]] bool cancel_requested() const noexcept;
 
+  /// Arm deterministic fault injection for subsequent jobs (nullptr
+  /// disarms).  The injector's plan must match the team size and must
+  /// outlive every job that uses it; only callable between jobs.
+  void set_fault_injector(fault::FaultInjector* injector);
+
+  /// Bound every blocking channel/collective wait: a wait exceeding
+  /// `seconds` throws a typed CommError instead of hanging on a dead or
+  /// silent peer.  0 disables (the default).  Takes effect immediately,
+  /// including for the in-flight job's future waits.
+  void set_comm_timeout(double seconds) noexcept;
+
  private:
   std::unique_ptr<detail::TeamRuntime> rt_;
 };
@@ -144,8 +177,12 @@ class Team {
 /// per-rank counters.  Any exception thrown by a rank is rethrown here
 /// after all threads join.  Equivalent to a single-job Team — callers
 /// with many solves should hold a Team and amortize the spawn.
+/// `injector`/`comm_timeout_seconds` are the ObserveOptions chaos
+/// hooks, armed on the one-shot team before the job runs.
 std::vector<PerfCounters> run_spmd(int nranks,
                                    const std::function<void(Comm&)>& fn,
-                                   obs::Trace* trace = nullptr);
+                                   obs::Trace* trace = nullptr,
+                                   fault::FaultInjector* injector = nullptr,
+                                   double comm_timeout_seconds = 0.0);
 
 }  // namespace pfem::par

@@ -24,6 +24,14 @@ void append_rank(std::ostringstream& os, const PerfCounters& c) {
      << "\"matvecs\":" << c.matvecs << ","
      << "\"inner_products\":" << c.inner_products << ","
      << "\"vector_updates\":" << c.vector_updates << "},"
+     << "\"fault\":{"
+     << "\"delays\":" << c.fault_delays << ","
+     << "\"drops\":" << c.fault_drops << ","
+     << "\"dups\":" << c.fault_dups << ","
+     << "\"stalls\":" << c.fault_stalls << ","
+     << "\"crashes\":" << c.fault_crashes << ","
+     << "\"timeouts\":" << c.fault_timeouts << ","
+     << "\"retries\":" << c.fault_retries << "},"
      << "\"time\":{"
      << "\"total_s\":" << c.total_seconds << ","
      << "\"compute_s\":" << c.compute_seconds() << ","

@@ -47,6 +47,19 @@ struct PerfCounters {
   std::uint64_t inner_products = 0;
   std::uint64_t vector_updates = 0;
 
+  // Fault accounting (chaos testing / degraded production runs): faults
+  // injected at this rank's channel ops by a fault::FaultInjector, plus
+  // genuine channel timeouts.  fault_retries is stamped by the service —
+  // how many times this solve's batch was re-dispatched onto a fresh
+  // team before completing.
+  std::uint64_t fault_delays = 0;
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_dups = 0;
+  std::uint64_t fault_stalls = 0;
+  std::uint64_t fault_crashes = 0;
+  std::uint64_t fault_timeouts = 0;  ///< channel waits that hit the deadline
+  std::uint64_t fault_retries = 0;   ///< service re-dispatches of this solve
+
   // Wall-time split (seconds).  total_seconds covers the whole rank
   // callback; the wait fields accumulate time spent blocked in the
   // runtime (send/recv vs. barrier/allreduce).  Compute time is the
@@ -88,6 +101,13 @@ struct PerfCounters {
     matvecs += o.matvecs;
     inner_products += o.inner_products;
     vector_updates += o.vector_updates;
+    fault_delays += o.fault_delays;
+    fault_drops += o.fault_drops;
+    fault_dups += o.fault_dups;
+    fault_stalls += o.fault_stalls;
+    fault_crashes += o.fault_crashes;
+    fault_timeouts += o.fault_timeouts;
+    fault_retries += o.fault_retries;
     total_seconds += o.total_seconds;
     neighbor_wait_seconds += o.neighbor_wait_seconds;
     reduce_wait_seconds += o.reduce_wait_seconds;
@@ -114,6 +134,13 @@ struct PerfCounters {
     d.matvecs = sub(matvecs, base.matvecs);
     d.inner_products = sub(inner_products, base.inner_products);
     d.vector_updates = sub(vector_updates, base.vector_updates);
+    d.fault_delays = sub(fault_delays, base.fault_delays);
+    d.fault_drops = sub(fault_drops, base.fault_drops);
+    d.fault_dups = sub(fault_dups, base.fault_dups);
+    d.fault_stalls = sub(fault_stalls, base.fault_stalls);
+    d.fault_crashes = sub(fault_crashes, base.fault_crashes);
+    d.fault_timeouts = sub(fault_timeouts, base.fault_timeouts);
+    d.fault_retries = sub(fault_retries, base.fault_retries);
     d.total_seconds = subd(total_seconds, base.total_seconds);
     d.neighbor_wait_seconds =
         subd(neighbor_wait_seconds, base.neighbor_wait_seconds);

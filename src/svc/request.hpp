@@ -46,6 +46,10 @@ struct SolveRequest {
   /// enforced mid-solve by the service's watchdog (the batch is
   /// cancelled when its earliest member deadline expires).
   std::optional<Clock::time_point> deadline;
+  /// Deterministic-jitter source for this request's retry backoff: the
+  /// same seed always replays the same backoff schedule.  0 (default)
+  /// falls back to the service-assigned job id.
+  std::uint64_t seed = 0;
 };
 
 enum class RejectReason {
@@ -76,6 +80,13 @@ struct Cancelled {
 
 struct Failed {
   std::string error;
+  /// True when the failure was a typed communication fault (channel
+  /// timeout / crashed team) that survived the retry policy — the
+  /// request was never silently lost: this is its typed reason.
+  bool comm = false;
+  /// On a comm failure, the per-RHS partial reports of the last attempt
+  /// (residual histories up to the failure); empty otherwise.
+  std::vector<core::SolveReport> partial;
 };
 
 using Outcome = std::variant<Completed, Rejected, Cancelled, Failed>;

@@ -23,12 +23,23 @@ bool compatible_opts(const core::SolveOptions& a, const core::SolveOptions& b) {
 
 }  // namespace
 
+std::unique_ptr<par::Team> Service::make_team() const {
+  auto team = std::make_unique<par::Team>(cfg_.nranks);
+  if (cfg_.comm_timeout_seconds > 0.0)
+    team->set_comm_timeout(cfg_.comm_timeout_seconds);
+  if (cfg_.fault_injector != nullptr)
+    team->set_fault_injector(cfg_.fault_injector);
+  return team;
+}
+
 Service::Service(const ServiceConfig& cfg)
     : cfg_(cfg),
-      team_(cfg.nranks),
       cache_(cfg.cache_capacity),
       queue_(cfg.queue_capacity) {
   PFEM_CHECK_MSG(cfg_.max_batch_rhs >= 1, "max_batch_rhs must be >= 1");
+  PFEM_CHECK_MSG(cfg_.retry.max_attempts >= 1,
+                 "retry.max_attempts must be >= 1");
+  team_ = make_team();
   if (cfg_.observe.trace)
     trace_ = std::make_unique<obs::Trace>(cfg_.nranks,
                                           cfg_.observe.ring_capacity);
@@ -121,7 +132,7 @@ bool Service::cancel(JobId id) {
   std::scoped_lock lock(m_);
   if (std::find(running_.begin(), running_.end(), id) != running_.end()) {
     running_cancelled_.push_back(id);
-    team_.cancel();  // cooperative: ranks unwind at their next comm call
+    team_->cancel();  // cooperative: ranks unwind at their next comm call
     return true;
   }
   return false;
@@ -246,16 +257,6 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
   OBS_SPAN(aux, "dispatch", obs::Cat::Svc,
            static_cast<std::uint32_t>(batch.front().id));
 
-  std::shared_ptr<const core::EddOperatorState> op;
-  bool cache_hit = false;
-  try {
-    std::tie(op, cache_hit) = cache_.get_or_build(key, team_, trace_.get());
-  } catch (const std::exception& e) {
-    for (auto& j : batch)
-      resolve(j, Failed{std::string("operator build failed: ") + e.what()});
-    return;
-  }
-
   // Flatten the batch's RHS; remember each job's slice.
   std::vector<std::size_t> counts;
   counts.reserve(batch.size());
@@ -303,55 +304,141 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
     running_cancelled_.clear();
     for (const auto& j : batch) running_.push_back(j.id);
     ++stats_.batches;
-    if (cache_hit)
-      ++stats_.cache_hits;
-    else
-      ++stats_.cache_misses;
   }
 
-  // Deadline watchdog: one helper thread armed with the batch's earliest
-  // deadline; it either gets signalled when the solve finishes or fires
-  // team_.cancel(), unwinding every rank through the abort path.  Joined
-  // before the next dispatch, so a late cancel can never leak into a
-  // later batch (Team::run also clears any stale cancel on entry).
-  std::optional<Clock::time_point> min_deadline;
-  for (const auto& j : batch)
-    if (j.req.deadline &&
-        (!min_deadline || *j.req.deadline < *min_deadline))
-      min_deadline = j.req.deadline;
-  std::mutex wd_m;
-  std::condition_variable wd_cv;
-  bool batch_done = false;
-  std::thread watchdog;
-  if (min_deadline)
-    watchdog = std::thread([&] {
-      std::unique_lock lock(wd_m);
-      if (!wd_cv.wait_until(lock, *min_deadline, [&] { return batch_done; }))
-        team_.cancel();
-    });
+  const std::optional<Clock::time_point> min_deadline = [&] {
+    std::optional<Clock::time_point> d;
+    for (const auto& j : batch)
+      if (j.req.deadline && (!d || *j.req.deadline < *d)) d = j.req.deadline;
+    return d;
+  }();
 
-  const auto t0 = Clock::now();
+  // Attempt loop: a typed comm failure (injected crash, channel
+  // timeout) triggers the retry policy — deterministic-jitter backoff,
+  // then a fresh team (faults are one-shot, so the retry marches past
+  // whatever killed the last attempt).  The request seed (or job id)
+  // keys the jitter, so a failing request replays the same schedule.
+  const int max_attempts = std::max(1, cfg_.retry.max_attempts);
+  const std::uint64_t jitter_seed =
+      batch.front().req.seed != 0
+          ? batch.front().req.seed
+          : static_cast<std::uint64_t>(batch.front().id);
+
   core::BatchSolveResult result;
   bool was_cancelled = false;
-  std::string failure;
   bool failed = false;
-  try {
-    result = core::solve_edd_batch(team_, *part, *op, rhs, opts, trace_.get());
-  } catch (const par::Cancelled&) {
-    was_cancelled = true;
-  } catch (const std::exception& e) {
-    failed = true;
-    failure = e.what();
-  }
-  if (watchdog.joinable()) {
-    {
-      std::scoped_lock lock(wd_m);
-      batch_done = true;
+  std::string failure;
+  std::string comm_error;
+  bool cache_hit = false;
+  double solve_total = 0.0;
+  const auto t_solve0 = Clock::now();
+  int attempt = 0;
+
+  for (;; ++attempt) {
+    comm_error.clear();
+    std::shared_ptr<const core::EddOperatorState> op;
+    bool hit = false;
+    try {
+      std::tie(op, hit) = cache_.get_or_build(key, *team_, trace_.get());
+    } catch (const par::CommError& e) {
+      comm_error = e.what();  // the build itself died on the wire: retryable
+    } catch (const std::exception& e) {
+      failed = true;
+      failure = std::string("operator build failed: ") + e.what();
+      break;
     }
-    wd_cv.notify_one();
-    watchdog.join();
+    if (attempt == 0) {
+      cache_hit = hit;
+      std::scoped_lock lock(m_);
+      if (hit)
+        ++stats_.cache_hits;
+      else
+        ++stats_.cache_misses;
+    }
+
+    if (comm_error.empty()) {
+      // Deadline watchdog: one helper thread armed with the batch's
+      // earliest deadline; it either gets signalled when the solve
+      // finishes or fires team cancel, unwinding every rank through the
+      // abort path.  Joined before the attempt resolves, so a late
+      // cancel can never leak into a later attempt or batch (Team::run
+      // also clears any stale cancel on entry).
+      std::mutex wd_m;
+      std::condition_variable wd_cv;
+      bool batch_done = false;
+      std::thread watchdog;
+      if (min_deadline)
+        watchdog = std::thread([&] {
+          std::unique_lock lock(wd_m);
+          if (!wd_cv.wait_until(lock, *min_deadline,
+                                [&] { return batch_done; }))
+            team_->cancel();
+        });
+
+      const auto t0 = Clock::now();
+      try {
+        result =
+            core::solve_edd_batch(*team_, *part, *op, rhs, opts, trace_.get());
+      } catch (const par::Cancelled&) {
+        was_cancelled = true;
+      } catch (const std::exception& e) {
+        failed = true;
+        failure = e.what();
+      }
+      if (watchdog.joinable()) {
+        {
+          std::scoped_lock lock(wd_m);
+          batch_done = true;
+        }
+        wd_cv.notify_one();
+        watchdog.join();
+      }
+      solve_total += seconds_between(t0, Clock::now());
+      if (failed || was_cancelled) break;
+      if (!result.comm_failed()) break;  // solved (or typed per-RHS stall)
+      comm_error = result.comm_error;
+    }
+
+    {
+      std::scoped_lock lock(m_);
+      ++stats_.comm_failures;
+    }
+    if (attempt + 1 >= max_attempts) break;  // policy exhausted
+
+    // Backoff, interruptible by shutdown (never sleep past a close).
+    const double delay = fault::backoff_seconds(
+        cfg_.retry.base_backoff_seconds, cfg_.retry.max_backoff_seconds,
+        attempt, jitter_seed);
+    const auto b0 = Clock::now();
+    bool shutting_down;
+    {
+      std::unique_lock lock(m_);
+      ++stats_.retries;
+      shutting_down =
+          pause_cv_.wait_for(lock, std::chrono::duration<double>(delay),
+                             [&] { return !accepting_; });
+    }
+    if (aux != nullptr)
+      aux->span_at("retry", obs::Cat::Fault, aux->to_ns(b0),
+                   aux->to_ns(Clock::now()),
+                   static_cast<std::uint32_t>(batch.front().id));
+    if (shutting_down) break;  // resolves as the typed comm failure below
+
+    // A client cancel that landed while the attempt was failing or
+    // during the backoff cancels the batch instead of retrying it.
+    {
+      std::scoped_lock lock(m_);
+      if (!running_cancelled_.empty()) was_cancelled = true;
+    }
+    if (was_cancelled) break;
+
+    // Fresh team for the retry: the failed one may hold a dead rank.
+    // Swapped under m_ so cancel()'s team_->cancel() never races the
+    // replacement.  The operator cache is team-independent, so the
+    // rebuilt state (or the cached one) is reused, not rebuilt per try.
+    std::scoped_lock lock(m_);
+    team_ = make_team();
   }
-  const double solve_s = seconds_between(t0, Clock::now());
 
   std::vector<JobId> explicit_cancels;
   {
@@ -359,11 +446,15 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
     explicit_cancels = std::move(running_cancelled_);
     running_.clear();
     running_cancelled_.clear();
-    stats_.solve_seconds += solve_s;
+    stats_.solve_seconds += solve_total;
   }
 
   if (failed) {
-    for (auto& j : batch) resolve(j, Failed{failure});
+    for (auto& j : batch) {
+      Failed f;
+      f.error = failure;
+      resolve(j, std::move(f));
+    }
     return;
   }
   if (was_cancelled) {
@@ -384,6 +475,35 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
     return;
   }
 
+  if (!comm_error.empty()) {
+    // Graceful degradation: the retry policy is exhausted (or the
+    // service shut down mid-backoff).  Every member gets the typed comm
+    // failure plus its slice of the last attempt's partial reports —
+    // never a hang, never a silently dropped request.
+    const bool have_items = result.items.size() == rhs.size();
+    std::size_t offset = 0;
+    for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+      PendingJob& j = batch[bi];
+      const std::size_t n = counts[bi];
+      Failed f;
+      f.error = "communication failure after " + std::to_string(attempt + 1) +
+                " attempt(s): " + comm_error;
+      f.comm = true;
+      if (have_items)
+        f.partial.assign(
+            result.items.begin() + static_cast<std::ptrdiff_t>(offset),
+            result.items.begin() + static_cast<std::ptrdiff_t>(offset + n));
+      offset += n;
+      resolve(j, std::move(f));
+    }
+    return;
+  }
+
+  // Solved: stamp the retry count into the completed counters so the
+  // trace/counters cross-check can reconcile "retry" spans.
+  for (auto& c : result.rank_counters)
+    c.fault_retries = static_cast<std::uint64_t>(attempt);
+
   std::size_t offset = 0;
   for (std::size_t bi = 0; bi < batch.size(); ++bi) {
     PendingJob& j = batch[bi];
@@ -398,10 +518,10 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
                           result.items.begin() +
                               static_cast<std::ptrdiff_t>(offset + n));
     c.result.rank_counters = result.rank_counters;  // shared by the batch
-    c.result.wall_seconds = solve_s;
+    c.result.wall_seconds = solve_total;
     c.cache_hit = cache_hit;
-    c.queue_seconds = seconds_between(j.submit_time, t0);
-    c.solve_seconds = solve_s;
+    c.queue_seconds = seconds_between(j.submit_time, t_solve0);
+    c.solve_seconds = solve_total;
     offset += n;
     resolve(j, std::move(c));
   }

@@ -31,13 +31,28 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
+#include "par/comm.hpp"
 #include "svc/job_queue.hpp"
 #include "svc/operator_cache.hpp"
 #include "svc/request.hpp"
 #include "svc/stats.hpp"
 
 namespace pfem::svc {
+
+/// Bounded retry with exponential backoff for typed communication
+/// failures (an injected crash, a stalled rank hitting the comm
+/// timeout).  Attempt n sleeps fault::backoff_seconds(base, max, n,
+/// seed) — doubling, capped, with deterministic jitter from the
+/// request seed, so a failing request replays the same schedule.
+/// Each retry re-dispatches onto a *fresh* team; the operator cache is
+/// team-independent, so built state survives the swap.
+struct RetryPolicy {
+  int max_attempts = 1;  ///< total tries; 1 disables retry
+  double base_backoff_seconds = 0.005;
+  double max_backoff_seconds = 0.25;
+};
 
 struct ServiceConfig {
   int nranks = 4;                  ///< team size == partition parts
@@ -49,6 +64,16 @@ struct ServiceConfig {
   /// observe.ring_capacity sizes each lane's flight-recorder ring.  The
   /// per-request progress callback lives on each request instead.
   obs::ObserveOptions observe;
+  RetryPolicy retry;
+  /// Channel-wait deadline installed on the team (and on every retry
+  /// replacement); 0 disables.  With a timeout armed, a dead or stalled
+  /// peer surfaces as a typed comm failure instead of a hang.
+  double comm_timeout_seconds = 0.0;
+  /// Optional chaos hook: a seeded fault plan installed on the team
+  /// (must be generated for `nranks` ranks).  Not owned — it must
+  /// outlive the service.  Faults are one-shot, so retries march past
+  /// the fault that killed the previous attempt.
+  fault::FaultInjector* fault_injector = nullptr;
 };
 
 class Service {
@@ -128,9 +153,16 @@ class Service {
   void resolve(PendingJob& job, Outcome outcome);
   [[nodiscard]] Submitted reject_now(PendingJob job, RejectReason reason,
                                      std::string detail);
+  /// Build a team with the configured comm timeout and fault injector
+  /// armed — used at construction and for retry replacements.
+  [[nodiscard]] std::unique_ptr<par::Team> make_team() const;
 
   ServiceConfig cfg_;
-  par::Team team_;
+  /// unique_ptr so a retry can swap in a fresh team after a typed comm
+  /// failure (the old one may hold a tripped abort flag or a dead rank).
+  /// Replaced only by the scheduler thread, under m_ (cancel() pokes
+  /// team_->cancel() under the same lock).
+  std::unique_ptr<par::Team> team_;
   OperatorCache cache_;
   JobQueue<PendingJob> queue_;
   /// Service-lifetime trace: rank lanes written by the team during a

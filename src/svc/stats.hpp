@@ -24,6 +24,8 @@ struct ServiceStats {
   std::uint64_t cache_misses = 0;  ///< dispatches that had to build
   std::uint64_t batches = 0;       ///< scheduler dispatches (fused solves)
   std::uint64_t rhs_solved = 0;    ///< total RHS across completed requests
+  std::uint64_t comm_failures = 0; ///< attempts lost to typed comm faults
+  std::uint64_t retries = 0;       ///< re-dispatches onto a fresh team
   double solve_seconds = 0.0;      ///< wall time inside solve_edd_batch
 };
 

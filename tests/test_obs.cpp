@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <new>
 #include <optional>
@@ -231,6 +232,112 @@ TEST(Export, MergeOffsetsPids) {
     total += c;
   }
   EXPECT_EQ(total, 2u);
+}
+
+// ---- Malformed input ------------------------------------------------------
+//
+// The reader is fed files from disk (pfem_trace --check, merges of
+// third-party captures), so every rejection must be a diagnostic, never
+// a crash.
+
+TEST(MalformedInput, EveryTruncationOfAValidTraceIsRejectedWithADiagnostic) {
+  obs::Trace trace(2, 16);
+  trace.rank(0).span_at("solve", obs::Cat::Solve, 0, 1000);
+  trace.rank(1).span_at("solve", obs::Cat::Solve, 0, 900);
+  std::ostringstream os;
+  obs::chrome_trace_json(os, trace);
+  std::string full = os.str();
+
+  obs::io::TraceFile t;
+  std::string err;
+  ASSERT_TRUE(obs::io::parse_chrome_trace(full, t, err)) << err;
+  // A JSON document is only complete at its final non-whitespace byte:
+  // every shorter prefix must fail cleanly with a non-empty error.
+  while (!full.empty() && std::isspace(static_cast<unsigned char>(
+                              full.back())))
+    full.pop_back();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    obs::io::TraceFile part;
+    err.clear();
+    EXPECT_FALSE(obs::io::parse_chrome_trace(full.substr(0, len), part, err))
+        << "prefix of length " << len << " parsed";
+    EXPECT_FALSE(err.empty()) << "prefix of length " << len;
+  }
+}
+
+TEST(MalformedInput, MissingTraceEventsArrayIsRejected) {
+  obs::io::TraceFile t;
+  std::string err;
+  EXPECT_FALSE(obs::io::parse_chrome_trace("{\"pfem\":{}}", t, err));
+  EXPECT_NE(err.find("traceEvents"), std::string::npos) << err;
+}
+
+TEST(MalformedInput, MisNestedSpansAreRejectedByCheck) {
+  // Two spans on one lane that partially overlap: [0, 100) and [50, 150).
+  obs::io::TraceFile t;
+  obs::io::Event a;
+  a.name = "outer";
+  a.ts_us = 0.0;
+  a.dur_us = 100.0;
+  obs::io::Event b;
+  b.name = "straddler";
+  b.ts_us = 50.0;
+  b.dur_us = 100.0;
+  t.events = {a, b};
+  std::string err;
+  EXPECT_FALSE(obs::io::check(t, err));
+  EXPECT_NE(err.find("partially overlaps"), std::string::npos) << err;
+  EXPECT_NE(err.find("straddler"), std::string::npos) << err;
+}
+
+TEST(MalformedInput, DuplicateTrackMetadataIsRejectedByCheck) {
+  // Two process_name entries claiming the same (pid, tid) lane — the
+  // signature of a bad merge.
+  obs::io::TraceFile t;
+  obs::io::Event m;
+  m.name = "process_name";
+  m.ph = 'M';
+  m.pid = 3;
+  m.tid = 0;
+  m.process_name = "rank 3";
+  t.events = {m, m};
+  std::string err;
+  EXPECT_FALSE(obs::io::check(t, err));
+  EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+  EXPECT_NE(err.find("pid 3"), std::string::npos) << err;
+}
+
+TEST(MalformedInput, DistinctMetadataNamesMaySharePidTid) {
+  // process_name + thread_name on the same lane is the normal Chrome
+  // idiom and must stay valid.
+  obs::io::TraceFile t;
+  obs::io::Event p;
+  p.name = "process_name";
+  p.ph = 'M';
+  p.pid = 1;
+  p.process_name = "rank 1";
+  obs::io::Event th = p;
+  th.name = "thread_name";
+  t.events = {p, th};
+  std::string err;
+  EXPECT_TRUE(obs::io::check(t, err)) << err;
+}
+
+TEST(MalformedInput, BadPhaseAndNegativeDurationAreRejectedByCheck) {
+  obs::io::TraceFile t;
+  obs::io::Event e;
+  e.name = "weird";
+  e.ph = 'Q';
+  t.events = {e};
+  std::string err;
+  EXPECT_FALSE(obs::io::check(t, err));
+  EXPECT_NE(err.find("unknown phase"), std::string::npos) << err;
+
+  e.ph = 'X';
+  e.dur_us = -1.0;
+  t.events = {e};
+  EXPECT_FALSE(obs::io::check(t, err));
+  EXPECT_NE(err.find("negative"), std::string::npos) << err;
 }
 
 // ---- The Table-1 oracle ---------------------------------------------------

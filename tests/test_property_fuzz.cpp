@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "core/cg.hpp"
 #include "core/diag_scaling.hpp"
+#include "core/edd_batch.hpp"
 #include "core/edd_solver.hpp"
 #include "core/fgmres.hpp"
 #include "core/rdd_solver.hpp"
@@ -117,6 +118,55 @@ TEST_P(FuzzSeed, AllSolversAgreeOnRandomProblem) {
   for (std::size_t i = 0; i < edd.x.size(); ++i) {
     EXPECT_NEAR(rdd.x[i], edd.x[i], 1e-5 * scale) << "seed " << GetParam();
     EXPECT_NEAR(cg.x[i], edd.x[i], 1e-5 * scale) << "seed " << GetParam();
+  }
+}
+
+TEST_P(FuzzSeed, FusedBatchMatchesPerRhsSolves) {
+  // The loop-fused multi-RHS sweep shares messages and allreduces across
+  // the batch, but each RHS's arithmetic must be the one the standalone
+  // enhanced solver performs: identical iteration counts and residual
+  // histories, not just "both converge".
+  FuzzCase c = make_case(GetParam());
+  const partition::EddPartition part = exp::make_edd(c.prob, c.nparts);
+  core::PolySpec poly;
+  poly.degree = static_cast<int>(c.rng.uniform_index(1, 8));
+  core::SolveOptions opts;
+  opts.tol = 1e-9;
+  opts.max_iters = 50000;
+
+  const std::size_t n = static_cast<std::size_t>(part.n_global);
+  std::vector<Vector> rhs(1 + GetParam() % 3);
+  rhs[0] = c.prob.load;
+  for (std::size_t b = 1; b < rhs.size(); ++b) {
+    rhs[b].resize(n);
+    for (real_t& v : rhs[b]) v = c.rng.normal();
+  }
+
+  par::Team team(part.nparts());
+  const core::EddOperatorState op = core::build_edd_operator(team, part, poly);
+  const core::BatchSolveResult batch =
+      core::solve_edd_batch(team, part, op, rhs, opts);
+  ASSERT_FALSE(batch.comm_failed()) << batch.comm_error;
+  ASSERT_EQ(batch.items.size(), rhs.size());
+
+  for (std::size_t b = 0; b < rhs.size(); ++b) {
+    const auto single = core::solve_edd(part, rhs[b], poly, opts);
+    const auto& item = batch.items[b];
+    ASSERT_EQ(item.converged, single.converged)
+        << "seed " << GetParam() << " rhs " << b;
+    ASSERT_EQ(item.iterations, single.iterations)
+        << "seed " << GetParam() << " rhs " << b;
+    EXPECT_NEAR(item.final_relres, single.final_relres, 1e-12)
+        << "seed " << GetParam() << " rhs " << b;
+    ASSERT_EQ(item.history.size(), single.history.size());
+    for (std::size_t it = 0; it < item.history.size(); ++it)
+      EXPECT_NEAR(item.history[it], single.history[it], 1e-12)
+          << "seed " << GetParam() << " rhs " << b << " iter " << it;
+    const real_t scale = la::nrm_inf(single.x) + 1e-30;
+    ASSERT_EQ(batch.x[b].size(), single.x.size());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(batch.x[b][i], single.x[i], 1e-10 * scale)
+          << "seed " << GetParam() << " rhs " << b;
   }
 }
 

@@ -18,6 +18,15 @@
 // "exchange" span at the site that bumps the counter, so the two
 // pipelines must agree rank by rank (unless the flight-recorder ring
 // dropped records, which the footer reports).
+//
+// When the counters carry a "fault" object (chaos runs), the same
+// argument extends to injected faults: every fired fault stamps one
+// fault_* span at the site that bumps its counter.  The trace outlives
+// failed attempts while counters survive only from the attempt that
+// completed, so the invariant is counter <= span count rank by rank —
+// tightening to exact equality on a retry-free, drop-free run.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -160,6 +169,63 @@ int do_counters(const std::string& counters_path,
   if (rc == 0)
     std::cout << "exchange counts agree (" << ranks.arr.size()
               << " ranks)\n";
+
+  // Fault cross-check — only when the counters carry the "fault" object
+  // (older captures predate it).  Counters from a retried solve keep
+  // only the completed attempt while the trace logged every attempt, so
+  // equality is required only on retry-free runs; otherwise the counter
+  // must not exceed the spans.
+  if (!ranks.arr.front().at("fault").is(Json::Type::Object)) return rc;
+  struct FaultKind {
+    const char* counter;  ///< key inside the per-rank "fault" object
+    const char* span;     ///< the span every firing of it stamps
+  };
+  static constexpr FaultKind kFaults[] = {
+      {"delays", "fault_delay"},     {"drops", "fault_drop"},
+      {"dups", "fault_dup"},         {"stalls", "fault_stall"},
+      {"crashes", "fault_crash"},    {"timeouts", "fault_timeout"},
+  };
+  std::uint64_t total_retries = 0;
+  bool any_retries = false;
+  for (const Json& rank : ranks.arr) {
+    const auto retries = static_cast<std::uint64_t>(
+        rank.at("fault").at("retries").num_or(0.0));
+    total_retries = std::max(total_retries, retries);
+    any_retries |= retries > 0;
+  }
+  for (const FaultKind& k : kFaults) {
+    const auto spans_by_pid = pfem::obs::io::count_by_pid(t, k.span);
+    for (std::size_t r = 0; r < ranks.arr.size(); ++r) {
+      const auto counted = static_cast<std::uint64_t>(
+          ranks.arr[r].at("fault").at(k.counter).num_or(0.0));
+      const std::uint64_t traced =
+          r < spans_by_pid.size() ? spans_by_pid[r] : 0;
+      const bool lax = any_retries || t.dropped > 0;
+      const bool match = lax ? counted <= traced : counted == traced;
+      if (counted != 0 || traced != 0 || !match)
+        std::printf("  rank %zu %-14s counters=%llu trace=%llu %s\n", r,
+                    k.span, static_cast<unsigned long long>(counted),
+                    static_cast<unsigned long long>(traced),
+                    match ? "OK" : "MISMATCH");
+      if (!match) rc = 1;
+    }
+  }
+  // Every service re-dispatch stamps one "retry" span on the aux lane,
+  // and the completed attempt's counters carry the final retry count on
+  // every rank — the spans can only exceed the counters when the trace
+  // spans more batches than the counters do.
+  std::uint64_t retry_spans = 0;
+  for (const std::uint64_t c : pfem::obs::io::count_by_pid(t, "retry"))
+    retry_spans += c;
+  if (total_retries > 0 || retry_spans > 0) {
+    const bool match = total_retries <= retry_spans;
+    std::printf("  retries: counters=%llu trace=%llu %s\n",
+                static_cast<unsigned long long>(total_retries),
+                static_cast<unsigned long long>(retry_spans),
+                match ? "OK" : "MISMATCH");
+    if (!match) rc = 1;
+  }
+  if (rc == 0) std::cout << "fault counts agree\n";
   return rc;
 }
 
