@@ -93,6 +93,7 @@ namespace {
 
 using detail::DistPoly;
 using detail::EddRank;
+using detail::spmv_exchange;
 using detail::sqrt_nonneg;
 using partition::EddPartition;
 using partition::EddSubdomain;
@@ -117,20 +118,20 @@ void edd_bicgstab_rank(const EddPartition& part, const CsrMatrix& k_in,
   const std::size_t nl = r.nl();
 
   // Setup: identical to the other EDD solvers (Algorithms 3/4).
-  CsrMatrix a = k_in;
   Vector f_loc(nl);
   for (std::size_t l = 0; l < nl; ++l)
     f_loc[l] =
         f_global[static_cast<std::size_t>(sub.local_to_global[l])] /
         static_cast<real_t>(sub.multiplicity[l]);
-  Vector d = a.row_norms1();
-  r.counters().flops += static_cast<std::uint64_t>(a.nnz());
+  Vector d = k_in.row_norms1();
+  r.counters().flops += static_cast<std::uint64_t>(k_in.nnz());
   r.exchange(d);
   for (std::size_t l = 0; l < nl; ++l) {
     PFEM_CHECK_MSG(d[l] > 0.0, "norm-1 scaling: zero row");
     d[l] = 1.0 / std::sqrt(d[l]);
   }
-  a.scale_symmetric(d);
+  const RankKernel a(k_in, Vector(d), sub.interface_local_dofs, opts.kernels);
+  r.counters().flops += 2ull * static_cast<std::uint64_t>(k_in.nnz());
   Vector b_glob(nl);
   for (std::size_t l = 0; l < nl; ++l) b_glob[l] = d[l] * f_loc[l];
   r.exchange(b_glob);  // rhs in global format once and for all
@@ -138,12 +139,10 @@ void edd_bicgstab_rank(const EddPartition& part, const CsrMatrix& k_in,
   DistPoly poly(spec, nl, &r.counters());
   out.setup_counters[static_cast<std::size_t>(rank)] = comm.counters();
 
-  // Distributed mat-vec: global -> global (one exchange).
-  Vector mv_loc(nl);
+  // Distributed mat-vec: global -> global (one exchange, overlapped with
+  // the interior block when the kernel is split).
   auto matvec = [&](std::span<const real_t> in, std::span<real_t> res) {
-    r.spmv(a, in, mv_loc);
-    la::copy(mv_loc, res);
-    r.exchange(res);
+    spmv_exchange(r, a, in, res);
   };
 
   // All vectors in global distributed format.
@@ -233,6 +232,8 @@ DistSolveResult solve_edd_bicgstab(
     const PolySpec& spec, const SolveOptions& opts,
     const std::vector<sparse::CsrMatrix>* local_matrices) {
   PFEM_CHECK(f_global.size() == static_cast<std::size_t>(part.n_global));
+  PFEM_CHECK_MSG(opts.max_iters >= 1 && opts.tol > 0.0,
+                 "solve_edd_bicgstab: need max_iters >= 1 and tol > 0");
   validate_poly_spec(spec);
   if (local_matrices != nullptr)
     PFEM_CHECK(local_matrices->size() == part.subs.size());

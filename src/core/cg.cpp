@@ -58,6 +58,7 @@ SolveResult pcg(const LinearOp& a, std::span<const real_t> b,
 
     precond.apply(r, z);
     const real_t rho_new = la::dot(r, z);
+    if (rho == 0.0) break;  // <r,z> underflowed to zero: stagnated search
     const real_t beta = rho_new / rho;
     rho = rho_new;
     la::axpby(1.0, z, beta, p);  // p = z + beta p
@@ -104,21 +105,21 @@ void edd_cg_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
   const std::size_t nl = r.nl();
 
   // ---- Setup: identical to the FGMRES path (Algorithms 3/4).
-  CsrMatrix a = k_in;
   Vector f_loc(nl);
   for (std::size_t l = 0; l < nl; ++l)
     f_loc[l] =
         f_global[static_cast<std::size_t>(sub.local_to_global[l])] /
         static_cast<real_t>(sub.multiplicity[l]);
-  Vector d = a.row_norms1();
-  r.counters().flops += static_cast<std::uint64_t>(a.nnz());
+  Vector d = k_in.row_norms1();
+  r.counters().flops += static_cast<std::uint64_t>(k_in.nnz());
   r.exchange(d);
   for (std::size_t l = 0; l < nl; ++l) {
     PFEM_CHECK_MSG(d[l] > 0.0, "norm-1 scaling: zero row");
     d[l] = 1.0 / std::sqrt(d[l]);
   }
-  a.scale_symmetric(d);
-  r.counters().flops += 2ull * static_cast<std::uint64_t>(a.nnz());
+  const RankKernel a(k_in, Vector(d), sub.interface_local_dofs,
+                     opts.kernels);
+  r.counters().flops += 2ull * static_cast<std::uint64_t>(k_in.nnz());
   Vector b_loc(nl);
   for (std::size_t l = 0; l < nl; ++l) b_loc[l] = d[l] * f_loc[l];
 
@@ -169,6 +170,7 @@ void edd_cg_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
 
       poly.apply_global(r, a, r_glob, z);  // m exchanges
       const real_t rho_new = r.dot_lg(r_loc, z);
+      if (rho == 0.0) break;  // underflowed inner product: stagnated
       const real_t beta = rho_new / rho;
       rho = rho_new;
       la::axpby(1.0, z, beta, p);
@@ -205,6 +207,8 @@ DistSolveResult solve_edd_cg(const EddPartition& part,
                              const PolySpec& spec, const SolveOptions& opts,
                              const std::vector<sparse::CsrMatrix>* local_matrices) {
   PFEM_CHECK(f_global.size() == static_cast<std::size_t>(part.n_global));
+  PFEM_CHECK_MSG(opts.max_iters >= 1 && opts.tol > 0.0,
+                 "solve_edd_cg: max_iters must be >= 1 and tol > 0");
   validate_poly_spec(spec);
   if (local_matrices != nullptr)
     PFEM_CHECK(local_matrices->size() == part.subs.size());

@@ -20,6 +20,32 @@ using detail::DistPoly;
 using detail::EddRank;
 using detail::sqrt_nonneg;
 
+/// Fused analog of detail::spmv_exchange: ŷ_i = Â x̂_i for every RHS,
+/// then ONE fused exchange globalizing the outputs.  With a split kernel
+/// the coupled rows of every RHS are computed first, the fused sends go
+/// out, the interior rows of every RHS fill in while messages fly, and
+/// the folds land last — still exactly one logical exchange and one
+/// matvec per RHS.
+void batch_spmv_exchange(EddRank& r, const RankKernel& a,
+                         std::span<Vector* const> xs,
+                         std::span<Vector* const> ys) {
+  const std::size_t nb = xs.size();
+  if (a.split()) {
+    for (std::size_t i = 0; i < nb; ++i) a.apply_coupled(*xs[i], *ys[i]);
+    r.exchange_many_start(ys);
+    for (std::size_t i = 0; i < nb; ++i) {
+      OBS_SPAN(r.comm().tracer(), "spmv", obs::Cat::Matvec);
+      a.apply_interior(*xs[i], *ys[i]);
+      r.counters().matvecs += 1;
+      r.counters().flops += a.apply_flops();
+    }
+    r.exchange_many_finish(ys);
+  } else {
+    for (std::size_t i = 0; i < nb; ++i) r.spmv(a, *xs[i], *ys[i]);
+    r.exchange_many(ys);
+  }
+}
+
 /// Loop-fused polynomial application z_b = P_m(A) v_b for a set of RHS:
 /// the recursions advance in lockstep so each of the m steps does one
 /// SpMV per RHS but only ONE fused neighbor exchange (global-format
@@ -32,10 +58,11 @@ class BatchPoly {
     wb_.assign(nb, Vector(nl));
     wc_.assign(nb, Vector(nl));
     ex_.reserve(nb);
+    exin_.reserve(nb);
   }
 
   /// vin[i] -> zout[i] for i in [0, count); scratch row i serves input i.
-  void apply(EddRank& r, const CsrMatrix& a,
+  void apply(EddRank& r, const RankKernel& a,
              std::span<const Vector* const> vin, std::span<Vector* const> zout) {
     const std::size_t nb = vin.size();
     const std::size_t n = r.nl();
@@ -48,11 +75,12 @@ class BatchPoly {
         for (std::size_t i = 0; i < nb; ++i) la::copy(*vin[i], wa_[i]);
         for (int k = 0; k < spec_.degree; ++k) {
           ex_.clear();
+          exin_.clear();
           for (std::size_t i = 0; i < nb; ++i) {
-            r.spmv(a, wa_[i], wb_[i]);
+            exin_.push_back(&wa_[i]);
             ex_.push_back(&wb_[i]);
           }
-          r.exchange_many(ex_);
+          batch_spmv_exchange(r, a, exin_, ex_);
           for (std::size_t i = 0; i < nb; ++i) {
             const Vector& v = *vin[i];
             Vector& w = wa_[i];
@@ -87,11 +115,12 @@ class BatchPoly {
         }
         for (int s = 0; s < spec_.degree; ++s) {
           ex_.clear();
+          exin_.clear();
           for (std::size_t i = 0; i < nb; ++i) {
-            r.spmv(a, wb_[i], wc_[i]);
+            exin_.push_back(&wb_[i]);
             ex_.push_back(&wc_[i]);
           }
-          r.exchange_many(ex_);
+          batch_spmv_exchange(r, a, exin_, ex_);
           const real_t as = basis.alpha(s);
           const real_t sb_s = basis.sqrt_beta(s);
           const real_t sb_n = basis.sqrt_beta(s + 1);
@@ -135,11 +164,12 @@ class BatchPoly {
         }
         for (int k = 1; k <= spec_.degree; ++k) {
           ex_.clear();
+          exin_.clear();
           for (std::size_t i = 0; i < nb; ++i) {
-            r.spmv(a, wb_[i], wc_[i]);
+            exin_.push_back(&wb_[i]);
             ex_.push_back(&wc_[i]);
           }
-          r.exchange_many(ex_);
+          batch_spmv_exchange(r, a, exin_, ex_);
           const real_t rho_next = 1.0 / (2.0 * sigma1 - rho);
           const real_t c1 = rho_next * rho;
           const real_t c2 = 2.0 * rho_next / delta;
@@ -168,7 +198,8 @@ class BatchPoly {
   const GlsPolynomial* gls_;
   const ChebyshevPolynomial* cheb_;
   std::vector<Vector> wa_, wb_, wc_;  // per-RHS recursion scratch
-  std::vector<Vector*> ex_;           // fused-exchange view
+  std::vector<Vector*> ex_;           // fused-exchange view (outputs)
+  std::vector<Vector*> exin_;         // fused-exchange view (inputs)
 };
 
 /// Shared output of a batch solve, written per rank / by rank 0.
@@ -182,13 +213,25 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
                       par::Comm& comm, BatchShared& out) {
   const int s = comm.rank();
   const EddSubdomain& sub = part.subs[static_cast<std::size_t>(s)];
-  EddRank r(sub, comm);
+  const std::size_t nb = rhs.size();
+  EddRank r(sub, comm, nb);  // buffers preposted for the fused batch width
   obs::Tracer* const tr = comm.tracer();
   const std::size_t nl = r.nl();
-  const std::size_t nb = rhs.size();
   const index_t m = opts.restart;
-  const CsrMatrix& a = op.a[static_cast<std::size_t>(s)];
   const Vector& d = op.d[static_cast<std::size_t>(s)];
+  // Prebuilt kernels when the state came from build_edd_operator; a
+  // hand-assembled state falls back to a scalar-CSR view of op.a.
+  std::optional<RankKernel> fallback_kern;
+  if (op.kern.size() != part.subs.size()) {
+    KernelOptions fb;
+    fb.format = KernelOptions::Format::Csr;
+    fb.overlap = false;
+    fallback_kern = RankKernel::from_scaled(
+        &op.a[static_cast<std::size_t>(s)], sub.interface_local_dofs, fb);
+  }
+  const RankKernel& a = fallback_kern
+                            ? *fallback_kern
+                            : op.kern[static_cast<std::size_t>(s)];
   OBS_SPAN(tr, "solve_batch", obs::Cat::Solve,
            static_cast<std::uint32_t>(nb));
 
@@ -374,7 +417,7 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
             opts.observe.progress(iters[b], relres[b], b);
         }
         jcols[b] = j + 1;
-        if (hnext <= 1e-14 * beta0[b]) {
+        if (hnext == 0.0 || hnext <= 1e-14 * beta0[b]) {
           frozen[b] = 1;
           brk[b] = 1;
           continue;
@@ -442,7 +485,8 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
 
 EddOperatorState build_edd_operator(
     par::Team& team, const partition::EddPartition& part, const PolySpec& spec,
-    const std::vector<sparse::CsrMatrix>* local_matrices, obs::Trace* trace) {
+    const std::vector<sparse::CsrMatrix>* local_matrices, obs::Trace* trace,
+    const KernelOptions& kernels) {
   validate_poly_spec(spec);
   PFEM_CHECK_MSG(team.size() == part.nparts(),
                  "build_edd_operator: team size " << team.size()
@@ -454,8 +498,10 @@ EddOperatorState build_edd_operator(
   WallTimer timer;
   EddOperatorState op;
   op.poly = spec;
+  op.kernels = kernels;
   op.a.resize(p);
   op.d.resize(p);
+  op.kern.resize(p);
   op.setup_counters = team.run(
       [&](par::Comm& comm) {
         const auto s = static_cast<std::size_t>(comm.rank());
@@ -471,6 +517,12 @@ EddOperatorState build_edd_operator(
           PFEM_CHECK_MSG(d[l] > 0.0, "norm-1 scaling: zero row");
           d[l] = 1.0 / std::sqrt(d[l]);
         }
+        // Kernels are built from the UNSCALED matrix: the Sell format
+        // keeps the raw entries and fuses D into every apply, the Csr
+        // format scales its private copy eagerly.  op.a keeps the
+        // scaled CSR alongside for callers that inspect it.
+        op.kern[s] = RankKernel(a, Vector(d), sub.interface_local_dofs,
+                                kernels);
         a.scale_symmetric(d);  // Â = D̂ K̂ D̂ (Eq. 44)
         r.counters().flops += 2ull * static_cast<std::uint64_t>(a.nnz());
         op.a[s] = std::move(a);
@@ -499,6 +551,9 @@ BatchSolveResult solve_edd_batch(par::Team& team, const EddPartition& part,
                                  std::span<const Vector> rhs,
                                  const SolveOptions& opts, obs::Trace* trace) {
   PFEM_CHECK_MSG(!rhs.empty(), "solve_edd_batch: empty RHS batch");
+  PFEM_CHECK_MSG(opts.restart >= 1 && opts.max_iters >= 1 && opts.tol > 0.0,
+                 "solve_edd_batch: restart/max_iters must be >= 1 and "
+                 "tol > 0");
   PFEM_CHECK_MSG(team.size() == part.nparts(),
                  "solve_edd_batch: team size " << team.size()
                  << " != partition parts " << part.nparts());

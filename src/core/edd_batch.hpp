@@ -27,6 +27,7 @@
 
 #include "core/chebyshev.hpp"
 #include "core/edd_solver.hpp"
+#include "core/kernels.hpp"
 #include "core/gls_poly.hpp"
 #include "par/comm.hpp"
 
@@ -38,6 +39,11 @@ struct EddOperatorState {
   PolySpec poly;                   ///< the spec the preconditioner was built for
   std::vector<sparse::CsrMatrix> a;  ///< per-rank Â = D̂ K̂ D̂ (Eq. 44)
   std::vector<Vector> d;             ///< per-rank scaling 1/sqrt(d_i) (Eq. 43)
+  KernelOptions kernels;             ///< format/overlap the kernels were built for
+  /// Per-rank apply kernels (SELL-C-σ blocks or scalar CSR, interior/
+  /// interface split per `kernels`).  A state without them (hand-built)
+  /// falls back to a scalar-CSR view of `a` at solve time.
+  std::vector<RankKernel> kern;
   /// Prebuilt polynomial recursion data (shared read-only by all ranks;
   /// null for kinds that need none).
   std::shared_ptr<const GlsPolynomial> gls;
@@ -57,7 +63,7 @@ struct EddOperatorState {
     par::Team& team, const partition::EddPartition& part,
     const PolySpec& spec,
     const std::vector<sparse::CsrMatrix>* local_matrices = nullptr,
-    obs::Trace* trace = nullptr);
+    obs::Trace* trace = nullptr, const KernelOptions& kernels = {});
 
 /// Per-RHS outcome of a batch solve — the same unified report shape as
 /// every other solver path (with per-iteration residual history, written

@@ -1,5 +1,6 @@
 // Internal rank-local kernels shared by the EDD solvers (FGMRES and CG):
-// the nearest-neighbor exchange, distributed inner products in the two
+// the nearest-neighbor exchange (monolithic and split into start/finish
+// halves for compute overlap), distributed inner products in the two
 // vector formats, and the distributed polynomial application
 // (Algorithm 7 generalized to Neumann and GLS, in both the local- and
 // global-format disciplines).  Not part of the public API.
@@ -13,6 +14,7 @@
 #include "core/chebyshev.hpp"
 #include "core/edd_solver.hpp"
 #include "core/gls_poly.hpp"
+#include "core/kernels.hpp"
 #include "core/neumann.hpp"
 #include "la/vector_ops.hpp"
 #include "par/comm.hpp"
@@ -31,22 +33,31 @@ inline constexpr int kExchangeTag = 0;
 
 /// sqrt clamped at zero: distributed ⟨x_loc, x_glob⟩ equals ‖x‖² only in
 /// exact arithmetic — near convergence the cross-format partial sums can
-/// round to a tiny negative value.
+/// round to a tiny negative value.  Callers must treat an exactly-zero
+/// result as a zero vector (happy breakdown), never divide by it.
 inline real_t sqrt_nonneg(real_t v) { return v > 0.0 ? std::sqrt(v) : 0.0; }
 
 /// Rank-local helper: exchange, distributed inner products, counting.
 class EddRank {
  public:
-  EddRank(const EddSubdomain& sub, par::Comm& comm)
-      : sub_(sub), comm_(comm), nl_(static_cast<std::size_t>(sub.n_local())) {
+  /// `max_batch` is the widest fused exchange this rank will run (the
+  /// solver's RHS batch width); buffers are preposted for it so the
+  /// per-iteration resizes below never allocate.
+  EddRank(const EddSubdomain& sub, par::Comm& comm, std::size_t max_batch = 1)
+      : sub_(sub),
+        comm_(comm),
+        nl_(static_cast<std::size_t>(sub.n_local())),
+        max_batch_(std::max<std::size_t>(max_batch, 1)) {
     // Prepost the exchange buffers: capacities are fixed by the neighbor
-    // lists, so the per-iteration resizes below never allocate.
+    // lists TIMES the configured batch width, so neither the single-RHS
+    // nor the fused multi-RHS exchange ever allocates per iteration.
     std::size_t max_shared = 0;
     for (const auto& nb : sub_.neighbors)
       max_shared = std::max(max_shared, nb.shared_local_dofs.size());
-    send_buf_.reserve(max_shared);
-    recv_buf_.reserve(max_shared);
+    send_buf_.reserve(max_shared * max_batch_);
+    recv_buf_.reserve(max_shared * max_batch_);
     buf_.reserve(sub_.interface_local_dofs.size());
+    fused_buf_.reserve(sub_.interface_local_dofs.size() * max_batch_);
   }
 
   [[nodiscard]] std::size_t nl() const noexcept { return nl_; }
@@ -71,40 +82,33 @@ class EddRank {
     // the paper's Table 1 per-iteration exchange counts).
     OBS_SPAN(comm_.tracer(), "exchange", obs::Cat::Exchange);
     counters().neighbor_exchanges += 1;
-    for (const auto& nb : sub_.neighbors) {
-      send_buf_.resize(nb.shared_local_dofs.size());
-      for (std::size_t k = 0; k < nb.shared_local_dofs.size(); ++k)
-        send_buf_[k] = v[static_cast<std::size_t>(nb.shared_local_dofs[k])];
-      comm_.send(nb.rank, kExchangeTag, send_buf_);
-    }
-    // Stash own interface contributions and zero them, then fold all
-    // sharers' contributions in ascending rank order.
-    buf_.resize(sub_.interface_local_dofs.size());
-    for (std::size_t k = 0; k < sub_.interface_local_dofs.size(); ++k) {
-      const auto l = static_cast<std::size_t>(sub_.interface_local_dofs[k]);
-      buf_[k] = v[l];
-      v[l] = 0.0;
-    }
-    bool own_added = sub_.neighbors.empty();
-    auto add_own = [&] {
-      // The own-contribution fold is the same work as a neighbor fold —
-      // account its flops symmetrically.
-      for (std::size_t k = 0; k < sub_.interface_local_dofs.size(); ++k)
-        v[static_cast<std::size_t>(sub_.interface_local_dofs[k])] += buf_[k];
-      counters().flops += sub_.interface_local_dofs.size();
-      own_added = true;
-    };
-    if (own_added) add_own();
-    for (const auto& nb : sub_.neighbors) {  // sorted by rank
-      if (!own_added && nb.rank > comm_.rank()) add_own();
-      recv_buf_.resize(nb.shared_local_dofs.size());
-      comm_.recv(nb.rank, kExchangeTag,
-                 std::span<real_t>(recv_buf_.data(), recv_buf_.size()));
-      for (std::size_t k = 0; k < nb.shared_local_dofs.size(); ++k)
-        v[static_cast<std::size_t>(nb.shared_local_dofs[k])] += recv_buf_[k];
-      counters().flops += recv_buf_.size();
-    }
-    if (!own_added) add_own();
+    post_sends(v);
+    stash_and_zero(v);
+    fold(v);
+  }
+
+  /// First half of exchange(): post the sends and stash-and-zero the
+  /// interface entries of v, then return with the messages in flight.
+  /// The caller may do any work that neither reads nor writes v's
+  /// interface entries — in particular the interior-row block of the
+  /// split operator — before calling exchange_finish(v).  The
+  /// neighbor_exchanges counter is charged here (the exchange logically
+  /// begins now); the matching "exchange" span is emitted by the finish
+  /// half, so a trace still carries exactly one per logical exchange.
+  void exchange_start(std::span<real_t> v) {
+    PFEM_DEBUG_CHECK(v.size() == nl_);
+    counters().neighbor_exchanges += 1;
+    post_sends(v);
+    stash_and_zero(v);
+  }
+
+  /// Second half: drain the receives and fold all contributions in the
+  /// same ascending-rank order as the monolithic exchange — the result
+  /// is bit-identical regardless of how much compute ran in between.
+  void exchange_finish(std::span<real_t> v) {
+    PFEM_DEBUG_CHECK(v.size() == nl_);
+    OBS_SPAN(comm_.tracer(), "exchange", obs::Cat::Exchange);
+    fold(v);
   }
 
   /// Fused form of exchange(): one ⊕Σ round for `vs.size()` vectors at
@@ -124,54 +128,35 @@ class EddRank {
     OBS_SPAN(comm_.tracer(), "exchange", obs::Cat::Exchange,
              static_cast<std::uint32_t>(nb));
     counters().neighbor_exchanges += 1;
-    for (const auto& nb_it : sub_.neighbors) {
-      const std::size_t ns = nb_it.shared_local_dofs.size();
-      send_buf_.resize(nb * ns);
-      for (std::size_t b = 0; b < nb; ++b) {
-        const Vector& v = *vs[b];
-        for (std::size_t k = 0; k < ns; ++k)
-          send_buf_[b * ns + k] =
-              v[static_cast<std::size_t>(nb_it.shared_local_dofs[k])];
-      }
-      comm_.send(nb_it.rank, kExchangeTag, send_buf_);
+    post_sends_many(vs);
+    stash_and_zero_many(vs);
+    fold_many(vs);
+  }
+
+  /// Split halves of exchange_many(), same contract as exchange_start/
+  /// exchange_finish but for a fused batch.
+  void exchange_many_start(std::span<Vector* const> vs) {
+    const std::size_t nb = vs.size();
+    if (nb == 0) return;
+    if (nb == 1) {
+      exchange_start(*vs[0]);
+      return;
     }
-    const std::size_t ni = sub_.interface_local_dofs.size();
-    fused_buf_.resize(nb * ni);
-    for (std::size_t b = 0; b < nb; ++b) {
-      Vector& v = *vs[b];
-      for (std::size_t k = 0; k < ni; ++k) {
-        const auto l = static_cast<std::size_t>(sub_.interface_local_dofs[k]);
-        fused_buf_[b * ni + k] = v[l];
-        v[l] = 0.0;
-      }
+    counters().neighbor_exchanges += 1;
+    post_sends_many(vs);
+    stash_and_zero_many(vs);
+  }
+
+  void exchange_many_finish(std::span<Vector* const> vs) {
+    const std::size_t nb = vs.size();
+    if (nb == 0) return;
+    if (nb == 1) {
+      exchange_finish(*vs[0]);
+      return;
     }
-    bool own_added = sub_.neighbors.empty();
-    auto add_own = [&] {
-      for (std::size_t b = 0; b < nb; ++b) {
-        Vector& v = *vs[b];
-        for (std::size_t k = 0; k < ni; ++k)
-          v[static_cast<std::size_t>(sub_.interface_local_dofs[k])] +=
-              fused_buf_[b * ni + k];
-      }
-      counters().flops += nb * ni;
-      own_added = true;
-    };
-    if (own_added) add_own();
-    for (const auto& nb_it : sub_.neighbors) {  // sorted by rank
-      if (!own_added && nb_it.rank > comm_.rank()) add_own();
-      const std::size_t ns = nb_it.shared_local_dofs.size();
-      recv_buf_.resize(nb * ns);
-      comm_.recv(nb_it.rank, kExchangeTag,
-                 std::span<real_t>(recv_buf_.data(), recv_buf_.size()));
-      for (std::size_t b = 0; b < nb; ++b) {
-        Vector& v = *vs[b];
-        for (std::size_t k = 0; k < ns; ++k)
-          v[static_cast<std::size_t>(nb_it.shared_local_dofs[k])] +=
-              recv_buf_[b * ns + k];
-      }
-      counters().flops += recv_buf_.size();
-    }
-    if (!own_added) add_own();
+    OBS_SPAN(comm_.tracer(), "exchange", obs::Cat::Exchange,
+             static_cast<std::uint32_t>(nb));
+    fold_many(vs);
   }
 
   /// ⟨x, y⟩ with x local-distributed and y global-distributed (Eq. 33):
@@ -226,15 +211,191 @@ class EddRank {
     counters().flops += a.spmv_flops();
   }
 
+  /// Same through the kernel layer (format chosen by KernelOptions).
+  void spmv(const RankKernel& a, std::span<const real_t> x_glob,
+            std::span<real_t> y_loc) {
+    OBS_SPAN(comm_.tracer(), "spmv", obs::Cat::Matvec);
+    a.apply(x_glob, y_loc);
+    counters().matvecs += 1;
+    counters().flops += a.apply_flops();
+  }
+
   const EddSubdomain& sub() const noexcept { return sub_; }
 
  private:
+  // The exchange decomposed into its three phases, shared by the
+  // monolithic and the split form so the message pattern, the stash/fold
+  // arithmetic and the deterministic ordering cannot drift apart.
+
+  void post_sends(std::span<const real_t> v) {
+    for (const auto& nb : sub_.neighbors) {
+      const std::size_t ns = nb.shared_local_dofs.size();
+      PFEM_DEBUG_CHECK(ns <= send_buf_.capacity());
+      send_buf_.resize(ns);
+      for (std::size_t k = 0; k < ns; ++k)
+        send_buf_[k] = v[static_cast<std::size_t>(nb.shared_local_dofs[k])];
+      comm_.exchange_start(nb.rank, kExchangeTag, send_buf_);
+    }
+  }
+
+  /// Stash own interface contributions into buf_ and zero them in v, so
+  /// the folds (own and neighbors') can land in pure ascending order.
+  void stash_and_zero(std::span<real_t> v) {
+    buf_.resize(sub_.interface_local_dofs.size());
+    for (std::size_t k = 0; k < sub_.interface_local_dofs.size(); ++k) {
+      const auto l = static_cast<std::size_t>(sub_.interface_local_dofs[k]);
+      buf_[k] = v[l];
+      v[l] = 0.0;
+    }
+  }
+
+  /// Fold all sharers' contributions in ascending rank order (own
+  /// contribution inserted at this rank's position).
+  void fold(std::span<real_t> v) {
+    bool own_added = sub_.neighbors.empty();
+    auto add_own = [&] {
+      // The own-contribution fold is the same work as a neighbor fold —
+      // account its flops symmetrically.
+      for (std::size_t k = 0; k < sub_.interface_local_dofs.size(); ++k)
+        v[static_cast<std::size_t>(sub_.interface_local_dofs[k])] += buf_[k];
+      counters().flops += sub_.interface_local_dofs.size();
+      own_added = true;
+    };
+    if (own_added) add_own();
+    for (const auto& nb : sub_.neighbors) {  // sorted by rank
+      if (!own_added && nb.rank > comm_.rank()) add_own();
+      const std::size_t ns = nb.shared_local_dofs.size();
+      PFEM_DEBUG_CHECK(ns <= recv_buf_.capacity());
+      recv_buf_.resize(ns);
+      comm_.exchange_finish(nb.rank, kExchangeTag,
+                            std::span<real_t>(recv_buf_.data(), ns));
+      for (std::size_t k = 0; k < ns; ++k)
+        v[static_cast<std::size_t>(nb.shared_local_dofs[k])] += recv_buf_[k];
+      counters().flops += ns;
+    }
+    if (!own_added) add_own();
+  }
+
+  void post_sends_many(std::span<Vector* const> vs) {
+    const std::size_t nb = vs.size();
+    PFEM_DEBUG_CHECK(nb <= max_batch_);
+    for (const auto& nb_it : sub_.neighbors) {
+      const std::size_t ns = nb_it.shared_local_dofs.size();
+      PFEM_DEBUG_CHECK(nb * ns <= send_buf_.capacity());
+      send_buf_.resize(nb * ns);
+      for (std::size_t b = 0; b < nb; ++b) {
+        const Vector& v = *vs[b];
+        for (std::size_t k = 0; k < ns; ++k)
+          send_buf_[b * ns + k] =
+              v[static_cast<std::size_t>(nb_it.shared_local_dofs[k])];
+      }
+      comm_.exchange_start(nb_it.rank, kExchangeTag, send_buf_);
+    }
+  }
+
+  void stash_and_zero_many(std::span<Vector* const> vs) {
+    const std::size_t nb = vs.size();
+    const std::size_t ni = sub_.interface_local_dofs.size();
+    PFEM_DEBUG_CHECK(nb * ni <= fused_buf_.capacity());
+    fused_buf_.resize(nb * ni);
+    for (std::size_t b = 0; b < nb; ++b) {
+      Vector& v = *vs[b];
+      for (std::size_t k = 0; k < ni; ++k) {
+        const auto l = static_cast<std::size_t>(sub_.interface_local_dofs[k]);
+        fused_buf_[b * ni + k] = v[l];
+        v[l] = 0.0;
+      }
+    }
+  }
+
+  void fold_many(std::span<Vector* const> vs) {
+    const std::size_t nb = vs.size();
+    const std::size_t ni = sub_.interface_local_dofs.size();
+    bool own_added = sub_.neighbors.empty();
+    auto add_own = [&] {
+      for (std::size_t b = 0; b < nb; ++b) {
+        Vector& v = *vs[b];
+        for (std::size_t k = 0; k < ni; ++k)
+          v[static_cast<std::size_t>(sub_.interface_local_dofs[k])] +=
+              fused_buf_[b * ni + k];
+      }
+      counters().flops += nb * ni;
+      own_added = true;
+    };
+    if (own_added) add_own();
+    for (const auto& nb_it : sub_.neighbors) {  // sorted by rank
+      if (!own_added && nb_it.rank > comm_.rank()) add_own();
+      const std::size_t ns = nb_it.shared_local_dofs.size();
+      PFEM_DEBUG_CHECK(nb * ns <= recv_buf_.capacity());
+      recv_buf_.resize(nb * ns);
+      comm_.exchange_finish(nb_it.rank, kExchangeTag,
+                            std::span<real_t>(recv_buf_.data(), nb * ns));
+      for (std::size_t b = 0; b < nb; ++b) {
+        Vector& v = *vs[b];
+        for (std::size_t k = 0; k < ns; ++k)
+          v[static_cast<std::size_t>(nb_it.shared_local_dofs[k])] +=
+              recv_buf_[b * ns + k];
+      }
+      counters().flops += nb * ns;
+    }
+    if (!own_added) add_own();
+  }
+
   const EddSubdomain& sub_;
   par::Comm& comm_;
   std::size_t nl_;
+  std::size_t max_batch_;  ///< widest fused exchange ever issued
   Vector buf_, send_buf_, recv_buf_;
   Vector fused_buf_;  ///< interface stash of exchange_many (nb x ni)
 };
+
+/// One Enhanced-discipline recursion step: ŷ = Â x̂ immediately
+/// globalized by one exchange.  With a split kernel the exchange
+/// overlaps the interior block: the interface-coupled rows are computed
+/// first, the sends go out while the interior rows (disjoint from every
+/// stashed interface dof) fill in, and the folds land last.  Exactly one
+/// matvec and one exchange either way — the overlapped "exchange" span
+/// nests inside the "spmv" span instead of following it, but per-event
+/// counts (what pfem_trace cross-checks against Table 1) are unchanged.
+inline void spmv_exchange(EddRank& r, const RankKernel& a,
+                          std::span<const real_t> x_glob,
+                          std::span<real_t> y) {
+  if (a.split()) {
+    OBS_SPAN(r.comm().tracer(), "spmv", obs::Cat::Matvec);
+    a.apply_coupled(x_glob, y);
+    r.exchange_start(y);
+    a.apply_interior(x_glob, y);
+    r.counters().matvecs += 1;
+    r.counters().flops += a.apply_flops();
+    r.exchange_finish(y);
+  } else {
+    r.spmv(a, x_glob, y);
+    r.exchange(y);
+  }
+}
+
+/// One Basic-discipline recursion step: globalize ŵ in place (the caller
+/// passes a copy it can spare), then ŷ_loc = Â ŵ_glob.  With a split
+/// kernel the sends go out first; the interior rows — which read no
+/// interface column, so the mid-flight zeroed entries of ŵ are invisible
+/// to them — compute while messages fly; the folds land; the coupled
+/// rows finish against the fully globalized ŵ.
+inline void exchange_spmv(EddRank& r, const RankKernel& a,
+                          std::span<real_t> w_glob,
+                          std::span<real_t> y_loc) {
+  if (a.split()) {
+    r.exchange_start(w_glob);
+    OBS_SPAN(r.comm().tracer(), "spmv", obs::Cat::Matvec);
+    a.apply_interior(w_glob, y_loc);
+    r.exchange_finish(w_glob);
+    a.apply_coupled(w_glob, y_loc);
+    r.counters().matvecs += 1;
+    r.counters().flops += a.apply_flops();
+  } else {
+    r.exchange(w_glob);
+    r.spmv(a, w_glob, y_loc);
+  }
+}
 
 /// Distributed polynomial preconditioner: the Algorithm-7 pattern for
 /// both Neumann and GLS, in both vector-format disciplines.
@@ -274,7 +435,7 @@ class DistPoly {
 
   /// Enhanced discipline (Algorithm 6 line 10): v and z in *global*
   /// distributed format; exactly `degree` exchanges.
-  void apply_global(EddRank& r, const CsrMatrix& a,
+  void apply_global(EddRank& r, const RankKernel& a,
                     std::span<const real_t> v_glob, std::span<real_t> z_glob) {
     const std::size_t n = r.nl();
     switch (spec_.kind) {
@@ -287,8 +448,7 @@ class DistPoly {
         Vector& aw = scratch_b_;
         la::copy(v_glob, w);
         for (int k = 0; k < spec_.degree; ++k) {
-          r.spmv(a, w, aw);
-          r.exchange(aw);
+          spmv_exchange(r, a, w, aw);
           for (std::size_t i = 0; i < n; ++i)
             w[i] = v_glob[i] + w[i] - spec_.omega * aw[i];
           r.counters().flops += 3 * n;
@@ -312,8 +472,7 @@ class DistPoly {
         }
         r.counters().flops += 2 * n;
         for (int i = 0; i < spec_.degree; ++i) {
-          r.spmv(a, u, au);
-          r.exchange(au);
+          spmv_exchange(r, a, u, au);
           const real_t ai = basis.alpha(i);
           const real_t sb_i = basis.sqrt_beta(i);
           const real_t sb_n = basis.sqrt_beta(i + 1);
@@ -347,8 +506,7 @@ class DistPoly {
         }
         r.counters().flops += 2 * n;
         for (int k = 1; k <= spec_.degree; ++k) {
-          r.spmv(a, d, ad);
-          r.exchange(ad);
+          spmv_exchange(r, a, d, ad);
           const real_t rho_next = 1.0 / (2.0 * sigma1 - rho);
           const real_t c1 = rho_next * rho;
           const real_t c2 = 2.0 * rho_next / delta;
@@ -370,7 +528,7 @@ class DistPoly {
   /// *local* distributed format; the recursion state is kept in both
   /// formats so the result needs no final exchange.  Exactly `degree`
   /// exchanges.
-  void apply_local(EddRank& r, const CsrMatrix& a,
+  void apply_local(EddRank& r, const RankKernel& a,
                    std::span<const real_t> v_loc, std::span<real_t> z_loc) {
     const std::size_t n = r.nl();
     switch (spec_.kind) {
@@ -386,8 +544,7 @@ class DistPoly {
         la::copy(v_loc, w_loc);
         for (int k = 0; k < spec_.degree; ++k) {
           la::copy(w_loc, w_glob);
-          r.exchange(w_glob);
-          r.spmv(a, w_glob, aw);
+          exchange_spmv(r, a, w_glob, aw);
           for (std::size_t i = 0; i < n; ++i)
             w_loc[i] = v_loc[i] + w_loc[i] - spec_.omega * aw[i];
           r.counters().flops += 3 * n;
@@ -402,7 +559,8 @@ class DistPoly {
         const auto mu = gls_->mu();
         Vector& u_prev = scratch_a_;
         Vector& u = scratch_b_;
-        Vector& work = scratch_c_;  // doubles as u_glob and au
+        Vector& work = scratch_c_;  // globalized copy of u
+        Vector& au = scratch_d_;
         la::fill(u_prev, 0.0);
         const real_t inv0 = 1.0 / basis.sqrt_beta(0);
         for (std::size_t i = 0; i < n; ++i) {
@@ -410,11 +568,9 @@ class DistPoly {
           z_loc[i] = mu[0] * u[i];
         }
         r.counters().flops += 2 * n;
-        Vector au(n);
         for (int i = 0; i < spec_.degree; ++i) {
           la::copy(u, work);
-          r.exchange(work);          // u in global format
-          r.spmv(a, work, au);       // au back in local format
+          exchange_spmv(r, a, work, au);  // au back in local format
           const real_t ai = basis.alpha(i);
           const real_t sb_i = basis.sqrt_beta(i);
           const real_t sb_n = basis.sqrt_beta(i + 1);
@@ -450,8 +606,7 @@ class DistPoly {
         r.counters().flops += 2 * n;
         for (int k = 1; k <= spec_.degree; ++k) {
           la::copy(d, d_glob);
-          r.exchange(d_glob);
-          r.spmv(a, d_glob, ad);  // local-format result
+          exchange_spmv(r, a, d_glob, ad);  // local-format result
           const real_t rho_next = 1.0 / (2.0 * sigma1 - rho);
           const real_t c1 = rho_next * rho;
           const real_t c2 = 2.0 * rho_next / delta;

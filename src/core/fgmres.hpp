@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/kernels.hpp"
 #include "core/operator.hpp"
 #include "core/precond.hpp"
 #include "core/solve_report.hpp"
@@ -34,6 +35,12 @@ struct SolveOptions {
   /// (distributed solvers only).  Off by default (paper-faithful); the
   /// ablation bench quantifies what this modern optimization buys.
   bool batched_reductions = false;
+
+  /// Subdomain-operator kernel selection for the distributed solvers:
+  /// storage format (vectorized SELL-C-σ with fused scaling vs the
+  /// scalar-CSR fallback) and interior/interface exchange overlap.  Both
+  /// choices are bit-neutral — results are identical across settings.
+  KernelOptions kernels;
 
   /// Observability: span tracing and per-iteration progress callbacks.
   /// One knob struct shared by every solver entry point and the solve

@@ -65,13 +65,15 @@ void GlsPolynomial::apply(const LinearOp& a, std::span<const real_t> v,
     const real_t sb_i = basis_.sqrt_beta(i);     // pairs with u_prev (0 at i=0)
     const real_t sb_n = basis_.sqrt_beta(i + 1);
     const real_t mu_next = mu_[static_cast<std::size_t>(i) + 1];
+    // u_{i+1} overwrites u_prev (dead after t), then swaps into u — one
+    // write stream less than copying u into u_prev elementwise.
     for (std::size_t k = 0; k < n; ++k) {
       const real_t t =
           (au[k] - ai * u[k] - (i > 0 ? sb_i * u_prev[k] : 0.0)) / sb_n;
-      u_prev[k] = u[k];
-      u[k] = t;
+      u_prev[k] = t;
       z[k] += mu_next * t;
     }
+    std::swap(u_prev, u);
   }
 }
 

@@ -11,6 +11,7 @@
 #include "la/vector_ops.hpp"
 #include "obs/trace.hpp"
 #include "sparse/ilu0.hpp"
+#include "sparse/sell.hpp"
 
 namespace pfem::core {
 
@@ -21,6 +22,36 @@ using partition::RddSubdomain;
 using sparse::CsrMatrix;
 
 constexpr int kRddTag = 1;
+
+/// The two rank-local operator blocks (A_loc, A_ext) in the selected
+/// storage format.  Built once at setup from the *scaled* matrices; SELL
+/// conversion preserves per-row accumulation order, so the iteration is
+/// bit-identical across formats.
+struct RddOp {
+  const CsrMatrix* loc_csr = nullptr;
+  const CsrMatrix* ext_csr = nullptr;
+  sparse::SellMatrix loc_sell;
+  sparse::SellMatrix ext_sell;
+  bool sell = false;
+  bool overlap = false;
+  std::uint64_t spmv_flops = 0;
+
+  void apply_loc(std::span<const real_t> x, std::span<real_t> y) const {
+    if (sell) {
+      loc_sell.spmv(x, y);
+    } else {
+      loc_csr->spmv(x, y);
+    }
+  }
+  void apply_ext_add(std::span<const real_t> x_ext,
+                     std::span<real_t> y) const {
+    if (sell) {
+      ext_sell.spmv_add(x_ext, y);
+    } else {
+      ext_csr->spmv_add(x_ext, y);
+    }
+  }
+};
 
 /// Rank-local RDD kernels: distributed mat-vec (Eq. 48) and reductions.
 class RddRank {
@@ -47,15 +78,24 @@ class RddRank {
   }
 
   /// y <- A x: scatter owned boundary values, gather externals, then
-  /// y = A_loc x + A_ext x_ext (Eq. 48).
-  void matvec(const CsrMatrix& a_loc, const CsrMatrix& a_ext,
-              std::span<const real_t> x, std::span<real_t> y) {
+  /// y = A_loc x + A_ext x_ext (Eq. 48).  A_loc reads only owned entries
+  /// of x, which the exchange never touches — with `op.overlap` it runs
+  /// while the neighbor messages are in flight.  Exchange count per
+  /// matvec is one either way.
+  void matvec(const RddOp& op, std::span<const real_t> x,
+              std::span<real_t> y) {
     OBS_SPAN(comm_.tracer(), "matvec", obs::Cat::Matvec);
-    exchange_into_ext(x);
-    a_loc.spmv(x, y);
-    if (sub_.n_ext() > 0) a_ext.spmv_add(x_ext_, y);
+    if (op.overlap) {
+      exchange_start(x);
+      op.apply_loc(x, y);
+      exchange_finish();
+    } else {
+      exchange_into_ext(x);
+      op.apply_loc(x, y);
+    }
+    if (sub_.n_ext() > 0) op.apply_ext_add(x_ext_, y);
     counters().matvecs += 1;
-    counters().flops += a_loc.spmv_flops() + a_ext.spmv_flops();
+    counters().flops += op.spmv_flops;
     // Redundant ghost-row work of the paper's duplicated-element layout
     // (Fig. 8); zero unless annotate_rdd_fe_duplication() ran.
     counters().flops += sub_.matvec_extra_flops;
@@ -67,22 +107,23 @@ class RddRank {
     // event — a trace is an exact cross-check of the counters.
     OBS_SPAN(comm_.tracer(), "exchange", obs::Cat::Exchange);
     counters().neighbor_exchanges += 1;
-    for (const auto& nb : sub_.neighbors) {
-      if (nb.send_local_rows.empty()) continue;
-      send_buf_.resize(nb.send_local_rows.size());
-      for (std::size_t k = 0; k < nb.send_local_rows.size(); ++k)
-        send_buf_[k] = x[static_cast<std::size_t>(nb.send_local_rows[k])];
-      comm_.send(nb.rank, kRddTag, send_buf_);
-    }
-    for (const auto& nb : sub_.neighbors) {
-      if (nb.recv_ext_positions.empty()) continue;
-      recv_buf_.resize(nb.recv_ext_positions.size());
-      comm_.recv(nb.rank, kRddTag,
-                 std::span<real_t>(recv_buf_.data(), recv_buf_.size()));
-      for (std::size_t k = 0; k < nb.recv_ext_positions.size(); ++k)
-        x_ext_[static_cast<std::size_t>(nb.recv_ext_positions[k])] =
-            recv_buf_[k];
-    }
+    post_sends(x);
+    recv_into_ext();
+  }
+
+  /// Split exchange, first half: post the boundary sends.  The logical
+  /// exchange is counted here; the matching finish emits the "exchange"
+  /// span, so a split exchange still contributes exactly one span and
+  /// one neighbor_exchanges tick.
+  void exchange_start(std::span<const real_t> x) {
+    counters().neighbor_exchanges += 1;
+    post_sends(x);
+  }
+
+  /// Split exchange, second half: complete the receives into x_ext.
+  void exchange_finish() {
+    OBS_SPAN(comm_.tracer(), "exchange", obs::Cat::Exchange);
+    recv_into_ext();
   }
 
   [[nodiscard]] std::span<const real_t> x_ext() const { return x_ext_; }
@@ -102,6 +143,34 @@ class RddRank {
   }
 
  private:
+  /// Pack and post the boundary sends (both exchange forms share this,
+  /// so the wire order cannot drift between them).
+  void post_sends(std::span<const real_t> x) {
+    for (const auto& nb : sub_.neighbors) {
+      if (nb.send_local_rows.empty()) continue;
+      PFEM_DEBUG_CHECK(send_buf_.capacity() >= nb.send_local_rows.size());
+      send_buf_.resize(nb.send_local_rows.size());
+      for (std::size_t k = 0; k < nb.send_local_rows.size(); ++k)
+        send_buf_[k] = x[static_cast<std::size_t>(nb.send_local_rows[k])];
+      comm_.exchange_start(nb.rank, kRddTag, send_buf_);
+    }
+  }
+
+  /// Complete the receives and scatter into x_ext.
+  void recv_into_ext() {
+    for (const auto& nb : sub_.neighbors) {
+      if (nb.recv_ext_positions.empty()) continue;
+      PFEM_DEBUG_CHECK(recv_buf_.capacity() >= nb.recv_ext_positions.size());
+      recv_buf_.resize(nb.recv_ext_positions.size());
+      comm_.exchange_finish(
+          nb.rank, kRddTag,
+          std::span<real_t>(recv_buf_.data(), recv_buf_.size()));
+      for (std::size_t k = 0; k < nb.recv_ext_positions.size(); ++k)
+        x_ext_[static_cast<std::size_t>(nb.recv_ext_positions[k])] =
+            recv_buf_[k];
+    }
+  }
+
   const RddSubdomain& sub_;
   par::Comm& comm_;
   std::size_t nl_;
@@ -178,6 +247,24 @@ void rdd_rank_solve(const RddPartition& part,
   Vector b(nl);
   for (std::size_t l = 0; l < nl; ++l) b[l] = dscale[l] * f_loc[l];
 
+  // Kernel selection: convert the scaled blocks to SELL-C-σ when
+  // requested (bit-identical per-row accumulation), and overlap A_loc
+  // with the in-flight exchange when enabled.
+  RddOp op;
+  op.overlap = opts.kernels.overlap;
+  op.spmv_flops = a_loc.spmv_flops() + a_ext.spmv_flops();
+  if (opts.kernels.format == KernelOptions::Format::Sell) {
+    op.sell = true;
+    op.loc_sell = sparse::SellMatrix::from_csr(a_loc, opts.kernels.chunk,
+                                               opts.kernels.sigma);
+    if (sub.n_ext() > 0)
+      op.ext_sell = sparse::SellMatrix::from_csr(a_ext, opts.kernels.chunk,
+                                                 opts.kernels.sigma);
+  } else {
+    op.loc_csr = &a_loc;
+    op.ext_csr = &a_ext;
+  }
+
   // Preconditioner: polynomial (redundant construction) or local ILU(0)
   // block-Jacobi solve.
   std::optional<GlsPolynomial> gls;
@@ -245,7 +332,7 @@ void rdd_rank_solve(const RddPartition& part,
         la::copy(v, w);
         const real_t omega = rdd_opts.poly.omega;
         for (int k = 0; k < degree; ++k) {
-          r.matvec(a_loc, a_ext, w, aw);
+          r.matvec(op, w, aw);
           for (std::size_t i = 0; i < nl; ++i)
             w[i] = v[i] + w[i] - omega * aw[i];
           r.counters().flops += 3 * nl;
@@ -267,7 +354,7 @@ void rdd_rank_solve(const RddPartition& part,
           zz[i] = mu[0] * u[i];
         }
         for (int i = 0; i < degree; ++i) {
-          r.matvec(a_loc, a_ext, u, au);
+          r.matvec(op, u, au);
           const real_t ai = basis.alpha(i);
           const real_t sb_i = basis.sqrt_beta(i);
           const real_t sb_n = basis.sqrt_beta(i + 1);
@@ -300,7 +387,7 @@ void rdd_rank_solve(const RddPartition& part,
           zz[i] = dvec[i];
         }
         for (int k = 1; k <= degree; ++k) {
-          r.matvec(a_loc, a_ext, dvec, ad);
+          r.matvec(op, dvec, ad);
           const real_t rho_next = 1.0 / (2.0 * sigma1 - rho);
           const real_t c1 = rho_next * rho;
           const real_t c2 = 2.0 * rho_next / delta;
@@ -330,7 +417,7 @@ void rdd_rank_solve(const RddPartition& part,
   real_t beta0 = -1.0, relres = 1.0;
 
   while (iterations < opts.max_iters) {
-    r.matvec(a_loc, a_ext, x, res);
+    r.matvec(op, x, res);
     for (std::size_t l = 0; l < nl; ++l) res[l] = b[l] - res[l];
     const real_t beta = std::sqrt(r.dot(res, res));
     if (beta0 < 0.0) {
@@ -359,7 +446,7 @@ void rdd_rank_solve(const RddPartition& part,
         precondition(v[static_cast<std::size_t>(j)],
                      z[static_cast<std::size_t>(j)]);
       }
-      r.matvec(a_loc, a_ext, z[static_cast<std::size_t>(j)], w);
+      r.matvec(op, z[static_cast<std::size_t>(j)], w);
 
       // One global reduction per h_ij, as in the paper's Algorithm 8
       // (Table 1: ~m̃+1 global communications per iteration), optionally
@@ -439,7 +526,7 @@ void rdd_rank_solve(const RddPartition& part,
   }
 
   // ---- Final residual and physical solution u = D x.
-  r.matvec(a_loc, a_ext, x, res);
+  r.matvec(op, x, res);
   for (std::size_t l = 0; l < nl; ++l) res[l] = b[l] - res[l];
   const real_t final_res = std::sqrt(r.dot(res, res));
   const real_t final_relres = beta0 > 0.0 ? final_res / beta0 : 0.0;
@@ -463,6 +550,8 @@ DistSolveResult solve_rdd(const RddPartition& part,
                           const RddOptions& rdd_opts,
                           const SolveOptions& opts) {
   PFEM_CHECK(f_global.size() == static_cast<std::size_t>(part.n_global));
+  PFEM_CHECK_MSG(opts.restart >= 1 && opts.max_iters >= 1 && opts.tol > 0.0,
+                 "solve_rdd: need restart >= 1, max_iters >= 1, tol > 0");
   if (rdd_opts.precond == RddOptions::Precond::Poly &&
       rdd_opts.poly.kind == PolyKind::Gls)
     validate_theta(rdd_opts.poly.theta);

@@ -834,6 +834,14 @@ void Comm::recv(int src, int tag, std::span<real_t> out) {
   counters_->neighbor_bytes_recv += sizeof(real_t) * out.size();
 }
 
+void Comm::exchange_start(int peer, int tag, std::span<const real_t> data) {
+  send(peer, tag, data);
+}
+
+void Comm::exchange_finish(int peer, int tag, std::span<real_t> out) {
+  recv(peer, tag, out);
+}
+
 void Comm::barrier() {
   OBS_SPAN(tracer_, "barrier", obs::Cat::Reduce);
   if (injector_ != nullptr) consume_fault(fault::Op::Collective, -1);

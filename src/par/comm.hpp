@@ -65,6 +65,24 @@ class Comm {
   /// path the exchange kernels use.
   void recv(int src, int tag, std::span<real_t> out);
 
+  /// Split neighbor exchange, first half: post this rank's contribution
+  /// toward `peer` (one call per peer).  Delegates to send(), so wire
+  /// ordering, PerfCounters traffic accounting, the Op::Send fault site
+  /// and the "send" span are exactly those of a monolithic exchange.
+  /// Between start and finish the caller may compute anything that does
+  /// not read the in-flight entries — the transport keeps at most one
+  /// outstanding message per ordered rank pair here, far below the
+  /// channel ring capacity, so the posted sends can never block on a
+  /// peer that is still computing its interior rows.
+  void exchange_start(int peer, int tag, std::span<const real_t> data);
+
+  /// Split neighbor exchange, second half: complete the receive from
+  /// `peer` into a preposted buffer (one call per peer, any peer order —
+  /// determinism comes from the caller folding in fixed rank order).
+  /// Delegates to recv(): same Op::Recv fault site, same "recv" span,
+  /// same traffic counters.
+  void exchange_finish(int peer, int tag, std::span<real_t> out);
+
   /// Synchronize all ranks.
   void barrier();
 

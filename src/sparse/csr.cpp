@@ -40,8 +40,11 @@ std::span<const real_t> CsrMatrix::row_vals(index_t i) const {
 }
 
 void CsrMatrix::spmv(std::span<const real_t> x, std::span<real_t> y) const {
-  PFEM_CHECK(x.size() == static_cast<std::size_t>(cols_));
-  PFEM_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  // Hot path: spmv runs m-deep inside every polynomial apply, so span
+  // validation is debug-only here — callers (operator build, kernel
+  // setup) establish the sizes once with checks that stay on in release.
+  PFEM_DEBUG_CHECK(x.size() == static_cast<std::size_t>(cols_));
+  PFEM_DEBUG_CHECK(y.size() == static_cast<std::size_t>(rows_));
   for (index_t i = 0; i < rows_; ++i) {
     real_t s = 0.0;
     for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
@@ -52,8 +55,8 @@ void CsrMatrix::spmv(std::span<const real_t> x, std::span<real_t> y) const {
 
 void CsrMatrix::spmv_add(std::span<const real_t> x, std::span<real_t> y,
                          real_t alpha) const {
-  PFEM_CHECK(x.size() == static_cast<std::size_t>(cols_));
-  PFEM_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  PFEM_DEBUG_CHECK(x.size() == static_cast<std::size_t>(cols_));
+  PFEM_DEBUG_CHECK(y.size() == static_cast<std::size_t>(rows_));
   for (index_t i = 0; i < rows_; ++i) {
     real_t s = 0.0;
     for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)

@@ -1,0 +1,623 @@
+#include "sparse/sell.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+// SIMD bodies for the default chunk width (C = 8) on x86-64, selected
+// at runtime so the binary still runs on machines without AVX2/AVX-512F.
+// Only mul/add intrinsics are used — never FMA — and each SIMD lane
+// performs the scalar kernel's exact per-entry rounding sequence, so
+// these paths are bit-identical to the portable loops below (and to the
+// eagerly scaled CSR kernel; see tests/test_kernels.cpp).
+#if defined(__x86_64__) && defined(__GNUC__)
+#define PFEM_SELL_X86 1
+#include <immintrin.h>
+#endif
+
+namespace pfem::sparse {
+
+namespace {
+
+// One chunk-width-templated body per kernel so the compiler sees C as a
+// constant and keeps the C accumulators in registers.  The j-loop walks
+// each lane's entries in original CSR column order; padded entries carry
+// (val=0, col=0) and fold in as +0.0*x[0].
+template <int C>
+void spmv_chunks(index_t nchunks, const index_t* chunk_ptr,
+                 const index_t* slot_row, const index_t* col,
+                 const real_t* val, const real_t* x, real_t* y, bool add) {
+  for (index_t k = 0; k < nchunks; ++k) {
+    const index_t base = chunk_ptr[k];
+    const index_t w = (chunk_ptr[k + 1] - base) / C;
+    const real_t* v = val + base;
+    const index_t* c = col + base;
+    real_t acc[C];
+    for (int l = 0; l < C; ++l) acc[l] = 0.0;
+    for (index_t j = 0; j < w; ++j) {
+      const real_t* vj = v + static_cast<std::size_t>(j) * C;
+      const index_t* cj = c + static_cast<std::size_t>(j) * C;
+      for (int l = 0; l < C; ++l) acc[l] += vj[l] * x[cj[l]];
+    }
+    const index_t* rows = slot_row + static_cast<std::size_t>(k) * C;
+    for (int l = 0; l < C; ++l) {
+      if (rows[l] < 0) continue;
+      if (add) {
+        y[rows[l]] += acc[l];
+      } else {
+        y[rows[l]] = acc[l];
+      }
+    }
+  }
+}
+
+// Fused D A D x: t = d_row*d_col, v' = a*t, acc += v'*x — the exact
+// rounding sequence of scale_symmetric() + spmv(), so results match the
+// eagerly scaled matrix bit for bit.  Pad lanes use d_row = 0.
+template <int C>
+void spmv_scaled_chunks(index_t nchunks, const index_t* chunk_ptr,
+                        const index_t* slot_row, const index_t* col,
+                        const real_t* val, const real_t* d, const real_t* x,
+                        real_t* y) {
+  for (index_t k = 0; k < nchunks; ++k) {
+    const index_t base = chunk_ptr[k];
+    const index_t w = (chunk_ptr[k + 1] - base) / C;
+    const real_t* v = val + base;
+    const index_t* c = col + base;
+    const index_t* rows = slot_row + static_cast<std::size_t>(k) * C;
+    real_t acc[C];
+    real_t dr[C];
+    for (int l = 0; l < C; ++l) {
+      acc[l] = 0.0;
+      dr[l] = rows[l] >= 0 ? d[rows[l]] : 0.0;
+    }
+    for (index_t j = 0; j < w; ++j) {
+      const real_t* vj = v + static_cast<std::size_t>(j) * C;
+      const index_t* cj = c + static_cast<std::size_t>(j) * C;
+      for (int l = 0; l < C; ++l) {
+        const real_t t = dr[l] * d[cj[l]];
+        const real_t vv = vj[l] * t;
+        acc[l] += vv * x[cj[l]];
+      }
+    }
+    for (int l = 0; l < C; ++l) {
+      if (rows[l] >= 0) y[rows[l]] = acc[l];
+    }
+  }
+}
+
+// Generic-width fallback for chunk values outside {4, 8, 16}.
+void spmv_chunks_any(int c, index_t nchunks, const index_t* chunk_ptr,
+                     const index_t* slot_row, const index_t* col,
+                     const real_t* val, const real_t* x, real_t* y,
+                     bool add) {
+  Vector acc(static_cast<std::size_t>(c));
+  for (index_t k = 0; k < nchunks; ++k) {
+    const index_t base = chunk_ptr[k];
+    const index_t w = (chunk_ptr[k + 1] - base) / c;
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (index_t j = 0; j < w; ++j) {
+      const real_t* vj = val + base + static_cast<std::size_t>(j) * c;
+      const index_t* cj = col + base + static_cast<std::size_t>(j) * c;
+      for (int l = 0; l < c; ++l) acc[l] += vj[l] * x[cj[l]];
+    }
+    const index_t* rows = slot_row + static_cast<std::size_t>(k) * c;
+    for (int l = 0; l < c; ++l) {
+      if (rows[l] < 0) continue;
+      if (add) {
+        y[rows[l]] += acc[l];
+      } else {
+        y[rows[l]] = acc[l];
+      }
+    }
+  }
+}
+
+void spmv_scaled_chunks_any(int c, index_t nchunks, const index_t* chunk_ptr,
+                            const index_t* slot_row, const index_t* col,
+                            const real_t* val, const real_t* d,
+                            const real_t* x, real_t* y) {
+  Vector acc(static_cast<std::size_t>(c));
+  Vector dr(static_cast<std::size_t>(c));
+  for (index_t k = 0; k < nchunks; ++k) {
+    const index_t base = chunk_ptr[k];
+    const index_t w = (chunk_ptr[k + 1] - base) / c;
+    const index_t* rows = slot_row + static_cast<std::size_t>(k) * c;
+    for (int l = 0; l < c; ++l) {
+      acc[l] = 0.0;
+      dr[l] = rows[l] >= 0 ? d[rows[l]] : 0.0;
+    }
+    for (index_t j = 0; j < w; ++j) {
+      const real_t* vj = val + base + static_cast<std::size_t>(j) * c;
+      const index_t* cj = col + base + static_cast<std::size_t>(j) * c;
+      for (int l = 0; l < c; ++l) {
+        const real_t t = dr[l] * d[cj[l]];
+        const real_t vv = vj[l] * t;
+        acc[l] += vv * x[cj[l]];
+      }
+    }
+    for (int l = 0; l < c; ++l) {
+      if (rows[l] >= 0) y[rows[l]] = acc[l];
+    }
+  }
+}
+
+#ifdef PFEM_SELL_X86
+
+// GCC's own AVX-512 headers route several intrinsics (zext/insert/
+// permute) through _mm512_undefined_pd(), which -Wmaybe-uninitialized
+// flags inside every caller.  Known header false positive (GCC PR
+// 105593); silence it for the SIMD bodies only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+bool cpu_has_avx2() {
+  static const bool b = __builtin_cpu_supports("avx2");
+  return b;
+}
+
+// Masked-gather wrappers: the plain gather intrinsics leave their source
+// operand undefined, which GCC (correctly) flags with -Wmaybe-
+// uninitialized; an explicit zero source with an all-ones mask is the
+// same operation without the warning.
+__attribute__((target("avx2"))) inline __m256d gather4(const real_t* base,
+                                                       __m128i idx) {
+  return _mm256_mask_i32gather_pd(
+      _mm256_setzero_pd(), base, idx,
+      _mm256_castsi256_pd(_mm256_set1_epi64x(-1)), 8);
+}
+
+__attribute__((target("avx512f"))) inline __m256d gather4_avx512(
+    const real_t* base, __m128i idx) {
+  return _mm256_mask_i32gather_pd(
+      _mm256_setzero_pd(), base, idx,
+      _mm256_castsi256_pd(_mm256_set1_epi64x(-1)), 8);
+}
+
+__attribute__((target("avx512f"))) inline __m512d gather8(const real_t* base,
+                                                          __m256i idx) {
+  return _mm512_mask_i32gather_pd(_mm512_setzero_pd(), 0xFF, idx, base, 8);
+}
+
+bool cpu_has_avx512f() {
+  static const bool b = __builtin_cpu_supports("avx512f");
+  return b;
+}
+
+__attribute__((target("avx2"))) void spmv_chunks8_avx2(
+    index_t nchunks, const index_t* chunk_ptr, const index_t* slot_row,
+    const index_t* col, const real_t* val, const real_t* x, real_t* y,
+    bool add) {
+  for (index_t k = 0; k < nchunks; ++k) {
+    const index_t base = chunk_ptr[k];
+    const index_t w = (chunk_ptr[k + 1] - base) / 8;
+    const real_t* v = val + base;
+    const index_t* c = col + base;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (index_t j = 0; j < w; ++j) {
+      const index_t* cj = c + static_cast<std::size_t>(j) * 8;
+      const real_t* vj = v + static_cast<std::size_t>(j) * 8;
+      const __m128i i0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cj));
+      const __m128i i1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cj + 4));
+      const __m256d x0 = gather4(x, i0);
+      const __m256d x1 = gather4(x, i1);
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(_mm256_loadu_pd(vj), x0));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(_mm256_loadu_pd(vj + 4), x1));
+    }
+    alignas(32) real_t a[8];
+    _mm256_store_pd(a, acc0);
+    _mm256_store_pd(a + 4, acc1);
+    const index_t* rows = slot_row + static_cast<std::size_t>(k) * 8;
+    for (int l = 0; l < 8; ++l) {
+      if (rows[l] < 0) continue;
+      if (add) {
+        y[rows[l]] += a[l];
+      } else {
+        y[rows[l]] = a[l];
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void spmv_scaled_chunks8_avx2(
+    index_t nchunks, const index_t* chunk_ptr, const index_t* slot_row,
+    const index_t* col, const real_t* val, const real_t* d, const real_t* x,
+    real_t* y) {
+  for (index_t k = 0; k < nchunks; ++k) {
+    const index_t base = chunk_ptr[k];
+    const index_t w = (chunk_ptr[k + 1] - base) / 8;
+    const real_t* v = val + base;
+    const index_t* c = col + base;
+    const index_t* rows = slot_row + static_cast<std::size_t>(k) * 8;
+    alignas(32) real_t drbuf[8];
+    for (int l = 0; l < 8; ++l) {
+      drbuf[l] = rows[l] >= 0 ? d[rows[l]] : 0.0;
+    }
+    const __m256d dr0 = _mm256_load_pd(drbuf);
+    const __m256d dr1 = _mm256_load_pd(drbuf + 4);
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (index_t j = 0; j < w; ++j) {
+      const index_t* cj = c + static_cast<std::size_t>(j) * 8;
+      const real_t* vj = v + static_cast<std::size_t>(j) * 8;
+      const __m128i i0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cj));
+      const __m128i i1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cj + 4));
+      // t = d_row*d_col; v' = a*t; acc += v'*x — the scalar sequence.
+      const __m256d t0 = _mm256_mul_pd(dr0, gather4(d, i0));
+      const __m256d t1 = _mm256_mul_pd(dr1, gather4(d, i1));
+      const __m256d vv0 = _mm256_mul_pd(_mm256_loadu_pd(vj), t0);
+      const __m256d vv1 = _mm256_mul_pd(_mm256_loadu_pd(vj + 4), t1);
+      acc0 = _mm256_add_pd(
+          acc0, _mm256_mul_pd(vv0, gather4(x, i0)));
+      acc1 = _mm256_add_pd(
+          acc1, _mm256_mul_pd(vv1, gather4(x, i1)));
+    }
+    alignas(32) real_t a[8];
+    _mm256_store_pd(a, acc0);
+    _mm256_store_pd(a + 4, acc1);
+    for (int l = 0; l < 8; ++l) {
+      if (rows[l] >= 0) y[rows[l]] = a[l];
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void spmv_chunks8_avx512(
+    index_t nchunks, const index_t* chunk_ptr, const index_t* slot_row,
+    const index_t* col, const real_t* val, const char* paired,
+    const real_t* x, real_t* y, bool add) {
+  // Lane-paired chunks gather each x value once (even lanes only) and
+  // broadcast it to both lanes of the pair — half the gather traffic,
+  // the dominant cost of this kernel.  Same x values into the same
+  // mul/add sequence, so both branches are bit-identical.
+  const __m256i kEvens = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  const __m512i kDup = _mm512_setr_epi64(0, 0, 1, 1, 2, 2, 3, 3);
+  for (index_t k = 0; k < nchunks; ++k) {
+    const index_t base = chunk_ptr[k];
+    const index_t w = (chunk_ptr[k + 1] - base) / 8;
+    const real_t* v = val + base;
+    const index_t* c = col + base;
+    __m512d acc = _mm512_setzero_pd();
+    for (index_t j = 0; j < w; ++j) {
+      // Keep the val/col streams ~8 steps ahead of the gathers; the
+      // hardware prefetcher alone leaves DRAM bandwidth on the table
+      // once the matrix falls out of L2.
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       v + static_cast<std::size_t>(j + 8) * 8),
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       c + static_cast<std::size_t>(j + 16) * 8),
+                   _MM_HINT_T0);
+      const __m256i cj = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          c + static_cast<std::size_t>(j) * 8));
+      __m512d xg;
+      if (paired[k] != 0) {
+        const __m128i ce = _mm256_castsi256_si128(
+            _mm256_permutevar8x32_epi32(cj, kEvens));
+        const __m256d g = gather4_avx512(x, ce);
+        xg = _mm512_maskz_permutexvar_pd(0xFF, kDup,
+                                         _mm512_zextpd256_pd512(g));
+      } else {
+        xg = gather8(x, cj);
+      }
+      const __m512d vj =
+          _mm512_loadu_pd(v + static_cast<std::size_t>(j) * 8);
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(vj, xg));
+    }
+    alignas(64) real_t a[8];
+    _mm512_store_pd(a, acc);
+    const index_t* rows = slot_row + static_cast<std::size_t>(k) * 8;
+    for (int l = 0; l < 8; ++l) {
+      if (rows[l] < 0) continue;
+      if (add) {
+        y[rows[l]] += a[l];
+      } else {
+        y[rows[l]] = a[l];
+      }
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void spmv_scaled_chunks8_avx512(
+    index_t nchunks, const index_t* chunk_ptr, const index_t* slot_row,
+    const index_t* col, const real_t* val, const char* paired,
+    const real_t* d, const real_t* x, real_t* y) {
+  const __m256i kEvens = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  const __m512i kDup = _mm512_setr_epi64(0, 0, 1, 1, 2, 2, 3, 3);
+  for (index_t k = 0; k < nchunks; ++k) {
+    const index_t base = chunk_ptr[k];
+    const index_t w = (chunk_ptr[k + 1] - base) / 8;
+    const real_t* v = val + base;
+    const index_t* c = col + base;
+    const index_t* rows = slot_row + static_cast<std::size_t>(k) * 8;
+    alignas(64) real_t drbuf[8];
+    for (int l = 0; l < 8; ++l) {
+      drbuf[l] = rows[l] >= 0 ? d[rows[l]] : 0.0;
+    }
+    const __m512d dr = _mm512_load_pd(drbuf);
+    __m512d acc = _mm512_setzero_pd();
+    for (index_t j = 0; j < w; ++j) {
+      const __m256i cj = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          c + static_cast<std::size_t>(j) * 8));
+      const __m512d vj =
+          _mm512_loadu_pd(v + static_cast<std::size_t>(j) * 8);
+      __m512d dg, xg;
+      if (paired[k] != 0) {
+        const __m128i ce = _mm256_castsi256_si128(
+            _mm256_permutevar8x32_epi32(cj, kEvens));
+        dg = _mm512_maskz_permutexvar_pd(
+            0xFF, kDup, _mm512_zextpd256_pd512(gather4_avx512(d, ce)));
+        xg = _mm512_maskz_permutexvar_pd(
+            0xFF, kDup, _mm512_zextpd256_pd512(gather4_avx512(x, ce)));
+      } else {
+        dg = gather8(d, cj);
+        xg = gather8(x, cj);
+      }
+      // t = d_row*d_col; v' = a*t; acc += v'*x — the scalar sequence.
+      const __m512d t = _mm512_mul_pd(dr, dg);
+      const __m512d vv = _mm512_mul_pd(vj, t);
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(vv, xg));
+    }
+    alignas(64) real_t a[8];
+    _mm512_store_pd(a, acc);
+    for (int l = 0; l < 8; ++l) {
+      if (rows[l] >= 0) y[rows[l]] = a[l];
+    }
+  }
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // PFEM_SELL_X86
+
+}  // namespace
+
+SellMatrix SellMatrix::from_csr(const CsrMatrix& a, int chunk, int sigma) {
+  IndexVector all(static_cast<std::size_t>(a.rows()));
+  std::iota(all.begin(), all.end(), index_t{0});
+  return from_csr_rows(a, all, chunk, sigma);
+}
+
+SellMatrix SellMatrix::from_csr_rows(const CsrMatrix& a,
+                                     std::span<const index_t> rows, int chunk,
+                                     int sigma) {
+  const int c = chunk > 0 ? chunk : kDefaultChunk;
+  const int sg = sigma > 0 ? std::max(sigma, c) : 8 * c;
+  PFEM_CHECK(c >= 1 && c <= 4096);
+
+  const auto nr = static_cast<index_t>(rows.size());
+  for (const index_t r : rows) PFEM_CHECK(r >= 0 && r < a.rows());
+
+  SellMatrix m;
+  m.rows_ = a.rows();
+  m.cols_ = a.cols();
+  m.stored_rows_ = nr;
+  m.c_ = c;
+  m.sigma_ = sg;
+  m.nchunks_ = (nr + c - 1) / c;
+
+  // σ-window sort: within each window of sg subset positions, stable-sort
+  // by descending row length.  Stability keeps equal-length rows in the
+  // caller's order, so conversion is deterministic.
+  IndexVector order(static_cast<std::size_t>(nr));
+  std::iota(order.begin(), order.end(), index_t{0});
+  const auto rp = a.row_ptr();
+  auto len = [&](index_t i) { return rp[rows[i] + 1] - rp[rows[i]]; };
+  for (index_t w0 = 0; w0 < nr; w0 += sg) {
+    const index_t w1 = std::min<index_t>(w0 + sg, nr);
+    std::stable_sort(order.begin() + w0, order.begin() + w1,
+                     [&](index_t i, index_t j) { return len(i) > len(j); });
+  }
+
+  const auto nslots = static_cast<std::size_t>(m.nchunks_) * c;
+  m.slot_row_.assign(nslots, index_t{-1});
+  m.slot_len_.assign(nslots, index_t{0});
+  m.chunk_ptr_.assign(static_cast<std::size_t>(m.nchunks_) + 1, index_t{0});
+  for (index_t k = 0; k < m.nchunks_; ++k) {
+    index_t w = 0;
+    for (int l = 0; l < c; ++l) {
+      const index_t pos = k * c + l;
+      if (pos >= nr) break;
+      const index_t row = rows[order[pos]];
+      const index_t rl = rp[row + 1] - rp[row];
+      m.slot_row_[static_cast<std::size_t>(pos)] = row;
+      m.slot_len_[static_cast<std::size_t>(pos)] = rl;
+      w = std::max(w, rl);
+    }
+    m.chunk_ptr_[k + 1] = m.chunk_ptr_[k] + w * c;
+  }
+
+  m.col_.assign(static_cast<std::size_t>(m.chunk_ptr_.back()), index_t{0});
+  m.val_.assign(static_cast<std::size_t>(m.chunk_ptr_.back()), real_t{0.0});
+  const auto ci = a.col_idx();
+  const auto av = a.values();
+  index_t nnz = 0;
+  for (index_t k = 0; k < m.nchunks_; ++k) {
+    const index_t base = m.chunk_ptr_[k];
+    for (int l = 0; l < c; ++l) {
+      const index_t row = m.slot_row_[static_cast<std::size_t>(k) * c + l];
+      if (row < 0) continue;
+      const index_t rl = rp[row + 1] - rp[row];
+      for (index_t j = 0; j < rl; ++j) {
+        const auto slot = static_cast<std::size_t>(base + j * c + l);
+        m.col_[slot] = ci[rp[row] + j];
+        m.val_[slot] = av[rp[row] + j];
+      }
+      nnz += rl;
+    }
+  }
+  m.nnz_ = nnz;
+
+  // Detect lane-paired chunks (see chunk_paired_ in the header): both
+  // lanes of a pair must carry elementwise equal columns across the full
+  // padded width, which also makes an all-padding pair (cols all 0)
+  // trivially paired and a real/padding mismatch fall back to generic.
+  m.chunk_paired_.assign(static_cast<std::size_t>(m.nchunks_), 0);
+  if (c % 2 == 0) {
+    for (index_t k = 0; k < m.nchunks_; ++k) {
+      const index_t base = m.chunk_ptr_[k];
+      const index_t w = (m.chunk_ptr_[k + 1] - base) / c;
+      bool paired = true;
+      for (index_t j = 0; paired && j < w; ++j) {
+        const index_t* cj = m.col_.data() + base + j * c;
+        for (int s = 0; s + 1 < c; s += 2) {
+          if (cj[s] != cj[s + 1]) {
+            paired = false;
+            break;
+          }
+        }
+      }
+      m.chunk_paired_[static_cast<std::size_t>(k)] = paired ? 1 : 0;
+    }
+  }
+  return m;
+}
+
+void SellMatrix::spmv(std::span<const real_t> x, std::span<real_t> y) const {
+  PFEM_DEBUG_CHECK(x.size() == static_cast<std::size_t>(cols_));
+  PFEM_DEBUG_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  switch (c_) {
+    case 4:
+      spmv_chunks<4>(nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                     col_.data(), val_.data(), x.data(), y.data(), false);
+      break;
+    case 8:
+#ifdef PFEM_SELL_X86
+      if (cpu_has_avx512f()) {
+        spmv_chunks8_avx512(nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                            col_.data(), val_.data(), chunk_paired_.data(),
+                            x.data(), y.data(), false);
+        break;
+      }
+      if (cpu_has_avx2()) {
+        spmv_chunks8_avx2(nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                          col_.data(), val_.data(), x.data(), y.data(),
+                          false);
+        break;
+      }
+#endif
+      spmv_chunks<8>(nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                     col_.data(), val_.data(), x.data(), y.data(), false);
+      break;
+    case 16:
+      spmv_chunks<16>(nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                      col_.data(), val_.data(), x.data(), y.data(), false);
+      break;
+    default:
+      spmv_chunks_any(c_, nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                      col_.data(), val_.data(), x.data(), y.data(), false);
+  }
+}
+
+void SellMatrix::spmv_add(std::span<const real_t> x,
+                          std::span<real_t> y) const {
+  PFEM_DEBUG_CHECK(x.size() == static_cast<std::size_t>(cols_));
+  PFEM_DEBUG_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  switch (c_) {
+    case 4:
+      spmv_chunks<4>(nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                     col_.data(), val_.data(), x.data(), y.data(), true);
+      break;
+    case 8:
+#ifdef PFEM_SELL_X86
+      if (cpu_has_avx512f()) {
+        spmv_chunks8_avx512(nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                            col_.data(), val_.data(), chunk_paired_.data(),
+                            x.data(), y.data(), true);
+        break;
+      }
+      if (cpu_has_avx2()) {
+        spmv_chunks8_avx2(nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                          col_.data(), val_.data(), x.data(), y.data(), true);
+        break;
+      }
+#endif
+      spmv_chunks<8>(nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                     col_.data(), val_.data(), x.data(), y.data(), true);
+      break;
+    case 16:
+      spmv_chunks<16>(nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                      col_.data(), val_.data(), x.data(), y.data(), true);
+      break;
+    default:
+      spmv_chunks_any(c_, nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                      col_.data(), val_.data(), x.data(), y.data(), true);
+  }
+}
+
+void SellMatrix::spmv_scaled(std::span<const real_t> d,
+                             std::span<const real_t> x,
+                             std::span<real_t> y) const {
+  PFEM_DEBUG_CHECK(d.size() == static_cast<std::size_t>(cols_));
+  PFEM_DEBUG_CHECK(x.size() == static_cast<std::size_t>(cols_));
+  PFEM_DEBUG_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  switch (c_) {
+    case 4:
+      spmv_scaled_chunks<4>(nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                            col_.data(), val_.data(), d.data(), x.data(),
+                            y.data());
+      break;
+    case 8:
+#ifdef PFEM_SELL_X86
+      if (cpu_has_avx512f()) {
+        spmv_scaled_chunks8_avx512(nchunks_, chunk_ptr_.data(),
+                                   slot_row_.data(), col_.data(), val_.data(),
+                                   chunk_paired_.data(), d.data(), x.data(),
+                                   y.data());
+        break;
+      }
+      if (cpu_has_avx2()) {
+        spmv_scaled_chunks8_avx2(nchunks_, chunk_ptr_.data(),
+                                 slot_row_.data(), col_.data(), val_.data(),
+                                 d.data(), x.data(), y.data());
+        break;
+      }
+#endif
+      spmv_scaled_chunks<8>(nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                            col_.data(), val_.data(), d.data(), x.data(),
+                            y.data());
+      break;
+    case 16:
+      spmv_scaled_chunks<16>(nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                             col_.data(), val_.data(), d.data(), x.data(),
+                             y.data());
+      break;
+    default:
+      spmv_scaled_chunks_any(c_, nchunks_, chunk_ptr_.data(), slot_row_.data(),
+                             col_.data(), val_.data(), d.data(), x.data(),
+                             y.data());
+  }
+}
+
+CsrMatrix SellMatrix::to_csr() const {
+  IndexVector row_ptr(static_cast<std::size_t>(rows_) + 1, index_t{0});
+  const auto nslots = static_cast<index_t>(slot_row_.size());
+  for (index_t s = 0; s < nslots; ++s) {
+    if (slot_row_[s] >= 0) row_ptr[slot_row_[s] + 1] = slot_len_[s];
+  }
+  for (index_t i = 0; i < rows_; ++i) row_ptr[i + 1] += row_ptr[i];
+
+  IndexVector col(static_cast<std::size_t>(row_ptr.back()));
+  Vector val(static_cast<std::size_t>(row_ptr.back()));
+  for (index_t k = 0; k < nchunks_; ++k) {
+    const index_t base = chunk_ptr_[k];
+    for (int l = 0; l < c_; ++l) {
+      const auto slot = static_cast<std::size_t>(k) * c_ + l;
+      const index_t row = slot_row_[slot];
+      if (row < 0) continue;
+      for (index_t j = 0; j < slot_len_[slot]; ++j) {
+        col[row_ptr[row] + j] = col_[base + j * c_ + l];
+        val[row_ptr[row] + j] = val_[base + j * c_ + l];
+      }
+    }
+  }
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col),
+                   std::move(val));
+}
+
+}  // namespace pfem::sparse

@@ -1,0 +1,119 @@
+// SELL-C-σ sliced-ELLPACK matrix — the vectorized SpMV storage.
+//
+// Rows are grouped into chunks of C consecutive slots; within a chunk the
+// entries are stored column-major (slot j of lane l lives at
+// base + j*C + l), so one inner-loop step advances C independent row
+// accumulators with unit-stride loads — the layout AMGCL-style backends
+// use to get SIMD out of FE matrices whose rows are too short for
+// row-wise vectorization.  Within windows of σ rows a stable sort by
+// descending row length packs similar-length rows into the same chunk to
+// bound zero padding; the slot→row permutation is stored and results are
+// scattered back, so callers never see the reordering.
+//
+// Bit-identity contract (what the solvers rely on): every row's partial
+// sums are accumulated in the ORIGINAL CSR column order, one add per
+// stored entry, exactly like the scalar CSR loop — the σ permutation
+// moves whole rows between slots and never reassociates a row's sum, so
+// spmv() is bit-identical to CsrMatrix::spmv for finite inputs.  Padded
+// slots contribute `+ 0.0 * x[0]`, which is exact for finite x.
+//
+// spmv_scaled() fuses the paper's norm-1 symmetric scaling (Eq. 11) into
+// the kernel: per entry it forms t = d_row*d_col, v' = a*t, acc += v'*x —
+// the same three roundings scale_symmetric() followed by spmv() performs,
+// so the fused apply is bit-identical to scaling eagerly.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace pfem::sparse {
+
+class SellMatrix {
+ public:
+  SellMatrix() = default;
+
+  /// Convert a full CSR matrix.  chunk/sigma of 0 pick platform defaults
+  /// (C=8, σ=8C); chunk must be one of the vector-friendly widths the
+  /// kernel templates cover ({4, 8, 16}) or any other positive value for
+  /// the generic fallback path.
+  [[nodiscard]] static SellMatrix from_csr(const CsrMatrix& a, int chunk = 0,
+                                           int sigma = 0);
+
+  /// Convert only the given rows of `a` (each id in [0, a.rows())); the
+  /// kernels scatter results to the ORIGINAL row ids, so a row-subset
+  /// block can write straight into a full-length y.  Used by the
+  /// interior/interface split operator.
+  [[nodiscard]] static SellMatrix from_csr_rows(const CsrMatrix& a,
+                                                std::span<const index_t> rows,
+                                                int chunk = 0, int sigma = 0);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t nnz() const noexcept { return nnz_; }
+  [[nodiscard]] index_t stored_rows() const noexcept { return stored_rows_; }
+  [[nodiscard]] int chunk() const noexcept { return c_; }
+  [[nodiscard]] int sigma() const noexcept { return sigma_; }
+  /// Stored entries including zero padding (padding ratio diagnostics).
+  [[nodiscard]] index_t padded_nnz() const noexcept {
+    return chunk_ptr_.empty() ? 0 : chunk_ptr_.back();
+  }
+  /// Slot -> original row id permutation; -1 marks a padding slot.
+  [[nodiscard]] std::span<const index_t> slot_row() const { return slot_row_; }
+  /// Chunks whose lane pairs (2s, 2s+1) carry identical column patterns
+  /// — vector-dof FE rows — and qualify for the half-gather kernel.
+  [[nodiscard]] index_t paired_chunks() const noexcept {
+    index_t n = 0;
+    for (const char p : chunk_paired_) n += p;
+    return n;
+  }
+
+  /// y[r] <- (A x)_r for every stored row r; other entries of y are
+  /// untouched.  Bit-identical to the scalar CSR row loop.
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const;
+
+  /// y[r] <- y[r] + (A x)_r for every stored row r.
+  void spmv_add(std::span<const real_t> x, std::span<real_t> y) const;
+
+  /// y[r] <- (D A D x)_r — the norm-1 scaling fused into the kernel; `a`
+  /// must be the UNSCALED matrix and d the scaling diagonal (length
+  /// cols()).  Bit-identical to scale_symmetric(d) followed by spmv().
+  void spmv_scaled(std::span<const real_t> d, std::span<const real_t> x,
+                   std::span<real_t> y) const;
+
+  /// Round-trip back to CSR in original row order (identity on from_csr
+  /// input; subset rows of from_csr_rows input, others empty).
+  [[nodiscard]] CsrMatrix to_csr() const;
+
+  /// Flops of one SpMV over the stored rows: 2*nnz (padding excluded).
+  [[nodiscard]] std::uint64_t spmv_flops() const {
+    return 2ull * static_cast<std::uint64_t>(nnz_);
+  }
+
+  /// Platform default chunk width (rows per slice).
+  static constexpr int kDefaultChunk = 8;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t nnz_ = 0;
+  index_t stored_rows_ = 0;
+  int c_ = 0;
+  int sigma_ = 0;
+  index_t nchunks_ = 0;
+  IndexVector chunk_ptr_;  ///< nchunks_+1 entry offsets (chunk k spans w*C)
+  IndexVector slot_row_;   ///< nchunks_*C original row per lane, -1 = pad
+  IndexVector slot_len_;   ///< nchunks_*C true row length per lane
+  IndexVector col_;        ///< padded, column-major per chunk
+  Vector val_;             ///< padded, column-major per chunk
+  /// Per-chunk flag: every lane pair (2s, 2s+1) has elementwise equal
+  /// column indices across the chunk width.  True for the interleaved
+  /// dof pairs of vector-valued FE problems (both dofs of a node see
+  /// the same neighbors); lets the SIMD kernels gather each x value
+  /// once and broadcast it to both lanes — same values, same mul/add
+  /// sequence, so still bit-identical.
+  std::vector<char> chunk_paired_;
+};
+
+}  // namespace pfem::sparse

@@ -27,7 +27,11 @@ class OperatorCache {
  public:
   /// @param capacity max number of *built* states kept (LRU-evicted);
   ///        registry entries (recipes) are not bounded.
-  explicit OperatorCache(std::size_t capacity) : capacity_(capacity) {
+  /// @param kernels  subdomain-operator kernel selection baked into every
+  ///        build (bit-neutral: SELL vs CSR, overlap on/off).
+  explicit OperatorCache(std::size_t capacity,
+                         const core::KernelOptions& kernels = {})
+      : capacity_(capacity), kernels_(kernels) {
     PFEM_CHECK_MSG(capacity_ >= 1, "operator cache needs capacity >= 1");
   }
 
@@ -104,7 +108,7 @@ class OperatorCache {
     }
     auto built = std::make_shared<const core::EddOperatorState>(
         core::build_edd_operator(team, *part, poly, mats ? mats.get() : nullptr,
-                                 trace));
+                                 trace, kernels_));
     std::scoped_lock lock(m_);
     auto it = entries_.find(key);
     // Store only if the recipe did not change while building.
@@ -161,6 +165,7 @@ class OperatorCache {
   }
 
   std::size_t capacity_;
+  core::KernelOptions kernels_;
   mutable std::mutex m_;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  ///< keys with built state, most recent first

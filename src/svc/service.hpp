@@ -59,6 +59,10 @@ struct ServiceConfig {
   std::size_t queue_capacity = 64; ///< admission bound (backpressure)
   std::size_t cache_capacity = 8;  ///< built operators kept (LRU)
   std::size_t max_batch_rhs = 16;  ///< fused-RHS cap per dispatch
+  /// Subdomain-operator kernel selection baked into every cached build
+  /// (SELL-C-σ vs scalar CSR, exchange overlap).  Bit-neutral: results
+  /// are identical across settings, only the kernel speed changes.
+  core::KernelOptions kernels;
   /// observe.trace turns on the service-lifetime span trace (rank lanes
   /// plus a scheduler "svc" lane with queued/coalesced/dispatch spans);
   /// observe.ring_capacity sizes each lane's flight-recorder ring.  The

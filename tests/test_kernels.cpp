@@ -1,0 +1,460 @@
+// SELL-C-σ kernel-layer property tests.
+//
+// The contract under test is *bit*-identity: the SELL layout, the fused
+// D K D scaling, the interior/interface row split and the overlapped
+// distributed apply must all reproduce the scalar-CSR reference to the
+// last ulp, across the synthetic generator family, every vector-friendly
+// chunk width, and the empty-row / tiny-matrix edge cases.  Every
+// comparison below is exact double equality on purpose.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "la/vector_ops.hpp"
+
+#include "core/cg.hpp"
+#include "core/edd_batch.hpp"
+#include "core/edd_solver.hpp"
+#include "core/kernels.hpp"
+#include "exp/experiments.hpp"
+#include "fem/problems.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/sell.hpp"
+
+namespace pfem {
+namespace {
+
+using core::KernelOptions;
+using core::RankKernel;
+using sparse::CsrMatrix;
+using sparse::SellMatrix;
+
+// Deterministic pseudo-random vector with sign changes and a spread of
+// magnitudes (splitmix64-driven).
+Vector test_vector(std::size_t n, std::uint64_t seed) {
+  Vector x(n);
+  std::uint64_t s = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0,1)
+    x[i] = (u - 0.5) * std::pow(10.0, static_cast<double>(i % 7) - 3.0);
+  }
+  return x;
+}
+
+/// Matrix with empty rows (including the first and last), single-entry
+/// rows and one dense-ish row — the padding edge cases.
+CsrMatrix ragged_matrix() {
+  const index_t n = 13;
+  std::vector<std::vector<std::pair<index_t, real_t>>> rows(
+      static_cast<std::size_t>(n));
+  rows[1] = {{0, 2.0}, {1, -1.0}, {5, 0.25}};
+  rows[3] = {{3, 4.0}};
+  rows[5] = {{0, 1.0}, {2, -2.0}, {4, 3.0}, {6, -4.0}, {8, 5.0},
+             {10, -6.0}, {12, 7.0}};
+  rows[6] = {{6, 1.5}};
+  rows[10] = {{9, -0.5}, {10, 8.0}, {11, -0.5}};
+  IndexVector rp(static_cast<std::size_t>(n) + 1, 0);
+  IndexVector ci;
+  Vector vals;
+  for (index_t i = 0; i < n; ++i) {
+    for (const auto& [c, v] : rows[static_cast<std::size_t>(i)]) {
+      ci.push_back(c);
+      vals.push_back(v);
+    }
+    rp[static_cast<std::size_t>(i) + 1] = static_cast<index_t>(ci.size());
+  }
+  return CsrMatrix(n, n, std::move(rp), std::move(ci), std::move(vals));
+}
+
+std::vector<CsrMatrix> matrix_family() {
+  std::vector<CsrMatrix> fam;
+  fam.push_back(sparse::laplace2d(7, 5));
+  fam.push_back(sparse::laplace2d(16, 16));
+  fam.push_back(sparse::random_spd(97, 5));
+  fam.push_back(sparse::tridiag(33, 4.0, -1.0));
+  Vector eig(24);
+  for (std::size_t i = 0; i < eig.size(); ++i)
+    eig[i] = 0.5 + static_cast<real_t>(i);
+  fam.push_back(sparse::diagonal_matrix(eig));
+  fam.push_back(sparse::convection_diffusion_2d(9, 11, 8.0, -3.0));
+  fam.push_back(ragged_matrix());
+  fam.push_back(sparse::tridiag(1, 3.0, 0.0));  // single row
+  fam.push_back(sparse::tridiag(3, 3.0, -1.0));  // n < every chunk width
+  fam.push_back(sparse::tridiag(8, 3.0, -1.0));  // n == default chunk
+  return fam;
+}
+
+const int kChunks[] = {4, 8, 16, 0};  // 0 = platform default
+
+TEST(SellSpmv, BitIdenticalToCsrAcrossFamilyAndChunks) {
+  for (const CsrMatrix& a : matrix_family()) {
+    const std::size_t n = static_cast<std::size_t>(a.rows());
+    const Vector x = test_vector(static_cast<std::size_t>(a.cols()), 17);
+    Vector y_ref(n, 0.0), y(n, 0.0);
+    a.spmv(x, y_ref);
+    for (const int c : kChunks) {
+      const SellMatrix s = SellMatrix::from_csr(a, c);
+      EXPECT_EQ(s.nnz(), a.nnz());
+      la::fill(y, 0.0);
+      s.spmv(x, y);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(y[i], y_ref[i]) << "row " << i << " chunk " << c;
+    }
+  }
+}
+
+TEST(SellSpmv, SpmvAddBitIdenticalToCsr) {
+  for (const CsrMatrix& a : matrix_family()) {
+    const std::size_t n = static_cast<std::size_t>(a.rows());
+    const Vector x = test_vector(static_cast<std::size_t>(a.cols()), 23);
+    Vector y_ref = test_vector(n, 29);
+    Vector y = y_ref;
+    a.spmv_add(x, y_ref);
+    const SellMatrix s = SellMatrix::from_csr(a, 8);
+    s.spmv_add(x, y);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(y[i], y_ref[i]);
+  }
+}
+
+TEST(SellSpmv, FusedScalingBitIdenticalToEagerScaling) {
+  for (const CsrMatrix& a : matrix_family()) {
+    if (a.rows() != a.cols()) continue;
+    const std::size_t n = static_cast<std::size_t>(a.rows());
+    // Any positive diagonal exercises the rounding contract; use the
+    // paper's 1/sqrt(row norm) where rows are nonempty.
+    Vector d = a.row_norms1();
+    for (std::size_t i = 0; i < n; ++i)
+      d[i] = d[i] > 0.0 ? 1.0 / std::sqrt(d[i]) : 1.0;
+    const Vector x = test_vector(n, 31);
+
+    CsrMatrix scaled = a;
+    scaled.scale_symmetric(d);
+    Vector y_ref(n, 0.0), y(n, 0.0);
+    scaled.spmv(x, y_ref);
+
+    for (const int c : kChunks) {
+      const SellMatrix s = SellMatrix::from_csr(a, c);
+      la::fill(y, 0.0);
+      s.spmv_scaled(d, x, y);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(y[i], y_ref[i]) << "row " << i << " chunk " << c;
+    }
+  }
+}
+
+TEST(SellSpmv, RoundTripsToCsrExactly) {
+  for (const CsrMatrix& a : matrix_family()) {
+    for (const int c : kChunks) {
+      const CsrMatrix back = SellMatrix::from_csr(a, c).to_csr();
+      ASSERT_EQ(back.rows(), a.rows());
+      ASSERT_EQ(back.cols(), a.cols());
+      ASSERT_EQ(back.nnz(), a.nnz());
+      const auto rp = a.row_ptr(), rp2 = back.row_ptr();
+      const auto ci = a.col_idx(), ci2 = back.col_idx();
+      const auto v = a.values(), v2 = back.values();
+      for (std::size_t k = 0; k < rp.size(); ++k) ASSERT_EQ(rp2[k], rp[k]);
+      for (std::size_t k = 0; k < ci.size(); ++k) ASSERT_EQ(ci2[k], ci[k]);
+      for (std::size_t k = 0; k < v.size(); ++k) ASSERT_EQ(v2[k], v[k]);
+    }
+  }
+}
+
+TEST(SellSpmv, RowSubsetBlocksComposeToFullApply) {
+  for (const CsrMatrix& a : matrix_family()) {
+    const index_t n = a.rows();
+    IndexVector even, odd, none;
+    for (index_t i = 0; i < n; ++i) ((i % 2 == 0) ? even : odd).push_back(i);
+    const Vector x = test_vector(static_cast<std::size_t>(a.cols()), 37);
+    Vector y_ref(static_cast<std::size_t>(n), 0.0);
+    a.spmv(x, y_ref);
+
+    const SellMatrix se = SellMatrix::from_csr_rows(a, even, 8);
+    const SellMatrix so = SellMatrix::from_csr_rows(a, odd, 8);
+    const SellMatrix s0 = SellMatrix::from_csr_rows(a, none, 8);
+    EXPECT_EQ(se.nnz() + so.nnz(), a.nnz());
+    EXPECT_EQ(s0.nnz(), 0);
+    Vector y(static_cast<std::size_t>(n), 0.0);
+    se.spmv(x, y);
+    so.spmv(x, y);
+    s0.spmv(x, y);  // no-op on empty subset
+    for (std::size_t i = 0; i < y.size(); ++i) ASSERT_EQ(y[i], y_ref[i]);
+  }
+}
+
+// ---- RankKernel: every (format, overlap) combination must agree with
+// the eager-scaled CSR reference, whole-apply and split-apply alike.
+
+TEST(RankKernelTest, AllConfigsBitIdenticalToScaledCsr) {
+  const CsrMatrix k = sparse::laplace2d(11, 9);
+  const std::size_t n = static_cast<std::size_t>(k.rows());
+  Vector d = k.row_norms1();
+  for (std::size_t i = 0; i < n; ++i) d[i] = 1.0 / std::sqrt(d[i]);
+  // An arbitrary scattered "interface": every 7th dof.
+  IndexVector iface;
+  for (index_t i = 0; i < k.rows(); i += 7) iface.push_back(i);
+
+  CsrMatrix scaled = k;
+  scaled.scale_symmetric(d);
+  const Vector x = test_vector(n, 41);
+  Vector y_ref(n, 0.0);
+  scaled.spmv(x, y_ref);
+
+  for (const auto format :
+       {KernelOptions::Format::Csr, KernelOptions::Format::Sell}) {
+    for (const bool overlap : {false, true}) {
+      for (const int c : kChunks) {
+        KernelOptions ko;
+        ko.format = format;
+        ko.overlap = overlap;
+        ko.chunk = c;
+        const RankKernel a(k, Vector(d), iface, ko);
+        EXPECT_EQ(a.split(), overlap);
+        Vector y(n, 0.0);
+        a.apply(x, y);
+        for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(y[i], y_ref[i]);
+        if (a.split()) {
+          // The two half-applies must partition the rows: coupled then
+          // interior writes every entry exactly once.
+          Vector y2(n, -1.0e300);
+          a.apply_coupled(x, y2);
+          a.apply_interior(x, y2);
+          for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(y2[i], y_ref[i]);
+        }
+      }
+    }
+  }
+
+  // No interface dofs => never split, regardless of the overlap knob.
+  const RankKernel whole(k, Vector(d), IndexVector{},
+                         KernelOptions{KernelOptions::Format::Sell, true});
+  EXPECT_FALSE(whole.split());
+}
+
+TEST(RankKernelTest, FromScaledMatchesOwningBuild) {
+  const CsrMatrix k = sparse::convection_diffusion_2d(8, 7, 2.0, 1.0);
+  const std::size_t n = static_cast<std::size_t>(k.rows());
+  Vector d = k.row_norms1();
+  for (std::size_t i = 0; i < n; ++i) d[i] = 1.0 / std::sqrt(d[i]);
+  IndexVector iface = {0, 5, 17, 30};
+
+  CsrMatrix scaled = k;
+  scaled.scale_symmetric(d);
+  const Vector x = test_vector(n, 43);
+  Vector y_ref(n, 0.0);
+  const RankKernel owning(k, Vector(d), iface, {});
+  owning.apply(x, y_ref);
+
+  for (const auto format :
+       {KernelOptions::Format::Csr, KernelOptions::Format::Sell}) {
+    for (const bool overlap : {false, true}) {
+      KernelOptions ko;
+      ko.format = format;
+      ko.overlap = overlap;
+      const RankKernel view = RankKernel::from_scaled(&scaled, iface, ko);
+      Vector y(n, 0.0);
+      view.apply(x, y);
+      for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(y[i], y_ref[i]);
+    }
+  }
+}
+
+// ---- Distributed: kernel format and exchange overlap are bit-neutral
+// for every solver path, and leave the Table-1 exchange counts alone.
+
+std::vector<KernelOptions> kernel_configs() {
+  std::vector<KernelOptions> cfgs;
+  for (const auto format :
+       {KernelOptions::Format::Csr, KernelOptions::Format::Sell})
+    for (const bool overlap : {false, true}) {
+      KernelOptions ko;
+      ko.format = format;
+      ko.overlap = overlap;
+      cfgs.push_back(ko);
+    }
+  return cfgs;
+}
+
+TEST(DistKernels, SolveEddBitNeutralAcrossKernelConfigs) {
+  fem::CantileverSpec spec;
+  spec.nx = 10;
+  spec.ny = 5;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  const partition::EddPartition part = exp::make_edd(prob, 4);
+  core::PolySpec poly;
+  poly.kind = core::PolyKind::Gls;
+  poly.degree = 3;
+
+  for (const auto variant :
+       {core::EddVariant::Basic, core::EddVariant::Enhanced}) {
+    std::vector<core::DistSolveResult> runs;
+    for (const KernelOptions& ko : kernel_configs()) {
+      core::SolveOptions opts;
+      opts.tol = 1e-8;
+      opts.kernels = ko;
+      runs.push_back(solve_edd(part, prob.load, poly, opts, variant));
+      ASSERT_TRUE(runs.back().converged);
+    }
+    const core::DistSolveResult& ref = runs.front();
+    for (std::size_t r = 1; r < runs.size(); ++r) {
+      EXPECT_EQ(runs[r].iterations, ref.iterations);
+      ASSERT_EQ(runs[r].history.size(), ref.history.size());
+      for (std::size_t i = 0; i < ref.history.size(); ++i)
+        ASSERT_EQ(runs[r].history[i], ref.history[i]) << "iteration " << i;
+      ASSERT_EQ(runs[r].x.size(), ref.x.size());
+      for (std::size_t i = 0; i < ref.x.size(); ++i)
+        ASSERT_EQ(runs[r].x[i], ref.x[i]) << "dof " << i;
+      // Overlap restructures each exchange but never adds or drops one.
+      ASSERT_EQ(runs[r].rank_counters.size(), ref.rank_counters.size());
+      for (std::size_t s = 0; s < ref.rank_counters.size(); ++s)
+        EXPECT_EQ(runs[r].rank_counters[s].neighbor_exchanges,
+                  ref.rank_counters[s].neighbor_exchanges);
+    }
+  }
+}
+
+TEST(DistKernels, SolveEddCgBitNeutralAcrossKernelConfigs) {
+  fem::CantileverSpec spec;
+  spec.nx = 8;
+  spec.ny = 4;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  const partition::EddPartition part = exp::make_edd(prob, 3);
+  core::PolySpec poly;
+  poly.kind = core::PolyKind::Gls;
+  poly.degree = 3;
+
+  std::vector<core::DistSolveResult> runs;
+  for (const KernelOptions& ko : kernel_configs()) {
+    core::SolveOptions opts;
+    opts.tol = 1e-8;
+    opts.kernels = ko;
+    runs.push_back(core::solve_edd_cg(part, prob.load, poly, opts));
+    ASSERT_TRUE(runs.back().converged);
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].history.size(), runs[0].history.size());
+    for (std::size_t i = 0; i < runs[0].history.size(); ++i)
+      ASSERT_EQ(runs[r].history[i], runs[0].history[i]);
+    for (std::size_t i = 0; i < runs[0].x.size(); ++i)
+      ASSERT_EQ(runs[r].x[i], runs[0].x[i]);
+  }
+}
+
+TEST(DistKernels, BatchSolveBitNeutralAcrossKernelConfigs) {
+  fem::CantileverSpec spec;
+  spec.nx = 9;
+  spec.ny = 4;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  const int p = 3;
+  const partition::EddPartition part = exp::make_edd(prob, p);
+  core::PolySpec poly;
+  poly.kind = core::PolyKind::Gls;
+  poly.degree = 3;
+
+  std::vector<Vector> rhs;
+  rhs.push_back(Vector(prob.load.begin(), prob.load.end()));
+  rhs.push_back(test_vector(prob.load.size(), 47));
+
+  par::Team team(p);
+  std::vector<core::BatchSolveResult> runs;
+  for (const KernelOptions& ko : kernel_configs()) {
+    core::SolveOptions opts;
+    opts.tol = 1e-8;
+    opts.kernels = ko;
+    const core::EddOperatorState op =
+        core::build_edd_operator(team, part, poly, nullptr, nullptr, ko);
+    runs.push_back(core::solve_edd_batch(team, part, op, rhs, opts));
+    ASSERT_TRUE(runs.back().comm_error.empty());
+    for (const auto& item : runs.back().items)
+      ASSERT_TRUE(item.converged);
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].x.size(), runs[0].x.size());
+    for (std::size_t b = 0; b < runs[0].x.size(); ++b) {
+      for (std::size_t i = 0; i < runs[0].x[b].size(); ++i)
+        ASSERT_EQ(runs[r].x[b][i], runs[0].x[b][i])
+            << "rhs " << b << " dof " << i;
+      ASSERT_EQ(runs[r].items[b].history.size(),
+                runs[0].items[b].history.size());
+      for (std::size_t i = 0; i < runs[0].items[b].history.size(); ++i)
+        ASSERT_EQ(runs[r].items[b].history[i],
+                  runs[0].items[b].history[i]);
+    }
+  }
+}
+
+// ---- Regression (satellite bugfix): a right-hand side small enough
+// that Arnoldi/CG inner products underflow into the sqrt_nonneg clamp
+// region must terminate cleanly (converged, finite solution), never
+// divide by a clamped-to-zero norm.
+
+TEST(ArnoldiUnderflow, TinyRhsTerminatesCleanlyAndConverges) {
+  fem::CantileverSpec spec;
+  spec.nx = 8;
+  spec.ny = 4;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  const partition::EddPartition part = exp::make_edd(prob, 3);
+  core::PolySpec poly;
+  poly.kind = core::PolyKind::Gls;
+  poly.degree = 3;
+  core::SolveOptions opts;
+  opts.tol = 1e-6;
+
+  // Reference at normal scale.
+  const core::DistSolveResult ref = solve_edd(part, prob.load, poly, opts);
+  ASSERT_TRUE(ref.converged);
+
+  // ~1e-160 scaling: residual norms sit near 1e-160, so every squared
+  // inner product (~1e-320) is subnormal and the clamp is live.
+  const real_t scale = 1e-160;
+  Vector f_tiny(prob.load.size());
+  for (std::size_t i = 0; i < f_tiny.size(); ++i)
+    f_tiny[i] = scale * prob.load[i];
+
+  const core::DistSolveResult tiny = solve_edd(part, f_tiny, poly, opts);
+  ASSERT_TRUE(tiny.converged);
+  const real_t xref = la::nrm_inf(ref.x);
+  for (std::size_t i = 0; i < tiny.x.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(tiny.x[i]));
+    // The solve is not exactly scale-equivariant in the subnormal range
+    // (squared inner products lose bits there), but the solution must
+    // still track the scaled reference to a few digits.
+    ASSERT_NEAR(tiny.x[i], scale * ref.x[i], 1e-2 * scale * xref);
+  }
+
+  // CG's rho quotients keep fewer bits than Arnoldi norms, so probe it a
+  // little above the FGMRES scale — squared inner products (~1e-310) are
+  // still subnormal, which is the clamp region under test.
+  Vector f_cg(prob.load.size());
+  for (std::size_t i = 0; i < f_cg.size(); ++i)
+    f_cg[i] = 1e-155 * prob.load[i];
+  const core::DistSolveResult cg = core::solve_edd_cg(part, f_cg, poly, opts);
+  ASSERT_TRUE(cg.converged);
+  for (std::size_t i = 0; i < cg.x.size(); ++i)
+    ASSERT_TRUE(std::isfinite(cg.x[i]));
+}
+
+TEST(ArnoldiUnderflow, InvalidSolveOptionsAreRejected) {
+  fem::CantileverSpec spec;
+  spec.nx = 4;
+  spec.ny = 2;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  const partition::EddPartition part = exp::make_edd(prob, 2);
+  core::PolySpec poly;
+  poly.kind = core::PolyKind::None;
+  core::SolveOptions bad;
+  bad.tol = 0.0;  // would defeat every convergence guard
+  EXPECT_THROW((void)solve_edd(part, prob.load, poly, bad), Error);
+  bad.tol = 1e-6;
+  bad.restart = 0;
+  EXPECT_THROW((void)solve_edd(part, prob.load, poly, bad), Error);
+}
+
+}  // namespace
+}  // namespace pfem

@@ -42,7 +42,9 @@ run_bench() {
 
 for b in $PLAIN; do run_bench "$b"; done
 for b in $FULL; do run_bench "$b" --full; done
-run_bench micro_kernels
+# The kernel sweep (CSR vs SELL vs fused) lands in BENCH_kernels.json next
+# to the table/figure JSON the other benches emit.
+run_bench micro_kernels --kernels-json=BENCH_kernels.json
 
 echo
 echo "### summary"
