@@ -1,0 +1,140 @@
+// Extension: two-level subdomain deflation on the Table-2 weak-scaling
+// sweep.  The single-level EDD-FGMRES-GLS(7) iteration count grows ~6x
+// from Mesh4 @ P = 2 to Mesh10 @ P = 16 (the classic one-level DD
+// pathology: no global information transfer).  With the coarse space
+// (per-subdomain {1, x, y} x component, see DESIGN.md §11) the count
+// must stay within 1.3x — that bound is this bench's acceptance gate:
+// it exits nonzero when deflated growth exceeds it, and
+// --deflation-json=PATH records the sweep for run_paper_full.sh.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/edd_solver.hpp"
+#include "exp/experiments.hpp"
+#include "exp/table.hpp"
+#include "fem/problems.hpp"
+
+namespace {
+
+constexpr double kMaxGrowth = 1.3;
+
+struct Point {
+  int mesh_no;
+  int nprocs;
+  pfem::index_t n_eqn = 0;
+  pfem::index_t ncoarse = 0;
+  pfem::index_t iters_off = 0;
+  pfem::index_t iters_defl = 0;
+  std::uint64_t coarse_solves = 0;   // rank 0, deflated run
+  std::uint64_t reductions_defl = 0; // rank 0, deflated run
+  bool ok = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pfem;
+  bench::full_run(argc, argv);  // accepted for uniformity; sweep is fixed
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a(argv[i]);
+    if (a.rfind("--deflation-json=", 0) == 0) json_path = a.substr(17);
+  }
+
+  core::PolySpec poly;
+  poly.kind = core::PolyKind::Gls;
+  poly.degree = 7;
+
+  exp::banner(std::cout,
+              "Extension — two-level deflation, Table-2 weak scaling, "
+              "EDD-FGMRES-GLS(7)");
+
+  // ~Constant dofs per rank across the sweep (the paper's Table-2 family
+  // only reaches P = 8; Mesh10 at P = 16 extends the same trend).
+  std::vector<Point> pts = {{4, 2}, {6, 4}, {9, 8}, {10, 16}};
+  bool all_converged = true;
+  for (Point& p : pts) {
+    const fem::CantileverProblem prob = fem::make_table2_cantilever(p.mesh_no);
+    const partition::EddPartition part = exp::make_edd(prob, p.nprocs);
+    p.n_eqn = prob.dofs.num_free();
+
+    core::SolveOptions opts;
+    opts.tol = 1e-6;
+    opts.max_iters = 60000;
+    const core::DistSolveResult off =
+        core::solve_edd(part, prob.load, poly, opts);
+
+    opts.deflation.enabled = true;
+    opts.deflation.dof_coords = fem::free_dof_coords(prob.mesh, prob.dofs);
+    opts.deflation.coord_dim = static_cast<int>(prob.mesh.dim());
+    const core::DistSolveResult defl =
+        core::solve_edd(part, prob.load, poly, opts);
+
+    p.ok = off.converged && defl.converged;
+    all_converged = all_converged && p.ok;
+    p.iters_off = off.iterations;
+    p.iters_defl = defl.iterations;
+    if (!defl.rank_counters.empty()) {
+      p.coarse_solves = defl.rank_counters[0].coarse_solves;
+      p.reductions_defl = defl.rank_counters[0].global_reductions;
+    }
+    // nbasis = 3 ({1, x, y}) x 2 components per subdomain at q = 6.
+    p.ncoarse = static_cast<index_t>(p.nprocs) * 6;
+  }
+
+  exp::Table table({"Mesh", "P", "nEqn", "iters off", "iters defl",
+                    "dim(E)", "coarse solves", "reductions"});
+  for (const Point& p : pts)
+    table.add_row({"Mesh" + std::to_string(p.mesh_no),
+                   exp::Table::integer(p.nprocs),
+                   exp::Table::integer(p.n_eqn),
+                   exp::Table::integer(p.iters_off),
+                   exp::Table::integer(p.iters_defl),
+                   exp::Table::integer(p.ncoarse),
+                   exp::Table::integer(static_cast<index_t>(p.coarse_solves)),
+                   exp::Table::integer(
+                       static_cast<index_t>(p.reductions_defl))});
+  table.print(std::cout);
+
+  const double growth_off = static_cast<double>(pts.back().iters_off) /
+                            static_cast<double>(pts.front().iters_off);
+  const double growth = static_cast<double>(pts.back().iters_defl) /
+                        static_cast<double>(pts.front().iters_defl);
+  const bool pass = all_converged && growth <= kMaxGrowth;
+  std::printf(
+      "\nP=2 -> P=16 iteration growth: single-level %.2fx, deflated %.2fx "
+      "(gate: <= %.1fx) — %s\n",
+      growth_off, growth, kMaxGrowth, pass ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << "{\n  \"bench\": \"deflation_scaling\",\n"
+        << "  \"preconditioner\": \"gls7\",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const Point& p = pts[i];
+      out << "    {\"mesh\": \"Mesh" << p.mesh_no << "\", \"nprocs\": "
+          << p.nprocs << ", \"n_eqn\": " << p.n_eqn
+          << ", \"iters_off\": " << p.iters_off
+          << ", \"iters_deflated\": " << p.iters_defl
+          << ", \"coarse_dim\": " << p.ncoarse
+          << ", \"coarse_solves\": " << p.coarse_solves
+          << ", \"global_reductions\": " << p.reductions_defl
+          << ", \"converged\": " << (p.ok ? "true" : "false") << "}"
+          << (i + 1 < pts.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"growth_off\": " << growth_off
+        << ",\n  \"growth_deflated\": " << growth
+        << ",\n  \"max_growth\": " << kMaxGrowth
+        << ",\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+    std::printf("deflation sweep written to %s\n", json_path.c_str());
+  }
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,173 @@
+#include "core/deflation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pfem::core {
+
+CoarseOperator::CoarseOperator(la::DenseMatrix e) : lu_([&] {
+  const index_t n = e.rows();
+  PFEM_CHECK(e.cols() == n);
+  for (index_t i = 0; i < n; ++i) {
+    bool empty = true;
+    for (index_t j = 0; j < n && empty; ++j)
+      empty = e(i, j) == 0.0 && e(j, i) == 0.0;
+    if (empty) e(i, i) = 1.0;
+  }
+  return la::LuFactorization(std::move(e));
+}()) {}
+
+DeflationRank::DeflationRank(const partition::EddSubdomain& sub, int rank,
+                             int nparts, const DeflationOptions& opts,
+                             std::span<const real_t> dof_weights)
+    : sub_(&sub) {
+  const auto q = static_cast<index_t>(opts.vectors_per_subdomain);
+  const auto nc = static_cast<index_t>(opts.components);
+  PFEM_CHECK_MSG(q >= 1, "deflation: vectors_per_subdomain must be >= 1");
+  PFEM_CHECK_MSG(nc >= 1, "deflation: components must be >= 1");
+  PFEM_CHECK(rank >= 0 && rank < nparts);
+  const auto dim = static_cast<index_t>(opts.coord_dim);
+  const bool have_coords = dim > 0 && !opts.dof_coords.empty();
+  nbasis_ = static_cast<int>(std::clamp(
+      q / nc, index_t{1}, have_coords ? 1 + dim : index_t{1}));
+  comps_ = nc;
+  ncoarse_ = static_cast<index_t>(nparts) * nbasis_ * nc;
+
+  const std::size_t nl = sub.local_to_global.size();
+  PFEM_CHECK(dof_weights.size() == nl);
+
+  // Owner of each local dof: the lowest rank sharing it.  Every sharer
+  // computes the same minimum from its own neighbor lists, so the patch
+  // assignment is globally consistent without communication.
+  std::vector<int> owner(nl, rank);
+  for (const auto& nb : sub.neighbors)
+    if (nb.rank < rank)
+      for (const index_t l : nb.shared_local_dofs)
+        owner[static_cast<std::size_t>(l)] =
+            std::min(owner[static_cast<std::size_t>(l)], nb.rank);
+
+  col0_.resize(nl);
+  val_.resize(nl * static_cast<std::size_t>(nbasis_));
+  const auto nb_stride = static_cast<index_t>(nbasis_) * nc;
+  for (std::size_t l = 0; l < nl; ++l) {
+    const index_t g = sub.local_to_global[l];
+    col0_[l] = static_cast<index_t>(owner[l]) * nb_stride + g % nc;
+    val_[l * static_cast<std::size_t>(nbasis_)] = dof_weights[l];
+    for (int b = 1; b < nbasis_; ++b) {
+      const auto ci = static_cast<std::size_t>(g) *
+                          static_cast<std::size_t>(dim) +
+                      static_cast<std::size_t>(b - 1);
+      PFEM_CHECK_MSG(ci < opts.dof_coords.size(),
+                     "deflation: dof_coords too short for the partition");
+      val_[l * static_cast<std::size_t>(nbasis_) +
+           static_cast<std::size_t>(b)] = dof_weights[l] * opts.dof_coords[ci];
+    }
+  }
+}
+
+void DeflationRank::accumulate_e(const sparse::CsrMatrix& k,
+                                 std::span<const real_t> d,
+                                 la::DenseMatrix& e) const {
+  PFEM_CHECK(e.rows() == ncoarse_ && e.cols() == ncoarse_);
+  const auto rp = k.row_ptr();
+  const auto ci = k.col_idx();
+  const auto vals = k.values();
+  const auto nb = static_cast<std::size_t>(nbasis_);
+  for (index_t i = 0; i < k.rows(); ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    const index_t ci0 = col0_[si];
+    for (index_t nz = rp[si]; nz < rp[si + 1]; ++nz) {
+      const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(nz)]);
+      const real_t a_ij =
+          d[si] * vals[static_cast<std::size_t>(nz)] * d[j];
+      const index_t cj0 = col0_[j];
+      for (std::size_t b1 = 0; b1 < nb; ++b1)
+        for (std::size_t b2 = 0; b2 < nb; ++b2)
+          e(ci0 + static_cast<index_t>(b1) * comps_,
+            cj0 + static_cast<index_t>(b2) * comps_) +=
+              val_[si * nb + b1] * a_ij * val_[j * nb + b2];
+    }
+  }
+}
+
+void DeflationRank::accumulate_e_scaled(const sparse::CsrMatrix& a_scaled,
+                                        la::DenseMatrix& e) const {
+  PFEM_CHECK(e.rows() == ncoarse_ && e.cols() == ncoarse_);
+  const auto rp = a_scaled.row_ptr();
+  const auto ci = a_scaled.col_idx();
+  const auto vals = a_scaled.values();
+  const auto nb = static_cast<std::size_t>(nbasis_);
+  for (index_t i = 0; i < a_scaled.rows(); ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    const index_t ci0 = col0_[si];
+    for (index_t nz = rp[si]; nz < rp[si + 1]; ++nz) {
+      const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(nz)]);
+      const real_t a_ij = vals[static_cast<std::size_t>(nz)];
+      const index_t cj0 = col0_[j];
+      for (std::size_t b1 = 0; b1 < nb; ++b1)
+        for (std::size_t b2 = 0; b2 < nb; ++b2)
+          e(ci0 + static_cast<index_t>(b1) * comps_,
+            cj0 + static_cast<index_t>(b2) * comps_) +=
+              val_[si * nb + b1] * a_ij * val_[j * nb + b2];
+    }
+  }
+}
+
+void DeflationRank::restrict_local(std::span<const real_t> v_loc,
+                                   std::span<real_t> c) const {
+  PFEM_CHECK(v_loc.size() == col0_.size());
+  PFEM_CHECK(c.size() == static_cast<std::size_t>(ncoarse_));
+  const auto nb = static_cast<std::size_t>(nbasis_);
+  for (std::size_t l = 0; l < col0_.size(); ++l)
+    for (std::size_t b = 0; b < nb; ++b)
+      c[static_cast<std::size_t>(col0_[l] +
+                                 static_cast<index_t>(b) * comps_)] +=
+          val_[l * nb + b] * v_loc[l];
+}
+
+void DeflationRank::restrict_global(std::span<const real_t> v_glob,
+                                    std::span<real_t> c) const {
+  PFEM_CHECK(v_glob.size() == col0_.size());
+  PFEM_CHECK(c.size() == static_cast<std::size_t>(ncoarse_));
+  const auto nb = static_cast<std::size_t>(nbasis_);
+  for (std::size_t l = 0; l < col0_.size(); ++l) {
+    const real_t v = v_glob[l] / static_cast<real_t>(sub_->multiplicity[l]);
+    for (std::size_t b = 0; b < nb; ++b)
+      c[static_cast<std::size_t>(col0_[l] +
+                                 static_cast<index_t>(b) * comps_)] +=
+          val_[l * nb + b] * v;
+  }
+}
+
+void DeflationRank::prolong_global(std::span<const real_t> y,
+                                   std::span<real_t> z) const {
+  PFEM_CHECK(y.size() == static_cast<std::size_t>(ncoarse_));
+  PFEM_CHECK(z.size() == col0_.size());
+  const auto nb = static_cast<std::size_t>(nbasis_);
+  for (std::size_t l = 0; l < col0_.size(); ++l) {
+    real_t acc = 0.0;
+    for (std::size_t b = 0; b < nb; ++b)
+      acc += val_[l * nb + b] *
+             y[static_cast<std::size_t>(col0_[l] +
+                                        static_cast<index_t>(b) * comps_)];
+    z[l] = acc;
+  }
+}
+
+void DeflationRank::prolong_local(std::span<const real_t> y,
+                                  std::span<real_t> z) const {
+  PFEM_CHECK(y.size() == static_cast<std::size_t>(ncoarse_));
+  PFEM_CHECK(z.size() == col0_.size());
+  const auto nb = static_cast<std::size_t>(nbasis_);
+  for (std::size_t l = 0; l < col0_.size(); ++l) {
+    real_t acc = 0.0;
+    for (std::size_t b = 0; b < nb; ++b)
+      acc += val_[l * nb + b] *
+             y[static_cast<std::size_t>(col0_[l] +
+                                        static_cast<index_t>(b) * comps_)];
+    z[l] = acc / static_cast<real_t>(sub_->multiplicity[l]);
+  }
+}
+
+}  // namespace pfem::core

@@ -256,11 +256,30 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
   std::vector<Vector> h(nb, Vector(static_cast<std::size_t>(m) + 2));
   std::vector<Vector> h2(nb, Vector(static_cast<std::size_t>(m) + 2));
   std::vector<std::optional<la::HessenbergLsq>> lsq(nb);
-  std::vector<char> done(nb, 0), conv(nb, 0), frozen(nb, 0), brk(nb, 0);
+  std::vector<char> done(nb, 0), frozen(nb, 0), brk(nb, 0);
   std::vector<index_t> iters(nb, 0), jcols(nb, 0);
   std::vector<real_t> beta0(nb, -1.0), relres(nb, 1.0);
 
   BatchPoly poly(op, nl, nb);
+
+  // Two-level deflation, prebuilt by build_edd_operator and cached with
+  // the operator: the fused A-DEF1 correction costs the whole batch ONE
+  // small allreduce (every live RHS's coarse residual in one buffer) and
+  // ONE fused exchange (globalizing the ÂZy corrections) per
+  // preconditioner application.
+  const CoarseOperator* const coarse = op.coarse.get();
+  std::optional<DeflationRank> defl;
+  std::vector<Vector> zy, vdef;
+  Vector cbuf;
+  if (coarse != nullptr) {
+    Vector w(nl);  // Z weights 1/d̂: the scaled operator's near-null basis
+    for (std::size_t l = 0; l < nl; ++l)
+      w[l] = 1.0 / op.d[static_cast<std::size_t>(s)][l];
+    defl.emplace(sub, s, part.nparts(), op.deflation, w);
+    zy.assign(nb, Vector(nl));
+    vdef.assign(nb, Vector(nl));
+  }
+
   std::vector<Vector*> ex;         // fused-exchange view
   std::vector<const Vector*> pv;   // poly inputs
   std::vector<Vector*> pz;         // poly outputs
@@ -304,15 +323,14 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
         beta0[b] = beta;
         if (beta == 0.0) {  // zero rhs: x = 0 is exact
           done[b] = 1;
-          conv[b] = 1;
           relres[b] = 0.0;
+          if (s == 0) out.items[b].trivial_rhs = true;
           continue;
         }
       }
       relres[b] = beta / beta0[b];
       if (relres[b] <= opts.tol) {
         done[b] = 1;
-        conv[b] = 1;
         continue;
       }
       if (iters[b] >= opts.max_iters) {
@@ -351,7 +369,57 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
         pv.push_back(&v[b][jj]);
         pz.push_back(&z[b][jj]);
       }
-      {
+      if (defl) {
+        // Coarse correction first: v_b -> v_b − ÂZy_b with
+        // y_b = E⁻¹Zᵀv_b, then the polynomial on the deflated vectors,
+        // then z_b += Zy_b.
+        const auto nc = static_cast<std::size_t>(defl->ncoarse());
+        {
+          OBS_SPAN(tr, "coarse_correct", obs::Cat::Precond,
+                   static_cast<std::uint32_t>(live.size()));
+          cbuf.assign(live.size() * nc, 0.0);
+          const std::span<real_t> call(cbuf);
+          for (std::size_t i = 0; i < live.size(); ++i) {
+            defl->restrict_global(*pv[i], call.subspan(i * nc, nc));
+            r.counters().flops += 2 * nl;
+          }
+          comm.allreduce_sum(call);
+          ex.clear();
+          for (std::size_t i = 0; i < live.size(); ++i) {
+            const std::size_t b = live[i];
+            const auto c = call.subspan(i * nc, nc);
+            coarse->solve(c);
+            r.counters().coarse_solves += 1;
+            r.counters().flops += coarse->solve_flops();
+            defl->prolong_global(c, zy[b]);
+            r.counters().flops += nl;
+            r.spmv(a, zy[b], vdef[b]);
+            ex.push_back(&vdef[b]);
+          }
+          r.exchange_many(ex);  // one fused exchange globalizes every ÂZy
+          for (std::size_t i = 0; i < live.size(); ++i) {
+            const std::size_t b = live[i];
+            const Vector& vin = *pv[i];
+            for (std::size_t l = 0; l < nl; ++l)
+              vdef[b][l] = vin[l] - vdef[b][l];
+            r.counters().flops += nl;
+            r.counters().vector_updates += 1;
+          }
+          pv.clear();
+          for (const std::size_t b : live) pv.push_back(&vdef[b]);
+        }
+        {
+          OBS_SPAN(tr, "poly_apply", obs::Cat::Precond);
+          poly.apply(r, a, pv, pz);
+        }
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          const std::size_t b = live[i];
+          Vector& zout = *pz[i];
+          for (std::size_t l = 0; l < nl; ++l) zout[l] += zy[b][l];
+          r.counters().flops += nl;
+          r.counters().vector_updates += 1;
+        }
+      } else {
         OBS_SPAN(tr, "poly_apply", obs::Cat::Precond);
         poly.apply(r, a, pv, pz);
       }
@@ -443,9 +511,13 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
         r.counters().flops += 2 * nl * static_cast<std::size_t>(jcols[b]);
         r.counters().vector_updates += static_cast<std::uint64_t>(jcols[b]);
       }
-      if (relres[b] <= opts.tol || brk[b]) {
+      if (brk[b]) {
+        // Terminal, but NOT convergence: the final true residual below
+        // is the only arbiter of that (mirrors solve_edd).
         done[b] = 1;
-        conv[b] = 1;  // breakdown exits as converged, like solve_edd
+        if (s == 0) out.items[b].breakdown = true;
+      } else if (relres[b] <= opts.tol) {
+        done[b] = 1;
       }
     }
   }
@@ -475,7 +547,9 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
       BatchItemResult& item = out.items[b];
       const real_t final_res = sqrt_nonneg(red[b]);
       item.final_relres = beta0[b] > 0.0 ? final_res / beta0[b] : 0.0;
-      item.converged = conv[b] != 0 || item.final_relres <= opts.tol;
+      // Convergence is claimed on the final TRUE relative residual alone
+      // (a trivial RHS reports 0, which always meets a positive tol).
+      item.converged = item.final_relres <= opts.tol;
       item.iterations = iters[b];
     }
   }
@@ -486,7 +560,7 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
 EddOperatorState build_edd_operator(
     par::Team& team, const partition::EddPartition& part, const PolySpec& spec,
     const std::vector<sparse::CsrMatrix>* local_matrices, obs::Trace* trace,
-    const KernelOptions& kernels) {
+    const KernelOptions& kernels, const DeflationOptions& deflation) {
   validate_poly_spec(spec);
   PFEM_CHECK_MSG(team.size() == part.nparts(),
                  "build_edd_operator: team size " << team.size()
@@ -499,9 +573,11 @@ EddOperatorState build_edd_operator(
   EddOperatorState op;
   op.poly = spec;
   op.kernels = kernels;
+  op.deflation = deflation;
   op.a.resize(p);
   op.d.resize(p);
   op.kern.resize(p);
+  la::DenseMatrix e_shared;  // allreduced E, identical bits on every rank
   op.setup_counters = team.run(
       [&](par::Comm& comm) {
         const auto s = static_cast<std::size_t>(comm.rank());
@@ -525,10 +601,33 @@ EddOperatorState build_edd_operator(
                                 kernels);
         a.scale_symmetric(d);  // Â = D̂ K̂ D̂ (Eq. 44)
         r.counters().flops += 2ull * static_cast<std::uint64_t>(a.nnz());
+        if (deflation.enabled) {
+          // E = ZᵀÂZ from the local-format sum identity: one sweep over
+          // the scaled nnz per rank, ONE allreduce of the dense buffer.
+          OBS_SPAN(comm.tracer(), "build_coarse", obs::Cat::Setup);
+          Vector w(nl);  // Z weights 1/d̂ (see core/deflation.hpp)
+          for (std::size_t l = 0; l < nl; ++l) w[l] = 1.0 / d[l];
+          DeflationRank dr(sub, static_cast<int>(s), part.nparts(),
+                           deflation, w);
+          la::DenseMatrix ep(dr.ncoarse(), dr.ncoarse());
+          dr.accumulate_e_scaled(a, ep);
+          r.counters().flops += static_cast<std::uint64_t>(a.nnz());
+          comm.allreduce_sum(ep.data());
+          if (s == 0) e_shared = std::move(ep);
+        }
         op.a[s] = std::move(a);
         op.d[s] = std::move(d);
       },
       trace);
+  if (deflation.enabled) {
+    // One shared read-only factorization serves every rank (the
+    // allreduce already replicated E bit-identically); the flops are
+    // charged per rank, matching the redundant factorization a
+    // distributed-memory run performs in place of a broadcast.
+    op.coarse = std::make_shared<const CoarseOperator>(std::move(e_shared));
+    const auto nc = static_cast<std::uint64_t>(op.coarse->n());
+    for (auto& c : op.setup_counters) c.flops += 2 * nc * nc * nc / 3;
+  }
 
   // The polynomial recursion data depends only on the spec (the paper
   // builds it redundantly per rank with zero communication); one shared

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/chebyshev.hpp"
+#include "core/deflation.hpp"
 #include "core/edd_solver.hpp"
 #include "core/kernels.hpp"
 #include "core/gls_poly.hpp"
@@ -48,6 +49,15 @@ struct EddOperatorState {
   /// null for kinds that need none).
   std::shared_ptr<const GlsPolynomial> gls;
   std::shared_ptr<const ChebyshevPolynomial> cheb;
+  /// Deflation knobs the operator was built with, and the replicated
+  /// factorized coarse operator E = ZᵀÂZ (null when deflation is off).
+  /// Cached alongside the operator — a service cache hit reuses the
+  /// coarse factorization together with the scaling and kernels.  The
+  /// batch solve takes its deflation setup from HERE, not from
+  /// SolveOptions (the correction is operator state, like the
+  /// polynomial).
+  DeflationOptions deflation;
+  std::shared_ptr<const CoarseOperator> coarse;
   std::vector<par::PerfCounters> setup_counters;  ///< scaling exchange/flops
   double setup_seconds = 0.0;  ///< wall time of the whole build
 };
@@ -59,11 +69,16 @@ struct EddOperatorState {
 /// operator without repartitioning.
 /// @param trace optional span trace (lanes == team size) for the build,
 ///        e.g. the solve service's long-lived trace.
+/// @param deflation when enabled, additionally assembles and factorizes
+///        the deflation coarse operator (one allreduce of the dense E
+///        buffer on the team) so every later batch solve applies the
+///        two-level correction with no extra setup.
 [[nodiscard]] EddOperatorState build_edd_operator(
     par::Team& team, const partition::EddPartition& part,
     const PolySpec& spec,
     const std::vector<sparse::CsrMatrix>* local_matrices = nullptr,
-    obs::Trace* trace = nullptr, const KernelOptions& kernels = {});
+    obs::Trace* trace = nullptr, const KernelOptions& kernels = {},
+    const DeflationOptions& deflation = {});
 
 /// Per-RHS outcome of a batch solve — the same unified report shape as
 /// every other solver path (with per-iteration residual history, written

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "core/deflation.hpp"
 #include "core/gls_poly.hpp"
 #include "core/neumann.hpp"
 #include "la/hessenberg_lsq.hpp"
@@ -61,6 +62,8 @@ using detail::sqrt_nonneg;
 struct SharedOut {
   std::vector<Vector> solutions;  // per-rank u in global distributed format
   bool converged = false;
+  bool breakdown = false;
+  bool trivial_rhs = false;
   index_t iterations = 0;
   index_t restarts = 0;
   real_t final_relres = 0.0;
@@ -119,6 +122,98 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
     poly_store.emplace(spec, nl, &r.counters());
   }
   DistPoly& poly = *poly_store;
+
+  // Two-level deflation setup: E = ZᵀÂZ assembled from the local
+  // sub-matrices in one nnz sweep, completed by ONE allreduce of the
+  // dense buffer, then LU-factorized redundantly — the allreduce makes E
+  // bit-identical on every rank, so each rank's factor (and every later
+  // coarse solve) is too, and no broadcast is ever needed.
+  std::optional<DeflationRank> defl;
+  std::optional<CoarseOperator> coarse;
+  Vector cbuf, zy, vdef;
+  if (opts.deflation.enabled) {
+    OBS_SPAN(tr, "build_coarse", obs::Cat::Setup);
+    Vector w(nl);  // Z weights 1/d̂: the scaled operator's near-null basis
+    for (std::size_t l = 0; l < nl; ++l) w[l] = 1.0 / d[l];
+    defl.emplace(sub, s, part.nparts(), opts.deflation, w);
+    const index_t nc = defl->ncoarse();
+    la::DenseMatrix e(nc, nc);
+    defl->accumulate_e(k_in, d, e);
+    r.counters().flops += 3ull * static_cast<std::uint64_t>(k_in.nnz());
+    comm.allreduce_sum(e.data());
+    coarse.emplace(std::move(e));
+    const auto ncc = static_cast<std::uint64_t>(nc);
+    r.counters().flops += 2 * ncc * ncc * ncc / 3;
+    cbuf.resize(static_cast<std::size_t>(nc));
+    zy.resize(nl);
+    vdef.resize(nl);
+  }
+
+  // Deflated preconditioner application B v = M (v − ÂQv) + Qv with
+  // Q = ZE⁻¹Zᵀ — "A-DEF1" in Tang/Nabben/Vuik/Erlangga's taxonomy, the
+  // same variant the batch path applies.  (A-DEF2, the M-first order,
+  // only matches it when started from the special x0 = Qb; from the
+  // zero start used here it measurably degrades.)  Per application the
+  // correction costs ONE small allreduce (the coarse residual) and one
+  // extra mat-vec ÂZy.  Zy is globally consistent by construction —
+  // col() and w() depend only on the global dof id — so Basic needs NO
+  // extra exchange (the mat-vec's input is already global); Enhanced
+  // globalizes the mat-vec's local-format result with one.
+  const auto coarse_residual = [&](const Vector& vin, bool global_fmt) {
+    la::fill(cbuf, 0.0);
+    if (global_fmt)
+      defl->restrict_global(vin, cbuf);  // Zᵀv, v in global format
+    else
+      defl->restrict_local(vin, cbuf);   // Zᵀv, v in local format
+    r.counters().flops += 2 * nl;
+    comm.allreduce_sum(cbuf);
+    coarse->solve(cbuf);  // y = E⁻¹Zᵀv, bit-identical on every rank
+    r.counters().coarse_solves += 1;
+    r.counters().flops += coarse->solve_flops();
+  };
+  const auto precond_local = [&](const Vector& vin, Vector& zout) {
+    if (defl) {
+      OBS_SPAN(tr, "coarse_correct", obs::Cat::Precond);
+      coarse_residual(vin, /*global_fmt=*/false);
+      defl->prolong_global(cbuf, zy);  // Zy, globally consistent as-is
+      r.spmv(a, zy, vdef);             // ÂZy in local format — no exchange
+      for (std::size_t l = 0; l < nl; ++l) vdef[l] = vin[l] - vdef[l];
+      r.counters().flops += nl;
+      r.counters().vector_updates += 1;
+    }
+    {
+      OBS_SPAN(tr, "poly_apply", obs::Cat::Precond);
+      poly.apply_local(r, a, defl ? vdef : vin, zout);
+    }
+    if (defl) {
+      defl->prolong_local(cbuf, zy);  // Zy in local format this time
+      for (std::size_t l = 0; l < nl; ++l) zout[l] += zy[l];
+      r.counters().flops += 3 * nl;
+      r.counters().vector_updates += 1;
+    }
+  };
+  const auto precond_global = [&](const Vector& vin, Vector& zout) {
+    if (defl) {
+      OBS_SPAN(tr, "coarse_correct", obs::Cat::Precond);
+      coarse_residual(vin, /*global_fmt=*/true);
+      defl->prolong_global(cbuf, zy);
+      r.spmv(a, zy, vdef);  // ÂZy in local format
+      r.exchange(vdef);     // the one extra exchange of a deflated iter
+      for (std::size_t l = 0; l < nl; ++l) vdef[l] = vin[l] - vdef[l];
+      r.counters().flops += nl;
+      r.counters().vector_updates += 1;
+    }
+    {
+      OBS_SPAN(tr, "poly_apply", obs::Cat::Precond);
+      poly.apply_global(r, a, defl ? vdef : vin, zout);
+    }
+    if (defl) {
+      for (std::size_t l = 0; l < nl; ++l) zout[l] += zy[l];
+      r.counters().flops += nl;
+      r.counters().vector_updates += 1;
+    }
+  };
+
   out.setup_counters[static_cast<std::size_t>(s)] = comm.counters();
   out.setup_counters[static_cast<std::size_t>(s)].total_seconds =
       setup_timer.seconds();
@@ -133,7 +228,7 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
   Vector h(static_cast<std::size_t>(m) + 2);
   Vector h2(static_cast<std::size_t>(m) + 2);  // re-orthogonalization pass
 
-  bool converged = false;
+  bool broke_down = false;
   index_t iterations = 0, restarts = 0;
   real_t beta0 = -1.0, relres = 1.0;
 
@@ -153,15 +248,19 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
     if (beta0 < 0.0) {
       beta0 = beta;
       if (beta0 == 0.0) {  // zero rhs: x = 0 is exact
-        converged = true;
         relres = 0.0;
+        if (s == 0) out.trivial_rhs = true;
         break;
       }
     }
     relres = beta / beta0;
-    if (relres <= opts.tol) {
-      converged = true;
-      break;
+    if (relres <= opts.tol) break;
+
+    if (iterations > 0) {
+      // Re-entering Arnoldi after a completed cycle: only now has a
+      // restart actually happened (a first-cycle convergence reports 0).
+      ++restarts;
+      if (s == 0) out.restarts = restarts;
     }
 
     // v_0 = r / beta in the variant's basis format.
@@ -183,11 +282,9 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
 
       const int gs_passes = opts.reorthogonalize ? 2 : 1;
       if (basic) {
-        // -- Algorithm 5 inner step: m+3 exchanges total.
-        {
-          OBS_SPAN(tr, "poly_apply", obs::Cat::Precond);
-          poly.apply_local(r, a, vj, zj);      // m exchanges
-        }
+        // -- Algorithm 5 inner step: m+3 exchanges total (deflation
+        // adds an allreduce + a mat-vec but no exchange).
+        precond_local(vj, zj);                 // m exchanges
         la::copy(zj, tmp);
         exchange_spmv(r, a, tmp, w_loc);       // (+1) ẑ -> global
         la::copy(w_loc, w_glob);
@@ -232,11 +329,9 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
         h[static_cast<std::size_t>(j) + 1] =
             sqrt_nonneg(r.dot_lg(w_loc, w_glob));
       } else {
-        // -- Algorithm 6 inner step: m+1 exchanges total.
-        {
-          OBS_SPAN(tr, "poly_apply", obs::Cat::Precond);
-          poly.apply_global(r, a, vj, zj);     // m exchanges
-        }
+        // -- Algorithm 6 inner step: m+1 exchanges total (m+2 when the
+        // deflation correction globalizes its extra mat-vec).
+        precond_global(vj, zj);                // m exchanges
         r.spmv(a, zj, w_loc);
         la::copy(w_loc, w_glob);
         r.exchange(w_glob);                    // (+1) the only extra one
@@ -324,12 +419,13 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
       r.counters().flops += 2 * nl * static_cast<std::size_t>(j);
       r.counters().vector_updates += static_cast<std::uint64_t>(j);
     }
-    ++restarts;
-    if (s == 0) out.restarts = restarts;
-    if (relres <= opts.tol || breakdown) {
-      converged = true;
+    if (breakdown) {
+      // The basis cannot grow: stop, but do NOT claim convergence — the
+      // final true residual below is the only arbiter of that.
+      broke_down = true;
       break;
     }
+    if (relres <= opts.tol) break;
   }
 
   // ---- Final true residual and solution in physical variables u = D x.
@@ -358,7 +454,10 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
   out.solutions[static_cast<std::size_t>(s)] = std::move(u);
 
   if (s == 0) {
-    out.converged = converged || final_relres <= opts.tol;
+    // Convergence is claimed on the final TRUE relative residual alone;
+    // breakdown and trivial-rhs exits are reported as what they are.
+    out.converged = final_relres <= opts.tol;
+    out.breakdown = broke_down;
     out.iterations = iterations;
     out.restarts = restarts;
     out.final_relres = final_relres;
@@ -415,6 +514,8 @@ DistSolveResult solve_edd(const EddPartition& part,
     result.wall_seconds = timer.seconds();
     result.converged = false;
     result.comm_error = std::move(comm_error);
+    result.breakdown = out.breakdown;
+    result.trivial_rhs = out.trivial_rhs;
     result.iterations = out.iterations;
     result.restarts = out.restarts;
     result.final_relres = out.final_relres;
@@ -427,6 +528,8 @@ DistSolveResult solve_edd(const EddPartition& part,
   result.wall_seconds = timer.seconds();
   result.x = partition::edd_gather_global(part, out.solutions);
   result.converged = out.converged;
+  result.breakdown = out.breakdown;
+  result.trivial_rhs = out.trivial_rhs;
   result.iterations = out.iterations;
   result.restarts = out.restarts;
   result.final_relres = out.final_relres;

@@ -24,6 +24,7 @@ SolveResult fgmres(const LinearOp& a, std::span<const real_t> b,
   if (la::nrm2(b) == 0.0) {
     la::fill(x, 0.0);
     result.converged = true;
+    result.trivial_rhs = true;
     result.final_relres = 0.0;
     return result;
   }
@@ -51,10 +52,10 @@ SolveResult fgmres(const LinearOp& a, std::span<const real_t> b,
     la::sub(b, r, r);
     const real_t beta = la::nrm2(r);
     relres = beta / beta0;
-    if (relres <= opts.tol) {
-      result.converged = true;
-      break;
-    }
+    if (relres <= opts.tol) break;
+    // Only a cycle entered after a completed one counts as a restart,
+    // so a solve finishing inside its first cycle reports 0.
+    if (result.iterations > 0) ++result.restarts;
     la::copy(r, v[0]);
     la::scal(1.0 / beta, v[0]);
 
@@ -114,18 +115,18 @@ SolveResult fgmres(const LinearOp& a, std::span<const real_t> b,
         la::axpy(y[static_cast<std::size_t>(i)], z[static_cast<std::size_t>(i)],
                  x);
     }
-    ++result.restarts;
-    if (relres <= opts.tol || breakdown) {
-      result.converged = true;
+    if (breakdown) {
+      result.breakdown = true;  // terminal, but not convergence by itself
       break;
     }
+    if (relres <= opts.tol) break;
   }
 
-  // Final true residual.
+  // Final true residual — the only arbiter of convergence.
   a.apply(x, r);
   la::sub(b, r, r);
   result.final_relres = la::nrm2(r) / beta0;
-  if (result.final_relres <= opts.tol) result.converged = true;
+  result.converged = result.final_relres <= opts.tol;
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/deflation.hpp"
 #include "core/kernels.hpp"
 #include "core/operator.hpp"
 #include "core/precond.hpp"
@@ -41,6 +42,15 @@ struct SolveOptions {
   /// scalar-CSR fallback) and interior/interface exchange overlap.  Both
   /// choices are bit-neutral — results are identical across settings.
   KernelOptions kernels;
+
+  /// Two-level subdomain deflation around the polynomial preconditioner
+  /// (distributed EDD solvers only; the sequential path ignores it).
+  /// Off by default — enabling it adds one small allreduce and one
+  /// mat-vec per preconditioner application and keeps iteration counts
+  /// flat under weak scaling.  The warm batch path takes its deflation
+  /// setup from build_edd_operator instead (state cached with the
+  /// operator).
+  DeflationOptions deflation;
 
   /// Observability: span tracing and per-iteration progress callbacks.
   /// One knob struct shared by every solver entry point and the solve

@@ -180,6 +180,8 @@ class RddRank {
 struct SharedOut {
   std::vector<Vector> solutions;
   bool converged = false;
+  bool breakdown = false;
+  bool trivial_rhs = false;
   index_t iterations = 0;
   index_t restarts = 0;
   real_t final_relres = 0.0;
@@ -412,7 +414,7 @@ void rdd_rank_solve(const RddPartition& part,
   Vector h(static_cast<std::size_t>(m) + 2);
   Vector h2(static_cast<std::size_t>(m) + 2);
 
-  bool converged = false;
+  bool broke_down = false;
   index_t iterations = 0, restarts = 0;
   real_t beta0 = -1.0, relres = 1.0;
 
@@ -423,15 +425,17 @@ void rdd_rank_solve(const RddPartition& part,
     if (beta0 < 0.0) {
       beta0 = beta;
       if (beta0 == 0.0) {
-        converged = true;
         relres = 0.0;
+        if (s == 0) out.trivial_rhs = true;
         break;
       }
     }
     relres = beta / beta0;
-    if (relres <= opts.tol) {
-      converged = true;
-      break;
+    if (relres <= opts.tol) break;
+    if (iterations > 0) {
+      // Only a cycle entered after a completed one counts as a restart.
+      ++restarts;
+      if (s == 0) out.restarts = restarts;
     }
     for (std::size_t l = 0; l < nl; ++l) v[0][l] = res[l] / beta;
 
@@ -517,12 +521,11 @@ void rdd_rank_solve(const RddPartition& part,
       r.counters().flops += 2 * nl * static_cast<std::size_t>(j);
       r.counters().vector_updates += static_cast<std::uint64_t>(j);
     }
-    ++restarts;
-    if (s == 0) out.restarts = restarts;
-    if (relres <= opts.tol || breakdown) {
-      converged = true;
+    if (breakdown) {
+      broke_down = true;  // terminal, but not convergence by itself
       break;
     }
+    if (relres <= opts.tol) break;
   }
 
   // ---- Final residual and physical solution u = D x.
@@ -536,7 +539,10 @@ void rdd_rank_solve(const RddPartition& part,
   out.solutions[static_cast<std::size_t>(s)] = std::move(u);
 
   if (s == 0) {
-    out.converged = converged || final_relres <= opts.tol;
+    // The final TRUE relative residual is the only arbiter (see
+    // edd_solver): breakdown/trivial exits are reported as flags.
+    out.converged = final_relres <= opts.tol;
+    out.breakdown = broke_down;
     out.iterations = iterations;
     out.restarts = restarts;
     out.final_relres = final_relres;
@@ -586,6 +592,8 @@ DistSolveResult solve_rdd(const RddPartition& part,
     result.trace = std::move(trace);
     result.converged = false;
     result.comm_error = std::move(comm_error);
+    result.breakdown = out.breakdown;
+    result.trivial_rhs = out.trivial_rhs;
     result.iterations = out.iterations;
     result.restarts = out.restarts;
     result.final_relres = out.final_relres;
@@ -598,6 +606,8 @@ DistSolveResult solve_rdd(const RddPartition& part,
   result.trace = std::move(trace);
   result.x = partition::rdd_gather(part, out.solutions);
   result.converged = out.converged;
+  result.breakdown = out.breakdown;
+  result.trivial_rhs = out.trivial_rhs;
   result.iterations = out.iterations;
   result.restarts = out.restarts;
   result.final_relres = out.final_relres;

@@ -25,9 +25,23 @@ namespace pfem::core {
 /// What every solve reports: convergence verdict, iteration counts, and
 /// the per-iteration relative-residual history.
 struct SolveReport {
+  /// True only when the final TRUE relative residual met the tolerance.
+  /// An Arnoldi breakdown no longer masquerades as convergence: a solve
+  /// that broke down short of the tolerance reports converged = false
+  /// with breakdown = true.
   bool converged = false;
+  /// The Arnoldi recursion hit a (near-)zero next basis vector and the
+  /// solve stopped early.  For a consistent system this means the exact
+  /// solution was found in the Krylov space (converged will also be
+  /// true); for a rank-deficient operator it is a genuine failure and
+  /// converged stays false.
+  bool breakdown = false;
+  /// ‖b‖ = 0: x = 0 is exact and final_relres is reported as 0 by
+  /// convention.  Stamped so svc/loadgen statistics can keep trivial
+  /// solves out of iteration/latency percentiles.
+  bool trivial_rhs = false;
   index_t iterations = 0;     ///< total inner (Arnoldi) iterations
-  index_t restarts = 0;       ///< outer cycles completed
+  index_t restarts = 0;       ///< cycles that RE-started (0 if one cycle)
   real_t final_relres = 0.0;  ///< ‖r‖/‖r₀‖ at exit
   std::vector<real_t> history;  ///< rel. residual after each inner iteration
   /// Non-empty when the distributed run died on a typed communication

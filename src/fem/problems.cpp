@@ -100,6 +100,22 @@ std::vector<MeshInfo> table2_meshes() {
   return out;
 }
 
+Vector free_dof_coords(const Mesh& mesh, const DofMap& dofs) {
+  PFEM_CHECK(dofs.finalized());
+  const auto dim = static_cast<std::size_t>(mesh.dim());
+  Vector coords(static_cast<std::size_t>(dofs.num_free()) * dim);
+  for (index_t n = 0; n < dofs.num_nodes(); ++n)
+    for (index_t c = 0; c < dofs.dofs_per_node(); ++c) {
+      const index_t g = dofs.dof(n, c);
+      if (g < 0) continue;
+      const auto base = static_cast<std::size_t>(g) * dim;
+      coords[base] = mesh.x(n);
+      coords[base + 1] = mesh.y(n);
+      if (dim == 3) coords[base + 2] = mesh.z(n);
+    }
+  return coords;
+}
+
 CantileverProblem make_table2_cantilever(int mesh_number) {
   const auto meshes = table2_meshes();
   PFEM_CHECK_MSG(mesh_number >= 1 &&

@@ -74,6 +74,12 @@ struct MeshInfo {
   index_t n_eqn;     // free dofs after clamping x=0
 };
 
+/// Node coordinates per global FREE dof, flattened [g * dim + k] with
+/// dim = mesh.dim(); every component dof of a node repeats its
+/// coordinates.  This is the table core::DeflationOptions::dof_coords
+/// expects for the coordinate-linear coarse-space enrichment.
+[[nodiscard]] Vector free_dof_coords(const Mesh& mesh, const DofMap& dofs);
+
 /// The Table 2 mesh family (Mesh1 .. Mesh10).
 [[nodiscard]] std::vector<MeshInfo> table2_meshes();
 

@@ -96,39 +96,54 @@ void cholesky_solve(DenseMatrix& a, std::span<real_t> b) {
 }
 
 void lu_solve(DenseMatrix& a, std::span<real_t> b) {
-  const index_t n = a.rows();
-  PFEM_CHECK(a.cols() == n);
-  PFEM_CHECK(b.size() == static_cast<std::size_t>(n));
-  std::vector<index_t> piv(static_cast<std::size_t>(n));
+  const LuFactorization lu(std::move(a));
+  lu.solve(b);
+}
+
+LuFactorization::LuFactorization(DenseMatrix a) : lu_(std::move(a)) {
+  const index_t n = lu_.rows();
+  PFEM_CHECK(lu_.cols() == n);
+  piv_.resize(static_cast<std::size_t>(n));
   for (index_t j = 0; j < n; ++j) {
     // Partial pivot.
     index_t p = j;
-    real_t best = std::abs(a(j, j));
+    real_t best = std::abs(lu_(j, j));
     for (index_t i = j + 1; i < n; ++i) {
-      const real_t v = std::abs(a(i, j));
+      const real_t v = std::abs(lu_(i, j));
       if (v > best) {
         best = v;
         p = i;
       }
     }
     PFEM_CHECK_MSG(best > 0.0, "singular matrix at column " << j);
-    piv[static_cast<std::size_t>(j)] = p;
-    if (p != j) {
-      for (index_t k = 0; k < n; ++k) std::swap(a(j, k), a(p, k));
-      std::swap(b[j], b[p]);
-    }
-    const real_t inv = 1.0 / a(j, j);
+    piv_[static_cast<std::size_t>(j)] = p;
+    if (p != j)
+      for (index_t k = 0; k < n; ++k) std::swap(lu_(j, k), lu_(p, k));
+    const real_t inv = 1.0 / lu_(j, j);
     for (index_t i = j + 1; i < n; ++i) {
-      const real_t lij = a(i, j) * inv;
-      a(i, j) = lij;
-      for (index_t k = j + 1; k < n; ++k) a(i, k) -= lij * a(j, k);
-      b[i] -= lij * b[j];
+      const real_t lij = lu_(i, j) * inv;
+      lu_(i, j) = lij;
+      for (index_t k = j + 1; k < n; ++k) lu_(i, k) -= lij * lu_(j, k);
     }
+  }
+}
+
+void LuFactorization::solve(std::span<real_t> b) const {
+  const index_t n = lu_.rows();
+  PFEM_CHECK(b.size() == static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    const index_t p = piv_[static_cast<std::size_t>(j)];
+    if (p != j) std::swap(b[j], b[p]);
+  }
+  for (index_t i = 1; i < n; ++i) {
+    real_t s = b[i];
+    for (index_t k = 0; k < i; ++k) s -= lu_(i, k) * b[k];
+    b[i] = s;
   }
   for (index_t i = n - 1; i >= 0; --i) {
     real_t s = b[i];
-    for (index_t k = i + 1; k < n; ++k) s -= a(i, k) * b[k];
-    b[i] = s / a(i, i);
+    for (index_t k = i + 1; k < n; ++k) s -= lu_(i, k) * b[k];
+    b[i] = s / lu_(i, i);
   }
 }
 

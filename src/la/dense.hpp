@@ -6,6 +6,7 @@
 // right tool below n ~ 200.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -68,6 +69,32 @@ void cholesky_solve(DenseMatrix& a, std::span<real_t> b);
 /// LU solve with partial pivoting of A x = b; A overwritten, b becomes x.
 /// Throws pfem::Error on (numerical) singularity.
 void lu_solve(DenseMatrix& a, std::span<real_t> b);
+
+/// LU factorization with partial pivoting, computed once at construction
+/// for repeated right-hand sides (factor-once / solve-many, e.g. the
+/// replicated deflation coarse operator).  solve() is const and touches
+/// no shared mutable state, so one factorization may be shared read-only
+/// across threads.  Throws pfem::Error on (numerical) singularity.
+class LuFactorization {
+ public:
+  LuFactorization() = default;
+  explicit LuFactorization(DenseMatrix a);
+
+  [[nodiscard]] index_t n() const noexcept { return lu_.rows(); }
+
+  /// b <- A^{-1} b (pivoted forward/back substitution).
+  void solve(std::span<real_t> b) const;
+
+  /// Flop count of one solve (the two triangular sweeps).
+  [[nodiscard]] std::uint64_t solve_flops() const noexcept {
+    const auto nn = static_cast<std::uint64_t>(lu_.rows());
+    return 2 * nn * nn;
+  }
+
+ private:
+  DenseMatrix lu_;               ///< unit-L below, U on and above the diagonal
+  std::vector<index_t> piv_;     ///< row swapped with i at elimination step i
+};
 
 /// Symmetric eigenvalue range estimate [min, max] by a few cycles of the
 /// Jacobi eigenvalue method; exact (to tolerance) for the small matrices

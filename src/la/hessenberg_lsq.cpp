@@ -63,9 +63,13 @@ Vector HessenbergLsq::solve() const {
     for (index_t k = i + 1; k < j_; ++k)
       s -= r_entry(i, k) * y[static_cast<std::size_t>(k)];
     const real_t rii = r_entry(i, i);
-    PFEM_CHECK_MSG(rii != 0.0, "singular Hessenberg R at " << i
-                                << " (lucky breakdown handled by caller)");
-    y[static_cast<std::size_t>(i)] = s / rii;
+    // A zero diagonal appears when the operator is singular and the
+    // Arnoldi space hit its null direction (hard breakdown): that
+    // coefficient is undetermined by the least-squares problem, and
+    // y_i = 0 keeps a valid minimizer.  The caller's final TRUE
+    // residual — not this solve — decides whether to report
+    // convergence.
+    y[static_cast<std::size_t>(i)] = rii != 0.0 ? s / rii : 0.0;
   }
   return y;
 }

@@ -23,7 +23,8 @@ void append_rank(std::ostringstream& os, const PerfCounters& c) {
      << "\"kernels\":{"
      << "\"matvecs\":" << c.matvecs << ","
      << "\"inner_products\":" << c.inner_products << ","
-     << "\"vector_updates\":" << c.vector_updates << "},"
+     << "\"vector_updates\":" << c.vector_updates << ","
+     << "\"coarse_solves\":" << c.coarse_solves << "},"
      << "\"fault\":{"
      << "\"delays\":" << c.fault_delays << ","
      << "\"drops\":" << c.fault_drops << ","

@@ -47,6 +47,13 @@ struct PerfCounters {
   std::uint64_t inner_products = 0;
   std::uint64_t vector_updates = 0;
 
+  /// Deflation coarse-grid corrections applied (one replicated E⁻¹
+  /// solve each; the allreduce globalizing the coarse residual is
+  /// already charged to global_reductions/global_bytes).  Every coarse
+  /// solve also stamps one "coarse_correct" span, cross-checked by
+  /// pfem_trace --counters.
+  std::uint64_t coarse_solves = 0;
+
   // Fault accounting (chaos testing / degraded production runs): faults
   // injected at this rank's channel ops by a fault::FaultInjector, plus
   // genuine channel timeouts.  fault_retries is stamped by the service —
@@ -101,6 +108,7 @@ struct PerfCounters {
     matvecs += o.matvecs;
     inner_products += o.inner_products;
     vector_updates += o.vector_updates;
+    coarse_solves += o.coarse_solves;
     fault_delays += o.fault_delays;
     fault_drops += o.fault_drops;
     fault_dups += o.fault_dups;
@@ -134,6 +142,7 @@ struct PerfCounters {
     d.matvecs = sub(matvecs, base.matvecs);
     d.inner_products = sub(inner_products, base.inner_products);
     d.vector_updates = sub(vector_updates, base.vector_updates);
+    d.coarse_solves = sub(coarse_solves, base.coarse_solves);
     d.fault_delays = sub(fault_delays, base.fault_delays);
     d.fault_drops = sub(fault_drops, base.fault_drops);
     d.fault_dups = sub(fault_dups, base.fault_dups);

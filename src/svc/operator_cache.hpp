@@ -29,9 +29,13 @@ class OperatorCache {
   ///        registry entries (recipes) are not bounded.
   /// @param kernels  subdomain-operator kernel selection baked into every
   ///        build (bit-neutral: SELL vs CSR, overlap on/off).
+  /// @param deflation two-level deflation knobs baked into every build;
+  ///        the factorized coarse operator lives inside the built state,
+  ///        so a cache hit reuses it along with the scaling and kernels.
   explicit OperatorCache(std::size_t capacity,
-                         const core::KernelOptions& kernels = {})
-      : capacity_(capacity), kernels_(kernels) {
+                         const core::KernelOptions& kernels = {},
+                         const core::DeflationOptions& deflation = {})
+      : capacity_(capacity), kernels_(kernels), deflation_(deflation) {
     PFEM_CHECK_MSG(capacity_ >= 1, "operator cache needs capacity >= 1");
   }
 
@@ -108,7 +112,7 @@ class OperatorCache {
     }
     auto built = std::make_shared<const core::EddOperatorState>(
         core::build_edd_operator(team, *part, poly, mats ? mats.get() : nullptr,
-                                 trace, kernels_));
+                                 trace, kernels_, deflation_));
     std::scoped_lock lock(m_);
     auto it = entries_.find(key);
     // Store only if the recipe did not change while building.
@@ -166,6 +170,7 @@ class OperatorCache {
 
   std::size_t capacity_;
   core::KernelOptions kernels_;
+  core::DeflationOptions deflation_;
   mutable std::mutex m_;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  ///< keys with built state, most recent first

@@ -34,7 +34,7 @@ std::unique_ptr<par::Team> Service::make_team() const {
 
 Service::Service(const ServiceConfig& cfg)
     : cfg_(cfg),
-      cache_(cfg.cache_capacity, cfg.kernels),
+      cache_(cfg.cache_capacity, cfg.kernels, cfg.deflation),
       queue_(cfg.queue_capacity) {
   PFEM_CHECK_MSG(cfg_.max_batch_rhs >= 1, "max_batch_rhs must be >= 1");
   PFEM_CHECK_MSG(cfg_.retry.max_attempts >= 1,

@@ -63,6 +63,12 @@ struct ServiceConfig {
   /// (SELL-C-σ vs scalar CSR, exchange overlap).  Bit-neutral: results
   /// are identical across settings, only the kernel speed changes.
   core::KernelOptions kernels;
+  /// Two-level deflation knobs baked into every cached build: when
+  /// enabled, build_edd_operator assembles and factorizes the coarse
+  /// operator once and the state is cached (and LRU-evicted) together
+  /// with the scaling and kernels.  Per-request SolveOptions.deflation
+  /// is ignored on the batch path — the correction is operator state.
+  core::DeflationOptions deflation;
   /// observe.trace turns on the service-lifetime span trace (rank lanes
   /// plus a scheduler "svc" lane with queued/coalesced/dispatch spans);
   /// observe.ring_capacity sizes each lane's flight-recorder ring.  The

@@ -1,0 +1,198 @@
+// Two-level subdomain deflation (core/deflation): coarse-space
+// invariants, the weak-scaling smoke the acceptance gate rides on, and
+// the counters-vs-spans coarse-traffic cross-check.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "core/deflation.hpp"
+#include "core/edd_solver.hpp"
+#include "exp/experiments.hpp"
+#include "fem/problems.hpp"
+#include "la/vector_ops.hpp"
+
+namespace pfem::core {
+namespace {
+
+fem::CantileverProblem cantilever(int nx, int ny) {
+  fem::CantileverSpec spec;
+  spec.nx = nx;
+  spec.ny = ny;
+  return fem::make_cantilever(spec);
+}
+
+DistSolveResult run(const fem::CantileverProblem& prob,
+                    const partition::EddPartition& part, bool deflated,
+                    bool trace = false) {
+  PolySpec poly;
+  poly.kind = PolyKind::Gls;
+  poly.degree = 7;
+  SolveOptions opts;
+  opts.tol = 1e-6;
+  opts.max_iters = 50000;
+  opts.deflation.enabled = deflated;
+  opts.deflation.dof_coords = fem::free_dof_coords(prob.mesh, prob.dofs);
+  opts.deflation.coord_dim = static_cast<int>(prob.mesh.dim());
+  opts.observe.trace = trace;
+  return solve_edd(part, prob.load, poly, opts);
+}
+
+TEST(DeflationSpace, CoarseColumnsAgreeAcrossSharedDofs) {
+  // The whole exchange-free design rests on col(l) being a function of
+  // the GLOBAL dof id alone: two ranks sharing a dof must map it to the
+  // same coarse column, so Zy is globally consistent with no exchange.
+  const fem::CantileverProblem prob = cantilever(16, 8);
+  const partition::EddPartition part = exp::make_edd(prob, 4);
+  DeflationOptions o;
+  o.enabled = true;
+  o.dof_coords = fem::free_dof_coords(prob.mesh, prob.dofs);
+  o.coord_dim = static_cast<int>(prob.mesh.dim());
+  std::vector<std::vector<real_t>> global_val(
+      static_cast<std::size_t>(part.n_global), std::vector<real_t>());
+  for (int s = 0; s < part.nparts(); ++s) {
+    const auto& sub = part.subs[static_cast<std::size_t>(s)];
+    const Vector w(sub.local_to_global.size(), 1.0);
+    DeflationRank dr(sub, s, part.nparts(), o, w);
+    EXPECT_EQ(dr.ncoarse(), static_cast<index_t>(part.nparts() *
+                                                 dr.nbasis() * o.components));
+    Vector y(static_cast<std::size_t>(dr.ncoarse()));
+    for (std::size_t c = 0; c < y.size(); ++c)
+      y[c] = static_cast<real_t>(c + 1);
+    Vector z(sub.local_to_global.size());
+    dr.prolong_global(y, z);
+    for (std::size_t l = 0; l < z.size(); ++l) {
+      const auto g = static_cast<std::size_t>(sub.local_to_global[l]);
+      global_val[g].push_back(z[l]);
+    }
+  }
+  for (const auto& vals : global_val)
+    for (std::size_t i = 1; i < vals.size(); ++i)
+      EXPECT_EQ(vals[i], vals[0]);  // bit-identical across every sharer
+}
+
+TEST(DeflationSpace, RestrictGlobalIsAdjointOfProlong) {
+  // Σ_s Zᵀ_s applied to globally consistent copies of v equals Zᵀv:
+  // ⟨Zy, v⟩ accumulated via restrict_global must equal ⟨y, Zᵀv⟩.
+  const fem::CantileverProblem prob = cantilever(12, 6);
+  const partition::EddPartition part = exp::make_edd(prob, 3);
+  DeflationOptions o;
+  o.enabled = true;
+  o.dof_coords = fem::free_dof_coords(prob.mesh, prob.dofs);
+  o.coord_dim = static_cast<int>(prob.mesh.dim());
+  Vector v(static_cast<std::size_t>(part.n_global));
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = 0.25 + static_cast<real_t>(i % 11);
+
+  Vector ztv;  // accumulated over ranks, as the solver's allreduce does
+  real_t zy_dot_v = 0.0;
+  Vector y;
+  for (int s = 0; s < part.nparts(); ++s) {
+    const auto& sub = part.subs[static_cast<std::size_t>(s)];
+    // A non-trivial weight that is a pure function of the global dof id
+    // (the consistency requirement the solver meets with w = 1/d̂).
+    Vector w(sub.local_to_global.size());
+    for (std::size_t l = 0; l < w.size(); ++l)
+      w[l] = 1.0 + 0.1 * static_cast<real_t>(sub.local_to_global[l] % 5);
+    DeflationRank dr(sub, s, part.nparts(), o, w);
+    if (ztv.empty()) {
+      ztv.assign(static_cast<std::size_t>(dr.ncoarse()), 0.0);
+      y.assign(static_cast<std::size_t>(dr.ncoarse()), 0.0);
+      for (std::size_t c = 0; c < y.size(); ++c)
+        y[c] = 1.0 / static_cast<real_t>(c + 2);
+    }
+    const std::size_t nl = sub.local_to_global.size();
+    Vector v_glob(nl), z(nl);
+    for (std::size_t l = 0; l < nl; ++l)
+      v_glob[l] = v[static_cast<std::size_t>(sub.local_to_global[l])];
+    dr.restrict_global(v_glob, ztv);
+    dr.prolong_global(y, z);
+    // ⟨Zy, v⟩ restricted to this rank, weighted by 1/multiplicity so
+    // shared dofs count once.
+    for (std::size_t l = 0; l < nl; ++l)
+      zy_dot_v += z[l] * v_glob[l] /
+                  static_cast<real_t>(sub.multiplicity[l]);
+  }
+  real_t y_dot_ztv = 0.0;
+  for (std::size_t c = 0; c < y.size(); ++c) y_dot_ztv += y[c] * ztv[c];
+  EXPECT_NEAR(zy_dot_v, y_dot_ztv, 1e-9 * std::abs(y_dot_ztv));
+}
+
+TEST(DeflationSmoke, WeakScalingIterationGrowthStaysBounded) {
+  // The acceptance gate itself: on the paper's Table-2 family, deflated
+  // iteration counts from Mesh4 @ P = 2 to Mesh10 @ P = 16 must grow by
+  // at most 1.3x.  (Each solve is sub-second; the single-level solver's
+  // 52 -> ~300 growth over the same sweep is what motivated the coarse
+  // space.)
+  const fem::CantileverProblem small = fem::make_table2_cantilever(4);
+  const fem::CantileverProblem large = fem::make_table2_cantilever(10);
+  const partition::EddPartition part2 = exp::make_edd(small, 2);
+  const partition::EddPartition part16 = exp::make_edd(large, 16);
+
+  const DistSolveResult d2 = run(small, part2, /*deflated=*/true);
+  const DistSolveResult d16 = run(large, part16, /*deflated=*/true);
+  ASSERT_TRUE(d2.converged);
+  ASSERT_TRUE(d16.converged);
+  EXPECT_LE(static_cast<double>(d16.iterations),
+            1.3 * static_cast<double>(d2.iterations))
+      << "deflated weak scaling grew: P2=" << d2.iterations
+      << " P16=" << d16.iterations;
+
+  // And the coarse space actually earns its keep mid-sweep: Mesh9 at
+  // P = 8 deflated beats undeflated outright.
+  const fem::CantileverProblem mid = fem::make_table2_cantilever(9);
+  const partition::EddPartition part8 = exp::make_edd(mid, 8);
+  const DistSolveResult d8 = run(mid, part8, /*deflated=*/true);
+  const DistSolveResult u8 = run(mid, part8, /*deflated=*/false);
+  ASSERT_TRUE(d8.converged);
+  ASSERT_TRUE(u8.converged);
+  EXPECT_LT(d8.iterations, u8.iterations);
+}
+
+TEST(DeflationTrace, CoarseSpansMatchCoarseSolveCounters) {
+  // Same invariant pfem_trace --counters enforces on captures: the
+  // one-shot solver stamps exactly one "coarse_correct" span per coarse
+  // solve, on the rank that bumped the counter.
+  const fem::CantileverProblem prob = cantilever(16, 8);
+  const partition::EddPartition part = exp::make_edd(prob, 4);
+  const DistSolveResult res = run(prob, part, /*deflated=*/true,
+                                  /*trace=*/true);
+  ASSERT_TRUE(res.converged);
+  ASSERT_NE(res.trace, nullptr);
+  for (int r = 0; r < part.nparts(); ++r) {
+    std::uint64_t spans = 0;
+    for (const auto& rec : res.trace->rank(r).records())
+      if (std::strcmp(rec.name, "coarse_correct") == 0 &&
+          rec.t1_ns != rec.t0_ns)
+        ++spans;
+    EXPECT_EQ(spans,
+              res.rank_counters[static_cast<std::size_t>(r)].coarse_solves)
+        << "rank " << r;
+    EXPECT_GT(spans, 0u);
+  }
+}
+
+TEST(DeflationOptionsKnob, MoreVectorsPerSubdomainNeverHurts) {
+  // The q = 4 space (patch {1, x} per component) contains the q = 2 one
+  // (patch constants), so iterations must not regress (tiny slack for
+  // FP noise).
+  const fem::CantileverProblem prob = cantilever(24, 12);
+  const partition::EddPartition part = exp::make_edd(prob, 4);
+  PolySpec poly;
+  poly.kind = PolyKind::Gls;
+  poly.degree = 7;
+  SolveOptions opts;
+  opts.tol = 1e-6;
+  opts.deflation.enabled = true;
+  opts.deflation.dof_coords = fem::free_dof_coords(prob.mesh, prob.dofs);
+  opts.deflation.coord_dim = static_cast<int>(prob.mesh.dim());
+  opts.deflation.vectors_per_subdomain = 2;
+  const DistSolveResult q2 = solve_edd(part, prob.load, poly, opts);
+  opts.deflation.vectors_per_subdomain = 4;
+  const DistSolveResult q4 = solve_edd(part, prob.load, poly, opts);
+  ASSERT_TRUE(q2.converged && q4.converged);
+  EXPECT_LE(q4.iterations, q2.iterations + 2);
+}
+
+}  // namespace
+}  // namespace pfem::core

@@ -256,6 +256,182 @@ TEST(EddSolver, RunsAreBitwiseDeterministic) {
     EXPECT_EQ(a.x[i], b.x[i]) << "bitwise mismatch at dof " << i;
 }
 
+// ---- Honest report semantics -----------------------------------------
+
+TEST(EddSolverReport, FirstCycleConvergenceReportsZeroRestarts) {
+  // A solve that converges inside its first FGMRES cycle never
+  // *re*-started; it must report restarts == 0 (it used to report 1).
+  const fem::CantileverProblem prob = test_problem();
+  const partition::EddPartition part = exp::make_edd(prob, 2);
+  PolySpec poly;
+  poly.degree = 10;
+  SolveOptions opts;
+  opts.tol = 1e-6;
+  opts.restart = 200;  // plenty of room to finish in one cycle
+  const DistSolveResult res = solve_edd(part, prob.load, poly, opts);
+  ASSERT_TRUE(res.converged);
+  ASSERT_LE(res.iterations, 200);
+  EXPECT_EQ(res.restarts, 0);
+  EXPECT_FALSE(res.breakdown);
+  EXPECT_FALSE(res.trivial_rhs);
+}
+
+TEST(EddSolverReport, MultiCycleSolveCountsOnlyReStarts) {
+  // With restart = 2 a real solve needs several cycles; restarts must be
+  // exactly ceil(iterations / 2) - 1, not one more.
+  const fem::CantileverProblem prob = test_problem();
+  const partition::EddPartition part = exp::make_edd(prob, 2);
+  PolySpec poly;
+  poly.degree = 7;
+  SolveOptions opts;
+  opts.tol = 1e-8;
+  opts.restart = 2;
+  opts.max_iters = 50000;
+  const DistSolveResult res = solve_edd(part, prob.load, poly, opts);
+  ASSERT_TRUE(res.converged);
+  ASSERT_GT(res.iterations, 2);
+  EXPECT_EQ(res.restarts, (res.iterations - 1) / 2);
+}
+
+TEST(EddSolverReport, ZeroRhsIsTrivialNotIterated) {
+  const fem::CantileverProblem prob = test_problem();
+  const partition::EddPartition part = exp::make_edd(prob, 2);
+  const Vector zero(prob.load.size(), 0.0);
+  PolySpec poly;
+  const DistSolveResult res = solve_edd(part, zero, poly);
+  EXPECT_TRUE(res.converged);  // x = 0 is exact
+  EXPECT_TRUE(res.trivial_rhs);
+  EXPECT_FALSE(res.breakdown);
+  EXPECT_EQ(res.iterations, 0);
+  EXPECT_EQ(res.restarts, 0);
+  EXPECT_EQ(res.final_relres, 0.0);
+  for (const real_t xi : res.x) EXPECT_EQ(xi, 0.0);
+}
+
+TEST(EddSolverReport, RankDeficientBreakdownIsNotConvergence) {
+  // K = [[1,1],[1,1]] is singular with b = (1,0) having a component in
+  // the null space: the Arnoldi space is exhausted at iteration 2 with
+  // the residual stuck near 1/sqrt(2).  The old report called that
+  // "converged"; now it must say breakdown = true, converged = false.
+  partition::EddPartition part;
+  part.n_global = 2;
+  partition::EddSubdomain sub;
+  sub.local_to_global = {0, 1};
+  sub.k_loc = sparse::CsrMatrix(2, 2, {0, 2, 4}, {0, 1, 0, 1},
+                                {1.0, 1.0, 1.0, 1.0});
+  sub.multiplicity = {1, 1};
+  part.subs.push_back(std::move(sub));
+
+  const Vector b = {1.0, 0.0};
+  PolySpec poly;
+  poly.kind = PolyKind::None;
+  SolveOptions opts;
+  opts.tol = 1e-8;
+  const DistSolveResult res = solve_edd(part, b, poly, opts);
+  EXPECT_TRUE(res.breakdown);
+  EXPECT_FALSE(res.converged);
+  EXPECT_GT(res.final_relres, 0.5);  // ~0.707, nowhere near the tol
+  EXPECT_EQ(res.iterations, 2);
+}
+
+TEST(EddSolverReport, LuckyBreakdownStillReportsConvergence) {
+  // On a consistent system an Arnoldi breakdown means the exact solution
+  // was found: breakdown and converged are then both true.
+  partition::EddPartition part;
+  part.n_global = 2;
+  partition::EddSubdomain sub;
+  sub.local_to_global = {0, 1};
+  sub.k_loc = sparse::CsrMatrix(2, 2, {0, 1, 2}, {0, 1}, {2.0, 3.0});
+  sub.multiplicity = {1, 1};
+  part.subs.push_back(std::move(sub));
+
+  const Vector b = {1.0, 1.0};
+  PolySpec poly;
+  poly.kind = PolyKind::None;
+  SolveOptions opts;
+  opts.tol = 1e-12;
+  const DistSolveResult res = solve_edd(part, b, poly, opts);
+  ASSERT_TRUE(res.converged);
+  EXPECT_LE(res.final_relres, 1e-12);
+}
+
+// ---- Two-level subdomain deflation -----------------------------------
+
+TEST(EddDeflation, DeflatedSolveMatchesReference) {
+  const fem::CantileverProblem prob = test_problem();
+  const Vector x_ref = reference_solution(prob);
+  const partition::EddPartition part = exp::make_edd(prob, 4);
+  PolySpec poly;
+  poly.degree = 7;
+  SolveOptions opts;
+  opts.tol = 1e-10;
+  opts.deflation.enabled = true;
+  for (const EddVariant variant : {EddVariant::Basic, EddVariant::Enhanced}) {
+    const DistSolveResult res =
+        solve_edd(part, prob.load, poly, opts, variant);
+    ASSERT_TRUE(res.converged);
+    const real_t scale = la::nrm_inf(x_ref);
+    for (std::size_t i = 0; i < x_ref.size(); ++i)
+      EXPECT_NEAR(res.x[i], x_ref[i], 1e-6 * scale) << "dof " << i;
+    for (const auto& c : res.rank_counters)
+      EXPECT_GT(c.coarse_solves, 0u);
+  }
+}
+
+TEST(EddDeflation, DeflatedRunsAreBitwiseDeterministic) {
+  const fem::CantileverProblem prob = test_problem();
+  const partition::EddPartition part = exp::make_edd(prob, 8);
+  PolySpec poly;
+  poly.degree = 7;
+  SolveOptions opts;
+  opts.tol = 1e-9;
+  opts.deflation.enabled = true;
+  const DistSolveResult a = solve_edd(part, prob.load, poly, opts);
+  const DistSolveResult b = solve_edd(part, prob.load, poly, opts);
+  ASSERT_TRUE(a.converged && b.converged);
+  EXPECT_EQ(a.iterations, b.iterations);
+  for (std::size_t i = 0; i < a.x.size(); ++i)
+    EXPECT_EQ(a.x[i], b.x[i]) << "bitwise mismatch at dof " << i;
+}
+
+TEST(EddDeflation, PerIterationCostsExtendTable1) {
+  // The coarse correction adds, per Arnoldi iteration: ONE small
+  // allreduce (the coarse residual) and ONE extra mat-vec (A Z y).  Zy
+  // is globally consistent by construction, so the Basic discipline
+  // needs no extra exchange (m+3 stays m+3) while Enhanced globalizes
+  // its extra mat-vec with one (m+1 becomes m+2).
+  const int m = 3;
+  const fem::CantileverProblem prob = test_problem();
+  const partition::EddPartition part = exp::make_edd(prob, 4);
+  PolySpec poly;
+  poly.kind = PolyKind::Gls;
+  poly.degree = m;
+
+  SolveOptions opts;
+  opts.tol = 1e-300;
+  opts.restart = 25;
+  auto delta = [&](EddVariant variant, index_t n) {
+    opts.deflation.enabled = true;
+    opts.max_iters = n;
+    const DistSolveResult a = solve_edd(part, prob.load, poly, opts, variant);
+    opts.max_iters = n + 1;
+    const DistSolveResult b = solve_edd(part, prob.load, poly, opts, variant);
+    return b.rank_counters[0].delta_since(a.rank_counters[0]);
+  };
+
+  const par::PerfCounters basic = delta(EddVariant::Basic, 3);
+  EXPECT_EQ(basic.neighbor_exchanges, static_cast<std::uint64_t>(m) + 3);
+  EXPECT_EQ(basic.matvecs, static_cast<std::uint64_t>(m) + 2);
+  EXPECT_EQ(basic.coarse_solves, 1u);
+  EXPECT_EQ(basic.global_reductions, 6u);  // 5 (Table 1 at j=3) + coarse
+
+  const par::PerfCounters enhanced = delta(EddVariant::Enhanced, 3);
+  EXPECT_EQ(enhanced.neighbor_exchanges, static_cast<std::uint64_t>(m) + 2);
+  EXPECT_EQ(enhanced.matvecs, static_cast<std::uint64_t>(m) + 2);
+  EXPECT_EQ(enhanced.coarse_solves, 1u);
+  EXPECT_EQ(enhanced.global_reductions, 6u);
+}
+
 TEST(EddSolver, SetupCountersAreSubsetOfTotals) {
   const fem::CantileverProblem prob = test_problem();
   const partition::EddPartition part = exp::make_edd(prob, 4);

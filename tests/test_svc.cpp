@@ -225,6 +225,69 @@ TEST(BatchSolve, HonorsLocalMatrixOverride) {
   EXPECT_LT(rel_err(r4.x[0], quarter), 1e-6);
 }
 
+TEST(BatchSolve, DeflatedOperatorMatchesUndeflatedSolution) {
+  const Scene s = make_scene();
+  par::Team team(kRanks);
+  core::DeflationOptions defl;
+  defl.enabled = true;
+  const auto plain = core::build_edd_operator(team, *s.part, s.poly);
+  const auto defd =
+      core::build_edd_operator(team, *s.part, s.poly, nullptr, nullptr, {},
+                               defl);
+  ASSERT_NE(defd.coarse, nullptr);
+  EXPECT_EQ(plain.coarse, nullptr);
+  const auto rhs = varied_rhs(s, 3);
+  const auto r0 = core::solve_edd_batch(team, *s.part, plain, rhs);
+  const auto rd = core::solve_edd_batch(team, *s.part, defd, rhs);
+  for (std::size_t b = 0; b < rhs.size(); ++b) {
+    ASSERT_TRUE(r0.items[b].converged);
+    ASSERT_TRUE(rd.items[b].converged);
+    EXPECT_LT(rel_err(rd.x[b], r0.x[b]), 1e-6);
+  }
+  for (int rank = 0; rank < kRanks; ++rank) {
+    EXPECT_GT(rd.rank_counters[static_cast<std::size_t>(rank)].coarse_solves,
+              0u);
+    EXPECT_EQ(r0.rank_counters[static_cast<std::size_t>(rank)].coarse_solves,
+              0u);
+  }
+}
+
+TEST(BatchSolve, DeflatedBatchIsBitwiseDeterministic) {
+  const Scene s = make_scene();
+  par::Team team(kRanks);
+  core::DeflationOptions defl;
+  defl.enabled = true;
+  const auto op =
+      core::build_edd_operator(team, *s.part, s.poly, nullptr, nullptr, {},
+                               defl);
+  const auto rhs = varied_rhs(s, 2);
+  const auto a = core::solve_edd_batch(team, *s.part, op, rhs);
+  const auto b = core::solve_edd_batch(team, *s.part, op, rhs);
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    ASSERT_TRUE(a.items[i].converged && b.items[i].converged);
+    EXPECT_EQ(a.items[i].iterations, b.items[i].iterations);
+    for (std::size_t k = 0; k < a.x[i].size(); ++k)
+      EXPECT_EQ(a.x[i][k], b.x[i][k]) << "rhs " << i << " dof " << k;
+  }
+}
+
+TEST(BatchSolve, ReportsTrivialRhsAndHonestRestarts) {
+  const Scene s = make_scene(8, 4);
+  par::Team team(kRanks);
+  const auto op = core::build_edd_operator(team, *s.part, s.poly);
+  std::vector<Vector> rhs{Vector(s.prob.load.size(), 0.0), s.prob.load};
+  const auto r = core::solve_edd_batch(team, *s.part, op, rhs);
+  EXPECT_TRUE(r.items[0].trivial_rhs);
+  EXPECT_TRUE(r.items[0].converged);
+  EXPECT_EQ(r.items[0].restarts, 0);
+  EXPECT_FALSE(r.items[1].trivial_rhs);
+  // The real solve finished well inside the default restart length: a
+  // first-cycle convergence reports zero RE-starts.
+  ASSERT_TRUE(r.items[1].converged);
+  EXPECT_EQ(r.items[1].restarts, 0);
+  EXPECT_FALSE(r.items[1].breakdown);
+}
+
 // ---------------------------------------------------------------- JobQueue
 
 TEST(JobQueue, AdmissionBoundAndPriorityOrder) {
@@ -306,6 +369,53 @@ TEST(Service, SolvesAndCachesOperator) {
   EXPECT_EQ(st.cache_misses, 1u);
   EXPECT_GE(st.cache_hits, 1u);
   EXPECT_GT(service.latency().count, 0u);
+  service.shutdown();
+}
+
+TEST(Service, DeflationConfigBakesCoarseStateIntoCachedOperator) {
+  // cfg.deflation is operator state: the coarse factorization is built
+  // once, cached with the scaled matrices, and reused on a cache hit —
+  // every deflated solve stamps coarse_solves on its counters.
+  const Scene s = make_scene();
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  cfg.deflation.enabled = true;
+  svc::Service service(cfg);
+  service.register_operator("op", s.part, s.poly);
+
+  auto first = service.submit(make_request(s, "op")).outcome.get();
+  ASSERT_TRUE(svc::ok(first));
+  const auto& c1 = std::get<svc::Completed>(first);
+  EXPECT_FALSE(c1.cache_hit);
+  ASSERT_TRUE(c1.result.items[0].converged);
+  for (const auto& c : c1.result.rank_counters)
+    EXPECT_GT(c.coarse_solves, 0u);
+
+  auto second = service.submit(make_request(s, "op", 2.0)).outcome.get();
+  ASSERT_TRUE(svc::ok(second));
+  const auto& c2 = std::get<svc::Completed>(second);
+  EXPECT_TRUE(c2.cache_hit);  // coarse factor reused, not rebuilt
+  ASSERT_TRUE(c2.result.items[0].converged);
+  for (const auto& c : c2.result.rank_counters)
+    EXPECT_GT(c.coarse_solves, 0u);
+  service.shutdown();
+}
+
+TEST(Service, SurfacesTrivialRhsFlagThroughOutcome) {
+  const Scene s = make_scene(8, 4);
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  service.register_operator("op", s.part, s.poly);
+  svc::SolveRequest req;
+  req.operator_key = "op";
+  req.rhs.push_back(Vector(s.prob.load.size(), 0.0));
+  auto out = service.submit(std::move(req)).outcome.get();
+  ASSERT_TRUE(svc::ok(out));
+  const auto& item = std::get<svc::Completed>(out).result.items[0];
+  EXPECT_TRUE(item.trivial_rhs);
+  EXPECT_TRUE(item.converged);
+  EXPECT_EQ(item.iterations, 0);
   service.shutdown();
 }
 

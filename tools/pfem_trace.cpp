@@ -170,6 +170,37 @@ int do_counters(const std::string& counters_path,
     std::cout << "exchange counts agree (" << ranks.arr.size()
               << " ranks)\n";
 
+  // Coarse-solve cross-check — only when the counters carry the
+  // "coarse_solves" key (older captures predate deflation).  The
+  // one-shot solvers stamp one "coarse_correct" span per coarse solve,
+  // but the batch path stamps ONE span per application covering every
+  // live RHS, so the spans are a lower bound on the counter: require
+  // traced <= counted, and traced > 0 whenever counted > 0 (unless the
+  // ring dropped records).
+  const double coarse_probe =
+      ranks.arr.front().at("kernels").at("coarse_solves").num_or(-1.0);
+  if (coarse_probe >= 0.0) {
+    const auto cspans = pfem::obs::io::count_by_pid(t, "coarse_correct");
+    bool any_coarse = false;
+    for (std::size_t r = 0; r < ranks.arr.size(); ++r) {
+      const auto counted = static_cast<std::uint64_t>(
+          ranks.arr[r].at("kernels").at("coarse_solves").num_or(0.0));
+      const std::uint64_t traced = r < cspans.size() ? cspans[r] : 0;
+      if (counted == 0 && traced == 0) continue;
+      any_coarse = true;
+      const bool match =
+          traced <= counted && (traced > 0 || counted == 0 || t.dropped > 0);
+      std::printf("  rank %zu: coarse_solves=%llu trace=%llu %s\n", r,
+                  static_cast<unsigned long long>(counted),
+                  static_cast<unsigned long long>(traced),
+                  match ? "OK" : "MISMATCH");
+      if (!match) rc = 1;
+    }
+    if (any_coarse && rc == 0)
+      std::cout << "coarse-solve counts agree (" << ranks.arr.size()
+                << " ranks)\n";
+  }
+
   // Fault cross-check — only when the counters carry the "fault" object
   // (older captures predate it).  Counters from a retried solve keep
   // only the completed attempt while the trace logged every attempt, so

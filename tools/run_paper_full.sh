@@ -23,7 +23,7 @@ PLAIN="fig01_neumann_residual fig02_gls_residual fig03_stability \
 # Fail fast on an unbuilt tree: missing binaries are a setup error, not
 # a bench result.
 missing=0
-for b in $PLAIN $FULL micro_kernels; do
+for b in $PLAIN $FULL micro_kernels deflation_scaling; do
   if [ ! -x "$BENCH/$b" ]; then
     echo "error: $BENCH/$b not built" >&2
     missing=1
@@ -45,11 +45,15 @@ for b in $FULL; do run_bench "$b" --full; done
 # The kernel sweep (CSR vs SELL vs fused) lands in BENCH_kernels.json next
 # to the table/figure JSON the other benches emit.
 run_bench micro_kernels --kernels-json=BENCH_kernels.json
+# The two-level deflation weak-scaling sweep is itself an acceptance
+# gate: its exit code is nonzero when deflated P=2 -> P=16 iteration
+# growth exceeds 1.3x, so a coarse-space regression fails the whole run.
+run_bench deflation_scaling --deflation-json=BENCH_deflation.json
 
 echo
 echo "### summary"
 failed=0
-for b in $PLAIN $FULL micro_kernels; do
+for b in $PLAIN $FULL micro_kernels deflation_scaling; do
   code=${status[$b]}
   if [ "$code" -eq 0 ]; then
     echo "[ok]   $b"
