@@ -11,23 +11,36 @@
 //               pattern); reports whole-team exchange throughput.
 //   allreduce   P=8, 64-double vector sum; reports per-op latency.
 //
+// A second mode (--net) runs the same three probes over the pfem::net
+// transport ladder instead — in-process ring vs shared-memory ring vs
+// socket loopback (every frame serialized through a real socketpair) —
+// so the cost of leaving the address space is a measured number, not a
+// guess.  --net-json=FILE records the sweep for run_paper_full.sh,
+// which folds it into BENCH_net.json.
+//
 // Usage: micro_comm [--full] [--counters-json=FILE]
+//        micro_comm --net [--full] [--net-json=FILE]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "common/error.hpp"
 #include "exp/table.hpp"
+#include "net/shm.hpp"
+#include "net/socket_transport.hpp"
+#include "net/transport.hpp"
 #include "par/comm.hpp"
 #include "par/counters.hpp"
 
@@ -221,12 +234,127 @@ double best_of(int reps, const std::function<double()>& run) {
   return best;
 }
 
+// ---------------------------------------------------------------------------
+// Transport-comparison mode (--net): the same probes against the
+// pfem::net loopback ladder.  Every rung presents identical Team
+// semantics; what changes is purely how bytes move, so the deltas below
+// are the transport tax and nothing else.
+// ---------------------------------------------------------------------------
+using TransportFactory =
+    std::function<std::shared_ptr<net::Transport>(int nranks)>;
+
+struct NetProbeResult {
+  std::string name;
+  double ping_us = 0.0;    ///< P=2 round-trip latency
+  double exch_per_s = 0.0; ///< team ring exchanges per second
+  double red_us = 0.0;     ///< per-allreduce latency
+};
+
+/// One timed Team job over a fresh transport (construction and thread
+/// spawn stay outside the probe's own barrier-to-barrier window).
+template <class Body>
+double timed_team_job(const TransportFactory& make, int nranks, Body&& body) {
+  par::TeamConfig cfg;
+  cfg.nranks = nranks;
+  cfg.transport = make(nranks);
+  par::Team team(cfg);
+  double s = 0.0;
+  team.run([&](par::Comm& c) { body(c, s); });
+  return s;
+}
+
+NetProbeResult net_probe(const std::string& name, const TransportFactory& make,
+                         int ping, int exch, std::size_t exch_len, int red,
+                         std::size_t red_len, int team, int best) {
+  NetProbeResult r;
+  r.name = name;
+  const double ping_s = best_of(best, [&] {
+    return timed_team_job(make, 2, [&](par::Comm& c, double& s) {
+      pingpong_body(c, ping, s);
+    });
+  });
+  const double exch_s = best_of(best, [&] {
+    return timed_team_job(make, team, [&](par::Comm& c, double& s) {
+      exchange_body(c, exch, exch_len, s);
+    });
+  });
+  const double red_s = best_of(best, [&] {
+    return timed_team_job(make, team, [&](par::Comm& c, double& s) {
+      allreduce_body(c, red, red_len, s);
+    });
+  });
+  r.ping_us = 1e6 * ping_s / ping;
+  r.exch_per_s = exch / exch_s;
+  r.red_us = 1e6 * red_s / red;
+  return r;
+}
+
+int run_net_mode(int argc, char** argv) {
+  const bool full = full_run(argc, argv);
+  // The socket rung funnels every frame through one socketpair reader,
+  // so the net sweep uses P=4 and smaller counts than the legacy
+  // comparison — latency ratios, not saturation, are the product here.
+  const int kPing = full ? 5000 : 1000;
+  const int kExch = full ? 1000 : 200;
+  const std::size_t kExchLen = 1024;  // 8 KiB messages
+  const int kRed = full ? 1000 : 200;
+  const std::size_t kRedLen = 64;
+  const int kTeam = 4;
+  const int kBestOf = 3;
+
+  const std::vector<std::pair<std::string, TransportFactory>> rungs = {
+      {"inproc", [](int n) { return net::make_inproc_transport(n); }},
+      {"shm", [](int n) { return net::make_shm_loopback_transport(n); }},
+      {"socket", [](int n) { return net::make_socket_loopback_transport(n); }},
+  };
+  std::vector<NetProbeResult> results;
+  for (const auto& [name, make] : rungs)
+    results.push_back(net_probe(name, make, kPing, kExch, kExchLen, kRed,
+                                kRedLen, kTeam, kBestOf));
+
+  std::cout << "micro_comm --net: transport ladder, P=" << kTeam
+            << (full ? " (--full)" : "") << "\n";
+  exp::Table t({"transport", "ping-pong P=2 (us/rt)",
+                "ring exchange (exch/s)", "allreduce 64 (us/op)"});
+  for (const NetProbeResult& r : results)
+    t.add_row({r.name, exp::Table::num(r.ping_us, 3),
+               exp::Table::num(r.exch_per_s, 0), exp::Table::num(r.red_us, 3)});
+  t.print(std::cout);
+
+  const std::string json = exp::str_flag(argc, argv, "--net-json", "");
+  if (!json.empty()) {
+    std::ofstream out(json);
+    if (!out) {
+      std::cerr << "error: cannot write " << json << "\n";
+      return 1;
+    }
+    out << "{\n  \"bench\": \"micro_comm_net\",\n  \"team\": " << kTeam
+        << ",\n  \"exchange_len_doubles\": " << kExchLen
+        << ",\n  \"allreduce_len_doubles\": " << kRedLen
+        << ",\n  \"transports\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const NetProbeResult& r = results[i];
+      out << "    {\"name\": \"" << r.name << "\", \"pingpong_us\": "
+          << r.ping_us << ", \"exchange_per_s\": " << r.exch_per_s
+          << ", \"allreduce_us\": " << r.red_us << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "transport comparison written to " << json << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace pfem::bench
 
 int main(int argc, char** argv) {
   using namespace pfem;
   using namespace pfem::bench;
+
+  if (exp::has_flag(argc, argv, "--net") ||
+      !exp::str_flag(argc, argv, "--net-json", "").empty())
+    return run_net_mode(argc, argv);
 
   const bool full = full_run(argc, argv);
   const int kPing = full ? 20000 : 2000;      // round trips, P=2

@@ -15,17 +15,36 @@
 // Prints solves/sec and the speedup over the cold baseline.  The warm
 // batched service is expected to clear 2x cold throughput — that ratio
 // is what justifies the svc layer (see DESIGN.md).
+//
+// A second mode (--socket) measures the same cold/warm contrast against
+// the sharded deployment: two forked shard processes (each a Service
+// behind a svc::Server on a unix socket), a svc::Router with
+// operator-cache-affinity routing in front, and closed-loop svc::Client
+// peers driving it over the wire.  Cold is the first touch of every
+// operator key (build + solve over the socket); warm is a same-keys
+// request stream, which affinity routing keeps pinned to the shard
+// whose cache holds the built operator.  Gates: warm >= 2x cold
+// throughput AND >= 90% warm cache-hit rate.  --socket-json=FILE
+// records the run for run_paper_full.sh (folded into BENCH_net.json).
 #include <algorithm>
+#include <atomic>
+#include <fstream>
 #include <future>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench_common.hpp"
 #include "common/timer.hpp"
 #include "exp/experiments.hpp"
 #include "exp/table.hpp"
 #include "fem/problems.hpp"
+#include "net/sockets.hpp"
+#include "net/spawn.hpp"
+#include "svc/remote.hpp"
 #include "svc/service.hpp"
 
 namespace {
@@ -41,13 +60,13 @@ struct Workload {
   std::vector<Vector> rhs;  ///< N distinct load vectors
 };
 
-Workload make_workload(int nx, int ny, int n_rhs) {
+Workload make_workload(int nx, int ny, int n_rhs, int nparts = kRanks) {
   fem::CantileverSpec spec;
   spec.nx = nx;
   spec.ny = ny;
   fem::CantileverProblem prob = fem::make_cantilever(spec);
   auto part = std::make_shared<const partition::EddPartition>(
-      exp::make_edd(prob, kRanks));
+      exp::make_edd(prob, nparts));
   core::PolySpec poly;
   poly.kind = core::PolyKind::Gls;
   poly.degree = 7;
@@ -139,6 +158,255 @@ double run_warm_closed(const Workload& w, int clients) {
   return seconds;
 }
 
+// ---------------------------------------------------------------------------
+// --socket: the sharded deployment.
+// ---------------------------------------------------------------------------
+
+/// Pipe I/O for the shard control/ready channels (plain read/write —
+/// net::read_full/write_full are recv/send-based and socket-only).
+bool pipe_put(int fd, unsigned char b) {
+  for (;;) {
+    const ssize_t n = ::write(fd, &b, 1);
+    if (n == 1) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool pipe_get(int fd, unsigned char& b) {
+  for (;;) {
+    const ssize_t n = ::read(fd, &b, 1);
+    if (n == 1) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF (peer closed) or error
+  }
+}
+
+std::string op_key(int i) { return "op" + std::to_string(i); }
+
+/// Shard process body: a Service behind a socket Server, every operator
+/// key registered (spill can route any key to any shard), parked on the
+/// control pipe until the parent is done.
+int shard_main(int idx, const std::string& addr, int nx, int ny, int nranks,
+               int nops, int ready_fd, int ctl_fd) {
+  const Workload w = make_workload(nx, ny, /*n_rhs=*/1, nranks);
+  svc::ServiceConfig cfg;
+  cfg.nranks = nranks;
+  cfg.cache_capacity = static_cast<std::size_t>(2 * nops);
+  svc::Service service(cfg);
+  for (int i = 0; i < nops; ++i)
+    service.register_operator(op_key(i), w.part, w.poly);
+  svc::Server server(service, addr, "shard" + std::to_string(idx));
+  if (!pipe_put(ready_fd, 1)) return 3;
+  unsigned char sink = 0;
+  (void)pipe_get(ctl_fd, sink);  // parent closes its end when done
+  server.stop();
+  service.shutdown(true);
+  return 0;
+}
+
+struct SocketRun {
+  double cold_per_s = 0.0;
+  double warm_per_s = 0.0;
+  double hit_rate = 0.0;
+  int warm_requests = 0;
+  int warm_hits = 0;
+  svc::Router::Stats router;
+};
+
+int run_socket_mode(int argc, char** argv) {
+  const bool full = bench::full_run(argc, argv);
+  const int nx = bench::int_flag(argc, argv, "--nx=", full ? 24 : 12);
+  const int ny = bench::int_flag(argc, argv, "--ny=", full ? 8 : 4);
+  const int nops = bench::int_flag(argc, argv, "--ops=", 8);
+  const int warm_n = bench::int_flag(argc, argv, "--warm=", full ? 192 : 64);
+  const int nclients = bench::int_flag(argc, argv, "--clients=", 4);
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      bench::int_flag(argc, argv, "--seed=", 0));
+  constexpr int kShards = 2;
+  constexpr int kShardRanks = 2;
+
+  const std::string base =
+      "/tmp/pfem_svc_load_" + std::to_string(::getpid());
+  std::vector<std::string> shard_addrs;
+  for (int s = 0; s < kShards; ++s)
+    shard_addrs.push_back("unix:" + base + "_s" + std::to_string(s) +
+                          ".sock");
+  const std::string router_addr = "unix:" + base + "_r.sock";
+
+  // Fork the shards FIRST — before any thread exists in this process
+  // (see net::fork_run).
+  struct ShardProc {
+    pid_t pid = -1;
+    int ready_r = -1;
+    int ctl_w = -1;
+  };
+  std::vector<ShardProc> shards;
+  for (int s = 0; s < kShards; ++s) {
+    int ready[2], ctl[2];
+    PFEM_CHECK(::pipe(ready) == 0 && ::pipe(ctl) == 0);
+    const pid_t pid = net::fork_run([&, s]() -> int {
+      net::close_fd(ready[0]);
+      net::close_fd(ctl[1]);
+      return shard_main(s, shard_addrs[static_cast<std::size_t>(s)], nx, ny,
+                        kShardRanks, nops, ready[1], ctl[0]);
+    });
+    net::close_fd(ready[1]);
+    net::close_fd(ctl[0]);
+    shards.push_back(ShardProc{pid, ready[0], ctl[1]});
+  }
+  for (const ShardProc& sp : shards) {
+    unsigned char b = 0;
+    PFEM_CHECK_MSG(pipe_get(sp.ready_r, b), "shard failed to come up");
+  }
+
+  const Workload w = make_workload(nx, ny, /*n_rhs=*/nops, kShardRanks);
+  exp::banner(std::cout,
+              "Service load bench --socket — " +
+                  std::to_string(w.prob.dofs.num_free()) + " equations, " +
+                  std::to_string(kShards) + " shards x P=" +
+                  std::to_string(kShardRanks) + ", " + std::to_string(nops) +
+                  " operators, " + std::to_string(warm_n) + " warm solves");
+
+  SocketRun run;
+  int rc = 0;
+  {
+    svc::RouterConfig rcfg;
+    rcfg.listen_addr = router_addr;
+    rcfg.shard_addrs = shard_addrs;
+    svc::Router router(rcfg);
+
+    const auto make_req = [&](int key, int i) {
+      net::proto::SolveRequestMsg req;
+      req.operator_key = op_key(key);
+      req.seed = seed + static_cast<std::uint64_t>(i);
+      req.rhs.push_back(w.rhs[static_cast<std::size_t>(i % nops)]);
+      return req;
+    };
+
+    // Cold: first touch of every key over the wire — each solve pays
+    // the norm-1 scaling and the polynomial build on its shard.
+    {
+      svc::Client client(router_addr, "bench-cold");
+      const WallTimer t;
+      for (int i = 0; i < nops; ++i) {
+        net::proto::SolveRequestMsg req = make_req(i, i);
+        net::proto::SolveResponseMsg resp;
+        PFEM_CHECK(client.solve(req, resp));
+        PFEM_CHECK(resp.status == net::proto::SolveStatus::Completed);
+      }
+      run.cold_per_s = nops / t.seconds();
+    }
+
+    // Warm: a same-operator stream from closed-loop clients (the
+    // acceptance shape).  Affinity routing pins every request to the
+    // one shard whose cache holds the built operator, and concurrent
+    // requests for the same key coalesce there into fused multi-RHS
+    // batches — the same mechanism the in-process warm path measures.
+    {
+      std::atomic<int> next{0};
+      std::atomic<int> hits{0};
+      std::atomic<bool> ok{true};
+      const WallTimer t;
+      std::vector<std::thread> workers;
+      for (int c = 0; c < nclients; ++c)
+        workers.emplace_back([&, c] {
+          svc::Client client(router_addr,
+                             "bench-warm" + std::to_string(c));
+          for (;;) {
+            const int i = next.fetch_add(1);
+            if (i >= warm_n) return;
+            net::proto::SolveRequestMsg req = make_req(/*key=*/0, i);
+            net::proto::SolveResponseMsg resp;
+            if (!client.solve(req, resp) ||
+                resp.status != net::proto::SolveStatus::Completed) {
+              ok.store(false);
+              return;
+            }
+            if (resp.cache_hit) hits.fetch_add(1);
+          }
+        });
+      for (auto& th : workers) th.join();
+      PFEM_CHECK_MSG(ok.load(), "a warm solve failed over the wire");
+      run.warm_per_s = warm_n / t.seconds();
+      run.warm_requests = warm_n;
+      run.warm_hits = hits.load();
+      run.hit_rate = static_cast<double>(run.warm_hits) / warm_n;
+    }
+    run.router = router.stats();
+    router.stop();
+  }
+
+  // Orderly shard teardown: drop the control pipes, reap the children.
+  for (const ShardProc& sp : shards) {
+    net::close_fd(sp.ctl_w);
+    net::close_fd(sp.ready_r);
+  }
+  for (const ShardProc& sp : shards) {
+    const int code = net::wait_exit(sp.pid);
+    if (code != 0) {
+      std::cerr << "svc_load --socket: shard exited " << code << "\n";
+      rc = 2;
+    }
+  }
+
+  const double speedup = run.warm_per_s / run.cold_per_s;
+  exp::Table table({"phase", "solves/s", "cache hits"});
+  table.add_row({"cold (first touch, 1 client)",
+                 exp::Table::num(run.cold_per_s, 1), "0/" +
+                 std::to_string(nops)});
+  table.add_row({"warm (" + std::to_string(nclients) + " clients)",
+                 exp::Table::num(run.warm_per_s, 1),
+                 std::to_string(run.warm_hits) + "/" +
+                     std::to_string(run.warm_requests)});
+  table.print(std::cout);
+  std::cout << "\nrouter: forwarded=" << run.router.forwarded
+            << " affinity=" << run.router.affinity
+            << " spilled=" << run.router.spilled
+            << " shed=" << run.router.rejected_backpressure << "\n";
+  std::cout << "warm speedup over cold: " << exp::Table::num(speedup, 2)
+            << "x (floor: 2x); warm hit rate: "
+            << exp::Table::num(100.0 * run.hit_rate, 1)
+            << "% (floor: 90%)\n";
+
+  const bool pass = speedup >= 2.0 && run.hit_rate >= 0.9 && rc == 0;
+  const std::string json = exp::str_flag(argc, argv, "--socket-json", "");
+  if (!json.empty()) {
+    std::ofstream out(json);
+    if (!out) {
+      std::cerr << "error: cannot write " << json << "\n";
+      return 2;
+    }
+    out << "{\n  \"bench\": \"svc_load_socket\",\n  \"shards\": " << kShards
+        << ",\n  \"ranks_per_shard\": " << kShardRanks
+        << ",\n  \"equations\": " << w.prob.dofs.num_free()
+        << ",\n  \"operators\": " << nops
+        << ",\n  \"cold_solves_per_s\": " << run.cold_per_s
+        << ",\n  \"warm_solves_per_s\": " << run.warm_per_s
+        << ",\n  \"warm_speedup\": " << speedup
+        << ",\n  \"warm_requests\": " << run.warm_requests
+        << ",\n  \"warm_cache_hits\": " << run.warm_hits
+        << ",\n  \"warm_hit_rate\": " << run.hit_rate
+        << ",\n  \"router\": {\"forwarded\": " << run.router.forwarded
+        << ", \"affinity\": " << run.router.affinity
+        << ", \"spilled\": " << run.router.spilled
+        << ", \"rejected_backpressure\": "
+        << run.router.rejected_backpressure
+        << "},\n  \"gates\": {\"warm_speedup_floor\": 2.0, "
+           "\"hit_rate_floor\": 0.9, \"pass\": "
+        << (pass ? "true" : "false") << "}\n}\n";
+    std::cout << "socket shard results written to " << json << "\n";
+  }
+  if (!pass) {
+    std::cerr << "svc_load --socket: FAILED — "
+              << (rc != 0 ? "shard exit code; " : "")
+              << (speedup < 2.0 ? "warm below 2x cold; " : "")
+              << (run.hit_rate < 0.9 ? "hit rate below 90%; " : "") << "\n";
+    return rc != 0 ? rc : 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 /// Median of three timing runs: single-core scheduling noise easily
@@ -150,6 +418,10 @@ double median3(Fn&& fn) {
 }
 
 int main(int argc, char** argv) {
+  if (pfem::exp::has_flag(argc, argv, "--socket") ||
+      !pfem::exp::str_flag(argc, argv, "--socket-json", "").empty())
+    return run_socket_mode(argc, argv);
+
   const bool full = bench::full_run(argc, argv);
   // Default sizing keeps per-rank compute small so per-solve
   // synchronization — the thing the fused batch actually removes — is a

@@ -202,16 +202,22 @@ class BatchPoly {
   std::vector<Vector*> exin_;         // fused-exchange view (inputs)
 };
 
-/// Shared output of a batch solve, written per rank / by rank 0.
+/// Shared output of a batch solve, written per rank / by the local leader.
 struct BatchShared {
   std::vector<std::vector<Vector>> sol;  ///< [rhs][rank] u in global format
-  std::vector<BatchItemResult> items;    ///< written by rank 0
+  std::vector<BatchItemResult> items;    ///< written by the local leader
 };
 
 void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
                       std::span<const Vector> rhs, const SolveOptions& opts,
                       par::Comm& comm, BatchShared& out) {
   const int s = comm.rank();
+  // Shared per-process result state is written by the LOCAL leader (rank
+  // 0 in-process; each process's lowest rank on a multi-process
+  // transport).  Every value written under this guard derives from
+  // allreduced scalars, so all leaders write bit-identical results and
+  // every process ends up with a full copy of the per-RHS reports.
+  const int leader = comm.local_leader();
   const EddSubdomain& sub = part.subs[static_cast<std::size_t>(s)];
   const std::size_t nb = rhs.size();
   EddRank r(sub, comm, nb);  // buffers preposted for the fused batch width
@@ -324,7 +330,7 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
         if (beta == 0.0) {  // zero rhs: x = 0 is exact
           done[b] = 1;
           relres[b] = 0.0;
-          if (s == 0) out.items[b].trivial_rhs = true;
+          if (s == leader) out.items[b].trivial_rhs = true;
           continue;
         }
       }
@@ -341,7 +347,7 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
       r.counters().flops += nl;
       r.counters().vector_updates += 1;
       lsq[b].emplace(m, beta);
-      if (iters[b] > 0 && s == 0) ++out.items[b].restarts;
+      if (iters[b] > 0 && s == leader) ++out.items[b].restarts;
       frozen[b] = 0;
       brk[b] = 0;
       jcols[b] = 0;
@@ -476,7 +482,7 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
             lsq[b]->push_column(std::span<const real_t>(h[b].data(), jj + 2)) /
             beta0[b];
         ++iters[b];
-        if (s == 0) {
+        if (s == leader) {
           out.items[b].history.push_back(relres[b]);
           if (tr != nullptr)
             tr->counter("relres", obs::Cat::Solve, relres[b],
@@ -515,7 +521,7 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
         // Terminal, but NOT convergence: the final true residual below
         // is the only arbiter of that (mirrors solve_edd).
         done[b] = 1;
-        if (s == 0) out.items[b].breakdown = true;
+        if (s == leader) out.items[b].breakdown = true;
       } else if (relres[b] <= opts.tol) {
         done[b] = 1;
       }
@@ -542,7 +548,7 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
     for (std::size_t l = 0; l < nl; ++l) u[l] = d[l] * x[b][l];
     out.sol[b][static_cast<std::size_t>(s)] = std::move(u);
   }
-  if (s == 0) {
+  if (s == leader) {
     for (std::size_t b = 0; b < nb; ++b) {
       BatchItemResult& item = out.items[b];
       const real_t final_res = sqrt_nonneg(red[b]);
@@ -613,7 +619,11 @@ EddOperatorState build_edd_operator(
           dr.accumulate_e_scaled(a, ep);
           r.counters().flops += static_cast<std::uint64_t>(a.nnz());
           comm.allreduce_sum(ep.data());
-          if (s == 0) e_shared = std::move(ep);
+          // Local-leader guard (not rank 0): on a multi-process team
+          // every process needs its own copy, and the allreduce made
+          // ep bit-identical on every rank.
+          if (static_cast<int>(s) == comm.local_leader())
+            e_shared = std::move(ep);
         }
         op.a[s] = std::move(a);
         op.d[s] = std::move(d);
@@ -704,6 +714,17 @@ BatchSolveResult solve_edd_batch(par::Team& team, const EddPartition& part,
     result.comm_error = std::move(comm_error);
     return result;  // x stays empty: no corrupt solutions
   }
+  // On a multi-process team only locally hosted subdomains deposited
+  // their solution pieces; zero-fill the remote slots so the gather
+  // assembles the dofs this process's ranks own (each process holds its
+  // piece of the solution, as a distributed-memory run would — the
+  // per-RHS convergence reports above are complete everywhere).
+  for (std::size_t b = 0; b < nb; ++b)
+    for (std::size_t q = 0; q < p; ++q) {
+      Vector& slot = out.sol[b][q];
+      const std::size_t want = part.subs[q].local_to_global.size();
+      if (slot.size() != want) slot.assign(want, 0.0);
+    }
   result.x.reserve(nb);
   for (std::size_t b = 0; b < nb; ++b)
     result.x.push_back(partition::edd_gather_global(part, out.sol[b]));

@@ -1,0 +1,122 @@
+// Little-endian byte codec shared by the net wire formats (the par
+// transport frames in frame.hpp and the service protocol in proto.hpp).
+//
+// Everything is explicit memcpy into/out of unsigned char buffers: no
+// struct punning, no padding on the wire, no alignment assumptions —
+// which is also what makes the malformed-input paths in the decoders
+// UB-free by construction.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pfem::net {
+
+using ByteBuffer = std::vector<unsigned char>;
+
+inline void put_u16(ByteBuffer& b, std::uint16_t v) {
+  b.push_back(static_cast<unsigned char>(v & 0xff));
+  b.push_back(static_cast<unsigned char>((v >> 8) & 0xff));
+}
+
+inline void put_u32(ByteBuffer& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    b.push_back(static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_u64(ByteBuffer& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    b.push_back(static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_i32(ByteBuffer& b, std::int32_t v) {
+  put_u32(b, static_cast<std::uint32_t>(v));
+}
+
+inline void put_f64(ByteBuffer& b, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(b, bits);
+}
+
+inline void put_bytes(ByteBuffer& b, const void* p, std::size_t n) {
+  const auto* s = static_cast<const unsigned char*>(p);
+  b.insert(b.end(), s, s + n);
+}
+
+/// Bounds-checked read cursor: every get_* returns false instead of
+/// reading past the end, so decoders turn truncation into a typed
+/// error, never an out-of-bounds access.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const unsigned char> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+  [[nodiscard]] bool get_u16(std::uint16_t& v) noexcept {
+    if (remaining() < 2) return false;
+    v = static_cast<std::uint16_t>(data_[pos_] |
+                                   (std::uint16_t(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  [[nodiscard]] bool get_u32(std::uint32_t& v) noexcept {
+    if (remaining() < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= std::uint32_t(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool get_u64(std::uint64_t& v) noexcept {
+    if (remaining() < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= std::uint64_t(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+
+  [[nodiscard]] bool get_i32(std::int32_t& v) noexcept {
+    std::uint32_t u;
+    if (!get_u32(u)) return false;
+    v = static_cast<std::int32_t>(u);
+    return true;
+  }
+
+  [[nodiscard]] bool get_f64(double& v) noexcept {
+    std::uint64_t bits;
+    if (!get_u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof v);
+    return true;
+  }
+
+  [[nodiscard]] bool get_string(std::string& s, std::size_t n) {
+    if (remaining() < n) return false;
+    s.assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] bool get_doubles(real_t* out, std::size_t n) noexcept {
+    if (remaining() < n * sizeof(real_t)) return false;
+    std::memcpy(out, data_.data() + pos_, n * sizeof(real_t));
+    pos_ += n * sizeof(real_t);
+    return true;
+  }
+
+ private:
+  std::span<const unsigned char> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pfem::net

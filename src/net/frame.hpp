@@ -1,0 +1,94 @@
+// The par-transport wire frame: what one send() becomes on a socket.
+//
+//   [magic u32 "PFN1"] [version u16] [kind u16]
+//   [src i32] [dst i32] [tag i32]
+//   [seq u64] [count u64]            -- count = payload doubles
+//   payload: count * 8 bytes (little-endian IEEE doubles)
+//
+// kind Data carries a message; kind Abort propagates team teardown to
+// the peer process; kind Fin is the goodbye of an orderly transport
+// teardown — EOF after a Fin is a clean close, EOF without one is peer
+// death and aborts the team (both no payload).  Decoding is fully
+// typed — truncated, bad-magic, bad-version and oversized frames each
+// get their own status, never UB — mirroring the trace_io
+// malformed-input contract.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/bytes.hpp"
+
+namespace pfem::net {
+
+constexpr std::uint32_t kFrameMagic = 0x314e4650u;  // "PFN1" little-endian
+constexpr std::uint16_t kFrameVersion = 1;
+/// Hard payload bound (2^26 doubles = 512 MiB): anything larger is a
+/// corrupt length prefix, not a message this library would ever send.
+constexpr std::uint64_t kMaxFrameDoubles = 1ull << 26;
+
+enum class FrameKind : std::uint16_t { Data = 1, Abort = 2, Fin = 3 };
+
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint16_t version = kFrameVersion;
+  std::uint16_t kind = static_cast<std::uint16_t>(FrameKind::Data);
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+  std::int32_t tag = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t count = 0;  ///< payload length in doubles
+};
+
+constexpr std::size_t kFrameHeaderBytes = 4 + 2 + 2 + 4 + 4 + 4 + 8 + 8;
+
+enum class FrameStatus {
+  Ok,
+  Truncated,   ///< fewer than kFrameHeaderBytes available
+  BadMagic,
+  BadVersion,
+  BadKind,
+  Oversized,   ///< count exceeds kMaxFrameDoubles
+};
+
+[[nodiscard]] inline const char* frame_status_name(FrameStatus s) noexcept {
+  switch (s) {
+    case FrameStatus::Ok: return "ok";
+    case FrameStatus::Truncated: return "truncated";
+    case FrameStatus::BadMagic: return "bad_magic";
+    case FrameStatus::BadVersion: return "bad_version";
+    case FrameStatus::BadKind: return "bad_kind";
+    case FrameStatus::Oversized: return "oversized";
+  }
+  return "?";
+}
+
+inline void encode_frame_header(ByteBuffer& out, const FrameHeader& h) {
+  put_u32(out, h.magic);
+  put_u16(out, h.version);
+  put_u16(out, h.kind);
+  put_i32(out, h.src);
+  put_i32(out, h.dst);
+  put_i32(out, h.tag);
+  put_u64(out, h.seq);
+  put_u64(out, h.count);
+}
+
+[[nodiscard]] inline FrameStatus decode_frame_header(
+    std::span<const unsigned char> bytes, FrameHeader& h) {
+  ByteReader r(bytes);
+  if (!r.get_u32(h.magic) || !r.get_u16(h.version) || !r.get_u16(h.kind) ||
+      !r.get_i32(h.src) || !r.get_i32(h.dst) || !r.get_i32(h.tag) ||
+      !r.get_u64(h.seq) || !r.get_u64(h.count))
+    return FrameStatus::Truncated;
+  if (h.magic != kFrameMagic) return FrameStatus::BadMagic;
+  if (h.version != kFrameVersion) return FrameStatus::BadVersion;
+  if (h.kind != static_cast<std::uint16_t>(FrameKind::Data) &&
+      h.kind != static_cast<std::uint16_t>(FrameKind::Abort) &&
+      h.kind != static_cast<std::uint16_t>(FrameKind::Fin))
+    return FrameStatus::BadKind;
+  if (h.count > kMaxFrameDoubles) return FrameStatus::Oversized;
+  return FrameStatus::Ok;
+}
+
+}  // namespace pfem::net

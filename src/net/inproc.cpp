@@ -1,0 +1,63 @@
+// The in-process transport: a thin Transport facade over RingCore.
+// This is the zero-cost default every single-process Team uses — the
+// exact channel semantics the PR-1 runtime had, one virtual call away.
+#include <memory>
+
+#include "net/ring.hpp"
+#include "net/transport.hpp"
+
+namespace pfem::net {
+
+namespace {
+
+class InprocTransport final : public Transport {
+ public:
+  explicit InprocTransport(int nranks) : ring_(nranks) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "inproc";
+  }
+  [[nodiscard]] int nranks() const noexcept override { return ring_.size(); }
+  [[nodiscard]] int rank_base() const noexcept override { return 0; }
+  [[nodiscard]] int local_ranks() const noexcept override {
+    return ring_.size();
+  }
+  [[nodiscard]] bool multi_process() const noexcept override { return false; }
+
+  void push(int src, int dst, int tag, std::span<const real_t> data,
+            bool wire_dup, const WaitStats& ws) override {
+    const std::uint64_t seq =
+        wire_dup ? ring_.last_seq(src, dst) : ring_.next_seq(src, dst);
+    ring_.push_seq(src, dst, tag, data, seq, ws, fault::Op::Send, src, dst);
+  }
+
+  void mark_dropped(int src, int dst) override {
+    ring_.mark_dropped(src, dst);
+  }
+
+  void take(int dst, int src, int tag, MsgSink& sink,
+            const WaitStats& ws) override {
+    ring_.take(dst, src, tag, sink, ws);
+  }
+
+  void set_timeout(double seconds) noexcept override {
+    ring_.set_timeout(seconds);
+  }
+  void abort() noexcept override { ring_.abort(); }
+  [[nodiscard]] bool is_aborted() const noexcept override {
+    return ring_.is_aborted();
+  }
+  void reset_for_job() override { ring_.reset(); }
+
+ private:
+  RingCore ring_;
+};
+
+}  // namespace
+
+std::shared_ptr<Transport> make_inproc_transport(int nranks) {
+  PFEM_CHECK(nranks >= 1);
+  return std::make_shared<InprocTransport>(nranks);
+}
+
+}  // namespace pfem::net

@@ -1,0 +1,138 @@
+// pfem::net::proto — the versioned binary protocol of the solve
+// service (pfem_serve --listen / pfem_loadgen --connect / pfem_router).
+//
+// Stream framing: every message is a 16-byte header
+//
+//   u32 magic   "PFSV"
+//   u16 version (1)
+//   u16 type    (MsgType)
+//   u64 body_len
+//
+// followed by body_len bytes of little-endian body.  Decoding is total:
+// any malformed input maps to a typed DecodeStatus (never UB, never an
+// exception) so servers can close the connection with a reason and the
+// fuzz suite can assert on outcomes.
+//
+// Session: client sends Hello, server answers HelloAck (advertising its
+// shard name and team size); then any number of SolveRequest frames,
+// each answered by exactly one SolveResponse carrying the same req_id.
+// Responses may arrive out of order relative to other requests.  The
+// req_id is the FIRST field of both bodies — at a fixed byte offset
+// (kProtoHeaderBytes) — so the router can rewrite it in place when
+// multiplexing many client connections onto one shard connection.
+//
+// Deadlines travel as RELATIVE nanoseconds (0 = none): wall clocks of
+// client and server need not agree; the server re-anchors the budget on
+// its own steady clock at decode time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/bytes.hpp"
+
+namespace pfem::net::proto {
+
+inline constexpr std::uint32_t kProtoMagic = 0x56534650u;  // "PFSV" LE
+inline constexpr std::uint16_t kProtoVersion = 1;
+inline constexpr std::size_t kProtoHeaderBytes = 16;
+
+/// Body-size cap: a frame claiming more is rejected as Oversized before
+/// any allocation (malformed-input safety, satellite 3).
+inline constexpr std::uint64_t kMaxBodyBytes = 1ull << 28;
+
+enum class MsgType : std::uint16_t {
+  Hello = 1,
+  HelloAck = 2,
+  SolveRequest = 3,
+  SolveResponse = 4,
+};
+
+enum class DecodeStatus {
+  Ok,
+  Truncated,   ///< fewer bytes than the header/body claims
+  BadMagic,
+  BadVersion,
+  BadType,
+  Oversized,   ///< body_len exceeds kMaxBodyBytes (or a count field lies)
+  BadBody,     ///< structurally invalid body for the declared type
+};
+
+[[nodiscard]] const char* decode_status_name(DecodeStatus s) noexcept;
+
+struct ProtoHeader {
+  std::uint16_t type = 0;
+  std::uint64_t body_len = 0;
+};
+
+struct HelloMsg {
+  std::string client_name;
+};
+
+struct HelloAckMsg {
+  std::string server_name;
+  std::int32_t nranks = 0;
+};
+
+/// Response status codes (mirror svc::Outcome alternatives).
+enum class SolveStatus : std::uint32_t {
+  Completed = 0,
+  Rejected = 1,
+  Cancelled = 2,
+  Failed = 3,
+};
+
+struct SolveRequestMsg {
+  std::uint64_t req_id = 0;  ///< MUST stay the first field (router rewrite)
+  std::string operator_key;
+  std::uint32_t priority = 0;      ///< svc::Priority
+  std::uint64_t deadline_ns = 0;   ///< relative budget; 0 = no deadline
+  std::uint64_t seed = 0;
+  bool want_solution = false;
+  std::int32_t restart = 25;
+  std::int32_t max_iters = 10000;
+  double tol = 1e-6;
+  std::vector<Vector> rhs;
+};
+
+struct SolveItemMsg {
+  bool converged = false;
+  bool breakdown = false;
+  std::int32_t iterations = 0;
+  double final_relres = 0.0;
+};
+
+struct SolveResponseMsg {
+  std::uint64_t req_id = 0;  ///< MUST stay the first field (router rewrite)
+  SolveStatus status = SolveStatus::Failed;
+  std::uint32_t reject_reason = 0;  ///< svc::RejectReason when Rejected
+  std::string detail;               ///< reject detail / cancel / error text
+  bool cache_hit = false;
+  bool comm = false;  ///< Failed: typed communication fault
+  double queue_seconds = 0.0;
+  double solve_seconds = 0.0;
+  std::vector<SolveItemMsg> items;
+  std::vector<Vector> solution;  ///< non-empty only when requested
+};
+
+// --- encode: append one complete frame (header + body) to `out` ---
+void encode_hello(ByteBuffer& out, const HelloMsg& m);
+void encode_hello_ack(ByteBuffer& out, const HelloAckMsg& m);
+void encode_solve_request(ByteBuffer& out, const SolveRequestMsg& m);
+void encode_solve_response(ByteBuffer& out, const SolveResponseMsg& m);
+
+// --- decode ---
+/// Validates magic/version/type/body_len of a 16-byte header.
+[[nodiscard]] DecodeStatus decode_header(std::span<const unsigned char> hdr,
+                                         ProtoHeader& out);
+[[nodiscard]] DecodeStatus decode_hello(std::span<const unsigned char> body,
+                                        HelloMsg& out);
+[[nodiscard]] DecodeStatus decode_hello_ack(
+    std::span<const unsigned char> body, HelloAckMsg& out);
+[[nodiscard]] DecodeStatus decode_solve_request(
+    std::span<const unsigned char> body, SolveRequestMsg& out);
+[[nodiscard]] DecodeStatus decode_solve_response(
+    std::span<const unsigned char> body, SolveResponseMsg& out);
+
+}  // namespace pfem::net::proto

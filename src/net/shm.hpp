@@ -1,0 +1,62 @@
+// Shared-memory transport: fixed-capacity SPSC rings in one MAP_SHARED
+// region for co-located processes forked around it.  See transport.hpp
+// for the contract.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace pfem::net {
+
+/// The mapped region: create it in the parent BEFORE fork(); every
+/// child inherits the mapping, so all processes see the same rings.
+/// One region serves exactly one transport topology (nranks pairs,
+/// slot_doubles payload capacity per slot).
+class ShmRegion {
+ public:
+  /// `slot_doubles` bounds the largest single message (a neighbor
+  /// interface trace, an allreduce payload).  A push that exceeds it
+  /// throws a typed Error — raise the capacity, don't truncate.
+  static std::shared_ptr<ShmRegion> create(int nranks,
+                                           std::size_t slot_doubles = 4096);
+  ~ShmRegion();
+  ShmRegion(const ShmRegion&) = delete;
+  ShmRegion& operator=(const ShmRegion&) = delete;
+
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+  [[nodiscard]] std::size_t slot_doubles() const noexcept {
+    return slot_doubles_;
+  }
+  [[nodiscard]] unsigned char* base() const noexcept { return base_; }
+
+ private:
+  ShmRegion(unsigned char* base, std::size_t bytes, int nranks,
+            std::size_t slot_doubles)
+      : base_(base), bytes_(bytes), nranks_(nranks),
+        slot_doubles_(slot_doubles) {}
+
+  unsigned char* base_;
+  std::size_t bytes_;
+  int nranks_;
+  std::size_t slot_doubles_;
+};
+
+/// Contiguous rank blocks per process, like the socket transport.
+struct ShmTransportConfig {
+  std::vector<int> ranks_per_proc;
+  int my_proc = 0;
+};
+
+std::shared_ptr<Transport> make_shm_transport(
+    std::shared_ptr<ShmRegion> region, ShmTransportConfig cfg);
+
+/// Single-process loopback over a fresh region — all ranks in this
+/// process, every message still round-tripping through the
+/// fixed-capacity shared slots (polling waits included).
+std::shared_ptr<Transport> make_shm_loopback_transport(
+    int nranks, std::size_t slot_doubles = 4096);
+
+}  // namespace pfem::net

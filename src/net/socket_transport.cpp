@@ -1,0 +1,287 @@
+// Socket transport implementation.
+//
+// Outbound: push() assigns the pair's next wire sequence number from
+// the same sender-owned counters the in-process ring uses (so injected
+// Drops consume numbers identically), then writes one frame — header +
+// raw doubles — to the destination process's connection under a
+// per-connection mutex (ranks of one process share the socket).
+//
+// Inbound: one reader thread per connection demultiplexes frames into
+// a RingCore inbox, delivering each message under its wire sequence
+// number.  take() is then EXACTLY the in-process receive: same ring,
+// same dedup watermark, same gap detection, same stash — the chaos
+// semantics are inherited, not re-implemented.
+//
+// Teardown: abort() trips the local inbox and best-effort sends an
+// Abort frame to every peer process; a peer that sees EOF instead
+// (process death) also aborts.  Blocked ranks unwind with net::Aborted
+// either way.
+#include "net/socket_transport.hpp"
+
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "net/frame.hpp"
+#include "net/ring.hpp"
+#include "net/sockets.hpp"
+
+namespace pfem::net {
+
+namespace {
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketTransportConfig cfg)
+      : nprocs_(static_cast<int>(cfg.ranks_per_proc.size())),
+        my_proc_(cfg.my_proc),
+        ring_(total_ranks(cfg)) {
+    PFEM_CHECK(nprocs_ >= 1);
+    PFEM_CHECK(my_proc_ >= 0 && my_proc_ < nprocs_);
+    PFEM_CHECK_MSG(static_cast<int>(cfg.fds.size()) == nprocs_ ||
+                       nprocs_ == 1,
+                   "socket transport: need one fd per peer process");
+    proc_of_.reserve(static_cast<std::size_t>(ring_.size()));
+    for (int p = 0; p < nprocs_; ++p) {
+      PFEM_CHECK(cfg.ranks_per_proc[static_cast<std::size_t>(p)] >= 1);
+      if (p == my_proc_) rank_base_ = static_cast<int>(proc_of_.size());
+      for (int i = 0; i < cfg.ranks_per_proc[static_cast<std::size_t>(p)];
+           ++i)
+        proc_of_.push_back(p);
+    }
+    nlocal_ = cfg.ranks_per_proc[static_cast<std::size_t>(my_proc_)];
+
+    // Connection table: peers from the config, self through a private
+    // socketpair so local traffic takes the same serialize/deserialize
+    // path as remote traffic.
+    const auto self = stream_pair();
+    conn_.assign(static_cast<std::size_t>(nprocs_), -1);
+    read_fd_.assign(static_cast<std::size_t>(nprocs_), -1);
+    for (int p = 0; p < nprocs_; ++p) {
+      if (p == my_proc_) {
+        conn_[static_cast<std::size_t>(p)] = self[0];
+        read_fd_[static_cast<std::size_t>(p)] = self[1];
+      } else {
+        const int fd = cfg.fds[static_cast<std::size_t>(p)];
+        PFEM_CHECK_MSG(fd >= 0, "socket transport: missing fd for process "
+                                    << p);
+        conn_[static_cast<std::size_t>(p)] = fd;
+        read_fd_[static_cast<std::size_t>(p)] = fd;  // full duplex
+      }
+    }
+    write_mutex_ = std::vector<std::mutex>(static_cast<std::size_t>(nprocs_));
+    readers_.reserve(static_cast<std::size_t>(nprocs_));
+    for (int p = 0; p < nprocs_; ++p)
+      readers_.emplace_back([this, p] { reader_loop(p); });
+  }
+
+  ~SocketTransport() override {
+    // Goodbye handshake: tell every peer this close is orderly BEFORE
+    // closing anything.  A process can legitimately finish its half of
+    // a job and tear down while a slower peer still waits for frames
+    // that are already in the socket buffer — the peer drains them,
+    // reads our Fin, and treats the EOF as a clean close.  Peer death
+    // remains distinguishable: EOF with no Fin aborts the team.
+    FrameHeader fin;
+    fin.kind = static_cast<std::uint16_t>(FrameKind::Fin);
+    ByteBuffer finbuf;
+    encode_frame_header(finbuf, fin);
+    for (int p = 0; p < nprocs_; ++p) {
+      if (p == my_proc_) continue;
+      try {
+        std::lock_guard<std::mutex> lk(
+            write_mutex_[static_cast<std::size_t>(p)]);
+        (void)write_full(conn_[static_cast<std::size_t>(p)], finbuf.data(),
+                         finbuf.size());
+      } catch (...) {
+        // Peer already gone — nothing to say goodbye to.
+      }
+    }
+    shutting_down_.store(true, std::memory_order_seq_cst);
+    ring_.abort();
+    for (int p = 0; p < nprocs_; ++p)
+      shutdown_fd(read_fd_[static_cast<std::size_t>(p)]);
+    for (std::thread& t : readers_) t.join();
+    close_fd(conn_[static_cast<std::size_t>(my_proc_)]);
+    close_fd(read_fd_[static_cast<std::size_t>(my_proc_)]);
+    for (int p = 0; p < nprocs_; ++p)
+      if (p != my_proc_) close_fd(conn_[static_cast<std::size_t>(p)]);
+  }
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "socket";
+  }
+  [[nodiscard]] int nranks() const noexcept override { return ring_.size(); }
+  [[nodiscard]] int rank_base() const noexcept override { return rank_base_; }
+  [[nodiscard]] int local_ranks() const noexcept override { return nlocal_; }
+  [[nodiscard]] bool multi_process() const noexcept override {
+    return nprocs_ > 1;
+  }
+
+  void push(int src, int dst, int tag, std::span<const real_t> data,
+            bool wire_dup, const WaitStats& /*ws*/) override {
+    ring_.check_abort();
+    // Sender-owned numbering, shared with the in-process semantics: an
+    // injected Drop (mark_dropped) consumed a number here too.
+    const std::uint64_t seq =
+        wire_dup ? ring_.last_seq(src, dst) : ring_.next_seq(src, dst);
+    FrameHeader h;
+    h.kind = static_cast<std::uint16_t>(FrameKind::Data);
+    h.src = src;
+    h.dst = dst;
+    h.tag = tag;
+    h.seq = seq;
+    h.count = data.size();
+    ByteBuffer buf;
+    buf.reserve(kFrameHeaderBytes + data.size() * sizeof(real_t));
+    encode_frame_header(buf, h);
+    put_bytes(buf, data.data(), data.size() * sizeof(real_t));
+    const int proc = proc_of_[static_cast<std::size_t>(dst)];
+    bool ok;
+    {
+      std::lock_guard<std::mutex> lk(
+          write_mutex_[static_cast<std::size_t>(proc)]);
+      ok = write_full(conn_[static_cast<std::size_t>(proc)], buf.data(),
+                      buf.size());
+    }
+    if (!ok) {
+      // Peer process is gone: tear the team down instead of hanging.
+      ring_.abort();
+      throw Aborted{};
+    }
+  }
+
+  void mark_dropped(int src, int dst) override {
+    ring_.mark_dropped(src, dst);
+  }
+
+  void take(int dst, int src, int tag, MsgSink& sink,
+            const WaitStats& ws) override {
+    ring_.take(dst, src, tag, sink, ws);
+  }
+
+  void set_timeout(double seconds) noexcept override {
+    ring_.set_timeout(seconds);
+  }
+
+  void abort() noexcept override {
+    ring_.abort();
+    // Best-effort Abort frame to every peer so their blocked ranks
+    // unwind promptly instead of waiting for a timeout.
+    FrameHeader h;
+    h.kind = static_cast<std::uint16_t>(FrameKind::Abort);
+    ByteBuffer buf;
+    encode_frame_header(buf, h);
+    for (int p = 0; p < nprocs_; ++p) {
+      if (p == my_proc_) continue;
+      try {
+        std::lock_guard<std::mutex> lk(
+            write_mutex_[static_cast<std::size_t>(p)]);
+        (void)write_full(conn_[static_cast<std::size_t>(p)], buf.data(),
+                         buf.size());
+      } catch (...) {
+        // Peer already gone — nothing to propagate to.
+      }
+    }
+  }
+
+  [[nodiscard]] bool is_aborted() const noexcept override {
+    return ring_.is_aborted();
+  }
+
+  /// Wire sequence numbers keep running across jobs (both ends must
+  /// agree and there is no inter-process rendezvous here): clean
+  /// back-to-back jobs continue seamlessly; a Team whose job aborted
+  /// should discard the transport (see Transport::reset_for_job).
+  void reset_for_job() override {}
+
+ private:
+  static int total_ranks(const SocketTransportConfig& cfg) {
+    int n = 0;
+    for (const int k : cfg.ranks_per_proc) n += k;
+    PFEM_CHECK(n >= 1);
+    return n;
+  }
+
+  void reader_loop(int proc) {
+    const int fd = read_fd_[static_cast<std::size_t>(proc)];
+    unsigned char hdr[kFrameHeaderBytes];
+    Vector scratch;
+    // Set by this connection's Fin frame; only this thread touches it.
+    bool peer_said_goodbye = false;
+    for (;;) {
+      if (!read_full(fd, hdr, sizeof hdr)) {
+        // EOF: orderly when we are shutting down or the peer announced
+        // its close with a Fin; peer death otherwise — then local
+        // ranks must not block forever.
+        if (!peer_said_goodbye &&
+            !shutting_down_.load(std::memory_order_seq_cst))
+          ring_.abort();
+        return;
+      }
+      FrameHeader h;
+      if (decode_frame_header(std::span<const unsigned char>(hdr, sizeof hdr),
+                              h) != FrameStatus::Ok) {
+        ring_.abort();  // corrupt stream: fail the team, typed upstream
+        return;
+      }
+      if (h.kind == static_cast<std::uint16_t>(FrameKind::Fin)) {
+        peer_said_goodbye = true;
+        continue;  // drain anything the peer wrote before its Fin
+      }
+      if (h.kind == static_cast<std::uint16_t>(FrameKind::Abort)) {
+        ring_.abort();
+        continue;  // keep draining until the peer closes
+      }
+      if (h.dst < 0 || h.dst >= ring_.size() || h.src < 0 ||
+          h.src >= ring_.size() ||
+          proc_of_[static_cast<std::size_t>(h.dst)] != my_proc_) {
+        ring_.abort();
+        return;
+      }
+      scratch.resize(h.count);
+      if (!read_full(fd, scratch.data(), h.count * sizeof(real_t))) {
+        if (!shutting_down_.load(std::memory_order_seq_cst)) ring_.abort();
+        return;
+      }
+      try {
+        // Deliver under the frame's wire seq; blocks when the inbox
+        // ring is full (backpressure onto the socket).
+        ring_.push_seq(h.src, h.dst, h.tag,
+                       std::span<const real_t>(scratch.data(), scratch.size()),
+                       h.seq, WaitStats{}, fault::Op::Recv, h.dst, h.src);
+      } catch (...) {
+        // Abort (or an armed timeout) while delivering: the team is
+        // going down; stop demultiplexing.
+        return;
+      }
+    }
+  }
+
+  int nprocs_;
+  int my_proc_;
+  RingCore ring_;  ///< inbox for local dsts + outbound seq counters
+  std::vector<int> proc_of_;
+  int rank_base_ = 0;
+  int nlocal_ = 0;
+  std::vector<int> conn_;     ///< per process: fd push() writes to
+  std::vector<int> read_fd_;  ///< per process: fd the reader drains
+  std::vector<std::mutex> write_mutex_;
+  std::vector<std::thread> readers_;
+  std::atomic<bool> shutting_down_{false};
+};
+
+}  // namespace
+
+std::shared_ptr<Transport> make_socket_transport(SocketTransportConfig cfg) {
+  return std::make_shared<SocketTransport>(std::move(cfg));
+}
+
+std::shared_ptr<Transport> make_socket_loopback_transport(int nranks) {
+  SocketTransportConfig cfg;
+  cfg.ranks_per_proc = {nranks};
+  cfg.my_proc = 0;
+  return std::make_shared<SocketTransport>(std::move(cfg));
+}
+
+}  // namespace pfem::net

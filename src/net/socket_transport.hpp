@@ -1,0 +1,33 @@
+// Socket transport: par ranks split across processes, one stream
+// connection per process pair carrying length-prefixed frames
+// (frame.hpp).  See transport.hpp for the contract.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace pfem::net {
+
+/// Ranks are assigned to processes as contiguous blocks:
+/// ranks_per_proc = {2, 2} puts ranks 0-1 in process 0 and 2-3 in
+/// process 1.  fds[p] is a connected stream socket to process p (the
+/// transport takes ownership and closes them); fds[my_proc] is ignored
+/// — co-located pairs are routed through a private socketpair so EVERY
+/// message, local or remote, travels the same wire path (that is what
+/// makes single-process "loopback" runs a faithful rehearsal of the
+/// distributed wire, chaos suite included).
+struct SocketTransportConfig {
+  std::vector<int> ranks_per_proc;
+  int my_proc = 0;
+  std::vector<int> fds;
+};
+
+std::shared_ptr<Transport> make_socket_transport(SocketTransportConfig cfg);
+
+/// Single-process loopback: all `nranks` ranks in this process, every
+/// message still serialized through a socketpair.
+std::shared_ptr<Transport> make_socket_loopback_transport(int nranks);
+
+}  // namespace pfem::net

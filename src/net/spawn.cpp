@@ -1,0 +1,46 @@
+#include "net/spawn.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace pfem::net {
+
+pid_t fork_run(const std::function<int()>& body) {
+  const pid_t pid = ::fork();
+  PFEM_CHECK_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    int code = 99;
+    try {
+      code = body();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[child %d] uncaught: %s\n",
+                   static_cast<int>(::getpid()), e.what());
+    } catch (...) {
+      std::fprintf(stderr, "[child %d] uncaught non-std exception\n",
+                   static_cast<int>(::getpid()));
+    }
+    std::fflush(nullptr);
+    ::_exit(code);  // skip atexit/static dtors: parent state, not ours
+  }
+  return pid;
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, 0);
+    if (r == pid) break;
+    if (r < 0 && errno == EINTR) continue;
+    return -1;
+  }
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -1;
+}
+
+}  // namespace pfem::net

@@ -1,0 +1,22 @@
+// Minimal fork/wait helpers for multi-process tests, benches, and the
+// shard launchers.  fork() duplicates only the calling thread — run it
+// BEFORE creating any Team, server, or transport (their worker threads
+// would not exist in the child, deadlocking anything that awaits them).
+#pragma once
+
+#include <functional>
+
+#include <sys/types.h>
+
+namespace pfem::net {
+
+/// Fork and run `body` in the child; the child terminates with
+/// _exit(body()) and never returns here (exceptions in `body` exit 99).
+/// Returns the child's pid in the parent.
+pid_t fork_run(const std::function<int()>& body);
+
+/// Blocking waitpid; returns the child's exit code, or -1 if it died
+/// on a signal / could not be reaped.
+int wait_exit(pid_t pid);
+
+}  // namespace pfem::net

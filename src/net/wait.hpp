@@ -1,0 +1,48 @@
+// Shared blocking-wait machinery for the transports (and the par
+// runtime's collective cells): spin briefly, then yield, then back off.
+//
+// The budgets mirror what the PR-1 channel runtime tuned: arrivals in
+// the solver hot paths land within a few hundred nanoseconds, so the
+// spin phase absorbs nearly all waits; yielding covers oversubscription;
+// whatever comes after (condvar park in-process, short sleeps for
+// shared-memory polling) is the backstop for genuinely idle ranks.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+namespace pfem::net::detail {
+
+using SteadyClock = std::chrono::steady_clock;
+
+inline double seconds_since(SteadyClock::time_point t0) {
+  return std::chrono::duration<double>(SteadyClock::now() - t0).count();
+}
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Busy-wait budget before parking (in-process) or sleeping (shm).
+constexpr int kSpinIters = 1 << 14;
+
+/// Spinning only helps when the partner can make progress on another
+/// core; on a single-CPU machine it burns the waiter's whole timeslice
+/// while the partner is runnable-but-not-running, so skip straight to
+/// the yield phase there.
+inline int spin_budget() {
+  static const int budget =
+      std::thread::hardware_concurrency() > 1 ? kSpinIters : 0;
+  return budget;
+}
+
+/// sched_yield attempts between spinning and the backstop phase.
+constexpr int kYieldIters = 256;
+
+}  // namespace pfem::net::detail

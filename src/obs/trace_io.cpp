@@ -434,6 +434,22 @@ TraceFile merge(const std::vector<TraceFile>& files) {
   return out;
 }
 
+TraceFile merge_ranks(const std::vector<TraceFile>& files) {
+  TraceFile out;
+  long long dropped = 0;
+  bool have_dropped = false;
+  for (const TraceFile& f : files) {
+    out.events.insert(out.events.end(), f.events.begin(), f.events.end());
+    out.nranks = std::max(out.nranks, f.nranks);
+    if (f.dropped >= 0) {
+      dropped += f.dropped;
+      have_dropped = true;
+    }
+  }
+  out.dropped = have_dropped ? dropped : -1;
+  return out;
+}
+
 void write_chrome_trace(std::ostream& os, const TraceFile& t) {
   os << "{\"traceEvents\": [\n";
   bool first = true;

@@ -82,6 +82,13 @@ bool check(const TraceFile& t, std::string& err);
 /// previous input's maximum so lanes never collide.
 TraceFile merge(const std::vector<TraceFile>& files);
 
+/// Merge traces that already share one GLOBAL rank numbering — the
+/// per-process captures of a multi-process team, where every file has
+/// lanes for all ranks but only its own process's lanes carry events.
+/// pids are preserved (lane r stays rank r), which is what lets the
+/// --counters cross-check run on the merged timeline.
+TraceFile merge_ranks(const std::vector<TraceFile>& files);
+
 /// Re-serialize as Chrome trace_event JSON (for `pfem_trace --merge`).
 void write_chrome_trace(std::ostream& os, const TraceFile& t);
 

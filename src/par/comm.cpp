@@ -1,7 +1,6 @@
 #include "par/comm.hpp"
 
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -12,125 +11,87 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "net/wait.hpp"
 
 namespace pfem::par {
 
-/// Thrown inside ranks that are blocked when another rank fails, so the
-/// whole team unwinds instead of deadlocking.  run_spmd() swallows these
-/// and rethrows the originating error.
-class Aborted : public Error {
- public:
-  Aborted() : Error("SPMD team aborted because another rank failed") {}
-};
+using net::Aborted;
 
 namespace detail {
 
 namespace {
 
-using SteadyClock = std::chrono::steady_clock;
+using net::detail::SteadyClock;
+using net::detail::seconds_since;
 
-inline double seconds_since(SteadyClock::time_point t0) {
-  return std::chrono::duration<double>(SteadyClock::now() - t0).count();
-}
+/// Receive adapters for the transport's sink-style take().  SwapSink is
+/// the single-copy receive: when the transport relinquishes its payload
+/// buffer the sink steals it and leaves ours behind for the wire to
+/// reuse; a transport that cannot hand over storage (shared-memory
+/// slots) passes owned == nullptr and the sink copies.
+struct SwapSink final : net::MsgSink {
+  Vector* out;
+  explicit SwapSink(Vector* o) : out(o) {}
+  void deliver(Vector* owned, std::span<const real_t> data) override {
+    if (owned != nullptr) {
+      out->swap(*owned);
+      out->resize(data.size());
+    } else {
+      out->assign(data.begin(), data.end());
+    }
+  }
+};
 
-inline void cpu_relax() {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#elif defined(__aarch64__)
-  asm volatile("yield" ::: "memory");
-#else
-  std::this_thread::yield();
-#endif
-}
+/// Receive into a preposted buffer whose length must match exactly (the
+/// zero-allocation path the exchange kernels use).
+struct SpanSink final : net::MsgSink {
+  std::span<real_t> out;
+  explicit SpanSink(std::span<real_t> o) : out(o) {}
+  void deliver(Vector* /*owned*/, std::span<const real_t> data) override {
+    PFEM_CHECK_MSG(data.size() == out.size(),
+                   "recv into span: message length does not match the "
+                   "preposted buffer");
+    std::copy(data.begin(), data.end(), out.begin());
+  }
+};
 
-/// Busy-wait budget before parking on a condition variable.  Arrivals in
-/// the solver hot paths (neighbor exchange, reduction tree) land within a
-/// few hundred nanoseconds, so the spin phase absorbs nearly all waits;
-/// the condvar is the backstop for genuinely idle ranks.
-constexpr int kSpinIters = 1 << 14;
-
-/// Spinning only helps when the partner can make progress on another
-/// core; on a single-CPU machine it burns the waiter's whole timeslice
-/// while the partner is runnable-but-not-running, so skip straight to
-/// the yield phase there.
-inline int spin_budget() {
-  static const int budget =
-      std::thread::hardware_concurrency() > 1 ? kSpinIters : 0;
-  return budget;
-}
-
-/// sched_yield attempts between spinning and parking.  When ranks are
-/// oversubscribed a yield donates the timeslice to the runnable partner
-/// and the handoff completes without the futex sleep/wake syscall pair.
-constexpr int kYieldIters = 256;
+/// Reserved tags of the runtime's wire collectives (multi-process
+/// transports route barriers/allreduces over tagged p2p because their
+/// ranks share no address space).  Negative so they can never collide
+/// with solver tags, which are all non-negative.
+constexpr int kTagReduce = -101;
+constexpr int kTagBcast = -102;
 
 }  // namespace
 
-/// One preallocated message slot of an SPSC ring.  `full` is the
-/// synchronization point: the sender owns the slot while false, the
-/// receiver while true.  Payload capacity grows on first use and is then
-/// reused forever — no steady-state allocation.
-struct Slot {
-  std::atomic<bool> full{false};
-  int tag = 0;
-  std::size_t size = 0;
-  /// Wire sequence number (1-based, per channel).  A duplicated delivery
-  /// reuses its original's number, which is how the receiver recognizes
-  /// and absorbs it — at-least-once off the wire, exactly-once delivered.
-  std::uint64_t seq = 0;
-  Vector payload;
-};
-
-/// Persistent single-producer/single-consumer channel for one ordered
-/// rank pair.  head is touched only by the sender, tail and stash only by
-/// the receiver; cross-thread visibility runs through Slot::full.
-///
-/// The stash holds messages the receiver popped while scanning for a
-/// different tag (a seldom-used MPI-style out-of-order match); FIFO order
-/// per tag is preserved because stashed messages are always older than
-/// anything still in the ring.
-struct Channel {
-  // Deep enough that the solver's 1-2 messages per neighbor per
-  // iteration never block, shallow enough that the ring's payload
-  // buffers are revisited while still cache-resident.
-  static constexpr std::size_t kSlots = 8;
-
-  struct Stashed {
-    int tag;
-    Vector payload;
-  };
-
-  std::array<Slot, kSlots> slots;
-  std::size_t head = 0;  ///< sender-owned: next slot to fill
-  std::size_t tail = 0;  ///< receiver-owned: next slot to drain
-  std::vector<Stashed> stash;  ///< receiver-owned out-of-order buffer
-  std::uint64_t send_seq = 0;  ///< sender-owned: last wire seq issued
-  std::uint64_t last_drained_seq = 0;  ///< receiver-owned: dedup watermark
-
-  // Parking lot.  The waiting counters gate the notify calls so the
-  // uncontended fast path never touches the mutex; the seq_cst handshake
-  // (Slot::full / *_waiting) makes the gate lost-wakeup-free.
-  std::mutex m;
-  std::condition_variable data_cv;   ///< receiver waits for a full slot
-  std::condition_variable space_cv;  ///< sender waits for a free slot
-  std::atomic<int> recv_waiting{0};
-  std::atomic<int> send_waiting{0};
-};
-
-/// Handoff cell of the reduction tree: the child at tree stage k deposits
-/// its partial accumulator here; the parent folds it.  seq carries the
-/// collective-op generation, so cells need no reset between operations.
+/// Handoff cell of the in-process reduction tree: the child at tree
+/// stage k deposits its partial accumulator here; the parent folds it.
+/// seq carries the collective-op generation, so cells need no reset
+/// between operations.
 struct ReduceCell {
   std::atomic<std::uint64_t> seq{0};
   Vector data;
 };
 
+/// The per-team runtime state the rank threads share: the transport
+/// (point-to-point wire) plus the collective machinery layered on it.
+///
+/// Collectives have two equivalent executions.  In-process teams use
+/// shared reduction cells and a sense-reversing barrier (no wire
+/// traffic at all).  Multi-process teams route the SAME tournament tree
+/// over transport point-to-point with reserved tags — stage pairing,
+/// fold order and broadcast source are identical, so every rank
+/// observes bit-identical results on every transport, and the solvers'
+/// convergence branches (hence iteration counts) cannot diverge between
+/// an in-process run and a sharded one.  Wire collectives bypass
+/// par::Comm's send/recv deliberately: neighbor-traffic counters and
+/// exchange spans keep meaning *solver* neighbor exchange only (the
+/// Table-1 m+3 / m+1 accounting), with collective wait time charged to
+/// reduce_wait_seconds as always.
 class TeamState {
  public:
-  explicit TeamState(int size)
-      : size_(size),
-        channels_(static_cast<std::size_t>(size) *
-                  static_cast<std::size_t>(size)) {
+  explicit TeamState(std::shared_ptr<net::Transport> transport)
+      : transport_(std::move(transport)), size_(transport_->nranks()) {
     while ((1 << stages_) < size_) ++stages_;
     cells_ = std::make_unique<ReduceCell[]>(
         static_cast<std::size_t>(size_) *
@@ -138,111 +99,53 @@ class TeamState {
   }
 
   [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] int rank_base() const noexcept {
+    return transport_->rank_base();
+  }
+  [[nodiscard]] int local_ranks() const noexcept {
+    return transport_->local_ranks();
+  }
+  [[nodiscard]] bool is_local(int r) const noexcept {
+    return r >= rank_base() && r < rank_base() + local_ranks();
+  }
 
   // ---- Point-to-point ---------------------------------------------------
 
   /// An injected Drop consumes the wire sequence number it would have
-  /// carried, so the receiver sees a gap and fails typed (see take()).
-  void mark_dropped(int src, int dst) { ++channel(src, dst).send_seq; }
+  /// carried, so the receiver sees a gap and fails typed.
+  void mark_dropped(int src, int dst) { transport_->mark_dropped(src, dst); }
 
   /// `wire_dup` marks an injected duplicated delivery: the message goes
   /// out again under its original wire sequence number, so the receiver
   /// drains and discards it.
   void push(int src, int dst, int tag, std::span<const real_t> data,
             PerfCounters& c, bool wire_dup = false) {
-    Channel& ch = channel(src, dst);
-    Slot& slot = ch.slots[ch.head % Channel::kSlots];
-    // Ring full: wait for the receiver to free this slot.
-    if (slot.full.load(std::memory_order_seq_cst)) {
-      const auto t0 = SteadyClock::now();
-      if (!wait_until(
-              [&] { return !slot.full.load(std::memory_order_seq_cst); },
-              ch.m, ch.space_cv, ch.send_waiting)) {
-        ++c.fault_timeouts;
-        throw CommError::timeout(src, dst, fault::Op::Send,
-                                 timeout_seconds());
-      }
-      c.neighbor_wait_seconds += seconds_since(t0);
-    }
-    check_abort();
-    slot.tag = tag;
-    slot.size = data.size();
-    slot.seq = wire_dup ? ch.send_seq : ++ch.send_seq;
-    if (slot.payload.size() < data.size()) slot.payload.resize(data.size());
-    std::copy(data.begin(), data.end(), slot.payload.begin());
-    slot.full.store(true, std::memory_order_seq_cst);
-    ++ch.head;
-    notify_if_waiting(ch.m, ch.data_cv, ch.recv_waiting);
+    transport_->push(src, dst, tag, data, wire_dup,
+                     net::WaitStats{&c.neighbor_wait_seconds,
+                                    &c.fault_timeouts});
   }
 
-  /// Pop the oldest (src -> dst) message with a matching tag and hand it
-  /// to `sink(payload, n)`.  The payload Vector is mutable so the sink
-  /// may swap its buffer out (single-copy receive) — the slot keeps
-  /// whatever buffer the sink leaves behind, preserving preallocation.
-  /// Non-matching older messages move to the stash so the ring stays a
-  /// compact FIFO.
-  template <typename Sink>
-  void take(int dst, int src, int tag, Sink&& sink, PerfCounters& c) {
-    Channel& ch = channel(src, dst);
-    check_abort();
-    for (auto it = ch.stash.begin(); it != ch.stash.end(); ++it) {
-      if (it->tag == tag) {
-        sink(it->payload, it->payload.size());
-        ch.stash.erase(it);
-        return;
-      }
-    }
-    for (;;) {
-      Slot& slot = ch.slots[ch.tail % Channel::kSlots];
-      if (!slot.full.load(std::memory_order_seq_cst)) {
-        const auto t0 = SteadyClock::now();
-        if (!wait_until(
-                [&] { return slot.full.load(std::memory_order_seq_cst); },
-                ch.m, ch.data_cv, ch.recv_waiting)) {
-          ++c.fault_timeouts;
-          throw CommError::timeout(dst, src, fault::Op::Recv,
-                                   timeout_seconds());
-        }
-        c.neighbor_wait_seconds += seconds_since(t0);
-      }
-      check_abort();
-      // Wire-level duplicate (seq at or below the watermark): the
-      // channel absorbs it — at-least-once delivery dedups to
-      // exactly-once before any solver code sees the payload.
-      if (slot.seq <= ch.last_drained_seq) {
-        release_slot(ch, slot);
-        continue;
-      }
-      // A gap above the watermark means a message was dropped on the
-      // wire (an injected Drop consumed its seq without delivering).
-      // Surface it typed right here: consuming the next message in the
-      // lost one's place would silently shift the stream and corrupt
-      // the solve.  (A drop with no later traffic is caught by the
-      // channel timeout instead.)
-      if (slot.seq > ch.last_drained_seq + 1)
-        throw CommError::lost(dst, src, ch.last_drained_seq + 1, slot.seq);
-      ch.last_drained_seq = slot.seq;
-      if (slot.tag == tag) {
-        sink(slot.payload, slot.size);
-        release_slot(ch, slot);
-        return;
-      }
-      // Tag mismatch: move the message aside.  The slot keeps an empty
-      // Vector; push() regrows it on the next use of this ring position.
-      ch.stash.push_back(Channel::Stashed{slot.tag, Vector()});
-      ch.stash.back().payload.swap(slot.payload);
-      ch.stash.back().payload.resize(slot.size);
-      release_slot(ch, slot);
-    }
+  void take(int dst, int src, int tag, net::MsgSink& sink, PerfCounters& c) {
+    transport_->take(dst, src, tag, sink,
+                     net::WaitStats{&c.neighbor_wait_seconds,
+                                    &c.fault_timeouts});
   }
 
   // ---- Collectives ------------------------------------------------------
 
-  /// Sense-reversing barrier that unblocks with Aborted if a rank died
-  /// (or a typed CommError if the wait hits the comm timeout).
+  /// Synchronize all ranks; unblocks with Aborted if a rank died (or a
+  /// typed CommError if the wait hits the comm timeout).
   void barrier(int rank, PerfCounters& c) {
     check_abort();
     if (size_ == 1) return;
+    if (transport_->multi_process()) {
+      // One dummy scalar through the reduction tree: same rendezvous
+      // structure, no extra wire machinery to keep correct.
+      real_t x = 0.0;
+      wire_allreduce(rank, std::span<real_t>(&x, 1), /*take_max=*/false, c);
+      check_abort();
+      return;
+    }
     std::uint64_t gen;
     bool last;
     {
@@ -282,11 +185,18 @@ class TeamState {
   /// `g` is the per-rank collective-op generation; since collectives are
   /// executed by every rank in the same order, equal g identifies the
   /// same logical operation on all ranks and the cells/broadcast buffer
-  /// never need clearing between operations.
+  /// never need clearing between operations.  (The wire path needs no
+  /// generation: the same execution-order discipline makes per-pair FIFO
+  /// on the reserved tags line up the stages.)
   void allreduce(int rank, std::uint64_t g, std::span<real_t> inout,
                  bool take_max, PerfCounters& c) {
     check_abort();
     if (size_ == 1) return;
+    if (transport_->multi_process()) {
+      wire_allreduce(rank, inout, take_max, c);
+      check_abort();
+      return;
+    }
     bool deposited = false;
     for (int k = 0; k < stages_ && !deposited; ++k) {
       const int bit = 1 << k;
@@ -328,24 +238,13 @@ class TeamState {
   // ---- Job recycling -----------------------------------------------------
 
   /// Restore the quiescent state between Team jobs.  Only called while
-  /// every rank thread is parked (the dispatcher owns the state), so
-  /// plain stores suffice; visibility to the workers is established by
-  /// the job-dispatch mutex handshake.  Payload ring buffers are kept —
-  /// that preallocation is the point of a warm team.
+  /// every local rank thread is parked (the dispatcher owns the state).
+  /// The in-process transport recycles rings fully; a multi-process
+  /// transport keeps its wire sequence numbers running (see
+  /// net::Transport::reset_for_job) — local collective state resets
+  /// either way.
   void reset_for_job() {
-    aborted_.store(false, std::memory_order_seq_cst);
-    for (Channel& ch : channels_) {
-      for (Slot& slot : ch.slots) {
-        slot.full.store(false, std::memory_order_relaxed);
-        slot.tag = 0;
-        slot.size = 0;
-      }
-      ch.head = 0;
-      ch.tail = 0;
-      ch.stash.clear();
-      ch.send_seq = 0;
-      ch.last_drained_seq = 0;
-    }
+    transport_->reset_for_job();
     const std::size_t ncells = static_cast<std::size_t>(size_) *
                                static_cast<std::size_t>(stages_ == 0 ? 1
                                                                      : stages_);
@@ -363,6 +262,7 @@ class TeamState {
     timeout_ns_.store(
         seconds > 0.0 ? static_cast<std::int64_t>(seconds * 1e9) : 0,
         std::memory_order_seq_cst);
+    transport_->set_timeout(seconds);
   }
 
   [[nodiscard]] double timeout_seconds() const {
@@ -386,13 +286,12 @@ class TeamState {
 
   // ---- Failure handling --------------------------------------------------
 
+  /// The transport's abort flag is the single source of truth (on
+  /// multi-process wires it propagates to every attached process); the
+  /// local wakeups cover ranks parked in the in-process collective
+  /// machinery, which the transport knows nothing about.
   void abort() {
-    aborted_.store(true, std::memory_order_seq_cst);
-    for (Channel& ch : channels_) {
-      std::lock_guard<std::mutex> lk(ch.m);
-      ch.data_cv.notify_all();
-      ch.space_cv.notify_all();
-    }
+    transport_->abort();
     {
       std::lock_guard<std::mutex> lk(barrier_m_);
       barrier_cv_.notify_all();
@@ -404,30 +303,64 @@ class TeamState {
   }
 
  private:
-  [[nodiscard]] Channel& channel(int src, int dst) {
-    return channels_[static_cast<std::size_t>(src) *
-                         static_cast<std::size_t>(size_) +
-                     static_cast<std::size_t>(dst)];
-  }
-
   [[nodiscard]] ReduceCell& cell_at(int rank, int stage) {
     return cells_[static_cast<std::size_t>(rank) *
                       static_cast<std::size_t>(stages_) +
                   static_cast<std::size_t>(stage)];
   }
 
-  [[nodiscard]] bool aborted() const {
-    return aborted_.load(std::memory_order_seq_cst);
-  }
+  [[nodiscard]] bool aborted() const { return transport_->is_aborted(); }
 
   void check_abort() const {
     if (aborted()) throw Aborted{};
   }
 
-  void release_slot(Channel& ch, Slot& slot) {
-    slot.full.store(false, std::memory_order_seq_cst);
-    ++ch.tail;
-    notify_if_waiting(ch.m, ch.space_cv, ch.send_waiting);
+  /// The tournament tree of the in-process path, executed over transport
+  /// point-to-point: stage k sends rank r|2^k's partial to rank r, which
+  /// folds it exactly where the cell path folds (same order, same
+  /// floating-point result); rank 0 then broadcasts its bytes down a
+  /// binomial tree.  Wait time lands in reduce_wait_seconds through the
+  /// WaitStats hooks; neighbor counters and exchange spans are never
+  /// touched.
+  void wire_allreduce(int rank, std::span<real_t> inout, bool take_max,
+                      PerfCounters& c) {
+    const net::WaitStats ws{&c.reduce_wait_seconds, &c.fault_timeouts};
+    Vector tmp;
+    bool deposited = false;
+    for (int k = 0; k < stages_ && !deposited; ++k) {
+      const int bit = 1 << k;
+      if ((rank & bit) == 0) {
+        const int partner = rank | bit;
+        if (partner >= size_) continue;  // no child in this stage
+        tmp.resize(inout.size());
+        SpanSink sink(std::span<real_t>(tmp.data(), tmp.size()));
+        transport_->take(rank, partner, kTagReduce, sink, ws);
+        for (std::size_t i = 0; i < inout.size(); ++i)
+          inout[i] = take_max ? std::max(inout[i], tmp[i]) : inout[i] + tmp[i];
+      } else {
+        transport_->push(rank, rank & ~bit, kTagReduce,
+                         std::span<const real_t>(inout.data(), inout.size()),
+                         /*wire_dup=*/false, ws);
+        deposited = true;
+      }
+    }
+    // Binomial broadcast from rank 0: every rank receives from its
+    // parent (rank with the highest set bit cleared), then forwards to
+    // children rank | 2^k for k above its own highest bit.
+    int hb = -1;
+    for (int k = 0; k < stages_; ++k)
+      if ((rank & (1 << k)) != 0) hb = k;
+    if (rank != 0) {
+      SpanSink sink(inout);
+      transport_->take(rank, rank & ~(1 << hb), kTagBcast, sink, ws);
+    }
+    for (int k = hb + 1; k < stages_; ++k) {
+      const int child = rank | (1 << k);
+      if (child < size_ && child != rank)
+        transport_->push(rank, child, kTagBcast,
+                         std::span<const real_t>(inout.data(), inout.size()),
+                         /*wire_dup=*/false, ws);
+    }
   }
 
   /// Publisher side of the parking-lot handshake: the waiting counter is
@@ -458,11 +391,11 @@ class TeamState {
                                 std::condition_variable& cv,
                                 std::atomic<int>& waiting) {
     auto done = [&] { return pred() || aborted(); };
-    for (int i = spin_budget(); i > 0; --i) {
+    for (int i = net::detail::spin_budget(); i > 0; --i) {
       if (done()) return true;
-      cpu_relax();
+      net::detail::cpu_relax();
     }
-    for (int i = 0; i < kYieldIters; ++i) {
+    for (int i = 0; i < net::detail::kYieldIters; ++i) {
       if (done()) return true;
       std::this_thread::yield();
     }
@@ -497,10 +430,10 @@ class TeamState {
     notify_if_waiting(coll_m_, coll_cv_, coll_waiting_);
   }
 
+  std::shared_ptr<net::Transport> transport_;
   int size_;
-  std::vector<Channel> channels_;  ///< channel(src, dst) = src * P + dst
 
-  // Reduction tree state.
+  // In-process reduction tree state (idle on multi-process transports).
   int stages_ = 0;  ///< ceil(log2 P)
   std::unique_ptr<ReduceCell[]> cells_;
   Vector bcast_;
@@ -509,33 +442,35 @@ class TeamState {
   std::condition_variable coll_cv_;
   std::atomic<int> coll_waiting_{0};
 
-  // Barrier state.
+  // In-process barrier state (idle on multi-process transports).
   std::mutex barrier_m_;
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
   std::atomic<std::uint64_t> barrier_gen_{0};
   std::atomic<int> barrier_waiting_{0};
 
-  std::atomic<bool> aborted_{false};
   std::atomic<std::int64_t> timeout_ns_{0};  ///< 0 = waits never time out
 };
 
-/// The thread side of a persistent Team: P parked worker threads, a
-/// job-generation handshake to dispatch work, and the per-rank counter
-/// and error slots the dispatcher reads back after each job.  All
-/// cross-thread publication runs through `m` (job dispatch) and the
-/// done-count handshake (job completion), so the dispatcher may freely
-/// reset TeamState between jobs.
+/// The thread side of a persistent Team: one parked worker per LOCAL
+/// rank, a job-generation handshake to dispatch work, and the per-rank
+/// counter and error slots the dispatcher reads back after each job
+/// (sized for the global team; slots of remote ranks stay empty in this
+/// process).  All cross-thread publication runs through `m` (job
+/// dispatch) and the done-count handshake (job completion), so the
+/// dispatcher may freely reset TeamState between jobs.
 class TeamRuntime {
  public:
-  explicit TeamRuntime(int nranks)
-      : nranks_(nranks),
-        state_(nranks),
-        counters_(static_cast<std::size_t>(nranks)),
-        errors_(static_cast<std::size_t>(nranks)) {
-    threads_.reserve(static_cast<std::size_t>(nranks));
-    for (int r = 0; r < nranks; ++r)
+  explicit TeamRuntime(std::shared_ptr<net::Transport> transport)
+      : state_(std::move(transport)),
+        nranks_(state_.size()),
+        counters_(static_cast<std::size_t>(nranks_)),
+        errors_(static_cast<std::size_t>(nranks_)) {
+    threads_.reserve(static_cast<std::size_t>(state_.local_ranks()));
+    for (int i = 0; i < state_.local_ranks(); ++i) {
+      const int r = state_.rank_base() + i;
       threads_.emplace_back([this, r] { worker(r); });
+    }
   }
 
   ~TeamRuntime() {
@@ -548,12 +483,16 @@ class TeamRuntime {
   }
 
   [[nodiscard]] int size() const noexcept { return nranks_; }
+  [[nodiscard]] int local_size() const noexcept {
+    return state_.local_ranks();
+  }
 
   std::vector<PerfCounters> run(const std::function<void(Comm&)>& fn,
                                 obs::Trace* trace) {
     if (trace != nullptr)
       PFEM_CHECK_MSG(trace->nranks() == nranks_,
                      "Team::run: trace lane count does not match team size");
+    const int nlocal = state_.local_ranks();
     {
       std::lock_guard<std::mutex> lk(m_);
       PFEM_CHECK_MSG(job_ == nullptr, "Team::run: a job is already running");
@@ -574,7 +513,7 @@ class TeamRuntime {
     job_cv_.notify_all();
     {
       std::unique_lock<std::mutex> lk(m_);
-      done_cv_.wait(lk, [&] { return done_count_ == nranks_; });
+      done_cv_.wait(lk, [&] { return done_count_ == nlocal; });
       job_ = nullptr;
       trace_ = nullptr;
     }
@@ -635,7 +574,7 @@ class TeamRuntime {
       bool last;
       {
         std::lock_guard<std::mutex> lk(m_);
-        last = (++done_count_ == nranks_);
+        last = (++done_count_ == state_.local_ranks());
       }
       if (last) done_cv_.notify_all();
     }
@@ -643,7 +582,9 @@ class TeamRuntime {
 
   /// Rethrow the originating failure of the finished job: a real error
   /// wins over the secondary Aborted unwinds; all-Aborted means the
-  /// teardown came from cancel(), reported as Cancelled.
+  /// teardown came from cancel() — or, on a multi-process transport,
+  /// from a failure in ANOTHER process (that process rethrows the real
+  /// error; this one reports the typed Aborted).
   void rethrow_job_error() {
     std::exception_ptr first_aborted;
     for (const std::exception_ptr& e : errors_) {
@@ -665,8 +606,8 @@ class TeamRuntime {
     }
   }
 
-  int nranks_;
   TeamState state_;
+  int nranks_;
   std::vector<PerfCounters> counters_;
   std::vector<std::exception_ptr> errors_;
   std::vector<std::thread> threads_;
@@ -696,6 +637,10 @@ Comm::Comm(int rank, detail::TeamState* team, PerfCounters* counters,
 }
 
 int Comm::size() const noexcept { return team_->size(); }
+
+int Comm::local_leader() const noexcept { return team_->rank_base(); }
+
+bool Comm::is_local(int r) const noexcept { return team_->is_local(r); }
 
 const fault::FaultAction* Comm::consume_fault(fault::Op op, int peer) {
   fault::FaultSite site;
@@ -793,15 +738,8 @@ void Comm::recv(int src, int tag, Vector& out) {
   PFEM_CHECK_MSG(src != rank_, "self-recv is not supported");
   if (injector_ != nullptr) consume_fault(fault::Op::Recv, src);
   try {
-    team_->take(
-        rank_, src, tag,
-        [&](Vector& payload, std::size_t n) {
-          // Single-copy receive: steal the message buffer and leave ours
-          // behind for the channel to reuse.
-          out.swap(payload);
-          out.resize(n);
-        },
-        *counters_);
+    detail::SwapSink sink(&out);
+    team_->take(rank_, src, tag, sink, *counters_);
   } catch (const CommError& e) {
     note_comm_error(e, src);
     throw;
@@ -817,15 +755,8 @@ void Comm::recv(int src, int tag, std::span<real_t> out) {
   PFEM_CHECK_MSG(src != rank_, "self-recv is not supported");
   if (injector_ != nullptr) consume_fault(fault::Op::Recv, src);
   try {
-    team_->take(
-        rank_, src, tag,
-        [&](Vector& payload, std::size_t n) {
-          PFEM_CHECK_MSG(n == out.size(),
-                         "recv into span: message length does not match the "
-                         "preposted buffer");
-          std::copy_n(payload.begin(), n, out.begin());
-        },
-        *counters_);
+    detail::SpanSink sink(out);
+    team_->take(rank_, src, tag, sink, *counters_);
   } catch (const CommError& e) {
     note_comm_error(e, src);
     throw;
@@ -897,14 +828,27 @@ real_t Comm::allreduce_max(real_t x) {
   return x;
 }
 
-Team::Team(int nranks) {
-  PFEM_CHECK(nranks >= 1);
-  rt_ = std::make_unique<detail::TeamRuntime>(nranks);
+Team::Team(int nranks) : Team(TeamConfig{nranks, nullptr}) {}
+
+Team::Team(TeamConfig cfg) {
+  std::shared_ptr<net::Transport> transport = std::move(cfg.transport);
+  if (transport == nullptr) {
+    PFEM_CHECK(cfg.nranks >= 1);
+    transport = net::make_inproc_transport(cfg.nranks);
+  } else {
+    PFEM_CHECK_MSG(cfg.nranks == 0 || cfg.nranks == transport->nranks(),
+                   "Team: nranks " << cfg.nranks
+                                   << " disagrees with the transport's "
+                                   << transport->nranks());
+  }
+  rt_ = std::make_unique<detail::TeamRuntime>(std::move(transport));
 }
 
 Team::~Team() = default;
 
 int Team::size() const noexcept { return rt_->size(); }
+
+int Team::local_size() const noexcept { return rt_->local_size(); }
 
 std::vector<PerfCounters> Team::run(const std::function<void(Comm&)>& fn,
                                     obs::Trace* trace) {

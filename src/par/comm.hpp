@@ -33,6 +33,7 @@
 #include "common/error.hpp"
 #include "common/types.hpp"
 #include "fault/fault.hpp"
+#include "net/transport.hpp"
 #include "obs/trace.hpp"
 #include "par/counters.hpp"
 
@@ -96,6 +97,17 @@ class Comm {
   /// Deterministic global max.
   [[nodiscard]] real_t allreduce_max(real_t x);
 
+  /// Lowest rank hosted by THIS process.  For in-process teams this is
+  /// 0 on every rank (the classic "rank 0 does it" guard); on a
+  /// multi-process transport each process has its own leader, which is
+  /// what shared-state writes must key on — every process needs its own
+  /// copy of results that ranks compute redundantly from allreduced
+  /// scalars.
+  [[nodiscard]] int local_leader() const noexcept;
+
+  /// Is rank `r` hosted by this process (sharing this address space)?
+  [[nodiscard]] bool is_local(int r) const noexcept;
+
   /// This rank's performance counters (mutable — kernels add to them).
   [[nodiscard]] PerfCounters& counters() noexcept { return *counters_; }
 
@@ -139,6 +151,24 @@ class Cancelled : public Error {
   Cancelled() : Error("SPMD job cancelled") {}
 };
 
+/// How a Team reaches its ranks.  The default (null transport) is the
+/// in-process wire: all ranks are threads of this process talking
+/// through the PR-1 channel rings.  A non-null transport may instead
+/// place rank blocks in other processes (shared-memory rings, socket
+/// frames); THIS Team then spawns threads only for the ranks its
+/// process hosts, and every cooperating process constructs its own Team
+/// over its own end of the same transport and calls run() with the same
+/// job.  Collectives stay deterministic and bit-identical across
+/// transports: the runtime folds contributions in the same fixed
+/// tournament-tree order whether the stage crosses a cache line or a
+/// socket.
+struct TeamConfig {
+  /// Global team size.  0 means "take it from the transport"; when both
+  /// are given they must agree.
+  int nranks = 0;
+  std::shared_ptr<net::Transport> transport;  ///< null = in-process
+};
+
 /// A persistent SPMD rank team.  Threads are spawned once at construction
 /// and parked between jobs, so a warm solve pays a condvar wakeup instead
 /// of P thread spawns/joins; channel payload rings, reduction cells and
@@ -153,11 +183,16 @@ class Cancelled : public Error {
 class Team {
  public:
   explicit Team(int nranks);
+  explicit Team(TeamConfig cfg);
   ~Team();
   Team(const Team&) = delete;
   Team& operator=(const Team&) = delete;
 
+  /// Global team size (across every process of the transport).
   [[nodiscard]] int size() const noexcept;
+
+  /// Ranks hosted by THIS process (== size() for in-process teams).
+  [[nodiscard]] int local_size() const noexcept;
 
   /// Run `fn` as one SPMD job on the parked ranks; returns the per-rank
   /// counters of this job (reset at job start).  With a non-null

@@ -21,6 +21,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -31,6 +32,7 @@
 #include "exp/experiments.hpp"
 #include "fault/fault.hpp"
 #include "fem/problems.hpp"
+#include "net/transport.hpp"
 #include "par/comm.hpp"
 
 namespace pfem::chaos {
@@ -122,13 +124,25 @@ struct ChaosRun {
   std::vector<std::vector<fault::FaultEvent>> rank_events;  ///< per rank
 };
 
+/// Optional channel substrate for a chaos case: given kRanks, build the
+/// net::Transport the team should run on (shm loopback, socket
+/// loopback, ...).  Null means the default in-process rings.  Fault
+/// injection sits above the transport seam, so every substrate must
+/// satisfy the same chaos contract.
+using TransportFactory =
+    std::function<std::shared_ptr<net::Transport>(int nranks)>;
+
 /// Build + solve on a fresh team with `inj` armed.  Every outcome is
 /// captured; only a non-Comm exception escapes (and fails the test).
-inline ChaosRun run_case(fault::FaultInjector& inj, double timeout_seconds) {
+inline ChaosRun run_case(fault::FaultInjector& inj, double timeout_seconds,
+                         const TransportFactory& transport_factory = {}) {
   const Scene& s = scene();
   ChaosRun out;
   {
-    par::Team team(kRanks);
+    par::TeamConfig tc;
+    tc.nranks = kRanks;
+    if (transport_factory) tc.transport = transport_factory(kRanks);
+    par::Team team(tc);
     team.set_comm_timeout(timeout_seconds);
     team.set_fault_injector(&inj);
     try {

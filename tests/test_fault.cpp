@@ -16,6 +16,8 @@
 #include "core/edd_solver.hpp"
 #include "core/rdd_solver.hpp"
 #include "fault/fault.hpp"
+#include "net/shm.hpp"
+#include "net/socket_transport.hpp"
 #include "obs/trace.hpp"
 #include "par/comm.hpp"
 #include "svc/service.hpp"
@@ -506,7 +508,10 @@ TEST(ServiceRetry, NoFaultsMeansNoRetriesAndZeroStampedCounters) {
 
 // -------------------------------------------------------- chaos sweep
 
-TEST(ChaosSweep, EverySeedConvergesOrFailsTypedAndReplaysExactly) {
+/// The full 64-seed sweep over one channel substrate.  Fault injection
+/// sits above the transport seam, so the identical contract must hold
+/// on in-process rings, shared-memory rings, and the socket wire.
+void chaos_sweep_all_seeds(const chaos::TransportFactory& transport) {
   // One process-wide watchdog over the whole sweep: a single hung seed
   // kills the binary loudly instead of wedging CI.
   chaos::GlobalWatchdog watchdog(240.0);
@@ -530,7 +535,7 @@ TEST(ChaosSweep, EverySeedConvergesOrFailsTypedAndReplaysExactly) {
         "seed " + std::to_string(seed) + "\n" + plan.describe();
 
     FaultInjector inj(plan);
-    const chaos::ChaosRun run1 = chaos::run_case(inj, timeout_s);
+    const chaos::ChaosRun run1 = chaos::run_case(inj, timeout_s, transport);
 
     // Invariant 1: no hang (watchdog) and no untyped outcome.
     EXPECT_TRUE(run1.converged || run1.typed_error) << recipe;
@@ -544,7 +549,7 @@ TEST(ChaosSweep, EverySeedConvergesOrFailsTypedAndReplaysExactly) {
 
     // Invariant 3: the same seed replays the same fault behavior.
     inj.reset();
-    const chaos::ChaosRun run2 = chaos::run_case(inj, timeout_s);
+    const chaos::ChaosRun run2 = chaos::run_case(inj, timeout_s, transport);
     EXPECT_EQ(run1.converged, run2.converged) << recipe;
     EXPECT_EQ(run1.typed_error, run2.typed_error) << recipe;
     EXPECT_EQ(chaos::deterministic_signature(run1),
@@ -567,6 +572,20 @@ TEST(ChaosSweep, EverySeedConvergesOrFailsTypedAndReplaysExactly) {
   EXPECT_GE(converged, 8);
   EXPECT_GE(typed, 8);
   EXPECT_GE(static_cast<int>(distinct_signatures.size()), 16);
+}
+
+TEST(ChaosSweep, EverySeedConvergesOrFailsTypedAndReplaysExactly) {
+  chaos_sweep_all_seeds({});
+}
+
+TEST(ChaosSweep, ShmTransportEverySeedConvergesOrFailsTyped) {
+  chaos_sweep_all_seeds(
+      [](int n) { return net::make_shm_loopback_transport(n); });
+}
+
+TEST(ChaosSweep, SocketTransportEverySeedConvergesOrFailsTyped) {
+  chaos_sweep_all_seeds(
+      [](int n) { return net::make_socket_loopback_transport(n); });
 }
 
 TEST(ChaosSweep, ServiceSurvivesASeededFaultStreamWithRetries) {

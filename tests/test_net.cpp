@@ -1,0 +1,954 @@
+// pfem::net tests — the transport seam and the service wire protocol.
+//
+// Four layers, each with its own contract:
+//   1. frame.hpp / proto.hpp codecs: every malformed input (truncated,
+//      bad magic/version/type, oversized, structurally broken body)
+//      maps to a typed status — never UB, never an exception.
+//   2. Transport parity: the SPMD runtime produces bit-identical
+//      results over the in-process rings, the shared-memory loopback
+//      and the socket loopback — including the full EDD batch solve,
+//      whose iteration and exchange counts must not depend on the wire.
+//   3. Multi-process: a team genuinely split across two forked
+//      processes (socket frames, shared-memory rings) reproduces the
+//      in-process solve bit for bit.  Skipped under ASan/TSan — the
+//      sanitizer runtimes do not survive fork+threads.
+//   4. The remote service: Server/Client request/response (typed
+//      rejections, deadline, solutions on request, malformed-frame
+//      close) and the Router (cache affinity, spill, typed
+//      backpressure shedding).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/edd_batch.hpp"
+#include "exp/experiments.hpp"
+#include "fem/problems.hpp"
+#include "net/frame.hpp"
+#include "net/proto.hpp"
+#include "net/shm.hpp"
+#include "net/socket_transport.hpp"
+#include "net/sockets.hpp"
+#include "net/spawn.hpp"
+#include "net/transport.hpp"
+#include "par/comm.hpp"
+#include "svc/remote.hpp"
+#include "svc/service.hpp"
+
+// Fork-based multi-process tests are incompatible with ASan/TSan: fork
+// duplicates only the calling thread, and the sanitizer runtimes keep
+// state owned by threads that no longer exist in the child.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define PFEM_NO_FORK_TESTS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define PFEM_NO_FORK_TESTS 1
+#endif
+#endif
+
+namespace pfem {
+namespace {
+
+// ---------------------------------------------------------------------------
+// 1. par wire frame (frame.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(NetFrame, HeaderRoundTripsAllFields) {
+  net::FrameHeader h;
+  h.kind = static_cast<std::uint16_t>(net::FrameKind::Data);
+  h.src = 3;
+  h.dst = 1;
+  h.tag = -101;  // reserved collective tags must survive as negatives
+  h.seq = 0xdeadbeefcafeull;
+  h.count = 77;
+  net::ByteBuffer buf;
+  net::encode_frame_header(buf, h);
+  ASSERT_EQ(buf.size(), net::kFrameHeaderBytes);
+
+  net::FrameHeader d;
+  ASSERT_EQ(net::decode_frame_header(buf, d), net::FrameStatus::Ok);
+  EXPECT_EQ(d.kind, h.kind);
+  EXPECT_EQ(d.src, 3);
+  EXPECT_EQ(d.dst, 1);
+  EXPECT_EQ(d.tag, -101);
+  EXPECT_EQ(d.seq, h.seq);
+  EXPECT_EQ(d.count, 77u);
+}
+
+TEST(NetFrame, AbortKindRoundTrips) {
+  net::FrameHeader h;
+  h.kind = static_cast<std::uint16_t>(net::FrameKind::Abort);
+  net::ByteBuffer buf;
+  net::encode_frame_header(buf, h);
+  net::FrameHeader d;
+  ASSERT_EQ(net::decode_frame_header(buf, d), net::FrameStatus::Ok);
+  EXPECT_EQ(d.kind, static_cast<std::uint16_t>(net::FrameKind::Abort));
+}
+
+TEST(NetFrame, EveryMalformedHeaderGetsItsTypedStatus) {
+  net::FrameHeader good;
+  net::ByteBuffer buf;
+  net::encode_frame_header(buf, good);
+  net::FrameHeader d;
+
+  // Truncated: every strict prefix is typed, not UB.
+  for (std::size_t n = 0; n < net::kFrameHeaderBytes; ++n)
+    EXPECT_EQ(net::decode_frame_header(std::span(buf.data(), n), d),
+              net::FrameStatus::Truncated)
+        << "prefix of " << n << " bytes";
+
+  auto mutate = [&](std::size_t offset, std::uint32_t value,
+                    std::size_t nbytes) {
+    net::ByteBuffer b = buf;
+    for (std::size_t i = 0; i < nbytes; ++i)
+      b[offset + i] = static_cast<unsigned char>((value >> (8 * i)) & 0xff);
+    return b;
+  };
+  EXPECT_EQ(net::decode_frame_header(mutate(0, 0xdeadbeefu, 4), d),
+            net::FrameStatus::BadMagic);
+  EXPECT_EQ(net::decode_frame_header(mutate(4, 999, 2), d),
+            net::FrameStatus::BadVersion);
+  EXPECT_EQ(net::decode_frame_header(mutate(6, 0, 2), d),
+            net::FrameStatus::BadKind);
+  EXPECT_EQ(net::decode_frame_header(mutate(6, 99, 2), d),
+            net::FrameStatus::BadKind);
+
+  net::FrameHeader big;
+  big.count = net::kMaxFrameDoubles + 1;
+  net::ByteBuffer bb;
+  net::encode_frame_header(bb, big);
+  EXPECT_EQ(net::decode_frame_header(bb, d), net::FrameStatus::Oversized);
+}
+
+// ---------------------------------------------------------------------------
+// 2. service protocol (proto.hpp)
+// ---------------------------------------------------------------------------
+
+namespace proto = net::proto;
+
+/// Split one encoded frame into (validated header, body span).
+proto::ProtoHeader split_frame(const net::ByteBuffer& frame,
+                               std::span<const unsigned char>& body) {
+  proto::ProtoHeader h;
+  EXPECT_GE(frame.size(), proto::kProtoHeaderBytes);
+  EXPECT_EQ(proto::decode_header(
+                std::span(frame.data(), proto::kProtoHeaderBytes), h),
+            proto::DecodeStatus::Ok);
+  EXPECT_EQ(frame.size(), proto::kProtoHeaderBytes + h.body_len);
+  body = std::span(frame.data() + proto::kProtoHeaderBytes,
+                   static_cast<std::size_t>(h.body_len));
+  return h;
+}
+
+TEST(NetProto, HelloAndAckRoundTrip) {
+  net::ByteBuffer f;
+  proto::encode_hello(f, proto::HelloMsg{"loadgen-7"});
+  std::span<const unsigned char> body;
+  proto::ProtoHeader h = split_frame(f, body);
+  EXPECT_EQ(h.type, static_cast<std::uint16_t>(proto::MsgType::Hello));
+  proto::HelloMsg m;
+  ASSERT_EQ(proto::decode_hello(body, m), proto::DecodeStatus::Ok);
+  EXPECT_EQ(m.client_name, "loadgen-7");
+
+  net::ByteBuffer f2;
+  proto::encode_hello_ack(f2, proto::HelloAckMsg{"shard0", 4});
+  proto::ProtoHeader h2 = split_frame(f2, body);
+  EXPECT_EQ(h2.type, static_cast<std::uint16_t>(proto::MsgType::HelloAck));
+  proto::HelloAckMsg a;
+  ASSERT_EQ(proto::decode_hello_ack(body, a), proto::DecodeStatus::Ok);
+  EXPECT_EQ(a.server_name, "shard0");
+  EXPECT_EQ(a.nranks, 4);
+}
+
+TEST(NetProto, SolveRequestRoundTripsEveryField) {
+  proto::SolveRequestMsg m;
+  m.req_id = 42;
+  m.operator_key = "op3";
+  m.priority = 1;
+  m.deadline_ns = 2'500'000'000ull;
+  m.seed = 0x5eedull;
+  m.want_solution = true;
+  m.restart = 30;
+  m.max_iters = 500;
+  m.tol = 1e-8;
+  m.rhs = {{1.0, -2.5, 3.25}, {0.0, 4.125}};
+  net::ByteBuffer f;
+  proto::encode_solve_request(f, m);
+
+  std::span<const unsigned char> body;
+  proto::ProtoHeader h = split_frame(f, body);
+  EXPECT_EQ(h.type, static_cast<std::uint16_t>(proto::MsgType::SolveRequest));
+  proto::SolveRequestMsg d;
+  ASSERT_EQ(proto::decode_solve_request(body, d), proto::DecodeStatus::Ok);
+  EXPECT_EQ(d.req_id, 42u);
+  EXPECT_EQ(d.operator_key, "op3");
+  EXPECT_EQ(d.priority, 1u);
+  EXPECT_EQ(d.deadline_ns, m.deadline_ns);
+  EXPECT_EQ(d.seed, m.seed);
+  EXPECT_TRUE(d.want_solution);
+  EXPECT_EQ(d.restart, 30);
+  EXPECT_EQ(d.max_iters, 500);
+  EXPECT_EQ(d.tol, 1e-8);
+  ASSERT_EQ(d.rhs, m.rhs);  // bitwise: doubles travel as raw LE bits
+}
+
+TEST(NetProto, SolveResponseRoundTripsEveryField) {
+  proto::SolveResponseMsg m;
+  m.req_id = 7;
+  m.status = proto::SolveStatus::Completed;
+  m.detail = "warm";
+  m.cache_hit = true;
+  m.comm = false;
+  m.queue_seconds = 0.125;
+  m.solve_seconds = 2.75;
+  m.items = {{true, false, 43, 3.5e-7}, {false, true, 12, 0.5}};
+  m.solution = {{9.0, -8.0}};
+  net::ByteBuffer f;
+  proto::encode_solve_response(f, m);
+
+  std::span<const unsigned char> body;
+  proto::ProtoHeader h = split_frame(f, body);
+  EXPECT_EQ(h.type, static_cast<std::uint16_t>(proto::MsgType::SolveResponse));
+  proto::SolveResponseMsg d;
+  ASSERT_EQ(proto::decode_solve_response(body, d), proto::DecodeStatus::Ok);
+  EXPECT_EQ(d.req_id, 7u);
+  EXPECT_EQ(d.status, proto::SolveStatus::Completed);
+  EXPECT_EQ(d.detail, "warm");
+  EXPECT_TRUE(d.cache_hit);
+  EXPECT_FALSE(d.comm);
+  EXPECT_EQ(d.queue_seconds, 0.125);
+  EXPECT_EQ(d.solve_seconds, 2.75);
+  ASSERT_EQ(d.items.size(), 2u);
+  EXPECT_TRUE(d.items[0].converged);
+  EXPECT_FALSE(d.items[0].breakdown);
+  EXPECT_EQ(d.items[0].iterations, 43);
+  EXPECT_EQ(d.items[0].final_relres, 3.5e-7);
+  EXPECT_FALSE(d.items[1].converged);
+  EXPECT_TRUE(d.items[1].breakdown);
+  ASSERT_EQ(d.solution, m.solution);
+}
+
+TEST(NetProto, ReqIdSitsAtTheFixedRouterOffset) {
+  // The router rewrites req_id in place at body offset 0; this is the
+  // wire-compat assertion that protects that trick against reordering.
+  proto::SolveRequestMsg m;
+  m.req_id = 0x1122334455667788ull;
+  m.operator_key = "k";
+  m.rhs = {{1.0}};
+  net::ByteBuffer f;
+  proto::encode_solve_request(f, m);
+  std::uint64_t wire = 0;
+  std::memcpy(&wire, f.data() + proto::kProtoHeaderBytes, 8);
+  EXPECT_EQ(wire, m.req_id);
+
+  proto::SolveResponseMsg r;
+  r.req_id = 0x99aabbccddeeff00ull;
+  net::ByteBuffer f2;
+  proto::encode_solve_response(f2, r);
+  std::memcpy(&wire, f2.data() + proto::kProtoHeaderBytes, 8);
+  EXPECT_EQ(wire, r.req_id);
+}
+
+TEST(NetProto, MalformedHeadersGetTypedStatuses) {
+  net::ByteBuffer f;
+  proto::encode_hello(f, proto::HelloMsg{"x"});
+  proto::ProtoHeader h;
+
+  for (std::size_t n = 0; n < proto::kProtoHeaderBytes; ++n)
+    EXPECT_EQ(proto::decode_header(std::span(f.data(), n), h),
+              proto::DecodeStatus::Truncated);
+
+  auto corrupt = [&](std::size_t off, std::uint64_t v, std::size_t nbytes) {
+    net::ByteBuffer b = f;
+    for (std::size_t i = 0; i < nbytes; ++i)
+      b[off + i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+    return b;
+  };
+  auto head = [&](const net::ByteBuffer& b) {
+    return std::span(b.data(), proto::kProtoHeaderBytes);
+  };
+  EXPECT_EQ(proto::decode_header(head(corrupt(0, 0xdeadbeefu, 4)), h),
+            proto::DecodeStatus::BadMagic);
+  EXPECT_EQ(proto::decode_header(head(corrupt(4, 2, 2)), h),
+            proto::DecodeStatus::BadVersion);
+  EXPECT_EQ(proto::decode_header(head(corrupt(6, 0, 2)), h),
+            proto::DecodeStatus::BadType);
+  EXPECT_EQ(proto::decode_header(head(corrupt(6, 99, 2)), h),
+            proto::DecodeStatus::BadType);
+  EXPECT_EQ(
+      proto::decode_header(head(corrupt(8, proto::kMaxBodyBytes + 1, 8)), h),
+      proto::DecodeStatus::Oversized);
+}
+
+TEST(NetProto, TruncatedBodiesAreBadBodyNeverUB) {
+  proto::SolveRequestMsg m;
+  m.req_id = 5;
+  m.operator_key = "op0";
+  m.rhs = {{1.0, 2.0, 3.0}};
+  net::ByteBuffer f;
+  proto::encode_solve_request(f, m);
+  const auto* body = f.data() + proto::kProtoHeaderBytes;
+  const std::size_t body_len = f.size() - proto::kProtoHeaderBytes;
+
+  proto::SolveRequestMsg d;
+  for (std::size_t n = 0; n < body_len; ++n)
+    EXPECT_EQ(proto::decode_solve_request(std::span(body, n), d),
+              proto::DecodeStatus::BadBody)
+        << "body prefix of " << n << " bytes";
+
+  // Trailing garbage after a well-formed body is also structural error.
+  net::ByteBuffer longer(body, body + body_len);
+  longer.push_back(0xab);
+  EXPECT_EQ(proto::decode_solve_request(longer, d),
+            proto::DecodeStatus::BadBody);
+}
+
+TEST(NetProto, LyingCountFieldsAreOversizedNotAllocated) {
+  // A body whose string length claims more than the cap: the decoder
+  // must reject on the count, not trust it and allocate/overread.
+  net::ByteBuffer body;
+  net::put_u64(body, 1);                   // req_id
+  net::put_u32(body, (1u << 16) + 1);      // operator_key length over cap
+  proto::SolveRequestMsg d;
+  EXPECT_EQ(proto::decode_solve_request(body, d),
+            proto::DecodeStatus::Oversized);
+
+  // Vector-count lie: claims 2^40 RHS vectors in a tiny body.
+  net::ByteBuffer b2;
+  net::put_u64(b2, 1);          // req_id
+  net::put_u32(b2, 1);          // key length
+  b2.push_back('k');
+  net::put_u32(b2, 0);          // priority
+  net::put_u64(b2, 0);          // deadline
+  net::put_u64(b2, 0);          // seed
+  b2.push_back(0);              // want_solution
+  net::put_i32(b2, 25);
+  net::put_i32(b2, 100);
+  net::put_f64(b2, 1e-6);
+  net::put_u64(b2, 1ull << 40);  // rhs count lie
+  EXPECT_EQ(proto::decode_solve_request(b2, d),
+            proto::DecodeStatus::Oversized);
+}
+
+// ---------------------------------------------------------------------------
+// 3. transport contract, exercised directly
+// ---------------------------------------------------------------------------
+
+struct CaptureSink : net::MsgSink {
+  Vector data;
+  void deliver(Vector* owned, std::span<const real_t> d) override {
+    if (owned != nullptr)
+      data = std::move(*owned);
+    else
+      data.assign(d.begin(), d.end());
+  }
+};
+
+class TransportContract
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  static std::shared_ptr<net::Transport> make(int n) {
+    const std::string which = GetParam();
+    if (which == "inproc") return net::make_inproc_transport(n);
+    if (which == "shm") return net::make_shm_loopback_transport(n);
+    return net::make_socket_loopback_transport(n);
+  }
+};
+
+TEST_P(TransportContract, PushTakePreservesPayloadAndTagFifo) {
+  auto t = make(2);
+  net::WaitStats ws;
+  const Vector a{1.0, 2.5, -3.0};
+  const Vector b{7.0};
+  const Vector c{9.0, 10.0};
+  t->push(0, 1, /*tag=*/5, a, false, ws);
+  t->push(0, 1, /*tag=*/9, b, false, ws);
+  t->push(0, 1, /*tag=*/5, c, false, ws);
+
+  CaptureSink s;
+  t->take(1, 0, 9, s, ws);  // skips (stashes) the older tag-5 message
+  EXPECT_EQ(s.data, b);
+  t->take(1, 0, 5, s, ws);  // stashed message comes back first: FIFO per tag
+  EXPECT_EQ(s.data, a);
+  t->take(1, 0, 5, s, ws);
+  EXPECT_EQ(s.data, c);
+}
+
+TEST_P(TransportContract, DroppedMessageSurfacesAsTypedLoss) {
+  auto t = make(2);
+  net::WaitStats ws;
+  t->push(0, 1, 3, Vector{1.0}, false, ws);
+  t->mark_dropped(0, 1);            // injected Drop consumes a wire seq
+  t->push(0, 1, 3, Vector{2.0}, false, ws);
+
+  CaptureSink s;
+  t->take(1, 0, 3, s, ws);          // first message is intact
+  EXPECT_EQ(s.data, Vector{1.0});
+  try {
+    t->take(1, 0, 3, s, ws);        // the gap must fail typed, not shift
+    FAIL() << "sequence gap was silently consumed";
+  } catch (const par::CommError& e) {
+    EXPECT_EQ(e.kind(), fault::CommErrorKind::Lost);
+  }
+}
+
+TEST_P(TransportContract, WireDuplicateIsAbsorbed) {
+  auto t = make(2);
+  net::WaitStats ws;
+  t->push(0, 1, 1, Vector{5.0}, false, ws);
+  t->push(0, 1, 1, Vector{5.0}, /*wire_dup=*/true, ws);  // injected dup
+  t->push(0, 1, 1, Vector{6.0}, false, ws);
+
+  CaptureSink s;
+  t->take(1, 0, 1, s, ws);
+  EXPECT_EQ(s.data, Vector{5.0});
+  t->take(1, 0, 1, s, ws);  // duplicate absorbed: next delivery is 6.0
+  EXPECT_EQ(s.data, Vector{6.0});
+}
+
+TEST_P(TransportContract, AbortUnwindsBlockedTake) {
+  auto t = make(2);
+  t->abort();
+  EXPECT_TRUE(t->is_aborted());
+  CaptureSink s;
+  net::WaitStats ws;
+  EXPECT_THROW(t->take(1, 0, 0, s, ws), net::Aborted);
+}
+
+TEST_P(TransportContract, LoopbackTopologyReportsSingleProcess) {
+  auto t = make(3);
+  EXPECT_EQ(t->nranks(), 3);
+  EXPECT_EQ(t->rank_base(), 0);
+  EXPECT_EQ(t->local_ranks(), 3);
+  // Loopback = all ranks here, so collectives may stay on the
+  // in-process reduction cells; this is what keeps counters comparable.
+  EXPECT_FALSE(t->multi_process());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransports, TransportContract,
+                         ::testing::Values("inproc", "shm", "socket"));
+
+// ---------------------------------------------------------------------------
+// 4. SPMD + solve parity across transports
+// ---------------------------------------------------------------------------
+
+using TransportFactory =
+    std::function<std::shared_ptr<net::Transport>(int)>;
+
+/// A small SPMD job mixing tagged p2p (with a deliberate stash) and
+/// collectives; returns per-rank digests that must be bitwise equal on
+/// every transport.
+std::vector<real_t> spmd_digest(const TransportFactory& factory, int n) {
+  par::TeamConfig tc;
+  tc.nranks = n;
+  if (factory) tc.transport = factory(n);
+  par::Team team(tc);
+  std::vector<real_t> digest(static_cast<std::size_t>(n), 0.0);
+  team.run([&](par::Comm& c) {
+    const int r = c.rank();
+    const int next = (r + 1) % n;
+    const int prev = (r + n - 1) % n;
+    Vector big(17, 0.0);
+    for (std::size_t i = 0; i < big.size(); ++i)
+      big[i] = 0.25 * static_cast<real_t>(r + 1) + static_cast<real_t>(i);
+    c.send(next, /*tag=*/5, big);
+    c.send(next, /*tag=*/9, Vector{static_cast<real_t>(r) * 3.5});
+    Vector got9;
+    c.recv(prev, 9, got9);  // newer tag first: forces a stash of tag 5
+    Vector got5;
+    c.recv(prev, 5, got5);
+    real_t acc = got9.at(0);
+    for (const real_t v : got5) acc += v;
+    acc += c.allreduce_sum(static_cast<real_t>(r + 1) * 0.125);
+    acc += c.allreduce_max(static_cast<real_t>((r * 7) % n));
+    digest[static_cast<std::size_t>(r)] = acc;
+  });
+  return digest;
+}
+
+TEST(NetParity, SpmdJobIsBitIdenticalAcrossTransports) {
+  for (const int n : {2, 4, 5}) {  // 5: non-power-of-two tournament tree
+    const std::vector<real_t> ref = spmd_digest({}, n);
+    const std::vector<real_t> shm =
+        spmd_digest([](int k) { return net::make_shm_loopback_transport(k); },
+                    n);
+    const std::vector<real_t> sock = spmd_digest(
+        [](int k) { return net::make_socket_loopback_transport(k); }, n);
+    EXPECT_EQ(ref, shm) << "shm loopback diverged at n=" << n;
+    EXPECT_EQ(ref, sock) << "socket loopback diverged at n=" << n;
+  }
+}
+
+struct SolveScene {
+  fem::CantileverProblem prob;
+  std::shared_ptr<const partition::EddPartition> part;
+  core::PolySpec poly;
+};
+
+SolveScene make_scene(int nparts) {
+  fem::CantileverSpec spec;
+  spec.nx = 10;
+  spec.ny = 4;
+  fem::CantileverProblem prob = fem::make_cantilever(spec);
+  auto part = std::make_shared<const partition::EddPartition>(
+      exp::make_edd(prob, nparts));
+  core::PolySpec poly;
+  poly.kind = core::PolyKind::Gls;
+  poly.degree = 4;
+  return SolveScene{std::move(prob), std::move(part), poly};
+}
+
+struct SolveDigest {
+  bool converged = false;
+  std::int64_t iterations = 0;
+  std::uint64_t relres_bits = 0;  ///< final_relres, compared bitwise
+  std::vector<std::uint64_t> exchanges;  ///< per rank
+  Vector x;
+};
+
+SolveDigest run_solve(const SolveScene& s,
+                      std::shared_ptr<net::Transport> transport, int n) {
+  par::TeamConfig tc;
+  tc.nranks = n;
+  tc.transport = std::move(transport);
+  par::Team team(tc);
+  const core::EddOperatorState op =
+      core::build_edd_operator(team, *s.part, s.poly);
+  const std::vector<Vector> rhs{s.prob.load};
+  const core::BatchSolveResult r =
+      core::solve_edd_batch(team, *s.part, op, rhs);
+  SolveDigest d;
+  EXPECT_FALSE(r.comm_failed()) << r.comm_error;
+  if (r.comm_failed()) return d;
+  d.converged = r.items.at(0).converged;
+  d.iterations = r.items.at(0).iterations;
+  std::memcpy(&d.relres_bits, &r.items.at(0).final_relres, 8);
+  for (const par::PerfCounters& c : r.rank_counters)
+    d.exchanges.push_back(c.neighbor_exchanges);
+  if (!r.x.empty()) d.x = r.x.at(0);
+  return d;
+}
+
+TEST(NetParity, EddBatchSolveIsBitIdenticalAcrossTransports) {
+  const int n = 4;
+  const SolveScene s = make_scene(n);
+  const SolveDigest ref = run_solve(s, nullptr, n);
+  ASSERT_TRUE(ref.converged);
+  for (const char* which : {"shm", "socket"}) {
+    const SolveDigest got = run_solve(
+        s,
+        std::string(which) == "shm"
+            ? net::make_shm_loopback_transport(n)
+            : net::make_socket_loopback_transport(n),
+        n);
+    EXPECT_TRUE(got.converged) << which;
+    EXPECT_EQ(got.iterations, ref.iterations) << which;
+    EXPECT_EQ(got.relres_bits, ref.relres_bits) << which;
+    EXPECT_EQ(got.exchanges, ref.exchanges) << which;
+    EXPECT_EQ(got.x, ref.x) << which;  // bitwise, not approx
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 5. genuinely multi-process teams (forked; skipped under ASan/TSan)
+// ---------------------------------------------------------------------------
+
+/// Plain pipe I/O (sockets.hpp's read_full/write_full are
+/// socket-only: recv/send fail with ENOTSOCK on a pipe fd).
+bool pipe_write(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t k = ::write(fd, p, n);
+    if (k <= 0) return false;
+    p += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+bool pipe_read(int fd, void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t k = ::read(fd, p, n);
+    if (k <= 0) return false;
+    p += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+/// Fixed-size digest a forked child reports through a pipe.
+struct ChildReport {
+  std::int64_t iterations = 0;
+  std::uint64_t relres_bits = 0;
+  std::int32_t converged = 0;
+  std::int32_t pad = 0;
+  std::uint64_t exchanges[2] = {0, 0};  ///< child-hosted ranks (2, 3)
+};
+
+void expect_matches_reference(const SolveDigest& ref, const SolveDigest& mine,
+                              const ChildReport& child) {
+  // Convergence reports are written by each process's local leader from
+  // allreduced data, so both processes (and the reference) must agree
+  // bit for bit; exchange counters are per-rank and compared where the
+  // rank actually ran.
+  EXPECT_TRUE(mine.converged);
+  EXPECT_EQ(mine.iterations, ref.iterations);
+  EXPECT_EQ(mine.relres_bits, ref.relres_bits);
+  EXPECT_NE(child.converged, 0);
+  EXPECT_EQ(child.iterations, ref.iterations);
+  EXPECT_EQ(child.relres_bits, ref.relres_bits);
+  ASSERT_EQ(ref.exchanges.size(), 4u);
+  EXPECT_EQ(mine.exchanges.at(0), ref.exchanges.at(0));
+  EXPECT_EQ(mine.exchanges.at(1), ref.exchanges.at(1));
+  EXPECT_EQ(child.exchanges[0], ref.exchanges.at(2));
+  EXPECT_EQ(child.exchanges[1], ref.exchanges.at(3));
+}
+
+TEST(NetMultiProcess, SocketTwoProcessSolveMatchesInProcessBitForBit) {
+#ifdef PFEM_NO_FORK_TESTS
+  GTEST_SKIP() << "fork-based multi-process test skipped under sanitizers";
+#else
+  const int n = 4;
+  const SolveScene s = make_scene(n);
+  const SolveDigest ref = run_solve(s, nullptr, n);
+  ASSERT_TRUE(ref.converged);
+
+  const std::array<int, 2> pair = net::stream_pair();
+  int pipefd[2];
+  ASSERT_EQ(::pipe(pipefd), 0);
+
+  const pid_t pid = net::fork_run([&]() -> int {
+    net::close_fd(pair[0]);
+    ::close(pipefd[0]);
+    net::SocketTransportConfig cfg;
+    cfg.ranks_per_proc = {2, 2};
+    cfg.my_proc = 1;
+    cfg.fds = {pair[1], -1};
+    const SolveScene cs = make_scene(n);  // deterministic: same scene
+    const SolveDigest d =
+        run_solve(cs, net::make_socket_transport(cfg), n);
+    ChildReport rep;
+    rep.iterations = d.iterations;
+    rep.relres_bits = d.relres_bits;
+    rep.converged = d.converged ? 1 : 0;
+    rep.exchanges[0] = d.exchanges.at(2);
+    rep.exchanges[1] = d.exchanges.at(3);
+    const bool ok = pipe_write(pipefd[1], &rep, sizeof rep);
+    ::close(pipefd[1]);
+    return ok && d.converged ? 0 : 1;
+  });
+
+  net::close_fd(pair[1]);
+  ::close(pipefd[1]);
+  net::SocketTransportConfig cfg;
+  cfg.ranks_per_proc = {2, 2};
+  cfg.my_proc = 0;
+  cfg.fds = {-1, pair[0]};
+  const SolveDigest mine = run_solve(s, net::make_socket_transport(cfg), n);
+
+  ChildReport child;
+  ASSERT_TRUE(pipe_read(pipefd[0], &child, sizeof child));
+  ::close(pipefd[0]);
+  EXPECT_EQ(net::wait_exit(pid), 0);
+  expect_matches_reference(ref, mine, child);
+#endif
+}
+
+TEST(NetMultiProcess, ShmTwoProcessSolveMatchesInProcessBitForBit) {
+#ifdef PFEM_NO_FORK_TESTS
+  GTEST_SKIP() << "fork-based multi-process test skipped under sanitizers";
+#else
+  const int n = 4;
+  const SolveScene s = make_scene(n);
+  const SolveDigest ref = run_solve(s, nullptr, n);
+  ASSERT_TRUE(ref.converged);
+
+  // The region must exist BEFORE fork so both processes map it.
+  std::shared_ptr<net::ShmRegion> region = net::ShmRegion::create(n);
+  int pipefd[2];
+  ASSERT_EQ(::pipe(pipefd), 0);
+
+  const pid_t pid = net::fork_run([&]() -> int {
+    ::close(pipefd[0]);
+    net::ShmTransportConfig cfg;
+    cfg.ranks_per_proc = {2, 2};
+    cfg.my_proc = 1;
+    const SolveScene cs = make_scene(n);
+    const SolveDigest d =
+        run_solve(cs, net::make_shm_transport(region, cfg), n);
+    ChildReport rep;
+    rep.iterations = d.iterations;
+    rep.relres_bits = d.relres_bits;
+    rep.converged = d.converged ? 1 : 0;
+    rep.exchanges[0] = d.exchanges.at(2);
+    rep.exchanges[1] = d.exchanges.at(3);
+    const bool ok = pipe_write(pipefd[1], &rep, sizeof rep);
+    ::close(pipefd[1]);
+    return ok && d.converged ? 0 : 1;
+  });
+
+  ::close(pipefd[1]);
+  net::ShmTransportConfig cfg;
+  cfg.ranks_per_proc = {2, 2};
+  cfg.my_proc = 0;
+  const SolveDigest mine = run_solve(s, net::make_shm_transport(region, cfg), n);
+
+  ChildReport child;
+  ASSERT_TRUE(pipe_read(pipefd[0], &child, sizeof child));
+  ::close(pipefd[0]);
+  EXPECT_EQ(net::wait_exit(pid), 0);
+  expect_matches_reference(ref, mine, child);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// 6. remote service: Server / Client / Router
+// ---------------------------------------------------------------------------
+
+std::string unique_sock(const char* stem) {
+  return "unix:/tmp/pfem_test_" + std::string(stem) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+struct RemoteRig {
+  SolveScene scene;
+  std::unique_ptr<svc::Service> service;
+  std::unique_ptr<svc::Server> server;
+  std::string addr;
+
+  explicit RemoteRig(const char* stem, int nranks = 2) : scene(make_scene(nranks)) {
+    svc::ServiceConfig cfg;
+    cfg.nranks = nranks;
+    service = std::make_unique<svc::Service>(cfg);
+    service->register_operator("op0", scene.part, scene.poly);
+    addr = unique_sock(stem);
+    server = std::make_unique<svc::Server>(*service, addr, "test-shard");
+  }
+
+  ~RemoteRig() {
+    // Resolve outstanding futures before the harvesters are joined.
+    if (service) service->shutdown(/*drain=*/true);
+    if (server) server->stop();
+  }
+};
+
+proto::SolveRequestMsg basic_request(const RemoteRig& rig) {
+  proto::SolveRequestMsg req;
+  req.operator_key = "op0";
+  req.rhs = {rig.scene.prob.load};
+  return req;
+}
+
+TEST(NetRemote, HandshakeAdvertisesNameAndTeamSize) {
+  RemoteRig rig("hs");
+  svc::Client client(rig.addr, "t");
+  EXPECT_EQ(client.server_name(), "test-shard");
+  EXPECT_EQ(client.server_nranks(), 2);
+}
+
+TEST(NetRemote, SolveOverTheWireMatchesLocalSubmitBitForBit) {
+  RemoteRig rig("solve");
+
+  // Local reference through the same service (also warms the cache).
+  svc::SolveRequest local;
+  local.operator_key = "op0";
+  local.rhs = {rig.scene.prob.load};
+  auto sub = rig.service->submit(std::move(local));
+  const svc::Outcome out = sub.outcome.get();
+  const auto* done = std::get_if<svc::Completed>(&out);
+  ASSERT_NE(done, nullptr);
+
+  svc::Client client(rig.addr, "t");
+  proto::SolveRequestMsg req = basic_request(rig);
+  req.want_solution = true;
+  proto::SolveResponseMsg resp;
+  ASSERT_TRUE(client.solve(req, resp));
+  EXPECT_EQ(resp.status, proto::SolveStatus::Completed);
+  EXPECT_TRUE(resp.cache_hit);  // the local solve built the operator
+  ASSERT_EQ(resp.items.size(), 1u);
+  EXPECT_TRUE(resp.items[0].converged);
+  EXPECT_EQ(resp.items[0].iterations, done->result.items.at(0).iterations);
+  EXPECT_EQ(resp.items[0].final_relres,
+            done->result.items.at(0).final_relres);
+  ASSERT_EQ(resp.solution.size(), 1u);
+  EXPECT_EQ(resp.solution[0], done->result.x.at(0));  // bitwise
+
+  // Without want_solution the payload stays off the wire.
+  proto::SolveRequestMsg req2 = basic_request(rig);
+  proto::SolveResponseMsg resp2;
+  ASSERT_TRUE(client.solve(req2, resp2));
+  EXPECT_EQ(resp2.status, proto::SolveStatus::Completed);
+  EXPECT_TRUE(resp2.solution.empty());
+}
+
+TEST(NetRemote, UnknownOperatorIsTypedRejection) {
+  RemoteRig rig("unknown");
+  svc::Client client(rig.addr, "t");
+  proto::SolveRequestMsg req = basic_request(rig);
+  req.operator_key = "no-such-operator";
+  proto::SolveResponseMsg resp;
+  ASSERT_TRUE(client.solve(req, resp));
+  EXPECT_EQ(resp.status, proto::SolveStatus::Rejected);
+  EXPECT_EQ(resp.reject_reason,
+            static_cast<std::uint32_t>(svc::RejectReason::UnknownOperator));
+}
+
+TEST(NetRemote, ExpiredRelativeDeadlineIsTypedRejection) {
+  RemoteRig rig("deadline");
+  svc::Client client(rig.addr, "t");
+  proto::SolveRequestMsg req = basic_request(rig);
+  req.deadline_ns = 1;  // re-anchored on the server clock; expired at once
+  proto::SolveResponseMsg resp;
+  ASSERT_TRUE(client.solve(req, resp));
+  EXPECT_EQ(resp.status, proto::SolveStatus::Rejected);
+  EXPECT_EQ(resp.reject_reason,
+            static_cast<std::uint32_t>(svc::RejectReason::DeadlineExceeded));
+}
+
+TEST(NetRemote, MalformedFrameClosesConnectionWithTypedCount) {
+  RemoteRig rig("malformed");
+  const int fd = net::connect_to(rig.addr);
+
+  net::ByteBuffer hello;
+  proto::encode_hello(hello, proto::HelloMsg{"fuzz"});
+  ASSERT_TRUE(net::write_full(fd, hello.data(), hello.size()));
+  unsigned char ackbuf[proto::kProtoHeaderBytes];
+  ASSERT_TRUE(net::read_full(fd, ackbuf, sizeof ackbuf));
+  proto::ProtoHeader ack;
+  ASSERT_EQ(proto::decode_header(ackbuf, ack), proto::DecodeStatus::Ok);
+  std::vector<unsigned char> ackbody(static_cast<std::size_t>(ack.body_len));
+  ASSERT_TRUE(net::read_full(fd, ackbody.data(), ackbody.size()));
+
+  // Now a frame with a corrupt magic: the server must close, not crash.
+  net::ByteBuffer bad;
+  net::put_u32(bad, 0xdeadbeefu);
+  net::put_u16(bad, proto::kProtoVersion);
+  net::put_u16(bad, static_cast<std::uint16_t>(proto::MsgType::SolveRequest));
+  net::put_u64(bad, 0);
+  ASSERT_TRUE(net::write_full(fd, bad.data(), bad.size()));
+
+  unsigned char byte;
+  EXPECT_FALSE(net::read_full(fd, &byte, 1));  // orderly close, no payload
+  net::close_fd(fd);
+
+  // The close is counted as a typed malformed-frame event.
+  for (int i = 0; i < 100 && rig.server->stats().malformed == 0; ++i)
+    ::usleep(10 * 1000);
+  EXPECT_EQ(rig.server->stats().malformed, 1u);
+}
+
+TEST(NetRemote, RouterRoutesByOperatorAffinityAndShedsWhenSaturated) {
+  // Two shards with the SAME registered operator; a router in front.
+  RemoteRig shard0("router_s0");
+  RemoteRig shard1("router_s1");
+
+  svc::RouterConfig rc;
+  rc.listen_addr = unique_sock("router");
+  rc.shard_addrs = {shard0.addr, shard1.addr};
+  rc.max_inflight_per_shard = 1;
+  svc::Router router(rc);
+  ASSERT_EQ(router.nshards(), 2);
+
+  // Phase 1: affinity. A blocking client keeps at most one request in
+  // flight, so every request lands on its hash-affine shard.
+  {
+    svc::Client client(rc.listen_addr, "t");
+    EXPECT_EQ(client.server_name(), "pfem-router");
+    EXPECT_EQ(client.server_nranks(), 2);  // relayed from the shards
+    for (int i = 0; i < 6; ++i) {
+      proto::SolveRequestMsg req = basic_request(shard0);
+      proto::SolveResponseMsg resp;
+      ASSERT_TRUE(client.solve(req, resp));
+      EXPECT_EQ(resp.status, proto::SolveStatus::Completed);
+    }
+    const svc::Router::Stats st = router.stats();
+    EXPECT_EQ(st.forwarded, 6u);
+    EXPECT_EQ(st.affinity, 6u);
+    EXPECT_EQ(st.spilled, 0u);
+    EXPECT_EQ(st.rejected_backpressure, 0u);
+    EXPECT_EQ(st.responses, 6u);
+    // All six went to ONE shard (the affine one for "op0").
+    const std::uint64_t s0 = shard0.server->stats().requests;
+    const std::uint64_t s1 = shard1.server->stats().requests;
+    EXPECT_EQ(s0 + s1, 6u);
+    EXPECT_TRUE(s0 == 6u || s1 == 6u) << "s0=" << s0 << " s1=" << s1;
+  }
+
+  // Phase 2: deterministic backpressure. Freeze both services so
+  // nothing completes, then pipeline three raw requests for one key:
+  // 1st -> affine shard, 2nd -> spill, 3rd -> typed local rejection.
+  shard0.service->set_paused(true);
+  shard1.service->set_paused(true);
+
+  const int fd = net::connect_to(rc.listen_addr);
+  net::ByteBuffer hello;
+  proto::encode_hello(hello, proto::HelloMsg{"raw"});
+  ASSERT_TRUE(net::write_full(fd, hello.data(), hello.size()));
+  unsigned char hdrbuf[proto::kProtoHeaderBytes];
+  ASSERT_TRUE(net::read_full(fd, hdrbuf, sizeof hdrbuf));
+  proto::ProtoHeader ph;
+  ASSERT_EQ(proto::decode_header(hdrbuf, ph), proto::DecodeStatus::Ok);
+  std::vector<unsigned char> skip(static_cast<std::size_t>(ph.body_len));
+  ASSERT_TRUE(net::read_full(fd, skip.data(), skip.size()));
+
+  const std::uint64_t base_forwarded = router.stats().forwarded;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    proto::SolveRequestMsg req = basic_request(shard0);
+    req.req_id = id;
+    net::ByteBuffer f;
+    proto::encode_solve_request(f, req);
+    ASSERT_TRUE(net::write_full(fd, f.data(), f.size()));
+  }
+
+  auto read_response = [&](proto::SolveResponseMsg& resp) {
+    ASSERT_TRUE(net::read_full(fd, hdrbuf, sizeof hdrbuf));
+    ASSERT_EQ(proto::decode_header(hdrbuf, ph), proto::DecodeStatus::Ok);
+    ASSERT_EQ(ph.type,
+              static_cast<std::uint16_t>(proto::MsgType::SolveResponse));
+    std::vector<unsigned char> body(static_cast<std::size_t>(ph.body_len));
+    ASSERT_TRUE(net::read_full(fd, body.data(), body.size()));
+    ASSERT_EQ(proto::decode_solve_response(body, resp),
+              proto::DecodeStatus::Ok);
+  };
+
+  // With both shards frozen and capacity 1 each, the 3rd request is
+  // shed at the router and its typed rejection is the FIRST response.
+  proto::SolveResponseMsg rejected;
+  read_response(rejected);
+  EXPECT_EQ(rejected.req_id, 3u);
+  EXPECT_EQ(rejected.status, proto::SolveStatus::Rejected);
+  EXPECT_EQ(rejected.reject_reason,
+            static_cast<std::uint32_t>(svc::RejectReason::QueueFull));
+
+  {
+    const svc::Router::Stats st = router.stats();
+    EXPECT_EQ(st.forwarded - base_forwarded, 2u);  // 1 affine + 1 spill
+    EXPECT_EQ(st.spilled, 1u);
+    EXPECT_EQ(st.rejected_backpressure, 1u);
+  }
+
+  // Unfreeze: the two forwarded requests complete on their shards.
+  shard0.service->set_paused(false);
+  shard1.service->set_paused(false);
+  proto::SolveResponseMsg a;
+  proto::SolveResponseMsg b;
+  read_response(a);
+  read_response(b);
+  EXPECT_EQ(a.status, proto::SolveStatus::Completed);
+  EXPECT_EQ(b.status, proto::SolveStatus::Completed);
+  EXPECT_TRUE((a.req_id == 1 && b.req_id == 2) ||
+              (a.req_id == 2 && b.req_id == 1));
+  net::close_fd(fd);
+  router.stop();
+}
+
+}  // namespace
+}  // namespace pfem

@@ -312,6 +312,69 @@ TEST(JobQueue, DrainMatchingRemovesAcrossPriorities) {
   const auto gone = q.remove_if([](int v) { return v == 5; });
   ASSERT_TRUE(gone.has_value());
   EXPECT_EQ(*gone, 5);
+  EXPECT_FALSE(q.remove_if([](int v) { return v == 99; }).has_value());
+}
+
+TEST(JobQueue, FifoWithinEachPriorityClass) {
+  svc::JobQueue<int> q(8);
+  ASSERT_TRUE(q.try_push(10, svc::Priority::Normal));
+  ASSERT_TRUE(q.try_push(90, svc::Priority::High));
+  ASSERT_TRUE(q.try_push(11, svc::Priority::Normal));
+  ASSERT_TRUE(q.try_push(91, svc::Priority::High));
+  // High overtakes Normal, but admission order is preserved inside each
+  // class — the service's fairness contract.
+  EXPECT_EQ(q.pop().value(), 90);
+  EXPECT_EQ(q.pop().value(), 91);
+  EXPECT_EQ(q.pop().value(), 10);
+  EXPECT_EQ(q.pop().value(), 11);
+}
+
+TEST(JobQueue, RejectedPushLeavesCapacityAccountingIntact) {
+  svc::JobQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1, svc::Priority::Normal));
+  EXPECT_FALSE(q.try_push(2, svc::Priority::Normal));
+  EXPECT_FALSE(q.try_push(3, svc::Priority::High));  // cap spans classes
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_TRUE(q.try_push(4, svc::Priority::High));  // slot freed
+  EXPECT_EQ(q.pop().value(), 4);
+}
+
+TEST(JobQueue, CloseDrainsQueuedJobsThenReportsClosed) {
+  // Drain-style shutdown: close() refuses new work but queued jobs stay
+  // poppable until empty — then pop() reports closed with nullopt.
+  svc::JobQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(1, svc::Priority::Normal));
+  ASSERT_TRUE(q.try_push(2, svc::Priority::High));
+  q.close();
+  EXPECT_FALSE(q.try_push(3, svc::Priority::High));
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(JobQueue, DrainAllEmptiesBothClassesInPriorityOrder) {
+  svc::JobQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(1, svc::Priority::Normal));
+  ASSERT_TRUE(q.try_push(2, svc::Priority::High));
+  ASSERT_TRUE(q.try_push(3, svc::Priority::Normal));
+  const auto all = q.drain_all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], 2);  // high first, then normals FIFO
+  EXPECT_EQ(all[1], 1);
+  EXPECT_EQ(all[2], 3);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(JobQueue, CloseWakesABlockedConsumer) {
+  svc::JobQueue<int> q(4);
+  std::thread consumer([&] {
+    const auto got = q.pop();  // blocks until close()
+    EXPECT_FALSE(got.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
 }
 
 // ----------------------------------------------------------- OperatorCache

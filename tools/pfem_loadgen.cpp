@@ -20,14 +20,28 @@
 //                [--rate=20] [--rhs=1] [--deadline-ms=0] [--queue=64]
 //                [--max-batch=16] [--json=FILE]
 //                [--trace-json=FILE] [--metrics-json=FILE] [--trace-ring=N]
+//
+// With --connect=ADDR the clients speak the net::proto wire protocol to
+// a remote pfem_serve --listen shard (or a pfem_router in front of
+// several) instead of an in-process service: one socket connection per
+// client, closed-loop, cycling --ops operator keys.  --nx/--ny must
+// match the server's so the RHS length validates.  The JSON artifact
+// gains the response-observed cache-hit rate (the router-affinity
+// metric).
+//
+//   pfem_loadgen --connect=unix:/tmp/router.sock [--clients=3]
+//                [--seconds=5] [--ops=4] [--rhs=1] [--deadline-ms=0]
+//                [--json=FILE]
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "svc/remote.hpp"
 #include "svc_cli.hpp"
 
 namespace {
@@ -41,9 +55,166 @@ struct ClientTally {
   std::uint64_t failed = 0;
 };
 
+/// Closed-loop clients over the wire protocol.  Rejections are expected
+/// shedding; FAILED responses, malformed frames, and dead connections
+/// are failures.
+int run_remote(int argc, char** argv, const std::string& connect) {
+  namespace proto = net::proto;
+  const int nx = tools::int_arg(argc, argv, "--nx", 24);
+  const int ny = tools::int_arg(argc, argv, "--ny", 8);
+  const int clients = tools::int_arg(argc, argv, "--clients", 3);
+  const double seconds = tools::double_arg(argc, argv, "--seconds", 5.0);
+  const int rhs_per_req = tools::int_arg(argc, argv, "--rhs", 1);
+  const int deadline_ms = tools::int_arg(argc, argv, "--deadline-ms", 0);
+  const int ops = tools::int_arg(argc, argv, "--ops", 4);
+  const std::string json = tools::str_arg(argc, argv, "--json", "");
+
+  // Only the load vector is needed locally — partitioning happens on
+  // the server; build for 1 part to skip the partition cost.
+  fem::CantileverSpec spec;
+  spec.nx = nx;
+  spec.ny = ny;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  std::cout << "pfem_loadgen: " << clients << " closed-loop clients -> "
+            << connect << ", " << seconds << " s, " << ops << " keys\n";
+
+  svc::LatencyRecorder latency;
+  std::mutex tally_m;
+  ClientTally tally;
+  std::uint64_t wire_cache_hits = 0;
+  std::atomic<bool> stop{false};
+
+  const auto t_start = svc::Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      std::unique_ptr<svc::Client> cli;
+      try {
+        cli = std::make_unique<svc::Client>(
+            connect, "loadgen-" + std::to_string(c));
+      } catch (const std::exception& e) {
+        std::scoped_lock lock(tally_m);
+        ++tally.failed;
+        std::cerr << "client " << c << ": " << e.what() << "\n";
+        return;
+      }
+      std::uint64_t seq = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        proto::SolveRequestMsg req;
+        req.operator_key =
+            "op" + std::to_string((static_cast<std::uint64_t>(c) + seq) %
+                                  static_cast<std::uint64_t>(ops));
+        for (int b = 0; b < rhs_per_req; ++b) {
+          Vector f = prob.load;
+          const real_t scale =
+              1.0 + 0.05 * static_cast<real_t>((seq + static_cast<
+                                                          std::uint64_t>(
+                                                          c + b)) %
+                                               17);
+          for (real_t& v : f) v *= scale;
+          req.rhs.push_back(std::move(f));
+        }
+        if (deadline_ms > 0)
+          req.deadline_ns =
+              static_cast<std::uint64_t>(deadline_ms) * 1000000ull;
+        const auto t0 = svc::Clock::now();
+        proto::SolveResponseMsg resp;
+        if (!cli->solve(req, resp)) {
+          std::scoped_lock lock(tally_m);
+          ++tally.failed;
+          break;  // connection unusable
+        }
+        std::scoped_lock lock(tally_m);
+        switch (resp.status) {
+          case proto::SolveStatus::Completed:
+            ++tally.completed;
+            if (resp.cache_hit) ++wire_cache_hits;
+            latency.record(std::chrono::duration<double>(svc::Clock::now() -
+                                                         t0)
+                               .count());
+            break;
+          case proto::SolveStatus::Rejected:
+            ++tally.rejected;
+            break;
+          case proto::SolveStatus::Cancelled:
+            ++tally.cancelled;
+            break;
+          case proto::SolveStatus::Failed:
+            ++tally.failed;
+            break;
+        }
+        ++seq;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  const double elapsed =
+      std::chrono::duration<double>(svc::Clock::now() - t_start).count();
+
+  const svc::LatencySnapshot lat = latency.snapshot();
+  const double rps = static_cast<double>(tally.completed) / elapsed;
+  const double hit_rate =
+      tally.completed > 0
+          ? static_cast<double>(wire_cache_hits) /
+                static_cast<double>(tally.completed)
+          : 0.0;
+  std::cout << "elapsed " << elapsed << " s\n"
+            << "completed " << tally.completed << " (" << rps
+            << " solves/s), rejected " << tally.rejected << ", cancelled "
+            << tally.cancelled << ", FAILED " << tally.failed << "\n"
+            << "cache-hit responses " << wire_cache_hits << " ("
+            << hit_rate * 100.0 << "%)\n"
+            << "latency  p50=" << lat.p50 * 1e3 << " ms  p90="
+            << lat.p90 * 1e3 << " ms  p99=" << lat.p99 * 1e3
+            << " ms  max=" << lat.max * 1e3 << " ms\n";
+
+  bool ok = tally.failed == 0 && tally.completed > 0;
+  if (!json.empty()) {
+    std::ofstream out(json);
+    if (!out) {
+      std::cerr << "error: could not write " << json << "\n";
+      ok = false;
+    } else {
+      out << "{\n"
+          << "  \"mode\": \"remote\",\n"
+          << "  \"connect\": \"" << connect << "\",\n"
+          << "  \"clients\": " << clients << ",\n"
+          << "  \"elapsed_s\": " << elapsed << ",\n"
+          << "  \"throughput_rps\": " << rps << ",\n"
+          << "  \"client_completed\": " << tally.completed << ",\n"
+          << "  \"client_rejected\": " << tally.rejected << ",\n"
+          << "  \"client_cancelled\": " << tally.cancelled << ",\n"
+          << "  \"client_failed\": " << tally.failed << ",\n"
+          << "  \"cache_hit_responses\": " << wire_cache_hits << ",\n"
+          << "  \"cache_hit_rate\": " << hit_rate << ",\n"
+          << "  \"latency_count\": " << lat.count << ",\n"
+          << "  \"latency_mean_s\": " << lat.mean << ",\n"
+          << "  \"latency_p50_s\": " << lat.p50 << ",\n"
+          << "  \"latency_p90_s\": " << lat.p90 << ",\n"
+          << "  \"latency_p99_s\": " << lat.p99 << ",\n"
+          << "  \"latency_max_s\": " << lat.max << "\n"
+          << "}\n";
+      std::cout << "stats JSON written to " << json << "\n";
+    }
+  }
+  if (!ok) {
+    std::cerr << "pfem_loadgen: FAILED (failed=" << tally.failed
+              << ", completed=" << tally.completed << ")\n";
+    return 1;
+  }
+  std::cout << "pfem_loadgen: OK\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string connect = tools::str_arg(argc, argv, "--connect", "");
+  if (!connect.empty()) return run_remote(argc, argv, connect);
   const int ranks = tools::int_arg(argc, argv, "--ranks", 4);
   const int nx = tools::int_arg(argc, argv, "--nx", 24);
   const int ny = tools::int_arg(argc, argv, "--ny", 8);

@@ -1,23 +1,104 @@
-// pfem_serve — scripted demo of the solve service: registers a
-// cantilever operator on a warm P-rank team, streams request bursts
-// through the cache/batching path, refreshes the operator in place
-// (time-step style), and shows the typed load-shedding outcomes.
+// pfem_serve — the solve service as a process.  Two modes:
+//
+// Scripted demo (default): registers a cantilever operator on a warm
+// P-rank team, streams request bursts through the cache/batching path,
+// refreshes the operator in place (time-step style), and shows the
+// typed load-shedding outcomes.
 //
 //   pfem_serve [--ranks=4] [--nx=24] [--ny=8] [--degree=7]
 //              [--burst=8] [--json=FILE]
 //              [--trace-json=FILE] [--metrics-json=FILE] [--trace-ring=N]
 //
+// Socket server (--listen): one service *shard* behind the net::proto
+// wire protocol, serving pfem_loadgen --connect clients directly or
+// sitting behind pfem_router.  Registers --ops operator keys
+// ("op0".."opN-1") over the same cantilever problem and serves until
+// SIGTERM/SIGINT (or --serve-seconds).  Clients must be built for the
+// same --nx/--ny (RHS length is validated per request).
+//
+//   pfem_serve --listen=unix:/tmp/shard0.sock [--name=shard0] [--ops=4]
+//              [--queue=64] [--max-batch=16] [--json=FILE]
+//              [--trace-json=FILE]
+//
 // Exits nonzero when any request fails or an expected solve does not
 // converge, so it doubles as an end-to-end smoke test.
+#include <csignal>
 #include <iostream>
+#include <sstream>
+#include <thread>
 #include <vector>
 
 #include "exp/table.hpp"
+#include "svc/remote.hpp"
 #include "svc_cli.hpp"
 
 namespace {
 
 using namespace pfem;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void on_stop_signal(int) { g_stop = 1; }
+
+/// Serve one shard over a socket until a stop signal (or the optional
+/// duration cap, a safety net for scripted runs).
+int run_listen(int argc, char** argv, const tools::ProblemSetup& setup,
+               svc::ServiceConfig cfg, const std::string& listen) {
+  const std::string name = tools::str_arg(argc, argv, "--name", "pfem-shard");
+  const int ops = tools::int_arg(argc, argv, "--ops", 4);
+  const double serve_seconds =
+      tools::double_arg(argc, argv, "--serve-seconds", 0.0);
+  const std::string json = tools::str_arg(argc, argv, "--json", "");
+
+  svc::Service service(cfg);
+  for (int i = 0; i < ops; ++i)
+    service.register_operator("op" + std::to_string(i), setup.part,
+                              setup.poly);
+
+  std::signal(SIGTERM, on_stop_signal);
+  std::signal(SIGINT, on_stop_signal);
+  svc::Server server(service, listen, name);
+  std::cout << name << ": listening on " << listen << " (" << ops
+            << " operators, P=" << cfg.nranks << ")" << std::endl;
+
+  const auto t0 = svc::Clock::now();
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (serve_seconds > 0.0 &&
+        std::chrono::duration<double>(svc::Clock::now() - t0).count() >=
+            serve_seconds)
+      break;
+  }
+
+  // Drain queued work first so the harvesters' futures resolve, then
+  // tear the connections down.
+  service.shutdown(/*drain=*/true);
+  server.stop();
+
+  const svc::ServiceStats st = service.stats();
+  const svc::Server::Stats ss = server.stats();
+  std::cout << name << ": connections=" << ss.connections
+            << " requests=" << ss.requests << " responses=" << ss.responses
+            << " malformed=" << ss.malformed
+            << " cache_hits=" << st.cache_hits
+            << " cache_misses=" << st.cache_misses
+            << " failed=" << st.failed << "\n";
+
+  bool ok = st.failed == 0;
+  if (!json.empty()) {
+    std::ostringstream extra;
+    extra << "  \"name\": \"" << name << "\",\n"
+          << "  \"connections\": " << ss.connections << ",\n"
+          << "  \"requests\": " << ss.requests << ",\n"
+          << "  \"responses\": " << ss.responses << ",\n"
+          << "  \"malformed\": " << ss.malformed << ",\n";
+    ok = tools::write_stats_json(json, st, service.latency(), extra.str()) &&
+         ok;
+  }
+  ok = exp::dump_trace_if_requested(argc, argv, service.trace()) && ok;
+  std::cout << name << (ok ? ": OK" : ": FAILED") << std::endl;
+  return ok ? 0 : 1;
+}
 
 /// Submit `n` single-RHS requests (load scaled per request) and wait.
 /// Returns the number of converged solves.
@@ -62,6 +143,7 @@ int main(int argc, char** argv) {
   const int degree = tools::int_arg(argc, argv, "--degree", 7);
   const int burst = tools::int_arg(argc, argv, "--burst", 8);
   const std::string json = tools::str_arg(argc, argv, "--json", "");
+  const std::string listen = tools::str_arg(argc, argv, "--listen", "");
 
   const tools::ProblemSetup setup = tools::make_setup(nx, ny, ranks, degree);
   std::cout << "pfem_serve: " << setup.prob.dofs.num_free() << " equations, P="
@@ -69,7 +151,12 @@ int main(int argc, char** argv) {
 
   svc::ServiceConfig cfg;
   cfg.nranks = ranks;
+  cfg.queue_capacity =
+      static_cast<std::size_t>(tools::int_arg(argc, argv, "--queue", 64));
+  cfg.max_batch_rhs =
+      static_cast<std::size_t>(tools::int_arg(argc, argv, "--max-batch", 16));
   cfg.observe = pfem::exp::observe_from_flags(argc, argv);
+  if (!listen.empty()) return run_listen(argc, argv, setup, cfg, listen);
   svc::Service service(cfg);
   service.register_operator("cantilever", setup.part, setup.poly);
 

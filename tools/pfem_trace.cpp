@@ -45,11 +45,17 @@ using pfem::obs::io::TraceFile;
 int usage() {
   std::cerr
       << "usage: pfem_trace [--check] [--summary] [--merge=OUT] "
-         "[--counters=COUNTERS.json] FILE...\n"
-         "  --check          validate structure and span nesting\n"
-         "  --summary        per-span-name time aggregates\n"
-         "  --merge=OUT      merge FILEs into one timeline at OUT\n"
-         "  --counters=FILE  cross-check exchange spans vs PerfCounters\n"
+         "[--merge-ranks=OUT] [--counters=COUNTERS.json[,MORE...]] FILE...\n"
+         "  --check           validate structure and span nesting\n"
+         "  --summary         per-span-name time aggregates\n"
+         "  --merge=OUT       merge FILEs into one timeline at OUT\n"
+         "                    (pids offset so lanes never collide)\n"
+         "  --merge-ranks=OUT merge per-process captures of ONE\n"
+         "                    multi-process run (pids preserved: lane r\n"
+         "                    stays global rank r)\n"
+         "  --counters=FILES  cross-check exchange spans vs PerfCounters;\n"
+         "                    comma-separated shard captures are summed\n"
+         "                    per rank before the check\n"
          "with no mode flag, runs --check and --summary\n";
   return 2;
 }
@@ -102,14 +108,15 @@ int do_summary(const std::vector<std::string>& files) {
 }
 
 int do_merge(const std::string& out_path,
-             const std::vector<std::string>& files) {
+             const std::vector<std::string>& files, bool keep_pids) {
   std::vector<TraceFile> inputs;
   for (const auto& path : files) {
     TraceFile t;
     if (!load(path, t)) return 1;
     inputs.push_back(std::move(t));
   }
-  const TraceFile merged = pfem::obs::io::merge(inputs);
+  const TraceFile merged = keep_pids ? pfem::obs::io::merge_ranks(inputs)
+                                     : pfem::obs::io::merge(inputs);
   std::ofstream os(out_path);
   if (!os) {
     std::cerr << "error: could not write " << out_path << "\n";
@@ -121,42 +128,91 @@ int do_merge(const std::string& out_path,
   return 0;
 }
 
-int do_counters(const std::string& counters_path,
-                const std::vector<std::string>& files) {
-  if (files.size() != 1) {
-    std::cerr << "--counters cross-checks exactly one trace file\n";
-    return 2;
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
   }
-  TraceFile t;
-  if (!load(files.front(), t)) return 1;
+  return out;
+}
 
-  std::ifstream in(counters_path);
-  if (!in) {
-    std::cerr << "error: could not read " << counters_path << "\n";
-    return 1;
+int do_counters(const std::string& counters_csv,
+                const std::vector<std::string>& files) {
+  // Several trace files are the per-process captures of ONE
+  // multi-process run: merge them with pids preserved first.
+  TraceFile t;
+  {
+    std::vector<TraceFile> inputs;
+    for (const auto& path : files) {
+      TraceFile f;
+      if (!load(path, f)) return 1;
+      inputs.push_back(std::move(f));
+    }
+    t = inputs.size() == 1 ? std::move(inputs.front())
+                           : pfem::obs::io::merge_ranks(inputs);
   }
-  std::stringstream ss;
-  ss << in.rdbuf();
-  Json root;
-  std::string err;
-  if (!pfem::obs::io::json_parse(ss.str(), root, err)) {
-    std::cerr << counters_path << ": " << err << "\n";
-    return 1;
+
+  // Likewise several counters captures (one per shard process, remote
+  // ranks zeroed in each) are summed per rank before the check.
+  std::vector<Json> roots;
+  std::size_t nranks = 0;
+  for (const std::string& counters_path : split_csv(counters_csv)) {
+    std::ifstream in(counters_path);
+    if (!in) {
+      std::cerr << "error: could not read " << counters_path << "\n";
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    Json root;
+    std::string err;
+    if (!pfem::obs::io::json_parse(ss.str(), root, err)) {
+      std::cerr << counters_path << ": " << err << "\n";
+      return 1;
+    }
+    const Json& ranks = root.at("ranks");
+    if (!ranks.is(Json::Type::Array) || ranks.arr.empty()) {
+      std::cerr << counters_path << ": no \"ranks\" array\n";
+      return 1;
+    }
+    nranks = std::max(nranks, ranks.arr.size());
+    roots.push_back(std::move(root));
   }
-  const Json& ranks = root.at("ranks");
-  if (!ranks.is(Json::Type::Array) || ranks.arr.empty()) {
-    std::cerr << counters_path << ": no \"ranks\" array\n";
-    return 1;
-  }
+
+  // Per-rank sum of a numeric counter across the captures; -1 when the
+  // path is absent everywhere (feature probe for older files).
+  auto counted_at = [&](std::size_t r,
+                        std::initializer_list<const char*> path) -> double {
+    double total = 0.0;
+    bool any = false;
+    for (const Json& root : roots) {
+      const Json& ranks = root.at("ranks");
+      if (r >= ranks.arr.size()) continue;
+      const Json* v = &ranks.arr[r];
+      for (const char* key : path) v = &v->at(key);
+      if (v->is(Json::Type::Number)) {
+        total += v->num;
+        any = true;
+      }
+    }
+    return any ? total : -1.0;
+  };
 
   const auto spans = pfem::obs::io::count_by_pid(t, "exchange");
   if (t.dropped > 0)
     std::cout << "note: trace dropped " << t.dropped
               << " records (ring too small); counts are lower bounds\n";
   int rc = 0;
-  for (std::size_t r = 0; r < ranks.arr.size(); ++r) {
+  for (std::size_t r = 0; r < nranks; ++r) {
     const auto counted = static_cast<std::uint64_t>(
-        ranks.arr[r].at("neighbor").at("exchanges").num_or(-1.0));
+        counted_at(r, {"neighbor", "exchanges"}));
     const std::uint64_t traced = r < spans.size() ? spans[r] : 0;
     const bool match =
         t.dropped > 0 ? traced <= counted : traced == counted;
@@ -167,8 +223,7 @@ int do_counters(const std::string& counters_path,
     if (!match) rc = 1;
   }
   if (rc == 0)
-    std::cout << "exchange counts agree (" << ranks.arr.size()
-              << " ranks)\n";
+    std::cout << "exchange counts agree (" << nranks << " ranks)\n";
 
   // Coarse-solve cross-check — only when the counters carry the
   // "coarse_solves" key (older captures predate deflation).  The
@@ -177,14 +232,13 @@ int do_counters(const std::string& counters_path,
   // live RHS, so the spans are a lower bound on the counter: require
   // traced <= counted, and traced > 0 whenever counted > 0 (unless the
   // ring dropped records).
-  const double coarse_probe =
-      ranks.arr.front().at("kernels").at("coarse_solves").num_or(-1.0);
+  const double coarse_probe = counted_at(0, {"kernels", "coarse_solves"});
   if (coarse_probe >= 0.0) {
     const auto cspans = pfem::obs::io::count_by_pid(t, "coarse_correct");
     bool any_coarse = false;
-    for (std::size_t r = 0; r < ranks.arr.size(); ++r) {
+    for (std::size_t r = 0; r < nranks; ++r) {
       const auto counted = static_cast<std::uint64_t>(
-          ranks.arr[r].at("kernels").at("coarse_solves").num_or(0.0));
+          std::max(0.0, counted_at(r, {"kernels", "coarse_solves"})));
       const std::uint64_t traced = r < cspans.size() ? cspans[r] : 0;
       if (counted == 0 && traced == 0) continue;
       any_coarse = true;
@@ -197,8 +251,7 @@ int do_counters(const std::string& counters_path,
       if (!match) rc = 1;
     }
     if (any_coarse && rc == 0)
-      std::cout << "coarse-solve counts agree (" << ranks.arr.size()
-                << " ranks)\n";
+      std::cout << "coarse-solve counts agree (" << nranks << " ranks)\n";
   }
 
   // Fault cross-check — only when the counters carry the "fault" object
@@ -206,7 +259,11 @@ int do_counters(const std::string& counters_path,
   // only the completed attempt while the trace logged every attempt, so
   // equality is required only on retry-free runs; otherwise the counter
   // must not exceed the spans.
-  if (!ranks.arr.front().at("fault").is(Json::Type::Object)) return rc;
+  bool have_fault = false;
+  for (const Json& root : roots)
+    have_fault |=
+        root.at("ranks").arr.front().at("fault").is(Json::Type::Object);
+  if (!have_fault) return rc;
   struct FaultKind {
     const char* counter;  ///< key inside the per-rank "fault" object
     const char* span;     ///< the span every firing of it stamps
@@ -218,17 +275,17 @@ int do_counters(const std::string& counters_path,
   };
   std::uint64_t total_retries = 0;
   bool any_retries = false;
-  for (const Json& rank : ranks.arr) {
+  for (std::size_t r = 0; r < nranks; ++r) {
     const auto retries = static_cast<std::uint64_t>(
-        rank.at("fault").at("retries").num_or(0.0));
+        std::max(0.0, counted_at(r, {"fault", "retries"})));
     total_retries = std::max(total_retries, retries);
     any_retries |= retries > 0;
   }
   for (const FaultKind& k : kFaults) {
     const auto spans_by_pid = pfem::obs::io::count_by_pid(t, k.span);
-    for (std::size_t r = 0; r < ranks.arr.size(); ++r) {
+    for (std::size_t r = 0; r < nranks; ++r) {
       const auto counted = static_cast<std::uint64_t>(
-          ranks.arr[r].at("fault").at(k.counter).num_or(0.0));
+          std::max(0.0, counted_at(r, {"fault", k.counter})));
       const std::uint64_t traced =
           r < spans_by_pid.size() ? spans_by_pid[r] : 0;
       const bool lax = any_retries || t.dropped > 0;
@@ -267,6 +324,8 @@ int main(int argc, char** argv) {
   const bool summary = pfem::exp::has_flag(argc, argv, "--summary");
   const std::string merge_out =
       pfem::exp::str_flag(argc, argv, "--merge", "");
+  const std::string merge_ranks_out =
+      pfem::exp::str_flag(argc, argv, "--merge-ranks", "");
   const std::string counters =
       pfem::exp::str_flag(argc, argv, "--counters", "");
 
@@ -276,11 +335,12 @@ int main(int argc, char** argv) {
   if (files.empty()) return usage();
 
   int rc = 0;
-  const bool any_mode =
-      check || summary || !merge_out.empty() || !counters.empty();
+  const bool any_mode = check || summary || !merge_out.empty() ||
+                        !merge_ranks_out.empty() || !counters.empty();
   if (check || !any_mode) rc |= do_check(files);
   if (summary || !any_mode) rc |= do_summary(files);
-  if (!merge_out.empty()) rc |= do_merge(merge_out, files);
+  if (!merge_out.empty()) rc |= do_merge(merge_out, files, false);
+  if (!merge_ranks_out.empty()) rc |= do_merge(merge_ranks_out, files, true);
   if (!counters.empty()) rc |= do_counters(counters, files);
   return rc;
 }

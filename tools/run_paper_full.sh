@@ -20,10 +20,14 @@ PLAIN="fig01_neumann_residual fig02_gls_residual fig03_stability \
        fig11_static_precond fig12_dynamic_precond fig13_degree_static \
        fig14_degree_dynamic table1_complexity"
 
+# Seed recorded in every BENCH_*.json provenance block (and passed to
+# the seeded benches) so a run is replayable from its artifacts alone.
+SEED=${PFEM_SEED:-0}
+
 # Fail fast on an unbuilt tree: missing binaries are a setup error, not
 # a bench result.
 missing=0
-for b in $PLAIN $FULL micro_kernels deflation_scaling; do
+for b in $PLAIN $FULL micro_kernels deflation_scaling micro_comm; do
   if [ ! -x "$BENCH/$b" ]; then
     echo "error: $BENCH/$b not built" >&2
     missing=1
@@ -32,12 +36,42 @@ done
 [ "$missing" -ne 0 ] && exit 2
 
 declare -A status
+# run_bench_as KEY BINARY ARGS... — KEY names the run in the summary, so
+# one binary can appear under several modes without clobbering status.
+run_bench_as() {
+  local key=$1 name=$2
+  shift 2
+  echo "### $key: $name $*"
+  "$BENCH/$name" "$@"
+  status[$key]=$?
+}
 run_bench() {
   local name=$1
   shift
-  echo "### $name $*"
-  "$BENCH/$name" "$@"
-  status[$name]=$?
+  run_bench_as "$name" "$name" "$@"
+}
+
+# Stamp provenance into every BENCH_*.json (inserted right after the
+# opening brace) so the perf trajectory stays attributable to a commit,
+# build type and seed.  Idempotent: files already stamped are skipped.
+stamp_provenance() {
+  local sha dirty bt ts f
+  sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+  if git diff --quiet 2>/dev/null && git diff --cached --quiet 2>/dev/null; then
+    dirty=false
+  else
+    dirty=true
+  fi
+  bt=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' build/CMakeCache.txt \
+       2>/dev/null | head -1)
+  ts=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+  for f in BENCH_*.json; do
+    [ -f "$f" ] || continue
+    grep -q '"provenance"' "$f" && continue
+    sed -i "0,/{/s//{\\n  \"provenance\": {\"git_sha\": \"$sha\", \
+\"git_dirty\": $dirty, \"build_type\": \"${bt:-unknown}\", \
+\"seed\": $SEED, \"timestamp_utc\": \"$ts\"},/" "$f"
+  done
 }
 
 for b in $PLAIN; do run_bench "$b"; done
@@ -49,11 +83,37 @@ run_bench micro_kernels --kernels-json=BENCH_kernels.json
 # gate: its exit code is nonzero when deflated P=2 -> P=16 iteration
 # growth exceeds 1.3x, so a coarse-space regression fails the whole run.
 run_bench deflation_scaling --deflation-json=BENCH_deflation.json
+# The net sweeps: the transport ladder (in-process ring vs shm ring vs
+# socket loopback) and the sharded socket service.  svc_load --socket is
+# a second acceptance gate — nonzero exit when the warm stream falls
+# below 2x cold throughput or the warm cache-hit rate below 90%.
+run_bench_as micro_comm_net micro_comm --net --full \
+  --net-json=BENCH_net_comm.json
+run_bench_as svc_load_socket svc_load --socket --full --seed="$SEED" \
+  --socket-json=BENCH_net_svc.json
+
+# Fold the two net fragments into one BENCH_net.json.
+if [ -f BENCH_net_comm.json ] && [ -f BENCH_net_svc.json ]; then
+  {
+    echo '{'
+    echo '  "bench": "net",'
+    echo '  "transport_comparison":'
+    sed 's/^/  /;$s/}$/},/' BENCH_net_comm.json
+    echo '  "sharded_service":'
+    sed 's/^/  /' BENCH_net_svc.json
+    echo '}'
+  } > BENCH_net.json
+  rm -f BENCH_net_comm.json BENCH_net_svc.json
+  echo "net results folded into BENCH_net.json"
+fi
+
+stamp_provenance
 
 echo
 echo "### summary"
 failed=0
-for b in $PLAIN $FULL micro_kernels deflation_scaling; do
+for b in $PLAIN $FULL micro_kernels deflation_scaling micro_comm_net \
+         svc_load_socket; do
   code=${status[$b]}
   if [ "$code" -eq 0 ]; then
     echo "[ok]   $b"
