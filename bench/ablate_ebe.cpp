@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
   core::SolveOptions opts;
   opts.tol = 1e-6;
   opts.max_iters = 60000;
-  const core::SolveResult res =
+  const core::SolveReport res =
       core::fgmres(scaled_ebe, s.b, sol, precond, opts);
   std::cout << "matrix-free FGMRES-GLS(7): "
             << (res.converged ? "converged" : "FAILED") << " in "

@@ -65,13 +65,13 @@ int main(int argc, char** argv) {
     core::SolveOptions opts;
     opts.tol = 1e-6;
     opts.max_iters = 60000;
-    const core::DistSolveResult off =
+    const core::DistSolve off =
         core::solve_edd(part, prob.load, poly, opts);
 
     opts.deflation.enabled = true;
     opts.deflation.dof_coords = fem::free_dof_coords(prob.mesh, prob.dofs);
     opts.deflation.coord_dim = static_cast<int>(prob.mesh.dim());
-    const core::DistSolveResult defl =
+    const core::DistSolve defl =
         core::solve_edd(part, prob.load, poly, opts);
 
     p.ok = off.converged && defl.converged;

@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
     spec.nz = nz;
     const fem::CantileverProblem prob = fem::make_cantilever_3d(spec);
     const partition::EddPartition part = exp::make_edd(prob, 8);
-    const core::DistSolveResult off =
+    const core::DistSolve off =
         core::solve_edd(part, prob.load, poly, opts);
     core::SolveOptions dopts = opts;
     dopts.deflation.enabled = true;
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
     dopts.deflation.components = 3;
     dopts.deflation.dof_coords = fem::free_dof_coords(prob.mesh, prob.dofs);
     dopts.deflation.coord_dim = 3;
-    const core::DistSolveResult defl =
+    const core::DistSolve defl =
         core::solve_edd(part, prob.load, poly, dopts);
     defl_table.add_row({std::to_string(nx) + "x" + std::to_string(ny) + "x" +
                             std::to_string(nz),

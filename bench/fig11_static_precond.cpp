@@ -28,7 +28,7 @@ void run_mesh(int mesh_no) {
                     "final relres"});
   auto run = [&](core::Preconditioner& p) {
     Vector x(s.b.size(), 0.0);
-    const core::SolveResult res = core::fgmres(s.a, s.b, x, p, opts);
+    const core::SolveReport res = core::fgmres(s.a, s.b, x, p, opts);
     table.add_row({p.name(), exp::Table::integer(res.iterations),
                    exp::Table::integer(p.matvecs_per_apply()),
                    exp::Table::sci(res.final_relres, 2)});

@@ -31,7 +31,7 @@ void run_mesh(int mesh_no) {
         core::LinearOp::from_csr(s.a),
         core::GlsPolynomial(core::default_theta_after_scaling(), m));
     Vector x(s.b.size(), 0.0);
-    const core::SolveResult res = core::fgmres(s.a, s.b, x, p, opts);
+    const core::SolveReport res = core::fgmres(s.a, s.b, x, p, opts);
     table.add_row({p.name(), exp::Table::integer(res.iterations),
                    exp::Table::integer(static_cast<long long>(res.iterations) *
                                        (m + 1)),

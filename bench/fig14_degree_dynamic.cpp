@@ -34,7 +34,7 @@ void run_mesh(int mesh_no) {
         core::LinearOp::from_csr(s.a),
         core::GlsPolynomial(core::default_theta_after_scaling(), deg));
     Vector x(s.b.size(), 0.0);
-    const core::SolveResult res = core::fgmres(s.a, s.b, x, p, opts);
+    const core::SolveReport res = core::fgmres(s.a, s.b, x, p, opts);
     table.add_row({p.name(), exp::Table::integer(res.iterations),
                    exp::Table::sci(res.final_relres, 2)});
     bench::print_history(p.name(), res.history);

@@ -16,6 +16,13 @@
 // batched service is expected to clear 2x cold throughput — that ratio
 // is what justifies the svc layer (see DESIGN.md).
 //
+// A third mode (--replay) measures what solve SESSIONS buy: a drifting
+// operator/RHS trace solved step by step, once session-less (cold) and
+// once through a session (warm start + recycled directions).  Gate:
+// warm mean iterations over the drift steps must be >= 30% below cold.
+// --replay-json=FILE records the run (BENCH_sessions.json in
+// run_paper_full.sh).
+//
 // A second mode (--socket) measures the same cold/warm contrast against
 // the sharded deployment: two forked shard processes (each a Service
 // behind a svc::Server on a unix socket), a svc::Router with
@@ -407,6 +414,128 @@ int run_socket_mode(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --replay: the session warm-start / recycling gate.
+// ---------------------------------------------------------------------------
+
+/// Per-rank matrix copies with the diagonal scaled by (1 + drift) — a
+/// deterministic SPD-preserving drifting operator, same sparsity.
+std::shared_ptr<const std::vector<sparse::CsrMatrix>> drifted_matrices(
+    const partition::EddPartition& part, real_t drift) {
+  auto mats = std::make_shared<std::vector<sparse::CsrMatrix>>();
+  mats->reserve(part.subs.size());
+  for (const auto& sub : part.subs) {
+    sparse::CsrMatrix a = sub.k_loc;
+    const auto rp = a.row_ptr();
+    const auto ci = a.col_idx();
+    auto vals = a.values();
+    for (index_t i = 0; i < a.rows(); ++i)
+      for (index_t k = rp[static_cast<std::size_t>(i)];
+           k < rp[static_cast<std::size_t>(i) + 1]; ++k)
+        if (ci[static_cast<std::size_t>(k)] == i)
+          vals[static_cast<std::size_t>(k)] *= 1.0 + drift;
+    mats->push_back(std::move(a));
+  }
+  return mats;
+}
+
+int run_replay_mode(int argc, char** argv) {
+  const bool full = bench::full_run(argc, argv);
+  const int nx = bench::int_flag(argc, argv, "--nx=", full ? 24 : 12);
+  const int ny = bench::int_flag(argc, argv, "--ny=", full ? 8 : 4);
+  const int steps = bench::int_flag(argc, argv, "--steps=", full ? 16 : 10);
+  const Workload w = make_workload(nx, ny, /*n_rhs=*/1);
+  exp::banner(std::cout,
+              "Service session bench --replay — " +
+                  std::to_string(w.prob.dofs.num_free()) +
+                  " equations, P=" + std::to_string(kRanks) + ", " +
+                  std::to_string(steps) + " drift steps");
+
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  service.register_operator("op", w.part, w.poly);
+  const svc::SessionId session = service.open_session("op");
+  PFEM_CHECK(session != svc::kNoSession);
+
+  const auto solve_one = [&](svc::SessionId sid, const Vector& f) {
+    svc::SolveRequest req;
+    req.operator_key = "op";
+    req.session = sid;
+    req.rhs.push_back(f);
+    svc::Outcome o = service.submit(std::move(req)).outcome.get();
+    const auto* c = std::get_if<svc::Completed>(&o);
+    PFEM_CHECK_MSG(c != nullptr && c->result.items.front().converged,
+                   "replay solve did not complete");
+    return c->result.items.front().iterations;
+  };
+
+  // Step 0 warms the session (its warm solve is itself cold); the means
+  // below therefore cover steps >= 1 only.
+  std::vector<int> cold_iters, warm_iters;
+  for (int t = 0; t < steps; ++t) {
+    if (t > 0)
+      service.update_operator(
+          "op", drifted_matrices(*w.part, 0.05 * static_cast<real_t>(t) /
+                                              static_cast<real_t>(steps)));
+    Vector f = w.prob.load;
+    const real_t s = static_cast<real_t>(t) / static_cast<real_t>(steps);
+    for (std::size_t i = 0; i < f.size(); ++i)
+      f[i] *= 1.0 + 0.1 * s * (0.5 + 0.5 * static_cast<real_t>(i % 7) / 7.0);
+    cold_iters.push_back(solve_one(svc::kNoSession, f));
+    warm_iters.push_back(solve_one(session, f));
+  }
+  const svc::ServiceStats st = service.stats();
+  service.shutdown();
+
+  double cold_sum = 0.0, warm_sum = 0.0;
+  for (std::size_t i = 1; i < cold_iters.size(); ++i) {
+    cold_sum += cold_iters[i];
+    warm_sum += warm_iters[i];
+  }
+  const double denom = static_cast<double>(steps - 1);
+  const double cold_mean = cold_sum / denom;
+  const double warm_mean = warm_sum / denom;
+  const double reduction = 1.0 - warm_mean / cold_mean;
+
+  exp::Table table({"lane", "mean iters (steps 1+)", "total iters"});
+  table.add_row({"cold (session-less)", exp::Table::num(cold_mean, 2),
+                 exp::Table::num(cold_sum, 0)});
+  table.add_row({"warm (session)", exp::Table::num(warm_mean, 2),
+                 exp::Table::num(warm_sum, 0)});
+  table.print(std::cout);
+  std::cout << "\nwarm iteration reduction: "
+            << exp::Table::num(100.0 * reduction, 1)
+            << "% (floor: 30%); warm_rhs=" << st.warm_rhs << "\n";
+
+  const bool pass = reduction >= 0.30;
+  const std::string json = exp::str_flag(argc, argv, "--replay-json", "");
+  if (!json.empty()) {
+    std::ofstream out(json);
+    if (!out) {
+      std::cerr << "error: cannot write " << json << "\n";
+      return 2;
+    }
+    out << "{\n  \"bench\": \"svc_sessions\",\n  \"equations\": "
+        << w.prob.dofs.num_free() << ",\n  \"ranks\": " << kRanks
+        << ",\n  \"steps\": " << steps
+        << ",\n  \"cold_mean_iters\": " << cold_mean
+        << ",\n  \"warm_mean_iters\": " << warm_mean
+        << ",\n  \"iter_reduction\": " << reduction
+        << ",\n  \"warm_rhs\": " << st.warm_rhs
+        << ",\n  \"gates\": {\"iter_reduction_floor\": 0.3, \"pass\": "
+        << (pass ? "true" : "false") << "}\n}\n";
+    std::cout << "session replay results written to " << json << "\n";
+  }
+  if (!pass) {
+    std::cerr << "svc_load --replay: FAILED — warm lane saved "
+              << exp::Table::num(100.0 * reduction, 1)
+              << "% of iterations, floor is 30%\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 /// Median of three timing runs: single-core scheduling noise easily
@@ -418,6 +547,9 @@ double median3(Fn&& fn) {
 }
 
 int main(int argc, char** argv) {
+  if (pfem::exp::has_flag(argc, argv, "--replay") ||
+      !pfem::exp::str_flag(argc, argv, "--replay-json", "").empty())
+    return run_replay_mode(argc, argv);
   if (pfem::exp::has_flag(argc, argv, "--socket") ||
       !pfem::exp::str_flag(argc, argv, "--socket-json", "").empty())
     return run_socket_mode(argc, argv);

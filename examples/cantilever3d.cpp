@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   const partition::EddPartition part = exp::make_edd(prob, nparts);
   core::PolySpec poly;
   poly.degree = 7;
-  const core::DistSolveResult res = core::solve_edd(part, prob.load, poly);
+  const core::DistSolve res = core::solve_edd(part, prob.load, poly);
   std::cout << (res.converged ? "converged" : "FAILED") << " in "
             << res.iterations << " iterations\n";
   if (!res.converged) return 1;

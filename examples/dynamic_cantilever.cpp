@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   index_t total_iters = 0;
   for (index_t step = 1; step <= steps; ++step) {
     const Vector rhs = nm.effective_rhs(u, v, a, prob.load);
-    const core::DistSolveResult res =
+    const core::DistSolve res =
         core::solve_edd(part, rhs, poly, opts.solve, core::EddVariant::Enhanced,
                         &k_eff);
     if (!res.converged) {

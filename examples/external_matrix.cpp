@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   core::RddOptions opts;
   opts.poly.kind = core::PolyKind::Gls;
   opts.poly.degree = 7;
-  const core::DistSolveResult res = core::solve_rdd(part, f, opts);
+  const core::DistSolve res = core::solve_rdd(part, f, opts);
 
   std::cout << "RDD-FGMRES-GLS(7): "
             << (res.converged ? "converged" : "FAILED") << " in "

@@ -37,7 +37,7 @@ int main() {
   core::PolySpec poly;
   poly.kind = core::PolyKind::Gls;
   poly.degree = 7;
-  const core::DistSolveResult res = core::solve_edd(part, prob.load, poly);
+  const core::DistSolve res = core::solve_edd(part, prob.load, poly);
 
   std::cout << "solver: " << (res.converged ? "converged" : "FAILED")
             << " in " << res.iterations << " iterations, final relres "

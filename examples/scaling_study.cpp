@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   exp::Table table({"solver", "P", "iters", "exchanges", "msgs", "kB sent",
                     "reductions", "S(SP2)", "S(Origin)"});
   auto trace_row = [&](const std::string& name, int p,
-                       const core::DistSolveResult& r, double t1_sp2,
+                       const core::DistSolve& r, double t1_sp2,
                        double t1_origin) {
     const par::PerfCounters& c = r.rank_counters[0];
     std::uint64_t msgs = 0, bytes = 0;

@@ -174,7 +174,7 @@ int main(int argc, char** argv) {
   }
 
   // ---- Solve.
-  core::DistSolveResult res;
+  core::DistSolve res;
   std::string solver_name;
   if (args.dd == "edd" && prob.has_value()) {
     const partition::EddPartition part = exp::make_edd(*prob, args.parts);

@@ -55,16 +55,16 @@ int main(int argc, char** argv) {
   poly.degree = 7;
   const partition::EddPartition epart = exp::make_edd(prob, nparts);
   const partition::RddPartition rpart = exp::make_rdd(prob, nparts);
-  const core::DistSolveResult edd =
+  const core::DistSolve edd =
       core::solve_edd(epart, prob.load, poly, opts);
   core::RddOptions rdd_opts;
   rdd_opts.poly = poly;
-  const core::DistSolveResult rdd =
+  const core::DistSolve rdd =
       core::solve_rdd(rpart, prob.load, rdd_opts, opts);
 
   exp::Table par_table({"solver", "iterations", "T(SP2) s", "T(Origin) s",
                         "wall s (this host)"});
-  auto add = [&](const std::string& name, const core::DistSolveResult& r) {
+  auto add = [&](const std::string& name, const core::DistSolve& r) {
     par_table.add_row(
         {name, exp::Table::integer(r.iterations),
          exp::Table::num(

@@ -1,0 +1,96 @@
+// One home for the cross-layer status enums and their stringifiers.
+//
+// Three subsystems expose typed status codes that travel beyond their
+// own translation unit — onto the wire, into JSON artifacts, into chaos
+// replay signatures:
+//
+//   RejectReason   why the service shed a request   (svc::Rejected)
+//   CommErrorKind  why a channel operation failed   (fault::CommError)
+//   DecodeStatus   why a protocol frame was refused (net::proto)
+//
+// They live here under one pattern: explicit, WIRE-STABLE numeric
+// values (RejectReason is encoded verbatim by net::proto, and the other
+// two appear in JSON artifacts and chaos signatures by name — so for
+// all three, append new values and never renumber or reorder existing
+// ones), plus one `name()` overload per enum returning the snake_case
+// token used on the wire's text fields, in JSON, and in log lines.
+// The owning namespaces re-export these via aliases, so call sites keep
+// their subsystem-local spelling (svc::RejectReason,
+// fault::CommErrorKind, net::proto::DecodeStatus); the numeric contract
+// is documented once more, wire-side, in net/proto.hpp.
+#pragma once
+
+#include <cstdint>
+
+namespace pfem::status {
+
+/// Why the service refused a SolveRequest without running it.
+/// Wire: SolveResponseMsg::reject_reason (u32), values stable.
+enum class RejectReason : std::uint32_t {
+  QueueFull = 0,         ///< bounded queue at capacity (backpressure)
+  DeadlineExceeded = 1,  ///< deadline passed before the solve finished
+  UnknownOperator = 2,   ///< operator_key was never registered
+  BadRequest = 3,        ///< empty RHS batch or wrong vector length
+  ShuttingDown = 4,      ///< service no longer accepting work
+  UnknownSession = 5,    ///< session id was never opened (or was evicted
+                         ///< and the request demanded strict affinity)
+};
+
+[[nodiscard]] constexpr const char* name(RejectReason r) noexcept {
+  switch (r) {
+    case RejectReason::QueueFull: return "queue_full";
+    case RejectReason::DeadlineExceeded: return "deadline_exceeded";
+    case RejectReason::UnknownOperator: return "unknown_operator";
+    case RejectReason::BadRequest: return "bad_request";
+    case RejectReason::ShuttingDown: return "shutting_down";
+    case RejectReason::UnknownSession: return "unknown_session";
+  }
+  return "?";
+}
+
+/// Why a channel operation failed (fault::CommError::kind()).
+enum class CommErrorKind : std::uint8_t {
+  Timeout = 0,  ///< a blocking channel/collective wait exceeded the deadline
+  Crash = 1,    ///< an injected rank crash (chaos testing)
+  /// The receiver observed a gap in the channel's wire sequence numbers:
+  /// a message was dropped on the wire.  Detecting the gap (instead of
+  /// silently consuming the next message in its place) is what keeps a
+  /// drop from corrupting the solve — the stream can never shift.
+  Lost = 2,
+};
+
+[[nodiscard]] constexpr const char* name(CommErrorKind k) noexcept {
+  switch (k) {
+    case CommErrorKind::Timeout: return "timeout";
+    case CommErrorKind::Crash: return "crash";
+    case CommErrorKind::Lost: return "lost";
+  }
+  return "?";
+}
+
+/// Why a protocol frame was refused.  Total decoding: every malformed
+/// input maps to one of these (never UB, never an exception).
+enum class DecodeStatus : std::uint32_t {
+  Ok = 0,
+  Truncated = 1,   ///< fewer bytes than the header/body claims
+  BadMagic = 2,
+  BadVersion = 3,
+  BadType = 4,
+  Oversized = 5,   ///< body_len exceeds kMaxBodyBytes (or a count lies)
+  BadBody = 6,     ///< structurally invalid body for the declared type
+};
+
+[[nodiscard]] constexpr const char* name(DecodeStatus s) noexcept {
+  switch (s) {
+    case DecodeStatus::Ok: return "ok";
+    case DecodeStatus::Truncated: return "truncated";
+    case DecodeStatus::BadMagic: return "bad_magic";
+    case DecodeStatus::BadVersion: return "bad_version";
+    case DecodeStatus::BadType: return "bad_type";
+    case DecodeStatus::Oversized: return "oversized";
+    case DecodeStatus::BadBody: return "bad_body";
+  }
+  return "?";
+}
+
+}  // namespace pfem::status

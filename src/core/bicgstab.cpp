@@ -9,14 +9,14 @@
 
 namespace pfem::core {
 
-SolveResult bicgstab(const LinearOp& a, std::span<const real_t> b,
+SolveReport bicgstab(const LinearOp& a, std::span<const real_t> b,
                      std::span<real_t> x, Preconditioner& precond,
                      const SolveOptions& opts) {
   const std::size_t n = b.size();
   PFEM_CHECK(x.size() == n);
   PFEM_CHECK(a.size() == as_index(n));
 
-  SolveResult result;
+  SolveReport result;
   // ‖b‖ = 0: x = 0 solves exactly and any relative residual is 0/0 —
   // return it in 0 iterations instead of iterating on NaNs.
   if (la::nrm2(b) == 0.0) {
@@ -83,7 +83,7 @@ SolveResult bicgstab(const LinearOp& a, std::span<const real_t> b,
   return result;
 }
 
-SolveResult bicgstab(const sparse::CsrMatrix& a, std::span<const real_t> b,
+SolveReport bicgstab(const sparse::CsrMatrix& a, std::span<const real_t> b,
                      std::span<real_t> x, Preconditioner& precond,
                      const SolveOptions& opts) {
   return bicgstab(LinearOp::from_csr(a), b, x, precond, opts);
@@ -227,7 +227,7 @@ void edd_bicgstab_rank(const EddPartition& part, const CsrMatrix& k_in,
 
 }  // namespace
 
-DistSolveResult solve_edd_bicgstab(
+DistSolve solve_edd_bicgstab(
     const EddPartition& part, std::span<const real_t> f_global,
     const PolySpec& spec, const SolveOptions& opts,
     const std::vector<sparse::CsrMatrix>* local_matrices) {
@@ -252,7 +252,7 @@ DistSolveResult solve_edd_bicgstab(
         edd_bicgstab_rank(part, k, f_global, spec, opts, comm, out);
       });
 
-  DistSolveResult result;
+  DistSolve result;
   result.wall_seconds = timer.seconds();
   result.x = partition::edd_gather_global(part, out.solutions);
   result.converged = out.converged;

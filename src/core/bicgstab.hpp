@@ -18,13 +18,13 @@ namespace pfem::core {
 /// Sequential right-preconditioned BiCGSTAB.  SolveOptions::restart is
 /// ignored (short recurrence).  `iterations` counts full BiCGSTAB steps
 /// (two mat-vecs and two preconditioner applications each).
-[[nodiscard]] SolveResult bicgstab(const LinearOp& a,
+[[nodiscard]] SolveReport bicgstab(const LinearOp& a,
                                    std::span<const real_t> b,
                                    std::span<real_t> x,
                                    Preconditioner& precond,
                                    const SolveOptions& opts = {});
 
-[[nodiscard]] SolveResult bicgstab(const sparse::CsrMatrix& a,
+[[nodiscard]] SolveReport bicgstab(const sparse::CsrMatrix& a,
                                    std::span<const real_t> b,
                                    std::span<real_t> x,
                                    Preconditioner& precond,
@@ -32,7 +32,7 @@ namespace pfem::core {
 
 /// EDD-distributed BiCGSTAB with polynomial preconditioning, on the same
 /// partition structures and norm-1 scaling as solve_edd().
-[[nodiscard]] DistSolveResult solve_edd_bicgstab(
+[[nodiscard]] DistSolve solve_edd_bicgstab(
     const partition::EddPartition& part, std::span<const real_t> f_global,
     const PolySpec& poly, const SolveOptions& opts = {},
     const std::vector<sparse::CsrMatrix>* local_matrices = nullptr);

@@ -9,7 +9,7 @@
 
 namespace pfem::core {
 
-SolveResult pcg(const LinearOp& a, std::span<const real_t> b,
+SolveReport pcg(const LinearOp& a, std::span<const real_t> b,
                 std::span<real_t> x, Preconditioner& precond,
                 const SolveOptions& opts) {
   const std::size_t n = b.size();
@@ -17,7 +17,7 @@ SolveResult pcg(const LinearOp& a, std::span<const real_t> b,
   PFEM_CHECK(a.size() == as_index(n));
   PFEM_CHECK(opts.max_iters >= 1 && opts.tol > 0.0);
 
-  SolveResult result;
+  SolveReport result;
   // ‖b‖ = 0: x = 0 solves exactly and any relative residual is 0/0 —
   // return it in 0 iterations instead of iterating on NaNs.
   if (la::nrm2(b) == 0.0) {
@@ -71,7 +71,7 @@ SolveResult pcg(const LinearOp& a, std::span<const real_t> b,
   return result;
 }
 
-SolveResult pcg(const sparse::CsrMatrix& a, std::span<const real_t> b,
+SolveReport pcg(const sparse::CsrMatrix& a, std::span<const real_t> b,
                 std::span<real_t> x, Preconditioner& precond,
                 const SolveOptions& opts) {
   return pcg(LinearOp::from_csr(a), b, x, precond, opts);
@@ -202,7 +202,7 @@ void edd_cg_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
 
 }  // namespace
 
-DistSolveResult solve_edd_cg(const EddPartition& part,
+DistSolve solve_edd_cg(const EddPartition& part,
                              std::span<const real_t> f_global,
                              const PolySpec& spec, const SolveOptions& opts,
                              const std::vector<sparse::CsrMatrix>* local_matrices) {
@@ -227,7 +227,7 @@ DistSolveResult solve_edd_cg(const EddPartition& part,
         edd_cg_rank_solve(part, k, f_global, spec, opts, comm, out);
       });
 
-  DistSolveResult result;
+  DistSolve result;
   result.wall_seconds = timer.seconds();
   result.x = partition::edd_gather_global(part, out.solutions);
   result.converged = out.converged;

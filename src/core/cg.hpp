@@ -23,18 +23,18 @@ namespace pfem::core {
 
 /// Sequential PCG on A x = b (A SPD, C SPD).  The SolveOptions restart
 /// field is ignored (CG does not restart).
-[[nodiscard]] SolveResult pcg(const LinearOp& a, std::span<const real_t> b,
+[[nodiscard]] SolveReport pcg(const LinearOp& a, std::span<const real_t> b,
                               std::span<real_t> x, Preconditioner& precond,
                               const SolveOptions& opts = {});
 
-[[nodiscard]] SolveResult pcg(const sparse::CsrMatrix& a,
+[[nodiscard]] SolveReport pcg(const sparse::CsrMatrix& a,
                               std::span<const real_t> b, std::span<real_t> x,
                               Preconditioner& precond,
                               const SolveOptions& opts = {});
 
 /// EDD-distributed PCG with polynomial preconditioning, on the same
 /// partition structures and with the same norm-1 scaling as solve_edd().
-[[nodiscard]] DistSolveResult solve_edd_cg(
+[[nodiscard]] DistSolve solve_edd_cg(
     const partition::EddPartition& part, std::span<const real_t> f_global,
     const PolySpec& poly, const SolveOptions& opts = {},
     const std::vector<sparse::CsrMatrix>* local_matrices = nullptr);

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/edd_kernels.hpp"
+#include "la/dense.hpp"
 #include "la/hessenberg_lsq.hpp"
 #include "la/vector_ops.hpp"
 
@@ -206,7 +207,35 @@ class BatchPoly {
 struct BatchShared {
   std::vector<std::vector<Vector>> sol;  ///< [rhs][rank] u in global format
   std::vector<BatchItemResult> items;    ///< written by the local leader
+  /// Harvested recycle directions, [rhs][ring slot][rank] pieces of the
+  /// physical (scaling undone) cycle updates Δu.  Ring-bounded to
+  /// max_directions slots; dir_count says how many cycles actually
+  /// deposited (so the gather can order oldest → newest).  The slot
+  /// index is a pure function of allreduced state, so every rank writes
+  /// its own [rank] piece of the same slot.
+  std::vector<std::vector<std::vector<Vector>>> dirs;
+  std::vector<std::size_t> dir_count;  ///< written by the local leader
 };
+
+/// How many vectors the warm-setup phase of `opts.recycle` contributes
+/// to its ONE fused exchange for RHS b: the globalized b̂ (for ‖b̂‖),
+/// Âx̂₀ when a projection needs the warm residual, and one Âp_j per
+/// recycled direction.  0 = this RHS starts cold.
+std::size_t recycle_width(const SolveOptions& opts, std::size_t b,
+                          std::size_t n_global) {
+  if (!opts.recycle.enabled || opts.recycle.in == nullptr ||
+      b >= opts.recycle.in->size())
+    return 0;
+  const RecycleIn& rin = (*opts.recycle.in)[b];
+  if (rin.empty()) return 0;
+  std::size_t k = 0;
+  for (const Vector& p : rin.directions)
+    if (p.size() == n_global) ++k;
+  k = std::min(k, static_cast<std::size_t>(
+                      std::max<index_t>(opts.recycle.max_directions, 0)));
+  const bool has_x0 = rin.x0.size() == n_global;
+  return 1 + k + (k > 0 && has_x0 ? 1 : 0);
+}
 
 void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
                       std::span<const Vector> rhs, const SolveOptions& opts,
@@ -220,7 +249,13 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
   const int leader = comm.local_leader();
   const EddSubdomain& sub = part.subs[static_cast<std::size_t>(s)];
   const std::size_t nb = rhs.size();
-  EddRank r(sub, comm, nb);  // buffers preposted for the fused batch width
+  // Widest fused exchange this solve will issue: the per-iteration batch
+  // (nb), or the recycle warm-setup exchange when sessions are active.
+  std::size_t prewidth = 0;
+  for (std::size_t b = 0; b < nb; ++b)
+    prewidth +=
+        recycle_width(opts, b, static_cast<std::size_t>(part.n_global));
+  EddRank r(sub, comm, std::max(nb, prewidth));
   obs::Tracer* const tr = comm.tracer();
   const std::size_t nl = r.nl();
   const index_t m = opts.restart;
@@ -291,11 +326,141 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
   std::vector<Vector*> pz;         // poly outputs
   Vector red;                      // batched-reduction buffer
   std::vector<std::size_t> cyc, live;
-  ex.reserve(nb);
+  ex.reserve(std::max(nb, prewidth));
   pv.reserve(nb);
   pz.reserve(nb);
   cyc.reserve(nb);
   live.reserve(nb);
+
+  // ---- Solve-session warm setup (opts.recycle): warm-start guesses,
+  // recycled-direction projection, and the ‖b̂‖ convergence reference.
+  // ALL the extra session traffic is ONE fused exchange plus ONE
+  // allreduce for the whole batch; stateless solves (prewidth == 0) skip
+  // this block entirely and stay bit-identical — exchange count for
+  // exchange count (the Table-1 contract) — with the pre-session code.
+  const auto kmax = static_cast<std::size_t>(
+      std::max<index_t>(opts.recycle.max_directions, 0));
+  const bool harvest =
+      opts.recycle.enabled && opts.recycle.harvest && kmax > 0;
+  std::vector<std::size_t> harvested(nb, 0);
+  if (prewidth > 0) {
+    OBS_SPAN(tr, "recycle_setup", obs::Cat::Setup,
+             static_cast<std::uint32_t>(prewidth));
+    const auto ng = static_cast<std::size_t>(part.n_global);
+    std::vector<std::vector<Vector>> pd(nb);  // scaled directions p̂_j
+    std::vector<std::vector<Vector>> cd(nb);  // Â p̂_j, globalized
+    std::vector<Vector> bg(nb), ax0(nb);
+    std::vector<char> has_x0(nb, 0);
+    ex.clear();
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (recycle_width(opts, b, ng) == 0) continue;
+      const RecycleIn& rin = (*opts.recycle.in)[b];
+      // Warm start in the scaled variables: x̂ = D̂⁻¹u is globally
+      // consistent because d̂ is consistent on shared dofs.
+      if (rin.x0.size() == ng) {
+        has_x0[b] = 1;
+        for (std::size_t l = 0; l < nl; ++l)
+          x[b][l] =
+              rin.x0[static_cast<std::size_t>(sub.local_to_global[l])] / d[l];
+        r.counters().flops += nl;
+      }
+      bg[b] = b_loc[b];  // globalized below, for ‖b̂‖ and r̂₀
+      ex.push_back(&bg[b]);
+      std::size_t k = 0;
+      for (const Vector& dir : rin.directions)
+        if (dir.size() == ng) ++k;
+      std::size_t skip = k > kmax ? k - kmax : 0;  // keep the most recent
+      for (const Vector& dir : rin.directions) {
+        if (dir.size() != ng) continue;
+        if (skip > 0) {
+          --skip;
+          continue;
+        }
+        Vector ps(nl);
+        for (std::size_t l = 0; l < nl; ++l)
+          ps[l] =
+              dir[static_cast<std::size_t>(sub.local_to_global[l])] / d[l];
+        r.counters().flops += nl;
+        pd[b].push_back(std::move(ps));
+      }
+      cd[b].assign(pd[b].size(), Vector(nl));
+      for (std::size_t j = 0; j < pd[b].size(); ++j) {
+        r.spmv(a, pd[b][j], cd[b][j]);
+        ex.push_back(&cd[b][j]);
+      }
+      if (!pd[b].empty() && has_x0[b]) {
+        ax0[b].resize(nl);
+        r.spmv(a, x[b], ax0[b]);
+        ex.push_back(&ax0[b]);
+      }
+    }
+    r.exchange_many(ex);  // the session's one fused exchange
+
+    // Partial sums — ‖b̂‖² per warm RHS, then the normal-equation blocks
+    // M = CᵀC and g = Cᵀr̂₀ per projecting RHS — fold into ONE allreduce.
+    red.clear();
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (bg[b].empty()) continue;
+      red.push_back(r.dot_lg_partial(b_loc[b], bg[b]));
+      const std::size_t k = pd[b].size();
+      if (k == 0) continue;
+      Vector r0(nl);
+      for (std::size_t l = 0; l < nl; ++l)
+        r0[l] = bg[b][l] - (has_x0[b] ? ax0[b][l] : 0.0);
+      for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = 0; j < k; ++j)
+          red.push_back(r.dot_gg_partial(cd[b][i], cd[b][j]));
+      for (std::size_t i = 0; i < k; ++i)
+        red.push_back(r.dot_gg_partial(cd[b][i], r0));
+      r.counters().flops += 2 * nl * (k * k + 2 * k);
+    }
+    comm.allreduce_sum(red);
+
+    // Consume the allreduced scalars: every decision below (trivial RHS,
+    // projection coefficients, singular skip) is identical on all ranks.
+    std::size_t off = 0;
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (bg[b].empty()) continue;
+      const real_t bnorm = sqrt_nonneg(red[off++]);
+      const std::size_t k = pd[b].size();
+      if (bnorm == 0.0) {
+        // Trivial RHS: x = 0 is exact — same report as the cold path,
+        // warm start discarded (the cold answer IS the answer).
+        la::fill(x[b], 0.0);
+        beta0[b] = 0.0;
+        relres[b] = 0.0;
+        done[b] = 1;
+        if (s == leader) out.items[b].trivial_rhs = true;
+        off += k * k + k;
+        continue;
+      }
+      beta0[b] = bnorm;
+      if (k == 0) continue;
+      la::DenseMatrix nm(as_index(k), as_index(k));
+      for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = 0; j < k; ++j)
+          nm(as_index(i), as_index(j)) = red[off++];
+      Vector g(k);
+      for (std::size_t i = 0; i < k; ++i) g[i] = red[off++];
+      // Mild Tikhonov floor so near-parallel recycled directions cannot
+      // break the factorization; a singular system skips the projection
+      // (the solve just starts less warm) — identically on every rank.
+      real_t trace = 0.0;
+      for (std::size_t i = 0; i < k; ++i) trace += nm(as_index(i), as_index(i));
+      const real_t eps = 1e-12 * (trace / static_cast<real_t>(k));
+      for (std::size_t i = 0; i < k; ++i) nm(as_index(i), as_index(i)) += eps;
+      bool solved = true;
+      try {
+        la::lu_solve(nm, g);
+      } catch (const Error&) {
+        solved = false;
+      }
+      if (!solved) continue;
+      for (std::size_t j = 0; j < k; ++j) la::axpy(g[j], pd[b][j], x[b]);
+      r.counters().flops += 2 * nl * k;
+      r.counters().vector_updates += k;
+    }
+  }
 
   // Every branch below depends only on allreduced scalars, so all ranks
   // take identical decisions — the fused-message layouts (who is in the
@@ -516,6 +681,20 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
                    z[b][static_cast<std::size_t>(k)], x[b]);
         r.counters().flops += 2 * nl * static_cast<std::size_t>(jcols[b]);
         r.counters().vector_updates += static_cast<std::uint64_t>(jcols[b]);
+        if (harvest) {
+          // Deposit this cycle's physical update Δu = D̂·Z_b y_b into the
+          // harvest ring.  The slot index derives from the deterministic
+          // cycle count, so every rank writes its own piece of the SAME
+          // slot and the ring keeps the most recent kmax cycles.
+          const std::size_t slot = harvested[b] % kmax;
+          Vector du(nl, 0.0);
+          for (index_t k = 0; k < jcols[b]; ++k)
+            la::axpy(y[static_cast<std::size_t>(k)],
+                     z[b][static_cast<std::size_t>(k)], du);
+          for (std::size_t l = 0; l < nl; ++l) du[l] *= d[l];
+          out.dirs[b][slot][static_cast<std::size_t>(s)] = std::move(du);
+          ++harvested[b];
+        }
       }
       if (brk[b]) {
         // Terminal, but NOT convergence: the final true residual below
@@ -557,6 +736,7 @@ void batch_rank_solve(const EddPartition& part, const EddOperatorState& op,
       // (a trivial RHS reports 0, which always meets a positive tol).
       item.converged = item.final_relres <= opts.tol;
       item.iterations = iters[b];
+      if (harvest) out.dir_count[b] = harvested[b];
     }
   }
 }
@@ -672,10 +852,35 @@ BatchSolveResult solve_edd_batch(par::Team& team, const EddPartition& part,
     PFEM_CHECK(f.size() == static_cast<std::size_t>(part.n_global));
   const auto p = static_cast<std::size_t>(part.nparts());
   const std::size_t nb = rhs.size();
+  if (opts.recycle.enabled && opts.recycle.in != nullptr) {
+    // Session inputs are physical global vectors, same shape as the
+    // solutions this solver returns; anything else is a caller bug.
+    const auto& in = *opts.recycle.in;
+    for (std::size_t b = 0; b < std::min(in.size(), nb); ++b) {
+      PFEM_CHECK_MSG(
+          in[b].x0.empty() ||
+              in[b].x0.size() == static_cast<std::size_t>(part.n_global),
+          "solve_edd_batch: recycle x0 length mismatch for RHS " << b);
+      for (const Vector& dir : in[b].directions)
+        PFEM_CHECK_MSG(
+            dir.size() == static_cast<std::size_t>(part.n_global),
+            "solve_edd_batch: recycle direction length mismatch for RHS "
+                << b);
+    }
+  }
+  const auto kmax = static_cast<std::size_t>(
+      std::max<index_t>(opts.recycle.max_directions, 0));
+  const bool harvest =
+      opts.recycle.enabled && opts.recycle.harvest && kmax > 0;
 
   BatchShared out;
   out.sol.assign(nb, std::vector<Vector>(p));
   out.items.assign(nb, BatchItemResult{});
+  if (harvest) {
+    out.dirs.assign(
+        nb, std::vector<std::vector<Vector>>(kmax, std::vector<Vector>(p)));
+    out.dir_count.assign(nb, 0);
+  }
 
   // An external trace (the service's) wins; otherwise honor the per-call
   // observe knob with a trace owned by this result.
@@ -728,6 +933,25 @@ BatchSolveResult solve_edd_batch(par::Team& team, const EddPartition& part,
   result.x.reserve(nb);
   for (std::size_t b = 0; b < nb; ++b)
     result.x.push_back(partition::edd_gather_global(part, out.sol[b]));
+  if (harvest) {
+    // Assemble the harvested ring slots oldest → newest; remote ranks'
+    // pieces zero-fill exactly like the solution gather above.
+    result.recycled.resize(nb);
+    for (std::size_t b = 0; b < nb; ++b) {
+      const std::size_t cnt = out.dir_count[b];
+      const std::size_t h = std::min(cnt, kmax);
+      for (std::size_t i = 0; i < h; ++i) {
+        std::vector<Vector>& pieces = out.dirs[b][(cnt - h + i) % kmax];
+        for (std::size_t q = 0; q < p; ++q) {
+          Vector& piece = pieces[q];
+          const std::size_t want = part.subs[q].local_to_global.size();
+          if (piece.size() != want) piece.assign(want, 0.0);
+        }
+        result.recycled[b].push_back(
+            partition::edd_gather_global(part, pieces));
+      }
+    }
+  }
   result.rank_counters = std::move(counters);
   return result;
 }

@@ -88,6 +88,12 @@ using BatchItemResult = SolveReport;
 struct BatchSolveResult {
   std::vector<Vector> x;  ///< per-RHS global solutions (scaling undone)
   std::vector<BatchItemResult> items;
+  /// Per-RHS harvested recycle directions (physical global format,
+  /// oldest → newest, at most opts.recycle.max_directions each): the
+  /// restart-cycle solution increments Δx of this solve, ready to be fed
+  /// into the next solve's RecycleIn::directions.  Empty unless
+  /// opts.recycle.enabled && opts.recycle.harvest.
+  std::vector<std::vector<Vector>> recycled;
   std::vector<par::PerfCounters> rank_counters;
   double wall_seconds = 0.0;
   /// Per-call trace when opts.observe.trace requested one (and no

@@ -1,5 +1,6 @@
 #include "core/edd_solver.hpp"
 
+#include "core/edd_batch.hpp"
 #include "core/edd_kernels.hpp"
 
 #include <cmath>
@@ -466,7 +467,7 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
 
 }  // namespace
 
-DistSolveResult solve_edd(const EddPartition& part,
+DistSolve solve_edd(const EddPartition& part,
                           std::span<const real_t> f_global,
                           const PolySpec& spec, const SolveOptions& opts,
                           EddVariant variant,
@@ -478,6 +479,36 @@ DistSolveResult solve_edd(const EddPartition& part,
   if (local_matrices != nullptr)
     PFEM_CHECK(local_matrices->size() == part.subs.size());
   const int p = part.nparts();
+
+  // Solve sessions (opts.recycle): the warm-start projection and the
+  // direction harvest live on the fused batch machinery, so a recycling
+  // one-shot solve routes through build_edd_operator + solve_edd_batch
+  // (which runs the Enhanced discipline) on a one-shot team and reshapes
+  // the single-RHS batch result.  Stateless solves — the default — take
+  // the paper-faithful path below, bit-identically to before.
+  if (opts.recycle.enabled) {
+    WallTimer timer;
+    par::Team team(p);
+    if (opts.observe.fault_injector != nullptr)
+      team.set_fault_injector(opts.observe.fault_injector);
+    if (opts.observe.comm_timeout_seconds > 0.0)
+      team.set_comm_timeout(opts.observe.comm_timeout_seconds);
+    EddOperatorState op = build_edd_operator(
+        team, part, spec, local_matrices, nullptr, opts.kernels,
+        opts.deflation);
+    const std::vector<Vector> rhs{Vector(f_global.begin(), f_global.end())};
+    BatchSolveResult batch = solve_edd_batch(team, part, op, rhs, opts);
+    DistSolve result;
+    static_cast<SolveReport&>(result) = std::move(batch.items.front());
+    if (!batch.comm_failed()) result.x = std::move(batch.x.front());
+    if (!batch.recycled.empty())
+      result.recycled = std::move(batch.recycled.front());
+    result.rank_counters = std::move(batch.rank_counters);
+    result.setup_counters = std::move(op.setup_counters);
+    result.trace = std::move(batch.trace);
+    result.wall_seconds = timer.seconds();
+    return result;
+  }
 
   SharedOut out;
   out.solutions.resize(static_cast<std::size_t>(p));
@@ -510,7 +541,7 @@ DistSolveResult solve_edd(const EddPartition& part,
   }
 
   if (!comm_error.empty()) {
-    DistSolveResult result;
+    DistSolve result;
     result.wall_seconds = timer.seconds();
     result.converged = false;
     result.comm_error = std::move(comm_error);
@@ -524,7 +555,7 @@ DistSolveResult solve_edd(const EddPartition& part,
     return result;
   }
 
-  DistSolveResult result;
+  DistSolve result;
   result.wall_seconds = timer.seconds();
   result.x = partition::edd_gather_global(part, out.solutions);
   result.converged = out.converged;

@@ -51,9 +51,9 @@ struct PolySpec {
 ///     semi-iteration has no multi-interval form).
 void validate_poly_spec(const PolySpec& spec);
 
-// The distributed result shape now lives in core/solve_report.hpp as
-// `DistSolve` (alias `DistSolveResult`): the unified SolveReport plus
-// the solution, per-rank counters and optional span trace.
+// The distributed result shape lives in core/solve_report.hpp as
+// `DistSolve`: the unified SolveReport plus the solution, per-rank
+// counters and optional span trace.
 
 /// Solve K u = f on an EDD partition (K = the partition's k_loc
 /// sub-assemblies).  Applies distributed norm-1 scaling, builds the
@@ -61,7 +61,7 @@ void validate_poly_spec(const PolySpec& spec);
 ///
 /// @param local_matrices optional override of part.subs[s].k_loc (same
 ///        dof layout), e.g. the dynamic effective stiffness K + a0*M.
-[[nodiscard]] DistSolveResult solve_edd(
+[[nodiscard]] DistSolve solve_edd(
     const partition::EddPartition& part, std::span<const real_t> f_global,
     const PolySpec& poly, const SolveOptions& opts = {},
     EddVariant variant = EddVariant::Enhanced,

@@ -551,7 +551,7 @@ void rdd_rank_solve(const RddPartition& part,
 
 }  // namespace
 
-DistSolveResult solve_rdd(const RddPartition& part,
+DistSolve solve_rdd(const RddPartition& part,
                           std::span<const real_t> f_global,
                           const RddOptions& rdd_opts,
                           const SolveOptions& opts) {
@@ -587,7 +587,7 @@ DistSolveResult solve_rdd(const RddPartition& part,
   }
 
   if (!comm_error.empty()) {
-    DistSolveResult result;
+    DistSolve result;
     result.wall_seconds = timer.seconds();
     result.trace = std::move(trace);
     result.converged = false;
@@ -601,7 +601,7 @@ DistSolveResult solve_rdd(const RddPartition& part,
     return result;
   }
 
-  DistSolveResult result;
+  DistSolve result;
   result.wall_seconds = timer.seconds();
   result.trace = std::move(trace);
   result.x = partition::rdd_gather(part, out.solutions);

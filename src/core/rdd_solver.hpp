@@ -30,7 +30,7 @@ struct RddOptions {
 };
 
 /// Solve A u = f on an RDD (block-row) partition.
-[[nodiscard]] DistSolveResult solve_rdd(const partition::RddPartition& part,
+[[nodiscard]] DistSolve solve_rdd(const partition::RddPartition& part,
                                         std::span<const real_t> f_global,
                                         const RddOptions& rdd_opts = {},
                                         const SolveOptions& opts = {});

@@ -1,7 +1,7 @@
 // The unified solver report (api_redesign of ISSUE 3).
 //
 // Before this header, the repo had four divergent result shapes:
-// sequential `SolveResult`, distributed `DistSolveResult`, the batch
+// sequential `SolveReport`, distributed `DistSolve`, the batch
 // path's per-RHS `BatchItemResult`, and whatever svc::Completed carried.
 // Every consumer (benches, the convergence tables, the service) had to
 // know which one it was holding.  Now there is one `SolveReport` with
@@ -68,15 +68,14 @@ struct DistSolve : SolveReport {
   /// from counters alone.
   std::vector<par::PerfCounters> setup_counters;
   double wall_seconds = 0.0;
+  /// Harvested recycle directions (physical global format, oldest →
+  /// newest) when opts.recycle.enabled && opts.recycle.harvest: the
+  /// restart-cycle solution increments, ready to feed the next solve's
+  /// RecycleIn::directions.  Empty otherwise.
+  std::vector<Vector> recycled;
   /// Span trace of the run when ObserveOptions::trace was set (one lane
   /// per rank); null otherwise.  Shared so reports stay copyable.
   std::shared_ptr<const obs::Trace> trace;
 };
-
-// Pre-redesign names, kept so the 100+ existing call sites (and any
-// out-of-tree users) keep compiling; new code should say SolveReport /
-// DistSolve.
-using SolveResult = SolveReport;
-using DistSolveResult = DistSolve;
 
 }  // namespace pfem::core

@@ -83,7 +83,7 @@ inline obs::ObserveOptions observe_from_flags(int argc, char** argv) {
 }
 
 /// When --counters-json=FILE was passed, dump per-rank PerfCounters
-/// (typically DistSolveResult::rank_counters / ::setup_counters) to FILE.
+/// (typically DistSolve::rank_counters / ::setup_counters) to FILE.
 /// Returns false only when the dump was requested and failed, so callers
 /// can surface it in the exit code.
 inline bool dump_counters_if_requested(

@@ -102,7 +102,7 @@ std::vector<SpeedupRow> edd_speedup_study(const fem::CantileverProblem& prob,
   double t1 = 0.0;
   for (int p : procs) {
     const partition::EddPartition part = make_edd(prob, p, method);
-    const core::DistSolveResult res =
+    const core::DistSolve res =
         core::solve_edd(part, prob.load, poly, opts, variant);
     const double t =
         par::model_time(machine, res.rank_counters).total();
@@ -131,7 +131,7 @@ std::vector<SpeedupRow> rdd_speedup_study(const fem::CantileverProblem& prob,
   rdd_opts.poly = poly;
   for (int p : procs) {
     const partition::RddPartition part = make_rdd(prob, p, method);
-    const core::DistSolveResult res =
+    const core::DistSolve res =
         core::solve_rdd(part, prob.load, rdd_opts, opts);
     const double t =
         par::model_time(machine, res.rank_counters).total();

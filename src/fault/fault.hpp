@@ -25,9 +25,11 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/status.hpp"
 
 namespace pfem::fault {
 
@@ -107,6 +109,18 @@ struct FaultSpec {
 /// splitmix64 — the deterministic stream everything here derives from.
 [[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
 
+/// FNV-1a over a byte string — the platform-stable companion to mix64
+/// for keying schedules off request *content* (std::hash makes no
+/// cross-platform promise).  Same string, same value, everywhere.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 /// A seeded, immutable schedule of faults (sorted by site, sites
 /// unique).  Same (seed, spec) always yields the same plan, on any
 /// platform.
@@ -177,16 +191,15 @@ class FaultInjector {
   std::vector<std::vector<FaultEvent>> logs_;   ///< one single-writer log/rank
 };
 
-/// Why a channel operation failed.
-enum class CommErrorKind : std::uint8_t {
-  Timeout,  ///< a blocking channel/collective wait exceeded the deadline
-  Crash,    ///< an injected rank crash (chaos testing)
-  /// The receiver observed a gap in the channel's wire sequence numbers:
-  /// a message was dropped on the wire.  Detecting the gap (instead of
-  /// silently consuming the next message in its place) is what keeps a
-  /// drop from corrupting the solve — the stream can never shift.
-  Lost,
-};
+/// Why a channel operation failed.  Defined in common/status.hpp (one
+/// home for cross-layer status enums, with stable values); re-exported
+/// here so fault call sites keep the subsystem-local spelling.
+using CommErrorKind = status::CommErrorKind;
+
+[[nodiscard]] constexpr const char* comm_error_kind_name(
+    CommErrorKind k) noexcept {
+  return status::name(k);
+}
 
 /// Typed failure of a channel or collective operation — what a dead or
 /// silent peer surfaces as once timeouts are armed, instead of a hang.

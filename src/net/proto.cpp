@@ -59,19 +59,6 @@ void put_vector(ByteBuffer& out, const Vector& v) {
 
 }  // namespace
 
-const char* decode_status_name(DecodeStatus s) noexcept {
-  switch (s) {
-    case DecodeStatus::Ok: return "ok";
-    case DecodeStatus::Truncated: return "truncated";
-    case DecodeStatus::BadMagic: return "bad_magic";
-    case DecodeStatus::BadVersion: return "bad_version";
-    case DecodeStatus::BadType: return "bad_type";
-    case DecodeStatus::Oversized: return "oversized";
-    case DecodeStatus::BadBody: return "bad_body";
-  }
-  return "?";
-}
-
 void encode_hello(ByteBuffer& out, const HelloMsg& m) {
   const std::size_t start = out.size();
   begin_frame(out, MsgType::Hello);
@@ -92,6 +79,7 @@ void encode_solve_request(ByteBuffer& out, const SolveRequestMsg& m) {
   begin_frame(out, MsgType::SolveRequest);
   put_u64(out, m.req_id);  // fixed offset kProtoHeaderBytes: router rewrite
   put_string(out, m.operator_key);
+  put_u64(out, m.session_id);  // right after the key: router session peek
   put_u32(out, m.priority);
   put_u64(out, m.deadline_ns);
   put_u64(out, m.seed);
@@ -125,6 +113,32 @@ void encode_solve_response(ByteBuffer& out, const SolveResponseMsg& m) {
   end_frame(out, start);
 }
 
+void encode_session_open(ByteBuffer& out, const SessionOpenMsg& m) {
+  const std::size_t start = out.size();
+  begin_frame(out, MsgType::SessionOpen);
+  put_u64(out, m.req_id);  // fixed offset kProtoHeaderBytes: router rewrite
+  put_string(out, m.operator_key);
+  end_frame(out, start);
+}
+
+void encode_session_close(ByteBuffer& out, const SessionCloseMsg& m) {
+  const std::size_t start = out.size();
+  begin_frame(out, MsgType::SessionClose);
+  put_u64(out, m.req_id);  // fixed offset kProtoHeaderBytes: router rewrite
+  put_string(out, m.operator_key);
+  put_u64(out, m.session_id);
+  end_frame(out, start);
+}
+
+void encode_session_ack(ByteBuffer& out, const SessionAckMsg& m) {
+  const std::size_t start = out.size();
+  begin_frame(out, MsgType::SessionAck);
+  put_u64(out, m.req_id);  // fixed offset kProtoHeaderBytes: router rewrite
+  put_u64(out, m.session_id);
+  put_string(out, m.detail);
+  end_frame(out, start);
+}
+
 DecodeStatus decode_header(std::span<const unsigned char> hdr,
                            ProtoHeader& out) {
   if (hdr.size() < kProtoHeaderBytes) return DecodeStatus::Truncated;
@@ -138,7 +152,7 @@ DecodeStatus decode_header(std::span<const unsigned char> hdr,
   if (magic != kProtoMagic) return DecodeStatus::BadMagic;
   if (version != kProtoVersion) return DecodeStatus::BadVersion;
   if (out.type < static_cast<std::uint16_t>(MsgType::Hello) ||
-      out.type > static_cast<std::uint16_t>(MsgType::SolveResponse))
+      out.type > static_cast<std::uint16_t>(MsgType::SessionClose))
     return DecodeStatus::BadType;
   if (out.body_len > kMaxBodyBytes) return DecodeStatus::Oversized;
   return DecodeStatus::Ok;
@@ -171,8 +185,9 @@ DecodeStatus decode_solve_request(std::span<const unsigned char> body,
       s != DecodeStatus::Ok)
     return s;
   std::uint32_t want, nrhs;
-  if (!r.get_u32(out.priority) || !r.get_u64(out.deadline_ns) ||
-      !r.get_u64(out.seed) || !r.get_u32(want) || !r.get_i32(out.restart) ||
+  if (!r.get_u64(out.session_id) || !r.get_u32(out.priority) ||
+      !r.get_u64(out.deadline_ns) || !r.get_u64(out.seed) ||
+      !r.get_u32(want) || !r.get_i32(out.restart) ||
       !r.get_i32(out.max_iters) || !r.get_f64(out.tol) || !r.get_u32(nrhs))
     return DecodeStatus::BadBody;
   if (nrhs > kMaxVectors) return DecodeStatus::Oversized;
@@ -219,6 +234,38 @@ DecodeStatus decode_solve_response(std::span<const unsigned char> body,
   for (Vector& v : out.solution)
     if (const DecodeStatus s = get_vector(r, v); s != DecodeStatus::Ok)
       return s;
+  return finish(r);
+}
+
+DecodeStatus decode_session_open(std::span<const unsigned char> body,
+                                 SessionOpenMsg& out) {
+  ByteReader r(body);
+  if (!r.get_u64(out.req_id)) return DecodeStatus::BadBody;
+  if (const DecodeStatus s = get_short_string(r, out.operator_key);
+      s != DecodeStatus::Ok)
+    return s;
+  return finish(r);
+}
+
+DecodeStatus decode_session_close(std::span<const unsigned char> body,
+                                  SessionCloseMsg& out) {
+  ByteReader r(body);
+  if (!r.get_u64(out.req_id)) return DecodeStatus::BadBody;
+  if (const DecodeStatus s = get_short_string(r, out.operator_key);
+      s != DecodeStatus::Ok)
+    return s;
+  if (!r.get_u64(out.session_id)) return DecodeStatus::BadBody;
+  return finish(r);
+}
+
+DecodeStatus decode_session_ack(std::span<const unsigned char> body,
+                                SessionAckMsg& out) {
+  ByteReader r(body);
+  if (!r.get_u64(out.req_id) || !r.get_u64(out.session_id))
+    return DecodeStatus::BadBody;
+  if (const DecodeStatus s = get_short_string(r, out.detail);
+      s != DecodeStatus::Ok)
+    return s;
   return finish(r);
 }
 

@@ -13,13 +13,24 @@
 // exception) so servers can close the connection with a reason and the
 // fuzz suite can assert on outcomes.
 //
-// Session: client sends Hello, server answers HelloAck (advertising its
-// shard name and team size); then any number of SolveRequest frames,
+// Connection: client sends Hello, server answers HelloAck (advertising
+// its shard name and team size); then any number of SolveRequest frames,
 // each answered by exactly one SolveResponse carrying the same req_id.
 // Responses may arrive out of order relative to other requests.  The
-// req_id is the FIRST field of both bodies — at a fixed byte offset
-// (kProtoHeaderBytes) — so the router can rewrite it in place when
-// multiplexing many client connections onto one shard connection.
+// req_id is the FIRST field of every request/response body — at a fixed
+// byte offset (kProtoHeaderBytes) — so the router can rewrite it in
+// place when multiplexing many client connections onto one shard
+// connection.
+//
+// Solve sessions: SessionOpen(operator_key) is answered by a SessionAck
+// whose session_id is the server-assigned handle (0 = refused, see
+// detail); SessionClose(operator_key, session_id) is answered by a
+// SessionAck echoing the id (0 = unknown).  A SolveRequest carries the
+// handle in session_id (0 = no session).  Every request body — solve,
+// open, close — starts with (req_id, operator_key), so an affinity
+// router can route ALL session traffic by the key with one peek; a
+// session therefore lives on the key's affine shard, and session ids
+// never need to cross shards.
 //
 // Deadlines travel as RELATIVE nanoseconds (0 = none): wall clocks of
 // client and server need not agree; the server re-anchors the budget on
@@ -30,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "net/bytes.hpp"
 
 namespace pfem::net::proto {
@@ -47,19 +59,31 @@ enum class MsgType : std::uint16_t {
   HelloAck = 2,
   SolveRequest = 3,
   SolveResponse = 4,
+  SessionOpen = 5,
+  SessionAck = 6,  ///< answers both SessionOpen and SessionClose
+  SessionClose = 7,
 };
 
-enum class DecodeStatus {
-  Ok,
-  Truncated,   ///< fewer bytes than the header/body claims
-  BadMagic,
-  BadVersion,
-  BadType,
-  Oversized,   ///< body_len exceeds kMaxBodyBytes (or a count field lies)
-  BadBody,     ///< structurally invalid body for the declared type
-};
+/// Defined in common/status.hpp (one home for cross-layer status
+/// enums); re-exported here so protocol call sites keep the
+/// subsystem-local spelling.  Wire-stable value contract (append-only,
+/// never renumber — peers compare numerics, artifacts compare names):
+///
+///   DecodeStatus   0 ok, 1 truncated, 2 bad_magic, 3 bad_version,
+///                  4 bad_type, 5 oversized, 6 bad_body
+///   RejectReason   0 queue_full, 1 deadline_exceeded,
+///                  2 unknown_operator, 3 bad_request, 4 shutting_down,
+///                  5 unknown_session  (SolveResponseMsg::reject_reason)
+///   CommErrorKind  0 timeout, 1 crash, 2 lost
+///   MsgType        1 hello, 2 hello_ack, 3 solve_request,
+///                  4 solve_response, 5 session_open, 6 session_ack,
+///                  7 session_close
+using DecodeStatus = status::DecodeStatus;
 
-[[nodiscard]] const char* decode_status_name(DecodeStatus s) noexcept;
+[[nodiscard]] constexpr const char* decode_status_name(
+    DecodeStatus s) noexcept {
+  return status::name(s);
+}
 
 struct ProtoHeader {
   std::uint16_t type = 0;
@@ -86,6 +110,11 @@ enum class SolveStatus : std::uint32_t {
 struct SolveRequestMsg {
   std::uint64_t req_id = 0;  ///< MUST stay the first field (router rewrite)
   std::string operator_key;
+  /// Solve-session handle from a SessionAck; 0 = session-less.  Encoded
+  /// directly after operator_key so a router can peek (req_id, key,
+  /// session) with one pass and pin session requests to the key's
+  /// affine shard.
+  std::uint64_t session_id = 0;
   std::uint32_t priority = 0;      ///< svc::Priority
   std::uint64_t deadline_ns = 0;   ///< relative budget; 0 = no deadline
   std::uint64_t seed = 0;
@@ -94,6 +123,31 @@ struct SolveRequestMsg {
   std::int32_t max_iters = 10000;
   double tol = 1e-6;
   std::vector<Vector> rhs;
+};
+
+/// Open a solve session pinned to `operator_key`; answered by a
+/// SessionAck (session_id != 0 on success).
+struct SessionOpenMsg {
+  std::uint64_t req_id = 0;  ///< MUST stay the first field (router rewrite)
+  std::string operator_key;
+};
+
+/// Close a session.  Carries the operator key ONLY for router affinity
+/// (same body prefix as SolveRequest, so the close reaches the shard
+/// that owns the session); the server validates by id alone.
+struct SessionCloseMsg {
+  std::uint64_t req_id = 0;  ///< MUST stay the first field (router rewrite)
+  std::string operator_key;
+  std::uint64_t session_id = 0;
+};
+
+/// Answer to SessionOpen (session_id = new handle, 0 = refused — e.g.
+/// unknown operator) and to SessionClose (session_id echoed, 0 =
+/// unknown session).  `detail` explains a refusal.
+struct SessionAckMsg {
+  std::uint64_t req_id = 0;  ///< MUST stay the first field (router rewrite)
+  std::uint64_t session_id = 0;
+  std::string detail;
 };
 
 struct SolveItemMsg {
@@ -121,6 +175,9 @@ void encode_hello(ByteBuffer& out, const HelloMsg& m);
 void encode_hello_ack(ByteBuffer& out, const HelloAckMsg& m);
 void encode_solve_request(ByteBuffer& out, const SolveRequestMsg& m);
 void encode_solve_response(ByteBuffer& out, const SolveResponseMsg& m);
+void encode_session_open(ByteBuffer& out, const SessionOpenMsg& m);
+void encode_session_close(ByteBuffer& out, const SessionCloseMsg& m);
+void encode_session_ack(ByteBuffer& out, const SessionAckMsg& m);
 
 // --- decode ---
 /// Validates magic/version/type/body_len of a 16-byte header.
@@ -134,5 +191,11 @@ void encode_solve_response(ByteBuffer& out, const SolveResponseMsg& m);
     std::span<const unsigned char> body, SolveRequestMsg& out);
 [[nodiscard]] DecodeStatus decode_solve_response(
     std::span<const unsigned char> body, SolveResponseMsg& out);
+[[nodiscard]] DecodeStatus decode_session_open(
+    std::span<const unsigned char> body, SessionOpenMsg& out);
+[[nodiscard]] DecodeStatus decode_session_close(
+    std::span<const unsigned char> body, SessionCloseMsg& out);
+[[nodiscard]] DecodeStatus decode_session_ack(
+    std::span<const unsigned char> body, SessionAckMsg& out);
 
 }  // namespace pfem::net::proto

@@ -10,6 +10,7 @@
 // never pulls memory out from under an in-flight solve.
 #pragma once
 
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -125,6 +126,18 @@ class OperatorCache {
     return {built, false};
   }
 
+  /// Observer of LRU evictions: called with the evicted key whenever
+  /// capacity pressure drops a built state (NOT on register/update/
+  /// invalidate — a recipe change keeps dependent warm state useful,
+  /// eviction means the memory is gone).  Invoked while holding the
+  /// cache mutex, so the callback must not call back into the cache;
+  /// the service points this at SessionTable::evict_for_operator (lock
+  /// order is always cache -> session table).
+  void set_evict_callback(std::function<void(const std::string&)> cb) {
+    std::scoped_lock lock(m_);
+    on_evict_ = std::move(cb);
+  }
+
   /// Drop the built state (recipe stays registered).
   void invalidate(const std::string& key) {
     std::scoped_lock lock(m_);
@@ -163,9 +176,11 @@ class OperatorCache {
       }
   }
   void evict_lru() {
-    auto it = entries_.find(lru_.back());
+    const std::string key = lru_.back();
+    auto it = entries_.find(key);
     if (it != entries_.end()) it->second.state = nullptr;
     lru_.pop_back();
+    if (on_evict_) on_evict_(key);
   }
 
   std::size_t capacity_;
@@ -174,6 +189,7 @@ class OperatorCache {
   mutable std::mutex m_;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  ///< keys with built state, most recent first
+  std::function<void(const std::string&)> on_evict_;
 };
 
 }  // namespace pfem::svc

@@ -93,6 +93,7 @@ SolveRequest to_solve_request(proto::SolveRequestMsg&& m) {
   req.opts.tol = m.tol;
   req.priority = m.priority != 0 ? Priority::High : Priority::Normal;
   req.seed = m.seed;
+  req.session = m.session_id;
   // Relative budget re-anchored on this process's steady clock: wall
   // clocks of client and server need not agree.
   if (m.deadline_ns != 0)
@@ -215,6 +216,41 @@ void Server::conn_reader(const std::shared_ptr<Conn>& c) {
       greeted = true;
       net::ByteBuffer out;
       proto::encode_hello_ack(out, {name_, svc_.nranks()});
+      if (!write_buf(c->fd, c->write_m, out)) break;
+      continue;
+    }
+    if (type == proto::MsgType::SessionOpen) {
+      // Session control frames are handled inline on the reader thread
+      // (no solve work, no future): the ack is written directly, and
+      // write_m keeps it serialized against the harvester's responses.
+      proto::SessionOpenMsg m;
+      if (proto::decode_session_open(body, m) != proto::DecodeStatus::Ok) {
+        malformed = true;
+        break;
+      }
+      proto::SessionAckMsg ack;
+      ack.req_id = m.req_id;
+      ack.session_id = svc_.open_session(m.operator_key);
+      if (ack.session_id == kNoSession)
+        ack.detail = "operator '" + m.operator_key + "' is not registered";
+      clip_detail(ack.detail);
+      net::ByteBuffer out;
+      proto::encode_session_ack(out, ack);
+      if (!write_buf(c->fd, c->write_m, out)) break;
+      continue;
+    }
+    if (type == proto::MsgType::SessionClose) {
+      proto::SessionCloseMsg m;
+      if (proto::decode_session_close(body, m) != proto::DecodeStatus::Ok) {
+        malformed = true;
+        break;
+      }
+      proto::SessionAckMsg ack;
+      ack.req_id = m.req_id;
+      ack.session_id = svc_.close_session(m.session_id) ? m.session_id : 0;
+      if (ack.session_id == 0) ack.detail = "unknown session";
+      net::ByteBuffer out;
+      proto::encode_session_ack(out, ack);
       if (!write_buf(c->fd, c->write_m, out)) break;
       continue;
     }
@@ -362,6 +398,49 @@ bool Client::solve(proto::SolveRequestMsg& req,
   return resp.req_id == req.req_id;
 }
 
+std::uint64_t Client::open_session(const std::string& operator_key) {
+  if (fd_ < 0) return 0;
+  proto::SessionOpenMsg req{next_id_++, operator_key};
+  net::ByteBuffer out;
+  proto::encode_session_open(out, req);
+  proto::SessionAckMsg ack;
+  try {
+    if (!net::write_full(fd_, out.data(), out.size())) return 0;
+    proto::ProtoHeader h;
+    std::vector<unsigned char> body;
+    proto::DecodeStatus st;
+    if (!read_frame(fd_, h, body, st) ||
+        static_cast<proto::MsgType>(h.type) != proto::MsgType::SessionAck ||
+        proto::decode_session_ack(body, ack) != proto::DecodeStatus::Ok)
+      return 0;
+  } catch (const std::exception&) {
+    return 0;
+  }
+  return ack.req_id == req.req_id ? ack.session_id : 0;
+}
+
+bool Client::close_session(const std::string& operator_key,
+                           std::uint64_t session_id) {
+  if (fd_ < 0 || session_id == 0) return false;
+  proto::SessionCloseMsg req{next_id_++, operator_key, session_id};
+  net::ByteBuffer out;
+  proto::encode_session_close(out, req);
+  proto::SessionAckMsg ack;
+  try {
+    if (!net::write_full(fd_, out.data(), out.size())) return false;
+    proto::ProtoHeader h;
+    std::vector<unsigned char> body;
+    proto::DecodeStatus st;
+    if (!read_frame(fd_, h, body, st) ||
+        static_cast<proto::MsgType>(h.type) != proto::MsgType::SessionAck ||
+        proto::decode_session_ack(body, ack) != proto::DecodeStatus::Ok)
+      return false;
+  } catch (const std::exception&) {
+    return false;
+  }
+  return ack.req_id == req.req_id && ack.session_id == session_id;
+}
+
 // ---- Router ---------------------------------------------------------------
 
 struct Router::Shard {
@@ -479,9 +558,14 @@ void Router::client_reader(const std::shared_ptr<ClientConn>& c) {
       if (!write_buf(c->fd, c->write_m, out)) break;
       continue;
     }
-    if (type != proto::MsgType::SolveRequest) break;
-    // Peek only req_id + operator_key; the rest of the body is opaque
-    // and forwarded raw.
+    const bool is_solve = type == proto::MsgType::SolveRequest;
+    const bool is_session_frame = type == proto::MsgType::SessionOpen ||
+                                  type == proto::MsgType::SessionClose;
+    if (!is_solve && !is_session_frame) break;
+    // Peek only req_id + operator_key (+ the session id a SolveRequest
+    // encodes right after the key); the rest of the body is opaque and
+    // forwarded raw.  Every session-capable request type shares this
+    // prefix by design.
     net::ByteReader r({body.data(), body.size()});
     std::uint64_t client_id = 0;
     std::uint32_t keylen = 0;
@@ -489,21 +573,36 @@ void Router::client_reader(const std::shared_ptr<ClientConn>& c) {
     if (!r.get_u64(client_id) || !r.get_u32(keylen) ||
         keylen > (1u << 16) || !r.get_string(key, keylen))
       break;
+    std::uint64_t session_id = 0;
+    if (is_solve && !r.get_u64(session_id)) break;
+    // Session traffic is PINNED: the session's warm state lives in the
+    // affine shard's SessionTable, so open/close and session solves go
+    // there unconditionally — never spilled, never shed at the router
+    // (the shard's own admission control is the backstop).
+    const bool pinned = is_session_frame || session_id != 0;
     std::size_t shard = kNoShard;
     std::uint64_t rid = 0;
     {
       std::lock_guard<std::mutex> lk(m_);
       bool spilled = false;
-      shard = pick_shard(key, spilled);
+      if (pinned)
+        shard = std::hash<std::string>{}(key) % shards_.size();
+      else
+        shard = pick_shard(key, spilled);
       if (shard != kNoShard) {
         rid = next_id_++;
-        ++shards_[shard]->inflight;
-        pending_.emplace(rid, Pending{c, client_id, shard});
-        ++stats_.forwarded;
-        if (spilled)
-          ++stats_.spilled;
-        else
-          ++stats_.affinity;
+        if (is_solve) ++shards_[shard]->inflight;
+        pending_.emplace(rid, Pending{c, client_id, shard, is_solve});
+        if (is_solve) {
+          ++stats_.forwarded;
+          if (spilled)
+            ++stats_.spilled;
+          else
+            ++stats_.affinity;
+          if (session_id != 0) ++stats_.session_pinned;
+        } else {
+          ++stats_.session_frames;
+        }
       } else {
         ++stats_.rejected_backpressure;
       }
@@ -528,16 +627,23 @@ void Router::client_reader(const std::shared_ptr<ClientConn>& c) {
       // Shard connection died: undo and answer with a typed failure.
       {
         std::lock_guard<std::mutex> lk(m_);
-        --shards_[shard]->inflight;
+        if (is_solve) --shards_[shard]->inflight;
         pending_.erase(rid);
       }
-      proto::SolveResponseMsg resp;
-      resp.req_id = client_id;
-      resp.status = proto::SolveStatus::Failed;
-      resp.comm = true;
-      resp.detail = "router: shard connection lost";
       out.clear();
-      proto::encode_solve_response(out, resp);
+      if (is_solve) {
+        proto::SolveResponseMsg resp;
+        resp.req_id = client_id;
+        resp.status = proto::SolveStatus::Failed;
+        resp.comm = true;
+        resp.detail = "router: shard connection lost";
+        proto::encode_solve_response(out, resp);
+      } else {
+        proto::SessionAckMsg ack;
+        ack.req_id = client_id;
+        ack.detail = "router: shard connection lost";
+        proto::encode_session_ack(out, ack);
+      }
       if (!write_buf(c->fd, c->write_m, out)) break;
     }
   }
@@ -553,7 +659,9 @@ void Router::shard_reader(std::size_t shard_idx) {
     std::vector<unsigned char> body;
     proto::DecodeStatus st;
     if (!read_frame(sh.fd, h, body, st)) break;
-    if (static_cast<proto::MsgType>(h.type) != proto::MsgType::SolveResponse ||
+    const auto type = static_cast<proto::MsgType>(h.type);
+    if ((type != proto::MsgType::SolveResponse &&
+         type != proto::MsgType::SessionAck) ||
         body.size() < 8)
       break;
     const std::uint64_t rid = load_u64_le(body.data());
@@ -565,7 +673,7 @@ void Router::shard_reader(std::size_t shard_idx) {
       if (it != pending_.end()) {
         p = std::move(it->second);
         pending_.erase(it);
-        --sh.inflight;
+        if (p.counted) --sh.inflight;
         ++stats_.responses;
         found = true;
       }

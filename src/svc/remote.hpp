@@ -24,6 +24,12 @@
 //            least-loaded shard; when every shard is saturated the
 //            router sheds load itself with a typed Rejected{QueueFull}
 //            response, mirroring the service's own admission control.
+//            Session traffic (SessionOpen/SessionClose, and any
+//            SolveRequest carrying a session id) is PINNED to the
+//            affine shard and never spills or sheds at the router: the
+//            session's warm state lives in exactly one shard's
+//            SessionTable, so sending its requests anywhere else would
+//            silently run them cold.
 #pragma once
 
 #include <atomic>
@@ -122,6 +128,16 @@ class Client {
   [[nodiscard]] bool solve(net::proto::SolveRequestMsg& req,
                            net::proto::SolveResponseMsg& resp);
 
+  /// Open a solve session pinned to `operator_key` (blocking).  Returns
+  /// the server-assigned handle for SolveRequestMsg::session_id, or 0
+  /// when refused (unknown operator) or on a connection error.
+  [[nodiscard]] std::uint64_t open_session(const std::string& operator_key);
+
+  /// Close a session (blocking).  The operator key rides along only for
+  /// router affinity.  False on unknown session or connection error.
+  bool close_session(const std::string& operator_key,
+                     std::uint64_t session_id);
+
  private:
   int fd_ = -1;
   std::string server_name_;
@@ -144,11 +160,19 @@ struct RouterConfig {
 class Router {
  public:
   struct Stats {
-    std::uint64_t forwarded = 0;  ///< requests sent to some shard
+    std::uint64_t forwarded = 0;  ///< solve requests sent to some shard
     std::uint64_t affinity = 0;   ///< ... to the hash-affine shard
     std::uint64_t spilled = 0;    ///< ... to another (affine saturated)
     std::uint64_t rejected_backpressure = 0;  ///< shed at the router
     std::uint64_t responses = 0;
+    /// SessionOpen/SessionClose frames forwarded (always to the key's
+    /// affine shard — that is where the session lives).
+    std::uint64_t session_frames = 0;
+    /// Solve requests carrying a session id: pinned to the affine shard,
+    /// bypassing the spill/shed path (the shard's own admission control
+    /// is the backstop) so warm per-session state is never stranded on
+    /// the wrong shard.
+    std::uint64_t session_pinned = 0;
   };
 
   /// Connects to every shard (handshaking as a client) and starts
@@ -189,6 +213,9 @@ class Router {
     std::shared_ptr<ClientConn> conn;
     std::uint64_t client_req_id = 0;
     std::size_t shard = 0;
+    /// True for solve requests (they hold an inflight slot on the
+    /// shard); session open/close frames don't count toward load.
+    bool counted = true;
   };
 
   mutable std::mutex m_;

@@ -22,6 +22,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "core/edd_batch.hpp"
 #include "core/fgmres.hpp"
@@ -32,6 +33,12 @@ using Clock = std::chrono::steady_clock;
 
 enum class Priority { Normal = 0, High = 1 };
 
+/// Handle of a solve session (see svc/session.hpp).  Sessions are
+/// service-assigned, dense from 1; 0 is the reserved "no session" value
+/// (also the wire encoding of a session-less SolveRequest).
+using SessionId = std::uint64_t;
+inline constexpr SessionId kNoSession = 0;
+
 struct SolveRequest {
   std::string operator_key;  ///< must be registered with the service
   std::vector<Vector> rhs;   ///< one or more full global RHS vectors
@@ -39,7 +46,10 @@ struct SolveRequest {
   /// batch; opts.observe is per-request and never blocks coalescing —
   /// observe.progress fires per iteration with *this request's* RHS
   /// index, and observe.trace requests a per-call trace only when the
-  /// service has no service-lifetime trace of its own.
+  /// service has no service-lifetime trace of its own.  opts.recycle is
+  /// service-owned on this path (like deflation, which is operator
+  /// state): the service overwrites it from the request's session —
+  /// open_session/close_session is the recycling API.
   core::SolveOptions opts;
   Priority priority = Priority::Normal;
   /// Absolute deadline.  Checked at admission AND at dispatch, and
@@ -48,19 +58,31 @@ struct SolveRequest {
   std::optional<Clock::time_point> deadline;
   /// Deterministic-jitter source for this request's retry backoff: the
   /// same seed always replays the same backoff schedule.  0 (default)
-  /// falls back to the service-assigned job id.
+  /// derives the seed from *request content* — mix64 over the operator
+  /// key hash, the session id and the per-key dispatch sequence — so a
+  /// replayed stream (e.g. `pfem_loadgen --replay`) sees identical
+  /// backoff schedules run-to-run.  (It used to fall back to the
+  /// service-assigned job id, which differs across replays.)
   std::uint64_t seed = 0;
+  /// Session handle from Service::open_session, or kNoSession.  A
+  /// session request warm-starts from the session's previous solution,
+  /// projects its recycled directions, and deposits this solve's state
+  /// back on completion.  The session must be pinned to the SAME
+  /// operator_key (else Rejected{BadRequest}); an unknown id is
+  /// Rejected{UnknownSession}.  At most one request per session joins a
+  /// fused batch, so deposits keep a well-defined order.
+  SessionId session = kNoSession;
 };
 
-enum class RejectReason {
-  QueueFull,         ///< bounded queue at capacity (backpressure)
-  DeadlineExceeded,  ///< deadline passed before the solve finished
-  UnknownOperator,   ///< operator_key was never registered
-  BadRequest,        ///< empty RHS batch or wrong vector length
-  ShuttingDown,      ///< service no longer accepting work
-};
+/// Defined in common/status.hpp (one home for cross-layer status enums,
+/// with wire-stable values); re-exported here so service call sites
+/// keep the subsystem-local spelling.
+using RejectReason = status::RejectReason;
 
-[[nodiscard]] const char* reject_reason_name(RejectReason r) noexcept;
+[[nodiscard]] constexpr const char* reject_reason_name(
+    RejectReason r) noexcept {
+  return status::name(r);
+}
 
 struct Rejected {
   RejectReason reason;
@@ -93,17 +115,6 @@ using Outcome = std::variant<Completed, Rejected, Cancelled, Failed>;
 
 [[nodiscard]] inline bool ok(const Outcome& o) noexcept {
   return std::holds_alternative<Completed>(o);
-}
-
-inline const char* reject_reason_name(RejectReason r) noexcept {
-  switch (r) {
-    case RejectReason::QueueFull: return "queue_full";
-    case RejectReason::DeadlineExceeded: return "deadline_exceeded";
-    case RejectReason::UnknownOperator: return "unknown_operator";
-    case RejectReason::BadRequest: return "bad_request";
-    case RejectReason::ShuttingDown: return "shutting_down";
-  }
-  return "?";
 }
 
 }  // namespace pfem::svc

@@ -35,10 +35,21 @@ std::unique_ptr<par::Team> Service::make_team() const {
 Service::Service(const ServiceConfig& cfg)
     : cfg_(cfg),
       cache_(cfg.cache_capacity, cfg.kernels, cfg.deflation),
+      sessions_(cfg.session_capacity, cfg.session_max_directions),
       queue_(cfg.queue_capacity) {
   PFEM_CHECK_MSG(cfg_.max_batch_rhs >= 1, "max_batch_rhs must be >= 1");
   PFEM_CHECK_MSG(cfg_.retry.max_attempts >= 1,
                  "retry.max_attempts must be >= 1");
+  // Memory-pressure coherence: losing a built operator to the cache's
+  // LRU also drops the warm state of every session pinned to it (the
+  // handles survive; those sessions just run cold next time).
+  cache_.set_evict_callback([this](const std::string& key) {
+    const std::size_t n = sessions_.evict_for_operator(key);
+    if (n > 0) {
+      std::scoped_lock lock(m_);
+      stats_.sessions_evicted += n;
+    }
+  });
   team_ = make_team();
   if (cfg_.observe.trace)
     trace_ = std::make_unique<obs::Trace>(cfg_.nranks,
@@ -65,6 +76,21 @@ void Service::update_operator(
     const std::string& key,
     std::shared_ptr<const std::vector<sparse::CsrMatrix>> local_matrices) {
   cache_.update_operator(key, std::move(local_matrices));
+}
+
+SessionId Service::open_session(const std::string& operator_key) {
+  if (!cache_.contains(operator_key)) return kNoSession;
+  const SessionId id = sessions_.open(operator_key);
+  std::scoped_lock lock(m_);
+  ++stats_.sessions_opened;
+  return id;
+}
+
+bool Service::close_session(SessionId id) {
+  if (!sessions_.close(id)) return false;
+  std::scoped_lock lock(m_);
+  ++stats_.sessions_closed;
+  return true;
 }
 
 Service::Submitted Service::reject_now(PendingJob job, RejectReason reason,
@@ -97,6 +123,18 @@ Service::Submitted Service::submit(SolveRequest req) {
     return reject_now(std::move(job), RejectReason::UnknownOperator,
                       "operator '" + job.req.operator_key +
                           "' is not registered");
+  if (job.req.session != kNoSession) {
+    const auto skey = sessions_.operator_key_of(job.req.session);
+    if (!skey)
+      return reject_now(std::move(job), RejectReason::UnknownSession,
+                        "session " + std::to_string(job.req.session) +
+                            " is not open");
+    if (*skey != job.req.operator_key)
+      return reject_now(std::move(job), RejectReason::BadRequest,
+                        "session is pinned to operator '" + *skey +
+                            "' but the request names '" +
+                            job.req.operator_key + "'");
+  }
   if (job.req.rhs.empty())
     return reject_now(std::move(job), RejectReason::BadRequest,
                       "empty RHS batch");
@@ -213,12 +251,23 @@ void Service::scheduler_loop() {
     batch.push_back(std::move(*popped));
     const SolveRequest& head = batch.front().req;
     std::size_t rhs_count = head.rhs.size();
+    // Batch safety for sessions: at most one request per session joins a
+    // fused batch, so every deposit reads the state its predecessor
+    // wrote — never a sibling racing it inside the same solve.
+    std::vector<SessionId> batch_sessions;
+    if (head.session != kNoSession) batch_sessions.push_back(head.session);
     auto more = queue_.drain_matching(
         [&](const PendingJob& j) {
           if (j.req.operator_key != head.operator_key) return false;
           if (!compatible_opts(j.req.opts, head.opts)) return false;
+          if (j.req.session != kNoSession &&
+              std::find(batch_sessions.begin(), batch_sessions.end(),
+                        j.req.session) != batch_sessions.end())
+            return false;
           if (rhs_count + j.req.rhs.size() > cfg_.max_batch_rhs) return false;
           rhs_count += j.req.rhs.size();
+          if (j.req.session != kNoSession)
+            batch_sessions.push_back(j.req.session);
           return true;
         },
         std::numeric_limits<std::size_t>::max());
@@ -298,6 +347,44 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
       opts.observe.progress = nullptr;
   }
 
+  // Session warm starts + recycling.  The service owns opts.recycle on
+  // this path (like deflation, which is operator state): per-request
+  // recycle settings are overwritten, sessions are the API.  With no
+  // session in the batch, recycle stays disabled and the solve — and
+  // its Table-1 exchange counts — is bit-identical to a session-less
+  // service.  With sessions present, each member's session lanes land
+  // in its flattened RHS slots and harvesting is turned on so the
+  // completed solve can deposit fresh directions back.
+  opts.recycle = core::RecycleOptions{};
+  const bool any_session = std::any_of(
+      batch.begin(), batch.end(),
+      [](const PendingJob& j) { return j.req.session != kNoSession; });
+  if (any_session) {
+    auto in = std::make_shared<std::vector<core::RecycleIn>>(rhs.size());
+    std::size_t warm = 0;
+    std::size_t off = 0;
+    for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+      const PendingJob& j = batch[bi];
+      if (j.req.session != kNoSession) {
+        if (auto snap = sessions_.snapshot(j.req.session)) {
+          for (std::size_t r = 0;
+               r < counts[bi] && r < snap->lanes.size(); ++r) {
+            if (!snap->lanes[r].empty()) ++warm;
+            (*in)[off + r] = std::move(snap->lanes[r]);
+          }
+        }
+      }
+      off += counts[bi];
+    }
+    opts.recycle.enabled = true;
+    opts.recycle.harvest = true;
+    opts.recycle.max_directions =
+        static_cast<index_t>(cfg_.session_max_directions);
+    opts.recycle.in = std::move(in);
+    std::scoped_lock lock(m_);
+    stats_.warm_rhs += warm;
+  }
+
   {
     std::scoped_lock lock(m_);
     running_.clear();
@@ -316,13 +403,19 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
   // Attempt loop: a typed comm failure (injected crash, channel
   // timeout) triggers the retry policy — deterministic-jitter backoff,
   // then a fresh team (faults are one-shot, so the retry marches past
-  // whatever killed the last attempt).  The request seed (or job id)
-  // keys the jitter, so a failing request replays the same schedule.
+  // whatever killed the last attempt).  The request seed keys the
+  // jitter; a zero seed derives it from request CONTENT — operator-key
+  // hash, session id, per-key dispatch sequence — never from the
+  // service-assigned job id, which differs across replays and would
+  // silently break `pfem_loadgen --replay` determinism.
   const int max_attempts = std::max(1, cfg_.retry.max_attempts);
+  const std::uint64_t key_seq = dispatch_seq_[key]++;  // scheduler-only
   const std::uint64_t jitter_seed =
       batch.front().req.seed != 0
           ? batch.front().req.seed
-          : static_cast<std::uint64_t>(batch.front().id);
+          : fault::mix64(fault::fnv1a(key) ^
+                         batch.front().req.session * 0x9e3779b97f4a7c15ULL ^
+                         key_seq);
 
   core::BatchSolveResult result;
   bool was_cancelled = false;
@@ -522,6 +615,23 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
     c.cache_hit = cache_hit;
     c.queue_seconds = seconds_between(j.submit_time, t_solve0);
     c.solve_seconds = solve_total;
+    if (j.req.session != kNoSession) {
+      // Deposit this solve's state for the session's next request: the
+      // solutions become warm starts, the harvested directions extend
+      // each lane's ring.  Only completed solves deposit — a failed or
+      // cancelled batch leaves the previous (still valid) state alone.
+      std::vector<std::vector<Vector>> harvested;
+      if (result.recycled.size() >= offset + n)
+        harvested.assign(
+            result.recycled.begin() + static_cast<std::ptrdiff_t>(offset),
+            result.recycled.begin() + static_cast<std::ptrdiff_t>(offset + n));
+      const std::size_t evicted =
+          sessions_.deposit(j.req.session, c.result.x, harvested);
+      if (evicted > 0) {
+        std::scoped_lock lock(m_);
+        stats_.sessions_evicted += evicted;
+      }
+    }
     offset += n;
     resolve(j, std::move(c));
   }

@@ -17,7 +17,11 @@
 //     future with a typed Outcome;
 //   - a per-batch deadline watchdog that cancels the team through the
 //     cooperative par::Comm abort path when the earliest member
-//     deadline expires mid-solve.
+//     deadline expires mid-solve;
+//   - a SessionTable of solve sessions (open_session/close_session):
+//     per-session warm-start solutions and recycled Krylov directions
+//     deposited by each completed solve and fed to the next one, with
+//     LRU-bounded state tied to the operator cache's evictions.
 //
 // Backpressure and deadlines are load *shedding*, not errors: the
 // client always gets a typed Rejected outcome, never a hang.
@@ -37,6 +41,7 @@
 #include "svc/job_queue.hpp"
 #include "svc/operator_cache.hpp"
 #include "svc/request.hpp"
+#include "svc/session.hpp"
 #include "svc/stats.hpp"
 
 namespace pfem::svc {
@@ -74,6 +79,12 @@ struct ServiceConfig {
   /// observe.ring_capacity sizes each lane's flight-recorder ring.  The
   /// per-request progress callback lives on each request instead.
   obs::ObserveOptions observe;
+  /// Solve sessions (svc/session.hpp): how many sessions may hold warm
+  /// state at once (LRU; the handle survives eviction and just runs
+  /// cold), and the per-RHS-lane bound on the recycled-direction ring
+  /// fed back into core::RecycleOptions::max_directions.
+  std::size_t session_capacity = 32;
+  std::size_t session_max_directions = 8;
   RetryPolicy retry;
   /// Channel-wait deadline installed on the team (and on every retry
   /// replacement); 0 disables.  With a timeout armed, a dead or stalled
@@ -112,10 +123,24 @@ class Service {
           nullptr);
 
   /// Swap the per-rank matrices of a registered operator (same layout);
-  /// the next solve rebuilds scaling + preconditioner.
+  /// the next solve rebuilds scaling + preconditioner.  Open sessions on
+  /// the key deliberately KEEP their warm state: recycled directions are
+  /// re-projected through the new operator at solve time, so they stay
+  /// safe and typically still useful across a drifting operator.
   void update_operator(
       const std::string& key,
       std::shared_ptr<const std::vector<sparse::CsrMatrix>> local_matrices);
+
+  /// Open a solve session pinned to a registered operator.  Returns
+  /// kNoSession when the key is unknown.  Requests carrying the handle
+  /// warm-start from the session's previous solution, project its
+  /// recycled directions, and deposit their own state on completion.
+  [[nodiscard]] SessionId open_session(const std::string& operator_key);
+
+  /// Release a session handle and its state.  False if unknown (or
+  /// already closed).  In-flight requests on the session still complete;
+  /// their deposit simply lands nowhere.
+  bool close_session(SessionId id);
 
   /// Admission-controlled submit.  The returned future always resolves
   /// (Completed/Rejected/Cancelled/Failed); requests refused at
@@ -174,6 +199,13 @@ class Service {
   /// team_->cancel() under the same lock).
   std::unique_ptr<par::Team> team_;
   OperatorCache cache_;
+  /// Session-state store; wired to cache_'s eviction callback so losing
+  /// a built operator also drops the warm state pinned to it.
+  SessionTable sessions_;
+  /// Per-operator-key dispatch sequence (scheduler thread only): the
+  /// content-derived fallback for SolveRequest::seed == 0, so replayed
+  /// request streams see identical backoff jitter run-to-run.
+  std::unordered_map<std::string, std::uint64_t> dispatch_seq_;
   JobQueue<PendingJob> queue_;
   /// Service-lifetime trace: rank lanes written by the team during a
   /// dispatch, aux lane written only by the scheduler thread.

@@ -26,6 +26,16 @@ struct ServiceStats {
   std::uint64_t rhs_solved = 0;    ///< total RHS across completed requests
   std::uint64_t comm_failures = 0; ///< attempts lost to typed comm faults
   std::uint64_t retries = 0;       ///< re-dispatches onto a fresh team
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  /// Sessions whose warm state was dropped — by the session table's own
+  /// LRU, or because the operator cache evicted the built operator they
+  /// were pinned to.  The session handle survives; the next solve under
+  /// it simply runs cold.
+  std::uint64_t sessions_evicted = 0;
+  /// RHS lanes dispatched with warm session state (x_prev and/or
+  /// recycled directions) — the numerator of the warm-hit rate.
+  std::uint64_t warm_rhs = 0;
   double solve_seconds = 0.0;      ///< wall time inside solve_edd_batch
 };
 

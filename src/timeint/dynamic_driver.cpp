@@ -17,7 +17,7 @@ Vector initial_acceleration(const sparse::CsrMatrix& m,
   core::JacobiPrecond jacobi(m);
   core::SolveOptions opts;
   opts.tol = 1e-10;
-  const core::SolveResult res = core::fgmres(m, f, a, jacobi, opts);
+  const core::SolveReport res = core::fgmres(m, f, a, jacobi, opts);
   PFEM_CHECK_MSG(res.converged, "initial-acceleration solve failed");
   return a;
 }
@@ -49,7 +49,7 @@ DynamicRunResult run_dynamic_sequential(const sparse::CsrMatrix& k,
     const Vector rhs = nm.effective_rhs(u, v, a, f);
     for (std::size_t i = 0; i < n; ++i) b[i] = scaled.d[i] * rhs[i];
     la::fill(x, 0.0);
-    const core::SolveResult sr =
+    const core::SolveReport sr =
         core::fgmres(scaled.a, b, x, *precond, opts.solve);
     result.all_converged = result.all_converged && sr.converged;
     result.iterations_per_step.push_back(sr.iterations);
@@ -100,7 +100,7 @@ EddDynamicResult run_dynamic_edd(const fem::Mesh& mesh,
 
   for (index_t step = 0; step < opts.steps; ++step) {
     const Vector rhs = nm.effective_rhs(u, v, a, f);
-    const core::DistSolveResult sr = core::solve_edd(
+    const core::DistSolve sr = core::solve_edd(
         part, rhs, poly, opts.solve, variant, &k_eff_loc);
     result.all_converged = result.all_converged && sr.converged;
     result.iterations_per_step.push_back(sr.iterations);

@@ -156,7 +156,7 @@ NonlinearResult solve_nonlinear_sequential(const fem::Mesh& mesh,
     const core::ScaledSystem s = core::scale_system(k, f);
     core::Ilu0Precond precond(s.a);
     Vector x(n, 0.0);
-    const core::SolveResult sr =
+    const core::SolveReport sr =
         core::fgmres(s.a, s.b, x, precond, opts.solve);
     PFEM_CHECK_MSG(sr.converged, "inner linear solve failed");
     result.total_linear_iterations += sr.iterations;
@@ -209,7 +209,7 @@ NonlinearResult solve_nonlinear_edd(const fem::Mesh& mesh,
     for (std::size_t s = 0; s < part.subs.size(); ++s)
       k_loc.push_back(assemble_scaled_local(mesh, dofs, mat, part.subs[s],
                                             factors, g2l[s]));
-    const core::DistSolveResult sr =
+    const core::DistSolve sr =
         core::solve_edd(part, f, poly, opts.solve,
                         core::EddVariant::Enhanced, &k_loc);
     PFEM_CHECK_MSG(sr.converged, "inner EDD solve failed");

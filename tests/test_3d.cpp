@@ -139,7 +139,7 @@ TEST(Cantilever3d, EddSolveMatchesSequential) {
     core::SolveOptions opts;
     opts.tol = 1e-10;
     opts.max_iters = 50000;
-    const core::DistSolveResult res = core::solve_edd(part, prob.load, poly,
+    const core::DistSolve res = core::solve_edd(part, prob.load, poly,
                                                       opts);
     ASSERT_TRUE(res.converged) << "P=" << p;
     const real_t scale = la::nrm_inf(x_ref);
@@ -153,13 +153,13 @@ TEST(Cantilever3d, RddAndCgWorkToo) {
   spec.nx = 5;
   const fem::CantileverProblem prob = fem::make_cantilever_3d(spec);
   const partition::RddPartition rpart = exp::make_rdd(prob, 3);
-  const core::DistSolveResult rdd = core::solve_rdd(rpart, prob.load);
+  const core::DistSolve rdd = core::solve_rdd(rpart, prob.load);
   EXPECT_TRUE(rdd.converged);
 
   const partition::EddPartition epart = exp::make_edd(prob, 3);
   core::PolySpec poly;
   poly.degree = 5;
-  const core::DistSolveResult cg = core::solve_edd_cg(epart, prob.load, poly);
+  const core::DistSolve cg = core::solve_edd_cg(epart, prob.load, poly);
   EXPECT_TRUE(cg.converged);
   const real_t scale = la::nrm_inf(rdd.x);
   for (std::size_t i = 0; i < rdd.x.size(); ++i)
@@ -173,7 +173,7 @@ TEST(Cantilever3d, TipStretchesUnderPull) {
   const partition::EddPartition part = exp::make_edd(prob, 2);
   core::PolySpec poly;
   poly.degree = 7;
-  const core::DistSolveResult res = core::solve_edd(part, prob.load, poly);
+  const core::DistSolve res = core::solve_edd(part, prob.load, poly);
   ASSERT_TRUE(res.converged);
   for (index_t n : prob.mesh.nodes_at_x(static_cast<real_t>(spec.nx))) {
     const index_t d = prob.dofs.dof(n, 0);

@@ -53,7 +53,7 @@ TEST(Bicgstab, SolvesUnsymmetricSystem) {
   SolveOptions opts;
   opts.tol = 1e-10;
   opts.max_iters = 5000;
-  const SolveResult res = bicgstab(a, b, x, jacobi, opts);
+  const SolveReport res = bicgstab(a, b, x, jacobi, opts);
   ASSERT_TRUE(res.converged);
   const real_t scale = la::nrm_inf(x_ref) + 1e-30;
   for (std::size_t i = 0; i < 100; ++i)
@@ -69,8 +69,8 @@ TEST(Bicgstab, AgreesWithFgmresOnUnsymmetricSystem) {
   opts.max_iters = 10000;
   Vector x1(144, 0.0), x2(144, 0.0);
   JacobiPrecond p1(a), p2(a);
-  const SolveResult rb = bicgstab(a, b, x1, p1, opts);
-  const SolveResult rg = fgmres(a, b, x2, p2, opts);
+  const SolveReport rb = bicgstab(a, b, x1, p1, opts);
+  const SolveReport rg = fgmres(a, b, x2, p2, opts);
   ASSERT_TRUE(rb.converged && rg.converged);
   const real_t scale = la::nrm_inf(x2) + 1e-30;
   for (std::size_t i = 0; i < 144; ++i)
@@ -81,7 +81,7 @@ TEST(Bicgstab, ZeroRhs) {
   const sparse::CsrMatrix a = sparse::tridiag(10, 2.0, -1.0);
   Vector b(10, 0.0), x(10, 0.0);
   IdentityPrecond none;
-  const SolveResult res = bicgstab(a, b, x, none);
+  const SolveReport res = bicgstab(a, b, x, none);
   EXPECT_TRUE(res.converged);
   EXPECT_EQ(res.iterations, 0);
 }
@@ -98,11 +98,11 @@ TEST(Bicgstab, PolynomialPreconditionerReducesIterations) {
 
   Vector x1(s.b.size(), 0.0);
   IdentityPrecond none;
-  const SolveResult plain = bicgstab(s.a, s.b, x1, none, opts);
+  const SolveReport plain = bicgstab(s.a, s.b, x1, none, opts);
   Vector x2(s.b.size(), 0.0);
   GlsPrecond gls(LinearOp::from_csr(s.a),
                  GlsPolynomial(default_theta_after_scaling(), 7));
-  const SolveResult prec = bicgstab(s.a, s.b, x2, gls, opts);
+  const SolveReport prec = bicgstab(s.a, s.b, x2, gls, opts);
   ASSERT_TRUE(plain.converged && prec.converged);
   EXPECT_LT(prec.iterations, plain.iterations);
 }
@@ -130,7 +130,7 @@ TEST_P(EddBicgstabTest, MatchesSequentialSolution) {
   SolveOptions opts;
   opts.tol = 1e-10;
   opts.max_iters = 50000;
-  const DistSolveResult res = solve_edd_bicgstab(part, prob.load, poly,
+  const DistSolve res = solve_edd_bicgstab(part, prob.load, poly,
                                                  opts);
   ASSERT_TRUE(res.converged);
   const real_t scale = la::nrm_inf(x_ref);
@@ -185,7 +185,7 @@ TEST(UnsymmetricRdd, FgmresSolvesConvectionDiffusionDistributed) {
   SolveOptions opts;
   opts.tol = 1e-10;
   opts.max_iters = 50000;
-  const DistSolveResult res = solve_rdd(part, b, rdd, opts);
+  const DistSolve res = solve_rdd(part, b, rdd, opts);
   ASSERT_TRUE(res.converged);
   const real_t scale = la::nrm_inf(x_ref) + 1e-30;
   for (std::size_t i = 0; i < 144; ++i)

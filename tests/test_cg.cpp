@@ -35,7 +35,7 @@ TEST(Pcg, SolvesSpdSystem) {
   SolveOptions opts;
   opts.tol = 1e-10;
   opts.max_iters = 2000;
-  const SolveResult res = pcg(a, b, x, jacobi, opts);
+  const SolveReport res = pcg(a, b, x, jacobi, opts);
   EXPECT_TRUE(res.converged);
   for (std::size_t i = 0; i < 100; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-7);
 }
@@ -49,7 +49,7 @@ TEST(Pcg, ExactInNStepsForTinySystem) {
   IdentityPrecond none;
   SolveOptions opts;
   opts.tol = 1e-12;
-  const SolveResult res = pcg(a, b, x, none, opts);
+  const SolveReport res = pcg(a, b, x, none, opts);
   EXPECT_TRUE(res.converged);
   EXPECT_LE(res.iterations, 5);
 }
@@ -66,12 +66,12 @@ TEST(Pcg, PolynomialPreconditionerCutsIterations) {
 
   Vector x1(s.b.size(), 0.0);
   IdentityPrecond none;
-  const SolveResult plain = pcg(s.a, s.b, x1, none, opts);
+  const SolveReport plain = pcg(s.a, s.b, x1, none, opts);
 
   Vector x2(s.b.size(), 0.0);
   GlsPrecond gls(LinearOp::from_csr(s.a),
                  GlsPolynomial(default_theta_after_scaling(), 7));
-  const SolveResult with_gls = pcg(s.a, s.b, x2, gls, opts);
+  const SolveReport with_gls = pcg(s.a, s.b, x2, gls, opts);
 
   ASSERT_TRUE(plain.converged && with_gls.converged);
   EXPECT_LT(with_gls.iterations, plain.iterations);
@@ -90,7 +90,7 @@ TEST(Pcg, ZeroRhs) {
   const sparse::CsrMatrix a = sparse::tridiag(8, 2.0, -1.0);
   Vector b(8, 0.0), x(8, 0.0);
   IdentityPrecond none;
-  const SolveResult res = pcg(a, b, x, none);
+  const SolveReport res = pcg(a, b, x, none);
   EXPECT_TRUE(res.converged);
   EXPECT_EQ(res.iterations, 0);
 }
@@ -118,7 +118,7 @@ TEST_P(EddCgTest, MatchesSequentialSolution) {
   SolveOptions opts;
   opts.tol = 1e-10;
   opts.max_iters = 50000;
-  const DistSolveResult res = solve_edd_cg(part, prob.load, poly, opts);
+  const DistSolve res = solve_edd_cg(part, prob.load, poly, opts);
   ASSERT_TRUE(res.converged);
   const real_t scale = la::nrm_inf(x_ref);
   for (std::size_t i = 0; i < x_ref.size(); ++i)
@@ -139,9 +139,9 @@ TEST(EddCg, ExchangesPerIterationAreDegreePlusOne) {
   SolveOptions opts;
   opts.tol = 1e-300;
   opts.max_iters = 3;
-  const DistSolveResult a = solve_edd_cg(part, prob.load, poly, opts);
+  const DistSolve a = solve_edd_cg(part, prob.load, poly, opts);
   opts.max_iters = 4;
-  const DistSolveResult b = solve_edd_cg(part, prob.load, poly, opts);
+  const DistSolve b = solve_edd_cg(part, prob.load, poly, opts);
   const par::PerfCounters d =
       b.rank_counters[0].delta_since(a.rank_counters[0]);
   EXPECT_EQ(d.neighbor_exchanges, 7u);  // m inside P(A), 1 for r_glob
@@ -159,7 +159,7 @@ TEST(EddCg, ChebyshevPreconditionerWorksToo) {
   poly.kind = PolyKind::Chebyshev;
   poly.degree = 7;
   poly.theta = {{1e-4, 1.0}};
-  const DistSolveResult res = solve_edd_cg(part, prob.load, poly);
+  const DistSolve res = solve_edd_cg(part, prob.load, poly);
   EXPECT_TRUE(res.converged);
 }
 
@@ -175,8 +175,8 @@ TEST(EddCg, AgreesWithEddFgmresIterationsBallpark) {
   poly.degree = 7;
   SolveOptions opts;
   opts.tol = 1e-6;
-  const DistSolveResult cg = solve_edd_cg(part, prob.load, poly, opts);
-  const DistSolveResult gm = solve_edd(part, prob.load, poly, opts);
+  const DistSolve cg = solve_edd_cg(part, prob.load, poly, opts);
+  const DistSolve gm = solve_edd(part, prob.load, poly, opts);
   ASSERT_TRUE(cg.converged && gm.converged);
   EXPECT_LT(cg.iterations, 4 * gm.iterations + 10);
   EXPECT_LT(gm.iterations, 4 * cg.iterations + 10);

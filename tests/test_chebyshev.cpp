@@ -110,13 +110,13 @@ TEST(Chebyshev, PrecondSpeedsUpFgmresWithMatchedInterval) {
 
   Vector x0(b.size(), 0.0);
   IdentityPrecond none;
-  const SolveResult plain = fgmres(a, b, x0, none, opts);
+  const SolveReport plain = fgmres(a, b, x0, none, opts);
 
   const sparse::Interval iv = sparse::estimate_spectrum(a, 30);
   Vector x1(b.size(), 0.0);
   ChebyshevPrecond cheb(LinearOp::from_csr(a),
                         ChebyshevPolynomial({iv.lo, iv.hi}, 10));
-  const SolveResult with_cheb = fgmres(a, b, x1, cheb, opts);
+  const SolveReport with_cheb = fgmres(a, b, x1, cheb, opts);
 
   ASSERT_TRUE(plain.converged && with_cheb.converged);
   EXPECT_LT(with_cheb.iterations, plain.iterations / 2);
@@ -144,9 +144,9 @@ TEST_P(ChebyshevDistTest, EddAndRddSolveWithChebyshev) {
   opts.max_iters = 50000;
 
   const auto epart = exp::make_edd(prob, nparts);
-  const DistSolveResult edd_basic =
+  const DistSolve edd_basic =
       solve_edd(epart, prob.load, poly, opts, EddVariant::Basic);
-  const DistSolveResult edd_enh =
+  const DistSolve edd_enh =
       solve_edd(epart, prob.load, poly, opts, EddVariant::Enhanced);
   ASSERT_TRUE(edd_basic.converged);
   ASSERT_TRUE(edd_enh.converged);
@@ -154,7 +154,7 @@ TEST_P(ChebyshevDistTest, EddAndRddSolveWithChebyshev) {
   const auto rpart = exp::make_rdd(prob, nparts);
   RddOptions rdd;
   rdd.poly = poly;
-  const DistSolveResult rddr = solve_rdd(rpart, prob.load, rdd, opts);
+  const DistSolve rddr = solve_rdd(rpart, prob.load, rdd, opts);
   ASSERT_TRUE(rddr.converged);
 
   const real_t scale = la::nrm_inf(edd_enh.x);

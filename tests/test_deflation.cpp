@@ -22,7 +22,7 @@ fem::CantileverProblem cantilever(int nx, int ny) {
   return fem::make_cantilever(spec);
 }
 
-DistSolveResult run(const fem::CantileverProblem& prob,
+DistSolve run(const fem::CantileverProblem& prob,
                     const partition::EddPartition& part, bool deflated,
                     bool trace = false) {
   PolySpec poly;
@@ -129,8 +129,8 @@ TEST(DeflationSmoke, WeakScalingIterationGrowthStaysBounded) {
   const partition::EddPartition part2 = exp::make_edd(small, 2);
   const partition::EddPartition part16 = exp::make_edd(large, 16);
 
-  const DistSolveResult d2 = run(small, part2, /*deflated=*/true);
-  const DistSolveResult d16 = run(large, part16, /*deflated=*/true);
+  const DistSolve d2 = run(small, part2, /*deflated=*/true);
+  const DistSolve d16 = run(large, part16, /*deflated=*/true);
   ASSERT_TRUE(d2.converged);
   ASSERT_TRUE(d16.converged);
   EXPECT_LE(static_cast<double>(d16.iterations),
@@ -142,8 +142,8 @@ TEST(DeflationSmoke, WeakScalingIterationGrowthStaysBounded) {
   // P = 8 deflated beats undeflated outright.
   const fem::CantileverProblem mid = fem::make_table2_cantilever(9);
   const partition::EddPartition part8 = exp::make_edd(mid, 8);
-  const DistSolveResult d8 = run(mid, part8, /*deflated=*/true);
-  const DistSolveResult u8 = run(mid, part8, /*deflated=*/false);
+  const DistSolve d8 = run(mid, part8, /*deflated=*/true);
+  const DistSolve u8 = run(mid, part8, /*deflated=*/false);
   ASSERT_TRUE(d8.converged);
   ASSERT_TRUE(u8.converged);
   EXPECT_LT(d8.iterations, u8.iterations);
@@ -155,7 +155,7 @@ TEST(DeflationTrace, CoarseSpansMatchCoarseSolveCounters) {
   // solve, on the rank that bumped the counter.
   const fem::CantileverProblem prob = cantilever(16, 8);
   const partition::EddPartition part = exp::make_edd(prob, 4);
-  const DistSolveResult res = run(prob, part, /*deflated=*/true,
+  const DistSolve res = run(prob, part, /*deflated=*/true,
                                   /*trace=*/true);
   ASSERT_TRUE(res.converged);
   ASSERT_NE(res.trace, nullptr);
@@ -187,9 +187,9 @@ TEST(DeflationOptionsKnob, MoreVectorsPerSubdomainNeverHurts) {
   opts.deflation.dof_coords = fem::free_dof_coords(prob.mesh, prob.dofs);
   opts.deflation.coord_dim = static_cast<int>(prob.mesh.dim());
   opts.deflation.vectors_per_subdomain = 2;
-  const DistSolveResult q2 = solve_edd(part, prob.load, poly, opts);
+  const DistSolve q2 = solve_edd(part, prob.load, poly, opts);
   opts.deflation.vectors_per_subdomain = 4;
-  const DistSolveResult q4 = solve_edd(part, prob.load, poly, opts);
+  const DistSolve q4 = solve_edd(part, prob.load, poly, opts);
   ASSERT_TRUE(q2.converged && q4.converged);
   EXPECT_LE(q4.iterations, q2.iterations + 2);
 }

@@ -28,7 +28,7 @@ Vector reference_solution(const fem::CantileverProblem& prob) {
   SolveOptions opts;
   opts.tol = 1e-12;
   opts.max_iters = 50000;
-  const SolveResult res = fgmres(prob.stiffness, prob.load, x, ilu, opts);
+  const SolveReport res = fgmres(prob.stiffness, prob.load, x, ilu, opts);
   EXPECT_TRUE(res.converged);
   return x;
 }
@@ -49,7 +49,7 @@ TEST_P(EddSolverTest, MatchesSequentialSolution) {
   SolveOptions opts;
   opts.tol = 1e-10;
   opts.max_iters = 50000;
-  const DistSolveResult res =
+  const DistSolve res =
       solve_edd(part, prob.load, poly, opts, variant);
   ASSERT_TRUE(res.converged);
   // Classical Gram-Schmidt (the paper's choice) loses a couple of digits
@@ -89,9 +89,9 @@ TEST(EddSolver, BasicAndEnhancedAgreeOnIterations) {
   poly.degree = 5;
   SolveOptions opts;
   opts.tol = 1e-8;
-  const DistSolveResult basic =
+  const DistSolve basic =
       solve_edd(part, prob.load, poly, opts, EddVariant::Basic);
-  const DistSolveResult enhanced =
+  const DistSolve enhanced =
       solve_edd(part, prob.load, poly, opts, EddVariant::Enhanced);
   ASSERT_TRUE(basic.converged && enhanced.converged);
   EXPECT_NEAR(static_cast<double>(basic.iterations),
@@ -108,9 +108,9 @@ par::PerfCounters per_iteration_delta(const partition::EddPartition& part,
   opts.tol = 1e-300;
   opts.restart = 25;
   opts.max_iters = n;
-  const DistSolveResult a = solve_edd(part, f, poly, opts, variant);
+  const DistSolve a = solve_edd(part, f, poly, opts, variant);
   opts.max_iters = n + 1;
-  const DistSolveResult b = solve_edd(part, f, poly, opts, variant);
+  const DistSolve b = solve_edd(part, f, poly, opts, variant);
   return b.rank_counters[0].delta_since(a.rank_counters[0]);
 }
 
@@ -161,7 +161,7 @@ TEST(EddSolver, SingleRankDoesNoMessaging) {
   const partition::EddPartition part = exp::make_edd(prob, 1);
   PolySpec poly;
   poly.degree = 7;
-  const DistSolveResult res = solve_edd(part, prob.load, poly);
+  const DistSolve res = solve_edd(part, prob.load, poly);
   ASSERT_TRUE(res.converged);
   EXPECT_EQ(res.rank_counters[0].neighbor_msgs, 0u);
   EXPECT_EQ(res.rank_counters[0].neighbor_bytes, 0u);
@@ -178,8 +178,8 @@ TEST(EddSolver, HigherDegreeReducesIterations) {
   lo.degree = 1;
   PolySpec hi;
   hi.degree = 10;
-  const DistSolveResult r_lo = solve_edd(part, prob.load, lo, opts);
-  const DistSolveResult r_hi = solve_edd(part, prob.load, hi, opts);
+  const DistSolve r_lo = solve_edd(part, prob.load, lo, opts);
+  const DistSolve r_hi = solve_edd(part, prob.load, hi, opts);
   ASSERT_TRUE(r_lo.converged && r_hi.converged);
   EXPECT_LT(r_hi.iterations, r_lo.iterations);
 }
@@ -204,7 +204,7 @@ TEST(EddSolver, LocalMatrixOverrideSolvesEffectiveSystem) {
   poly.degree = 5;
   SolveOptions opts;
   opts.tol = 1e-10;
-  const DistSolveResult res = solve_edd(part, prob.load, poly, opts,
+  const DistSolve res = solve_edd(part, prob.load, poly, opts,
                                         EddVariant::Enhanced, &eff);
   ASSERT_TRUE(res.converged);
 
@@ -231,8 +231,8 @@ TEST(EddSolver, ThetaSensitivityAffectsConvergence) {
   PolySpec bad;
   bad.degree = 10;
   bad.theta = {{0.5, 1.0}};  // misses the low end of the spectrum
-  const DistSolveResult r_good = solve_edd(part, prob.load, good, opts);
-  const DistSolveResult r_bad = solve_edd(part, prob.load, bad, opts);
+  const DistSolve r_good = solve_edd(part, prob.load, good, opts);
+  const DistSolve r_bad = solve_edd(part, prob.load, bad, opts);
   ASSERT_TRUE(r_good.converged);
   ASSERT_TRUE(r_bad.converged);
   EXPECT_LE(r_good.iterations, r_bad.iterations);
@@ -248,8 +248,8 @@ TEST(EddSolver, RunsAreBitwiseDeterministic) {
   poly.degree = 7;
   SolveOptions opts;
   opts.tol = 1e-9;
-  const DistSolveResult a = solve_edd(part, prob.load, poly, opts);
-  const DistSolveResult b = solve_edd(part, prob.load, poly, opts);
+  const DistSolve a = solve_edd(part, prob.load, poly, opts);
+  const DistSolve b = solve_edd(part, prob.load, poly, opts);
   ASSERT_TRUE(a.converged && b.converged);
   EXPECT_EQ(a.iterations, b.iterations);
   for (std::size_t i = 0; i < a.x.size(); ++i)
@@ -268,7 +268,7 @@ TEST(EddSolverReport, FirstCycleConvergenceReportsZeroRestarts) {
   SolveOptions opts;
   opts.tol = 1e-6;
   opts.restart = 200;  // plenty of room to finish in one cycle
-  const DistSolveResult res = solve_edd(part, prob.load, poly, opts);
+  const DistSolve res = solve_edd(part, prob.load, poly, opts);
   ASSERT_TRUE(res.converged);
   ASSERT_LE(res.iterations, 200);
   EXPECT_EQ(res.restarts, 0);
@@ -287,7 +287,7 @@ TEST(EddSolverReport, MultiCycleSolveCountsOnlyReStarts) {
   opts.tol = 1e-8;
   opts.restart = 2;
   opts.max_iters = 50000;
-  const DistSolveResult res = solve_edd(part, prob.load, poly, opts);
+  const DistSolve res = solve_edd(part, prob.load, poly, opts);
   ASSERT_TRUE(res.converged);
   ASSERT_GT(res.iterations, 2);
   EXPECT_EQ(res.restarts, (res.iterations - 1) / 2);
@@ -298,7 +298,7 @@ TEST(EddSolverReport, ZeroRhsIsTrivialNotIterated) {
   const partition::EddPartition part = exp::make_edd(prob, 2);
   const Vector zero(prob.load.size(), 0.0);
   PolySpec poly;
-  const DistSolveResult res = solve_edd(part, zero, poly);
+  const DistSolve res = solve_edd(part, zero, poly);
   EXPECT_TRUE(res.converged);  // x = 0 is exact
   EXPECT_TRUE(res.trivial_rhs);
   EXPECT_FALSE(res.breakdown);
@@ -327,7 +327,7 @@ TEST(EddSolverReport, RankDeficientBreakdownIsNotConvergence) {
   poly.kind = PolyKind::None;
   SolveOptions opts;
   opts.tol = 1e-8;
-  const DistSolveResult res = solve_edd(part, b, poly, opts);
+  const DistSolve res = solve_edd(part, b, poly, opts);
   EXPECT_TRUE(res.breakdown);
   EXPECT_FALSE(res.converged);
   EXPECT_GT(res.final_relres, 0.5);  // ~0.707, nowhere near the tol
@@ -350,7 +350,7 @@ TEST(EddSolverReport, LuckyBreakdownStillReportsConvergence) {
   poly.kind = PolyKind::None;
   SolveOptions opts;
   opts.tol = 1e-12;
-  const DistSolveResult res = solve_edd(part, b, poly, opts);
+  const DistSolve res = solve_edd(part, b, poly, opts);
   ASSERT_TRUE(res.converged);
   EXPECT_LE(res.final_relres, 1e-12);
 }
@@ -367,7 +367,7 @@ TEST(EddDeflation, DeflatedSolveMatchesReference) {
   opts.tol = 1e-10;
   opts.deflation.enabled = true;
   for (const EddVariant variant : {EddVariant::Basic, EddVariant::Enhanced}) {
-    const DistSolveResult res =
+    const DistSolve res =
         solve_edd(part, prob.load, poly, opts, variant);
     ASSERT_TRUE(res.converged);
     const real_t scale = la::nrm_inf(x_ref);
@@ -386,8 +386,8 @@ TEST(EddDeflation, DeflatedRunsAreBitwiseDeterministic) {
   SolveOptions opts;
   opts.tol = 1e-9;
   opts.deflation.enabled = true;
-  const DistSolveResult a = solve_edd(part, prob.load, poly, opts);
-  const DistSolveResult b = solve_edd(part, prob.load, poly, opts);
+  const DistSolve a = solve_edd(part, prob.load, poly, opts);
+  const DistSolve b = solve_edd(part, prob.load, poly, opts);
   ASSERT_TRUE(a.converged && b.converged);
   EXPECT_EQ(a.iterations, b.iterations);
   for (std::size_t i = 0; i < a.x.size(); ++i)
@@ -413,9 +413,9 @@ TEST(EddDeflation, PerIterationCostsExtendTable1) {
   auto delta = [&](EddVariant variant, index_t n) {
     opts.deflation.enabled = true;
     opts.max_iters = n;
-    const DistSolveResult a = solve_edd(part, prob.load, poly, opts, variant);
+    const DistSolve a = solve_edd(part, prob.load, poly, opts, variant);
     opts.max_iters = n + 1;
-    const DistSolveResult b = solve_edd(part, prob.load, poly, opts, variant);
+    const DistSolve b = solve_edd(part, prob.load, poly, opts, variant);
     return b.rank_counters[0].delta_since(a.rank_counters[0]);
   };
 
@@ -437,7 +437,7 @@ TEST(EddSolver, SetupCountersAreSubsetOfTotals) {
   const partition::EddPartition part = exp::make_edd(prob, 4);
   PolySpec poly;
   poly.degree = 7;
-  const DistSolveResult res = solve_edd(part, prob.load, poly);
+  const DistSolve res = solve_edd(part, prob.load, poly);
   ASSERT_EQ(res.setup_counters.size(), res.rank_counters.size());
   for (std::size_t r = 0; r < res.rank_counters.size(); ++r) {
     EXPECT_LE(res.setup_counters[r].flops, res.rank_counters[r].flops);

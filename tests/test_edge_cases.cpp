@@ -116,7 +116,7 @@ TEST(FgmresEdge, MaxItersCapReportsNotConverged) {
   core::SolveOptions opts;
   opts.max_iters = 3;
   opts.tol = 1e-12;
-  const core::SolveResult res = core::fgmres(a, b, x, none, opts);
+  const core::SolveReport res = core::fgmres(a, b, x, none, opts);
   EXPECT_FALSE(res.converged);
   EXPECT_EQ(res.iterations, 3);
   EXPECT_EQ(res.history.size(), 3u);
@@ -132,7 +132,7 @@ TEST(SolverEdge, ZeroRhsConvergesInZeroIterations) {
   core::SolveOptions opts;
   opts.tol = 1e-10;
 
-  const auto check = [](const core::SolveResult& res, const Vector& x) {
+  const auto check = [](const core::SolveReport& res, const Vector& x) {
     EXPECT_TRUE(res.converged);
     EXPECT_EQ(res.iterations, 0);
     EXPECT_EQ(res.final_relres, 0.0);

@@ -400,7 +400,7 @@ TEST(SolverFaults, SolveEddReturnsTypedPartialReportOnCrash) {
   core::SolveOptions opts;
   opts.observe.fault_injector = &inj;
   opts.observe.comm_timeout_seconds = 0.5;
-  const core::DistSolveResult r =
+  const core::DistSolve r =
       core::solve_edd(*s.part, s.prob.load, s.poly, opts);
   ASSERT_TRUE(r.comm_failed());
   EXPECT_FALSE(r.converged);
@@ -416,7 +416,7 @@ TEST(SolverFaults, SolveRddReturnsTypedPartialReportOnCrash) {
   core::SolveOptions opts;
   opts.observe.fault_injector = &inj;
   opts.observe.comm_timeout_seconds = 0.5;
-  const core::DistSolveResult r =
+  const core::DistSolve r =
       core::solve_rdd(part, s.prob.load, core::RddOptions{}, opts);
   ASSERT_TRUE(r.comm_failed());
   EXPECT_FALSE(r.converged);
@@ -636,6 +636,66 @@ TEST(ChaosSweep, ServiceSurvivesASeededFaultStreamWithRetries) {
     EXPECT_GE(completed, 1) << "seed " << seed << "\n" << plan.describe();
     service.shutdown(/*drain=*/true);
   }
+}
+
+TEST(ChaosSweep, SessionStreamFailsTypedAndReplaysDeterministically) {
+  chaos::GlobalWatchdog watchdog(240.0);
+  const chaos::Scene& s = chaos::scene();
+
+  // A session stream under injected faults: every step must end
+  // Completed or typed comm-Failed (never hang, never untyped), a
+  // failed step must not corrupt the session (later steps still
+  // complete warm), and the whole stream — including the warm-lane
+  // iteration counts — must replay identically for the same seed.
+  FaultSpec spec;
+  spec.nranks = kRanks;
+  spec.nfaults = 2;
+  spec.max_seq = 60;
+  spec.delay_seconds = 1e-4;
+  spec.stall_seconds = 5e-3;
+
+  const auto run_stream = [&](std::uint64_t seed) {
+    const FaultPlan plan = FaultPlan::generate(seed, spec);
+    FaultInjector inj(plan);
+    svc::Service service(chaos_service_config(&inj, 5));
+    service.register_operator("k", s.part, s.poly);
+    const svc::SessionId sid = service.open_session("k");
+    EXPECT_NE(sid, svc::kNoSession);
+    std::vector<int> iters;  // -1 marks a typed comm failure
+    for (int t = 0; t < 4; ++t) {
+      svc::SolveRequest req;
+      req.operator_key = "k";
+      req.session = sid;
+      Vector f = s.prob.load;
+      for (real_t& v : f) v *= 1.0 + 0.01 * t;
+      req.rhs = {std::move(f)};
+      const svc::Outcome out = service.submit(std::move(req)).outcome.get();
+      if (svc::ok(out)) {
+        iters.push_back(
+            std::get<svc::Completed>(out).result.items.at(0).iterations);
+      } else {
+        EXPECT_TRUE(std::holds_alternative<svc::Failed>(out))
+            << "seed " << seed << "\n" << plan.describe();
+        if (const auto* fl = std::get_if<svc::Failed>(&out)) {
+          EXPECT_TRUE(fl->comm) << "seed " << seed;
+        }
+        iters.push_back(-1);
+      }
+    }
+    service.shutdown(/*drain=*/true);
+    return iters;
+  };
+
+  int completed = 0;
+  for (std::uint64_t seed = 201; seed <= 208; ++seed) {
+    watchdog.note("session seed " + std::to_string(seed));
+    const std::vector<int> a = run_stream(seed);
+    const std::vector<int> b = run_stream(seed);
+    EXPECT_EQ(a, b) << "seed " << seed;  // warm lanes replay exactly
+    for (const int it : a) completed += it >= 0 ? 1 : 0;
+  }
+  // The invariants are vacuous if nothing ever completes.
+  EXPECT_GE(completed, 8);
 }
 
 }  // namespace

@@ -34,7 +34,7 @@ TEST(Fgmres, SolvesSmallSpdToTolerance) {
   IdentityPrecond none;
   SolveOptions opts;
   opts.tol = 1e-10;
-  const SolveResult res = fgmres(a, b, x, none, opts);
+  const SolveReport res = fgmres(a, b, x, none, opts);
   EXPECT_TRUE(res.converged);
   EXPECT_LE(res.final_relres, 1e-10);
   for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-8);
@@ -44,7 +44,7 @@ TEST(Fgmres, ZeroRhsConvergesImmediately) {
   const sparse::CsrMatrix a = sparse::tridiag(10, 2.0, -1.0);
   Vector b(10, 0.0), x(10, 0.0);
   IdentityPrecond none;
-  const SolveResult res = fgmres(a, b, x, none);
+  const SolveReport res = fgmres(a, b, x, none);
   EXPECT_TRUE(res.converged);
   EXPECT_EQ(res.iterations, 0);
 }
@@ -56,7 +56,7 @@ TEST(Fgmres, ExactInitialGuessNoIterations) {
   a.spmv(x_true, b);
   Vector x = x_true;
   IdentityPrecond none;
-  const SolveResult res = fgmres(a, b, x, none);
+  const SolveReport res = fgmres(a, b, x, none);
   EXPECT_TRUE(res.converged);
   EXPECT_EQ(res.iterations, 0);
 }
@@ -69,7 +69,7 @@ TEST(Fgmres, RestartStillConverges) {
   opts.restart = 5;  // force many restarts
   opts.tol = 1e-8;
   opts.max_iters = 5000;
-  const SolveResult res = fgmres(a, b, x, none, opts);
+  const SolveReport res = fgmres(a, b, x, none, opts);
   EXPECT_TRUE(res.converged);
   EXPECT_GT(res.restarts, 1);
   Vector r(100);
@@ -82,7 +82,7 @@ TEST(Fgmres, HistoryLengthMatchesIterations) {
   const sparse::CsrMatrix a = sparse::laplace2d(8, 8);
   Vector b(64, 1.0), x(64, 0.0);
   JacobiPrecond jacobi(a);
-  const SolveResult res = fgmres(a, b, x, jacobi);
+  const SolveReport res = fgmres(a, b, x, jacobi);
   EXPECT_EQ(res.history.size(), static_cast<std::size_t>(res.iterations));
   // Residual history non-increasing within a cycle (GMRES optimality).
   for (std::size_t i = 1; i < res.history.size(); ++i)
@@ -98,10 +98,10 @@ TEST(Fgmres, Ilu0BeatsUnpreconditioned) {
 
   Vector x1(225, 0.0);
   IdentityPrecond none;
-  const SolveResult r_none = fgmres(a, b, x1, none, opts);
+  const SolveReport r_none = fgmres(a, b, x1, none, opts);
   Vector x2(225, 0.0);
   Ilu0Precond ilu(a);
-  const SolveResult r_ilu = fgmres(a, b, x2, ilu, opts);
+  const SolveReport r_ilu = fgmres(a, b, x2, ilu, opts);
   ASSERT_TRUE(r_none.converged);
   ASSERT_TRUE(r_ilu.converged);
   EXPECT_LT(r_ilu.iterations, r_none.iterations);
@@ -119,16 +119,16 @@ TEST(Fgmres, PolynomialPrecondBeatsUnpreconditionedOnScaledSystem) {
 
   Vector x0(s.b.size(), 0.0);
   IdentityPrecond none;
-  const SolveResult r_none = fgmres(s.a, s.b, x0, none, opts);
+  const SolveReport r_none = fgmres(s.a, s.b, x0, none, opts);
 
   Vector x1(s.b.size(), 0.0);
   GlsPrecond gls(LinearOp::from_csr(s.a),
                  GlsPolynomial(default_theta_after_scaling(), 7));
-  const SolveResult r_gls = fgmres(s.a, s.b, x1, gls, opts);
+  const SolveReport r_gls = fgmres(s.a, s.b, x1, gls, opts);
 
   Vector x2(s.b.size(), 0.0);
   NeumannPrecond neumann(LinearOp::from_csr(s.a), NeumannPolynomial(20, 1.0));
-  const SolveResult r_neu = fgmres(s.a, s.b, x2, neumann, opts);
+  const SolveReport r_neu = fgmres(s.a, s.b, x2, neumann, opts);
 
   ASSERT_TRUE(r_none.converged);
   ASSERT_TRUE(r_gls.converged);
@@ -164,7 +164,7 @@ TEST(Fgmres, FunctionPrecondAdapter) {
       [](std::span<const real_t> v, std::span<real_t> z) {
         for (std::size_t i = 0; i < v.size(); ++i) z[i] = 0.5 * v[i];
       });
-  const SolveResult res = fgmres(a, b, x, scale_by_half);
+  const SolveReport res = fgmres(a, b, x, scale_by_half);
   EXPECT_TRUE(res.converged);
   EXPECT_EQ(scale_by_half.name(), "halver");
 }
@@ -179,7 +179,7 @@ TEST_P(FgmresRestartSweep, ConvergesForAnyRestartLength) {
   opts.restart = GetParam();
   opts.tol = 1e-8;
   opts.max_iters = 5000;
-  const SolveResult res = fgmres(a, b, x, jacobi, opts);
+  const SolveReport res = fgmres(a, b, x, jacobi, opts);
   EXPECT_TRUE(res.converged) << "restart " << GetParam();
   Vector r(81);
   a.spmv(x, r);

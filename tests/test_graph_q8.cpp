@@ -73,7 +73,7 @@ TEST(GreedyPartition, DrivesEddSolveCorrectly) {
       elem_part, 4);
   core::PolySpec poly;
   poly.degree = 7;
-  const core::DistSolveResult res = core::solve_edd(part, prob.load, poly);
+  const core::DistSolve res = core::solve_edd(part, prob.load, poly);
   EXPECT_TRUE(res.converged);
 }
 
@@ -210,7 +210,7 @@ TEST(Quad8, EddSolveAcrossPartitions) {
   core::SolveOptions opts;
   opts.tol = 1e-10;
   opts.max_iters = 50000;
-  const core::DistSolveResult res = core::solve_edd(part, prob.load, poly,
+  const core::DistSolve res = core::solve_edd(part, prob.load, poly,
                                                     opts);
   ASSERT_TRUE(res.converged);
   const real_t scale = la::nrm_inf(x_ref);

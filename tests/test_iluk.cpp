@@ -85,7 +85,7 @@ TEST(Iluk, HigherLevelReducesFgmresIterations) {
   for (int level : {0, 1, 2}) {
     core::IlukPrecond p(s.a, level);
     Vector x(s.b.size(), 0.0);
-    const core::SolveResult res = core::fgmres(s.a, s.b, x, p, opts);
+    const core::SolveReport res = core::fgmres(s.a, s.b, x, p, opts);
     ASSERT_TRUE(res.converged) << "ILU(" << level << ")";
     EXPECT_LE(res.iterations, prev) << "ILU(" << level << ")";
     prev = res.iterations;

@@ -209,7 +209,7 @@ TEST(Integration, MatrixMarketSystemRoundTripSolve) {
     row_part[i] = static_cast<index_t>((i * 2) / row_part.size());
   const partition::RddPartition part =
       partition::build_rdd_partition(k, row_part, 2);
-  const core::DistSolveResult res = core::solve_rdd(part, prob.load);
+  const core::DistSolve res = core::solve_rdd(part, prob.load);
   EXPECT_TRUE(res.converged);
 }
 

@@ -293,7 +293,7 @@ TEST(DistKernels, SolveEddBitNeutralAcrossKernelConfigs) {
 
   for (const auto variant :
        {core::EddVariant::Basic, core::EddVariant::Enhanced}) {
-    std::vector<core::DistSolveResult> runs;
+    std::vector<core::DistSolve> runs;
     for (const KernelOptions& ko : kernel_configs()) {
       core::SolveOptions opts;
       opts.tol = 1e-8;
@@ -301,7 +301,7 @@ TEST(DistKernels, SolveEddBitNeutralAcrossKernelConfigs) {
       runs.push_back(solve_edd(part, prob.load, poly, opts, variant));
       ASSERT_TRUE(runs.back().converged);
     }
-    const core::DistSolveResult& ref = runs.front();
+    const core::DistSolve& ref = runs.front();
     for (std::size_t r = 1; r < runs.size(); ++r) {
       EXPECT_EQ(runs[r].iterations, ref.iterations);
       ASSERT_EQ(runs[r].history.size(), ref.history.size());
@@ -329,7 +329,7 @@ TEST(DistKernels, SolveEddCgBitNeutralAcrossKernelConfigs) {
   poly.kind = core::PolyKind::Gls;
   poly.degree = 3;
 
-  std::vector<core::DistSolveResult> runs;
+  std::vector<core::DistSolve> runs;
   for (const KernelOptions& ko : kernel_configs()) {
     core::SolveOptions opts;
     opts.tol = 1e-8;
@@ -407,7 +407,7 @@ TEST(ArnoldiUnderflow, TinyRhsTerminatesCleanlyAndConverges) {
   opts.tol = 1e-6;
 
   // Reference at normal scale.
-  const core::DistSolveResult ref = solve_edd(part, prob.load, poly, opts);
+  const core::DistSolve ref = solve_edd(part, prob.load, poly, opts);
   ASSERT_TRUE(ref.converged);
 
   // ~1e-160 scaling: residual norms sit near 1e-160, so every squared
@@ -417,7 +417,7 @@ TEST(ArnoldiUnderflow, TinyRhsTerminatesCleanlyAndConverges) {
   for (std::size_t i = 0; i < f_tiny.size(); ++i)
     f_tiny[i] = scale * prob.load[i];
 
-  const core::DistSolveResult tiny = solve_edd(part, f_tiny, poly, opts);
+  const core::DistSolve tiny = solve_edd(part, f_tiny, poly, opts);
   ASSERT_TRUE(tiny.converged);
   const real_t xref = la::nrm_inf(ref.x);
   for (std::size_t i = 0; i < tiny.x.size(); ++i) {
@@ -434,7 +434,7 @@ TEST(ArnoldiUnderflow, TinyRhsTerminatesCleanlyAndConverges) {
   Vector f_cg(prob.load.size());
   for (std::size_t i = 0; i < f_cg.size(); ++i)
     f_cg[i] = 1e-155 * prob.load[i];
-  const core::DistSolveResult cg = core::solve_edd_cg(part, f_cg, poly, opts);
+  const core::DistSolve cg = core::solve_edd_cg(part, f_cg, poly, opts);
   ASSERT_TRUE(cg.converged);
   for (std::size_t i = 0; i < cg.x.size(); ++i)
     ASSERT_TRUE(std::isfinite(cg.x[i]));

@@ -171,6 +171,7 @@ TEST(NetProto, SolveRequestRoundTripsEveryField) {
   proto::SolveRequestMsg m;
   m.req_id = 42;
   m.operator_key = "op3";
+  m.session_id = 0xface5ull;
   m.priority = 1;
   m.deadline_ns = 2'500'000'000ull;
   m.seed = 0x5eedull;
@@ -189,6 +190,7 @@ TEST(NetProto, SolveRequestRoundTripsEveryField) {
   ASSERT_EQ(proto::decode_solve_request(body, d), proto::DecodeStatus::Ok);
   EXPECT_EQ(d.req_id, 42u);
   EXPECT_EQ(d.operator_key, "op3");
+  EXPECT_EQ(d.session_id, 0xface5ull);
   EXPECT_EQ(d.priority, 1u);
   EXPECT_EQ(d.deadline_ns, m.deadline_ns);
   EXPECT_EQ(d.seed, m.seed);
@@ -325,6 +327,7 @@ TEST(NetProto, LyingCountFieldsAreOversizedNotAllocated) {
   net::put_u64(b2, 1);          // req_id
   net::put_u32(b2, 1);          // key length
   b2.push_back('k');
+  net::put_u64(b2, 0);          // session_id
   net::put_u32(b2, 0);          // priority
   net::put_u64(b2, 0);          // deadline
   net::put_u64(b2, 0);          // seed
@@ -948,6 +951,186 @@ TEST(NetRemote, RouterRoutesByOperatorAffinityAndShedsWhenSaturated) {
               (a.req_id == 2 && b.req_id == 1));
   net::close_fd(fd);
   router.stop();
+}
+
+// ---------------------------------------------------------------------------
+// 7. solve sessions over the wire
+// ---------------------------------------------------------------------------
+
+TEST(NetSession, SessionFramesRoundTripEveryField) {
+  {
+    proto::SessionOpenMsg m{41, "opX"};
+    net::ByteBuffer f;
+    proto::encode_session_open(f, m);
+    std::span<const unsigned char> body;
+    const proto::ProtoHeader h = split_frame(f, body);
+    EXPECT_EQ(h.type, static_cast<std::uint16_t>(proto::MsgType::SessionOpen));
+    proto::SessionOpenMsg d;
+    ASSERT_EQ(proto::decode_session_open(body, d), proto::DecodeStatus::Ok);
+    EXPECT_EQ(d.req_id, 41u);
+    EXPECT_EQ(d.operator_key, "opX");
+  }
+  {
+    proto::SessionCloseMsg m{43, "opX", 7};
+    net::ByteBuffer f;
+    proto::encode_session_close(f, m);
+    std::span<const unsigned char> body;
+    const proto::ProtoHeader h = split_frame(f, body);
+    EXPECT_EQ(h.type,
+              static_cast<std::uint16_t>(proto::MsgType::SessionClose));
+    proto::SessionCloseMsg d;
+    ASSERT_EQ(proto::decode_session_close(body, d), proto::DecodeStatus::Ok);
+    EXPECT_EQ(d.req_id, 43u);
+    EXPECT_EQ(d.operator_key, "opX");
+    EXPECT_EQ(d.session_id, 7u);
+  }
+  {
+    proto::SessionAckMsg m{44, 0, "operator 'z' is not registered"};
+    net::ByteBuffer f;
+    proto::encode_session_ack(f, m);
+    std::span<const unsigned char> body;
+    const proto::ProtoHeader h = split_frame(f, body);
+    EXPECT_EQ(h.type, static_cast<std::uint16_t>(proto::MsgType::SessionAck));
+    proto::SessionAckMsg d;
+    ASSERT_EQ(proto::decode_session_ack(body, d), proto::DecodeStatus::Ok);
+    EXPECT_EQ(d.req_id, 44u);
+    EXPECT_EQ(d.session_id, 0u);
+    EXPECT_EQ(d.detail, "operator 'z' is not registered");
+  }
+}
+
+TEST(NetSession, OpenSolveCloseRoundTripsOverTheWire) {
+  RemoteRig rig("sess");
+  svc::Client client(rig.addr, "t");
+
+  EXPECT_EQ(client.open_session("no-such-operator"), 0u);
+  const std::uint64_t sid = client.open_session("op0");
+  ASSERT_NE(sid, 0u);
+
+  proto::SolveRequestMsg req = basic_request(rig);
+  req.session_id = sid;
+  proto::SolveResponseMsg resp;
+  ASSERT_TRUE(client.solve(req, resp));
+  ASSERT_EQ(resp.status, proto::SolveStatus::Completed);
+  const int first = resp.items.at(0).iterations;
+
+  // The warm replay of the identical RHS starts at its solution.
+  proto::SolveRequestMsg again = basic_request(rig);
+  again.session_id = sid;
+  proto::SolveResponseMsg resp2;
+  ASSERT_TRUE(client.solve(again, resp2));
+  ASSERT_EQ(resp2.status, proto::SolveStatus::Completed);
+  EXPECT_LT(resp2.items.at(0).iterations, first);
+
+  // An unknown handle is a typed rejection, not a cold fallback.
+  proto::SolveRequestMsg unknown = basic_request(rig);
+  unknown.session_id = sid + 777;
+  proto::SolveResponseMsg resp3;
+  ASSERT_TRUE(client.solve(unknown, resp3));
+  EXPECT_EQ(resp3.status, proto::SolveStatus::Rejected);
+  EXPECT_EQ(resp3.reject_reason,
+            static_cast<std::uint32_t>(svc::RejectReason::UnknownSession));
+
+  EXPECT_TRUE(client.close_session("op0", sid));
+  EXPECT_FALSE(client.close_session("op0", sid));  // already closed
+}
+
+TEST(NetSession, SessionPinnedRoutingAcrossForkedShards) {
+#ifdef PFEM_NO_FORK_TESTS
+  GTEST_SKIP() << "fork-based multi-process test skipped under sanitizers";
+#else
+  // Two shard PROCESSES (Service + Server each), both registering the
+  // same keys, with a router in front.  A session opened through the
+  // router lives in exactly one shard's SessionTable; this test passes
+  // only if every frame of the session's traffic is pinned there.
+  constexpr int kShardProcs = 2;
+  struct ShardProc {
+    pid_t pid = -1;
+    int ready_r = -1;
+    int ctl_w = -1;
+  };
+  std::vector<std::string> addrs;
+  for (int i = 0; i < kShardProcs; ++i)
+    addrs.push_back(unique_sock(("pin_s" + std::to_string(i)).c_str()));
+
+  std::vector<ShardProc> procs;
+  for (int i = 0; i < kShardProcs; ++i) {
+    int ready[2], ctl[2];
+    ASSERT_EQ(::pipe(ready), 0);
+    ASSERT_EQ(::pipe(ctl), 0);
+    const pid_t pid = net::fork_run([&, i]() -> int {
+      ::close(ready[0]);
+      ::close(ctl[1]);
+      const SolveScene cs = make_scene(2);
+      svc::ServiceConfig cfg;
+      cfg.nranks = 2;
+      svc::Service service(cfg);
+      service.register_operator("k0", cs.part, cs.poly);
+      svc::Server server(service, addrs[static_cast<std::size_t>(i)],
+                         "pin" + std::to_string(i));
+      unsigned char b = 1;
+      if (!pipe_write(ready[1], &b, 1)) return 3;
+      (void)pipe_read(ctl[0], &b, 1);  // parent closes its end when done
+      server.stop();
+      service.shutdown(/*drain=*/true);
+      return 0;
+    });
+    ::close(ready[1]);
+    ::close(ctl[0]);
+    procs.push_back(ShardProc{pid, ready[0], ctl[1]});
+  }
+  for (const ShardProc& p : procs) {
+    unsigned char b = 0;
+    ASSERT_TRUE(pipe_read(p.ready_r, &b, 1)) << "shard failed to come up";
+  }
+
+  {
+    svc::RouterConfig rc;
+    rc.listen_addr = unique_sock("pin_r");
+    rc.shard_addrs = {addrs[0], addrs[1]};
+    svc::Router router(rc);
+    svc::Client client(rc.listen_addr, "t");
+    const SolveScene s = make_scene(2);
+
+    const std::uint64_t sid = client.open_session("k0");
+    ASSERT_NE(sid, 0u);
+
+    constexpr int kSteps = 3;
+    int cold_total = 0, warm_total = 0;
+    for (int t = 0; t < kSteps; ++t) {
+      Vector f = s.prob.load;
+      for (real_t& v : f) v *= 1.0 + 0.01 * t;
+      for (const bool warm : {false, true}) {
+        proto::SolveRequestMsg req;
+        req.operator_key = "k0";
+        req.session_id = warm ? sid : 0;
+        req.rhs = {f};
+        proto::SolveResponseMsg resp;
+        ASSERT_TRUE(client.solve(req, resp));
+        ASSERT_EQ(resp.status, proto::SolveStatus::Completed);
+        (warm ? warm_total : cold_total) += resp.items.at(0).iterations;
+      }
+    }
+    // Warm solves only beat cold if each one found the state deposited
+    // by its predecessor — i.e. if all of them landed on the session's
+    // shard.
+    EXPECT_LT(warm_total, cold_total);
+    EXPECT_TRUE(client.close_session("k0", sid));
+
+    const svc::Router::Stats st = router.stats();
+    EXPECT_EQ(st.session_frames, 2u);  // open + close
+    EXPECT_EQ(st.session_pinned, static_cast<std::uint64_t>(kSteps));
+    EXPECT_EQ(st.forwarded, static_cast<std::uint64_t>(2 * kSteps));
+    EXPECT_EQ(st.spilled, 0u);
+    router.stop();
+  }
+
+  for (const ShardProc& p : procs) {
+    ::close(p.ctl_w);
+    ::close(p.ready_r);
+  }
+  for (const ShardProc& p : procs) EXPECT_EQ(net::wait_exit(p.pid), 0);
+#endif
 }
 
 }  // namespace

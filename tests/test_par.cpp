@@ -312,12 +312,12 @@ TEST(Comm, ExchangeCountsMatchTable1Exactly) {
   const auto deg = static_cast<std::uint64_t>(poly.degree);
   const auto it = static_cast<std::uint64_t>(opts.max_iters);
 
-  const core::DistSolveResult enhanced = core::solve_edd(
+  const core::DistSolve enhanced = core::solve_edd(
       part, prob.load, poly, opts, core::EddVariant::Enhanced);
   for (const PerfCounters& c : enhanced.rank_counters)
     EXPECT_EQ(c.neighbor_exchanges, 3 + it * (deg + 1));
 
-  const core::DistSolveResult basic =
+  const core::DistSolve basic =
       core::solve_edd(part, prob.load, poly, opts, core::EddVariant::Basic);
   for (const PerfCounters& c : basic.rank_counters)
     EXPECT_EQ(c.neighbor_exchanges, 6 + it * (deg + 3));
@@ -335,8 +335,8 @@ TEST(Comm, SolveEddIsBitDeterministic) {
   core::PolySpec poly;
   core::SolveOptions opts;
   opts.tol = 1e-10;
-  const core::DistSolveResult a = core::solve_edd(part, prob.load, poly, opts);
-  const core::DistSolveResult b = core::solve_edd(part, prob.load, poly, opts);
+  const core::DistSolve a = core::solve_edd(part, prob.load, poly, opts);
+  const core::DistSolve b = core::solve_edd(part, prob.load, poly, opts);
   ASSERT_TRUE(a.converged && b.converged);
   ASSERT_EQ(a.x.size(), b.x.size());
   for (std::size_t i = 0; i < a.x.size(); ++i)

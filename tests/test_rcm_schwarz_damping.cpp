@@ -115,7 +115,7 @@ TEST_P(SchwarzTest, MatchesSequentialSolution) {
   core::SolveOptions opts;
   opts.tol = 1e-10;
   opts.max_iters = 50000;
-  const core::DistSolveResult res = core::solve_rdd(part, prob.load, rdd,
+  const core::DistSolve res = core::solve_rdd(part, prob.load, rdd,
                                                     opts);
   ASSERT_TRUE(res.converged);
   const real_t scale = la::nrm_inf(x_ref);

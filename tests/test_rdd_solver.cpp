@@ -27,7 +27,7 @@ Vector reference_solution(const fem::CantileverProblem& prob) {
   SolveOptions opts;
   opts.tol = 1e-12;
   opts.max_iters = 50000;
-  const SolveResult res = fgmres(prob.stiffness, prob.load, x, ilu, opts);
+  const SolveReport res = fgmres(prob.stiffness, prob.load, x, ilu, opts);
   EXPECT_TRUE(res.converged);
   return x;
 }
@@ -48,7 +48,7 @@ TEST_P(RddSolverTest, MatchesSequentialSolution) {
   SolveOptions opts;
   opts.tol = 1e-10;
   opts.max_iters = 50000;
-  const DistSolveResult res = solve_rdd(part, prob.load, rdd, opts);
+  const DistSolve res = solve_rdd(part, prob.load, rdd, opts);
   ASSERT_TRUE(res.converged);
   const real_t scale = la::nrm_inf(x_ref);
   for (std::size_t i = 0; i < x_ref.size(); ++i)
@@ -78,7 +78,7 @@ TEST(RddSolver, BlockJacobiIluConverges) {
   SolveOptions opts;
   opts.tol = 1e-10;
   opts.max_iters = 50000;
-  const DistSolveResult res = solve_rdd(part, prob.load, rdd, opts);
+  const DistSolve res = solve_rdd(part, prob.load, rdd, opts);
   ASSERT_TRUE(res.converged);
   const real_t scale = la::nrm_inf(x_ref);
   for (std::size_t i = 0; i < x_ref.size(); ++i)
@@ -92,9 +92,9 @@ par::PerfCounters per_iteration_delta(const partition::RddPartition& part,
   opts.tol = 1e-300;
   opts.restart = 25;
   opts.max_iters = n;
-  const DistSolveResult a = solve_rdd(part, f, rdd, opts);
+  const DistSolve a = solve_rdd(part, f, rdd, opts);
   opts.max_iters = n + 1;
-  const DistSolveResult b = solve_rdd(part, f, rdd, opts);
+  const DistSolve b = solve_rdd(part, f, rdd, opts);
   return b.rank_counters[0].delta_since(a.rank_counters[0]);
 }
 
@@ -138,8 +138,8 @@ TEST(RddSolver, EddAndRddAgreeOnSolution) {
   rdd.poly = poly;
   SolveOptions opts;
   opts.tol = 1e-10;
-  const DistSolveResult r1 = solve_rdd(rpart, prob.load, rdd, opts);
-  const DistSolveResult r2 = solve_edd(epart, prob.load, poly, opts);
+  const DistSolve r1 = solve_rdd(rpart, prob.load, rdd, opts);
+  const DistSolve r2 = solve_edd(epart, prob.load, poly, opts);
   ASSERT_TRUE(r1.converged && r2.converged);
   const real_t scale = la::nrm_inf(r1.x);
   for (std::size_t i = 0; i < r1.x.size(); ++i)
@@ -149,7 +149,7 @@ TEST(RddSolver, EddAndRddAgreeOnSolution) {
 TEST(RddSolver, SingleRankNoMessaging) {
   const fem::CantileverProblem prob = test_problem();
   const partition::RddPartition part = exp::make_rdd(prob, 1);
-  const DistSolveResult res = solve_rdd(part, prob.load);
+  const DistSolve res = solve_rdd(part, prob.load);
   ASSERT_TRUE(res.converged);
   EXPECT_EQ(res.rank_counters[0].neighbor_msgs, 0u);
 }

@@ -22,7 +22,7 @@ TEST(Smoke, EddSolveMatchesSequential) {
   core::SolveOptions seq_opts;
   seq_opts.tol = 1e-12;
   seq_opts.max_iters = 20000;
-  const core::SolveResult ref =
+  const core::SolveReport ref =
       core::fgmres(prob.stiffness, prob.load, x_ref, ilu, seq_opts);
   ASSERT_TRUE(ref.converged);
 
@@ -33,7 +33,7 @@ TEST(Smoke, EddSolveMatchesSequential) {
   core::SolveOptions opts;
   opts.tol = 1e-10;
   opts.max_iters = 20000;
-  const core::DistSolveResult res = core::solve_edd(part, prob.load, poly,
+  const core::DistSolve res = core::solve_edd(part, prob.load, poly,
                                                     opts);
   ASSERT_TRUE(res.converged);
   ASSERT_EQ(res.x.size(), x_ref.size());

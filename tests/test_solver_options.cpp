@@ -31,11 +31,11 @@ TEST(Reorth, SequentialCgs2TightensTrueResidual) {
   JacobiPrecond jacobi(a);
 
   Vector x1(b.size(), 0.0);
-  const SolveResult plain = fgmres(a, b, x1, jacobi, opts);
+  const SolveReport plain = fgmres(a, b, x1, jacobi, opts);
   Vector x2(b.size(), 0.0);
   SolveOptions opts2 = opts;
   opts2.reorthogonalize = true;
-  const SolveResult cgs2 = fgmres(a, b, x2, jacobi, opts2);
+  const SolveReport cgs2 = fgmres(a, b, x2, jacobi, opts2);
 
   // Both must reach a very small true residual; CGS2 must not be worse.
   EXPECT_LT(cgs2.final_relres, 1e-10);
@@ -49,11 +49,11 @@ TEST(Reorth, EddSolutionUnchanged) {
   poly.degree = 7;
   SolveOptions opts;
   opts.tol = 1e-10;
-  const DistSolveResult plain = solve_edd(part, prob.load, poly, opts);
+  const DistSolve plain = solve_edd(part, prob.load, poly, opts);
   SolveOptions opts2 = opts;
   opts2.reorthogonalize = true;
   for (EddVariant variant : {EddVariant::Basic, EddVariant::Enhanced}) {
-    const DistSolveResult re =
+    const DistSolve re =
         solve_edd(part, prob.load, poly, opts2, variant);
     ASSERT_TRUE(re.converged);
     const real_t scale = la::nrm_inf(plain.x);
@@ -69,10 +69,10 @@ TEST(Batched, EddSameSolutionFewerReductions) {
   poly.degree = 5;
   SolveOptions opts;
   opts.tol = 1e-8;
-  const DistSolveResult paper = solve_edd(part, prob.load, poly, opts);
+  const DistSolve paper = solve_edd(part, prob.load, poly, opts);
   SolveOptions opts2 = opts;
   opts2.batched_reductions = true;
-  const DistSolveResult batched = solve_edd(part, prob.load, poly, opts2);
+  const DistSolve batched = solve_edd(part, prob.load, poly, opts2);
 
   ASSERT_TRUE(paper.converged && batched.converged);
   EXPECT_EQ(paper.iterations, batched.iterations);
@@ -95,9 +95,9 @@ TEST(Batched, PerIterationReductionCountIsConstant) {
   opts.tol = 1e-300;
   opts.batched_reductions = true;
   opts.max_iters = 5;
-  const DistSolveResult a = solve_edd(part, prob.load, poly, opts);
+  const DistSolve a = solve_edd(part, prob.load, poly, opts);
   opts.max_iters = 6;
-  const DistSolveResult b = solve_edd(part, prob.load, poly, opts);
+  const DistSolve b = solve_edd(part, prob.load, poly, opts);
   const par::PerfCounters d =
       b.rank_counters[0].delta_since(a.rank_counters[0]);
   EXPECT_EQ(d.global_reductions, 2u);
@@ -111,10 +111,10 @@ TEST(Batched, RddSameSolution) {
   rdd.poly.degree = 5;
   SolveOptions opts;
   opts.tol = 1e-8;
-  const DistSolveResult paper = solve_rdd(part, prob.load, rdd, opts);
+  const DistSolve paper = solve_rdd(part, prob.load, rdd, opts);
   SolveOptions opts2 = opts;
   opts2.batched_reductions = true;
-  const DistSolveResult batched = solve_rdd(part, prob.load, rdd, opts2);
+  const DistSolve batched = solve_rdd(part, prob.load, rdd, opts2);
   ASSERT_TRUE(paper.converged && batched.converged);
   for (std::size_t i = 0; i < paper.x.size(); ++i)
     EXPECT_DOUBLE_EQ(batched.x[i], paper.x[i]);
@@ -131,7 +131,7 @@ TEST(Batched, ReorthCombinationConverges) {
   opts.tol = 1e-10;
   opts.batched_reductions = true;
   opts.reorthogonalize = true;
-  const DistSolveResult res = solve_edd(part, prob.load, poly, opts);
+  const DistSolve res = solve_edd(part, prob.load, poly, opts);
   EXPECT_TRUE(res.converged);
 }
 

@@ -709,5 +709,153 @@ TEST(Service, ShutdownDrainsThenRefusesNewWork) {
             svc::RejectReason::ShuttingDown);
 }
 
+// ---------------------------------------------------------------- sessions
+
+/// Per-rank matrix copies with the diagonal scaled by (1 + drift): a
+/// deterministic SPD-preserving drifting operator for session streams.
+std::shared_ptr<const std::vector<sparse::CsrMatrix>> drifted(
+    const Scene& s, real_t drift) {
+  auto mats = std::make_shared<std::vector<sparse::CsrMatrix>>();
+  for (const auto& sub : s.part->subs) {
+    sparse::CsrMatrix a = sub.k_loc;
+    const auto rp = a.row_ptr();
+    const auto ci = a.col_idx();
+    auto vals = a.values();
+    for (index_t i = 0; i < a.rows(); ++i)
+      for (index_t k = rp[static_cast<std::size_t>(i)];
+           k < rp[static_cast<std::size_t>(i) + 1]; ++k)
+        if (ci[static_cast<std::size_t>(k)] == i)
+          vals[static_cast<std::size_t>(k)] *= 1.0 + drift;
+    mats->push_back(std::move(a));
+  }
+  return mats;
+}
+
+TEST(Session, WarmStartReplaysBitIdenticalAndReducesIterations) {
+  const Scene s = make_scene();
+
+  struct Stream {
+    std::vector<int> cold, warm;
+    std::vector<Vector> x;  ///< warm-lane solutions, per step
+    std::uint64_t warm_rhs = 0;
+  };
+  // One drifting trace: per step, drift the operator + RHS and solve
+  // cold (session-less) then warm (session).
+  const auto run_stream = [&]() {
+    svc::ServiceConfig cfg;
+    cfg.nranks = kRanks;
+    svc::Service service(cfg);
+    service.register_operator("op", s.part, s.poly);
+    const svc::SessionId sid = service.open_session("op");
+    EXPECT_NE(sid, svc::kNoSession);
+    Stream out;
+    for (int t = 0; t < 4; ++t) {
+      if (t > 0) service.update_operator("op", drifted(s, 0.01 * t));
+      for (const bool warm : {false, true}) {
+        svc::SolveRequest req = make_request(s, "op", 1.0 + 0.02 * t);
+        req.session = warm ? sid : svc::kNoSession;
+        const svc::Outcome o = service.submit(std::move(req)).outcome.get();
+        const auto* c = std::get_if<svc::Completed>(&o);
+        EXPECT_NE(c, nullptr);
+        if (c == nullptr) return out;  // ASSERT can't cross the lambda
+        (warm ? out.warm : out.cold)
+            .push_back(c->result.items.at(0).iterations);
+        if (warm) out.x.push_back(c->result.x.at(0));
+      }
+    }
+    out.warm_rhs = service.stats().warm_rhs;
+    service.shutdown(/*drain=*/true);
+    return out;
+  };
+
+  const Stream a = run_stream();
+  const Stream b = run_stream();
+
+  // Same session, same trace => same iteration counts AND bitwise-equal
+  // solutions, run to run (the replay contract).
+  EXPECT_EQ(a.cold, b.cold);
+  EXPECT_EQ(a.warm, b.warm);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t i = 0; i < a.x.size(); ++i) EXPECT_EQ(a.x[i], b.x[i]);
+
+  // Step 0's warm solve has no state yet; every later one does.
+  EXPECT_EQ(a.warm_rhs, 3u);
+  int cold_total = 0, warm_total = 0;
+  for (std::size_t i = 1; i < a.cold.size(); ++i) {
+    cold_total += a.cold[i];
+    warm_total += a.warm[i];
+  }
+  EXPECT_LT(warm_total, cold_total);
+}
+
+TEST(Session, AdmissionRejectsUnknownAndMismatchedSessions) {
+  const Scene s = make_scene();
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  service.register_operator("a", s.part, s.poly);
+  service.register_operator("b", s.part, s.poly);
+
+  EXPECT_EQ(service.open_session("no-such-operator"), svc::kNoSession);
+  const svc::SessionId sid = service.open_session("a");
+  ASSERT_NE(sid, svc::kNoSession);
+
+  svc::SolveRequest unknown = make_request(s, "a");
+  unknown.session = sid + 999;
+  const svc::Outcome o1 = service.submit(std::move(unknown)).outcome.get();
+  ASSERT_TRUE(std::holds_alternative<svc::Rejected>(o1));
+  EXPECT_EQ(std::get<svc::Rejected>(o1).reason,
+            svc::RejectReason::UnknownSession);
+
+  svc::SolveRequest mismatched = make_request(s, "b");
+  mismatched.session = sid;  // pinned to "a"
+  const svc::Outcome o2 = service.submit(std::move(mismatched)).outcome.get();
+  ASSERT_TRUE(std::holds_alternative<svc::Rejected>(o2));
+  EXPECT_EQ(std::get<svc::Rejected>(o2).reason, svc::RejectReason::BadRequest);
+
+  EXPECT_TRUE(service.close_session(sid));
+  EXPECT_FALSE(service.close_session(sid));  // already closed
+  service.shutdown(/*drain=*/true);
+}
+
+TEST(Session, OperatorCacheEvictionDropsStateButKeepsHandle) {
+  const Scene s = make_scene();
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  cfg.cache_capacity = 1;  // building any second operator evicts the first
+  svc::Service service(cfg);
+  service.register_operator("a", s.part, s.poly);
+  service.register_operator("b", s.part, s.poly);
+  const svc::SessionId sid = service.open_session("a");
+  ASSERT_NE(sid, svc::kNoSession);
+
+  const auto solve = [&](const std::string& key, svc::SessionId id) {
+    svc::SolveRequest req = make_request(s, key);
+    req.session = id;
+    const svc::Outcome o = service.submit(std::move(req)).outcome.get();
+    EXPECT_TRUE(svc::ok(o));
+    return svc::ok(o)
+               ? std::get<svc::Completed>(o).result.items.at(0).iterations
+               : -1;
+  };
+
+  solve("a", sid);  // builds 'a' and deposits the session's first state
+  // Warm replay of the identical RHS starts at the solution: ~free.
+  const int warm = solve("a", sid);
+  EXPECT_EQ(service.stats().warm_rhs, 1u);
+  EXPECT_EQ(service.stats().sessions_evicted, 0u);
+
+  // Building 'b' LRU-evicts 'a' — and with it the session's state.
+  solve("b", svc::kNoSession);
+  EXPECT_EQ(service.stats().sessions_evicted, 1u);
+
+  // The handle survives eviction; the next solve just runs cold again.
+  const int after = solve("a", sid);
+  EXPECT_EQ(service.stats().warm_rhs, 1u);  // no warm lane this time
+  EXPECT_GT(after, warm);
+  EXPECT_TRUE(service.close_session(sid));
+  service.shutdown(/*drain=*/true);
+}
+
 }  // namespace
 }  // namespace pfem

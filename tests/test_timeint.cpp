@@ -175,7 +175,7 @@ TEST(DynamicDriver, EffectiveSystemBetterConditionedThanStatic) {
   core::GlsPrecond p1(core::LinearOp::from_csr(stat.a),
                       core::GlsPolynomial(core::default_theta_after_scaling(),
                                           7));
-  const core::SolveResult r_static =
+  const core::SolveReport r_static =
       core::fgmres(stat.a, stat.b, x1, p1, sopts);
 
   NewmarkOptions nopts;
@@ -186,7 +186,7 @@ TEST(DynamicDriver, EffectiveSystemBetterConditionedThanStatic) {
   core::GlsPrecond p2(core::LinearOp::from_csr(dyn.a),
                       core::GlsPolynomial(core::default_theta_after_scaling(),
                                           7));
-  const core::SolveResult r_dyn = core::fgmres(dyn.a, dyn.b, x2, p2, sopts);
+  const core::SolveReport r_dyn = core::fgmres(dyn.a, dyn.b, x2, p2, sopts);
 
   ASSERT_TRUE(r_static.converged && r_dyn.converged);
   EXPECT_LE(r_dyn.iterations, r_static.iterations);

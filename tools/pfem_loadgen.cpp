@@ -32,6 +32,21 @@
 //   pfem_loadgen --connect=unix:/tmp/router.sock [--clients=3]
 //                [--seconds=5] [--ops=4] [--rhs=1] [--deadline-ms=0]
 //                [--json=FILE]
+//
+// With --replay=N the load generator becomes a drifting-operator trace
+// replayer: N sequential steps of a slowly drifting problem (diagonal
+// operator drift + smooth RHS drift), each solved twice — once cold
+// (session-less) and once through a solve session (warm start +
+// recycled directions) — printing the per-step and mean iteration
+// counts.  The stream is fully deterministic (content-derived seeds, no
+// wall-clock dependence), so two runs produce identical iteration
+// traces: the CI session-replay gate.  Combined with --connect the
+// replay speaks the wire protocol (session frames + pinned solves
+// through a router); operator drift is then omitted since updates don't
+// travel the wire, leaving pure RHS drift.
+//
+//   pfem_loadgen --replay=12 [--ranks=4] [--nx=24] [--ny=8] [--json=FILE]
+//   pfem_loadgen --replay=12 --connect=unix:/tmp/router.sock [--json=FILE]
 #include <atomic>
 #include <chrono>
 #include <fstream>
@@ -54,6 +69,228 @@ struct ClientTally {
   std::uint64_t cancelled = 0;
   std::uint64_t failed = 0;
 };
+
+// ---- replay helpers -------------------------------------------------------
+
+/// Per-rank copies of the partition's matrices with every diagonal entry
+/// scaled by (1 + drift): a deterministic, SPD-preserving "drifting
+/// operator" with unchanged sparsity, standing in for the quasi-static /
+/// time-stepping operator paths that solve sessions target.
+std::shared_ptr<const std::vector<sparse::CsrMatrix>> drifted_matrices(
+    const partition::EddPartition& part, real_t drift) {
+  auto mats = std::make_shared<std::vector<sparse::CsrMatrix>>();
+  mats->reserve(part.subs.size());
+  for (const auto& sub : part.subs) {
+    sparse::CsrMatrix a = sub.k_loc;
+    const auto rp = a.row_ptr();
+    const auto ci = a.col_idx();
+    auto vals = a.values();
+    for (index_t i = 0; i < a.rows(); ++i)
+      for (index_t k = rp[static_cast<std::size_t>(i)];
+           k < rp[static_cast<std::size_t>(i) + 1]; ++k)
+        if (ci[static_cast<std::size_t>(k)] == i)
+          vals[static_cast<std::size_t>(k)] *= 1.0 + drift;
+    mats->push_back(std::move(a));
+  }
+  return mats;
+}
+
+/// Step-t RHS of a replay: the base load under a small smooth spatial
+/// drift, so consecutive steps stay close (warm starts help) without
+/// being identical (the warm solve still has real work to do).
+Vector replay_rhs(const Vector& load, int t, int steps) {
+  Vector f = load;
+  const real_t s = static_cast<real_t>(t) / static_cast<real_t>(steps);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] *= 1.0 + 0.1 * s *
+                      (0.5 + 0.5 * static_cast<real_t>(i % 7) / 7.0);
+  return f;
+}
+
+double mean_from(const std::vector<int>& v, std::size_t first) {
+  if (v.size() <= first) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = first; i < v.size(); ++i) sum += v[i];
+  return sum / static_cast<double>(v.size() - first);
+}
+
+/// Shared tail of both replay modes: per-mean summary + optional JSON
+/// artifact.  Means skip step 0 — the first warm solve has no session
+/// state yet, so it IS a cold solve (session warm-up, not signal).
+bool finish_replay(const std::string& json, const char* mode,
+                   const std::string& connect, int steps,
+                   const std::vector<int>& cold_iters,
+                   const std::vector<int>& warm_iters, bool ok) {
+  const double cold_mean = mean_from(cold_iters, 1);
+  const double warm_mean = mean_from(warm_iters, 1);
+  const double reduction =
+      cold_mean > 0.0 ? 1.0 - warm_mean / cold_mean : 0.0;
+  std::cout << "replay: mean iterations over steps 1.." << steps - 1
+            << ": cold " << cold_mean << ", warm " << warm_mean
+            << " (reduction " << reduction * 100.0 << "%)\n";
+  if (!json.empty()) {
+    std::ofstream out(json);
+    if (!out) {
+      std::cerr << "error: could not write " << json << "\n";
+      ok = false;
+    } else {
+      out << "{\n"
+          << "  \"mode\": \"" << mode << "\",\n";
+      if (!connect.empty()) out << "  \"connect\": \"" << connect << "\",\n";
+      out << "  \"steps\": " << steps << ",\n"
+          << "  \"cold_mean_iters\": " << cold_mean << ",\n"
+          << "  \"warm_mean_iters\": " << warm_mean << ",\n"
+          << "  \"iter_reduction\": " << reduction << ",\n"
+          << "  \"ok\": " << (ok ? "true" : "false") << "\n"
+          << "}\n";
+      std::cout << "replay JSON written to " << json << "\n";
+    }
+  }
+  return ok;
+}
+
+/// In-process drifting-operator replay: per step, drift the operator +
+/// RHS, solve once session-less (cold) and once through the session
+/// (warm), and compare iteration counts.
+int run_replay(int argc, char** argv, int steps) {
+  const int ranks = tools::int_arg(argc, argv, "--ranks", 4);
+  const int nx = tools::int_arg(argc, argv, "--nx", 24);
+  const int ny = tools::int_arg(argc, argv, "--ny", 8);
+  const int degree = tools::int_arg(argc, argv, "--degree", 7);
+  const std::string json = tools::str_arg(argc, argv, "--json", "");
+
+  const tools::ProblemSetup setup = tools::make_setup(nx, ny, ranks, degree);
+  std::cout << "pfem_loadgen: replaying " << steps
+            << " drifting-operator steps, " << setup.prob.dofs.num_free()
+            << " equations, P=" << ranks << "\n";
+
+  svc::ServiceConfig cfg;
+  cfg.nranks = ranks;
+  cfg.observe = exp::observe_from_flags(argc, argv);
+  svc::Service service(cfg);
+  service.register_operator("op", setup.part, setup.poly);
+  const svc::SessionId session = service.open_session("op");
+  if (session == svc::kNoSession) {
+    std::cerr << "pfem_loadgen: open_session refused\n";
+    return 1;
+  }
+
+  auto solve_one = [&](svc::SessionId sid, const Vector& f, int& iters) {
+    svc::SolveRequest req;
+    req.operator_key = "op";
+    req.session = sid;
+    req.rhs.push_back(f);
+    svc::Outcome o = service.submit(std::move(req)).outcome.get();
+    const auto* c = std::get_if<svc::Completed>(&o);
+    if (c == nullptr || !c->result.items.front().converged) {
+      std::cerr << "replay solve " << tools::outcome_name(o) << "\n";
+      return false;
+    }
+    iters = c->result.items.front().iterations;
+    return true;
+  };
+
+  std::vector<int> cold_iters, warm_iters;
+  bool ok = true;
+  for (int t = 0; t < steps && ok; ++t) {
+    if (t > 0)
+      service.update_operator(
+          "op", drifted_matrices(*setup.part,
+                                 0.05 * static_cast<real_t>(t) /
+                                     static_cast<real_t>(steps)));
+    const Vector f = replay_rhs(setup.prob.load, t, steps);
+    int ci = 0, wi = 0;
+    ok = solve_one(svc::kNoSession, f, ci) && solve_one(session, f, wi);
+    if (ok) {
+      cold_iters.push_back(ci);
+      warm_iters.push_back(wi);
+      std::cout << "step " << t << ": cold " << ci << " it, warm " << wi
+                << " it\n";
+    }
+  }
+  (void)service.close_session(session);
+  service.shutdown(/*drain=*/true);
+
+  const svc::ServiceStats st = service.stats();
+  std::cout << "service: warm_rhs=" << st.warm_rhs
+            << " sessions_opened=" << st.sessions_opened
+            << " sessions_closed=" << st.sessions_closed
+            << " sessions_evicted=" << st.sessions_evicted << "\n";
+  ok = finish_replay(json, "replay", "", steps, cold_iters, warm_iters,
+                     ok && !warm_iters.empty()) &&
+       exp::dump_trace_if_requested(argc, argv, service.trace());
+  std::cout << (ok ? "pfem_loadgen: OK\n" : "pfem_loadgen: FAILED\n");
+  return ok ? 0 : 1;
+}
+
+/// Wire-protocol replay against a remote shard or router: session
+/// open/solve/close frames over the socket, RHS drift only (operator
+/// updates don't travel the wire).  Exercises router session pinning
+/// end to end.
+int run_replay_remote(int argc, char** argv, const std::string& connect,
+                      int steps) {
+  namespace proto = net::proto;
+  const int nx = tools::int_arg(argc, argv, "--nx", 24);
+  const int ny = tools::int_arg(argc, argv, "--ny", 8);
+  const std::string key = tools::str_arg(argc, argv, "--key", "op0");
+  const std::string json = tools::str_arg(argc, argv, "--json", "");
+
+  fem::CantileverSpec spec;
+  spec.nx = nx;
+  spec.ny = ny;
+  const fem::CantileverProblem prob = fem::make_cantilever(spec);
+  std::cout << "pfem_loadgen: replaying " << steps << " steps over "
+            << connect << " (key '" << key << "')\n";
+
+  std::unique_ptr<svc::Client> cli;
+  try {
+    cli = std::make_unique<svc::Client>(connect, "loadgen-replay");
+  } catch (const std::exception& e) {
+    std::cerr << "pfem_loadgen: " << e.what() << "\n";
+    return 1;
+  }
+  const std::uint64_t session = cli->open_session(key);
+  if (session == 0) {
+    std::cerr << "pfem_loadgen: SessionOpen refused\n";
+    return 1;
+  }
+
+  auto solve_one = [&](std::uint64_t sid, const Vector& f, int& iters) {
+    proto::SolveRequestMsg req;
+    req.operator_key = key;
+    req.session_id = sid;
+    req.rhs.push_back(f);
+    proto::SolveResponseMsg resp;
+    if (!cli->solve(req, resp) ||
+        resp.status != proto::SolveStatus::Completed ||
+        resp.items.empty() || !resp.items.front().converged) {
+      std::cerr << "replay solve failed"
+                << (resp.detail.empty() ? "" : ": " + resp.detail) << "\n";
+      return false;
+    }
+    iters = resp.items.front().iterations;
+    return true;
+  };
+
+  std::vector<int> cold_iters, warm_iters;
+  bool ok = true;
+  for (int t = 0; t < steps && ok; ++t) {
+    const Vector f = replay_rhs(prob.load, t, steps);
+    int ci = 0, wi = 0;
+    ok = solve_one(0, f, ci) && solve_one(session, f, wi);
+    if (ok) {
+      cold_iters.push_back(ci);
+      warm_iters.push_back(wi);
+      std::cout << "step " << t << ": cold " << ci << " it, warm " << wi
+                << " it\n";
+    }
+  }
+  ok = cli->close_session(key, session) && ok;
+  ok = finish_replay(json, "replay-remote", connect, steps, cold_iters,
+                     warm_iters, ok && !warm_iters.empty());
+  std::cout << (ok ? "pfem_loadgen: OK\n" : "pfem_loadgen: FAILED\n");
+  return ok ? 0 : 1;
+}
 
 /// Closed-loop clients over the wire protocol.  Rejections are expected
 /// shedding; FAILED responses, malformed frames, and dead connections
@@ -214,6 +451,10 @@ int run_remote(int argc, char** argv, const std::string& connect) {
 
 int main(int argc, char** argv) {
   const std::string connect = tools::str_arg(argc, argv, "--connect", "");
+  const int replay = tools::int_arg(argc, argv, "--replay", 0);
+  if (replay > 0)
+    return connect.empty() ? run_replay(argc, argv, replay)
+                           : run_replay_remote(argc, argv, connect, replay);
   if (!connect.empty()) return run_remote(argc, argv, connect);
   const int ranks = tools::int_arg(argc, argv, "--ranks", 4);
   const int nx = tools::int_arg(argc, argv, "--nx", 24);

@@ -88,6 +88,8 @@ int main(int argc, char** argv) {
     std::cout << cfg.name << ": forwarded=" << st.forwarded
               << " affinity=" << st.affinity << " spilled=" << st.spilled
               << " rejected_backpressure=" << st.rejected_backpressure
+              << " session_frames=" << st.session_frames
+              << " session_pinned=" << st.session_pinned
               << " responses=" << st.responses << "\n";
     if (!json.empty()) {
       std::ofstream out(json);
@@ -102,6 +104,8 @@ int main(int argc, char** argv) {
           << "  \"spilled\": " << st.spilled << ",\n"
           << "  \"rejected_backpressure\": " << st.rejected_backpressure
           << ",\n"
+          << "  \"session_frames\": " << st.session_frames << ",\n"
+          << "  \"session_pinned\": " << st.session_pinned << ",\n"
           << "  \"responses\": " << st.responses << "\n"
           << "}\n";
     }

@@ -91,6 +91,11 @@ run_bench_as micro_comm_net micro_comm --net --full \
   --net-json=BENCH_net_comm.json
 run_bench_as svc_load_socket svc_load --socket --full --seed="$SEED" \
   --socket-json=BENCH_net_svc.json
+# The solve-session replay gate: a drifting-operator trace solved cold
+# vs through a session.  Nonzero exit when the warm lane saves less
+# than 30% of the cold lane's mean iterations.
+run_bench_as svc_load_replay svc_load --replay --full \
+  --replay-json=BENCH_sessions.json
 
 # Fold the two net fragments into one BENCH_net.json.
 if [ -f BENCH_net_comm.json ] && [ -f BENCH_net_svc.json ]; then
@@ -113,7 +118,7 @@ echo
 echo "### summary"
 failed=0
 for b in $PLAIN $FULL micro_kernels deflation_scaling micro_comm_net \
-         svc_load_socket; do
+         svc_load_socket svc_load_replay; do
   code=${status[$b]}
   if [ "$code" -eq 0 ]; then
     echo "[ok]   $b"

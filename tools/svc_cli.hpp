@@ -74,6 +74,10 @@ inline bool write_stats_json(const std::string& path,
       << "  \"failed\": " << st.failed << ",\n"
       << "  \"cache_hits\": " << st.cache_hits << ",\n"
       << "  \"cache_misses\": " << st.cache_misses << ",\n"
+      << "  \"sessions_opened\": " << st.sessions_opened << ",\n"
+      << "  \"sessions_closed\": " << st.sessions_closed << ",\n"
+      << "  \"sessions_evicted\": " << st.sessions_evicted << ",\n"
+      << "  \"warm_rhs\": " << st.warm_rhs << ",\n"
       << "  \"batches\": " << st.batches << ",\n"
       << "  \"rhs_solved\": " << st.rhs_solved << ",\n"
       << "  \"solve_seconds\": " << st.solve_seconds << ",\n"
