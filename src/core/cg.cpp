@@ -96,6 +96,7 @@ struct SharedOut {
 };
 
 void edd_cg_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
+                       const sparse::EbeStore* elems,
                        std::span<const real_t> f_global, const PolySpec& spec,
                        const SolveOptions& opts, par::Comm& comm,
                        SharedOut& out) {
@@ -117,8 +118,8 @@ void edd_cg_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
     PFEM_CHECK_MSG(d[l] > 0.0, "norm-1 scaling: zero row");
     d[l] = 1.0 / std::sqrt(d[l]);
   }
-  const RankKernel a(k_in, Vector(d), sub.interface_local_dofs,
-                     opts.kernels);
+  const RankKernel a(k_in, Vector(d), sub.interface_local_dofs, opts.kernels,
+                     elems);
   r.counters().flops += 2ull * static_cast<std::uint64_t>(k_in.nnz());
   Vector b_loc(nl);
   for (std::size_t l = 0; l < nl; ++l) b_loc[l] = d[l] * f_loc[l];
@@ -212,6 +213,13 @@ DistSolve solve_edd_cg(const EddPartition& part,
   validate_poly_spec(spec);
   if (local_matrices != nullptr)
     PFEM_CHECK(local_matrices->size() == part.subs.size());
+  // Matrix override + matrix-free kernel: the element store would be
+  // stale — same guard as solve_edd.
+  PFEM_CHECK_MSG(!(opts.kernels.format == KernelOptions::Format::Ebe &&
+                   local_matrices != nullptr),
+                 "Format::Ebe cannot be combined with a local-matrix "
+                 "override: the partition's element store holds the "
+                 "originally assembled operator, not the override");
   const int p = part.nparts();
 
   SharedOut out;
@@ -224,7 +232,9 @@ DistSolve solve_edd_cg(const EddPartition& part,
         const auto s = static_cast<std::size_t>(comm.rank());
         const sparse::CsrMatrix& k =
             local_matrices ? (*local_matrices)[s] : part.subs[s].k_loc;
-        edd_cg_rank_solve(part, k, f_global, spec, opts, comm, out);
+        const sparse::EbeStore* const elems =
+            local_matrices ? nullptr : part.subs[s].elem_store.get();
+        edd_cg_rank_solve(part, k, elems, f_global, spec, opts, comm, out);
       });
 
   DistSolve result;

@@ -31,6 +31,39 @@ void batch_spmv_exchange(EddRank& r, const RankKernel& a,
                          std::span<Vector* const> xs,
                          std::span<Vector* const> ys) {
   const std::size_t nb = xs.size();
+  const std::span<const Vector* const> cxs(
+      const_cast<const Vector* const*>(xs.data()), xs.size());
+  if (a.additive()) {
+    // Matrix-free kernel: run the element sweep lane-fused (each dense
+    // element matrix is loaded once per batch), halves scatter-ADD so
+    // the outputs start zeroed.  One "spmv" span covering the batch;
+    // matvec/flop counters are still charged per RHS.  (pfem_trace
+    // cross-checks only "exchange" spans against the counters, so the
+    // fused span shape is observable but not contract-bearing.)
+    if (a.split()) {
+      for (std::size_t i = 0; i < nb; ++i) la::fill(*ys[i], 0.0);
+      a.apply_coupled_many(cxs, ys);
+      r.exchange_many_start(ys);
+      {
+        OBS_SPAN(r.comm().tracer(), "spmv", obs::Cat::Matvec,
+                 static_cast<std::uint32_t>(nb));
+        a.apply_interior_many(cxs, ys);
+        r.counters().matvecs += nb;
+        r.counters().flops += nb * a.apply_flops();
+      }
+      r.exchange_many_finish(ys);
+    } else {
+      {
+        OBS_SPAN(r.comm().tracer(), "spmv", obs::Cat::Matvec,
+                 static_cast<std::uint32_t>(nb));
+        a.apply_many(cxs, ys);  // zero-fills its outputs itself
+        r.counters().matvecs += nb;
+        r.counters().flops += nb * a.apply_flops();
+      }
+      r.exchange_many(ys);
+    }
+    return;
+  }
   if (a.split()) {
     for (std::size_t i = 0; i < nb; ++i) a.apply_coupled(*xs[i], *ys[i]);
     r.exchange_many_start(ys);
@@ -753,6 +786,13 @@ EddOperatorState build_edd_operator(
                  << " != partition parts " << part.nparts());
   if (local_matrices != nullptr)
     PFEM_CHECK(local_matrices->size() == part.subs.size());
+  // Matrix override + matrix-free kernel: the element store would be
+  // stale — same guard as solve_edd.
+  PFEM_CHECK_MSG(!(kernels.format == KernelOptions::Format::Ebe &&
+                   local_matrices != nullptr),
+                 "Format::Ebe cannot be combined with a local-matrix "
+                 "override: the partition's element store holds the "
+                 "originally assembled operator, not the override");
   const auto p = static_cast<std::size_t>(part.nparts());
 
   WallTimer timer;
@@ -784,7 +824,9 @@ EddOperatorState build_edd_operator(
         // format scales its private copy eagerly.  op.a keeps the
         // scaled CSR alongside for callers that inspect it.
         op.kern[s] = RankKernel(a, Vector(d), sub.interface_local_dofs,
-                                kernels);
+                                kernels,
+                                local_matrices ? nullptr
+                                               : sub.elem_store.get());
         a.scale_symmetric(d);  // Â = D̂ K̂ D̂ (Eq. 44)
         r.counters().flops += 2ull * static_cast<std::uint64_t>(a.nnz());
         if (deflation.enabled) {

@@ -362,6 +362,8 @@ inline void spmv_exchange(EddRank& r, const RankKernel& a,
                           std::span<real_t> y) {
   if (a.split()) {
     OBS_SPAN(r.comm().tracer(), "spmv", obs::Cat::Matvec);
+    // Additive halves (Ebe) scatter-add into shared rows — start clean.
+    if (a.additive()) la::fill(y, 0.0);
     a.apply_coupled(x_glob, y);
     r.exchange_start(y);
     a.apply_interior(x_glob, y);
@@ -386,6 +388,8 @@ inline void exchange_spmv(EddRank& r, const RankKernel& a,
   if (a.split()) {
     r.exchange_start(w_glob);
     OBS_SPAN(r.comm().tracer(), "spmv", obs::Cat::Matvec);
+    // Additive halves (Ebe) scatter-add into shared rows — start clean.
+    if (a.additive()) la::fill(y_loc, 0.0);
     a.apply_interior(w_glob, y_loc);
     r.exchange_finish(w_glob);
     a.apply_coupled(w_glob, y_loc);

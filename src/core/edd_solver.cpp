@@ -73,6 +73,7 @@ struct SharedOut {
 };
 
 void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
+                    const sparse::EbeStore* elems,
                     std::span<const real_t> f_global, const PolySpec& spec,
                     const SolveOptions& opts, EddVariant variant,
                     par::Comm& comm, SharedOut& out) {
@@ -110,7 +111,8 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
     // eagerly, the Sell kernel fuses D into every apply — the 2*nnz
     // scaling work is charged here either way so setup/iteration flop
     // accounting stays comparable across formats.
-    kern.emplace(k_in, Vector(d), sub.interface_local_dofs, opts.kernels);
+    kern.emplace(k_in, Vector(d), sub.interface_local_dofs, opts.kernels,
+                 elems);
     r.counters().flops += 2ull * static_cast<std::uint64_t>(k_in.nnz());
     for (std::size_t l = 0; l < nl; ++l) b_loc[l] = d[l] * f_loc[l];
     r.counters().flops += nl;
@@ -478,6 +480,14 @@ DistSolve solve_edd(const EddPartition& part,
   validate_poly_spec(spec);
   if (local_matrices != nullptr)
     PFEM_CHECK(local_matrices->size() == part.subs.size());
+  // A matrix override (e.g. dynamics' K + a0 M) leaves the partition's
+  // element matrices stale — the matrix-free kernel would silently apply
+  // the wrong operator, so reject the combination up front.
+  PFEM_CHECK_MSG(!(opts.kernels.format == KernelOptions::Format::Ebe &&
+                   local_matrices != nullptr),
+                 "Format::Ebe cannot be combined with a local-matrix "
+                 "override: the partition's element store holds the "
+                 "originally assembled operator, not the override");
   const int p = part.nparts();
 
   // Solve sessions (opts.recycle): the warm-start projection and the
@@ -528,7 +538,10 @@ DistSolve solve_edd(const EddPartition& part,
           const auto s = static_cast<std::size_t>(comm.rank());
           const sparse::CsrMatrix& k =
               local_matrices ? (*local_matrices)[s] : part.subs[s].k_loc;
-          edd_rank_solve(part, k, f_global, spec, opts, variant, comm, out);
+          const sparse::EbeStore* const elems =
+              local_matrices ? nullptr : part.subs[s].elem_store.get();
+          edd_rank_solve(part, k, elems, f_global, spec, opts, variant, comm,
+                         out);
         },
         trace.get(), opts.observe.fault_injector,
         opts.observe.comm_timeout_seconds);

@@ -14,6 +14,16 @@
 //     sparse/sell.hpp), so both routes are bit-identical.  Folding at
 //     build wins because SpMV is gather-bound and apply-time fusion
 //     gathers d[col] next to every x[col].
+//   - format Ebe:  matrix-free element-by-element apply on the
+//     subdomain's dense element matrices (sparse/ebe_store.hpp), the
+//     scaling folded into every element entry at build time with the
+//     same per-entry rounding sequence.  NOT bit-identical to the
+//     assembled formats in general (summing per element reassociates
+//     the row accumulation); the contract is instead identical
+//     iteration counts, exchange counts, fault sites and span
+//     structure, with apply results within a measured ulp bound
+//     (DESIGN.md §14).  Requires element data — partitions built by
+//     build_edd_partition carry it; anything else gets a typed error.
 //
 // With overlap on, rows are classified once at build time:
 //   interior — not an interface dof AND coupled to no interface column;
@@ -25,6 +35,13 @@
 //   coupled  — everything else (interface rows and their neighbors).
 // Both blocks keep whole rows in original column order, so the split
 // apply is bit-identical to the full one.
+//
+// The Ebe format splits ELEMENTS instead of rows: an element is
+// interior iff it touches no interface dof, so interior elements never
+// read (Basic) or write (Enhanced) an in-flight interface entry.  The
+// halves scatter-ADD into shared rows — callers zero y first (see
+// additive()) — and elements are stored [coupled | interior], so the
+// whole apply() equals the Enhanced-order split bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +49,7 @@
 
 #include "common/types.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/ebe_store.hpp"
 #include "sparse/sell.hpp"
 
 namespace pfem::core {
@@ -43,6 +61,7 @@ struct KernelOptions {
   enum class Format : std::uint8_t {
     Csr,   ///< scalar CSR, eagerly scaled (the legacy fallback)
     Sell,  ///< SELL-C-σ with the D K D scaling fused into the kernel
+    Ebe,   ///< matrix-free element-by-element, scaling folded per entry
   };
   Format format = Format::Sell;
   /// Split interior/interface rows and overlap the neighbor exchange
@@ -69,11 +88,15 @@ class RankKernel {
   RankKernel() = default;
 
   /// Build from the UNSCALED subdomain matrix `k` and the norm-1 scaling
-  /// diagonal `d` (already globalized and inverted-square-rooted).  Both
-  /// formats fold the scaling in once at build time.
+  /// diagonal `d` (already globalized and inverted-square-rooted).  All
+  /// formats fold the scaling in once at build time.  `elems` is the
+  /// subdomain's element store (local dof ids, unscaled entries) — the
+  /// Ebe format requires it (typed error when null); the assembled
+  /// formats ignore it.
   RankKernel(const sparse::CsrMatrix& k, Vector d,
              std::span<const index_t> interface_dofs,
-             const KernelOptions& opts);
+             const KernelOptions& opts,
+             const sparse::EbeStore* elems = nullptr);
 
   /// Wrap an ALREADY-SCALED matrix by reference (not owned; must outlive
   /// the kernel).  No fused scaling; Sell format converts the scaled
@@ -88,17 +111,39 @@ class RankKernel {
   [[nodiscard]] const KernelOptions& options() const noexcept {
     return opts_;
   }
+  /// The split halves scatter-ADD into shared rows instead of assigning
+  /// disjoint whole rows (true for Ebe): callers must zero y before the
+  /// first half.  apply() always handles its own initialization.
+  [[nodiscard]] bool additive() const noexcept {
+    return opts_.format == KernelOptions::Format::Ebe;
+  }
 
   /// y <- Â x over all rows.
   void apply(std::span<const real_t> x, std::span<real_t> y) const;
   /// y[r] <- (Â x)_r for interface-coupled rows only (requires split()).
+  /// Ebe: y += the coupled elements' contributions (additive()).
   void apply_coupled(std::span<const real_t> x, std::span<real_t> y) const;
   /// y[r] <- (Â x)_r for interior rows only (requires split()).
+  /// Ebe: y += the interior elements' contributions (additive()).
   void apply_interior(std::span<const real_t> x, std::span<real_t> y) const;
 
-  /// Flops of one full apply: 2*nnz (identical across formats/splits).
+  /// Multi-RHS forms for the batched service path: lane i of ys receives
+  /// the apply of lane i of xs.  Csr/Sell delegate per lane
+  /// (bit-identical to single applies); Ebe runs element-major so each
+  /// dense element matrix is loaded once per batch, not once per lane.
+  void apply_many(std::span<const Vector* const> xs,
+                  std::span<Vector* const> ys) const;
+  void apply_coupled_many(std::span<const Vector* const> xs,
+                          std::span<Vector* const> ys) const;
+  void apply_interior_many(std::span<const Vector* const> xs,
+                           std::span<Vector* const> ys) const;
+
+  /// Flops of one full apply: 2*nnz for the assembled formats, the
+  /// gather/multiply/scatter cost for Ebe (duplicated interface work is
+  /// real work — it is charged).
   [[nodiscard]] std::uint64_t apply_flops() const noexcept {
-    return 2ull * nnz_;
+    return opts_.format == KernelOptions::Format::Ebe ? ebe_.apply_flops()
+                                                      : 2ull * nnz_;
   }
 
  private:
@@ -114,6 +159,10 @@ class RankKernel {
   const sparse::CsrMatrix* csr_ = nullptr;
   detail::CsrRowsBlock csr_coupled_, csr_interior_;
   sparse::SellMatrix sell_full_, sell_coupled_, sell_interior_;
+  /// Ebe only: the folded element store, elements permuted
+  /// [coupled | interior]; ebe_split_ marks the boundary.
+  sparse::EbeStore ebe_;
+  index_t ebe_split_ = 0;  ///< elements [0, ebe_split_) are coupled
 };
 
 }  // namespace pfem::core

@@ -251,7 +251,11 @@ void rdd_rank_solve(const RddPartition& part,
 
   // Kernel selection: convert the scaled blocks to SELL-C-σ when
   // requested (bit-identical per-row accumulation), and overlap A_loc
-  // with the in-flight exchange when enabled.
+  // with the in-flight exchange when enabled.  Format::Ebe documented
+  // fallback: RDD rows are FULLY assembled (local + external column
+  // blocks), so no per-subdomain element sub-assembly exists to run a
+  // matrix-free sweep on — the scalar CSR path is used, bit-identically
+  // to Format::Csr.
   RddOp op;
   op.overlap = opts.kernels.overlap;
   op.spmv_flops = a_loc.spmv_flops() + a_ext.spmv_flops();

@@ -1,63 +1,50 @@
 #include "fem/ebe.hpp"
 
+#include <utility>
+#include <vector>
+
 #include "common/error.hpp"
 #include "la/vector_ops.hpp"
 
 namespace pfem::fem {
 
-EbeOperator::EbeOperator(const Mesh& mesh, const DofMap& dofs,
-                         const Material& mat, Operator op)
-    : n_(dofs.num_free()),
-      edofs_(nodes_per_elem(mesh.type()) *
-             (op == Operator::Poisson ? 1 : mesh.dim())) {
+sparse::EbeStore build_ebe_store(const Mesh& mesh, const DofMap& dofs,
+                                 const Material& mat, Operator op) {
+  const index_t edofs = nodes_per_elem(mesh.type()) *
+                        (op == Operator::Poisson ? 1 : mesh.dim());
   const index_t ne = mesh.num_elems();
-  dof_ids_.reserve(static_cast<std::size_t>(ne) * edofs_);
-  values_.reserve(static_cast<std::size_t>(ne) * edofs_ * edofs_);
+  IndexVector dof_ids;
+  std::vector<real_t> values;
+  dof_ids.reserve(static_cast<std::size_t>(ne) * edofs);
+  values.reserve(static_cast<std::size_t>(ne) * edofs * edofs);
   for (index_t e = 0; e < ne; ++e) {
     const la::DenseMatrix ke = element_matrix(mesh, mat, op, e);
-    PFEM_CHECK(ke.rows() == edofs_);
+    PFEM_CHECK(ke.rows() == edofs);
     const IndexVector gd = element_dofs(mesh, dofs, e);
-    dof_ids_.insert(dof_ids_.end(), gd.begin(), gd.end());
+    dof_ids.insert(dof_ids.end(), gd.begin(), gd.end());
     const auto data = ke.data();
-    values_.insert(values_.end(), data.begin(), data.end());
+    values.insert(values.end(), data.begin(), data.end());
   }
+  return sparse::EbeStore(dofs.num_free(), edofs, std::move(dof_ids),
+                          std::move(values));
 }
+
+EbeOperator::EbeOperator(const Mesh& mesh, const DofMap& dofs,
+                         const Material& mat, Operator op)
+    : store_(build_ebe_store(mesh, dofs, mat, op)) {}
 
 void EbeOperator::apply(std::span<const real_t> x,
                         std::span<real_t> y) const {
-  PFEM_CHECK(x.size() == static_cast<std::size_t>(n_));
-  PFEM_CHECK(y.size() == static_cast<std::size_t>(n_));
+  PFEM_CHECK(x.size() == static_cast<std::size_t>(store_.rows()));
+  PFEM_CHECK(y.size() == static_cast<std::size_t>(store_.rows()));
   la::fill(y, 0.0);
-  const std::size_t ne = dof_ids_.size() / static_cast<std::size_t>(edofs_);
-  std::vector<real_t> xe(static_cast<std::size_t>(edofs_));
-  std::vector<real_t> ye(static_cast<std::size_t>(edofs_));
-  for (std::size_t e = 0; e < ne; ++e) {
-    const index_t* ids =
-        dof_ids_.data() + e * static_cast<std::size_t>(edofs_);
-    const real_t* ke = values_.data() +
-                       e * static_cast<std::size_t>(edofs_) * edofs_;
-    // Gather (fixed dofs contribute zero).
-    for (index_t k = 0; k < edofs_; ++k)
-      xe[static_cast<std::size_t>(k)] =
-          ids[k] >= 0 ? x[static_cast<std::size_t>(ids[k])] : 0.0;
-    // Dense multiply.
-    for (index_t r = 0; r < edofs_; ++r) {
-      real_t s = 0.0;
-      const real_t* row = ke + static_cast<std::size_t>(r) * edofs_;
-      for (index_t c = 0; c < edofs_; ++c)
-        s += row[c] * xe[static_cast<std::size_t>(c)];
-      ye[static_cast<std::size_t>(r)] = s;
-    }
-    // Scatter-add.
-    for (index_t k = 0; k < edofs_; ++k)
-      if (ids[k] >= 0) y[static_cast<std::size_t>(ids[k])] +=
-          ye[static_cast<std::size_t>(k)];
-  }
+  store_.apply_add(0, store_.num_elems(), x, y);
 }
 
 core::LinearOp EbeOperator::as_linear_op() const {
   return core::LinearOp(
-      n_, [this](std::span<const real_t> x, std::span<real_t> y) {
+      store_.rows(),
+      [this](std::span<const real_t> x, std::span<real_t> y) {
         apply(x, y);
       });
 }

@@ -9,16 +9,29 @@
 // data layout.  Classic on vector machines — the HPC lineage the
 // paper's polynomial preconditioners come from.  The storage/time
 // trade-off is measured in bench/ablate_ebe.
+//
+// The element data lives in a sparse::EbeStore — the same container
+// the distributed Format::Ebe rank kernel applies — so apply() runs on
+// fixed stack scratch: no per-call allocation, and const applies are
+// safe to run concurrently from multiple threads.
 #pragma once
-
-#include <vector>
 
 #include "core/operator.hpp"
 #include "fem/assembly.hpp"
 #include "fem/dofmap.hpp"
 #include "fem/mesh.hpp"
+#include "sparse/ebe_store.hpp"
 
 namespace pfem::fem {
+
+/// Build the element store of `op` over all mesh elements: per-element
+/// dense matrices with free-dof ids (-1 = fixed).  This is the global
+/// single-domain analog of the per-subdomain store build_edd_partition
+/// attaches to each EddSubdomain.
+[[nodiscard]] sparse::EbeStore build_ebe_store(const Mesh& mesh,
+                                               const DofMap& dofs,
+                                               const Material& mat,
+                                               Operator op);
 
 class EbeOperator {
  public:
@@ -26,29 +39,32 @@ class EbeOperator {
   EbeOperator(const Mesh& mesh, const DofMap& dofs, const Material& mat,
               Operator op);
 
-  [[nodiscard]] index_t size() const noexcept { return n_; }
+  [[nodiscard]] index_t size() const noexcept { return store_.rows(); }
 
-  /// y <- K x (free-dof vectors).
+  /// y <- K x (free-dof vectors).  Allocation-free: the element sweep
+  /// works on stack scratch bounded by sparse::kMaxEbeElemDofs.
   void apply(std::span<const real_t> x, std::span<real_t> y) const;
 
   /// Wrap as an abstract operator for the Krylov solvers.
   [[nodiscard]] core::LinearOp as_linear_op() const;
 
+  /// The underlying element store (shared with the rank-kernel format).
+  [[nodiscard]] const sparse::EbeStore& store() const noexcept {
+    return store_;
+  }
+
   /// Stored matrix entries (dense element matrices).
   [[nodiscard]] std::uint64_t stored_values() const noexcept {
-    return values_.size();
+    return store_.stored_values();
   }
 
   /// Flops of one apply: 2 entries per stored value + gather/scatter.
   [[nodiscard]] std::uint64_t apply_flops() const noexcept {
-    return 2 * stored_values() + 2 * dof_ids_.size();
+    return store_.apply_flops();
   }
 
  private:
-  index_t n_;
-  index_t edofs_;               // dofs per element
-  IndexVector dof_ids_;         // edofs_ per element, -1 = fixed
-  std::vector<real_t> values_;  // edofs_^2 per element, row-major
+  sparse::EbeStore store_;
 };
 
 }  // namespace pfem::fem

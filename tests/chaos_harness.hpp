@@ -134,8 +134,11 @@ using TransportFactory =
 
 /// Build + solve on a fresh team with `inj` armed.  Every outcome is
 /// captured; only a non-Comm exception escapes (and fails the test).
+/// `kernels` selects the rank-kernel format/overlap under chaos — the
+/// fault sites and replay contract must be kernel-independent.
 inline ChaosRun run_case(fault::FaultInjector& inj, double timeout_seconds,
-                         const TransportFactory& transport_factory = {}) {
+                         const TransportFactory& transport_factory = {},
+                         const core::KernelOptions& kernels = {}) {
   const Scene& s = scene();
   ChaosRun out;
   {
@@ -147,7 +150,8 @@ inline ChaosRun run_case(fault::FaultInjector& inj, double timeout_seconds,
     team.set_fault_injector(&inj);
     try {
       const core::EddOperatorState op =
-          core::build_edd_operator(team, *s.part, s.poly);
+          core::build_edd_operator(team, *s.part, s.poly, nullptr, nullptr,
+                                   kernels);
       const std::vector<Vector> rhs{s.prob.load};
       const core::BatchSolveResult r =
           core::solve_edd_batch(team, *s.part, op, rhs);

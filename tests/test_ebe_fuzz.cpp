@@ -1,0 +1,238 @@
+// Seeded fuzz of the EBE gather/scatter index path.
+//
+// The EbeStore constructor is the single validation gate for the
+// matrix-free kernel's hot loop — apply_add runs with no bounds checks
+// beyond the constrained-dof guard, so every malformed input must be
+// rejected there with a typed error, and every degenerate-but-valid
+// input (orphan dofs no element touches, elements made only of
+// constrained slots, empty stores, empty subdomain ranges) must produce
+// exactly the rows a reference COO assembly produces — zero rows
+// included — and never an out-of-bounds access.  This binary runs under
+// ASan+UBSan in CI, so "never OOB" is checked by the sanitizer, not by
+// hope.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "la/vector_ops.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ebe_store.hpp"
+
+namespace pfem {
+namespace {
+
+/// splitmix64 — the repo's standard deterministic test generator.
+struct Rng {
+  std::uint64_t s;
+  explicit Rng(std::uint64_t seed) : s(seed) {}
+  std::uint64_t next() {
+    s += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, m) for m >= 1.
+  index_t below(index_t m) {
+    return static_cast<index_t>(next() % static_cast<std::uint64_t>(m));
+  }
+  real_t value() {
+    const double u = static_cast<double>(next() >> 11) * 0x1.0p-53;
+    return (u - 0.5) * 8.0;
+  }
+};
+
+struct FuzzCase {
+  index_t n = 0;
+  index_t edofs = 0;
+  IndexVector dof_ids;
+  std::vector<real_t> values;
+};
+
+/// A random store: mostly valid ids, a seeded sprinkle of constrained
+/// markers, sometimes whole elements of nothing but -1, and (by
+/// construction) dofs no element references — the orphan-node case.
+FuzzCase random_case(Rng& rng, bool allow_empty) {
+  FuzzCase c;
+  c.n = allow_empty ? rng.below(24) : 1 + rng.below(23);
+  c.edofs = 1 + rng.below(std::min<index_t>(sparse::kMaxEbeElemDofs, 12));
+  const index_t ne = allow_empty ? rng.below(12) : rng.below(11) + 1;
+  for (index_t e = 0; e < ne; ++e) {
+    const bool all_constrained = rng.below(8) == 0;
+    for (index_t k = 0; k < c.edofs; ++k) {
+      const bool constrained =
+          all_constrained || c.n == 0 || rng.below(5) == 0;
+      c.dof_ids.push_back(constrained ? index_t{-1} : rng.below(c.n));
+    }
+    for (index_t k = 0; k < c.edofs * c.edofs; ++k)
+      c.values.push_back(rng.value());
+  }
+  return c;
+}
+
+/// Reference: assemble the same elements through the COO path, apply the
+/// assembled CSR.  Constrained slots (-1) are skipped exactly as the
+/// assembly layer skips fixed dofs.
+sparse::CsrMatrix assemble_reference(const FuzzCase& c) {
+  sparse::CooBuilder coo(c.n, c.n);
+  const auto ed = static_cast<std::size_t>(c.edofs);
+  const std::size_t ne = c.dof_ids.size() / ed;
+  for (std::size_t e = 0; e < ne; ++e) {
+    for (std::size_t r = 0; r < ed; ++r) {
+      const index_t gi = c.dof_ids[e * ed + r];
+      if (gi < 0) continue;
+      for (std::size_t col = 0; col < ed; ++col) {
+        const index_t gj = c.dof_ids[e * ed + col];
+        if (gj < 0) continue;
+        coo.add(gi, gj, c.values[e * ed * ed + r * ed + col]);
+      }
+    }
+  }
+  return coo.build();
+}
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34,
+                                    55, 89, 144, 233};
+
+TEST(EbeFuzz, RandomStoresMatchCooAssemblyIncludingZeroRows) {
+  for (const std::uint64_t seed : kSeeds) {
+    Rng rng(seed);
+    for (int round = 0; round < 16; ++round) {
+      const FuzzCase c = random_case(rng, /*allow_empty=*/true);
+      const sparse::EbeStore store(c.n, c.edofs, IndexVector(c.dof_ids),
+                                   std::vector<real_t>(c.values));
+      const sparse::CsrMatrix ref = assemble_reference(c);
+
+      const std::size_t n = static_cast<std::size_t>(c.n);
+      Vector x(n);
+      for (std::size_t i = 0; i < n; ++i) x[i] = rng.value();
+      Vector y_ref(n, 0.0), y(n, 0.0);
+      ref.spmv(x, y_ref);
+      store.apply_add(0, store.num_elems(), x, y);
+
+      // The element sweep reassociates row sums, so compare to a scaled
+      // ulp bound — and require EXACT zeros on rows no element touches
+      // (orphan dofs): nothing may scatter there, not even a rounded
+      // zero.
+      std::vector<char> touched(n, 0);
+      for (const index_t id : store.dof_ids())
+        if (id >= 0) touched[static_cast<std::size_t>(id)] = 1;
+      real_t scale = 1.0;
+      for (std::size_t i = 0; i < n; ++i)
+        scale = std::max(scale, std::abs(y_ref[i]));
+      for (std::size_t i = 0; i < n; ++i) {
+        if (touched[i] == 0) {
+          ASSERT_EQ(y[i], 0.0) << "orphan dof " << i << " seed " << seed;
+        } else {
+          ASSERT_NEAR(y[i], y_ref[i], 1e-12 * scale)
+              << "dof " << i << " seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(EbeFuzz, ScaleFoldMatchesCsrScalingOnMergedEntries) {
+  for (const std::uint64_t seed : kSeeds) {
+    Rng rng(seed * 7919);
+    const FuzzCase c = random_case(rng, /*allow_empty=*/false);
+    sparse::EbeStore store(c.n, c.edofs, IndexVector(c.dof_ids),
+                           std::vector<real_t>(c.values));
+    sparse::CsrMatrix ref = assemble_reference(c);
+
+    Vector d(static_cast<std::size_t>(c.n));
+    for (auto& v : d) v = 0.25 + std::abs(rng.value());
+    ref.scale_symmetric(d);
+    store.scale_symmetric(d);
+
+    // Assembling AFTER the fold must agree with scaling the assembled
+    // matrix: both round d_r*d_c first, and (Σv)·t == Σ(v·t) holds only
+    // to reassociation, so the check is an ulp bound on the entries.
+    FuzzCase folded = c;
+    folded.values.assign(store.values().begin(), store.values().end());
+    const sparse::CsrMatrix refolded = assemble_reference(folded);
+    const auto a = ref.values();
+    const auto b = refolded.values();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k)
+      ASSERT_NEAR(a[k], b[k],
+                  1e-12 * std::max<real_t>(1.0, std::abs(a[k])))
+          << "entry " << k << " seed " << seed;
+  }
+}
+
+TEST(EbeFuzz, MalformedInputsAreTypedErrorsNeverOob) {
+  for (const std::uint64_t seed : kSeeds) {
+    Rng rng(seed * 104729);
+    const FuzzCase c = random_case(rng, /*allow_empty=*/false);
+    if (c.dof_ids.empty()) continue;
+
+    // Corrupt one id past either end of [0, n) — must throw, not read.
+    for (const index_t bad : {c.n, static_cast<index_t>(c.n + rng.below(100)),
+                              index_t{-2},
+                              static_cast<index_t>(-2 - rng.below(100))}) {
+      IndexVector ids = c.dof_ids;
+      ids[static_cast<std::size_t>(rng.below(as_index(ids.size())))] = bad;
+      EXPECT_THROW(sparse::EbeStore(c.n, c.edofs, std::move(ids),
+                                    std::vector<real_t>(c.values)),
+                   Error)
+          << "bad id " << bad << " seed " << seed;
+    }
+
+    // Truncated / oversized buffers must throw before any indexing.
+    {
+      IndexVector ids = c.dof_ids;
+      ids.pop_back();
+      EXPECT_THROW(sparse::EbeStore(c.n, c.edofs, std::move(ids),
+                                    std::vector<real_t>(c.values)),
+                   Error);
+    }
+    {
+      std::vector<real_t> vals = c.values;
+      vals.pop_back();
+      EXPECT_THROW(sparse::EbeStore(c.n, c.edofs, IndexVector(c.dof_ids),
+                                    std::move(vals)),
+                   Error);
+    }
+  }
+}
+
+TEST(EbeFuzz, DegenerateShapesApplyCleanly) {
+  // Empty store over zero dofs.
+  const sparse::EbeStore empty(0, 4, IndexVector{}, {});
+  EXPECT_EQ(empty.num_elems(), 0);
+  Vector none;
+  empty.apply_add(0, 0, none, none);
+
+  // Elements made only of constrained slots: apply is a global no-op.
+  const index_t n = 6;
+  IndexVector ids(8, -1);
+  std::vector<real_t> vals(32, 3.5);
+  const sparse::EbeStore ghost(n, 4, std::move(ids), std::move(vals));
+  Vector x(static_cast<std::size_t>(n), 2.0);
+  Vector y(static_cast<std::size_t>(n), 0.0);
+  ghost.apply_add(0, ghost.num_elems(), x, y);
+  for (const real_t v : y) ASSERT_EQ(v, 0.0);
+
+  // Empty element ranges are no-ops wherever they sit.
+  Rng rng(42);
+  const FuzzCase c = random_case(rng, /*allow_empty=*/false);
+  const sparse::EbeStore store(c.n, c.edofs, IndexVector(c.dof_ids),
+                               std::vector<real_t>(c.values));
+  Vector xs(static_cast<std::size_t>(c.n), 1.0);
+  Vector ys(static_cast<std::size_t>(c.n), 0.0);
+  store.apply_add(0, 0, xs, ys);
+  store.apply_add(store.num_elems(), store.num_elems(), xs, ys);
+  for (const real_t v : ys) ASSERT_EQ(v, 0.0);
+
+  // Multi-RHS over an empty lane set.
+  store.apply_add_many(0, store.num_elems(), {}, {});
+}
+
+}  // namespace
+}  // namespace pfem

@@ -588,6 +588,60 @@ TEST(ChaosSweep, SocketTransportEverySeedConvergesOrFailsTyped) {
       [](int n) { return net::make_socket_loopback_transport(n); });
 }
 
+// Kernel-format independence under chaos: the matrix-free Ebe kernel
+// with exchange overlap must hit the same fault sites and replay the
+// same deterministic signatures as the scalar-CSR kernel — the exchange
+// schedule (where faults bind) is a property of the discipline, not of
+// the operator storage.  8 seeds: enough to cover converged and typed
+// outcomes without doubling the sweep's runtime.
+TEST(ChaosSweep, EbeKernelHitsSameFaultSitesAsCsr) {
+  chaos::GlobalWatchdog watchdog(120.0);
+
+  FaultSpec spec;
+  spec.nranks = kRanks;
+  spec.nfaults = 2;
+  spec.max_seq = 40;
+  spec.at_most_one_aborting = true;
+  spec.delay_seconds = 1e-4;
+  spec.stall_seconds = 5e-3;
+  const double timeout_s = 0.1;
+
+  core::KernelOptions csr;
+  csr.format = core::KernelOptions::Format::Csr;
+  csr.overlap = false;
+  core::KernelOptions ebe;
+  ebe.format = core::KernelOptions::Format::Ebe;
+  ebe.overlap = true;
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    watchdog.note("ebe-vs-csr seed " + std::to_string(seed));
+    const FaultPlan plan = FaultPlan::generate(seed, spec);
+    const std::string recipe =
+        "seed " + std::to_string(seed) + "\n" + plan.describe();
+
+    FaultInjector inj(plan);
+    const chaos::ChaosRun ref = chaos::run_case(inj, timeout_s, {}, csr);
+    inj.reset();
+    const chaos::ChaosRun run = chaos::run_case(inj, timeout_s, {}, ebe);
+
+    // Same outcome class and the same deterministic fault record: the
+    // plans bind to exchange/collective sequence numbers, which the
+    // format leaves untouched.
+    EXPECT_TRUE(run.converged || run.typed_error) << recipe;
+    EXPECT_EQ(run.converged, ref.converged) << recipe;
+    EXPECT_EQ(run.typed_error, ref.typed_error) << recipe;
+    EXPECT_EQ(chaos::deterministic_signature(run),
+              chaos::deterministic_signature(ref))
+        << recipe;
+    if (run.converged) {
+      EXPECT_LT(run.true_relres, 1e-6) << recipe;
+      // Same trajectory length; the values differ only by the element
+      // sweep's reassociation.
+      EXPECT_EQ(run.history.size(), ref.history.size()) << recipe;
+    }
+  }
+}
+
 TEST(ChaosSweep, ServiceSurvivesASeededFaultStreamWithRetries) {
   chaos::GlobalWatchdog watchdog(240.0);
   const chaos::Scene& s = chaos::scene();

@@ -435,6 +435,43 @@ TEST(Service, SolvesAndCachesOperator) {
   service.shutdown();
 }
 
+TEST(Service, EbeKernelFormatSolvesThroughServiceLikeCsr) {
+  // ServiceConfig.kernels reaches the operator cache, so a service
+  // configured with the matrix-free Ebe format must converge with the
+  // same iteration count as a Csr-configured one (the format-neutral
+  // contract; solutions differ only by the element sweep's
+  // reassociation).
+  const Scene s = make_scene();
+  index_t csr_iters = 0;
+  {
+    svc::ServiceConfig cfg;
+    cfg.nranks = kRanks;
+    cfg.kernels.format = core::KernelOptions::Format::Csr;
+    svc::Service service(cfg);
+    service.register_operator("op", s.part, s.poly);
+    auto out = service.submit(make_request(s, "op")).outcome.get();
+    ASSERT_TRUE(svc::ok(out));
+    const auto& item = std::get<svc::Completed>(out).result.items[0];
+    ASSERT_TRUE(item.converged);
+    csr_iters = item.iterations;
+    service.shutdown();
+  }
+  {
+    svc::ServiceConfig cfg;
+    cfg.nranks = kRanks;
+    cfg.kernels.format = core::KernelOptions::Format::Ebe;
+    cfg.kernels.overlap = true;
+    svc::Service service(cfg);
+    service.register_operator("op", s.part, s.poly);
+    auto out = service.submit(make_request(s, "op")).outcome.get();
+    ASSERT_TRUE(svc::ok(out));
+    const auto& item = std::get<svc::Completed>(out).result.items[0];
+    EXPECT_TRUE(item.converged);
+    EXPECT_EQ(item.iterations, csr_iters);
+    service.shutdown();
+  }
+}
+
 TEST(Service, DeflationConfigBakesCoarseStateIntoCachedOperator) {
   // cfg.deflation is operator state: the coarse factorization is built
   // once, cached with the scaled matrices, and reused on a cache hit —

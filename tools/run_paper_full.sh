@@ -79,6 +79,11 @@ for b in $FULL; do run_bench "$b" --full; done
 # The kernel sweep (CSR vs SELL vs fused) lands in BENCH_kernels.json next
 # to the table/figure JSON the other benches emit.
 run_bench micro_kernels --kernels-json=BENCH_kernels.json
+# The matrix-free sweep (Format::Ebe vs CSR vs SELL, with the
+# bytes-per-dof column) — same binary, filter out the google benchmarks
+# so they run only once, in the micro_kernels invocation above.
+run_bench_as micro_kernels_ebe micro_kernels --ebe-json=BENCH_ebe.json \
+  '--benchmark_filter=^$'
 # The two-level deflation weak-scaling sweep is itself an acceptance
 # gate: its exit code is nonzero when deflated P=2 -> P=16 iteration
 # growth exceeds 1.3x, so a coarse-space regression fails the whole run.
@@ -117,8 +122,8 @@ stamp_provenance
 echo
 echo "### summary"
 failed=0
-for b in $PLAIN $FULL micro_kernels deflation_scaling micro_comm_net \
-         svc_load_socket svc_load_replay; do
+for b in $PLAIN $FULL micro_kernels micro_kernels_ebe deflation_scaling \
+         micro_comm_net svc_load_socket svc_load_replay; do
   code=${status[$b]}
   if [ "$code" -eq 0 ]; then
     echo "[ok]   $b"
