@@ -1,21 +1,67 @@
 // Extension: the solver stack on 3-D elasticity (trilinear hexahedra).
 // The paper's §5 flags 3-D as the regime where the row-based layout's
 // duplicated-element storage "may increase drastically"; this bench runs
-// the EDD solver on a 3-D bar, reports modeled speedup, and measures the
-// RDD duplication factor in 2-D vs 3-D.
+// the EDD solver on a 3-D bar, reports modeled speedup, measures the
+// RDD duplication factor in 2-D vs 3-D, and runs the brick3d family's
+// stiffness-jump sweep (deflation off / standard / jump-aware).
+// --json=PATH records everything for run_paper_full.sh (BENCH_3d.json).
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/edd_solver.hpp"
 #include "core/rdd_solver.hpp"
 #include "exp/experiments.hpp"
 #include "exp/table.hpp"
+#include "fem/families.hpp"
 #include "fem/problems.hpp"
 #include "par/cost_model.hpp"
+
+namespace {
+
+struct BarRow {
+  std::string bar;
+  pfem::index_t n_eqn = 0;
+  pfem::index_t iters = 0;
+  double s2 = 0.0, s4 = 0.0, s8 = 0.0;
+};
+
+struct DeflRow {
+  std::string bar;
+  pfem::index_t n_eqn = 0;
+  pfem::index_t iters_off = 0;
+  pfem::index_t iters_defl = 0;
+};
+
+struct JumpRow {
+  double jump = 1.0;
+  std::string variant;
+  pfem::index_t iters = 0;
+  bool converged = false;
+};
+
+struct DupRow {
+  std::string problem;
+  pfem::index_t n_eqn = 0;
+  double factor = 0.0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pfem;
   const bool full = bench::full_run(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a(argv[i]);
+    if (a.rfind("--json=", 0) == 0) json_path = a.substr(7);
+  }
+  std::vector<BarRow> bar_rows;
+  std::vector<DeflRow> defl_rows;
+  std::vector<JumpRow> jump_rows;
+  std::vector<DupRow> dup_rows;
   const par::MachineModel origin = par::MachineModel::sgi_origin();
   core::PolySpec poly;
   poly.degree = 7;
@@ -39,13 +85,15 @@ int main(int argc, char** argv) {
     const fem::CantileverProblem prob = fem::make_cantilever_3d(spec);
     const auto rows =
         exp::edd_speedup_study(prob, poly, {1, 2, 4, 8}, origin, opts);
-    table.add_row({std::to_string(nx) + "x" + std::to_string(ny) + "x" +
-                       std::to_string(nz),
-                   exp::Table::integer(prob.dofs.num_free()),
+    const std::string bar = std::to_string(nx) + "x" + std::to_string(ny) +
+                            "x" + std::to_string(nz);
+    table.add_row({bar, exp::Table::integer(prob.dofs.num_free()),
                    exp::Table::integer(rows[0].iterations),
                    exp::Table::num(rows[1].speedup, 2),
                    exp::Table::num(rows[2].speedup, 2),
                    exp::Table::num(rows[3].speedup, 2)});
+    bar_rows.push_back({bar, prob.dofs.num_free(), rows[0].iterations,
+                        rows[1].speedup, rows[2].speedup, rows[3].speedup});
   }
   table.print(std::cout);
 
@@ -74,14 +122,56 @@ int main(int argc, char** argv) {
     dopts.deflation.coord_dim = 3;
     const core::DistSolve defl =
         core::solve_edd(part, prob.load, poly, dopts);
-    defl_table.add_row({std::to_string(nx) + "x" + std::to_string(ny) + "x" +
-                            std::to_string(nz),
-                        exp::Table::integer(prob.dofs.num_free()),
+    const std::string bar = std::to_string(nx) + "x" + std::to_string(ny) +
+                            "x" + std::to_string(nz);
+    defl_table.add_row({bar, exp::Table::integer(prob.dofs.num_free()),
                         exp::Table::integer(off.iterations),
                         exp::Table::integer(defl.iterations),
                         exp::Table::integer(12 * 8)});
+    defl_rows.push_back(
+        {bar, prob.dofs.num_free(), off.iterations, defl.iterations});
   }
   defl_table.print(std::cout);
+
+  // The brick3d family: per-element stiffness jumps on the hex bar.  An
+  // x-aligned interface at P = 8 leaves every patch single-class, so the
+  // checkerboard (misaligned with every RCB cut) is the sweep here too.
+  exp::banner(std::cout,
+              "Extension — brick3d stiffness jumps (checkerboard), "
+              "EDD-FGMRES-GLS(7), P = 8");
+  exp::Table jump_table({"jump", "variant", "iterations", "converged"});
+  {
+    fem::ProblemSpec spec = fem::default_spec("brick3d");
+    if (full) {
+      spec.nx = 16;
+      spec.ny = 4;
+      spec.nz = 4;
+    } else {
+      spec.nx = 12;
+      spec.ny = 3;
+      spec.nz = 3;
+    }
+    spec.aligned = false;
+    spec.checker = 3;
+    for (double jump : {1.0, 1.0e4}) {
+      spec.jump = jump;
+      const fem::FamilyProblem fp = fem::make_problem(spec);
+      const partition::EddPartition part = exp::make_edd(fp, 8);
+      for (int v = 0; v < 3; ++v) {
+        core::SolveOptions jopts = opts;
+        if (v > 0) jopts.deflation = exp::family_deflation(fp, v == 2);
+        const core::DistSolve r =
+            core::solve_edd(part, fp.prob.load, poly, jopts);
+        const char* vname = v == 0 ? "off" : (v == 1 ? "deflated"
+                                                     : "jump_aware");
+        jump_table.add_row({exp::Table::sci(jump, 0), vname,
+                            exp::Table::integer(r.iterations),
+                            r.converged ? "yes" : "no"});
+        jump_rows.push_back({jump, vname, r.iterations, r.converged});
+      }
+    }
+  }
+  jump_table.print(std::cout);
 
   // RDD duplicated-element storage factor: 2-D vs 3-D at P = 8.
   exp::banner(std::cout,
@@ -102,6 +192,8 @@ int main(int argc, char** argv) {
     }
     dup.add_row({"2-D 16x16 Q4", exp::Table::integer(p2.dofs.num_free()),
                  exp::Table::num(double(dupn) / double(owned), 3)});
+    dup_rows.push_back(
+        {"2d_16x16_q4", p2.dofs.num_free(), double(dupn) / double(owned)});
   }
   {
     fem::Cantilever3dSpec spec3;
@@ -118,10 +210,55 @@ int main(int argc, char** argv) {
     }
     dup.add_row({"3-D 8x5x5 Hex8", exp::Table::integer(p3.dofs.num_free()),
                  exp::Table::num(double(dupn) / double(owned), 3)});
+    dup_rows.push_back(
+        {"3d_8x5x5_hex8", p3.dofs.num_free(), double(dupn) / double(owned)});
   }
   dup.print(std::cout);
   std::cout << "\nexpected: the 3-D duplication factor exceeds the 2-D one "
                "(thicker interface layers) — the paper's\n\"storage "
                "requirements may increase drastically\" drawback.\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << "{\n  \"bench\": \"ext_3d_scaling\",\n  \"full\": "
+        << (full ? "true" : "false") << ",\n  \"speedup\": [\n";
+    for (std::size_t i = 0; i < bar_rows.size(); ++i) {
+      const BarRow& r = bar_rows[i];
+      out << "    {\"bar\": \"" << r.bar << "\", \"n_eqn\": " << r.n_eqn
+          << ", \"iters_p1\": " << r.iters << ", \"s2\": " << r.s2
+          << ", \"s4\": " << r.s4 << ", \"s8\": " << r.s8 << "}"
+          << (i + 1 < bar_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"deflation\": [\n";
+    for (std::size_t i = 0; i < defl_rows.size(); ++i) {
+      const DeflRow& r = defl_rows[i];
+      out << "    {\"bar\": \"" << r.bar << "\", \"n_eqn\": " << r.n_eqn
+          << ", \"iters_off\": " << r.iters_off
+          << ", \"iters_deflated\": " << r.iters_defl
+          << ", \"coarse_dim\": " << 12 * 8 << "}"
+          << (i + 1 < defl_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"brick3d_jumps\": [\n";
+    for (std::size_t i = 0; i < jump_rows.size(); ++i) {
+      const JumpRow& r = jump_rows[i];
+      out << "    {\"jump\": " << r.jump << ", \"variant\": \"" << r.variant
+          << "\", \"iterations\": " << r.iters
+          << ", \"converged\": " << (r.converged ? "true" : "false") << "}"
+          << (i + 1 < jump_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"rdd_duplication\": [\n";
+    for (std::size_t i = 0; i < dup_rows.size(); ++i) {
+      const DupRow& r = dup_rows[i];
+      out << "    {\"problem\": \"" << r.problem
+          << "\", \"n_eqn\": " << r.n_eqn << ", \"factor\": " << r.factor
+          << "}" << (i + 1 < dup_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("3-D sweep written to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -18,6 +18,18 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A structurally unusable operator or an operator-level configuration
+/// that cannot build: a zero/degenerate row under norm-1 scaling, or
+/// deflation options whose coord_dim/components/coefficient tables do
+/// not match the operator's dof layout.  Distinct from Error so the
+/// service can answer with the typed Failed{BadOperator} outcome
+/// (request-scoped — the shard keeps serving) instead of a generic
+/// solve failure.
+class BadOperatorError : public Error {
+ public:
+  explicit BadOperatorError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_error(const char* expr, const char* file,
                                      int line, const std::string& msg) {

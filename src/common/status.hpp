@@ -68,6 +68,26 @@ enum class CommErrorKind : std::uint8_t {
   return "?";
 }
 
+/// Why a dispatched solve FAILED after admission (svc::Failed::reason).
+/// Appears in JSON artifacts and log lines by name; values are stable
+/// and append-only like the other enums here.
+enum class FailReason : std::uint32_t {
+  SolveError = 0,   ///< the solve threw: numerical breakdown, internal check
+  BadOperator = 1,  ///< degenerate operator or an operator/options mismatch
+                    ///< caught while building (pfem::BadOperatorError)
+  CommFailure = 2,  ///< typed communication failure that survived the
+                    ///< retry policy (Failed::comm mirrors this value)
+};
+
+[[nodiscard]] constexpr const char* name(FailReason r) noexcept {
+  switch (r) {
+    case FailReason::SolveError: return "solve_error";
+    case FailReason::BadOperator: return "bad_operator";
+    case FailReason::CommFailure: return "comm_failure";
+  }
+  return "?";
+}
+
 /// Why a protocol frame was refused.  Total decoding: every malformed
 /// input maps to one of these (never UB, never an exception).
 enum class DecodeStatus : std::uint32_t {

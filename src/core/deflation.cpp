@@ -1,10 +1,72 @@
 #include "core/deflation.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
 
 #include "common/error.hpp"
 
 namespace pfem::core {
+
+namespace {
+
+[[noreturn]] void bad_deflation(const std::ostringstream& os) {
+  throw BadOperatorError("deflation options do not match the operator: " +
+                         os.str());
+}
+
+}  // namespace
+
+void validate_deflation(const DeflationOptions& opts, index_t n_global) {
+  if (!opts.enabled) return;
+  std::ostringstream os;
+  if (opts.vectors_per_subdomain < 1 || opts.components < 1) {
+    os << "vectors_per_subdomain and components must be >= 1 (got "
+       << opts.vectors_per_subdomain << ", " << opts.components << ")";
+    bad_deflation(os);
+  }
+  if (n_global % static_cast<index_t>(opts.components) != 0) {
+    os << "components = " << opts.components << " does not divide the "
+       << n_global << " free dofs — wrong problem family for this "
+       << "coarse space (scalar diffusion is 1, plane elasticity 2, "
+       << "3-D elasticity 3)";
+    bad_deflation(os);
+  }
+  if (opts.coord_dim < 0 || opts.coord_dim > 3) {
+    os << "coord_dim must be in [0, 3] (got " << opts.coord_dim << ")";
+    bad_deflation(os);
+  }
+  const auto want_coords = static_cast<std::size_t>(n_global) *
+                           static_cast<std::size_t>(opts.coord_dim);
+  if (opts.coord_dim > 0 && opts.dof_coords.size() != want_coords) {
+    os << "dof_coords holds " << opts.dof_coords.size() << " entries, but "
+       << n_global << " free dofs x coord_dim " << opts.coord_dim
+       << " needs " << want_coords
+       << " — the coordinate table was built for a different mesh or "
+       << "dimension";
+    bad_deflation(os);
+  }
+  if (opts.coord_dim == 0 && !opts.dof_coords.empty()) {
+    os << "dof_coords supplied without coord_dim — the per-dof layout is "
+       << "ambiguous";
+    bad_deflation(os);
+  }
+  if (opts.jump_aware) {
+    if (opts.dof_coeff.size() != static_cast<std::size_t>(n_global)) {
+      os << "jump_aware needs one coefficient per free dof: dof_coeff "
+         << "holds " << opts.dof_coeff.size() << " entries for " << n_global
+         << " dofs";
+      bad_deflation(os);
+    }
+    for (std::size_t g = 0; g < opts.dof_coeff.size(); ++g)
+      if (!(opts.dof_coeff[g] > 0.0) || !std::isfinite(opts.dof_coeff[g])) {
+        os << "dof_coeff[" << g << "] = " << opts.dof_coeff[g]
+           << " — coefficient magnitudes must be positive and finite";
+        bad_deflation(os);
+      }
+  }
+}
 
 CoarseOperator::CoarseOperator(la::DenseMatrix e) : lu_([&] {
   const index_t n = e.rows();
@@ -31,8 +93,25 @@ DeflationRank::DeflationRank(const partition::EddSubdomain& sub, int rank,
   const bool have_coords = dim > 0 && !opts.dof_coords.empty();
   nbasis_ = static_cast<int>(std::clamp(
       q / nc, index_t{1}, have_coords ? 1 + dim : index_t{1}));
+  const bool jump = opts.jump_aware && !opts.dof_coeff.empty();
+  nclasses_ = jump ? 2 : 1;
   comps_ = nc;
-  ncoarse_ = static_cast<index_t>(nparts) * nbasis_ * nc;
+  ncoarse_ = static_cast<index_t>(nparts) * nclasses_ * nbasis_ * nc;
+
+  // Jump-aware class pivot: the geometric mean of the coefficient
+  // range.  Computed from the globally replicated table, so every rank
+  // derives the identical pivot — the class of a dof stays a pure
+  // function of its global id (the exchange-free consistency invariant).
+  real_t pivot = 0.0;
+  if (jump) {
+    real_t lo = std::numeric_limits<real_t>::infinity();
+    real_t hi = 0.0;
+    for (const real_t c : opts.dof_coeff) {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    pivot = std::sqrt(lo * hi);
+  }
 
   const std::size_t nl = sub.local_to_global.size();
   PFEM_CHECK(dof_weights.size() == nl);
@@ -52,7 +131,14 @@ DeflationRank::DeflationRank(const partition::EddSubdomain& sub, int rank,
   const auto nb_stride = static_cast<index_t>(nbasis_) * nc;
   for (std::size_t l = 0; l < nl; ++l) {
     const index_t g = sub.local_to_global[l];
-    col0_[l] = static_cast<index_t>(owner[l]) * nb_stride + g % nc;
+    index_t patch = static_cast<index_t>(owner[l]) *
+                    static_cast<index_t>(nclasses_);
+    if (jump) {
+      PFEM_CHECK_MSG(static_cast<std::size_t>(g) < opts.dof_coeff.size(),
+                     "deflation: dof_coeff too short for the partition");
+      if (opts.dof_coeff[static_cast<std::size_t>(g)] >= pivot) ++patch;
+    }
+    col0_[l] = patch * nb_stride + g % nc;
     val_[l * static_cast<std::size_t>(nbasis_)] = dof_weights[l];
     for (int b = 1; b < nbasis_; ++b) {
       const auto ci = static_cast<std::size_t>(g) *

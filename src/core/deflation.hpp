@@ -90,7 +90,37 @@ struct DeflationOptions {
 
   /// Spatial dimension of dof_coords (0 when none supplied).
   int coord_dim = 0;
+
+  /// Jump-aware partition-of-unity variant (AMGCL-style coefficient
+  /// splitting): every subdomain patch is split into TWO coefficient
+  /// classes — dofs below / at-or-above the global pivot, the geometric
+  /// mean of the coefficient range — and each class gets its own coarse
+  /// columns.  With a strong jump the scaled operator's near-null space
+  /// is no longer smooth ACROSS the jump; per-class columns let the
+  /// Galerkin minimizer approximate each coefficient region separately,
+  /// which is what keeps the deflated iteration count near the
+  /// homogeneous one (bench/hetero_scaling's gate).  ncoarse doubles to
+  /// P·2·nbasis·components; a subdomain lacking one class just yields
+  /// structurally empty E rows, which CoarseOperator regularizes.
+  bool jump_aware = false;
+
+  /// Per-GLOBAL-free-dof coefficient magnitude [g] (all entries > 0),
+  /// required when jump_aware (fem problem families fill it from the
+  /// per-element coefficients).  Like dof_coords it is a globally
+  /// replicated pure function of the global dof id, so the class
+  /// assignment needs no communication.  Ignored when !jump_aware.
+  std::vector<real_t> dof_coeff;
 };
+
+/// Validate deflation options against the operator's dof layout at
+/// BUILD time.  Throws pfem::BadOperatorError (not a generic check
+/// failure) on any mismatch — coord table of the wrong length for
+/// n_global·coord_dim (e.g. 2-D coords on a 3-D brick), components that
+/// do not divide n_global (diffusion's 1 vs elasticity's 2–3), or a
+/// missing/degenerate coefficient table with jump_aware — so the
+/// service surfaces a typed Failed{BadOperator} instead of silently
+/// building a wrong coarse space.  No-op when !opts.enabled.
+void validate_deflation(const DeflationOptions& opts, index_t n_global);
 
 /// The replicated coarse operator: E = ZᵀÂZ, LU-factorized once.
 /// solve() is const and allocation-free, so one instance may be shared
@@ -136,12 +166,15 @@ class DeflationRank {
                 const DeflationOptions& opts,
                 std::span<const real_t> dof_weights);
 
-  /// Total coarse dimension P·nbasis·components.
+  /// Total coarse dimension P·nclasses·nbasis·components.
   [[nodiscard]] index_t ncoarse() const noexcept { return ncoarse_; }
 
   /// Basis functions per (patch, component) pair actually in use
   /// (1 without coordinates, up to 1 + coord_dim with them).
   [[nodiscard]] int nbasis() const noexcept { return nbasis_; }
+
+  /// Coefficient classes per patch: 2 with jump_aware, else 1.
+  [[nodiscard]] int nclasses() const noexcept { return nclasses_; }
 
   /// e += ZᵀÂ_loc Z for this rank's sub-assembled K̂_loc and scaling d
   /// (Â = D̂K̂D̂ applied on the fly); allreducing e over ranks yields E
@@ -176,8 +209,10 @@ class DeflationRank {
   const partition::EddSubdomain* sub_;
   index_t ncoarse_ = 0;
   int nbasis_ = 1;
+  int nclasses_ = 1;
   index_t comps_ = 1;
-  IndexVector col0_;  ///< dof -> first column: owner·nbasis·c + comp
+  IndexVector col0_;  ///< dof -> first column:
+                      ///< (owner·nclasses + class)·nbasis·c + comp
   Vector val_;        ///< dof-major [l·nbasis + b]: w_l · φ_b(node(l))
 };
 

@@ -1,6 +1,7 @@
 #include "core/diag_scaling.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -9,7 +10,13 @@ namespace pfem::core {
 Vector norm1_scaling(const sparse::CsrMatrix& k) {
   Vector d = k.row_norms1();
   for (std::size_t i = 0; i < d.size(); ++i) {
-    PFEM_CHECK_MSG(d[i] > 0.0, "norm-1 scaling: zero row " << i);
+    // A zero (or non-finite) row norm means d_i = 1/sqrt(||k_i||_1) does
+    // not exist: the operator is degenerate, not the solver.  Typed so a
+    // multi-tenant service can answer Failed{BadOperator} and keep
+    // serving instead of treating it as an internal invariant violation.
+    if (!(d[i] > 0.0) || !std::isfinite(d[i]))
+      throw BadOperatorError("norm-1 scaling: zero/degenerate row " +
+                             std::to_string(i));
     d[i] = 1.0 / std::sqrt(d[i]);
   }
   return d;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -781,6 +782,10 @@ EddOperatorState build_edd_operator(
     const std::vector<sparse::CsrMatrix>* local_matrices, obs::Trace* trace,
     const KernelOptions& kernels, const DeflationOptions& deflation) {
   validate_poly_spec(spec);
+  // Fail a mismatched coarse-space configuration HERE, on the calling
+  // thread, as a typed BadOperatorError — not as a per-rank surprise
+  // halfway through the team's build.
+  validate_deflation(deflation, part.n_global);
   PFEM_CHECK_MSG(team.size() == part.nparts(),
                  "build_edd_operator: team size " << team.size()
                  << " != partition parts " << part.nparts());
@@ -816,7 +821,13 @@ EddOperatorState build_edd_operator(
         r.counters().flops += static_cast<std::uint64_t>(a.nnz());
         r.exchange(d);              // d_i = Σ_s d_i^(s) (Eq. 42)
         for (std::size_t l = 0; l < nl; ++l) {
-          PFEM_CHECK_MSG(d[l] > 0.0, "norm-1 scaling: zero row");
+          // Globally-summed zero row => degenerate operator; typed so
+          // the service maps it to Failed{BadOperator} (request-scoped,
+          // the build is never cached) instead of a generic failure.
+          if (!(d[l] > 0.0))
+            throw BadOperatorError(
+                "norm-1 scaling: zero/degenerate row at global dof " +
+                std::to_string(sub.local_to_global[l]));
           d[l] = 1.0 / std::sqrt(d[l]);
         }
         // Kernels are built from the UNSCALED matrix: the Sell format

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <optional>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -104,7 +105,13 @@ void edd_rank_solve(const EddPartition& part, const CsrMatrix& k_in,
     r.counters().flops += static_cast<std::uint64_t>(k_in.nnz());
     r.exchange(d);              // d_i = Σ_s d_i^(s) (Eq. 42)
     for (std::size_t l = 0; l < nl; ++l) {
-      PFEM_CHECK_MSG(d[l] > 0.0, "norm-1 scaling: zero row");
+      // The exchange made d globally consistent, so a zero sum is a
+      // degenerate ROW OF THE ASSEMBLED OPERATOR, not a partition
+      // artifact — typed so the caller can answer Failed{BadOperator}.
+      if (!(d[l] > 0.0))
+        throw BadOperatorError(
+            "norm-1 scaling: zero/degenerate row at global dof " +
+            std::to_string(sub.local_to_global[l]));
       d[l] = 1.0 / std::sqrt(d[l]);
     }
     // Â = D̂ K̂ D̂ (Eq. 44): the Csr kernel scales a private copy
@@ -478,6 +485,7 @@ DistSolve solve_edd(const EddPartition& part,
   PFEM_CHECK_MSG(opts.restart >= 1 && opts.max_iters >= 1 && opts.tol > 0.0,
                  "solve_edd: restart/max_iters must be >= 1 and tol > 0");
   validate_poly_spec(spec);
+  validate_deflation(opts.deflation, part.n_global);
   if (local_matrices != nullptr)
     PFEM_CHECK(local_matrices->size() == part.subs.size());
   // A matrix override (e.g. dynamics' K + a0 M) leaves the partition's

@@ -28,7 +28,10 @@ inline void validate_theta(const Theta& theta) {
   for (std::size_t k = 0; k < theta.size(); ++k) {
     PFEM_CHECK_MSG(theta[k].lo < theta[k].hi,
                    "Theta interval " << k << " is empty or inverted");
-    PFEM_CHECK_MSG(!(theta[k].lo < 0.0 && theta[k].hi > 0.0),
+    // Closed-interval semantics, matching theta_contains: an interval
+    // merely TOUCHING 0 (lo == 0 or hi == 0) already violates 0 ∉ Θ and
+    // would hand the GLS basis a point at 0.
+    PFEM_CHECK_MSG(!(theta[k].lo <= 0.0 && theta[k].hi >= 0.0),
                    "Theta must not contain 0 (Eq. 18)");
     if (k > 0)
       PFEM_CHECK_MSG(theta[k - 1].hi <= theta[k].lo,

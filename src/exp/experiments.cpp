@@ -31,27 +31,54 @@ partition::Point3 centroid3(const fem::Mesh& mesh, index_t e) {
   return c;
 }
 
+/// Element partition by centroid (RCB in the mesh's dimension, strips
+/// in 2-D) — shared by the operator-kind-aware make_edd overloads.
+IndexVector make_elem_part(const fem::Mesh& mesh, int nparts,
+                           PartitionMethod method) {
+  if (mesh.dim() == 3 && method == PartitionMethod::Rcb && nparts > 1) {
+    std::vector<partition::Point3> centroids;
+    centroids.reserve(static_cast<std::size_t>(mesh.num_elems()));
+    for (index_t e = 0; e < mesh.num_elems(); ++e)
+      centroids.push_back(centroid3(mesh, e));
+    return partition::partition_rcb3(centroids, nparts);
+  }
+  std::vector<partition::Point> centroids;
+  centroids.reserve(static_cast<std::size_t>(mesh.num_elems()));
+  for (index_t e = 0; e < mesh.num_elems(); ++e)
+    centroids.push_back(mesh.elem_centroid(e));
+  return partition_points(centroids, nparts, method);
+}
+
 }  // namespace
 
 partition::EddPartition make_edd(const fem::CantileverProblem& prob,
                                  int nparts, PartitionMethod method) {
-  IndexVector elem_part;
-  if (prob.mesh.dim() == 3 && method == PartitionMethod::Rcb && nparts > 1) {
-    std::vector<partition::Point3> centroids;
-    centroids.reserve(static_cast<std::size_t>(prob.mesh.num_elems()));
-    for (index_t e = 0; e < prob.mesh.num_elems(); ++e)
-      centroids.push_back(centroid3(prob.mesh, e));
-    elem_part = partition::partition_rcb3(centroids, nparts);
-  } else {
-    std::vector<partition::Point> centroids;
-    centroids.reserve(static_cast<std::size_t>(prob.mesh.num_elems()));
-    for (index_t e = 0; e < prob.mesh.num_elems(); ++e)
-      centroids.push_back(prob.mesh.elem_centroid(e));
-    elem_part = partition_points(centroids, nparts, method);
+  return partition::build_edd_partition(
+      prob.mesh, prob.dofs, prob.material, fem::Operator::Stiffness,
+      make_elem_part(prob.mesh, nparts, method), nparts);
+}
+
+partition::EddPartition make_edd(const fem::FamilyProblem& fp, int nparts,
+                                 PartitionMethod method) {
+  return partition::build_edd_partition(
+      fp.prob.mesh, fp.prob.dofs, fp.prob.material, fp.op,
+      make_elem_part(fp.prob.mesh, nparts, method), nparts);
+}
+
+core::DeflationOptions family_deflation(const fem::FamilyProblem& fp,
+                                        bool jump_aware,
+                                        int vectors_per_subdomain) {
+  core::DeflationOptions opts;
+  opts.enabled = true;
+  opts.vectors_per_subdomain = vectors_per_subdomain;
+  opts.components = fp.components;
+  opts.coord_dim = fp.coord_dim;
+  opts.dof_coords = fp.dof_coords;
+  if (jump_aware) {
+    opts.jump_aware = true;
+    opts.dof_coeff = fp.dof_coeff;
   }
-  return partition::build_edd_partition(prob.mesh, prob.dofs, prob.material,
-                                        fem::Operator::Stiffness, elem_part,
-                                        nparts);
+  return opts;
 }
 
 partition::RddPartition make_rdd(const fem::CantileverProblem& prob,

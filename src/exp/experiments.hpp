@@ -7,6 +7,7 @@
 
 #include "core/edd_solver.hpp"
 #include "core/rdd_solver.hpp"
+#include "fem/families.hpp"
 #include "fem/problems.hpp"
 #include "par/cost_model.hpp"
 #include "partition/edd.hpp"
@@ -20,6 +21,21 @@ enum class PartitionMethod { Strips, Rcb };
 [[nodiscard]] partition::EddPartition make_edd(
     const fem::CantileverProblem& prob, int nparts,
     PartitionMethod method = PartitionMethod::Rcb);
+
+/// Same, for a problem-family instance: partitions by centroid like the
+/// cantilever overload but assembles the family's own operator kind
+/// (Poisson for hetero2d, Stiffness for the elasticity families).
+[[nodiscard]] partition::EddPartition make_edd(
+    const fem::FamilyProblem& fp, int nparts,
+    PartitionMethod method = PartitionMethod::Rcb);
+
+/// Deflation options matched to a family instance: components and
+/// coordinate enrichment from the family metadata; with `jump_aware`
+/// the coefficient table rides along so the coarse space splits every
+/// owner patch by coefficient class (see core/deflation.hpp).
+[[nodiscard]] core::DeflationOptions family_deflation(
+    const fem::FamilyProblem& fp, bool jump_aware = false,
+    int vectors_per_subdomain = 6);
 
 /// Node partition + RDD structures for a cantilever problem.
 [[nodiscard]] partition::RddPartition make_rdd(

@@ -57,29 +57,68 @@ index_t dofs_per_node_for(const Mesh& mesh, Operator op) {
 
 }  // namespace
 
+namespace {
+
+/// Per-element heterogeneity hooks of Material: the Quad4 Poisson path
+/// honours the diffusion-tensor table; Stiffness/Poisson matrices are
+/// scaled by elem_scale[e].  Mass stays untouched — density is a
+/// separate physical field, and scaling it would change the spectrum of
+/// the wrong operator.
+la::DenseMatrix apply_elem_scale(la::DenseMatrix ke, const Material& mat,
+                                 Operator op, index_t e) {
+  if (op == Operator::Mass || mat.elem_scale == nullptr) return ke;
+  const auto& scale = *mat.elem_scale;
+  PFEM_CHECK_MSG(static_cast<std::size_t>(e) < scale.size(),
+                 "Material::elem_scale shorter than the element count");
+  const real_t s = scale[static_cast<std::size_t>(e)];
+  for (index_t r = 0; r < ke.rows(); ++r)
+    for (index_t c = 0; c < ke.cols(); ++c) ke(r, c) *= s;
+  return ke;
+}
+
+la::DenseMatrix quad4_poisson_elem(const Mesh& mesh, const Material& mat,
+                                   index_t e) {
+  if (mat.diffusion == nullptr) return quad4_poisson(quad_coords(mesh, e));
+  const auto& d = *mat.diffusion;
+  PFEM_CHECK_MSG(d.size() >= 4 * static_cast<std::size_t>(e) + 4,
+                 "Material::diffusion shorter than 4 * element count");
+  const std::size_t b = 4 * static_cast<std::size_t>(e);
+  return quad4_diffusion(quad_coords(mesh, e),
+                         DiffusionTensor{d[b], d[b + 1], d[b + 2], d[b + 3]});
+}
+
+}  // namespace
+
 la::DenseMatrix element_matrix(const Mesh& mesh, const Material& mat,
                                Operator op, index_t e) {
   switch (mesh.type()) {
     case ElemType::Quad4:
       switch (op) {
         case Operator::Stiffness:
-          return quad4_stiffness(quad_coords(mesh, e), mat);
+          return apply_elem_scale(quad4_stiffness(quad_coords(mesh, e), mat),
+                                  mat, op, e);
         case Operator::Mass: return quad4_mass(quad_coords(mesh, e), mat);
-        case Operator::Poisson: return quad4_poisson(quad_coords(mesh, e));
+        case Operator::Poisson:
+          return apply_elem_scale(quad4_poisson_elem(mesh, mat, e), mat, op,
+                                  e);
       }
       break;
     case ElemType::Tri3:
       switch (op) {
         case Operator::Stiffness:
-          return tri3_stiffness(tri_coords(mesh, e), mat);
+          return apply_elem_scale(tri3_stiffness(tri_coords(mesh, e), mat),
+                                  mat, op, e);
         case Operator::Mass: return tri3_mass(tri_coords(mesh, e), mat);
-        case Operator::Poisson: return tri3_poisson(tri_coords(mesh, e));
+        case Operator::Poisson:
+          return apply_elem_scale(tri3_poisson(tri_coords(mesh, e)), mat, op,
+                                  e);
       }
       break;
     case ElemType::Quad8:
       switch (op) {
         case Operator::Stiffness:
-          return quad8_stiffness(quad8_coords(mesh, e), mat);
+          return apply_elem_scale(quad8_stiffness(quad8_coords(mesh, e), mat),
+                                  mat, op, e);
         case Operator::Mass: return quad8_mass(quad8_coords(mesh, e), mat);
         case Operator::Poisson:
           PFEM_CHECK_MSG(false, "scalar Poisson not provided for Q8");
@@ -88,7 +127,8 @@ la::DenseMatrix element_matrix(const Mesh& mesh, const Material& mat,
     case ElemType::Hex8:
       switch (op) {
         case Operator::Stiffness:
-          return hex8_stiffness(hex_coords(mesh, e), mat);
+          return apply_elem_scale(hex8_stiffness(hex_coords(mesh, e), mat),
+                                  mat, op, e);
         case Operator::Mass: return hex8_mass(hex_coords(mesh, e), mat);
         case Operator::Poisson:
           PFEM_CHECK_MSG(false, "scalar Poisson not provided for Hex8");

@@ -457,6 +457,26 @@ la::DenseMatrix quad4_poisson(const QuadCoords& xy) {
   return ke;
 }
 
+la::DenseMatrix quad4_diffusion(const QuadCoords& xy,
+                                const DiffusionTensor& d) {
+  la::DenseMatrix ke(4, 4);
+  for (int gx = 0; gx < 2; ++gx) {
+    for (int gy = 0; gy < 2; ++gy) {
+      const real_t xi = (gx == 0 ? -kGauss : kGauss);
+      const real_t eta = (gy == 0 ? -kGauss : kGauss);
+      const ShapeEval s = quad4_shapes(xy, xi, eta);
+      for (int i = 0; i < 4; ++i) {
+        // (D grad Ni) with D = [dxx dxy; dyx dyy], row-major.
+        const real_t qx = d[0] * s.dn_dx[i] + d[1] * s.dn_dy[i];
+        const real_t qy = d[2] * s.dn_dx[i] + d[3] * s.dn_dy[i];
+        for (int j = 0; j < 4; ++j)
+          ke(i, j) += s.det_j * (qx * s.dn_dx[j] + qy * s.dn_dy[j]);
+      }
+    }
+  }
+  return ke;
+}
+
 la::DenseMatrix tri3_poisson(const TriCoords& xy) {
   const real_t area = tri3_area(xy);
   PFEM_CHECK_MSG(area > 0.0, "degenerate/inverted T3 element");

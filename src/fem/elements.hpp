@@ -63,6 +63,17 @@ using HexCoords = std::array<real_t, 24>;
 /// 4x4 scalar Laplace stiffness ke = sum_g grad(N)^T grad(N) |J| w_g.
 [[nodiscard]] la::DenseMatrix quad4_poisson(const QuadCoords& xy);
 
+/// Symmetric positive-definite 2x2 diffusion tensor, row-major
+/// (dxx, dxy, dyx, dyy); the anisotropic generalization of the scalar
+/// Laplace coefficient.
+using DiffusionTensor = std::array<real_t, 4>;
+
+/// 4x4 scalar diffusion stiffness ke = sum_g grad(N)^T D grad(N) |J| w_g
+/// with a per-element constant tensor D.  quad4_poisson is the D = I
+/// special case.
+[[nodiscard]] la::DenseMatrix quad4_diffusion(const QuadCoords& xy,
+                                              const DiffusionTensor& d);
+
 /// 3x3 scalar Laplace stiffness (exact).
 [[nodiscard]] la::DenseMatrix tri3_poisson(const TriCoords& xy);
 

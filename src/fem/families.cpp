@@ -1,0 +1,224 @@
+#include "fem/families.hpp"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "fem/structured.hpp"
+
+namespace pfem::fem {
+
+namespace {
+
+struct Centroid {
+  real_t x = 0.0, y = 0.0, z = 0.0;
+};
+
+Centroid elem_centroid3(const Mesh& mesh, index_t e) {
+  const auto nodes = mesh.elem_nodes(e);
+  Centroid c;
+  for (index_t n : nodes) {
+    c.x += mesh.x(n);
+    c.y += mesh.y(n);
+    if (mesh.dim() == 3) c.z += mesh.z(n);
+  }
+  const auto inv = 1.0 / static_cast<real_t>(nodes.size());
+  c.x *= inv;
+  c.y *= inv;
+  c.z *= inv;
+  return c;
+}
+
+/// Coefficient class of an element: 0 (soft, kappa = 1) or 1 (stiff,
+/// kappa = jump).  `aligned` splits at the x = lx/2 plane; otherwise a
+/// checker^d checkerboard over the bounding box, deliberately cutting
+/// across every partition interface.
+int elem_class(const ProblemSpec& spec, const Centroid& c, real_t lx,
+               real_t ly, real_t lz, int dim) {
+  if (spec.aligned) return c.x < 0.5 * lx ? 0 : 1;
+  const auto blocks = static_cast<real_t>(spec.checker);
+  const auto bx = static_cast<long>(std::floor(c.x / lx * blocks));
+  const auto by = static_cast<long>(std::floor(c.y / ly * blocks));
+  long sum = bx + by;
+  if (dim == 3) sum += static_cast<long>(std::floor(c.z / lz * blocks));
+  return static_cast<int>(sum & 1);
+}
+
+/// Per-element kappa table for the spec's jump pattern.
+std::vector<real_t> elem_kappa(const ProblemSpec& spec, const Mesh& mesh,
+                               real_t lx, real_t ly, real_t lz) {
+  std::vector<real_t> kappa(static_cast<std::size_t>(mesh.num_elems()), 1.0);
+  for (index_t e = 0; e < mesh.num_elems(); ++e) {
+    const Centroid c = elem_centroid3(mesh, e);
+    if (elem_class(spec, c, lx, ly, lz, static_cast<int>(mesh.dim())) == 1)
+      kappa[static_cast<std::size_t>(e)] = spec.jump;
+  }
+  return kappa;
+}
+
+/// Coefficient magnitude per global free dof: max over the adjacent
+/// elements, so every interface dof lands in the stiff class (the class
+/// boundary of the jump-aware coarse space then traces the material
+/// interface exactly).
+Vector dof_coeff_from_elems(const Mesh& mesh, const DofMap& dofs,
+                            const std::vector<real_t>& kappa) {
+  std::vector<real_t> node_coeff(
+      static_cast<std::size_t>(mesh.num_nodes()), 0.0);
+  for (index_t e = 0; e < mesh.num_elems(); ++e)
+    for (index_t n : mesh.elem_nodes(e)) {
+      auto& v = node_coeff[static_cast<std::size_t>(n)];
+      v = std::max(v, kappa[static_cast<std::size_t>(e)]);
+    }
+  Vector out(static_cast<std::size_t>(dofs.num_free()), 1.0);
+  for (index_t n = 0; n < dofs.num_nodes(); ++n)
+    for (index_t c = 0; c < dofs.dofs_per_node(); ++c) {
+      const index_t g = dofs.dof(n, c);
+      if (g >= 0)
+        out[static_cast<std::size_t>(g)] =
+            node_coeff[static_cast<std::size_t>(n)];
+    }
+  return out;
+}
+
+void check_spec(const ProblemSpec& spec) {
+  PFEM_CHECK_MSG(spec.nx >= 1 && spec.ny >= 1 && spec.nz >= 1,
+                 "problem spec: mesh sizes must be >= 1");
+  PFEM_CHECK_MSG(spec.jump >= 1.0, "problem spec: jump must be >= 1");
+  PFEM_CHECK_MSG(spec.anisotropy >= 1.0,
+                 "problem spec: anisotropy must be >= 1");
+  PFEM_CHECK_MSG(spec.checker >= 1, "problem spec: checker must be >= 1");
+}
+
+FamilyProblem make_cantilever2d(const ProblemSpec& spec) {
+  CantileverSpec cs;
+  cs.nx = spec.nx;
+  cs.ny = spec.ny;
+  cs.youngs_modulus = spec.youngs_modulus;
+  cs.poisson_ratio = spec.poisson_ratio;
+  cs.load_total = spec.load_total;
+
+  CantileverProblem prob = make_cantilever(cs);
+  Vector coords = free_dof_coords(prob.mesh, prob.dofs);
+  Vector coeff(static_cast<std::size_t>(prob.dofs.num_free()), 1.0);
+  return FamilyProblem{"cantilever2d",    std::move(prob),
+                       Operator::Stiffness, /*components=*/2,
+                       /*coord_dim=*/2,     std::move(coords),
+                       std::move(coeff)};
+}
+
+FamilyProblem make_hetero2d(const ProblemSpec& spec) {
+  const real_t lx = static_cast<real_t>(spec.nx);
+  const real_t ly = static_cast<real_t>(spec.ny);
+  Mesh mesh = structured_quad(spec.nx, spec.ny, lx, ly);
+
+  const std::vector<real_t> kappa = elem_kappa(spec, mesh, lx, ly, 1.0);
+
+  // Per-element tensor kappa * R(angle) diag(1, 1/anisotropy) R(angle)^T:
+  // principal diffusivity 1 along the rotated first axis, 1/anisotropy
+  // across it.
+  const real_t c = std::cos(spec.angle), s = std::sin(spec.angle);
+  const real_t minor = 1.0 / spec.anisotropy;
+  auto tensors = std::make_shared<std::vector<real_t>>(
+      4 * static_cast<std::size_t>(mesh.num_elems()));
+  for (index_t e = 0; e < mesh.num_elems(); ++e) {
+    const real_t k = kappa[static_cast<std::size_t>(e)];
+    const std::size_t b = 4 * static_cast<std::size_t>(e);
+    (*tensors)[b] = k * (c * c + s * s * minor);
+    (*tensors)[b + 1] = k * (c * s * (1.0 - minor));
+    (*tensors)[b + 2] = (*tensors)[b + 1];
+    (*tensors)[b + 3] = k * (s * s + c * c * minor);
+  }
+
+  Material mat;
+  mat.diffusion = std::move(tensors);
+
+  DofMap dofs(mesh.num_nodes(), 1);
+  for (index_t n : mesh.nodes_at_x(0.0)) dofs.fix_node(n);
+  dofs.finalize();
+
+  sparse::CsrMatrix k = assemble(mesh, dofs, mat, Operator::Poisson);
+  Vector f(static_cast<std::size_t>(dofs.num_free()), 0.0);
+  add_edge_load(dofs, mesh.nodes_at_x(lx), /*comp=*/0, spec.load_total, f);
+
+  Vector coords = free_dof_coords(mesh, dofs);
+  Vector coeff = dof_coeff_from_elems(mesh, dofs, kappa);
+  return FamilyProblem{
+      "hetero2d",
+      CantileverProblem{std::move(mesh), std::move(dofs), mat, std::move(k),
+                        std::move(f), spec.nx, spec.ny},
+      Operator::Poisson,
+      /*components=*/1,
+      /*coord_dim=*/2,
+      std::move(coords),
+      std::move(coeff)};
+}
+
+FamilyProblem make_brick3d(const ProblemSpec& spec) {
+  const real_t lx = static_cast<real_t>(spec.nx);
+  const real_t ly = static_cast<real_t>(spec.ny);
+  const real_t lz = static_cast<real_t>(spec.nz);
+  Mesh mesh = structured_hex(spec.nx, spec.ny, spec.nz, lx, ly, lz);
+
+  const std::vector<real_t> kappa = elem_kappa(spec, mesh, lx, ly, lz);
+
+  Material mat;
+  mat.youngs_modulus = spec.youngs_modulus;
+  mat.poisson_ratio = spec.poisson_ratio;
+  mat.elem_scale = std::make_shared<std::vector<real_t>>(kappa);
+
+  DofMap dofs(mesh.num_nodes(), 3);
+  for (index_t n : mesh.nodes_at_x(0.0)) dofs.fix_node(n);
+  dofs.finalize();
+
+  sparse::CsrMatrix k = assemble(mesh, dofs, mat, Operator::Stiffness);
+  Vector f(static_cast<std::size_t>(dofs.num_free()), 0.0);
+  add_edge_load(dofs, mesh.nodes_at_x(lx), /*comp=*/0, spec.load_total, f);
+
+  Vector coords = free_dof_coords(mesh, dofs);
+  Vector coeff = dof_coeff_from_elems(mesh, dofs, kappa);
+  return FamilyProblem{
+      "brick3d",
+      CantileverProblem{std::move(mesh), std::move(dofs), mat, std::move(k),
+                        std::move(f), spec.nx, spec.ny, spec.nz},
+      Operator::Stiffness,
+      /*components=*/3,
+      /*coord_dim=*/3,
+      std::move(coords),
+      std::move(coeff)};
+}
+
+}  // namespace
+
+std::vector<std::string> problem_families() {
+  return {"cantilever2d", "hetero2d", "brick3d"};
+}
+
+ProblemSpec default_spec(const std::string& family) {
+  ProblemSpec spec;
+  spec.family = family;
+  if (family == "cantilever2d") {
+    spec.nx = 10;
+    spec.ny = 4;
+  } else if (family == "hetero2d") {
+    spec.nx = 16;
+    spec.ny = 16;
+  } else if (family == "brick3d") {
+    spec.nx = 8;
+    spec.ny = 3;
+    spec.nz = 3;
+  } else {
+    PFEM_CHECK_MSG(false, "unknown problem family '" << family << "'");
+  }
+  return spec;
+}
+
+FamilyProblem make_problem(const ProblemSpec& spec) {
+  check_spec(spec);
+  if (spec.family == "cantilever2d") return make_cantilever2d(spec);
+  if (spec.family == "hetero2d") return make_hetero2d(spec);
+  if (spec.family == "brick3d") return make_brick3d(spec);
+  PFEM_CHECK_MSG(false, "unknown problem family '" << spec.family << "'");
+}
+
+}  // namespace pfem::fem

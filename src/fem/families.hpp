@@ -1,0 +1,101 @@
+// Problem families: named generators for the operator zoo the solver
+// stack is exercised on.
+//
+// The paper's evaluation problem is a homogeneous 2-D cantilever; the
+// solver layers above (norm-1 scaling, GLS polynomial, deflation, the
+// service) claim nothing that is specific to it.  This layer makes that
+// claim testable: a ProblemSpec names a *family* plus its knobs —
+// coefficient-jump magnitude, anisotropy ratio and orientation, whether
+// the jump interface aligns with the partition's natural splits — and
+// make_problem() returns a fully assembled FamilyProblem that benches,
+// tests, pfem_loadgen --mix and the chaos suite can request by name:
+//
+//   cantilever2d — the paper's homogeneous plane-stress plate (Q4);
+//   hetero2d     — heterogeneous/anisotropic scalar diffusion (Q4
+//                  Poisson with per-element 2x2 tensors): kappa jumps
+//                  by `jump` across an x-aligned interface or a
+//                  checkerboard, principal diffusivities (1, 1/
+//                  anisotropy) rotated by `angle`;
+//   brick3d      — 3-D elasticity bar of Hex8 bricks with per-element
+//                  stiffness jumps (Material::elem_scale).
+//
+// Besides the assembled system each FamilyProblem carries the metadata
+// a *matched* two-level deflation space needs: components, coord_dim,
+// per-free-dof coordinates and the per-free-dof coefficient magnitude
+// table that drives the jump-aware coarse-space split
+// (core::DeflationOptions::dof_coeff).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fem/problems.hpp"
+
+namespace pfem::fem {
+
+/// Knobs of a problem family.  Fields a family does not use are
+/// ignored (e.g. anisotropy for the elasticity families).
+struct ProblemSpec {
+  std::string family = "cantilever2d";
+  index_t nx = 10;
+  index_t ny = 10;
+  index_t nz = 2;  ///< brick3d only
+  /// Coefficient contrast between the two regions (>= 1; 1 =
+  /// homogeneous).  hetero2d scales the diffusion tensor, brick3d the
+  /// element stiffness.
+  real_t jump = 1.0;
+  /// Ratio of principal diffusivities (>= 1; hetero2d only): the tensor
+  /// is kappa * R(angle) diag(1, 1/anisotropy) R(angle)^T.
+  real_t anisotropy = 1.0;
+  real_t angle = 0.0;  ///< rotation of the principal axes (radians)
+  /// true: the jump interface is the x = lx/2 plane — aligned with the
+  /// cut a coordinate partitioner makes first.  false: a `checker` x
+  /// `checker` (x `checker` in 3-D) checkerboard, deliberately
+  /// MISALIGNED with any partition interface so every subdomain
+  /// straddles both coefficient classes.
+  bool aligned = true;
+  index_t checker = 4;
+  real_t youngs_modulus = 1000.0;
+  real_t poisson_ratio = 0.3;
+  real_t load_total = 100.0;
+  /// Reserved determinism hook: families are fully deterministic today,
+  /// and any future randomized field must draw from this seed only.
+  std::uint64_t seed = 1;
+};
+
+/// An assembled family instance: the problem plus the metadata a
+/// matched deflation space needs.
+struct FamilyProblem {
+  std::string family;
+  CantileverProblem prob;
+  /// Operator kind this family assembles (Poisson for hetero2d,
+  /// Stiffness otherwise) — partition builders must use this, not
+  /// assume Stiffness.
+  Operator op = Operator::Stiffness;
+  int components = 2;  ///< dofs per node (1 scalar, 2/3 elasticity)
+  int coord_dim = 2;   ///< spatial dimension of dof_coords
+  /// Node coordinates per global free dof, [g * coord_dim + k] — the
+  /// table core::DeflationOptions::dof_coords expects.
+  Vector dof_coords;
+  /// Coefficient magnitude per global free dof (max over the adjacent
+  /// elements' kappa / stiffness scale, so interface dofs land in the
+  /// stiff class) — the table the jump-aware deflation splits on.
+  /// All-ones for homogeneous families.
+  Vector dof_coeff;
+};
+
+/// Registered family names, in registry order.
+[[nodiscard]] std::vector<std::string> problem_families();
+
+/// A ready-to-build spec for `family` with that family's default sizes
+/// (small enough for tests, representative jump/anisotropy of 1).
+/// Throws pfem::Error for an unknown family.
+[[nodiscard]] ProblemSpec default_spec(const std::string& family);
+
+/// Build the family instance.  Deterministic: equal specs produce
+/// bit-identical systems.  Throws pfem::Error for an unknown family or
+/// out-of-range knobs.
+[[nodiscard]] FamilyProblem make_problem(const ProblemSpec& spec);
+
+}  // namespace pfem::fem

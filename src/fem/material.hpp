@@ -1,17 +1,37 @@
 // Linear elastic material and the plane-stress constitutive matrix.
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "common/error.hpp"
 #include "la/dense.hpp"
 
 namespace pfem::fem {
 
-/// Isotropic linear elastic material (plane stress).
+/// Isotropic linear elastic material (plane stress), optionally
+/// heterogeneous: per-element coefficient fields ride along as shared
+/// tables so a Material stays cheap to copy and the assembly signatures
+/// stay unchanged.
 struct Material {
   real_t youngs_modulus = 1.0e3;  ///< E
   real_t poisson_ratio = 0.3;     ///< nu, in (-1, 0.5)
   real_t density = 1.0;           ///< rho (mass matrix)
   real_t thickness = 1.0;         ///< t (plane problems)
+
+  /// Per-element stiffness multiplier (size num_elems when set): scales
+  /// the Stiffness/Poisson element matrix of element e by elem_scale[e]
+  /// — coefficient jumps for elasticity (2-D and 3-D) without touching
+  /// E/nu per element.  The Mass operator is NOT scaled (density is a
+  /// separate physical field).  Null means homogeneous.
+  std::shared_ptr<const std::vector<real_t>> elem_scale;
+
+  /// Per-element 2x2 diffusion tensors, row-major [e*4 + 2*i + j] (size
+  /// num_elems*4 when set): routes the Quad4 Poisson operator through
+  /// quad4_diffusion with D_e instead of the identity — anisotropic,
+  /// possibly rotated, heterogeneous scalar diffusion.  Null keeps the
+  /// plain Laplacian.  Ignored by elasticity/mass operators.
+  std::shared_ptr<const std::vector<real_t>> diffusion;
 
   /// 3x3 plane-stress constitutive matrix D:
   ///   D = E/(1-nu^2) * [[1, nu, 0], [nu, 1, 0], [0, 0, (1-nu)/2]].

@@ -14,6 +14,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -40,12 +41,18 @@ class OperatorCache {
     PFEM_CHECK_MSG(capacity_ >= 1, "operator cache needs capacity >= 1");
   }
 
+  /// `deflation`, when set, overrides the cache-wide deflation options
+  /// for THIS key — required for mixed-tenant registries where operators
+  /// from different problem families need different coarse-space layouts
+  /// (components, coord_dim, coefficient tables).  nullopt inherits the
+  /// cache-wide options.
   void register_operator(
       const std::string& key,
       std::shared_ptr<const partition::EddPartition> part,
       const core::PolySpec& poly,
       std::shared_ptr<const std::vector<sparse::CsrMatrix>> local_matrices =
-          nullptr) {
+          nullptr,
+      std::optional<core::DeflationOptions> deflation = std::nullopt) {
     PFEM_CHECK_MSG(part != nullptr, "register_operator: null partition");
     core::validate_poly_spec(poly);
     std::scoped_lock lock(m_);
@@ -53,6 +60,7 @@ class OperatorCache {
     e.part = std::move(part);
     e.poly = poly;
     e.local_matrices = std::move(local_matrices);
+    e.deflation = std::move(deflation);
     e.state = nullptr;  // recipe changed: built state is stale
     ++e.version;
     lru_erase(key);
@@ -96,6 +104,7 @@ class OperatorCache {
     std::shared_ptr<const partition::EddPartition> part;
     core::PolySpec poly;
     std::shared_ptr<const std::vector<sparse::CsrMatrix>> mats;
+    core::DeflationOptions deflation;
     std::uint64_t version = 0;
     {
       std::scoped_lock lock(m_);
@@ -109,11 +118,12 @@ class OperatorCache {
       part = it->second.part;
       poly = it->second.poly;
       mats = it->second.local_matrices;
+      deflation = it->second.deflation ? *it->second.deflation : deflation_;
       version = it->second.version;
     }
     auto built = std::make_shared<const core::EddOperatorState>(
         core::build_edd_operator(team, *part, poly, mats ? mats.get() : nullptr,
-                                 trace, kernels_, deflation_));
+                                 trace, kernels_, deflation));
     std::scoped_lock lock(m_);
     auto it = entries_.find(key);
     // Store only if the recipe did not change while building.
@@ -158,6 +168,9 @@ class OperatorCache {
     std::shared_ptr<const partition::EddPartition> part;
     core::PolySpec poly;
     std::shared_ptr<const std::vector<sparse::CsrMatrix>> local_matrices;
+    /// Per-key coarse-space override; nullopt inherits the cache-wide
+    /// deflation options.
+    std::optional<core::DeflationOptions> deflation;
     std::shared_ptr<const core::EddOperatorState> state;  // null = not built
     std::uint64_t version = 0;
   };

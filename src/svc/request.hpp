@@ -100,11 +100,25 @@ struct Cancelled {
   std::string detail;
 };
 
+/// Defined in common/status.hpp; re-exported like RejectReason.
+using FailReason = status::FailReason;
+
+[[nodiscard]] constexpr const char* fail_reason_name(FailReason r) noexcept {
+  return status::name(r);
+}
+
 struct Failed {
   std::string error;
+  /// Typed reason: BadOperator for a degenerate/misconfigured operator
+  /// caught at build (request-scoped — the recipe stays registered, the
+  /// cache is not polluted, the shard keeps serving), CommFailure for a
+  /// communication fault that survived the retry policy, SolveError
+  /// otherwise.
+  FailReason reason = FailReason::SolveError;
   /// True when the failure was a typed communication fault (channel
   /// timeout / crashed team) that survived the retry policy — the
-  /// request was never silently lost: this is its typed reason.
+  /// request was never silently lost.  Mirrors
+  /// reason == FailReason::CommFailure (kept for wire/JSON callers).
   bool comm = false;
   /// On a comm failure, the per-RHS partial reports of the last attempt
   /// (residual histories up to the failure); empty otherwise.

@@ -63,13 +63,19 @@ void Service::register_operator(
     const std::string& key,
     std::shared_ptr<const partition::EddPartition> part,
     const core::PolySpec& poly,
-    std::shared_ptr<const std::vector<sparse::CsrMatrix>> local_matrices) {
+    std::shared_ptr<const std::vector<sparse::CsrMatrix>> local_matrices,
+    std::optional<core::DeflationOptions> deflation) {
   PFEM_CHECK_MSG(part != nullptr, "register_operator: null partition");
   PFEM_CHECK_MSG(part->nparts() == cfg_.nranks,
                  "register_operator: partition has " << part->nparts()
                  << " parts, service team has " << cfg_.nranks);
+  // Validate a per-key coarse-space override at REGISTRATION, where the
+  // partition's dof layout is in hand — a mismatch is a caller bug the
+  // client should see immediately, not a deferred build failure.
+  if (deflation)
+    core::validate_deflation(*deflation, part->n_global);
   cache_.register_operator(key, std::move(part), poly,
-                           std::move(local_matrices));
+                           std::move(local_matrices), std::move(deflation));
 }
 
 void Service::update_operator(
@@ -420,6 +426,7 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
   core::BatchSolveResult result;
   bool was_cancelled = false;
   bool failed = false;
+  FailReason fail_reason = FailReason::SolveError;
   std::string failure;
   std::string comm_error;
   bool cache_hit = false;
@@ -435,6 +442,16 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
       std::tie(op, hit) = cache_.get_or_build(key, *team_, trace_.get());
     } catch (const par::CommError& e) {
       comm_error = e.what();  // the build itself died on the wire: retryable
+    } catch (const BadOperatorError& e) {
+      // Degenerate operator (zero row under norm-1 scaling) or a
+      // coarse-space/operator mismatch: deterministic, so never retried.
+      // get_or_build stores nothing on a throw, so the cache holds no
+      // poisoned state and the failure stays request-scoped — the next
+      // request on a healthy key proceeds normally.
+      failed = true;
+      fail_reason = FailReason::BadOperator;
+      failure = std::string("operator build failed: ") + e.what();
+      break;
     } catch (const std::exception& e) {
       failed = true;
       failure = std::string("operator build failed: ") + e.what();
@@ -474,6 +491,12 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
             core::solve_edd_batch(*team_, *part, *op, rhs, opts, trace_.get());
       } catch (const par::Cancelled&) {
         was_cancelled = true;
+      } catch (const BadOperatorError& e) {
+        // Degenerate operator first surfacing at solve time (e.g. a
+        // per-solve coarse-space rebuild): deterministic, never retried.
+        failed = true;
+        fail_reason = FailReason::BadOperator;
+        failure = e.what();
       } catch (const std::exception& e) {
         failed = true;
         failure = e.what();
@@ -546,6 +569,7 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
     for (auto& j : batch) {
       Failed f;
       f.error = failure;
+      f.reason = fail_reason;
       resolve(j, std::move(f));
     }
     return;
@@ -581,6 +605,7 @@ void Service::dispatch_batch(std::vector<PendingJob> batch) {
       Failed f;
       f.error = "communication failure after " + std::to_string(attempt + 1) +
                 " attempt(s): " + comm_error;
+      f.reason = FailReason::CommFailure;
       f.comm = true;
       if (have_items)
         f.partial.assign(

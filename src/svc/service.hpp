@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -114,13 +115,18 @@ class Service {
 
   /// Register (or replace) an operator recipe under `key`.  Replacing
   /// invalidates any cached built state.  Partition parts must equal
-  /// the configured team size.
+  /// the configured team size.  `deflation`, when set, overrides
+  /// cfg.deflation for this key — the mixed-tenant hook: operators from
+  /// different problem families (scalar diffusion vs 2-D/3-D elasticity)
+  /// need different coarse-space layouts, validated here against the
+  /// partition's dof count (throws pfem::BadOperatorError on mismatch).
   void register_operator(
       const std::string& key,
       std::shared_ptr<const partition::EddPartition> part,
       const core::PolySpec& poly,
       std::shared_ptr<const std::vector<sparse::CsrMatrix>> local_matrices =
-          nullptr);
+          nullptr,
+      std::optional<core::DeflationOptions> deflation = std::nullopt);
 
   /// Swap the per-rank matrices of a registered operator (same layout);
   /// the next solve rebuilds scaling + preconditioner.  Open sessions on

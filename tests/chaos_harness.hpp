@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -31,6 +32,7 @@
 #include "core/edd_batch.hpp"
 #include "exp/experiments.hpp"
 #include "fault/fault.hpp"
+#include "fem/families.hpp"
 #include "fem/problems.hpp"
 #include "net/transport.hpp"
 #include "par/comm.hpp"
@@ -93,6 +95,10 @@ struct Scene {
   fem::CantileverProblem prob;
   std::shared_ptr<const partition::EddPartition> part;
   core::PolySpec poly;
+  /// Optional two-level deflation baked into the case's operator build
+  /// (the family scenes use the jump-aware coarse space; the default
+  /// scene runs one-level).
+  core::DeflationOptions deflation;
 };
 
 inline const Scene& scene() {
@@ -106,9 +112,41 @@ inline const Scene& scene() {
     core::PolySpec poly;
     poly.kind = core::PolyKind::Gls;
     poly.degree = 4;
-    return Scene{std::move(prob), std::move(part), poly};
+    return Scene{std::move(prob), std::move(part), poly, {}};
   }();
   return s;
+}
+
+/// A problem-family scene (fem/families.hpp) with a 1e4 coefficient
+/// jump misaligned with the partition and the matching jump-aware
+/// deflation baked in: the chaos contract must hold on heterogeneous
+/// operators and two-level builds too (the coarse assembly adds an
+/// allreduce + redundant factorization to the fault surface).  Built
+/// once per family.
+inline const Scene& family_scene(const std::string& family) {
+  static std::mutex m;
+  static std::map<std::string, Scene> scenes;
+  std::scoped_lock lock(m);
+  auto it = scenes.find(family);
+  if (it == scenes.end()) {
+    fem::ProblemSpec spec = fem::default_spec(family);
+    spec.jump = 1.0e4;
+    spec.aligned = false;
+    spec.checker = 3;
+    fem::FamilyProblem fp = fem::make_problem(spec);
+    auto part = std::make_shared<const partition::EddPartition>(
+        exp::make_edd(fp, kRanks));
+    core::PolySpec poly;
+    poly.kind = core::PolyKind::Gls;
+    poly.degree = 4;
+    core::DeflationOptions deflation =
+        exp::family_deflation(fp, /*jump_aware=*/true);
+    it = scenes
+             .emplace(family, Scene{std::move(fp.prob), std::move(part), poly,
+                                    std::move(deflation)})
+             .first;
+  }
+  return it->second;
 }
 
 /// What one chaos case produced.  The invariant every case must satisfy:
@@ -136,10 +174,12 @@ using TransportFactory =
 /// captured; only a non-Comm exception escapes (and fails the test).
 /// `kernels` selects the rank-kernel format/overlap under chaos — the
 /// fault sites and replay contract must be kernel-independent.
+/// `sc` selects the scene (null = the default cantilever).
 inline ChaosRun run_case(fault::FaultInjector& inj, double timeout_seconds,
                          const TransportFactory& transport_factory = {},
-                         const core::KernelOptions& kernels = {}) {
-  const Scene& s = scene();
+                         const core::KernelOptions& kernels = {},
+                         const Scene* sc = nullptr) {
+  const Scene& s = sc != nullptr ? *sc : scene();
   ChaosRun out;
   {
     par::TeamConfig tc;
@@ -151,7 +191,7 @@ inline ChaosRun run_case(fault::FaultInjector& inj, double timeout_seconds,
     try {
       const core::EddOperatorState op =
           core::build_edd_operator(team, *s.part, s.poly, nullptr, nullptr,
-                                   kernels);
+                                   kernels, s.deflation);
       const std::vector<Vector> rhs{s.prob.load};
       const core::BatchSolveResult r =
           core::solve_edd_batch(team, *s.part, op, rhs);

@@ -194,5 +194,122 @@ TEST(DeflationOptionsKnob, MoreVectorsPerSubdomainNeverHurts) {
   EXPECT_LE(q4.iterations, q2.iterations + 2);
 }
 
+TEST(JumpAwareSpace, ClassSplitDoublesTheCoarseSpaceConsistently) {
+  // With jump_aware every patch splits into two coefficient classes:
+  // ncoarse doubles, and the exchange-free consistency contract (bit-
+  // identical Zy across sharers) must survive the split — the class of
+  // a dof is a pure function of its global id via the replicated
+  // dof_coeff table.
+  fem::ProblemSpec spec = fem::default_spec("hetero2d");
+  spec.jump = 1.0e4;
+  spec.aligned = false;
+  spec.checker = 3;
+  const fem::FamilyProblem fp = fem::make_problem(spec);
+  const partition::EddPartition part = exp::make_edd(fp, 4);
+
+  const DeflationOptions plain = exp::family_deflation(fp, false);
+  const DeflationOptions aware = exp::family_deflation(fp, true);
+  std::vector<std::vector<real_t>> global_val(
+      static_cast<std::size_t>(part.n_global), std::vector<real_t>());
+  for (int s = 0; s < part.nparts(); ++s) {
+    const auto& sub = part.subs[static_cast<std::size_t>(s)];
+    const Vector w(sub.local_to_global.size(), 1.0);
+    DeflationRank one(sub, s, part.nparts(), plain, w);
+    DeflationRank two(sub, s, part.nparts(), aware, w);
+    EXPECT_EQ(one.nclasses(), 1);
+    EXPECT_EQ(two.nclasses(), 2);
+    EXPECT_EQ(two.ncoarse(), 2 * one.ncoarse());
+    EXPECT_EQ(two.nbasis(), one.nbasis());
+
+    Vector y(static_cast<std::size_t>(two.ncoarse()));
+    for (std::size_t c = 0; c < y.size(); ++c)
+      y[c] = static_cast<real_t>(c + 1);
+    Vector z(sub.local_to_global.size());
+    two.prolong_global(y, z);
+    for (std::size_t l = 0; l < z.size(); ++l)
+      global_val[static_cast<std::size_t>(sub.local_to_global[l])]
+          .push_back(z[l]);
+  }
+  for (const auto& vals : global_val)
+    for (std::size_t i = 1; i < vals.size(); ++i)
+      EXPECT_EQ(vals[i], vals[0]);
+}
+
+TEST(JumpAwareSpace, ClassIndicatorColumnsSelectExactlyTheStiffDofs) {
+  // Activate only the class-1 indicator column of every patch: the
+  // prolonged vector must be nonzero exactly on the dofs at or above
+  // the pivot (the geometric mean of the coefficient range) — i.e. the
+  // split traces dof_coeff, not geometry.
+  fem::ProblemSpec spec = fem::default_spec("hetero2d");
+  spec.jump = 1.0e4;
+  spec.aligned = false;
+  spec.checker = 3;
+  const fem::FamilyProblem fp = fem::make_problem(spec);
+  const partition::EddPartition part = exp::make_edd(fp, 4);
+  const DeflationOptions aware = exp::family_deflation(fp, true);
+  // pivot = sqrt(1 * 1e4) = 1e2; the table is two-valued {1, 1e4}.
+  const real_t pivot = 1.0e2;
+
+  for (int s = 0; s < part.nparts(); ++s) {
+    const auto& sub = part.subs[static_cast<std::size_t>(s)];
+    const Vector w(sub.local_to_global.size(), 1.0);
+    DeflationRank dr(sub, s, part.nparts(), aware, w);
+    const int block = dr.nbasis() * aware.components;  // columns per
+                                                       // (patch, class)
+    Vector y(static_cast<std::size_t>(dr.ncoarse()), 0.0);
+    for (int p = 0; p < part.nparts(); ++p)
+      y[static_cast<std::size_t>((p * 2 + 1) * block)] = 1.0;  // class 1
+    Vector z(sub.local_to_global.size());
+    dr.prolong_global(y, z);
+    for (std::size_t l = 0; l < z.size(); ++l) {
+      const auto g = static_cast<std::size_t>(sub.local_to_global[l]);
+      if (fp.dof_coeff[g] >= pivot)
+        EXPECT_NE(z[l], 0.0) << "stiff dof " << g << " missed";
+      else
+        EXPECT_EQ(z[l], 0.0) << "soft dof " << g << " leaked into class 1";
+    }
+  }
+}
+
+TEST(JumpAwareSolve, HoldsTheLineWhereStandardDeflationDegrades) {
+  // The bench gate's mechanism at test size: on a misaligned 1e4
+  // checkerboard the per-class columns must do at least as well as the
+  // geometric coarse space, and stay within 1.5x of the homogeneous
+  // deflated count (bench/hetero_scaling enforces the same bound on the
+  // Table-2-sized mesh).
+  fem::ProblemSpec spec = fem::default_spec("hetero2d");
+  spec.nx = 24;
+  spec.ny = 24;
+  spec.aligned = false;
+  spec.checker = 3;
+  PolySpec poly;
+  poly.kind = PolyKind::Gls;
+  poly.degree = 7;
+  SolveOptions opts;
+  opts.tol = 1e-6;
+  opts.max_iters = 50000;
+
+  spec.jump = 1.0;
+  const fem::FamilyProblem homog = fem::make_problem(spec);
+  spec.jump = 1.0e4;
+  const fem::FamilyProblem jumpy = fem::make_problem(spec);
+  const partition::EddPartition part = exp::make_edd(jumpy, 4);
+
+  opts.deflation = exp::family_deflation(homog, false);
+  const DistSolve ref = solve_edd(exp::make_edd(homog, 4), homog.prob.load,
+                                  poly, opts);
+  opts.deflation = exp::family_deflation(jumpy, false);
+  const DistSolve standard = solve_edd(part, jumpy.prob.load, poly, opts);
+  opts.deflation = exp::family_deflation(jumpy, true);
+  const DistSolve aware = solve_edd(part, jumpy.prob.load, poly, opts);
+
+  ASSERT_TRUE(ref.converged && standard.converged && aware.converged);
+  EXPECT_LE(aware.iterations, standard.iterations);
+  EXPECT_LE(static_cast<double>(aware.iterations),
+            1.5 * static_cast<double>(ref.iterations))
+      << "jump-aware " << aware.iterations << " vs homogeneous "
+      << ref.iterations;
+}
+
 }  // namespace
 }  // namespace pfem::core

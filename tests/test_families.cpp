@@ -1,0 +1,247 @@
+// Property tests for the problem-family generators (fem/families.hpp).
+//
+// Every solver-stack guarantee rests on the generated systems being
+// well-formed: symmetric, SPD on the free dofs, and — after norm-1
+// scaling — spectrum inside (0, 1] (Theorem 1) for ANY jump magnitude,
+// anisotropy ratio, or interface placement.  These properties are
+// checked across the knob ranges the benches sweep (jumps 1e0–1e6,
+// anisotropy up to 1e3, rotated principal axes), plus the registry
+// contract, bit-determinism of repeated builds, the dof_coeff class
+// split, and the typed rejection of mismatched deflation layouts
+// (validate_deflation / BadOperatorError).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/deflation.hpp"
+#include "core/diag_scaling.hpp"
+#include "exp/experiments.hpp"
+#include "fem/families.hpp"
+#include "sparse/lanczos.hpp"
+
+using namespace pfem;
+
+namespace {
+
+// a(i, j) by row scan (rows are short for Q4/Hex8 stencils).
+real_t entry(const sparse::CsrMatrix& a, index_t i, index_t j) {
+  const auto cols = a.row_cols(i);
+  const auto vals = a.row_vals(i);
+  for (std::size_t k = 0; k < cols.size(); ++k)
+    if (cols[k] == j) return vals[k];
+  return 0.0;
+}
+
+void expect_symmetric(const sparse::CsrMatrix& a, const std::string& what) {
+  real_t scale = 0.0;
+  for (const real_t v : a.values()) scale = std::max(scale, std::abs(v));
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      ASSERT_NEAR(vals[k], entry(a, cols[k], i), 1e-12 * scale)
+          << what << " at (" << i << ", " << cols[k] << ")";
+  }
+}
+
+}  // namespace
+
+TEST(Families, RegistryNamesBuildWithTheirDefaultSpecs) {
+  const std::vector<std::string> names = fem::problem_families();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "cantilever2d");
+  EXPECT_EQ(names[1], "hetero2d");
+  EXPECT_EQ(names[2], "brick3d");
+  for (const std::string& name : names) {
+    const fem::FamilyProblem fp = fem::make_problem(fem::default_spec(name));
+    EXPECT_EQ(fp.family, name);
+    const auto n = static_cast<std::size_t>(fp.prob.dofs.num_free());
+    ASSERT_GT(n, 0u) << name;
+    // The deflation metadata is sized for the free-dof layout.
+    EXPECT_EQ(fp.dof_coords.size(),
+              n * static_cast<std::size_t>(fp.coord_dim))
+        << name;
+    EXPECT_EQ(fp.dof_coeff.size(), n) << name;
+    EXPECT_EQ(fp.prob.dofs.num_free() % fp.components, 0) << name;
+    EXPECT_EQ(fp.prob.load.size(), n) << name;
+    // A matched deflation layout passes build-time validation.
+    core::validate_deflation(exp::family_deflation(fp, /*jump_aware=*/true),
+                             fp.prob.dofs.num_free());
+  }
+}
+
+TEST(Families, UnknownFamilyAndOutOfRangeKnobsThrow) {
+  EXPECT_THROW((void)fem::default_spec("helmholtz9d"), Error);
+  fem::ProblemSpec spec = fem::default_spec("hetero2d");
+  spec.family = "helmholtz9d";
+  EXPECT_THROW((void)fem::make_problem(spec), Error);
+  spec = fem::default_spec("hetero2d");
+  spec.jump = 0.5;  // contrast below 1 would invert the class convention
+  EXPECT_THROW((void)fem::make_problem(spec), Error);
+  spec = fem::default_spec("hetero2d");
+  spec.anisotropy = 0.25;
+  EXPECT_THROW((void)fem::make_problem(spec), Error);
+  spec = fem::default_spec("hetero2d");
+  spec.checker = 0;
+  EXPECT_THROW((void)fem::make_problem(spec), Error);
+  spec = fem::default_spec("brick3d");
+  spec.nz = 0;
+  EXPECT_THROW((void)fem::make_problem(spec), Error);
+}
+
+TEST(Families, OperatorsStaySymmetricAcrossTheKnobRanges) {
+  {
+    fem::ProblemSpec spec = fem::default_spec("hetero2d");
+    spec.nx = 8;
+    spec.ny = 8;
+    spec.jump = 1.0e4;
+    spec.anisotropy = 100.0;
+    spec.angle = 0.3;  // rotated axes make the tensor fully dense
+    spec.aligned = false;
+    spec.checker = 3;
+    const fem::FamilyProblem fp = fem::make_problem(spec);
+    expect_symmetric(fp.prob.stiffness, "hetero2d");
+  }
+  {
+    fem::ProblemSpec spec = fem::default_spec("brick3d");
+    spec.nx = 4;
+    spec.ny = 2;
+    spec.nz = 2;
+    spec.jump = 1.0e4;
+    spec.aligned = false;
+    spec.checker = 2;
+    const fem::FamilyProblem fp = fem::make_problem(spec);
+    expect_symmetric(fp.prob.stiffness, "brick3d");
+  }
+}
+
+// Theorem 1 is the load-bearing property: whatever the coefficient
+// contrast, norm-1 scaling must land sigma(A-hat) inside (0, 1) so the
+// default Theta = (eps, 1) stays valid.  Ritz values (safety = 1) lie
+// INSIDE the true spectrum, so lo > 0 and hi < 1 are exact claims.
+TEST(Families, ScaledSpectrumStaysInUnitIntervalForAnyJump) {
+  for (const double jump : {1.0, 1.0e2, 1.0e4, 1.0e6}) {
+    for (const double anisotropy : {1.0, 1.0e3}) {
+      fem::ProblemSpec spec = fem::default_spec("hetero2d");
+      spec.nx = 10;
+      spec.ny = 10;
+      spec.jump = jump;
+      spec.anisotropy = anisotropy;
+      spec.angle = 0.5;
+      spec.aligned = false;
+      spec.checker = 3;
+      const fem::FamilyProblem fp = fem::make_problem(spec);
+      const core::ScaledSystem s =
+          core::scale_system(fp.prob.stiffness, fp.prob.load);
+      const sparse::Interval ritz =
+          sparse::estimate_spectrum(s.a, 40, /*safety=*/1.0);
+      EXPECT_GT(ritz.lo, 0.0) << "jump " << jump << " aniso " << anisotropy;
+      EXPECT_LT(ritz.hi, 1.0) << "jump " << jump << " aniso " << anisotropy;
+    }
+  }
+  for (const double jump : {1.0, 1.0e4, 1.0e6}) {
+    fem::ProblemSpec spec = fem::default_spec("brick3d");
+    spec.nx = 4;
+    spec.ny = 2;
+    spec.nz = 2;
+    spec.jump = jump;
+    spec.aligned = false;
+    spec.checker = 2;
+    const fem::FamilyProblem fp = fem::make_problem(spec);
+    const core::ScaledSystem s =
+        core::scale_system(fp.prob.stiffness, fp.prob.load);
+    const sparse::Interval ritz =
+        sparse::estimate_spectrum(s.a, 40, /*safety=*/1.0);
+    EXPECT_GT(ritz.lo, 0.0) << "brick3d jump " << jump;
+    EXPECT_LT(ritz.hi, 1.0) << "brick3d jump " << jump;
+  }
+}
+
+// The chaos replay contract and the service's cache keys both assume
+// equal specs produce bit-identical operators.
+TEST(Families, EqualSpecsProduceBitIdenticalSystems) {
+  for (const std::string& name : fem::problem_families()) {
+    fem::ProblemSpec spec = fem::default_spec(name);
+    spec.jump = 1.0e4;
+    spec.anisotropy = 10.0;
+    spec.angle = 0.3;
+    spec.aligned = false;
+    spec.checker = 3;
+    const fem::FamilyProblem a = fem::make_problem(spec);
+    const fem::FamilyProblem b = fem::make_problem(spec);
+    const auto av = a.prob.stiffness.values();
+    const auto bv = b.prob.stiffness.values();
+    ASSERT_EQ(av.size(), bv.size()) << name;
+    for (std::size_t i = 0; i < av.size(); ++i)
+      ASSERT_EQ(av[i], bv[i]) << name << " nnz " << i;  // bitwise, no tolerance
+    EXPECT_EQ(a.prob.load, b.prob.load) << name;
+    EXPECT_EQ(a.dof_coords, b.dof_coords) << name;
+    EXPECT_EQ(a.dof_coeff, b.dof_coeff) << name;
+  }
+}
+
+// The max-over-adjacent-elements rule: strictly-soft-side dofs carry 1,
+// everything at or beyond the interface carries the jump — so the
+// jump-aware class boundary traces the material interface exactly.
+TEST(Families, DofCoeffPutsInterfaceDofsInTheStiffClass) {
+  fem::ProblemSpec spec = fem::default_spec("hetero2d");
+  spec.nx = 8;
+  spec.ny = 8;
+  spec.jump = 1.0e4;
+  spec.aligned = true;  // interface at x = lx/2 = 4
+  const fem::FamilyProblem fp = fem::make_problem(spec);
+  const real_t half = 0.5 * static_cast<real_t>(spec.nx);
+  for (index_t g = 0; g < fp.prob.dofs.num_free(); ++g) {
+    const real_t x = fp.dof_coords[static_cast<std::size_t>(g) * 2];
+    const real_t want = x >= half ? spec.jump : 1.0;
+    ASSERT_EQ(fp.dof_coeff[static_cast<std::size_t>(g)], want)
+        << "dof " << g << " at x = " << x;
+  }
+}
+
+// Satellite: a coarse space built for the wrong family must die at
+// BUILD time with the typed BadOperatorError, never silently assemble a
+// wrong E (validate_deflation is called by build_edd_operator,
+// solve_edd and Service::register_operator).
+TEST(Families, MismatchedDeflationLayoutsAreTypedBuildErrors) {
+  const fem::FamilyProblem fp =
+      fem::make_problem(fem::default_spec("hetero2d"));
+  const index_t n = fp.prob.dofs.num_free();
+  const core::DeflationOptions good =
+      exp::family_deflation(fp, /*jump_aware=*/true);
+  core::validate_deflation(good, n);  // sanity: the matched layout passes
+
+  {
+    // 2-D coordinate table declared as 3-D (brick3d options on hetero2d).
+    core::DeflationOptions opts = good;
+    opts.coord_dim = 3;
+    EXPECT_THROW(core::validate_deflation(opts, n), BadOperatorError);
+  }
+  {
+    // Elasticity components on the scalar diffusion operator: pick a
+    // component count that cannot divide this family's free-dof count.
+    core::DeflationOptions opts = good;
+    opts.components = 3;
+    while (n % opts.components == 0) ++opts.components;
+    EXPECT_THROW(core::validate_deflation(opts, n), BadOperatorError);
+  }
+  {
+    // Jump-aware without the coefficient table.
+    core::DeflationOptions opts = good;
+    opts.dof_coeff.clear();
+    EXPECT_THROW(core::validate_deflation(opts, n), BadOperatorError);
+  }
+  {
+    // Degenerate coefficient entries (zero / non-finite).
+    core::DeflationOptions opts = good;
+    opts.dof_coeff[3] = 0.0;
+    EXPECT_THROW(core::validate_deflation(opts, n), BadOperatorError);
+    opts.dof_coeff[3] = std::numeric_limits<real_t>::quiet_NaN();
+    EXPECT_THROW(core::validate_deflation(opts, n), BadOperatorError);
+  }
+  // The typed error is an Error subclass, so existing catch sites keep
+  // working; the service maps it to Failed{BadOperator}.
+  static_assert(std::is_base_of_v<Error, BadOperatorError>);
+}

@@ -588,6 +588,70 @@ TEST(ChaosSweep, SocketTransportEverySeedConvergesOrFailsTyped) {
       [](int n) { return net::make_socket_loopback_transport(n); });
 }
 
+// The chaos contract on the problem families: a 1e4 coefficient jump
+// misaligned with the partition, solved with the jump-aware two-level
+// coarse space.  The deflated build adds an allreduce (coarse Gram
+// assembly) and a redundant factorization to the fault surface, and the
+// heterogeneous operator stresses the scaled-residual path — converged
+// XOR typed + exact replay must survive both.
+TEST(ChaosSweep, FamilyScenesWithDeflationConvergeOrFailTyped) {
+  chaos::GlobalWatchdog watchdog(240.0);
+
+  FaultSpec spec;
+  spec.nranks = kRanks;
+  spec.nfaults = 2;
+  spec.max_seq = 40;
+  spec.at_most_one_aborting = true;
+  spec.delay_seconds = 1e-4;
+  spec.stall_seconds = 5e-3;
+  const double timeout_s = 0.1;
+
+  int converged = 0;
+  int typed = 0;
+  std::set<std::string> distinct_signatures;
+  for (const char* family : {"hetero2d", "brick3d"}) {
+    const chaos::Scene& sc = chaos::family_scene(family);
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+      watchdog.note(std::string(family) + " seed " + std::to_string(seed));
+      const FaultPlan plan = FaultPlan::generate(seed, spec);
+      const std::string recipe = std::string(family) + " seed " +
+                                 std::to_string(seed) + "\n" + plan.describe();
+
+      FaultInjector inj(plan);
+      const chaos::ChaosRun run1 = chaos::run_case(inj, timeout_s, {}, {}, &sc);
+      EXPECT_TRUE(run1.converged || run1.typed_error) << recipe;
+      EXPECT_FALSE(run1.converged && run1.typed_error) << recipe;
+      if (run1.converged)
+        // The solver's 1e-6 stop is on the norm-1-scaled system; the 1e4
+        // jump amplifies the unscaled residual by the coefficient range.
+        // 1e-3 still flags a corrupted exchange (O(1) garbage) loudly.
+        EXPECT_LT(run1.true_relres, 1e-3) << recipe;
+      else
+        EXPECT_NE(run1.error.find("rank"), std::string::npos) << recipe;
+
+      inj.reset();
+      const chaos::ChaosRun run2 = chaos::run_case(inj, timeout_s, {}, {}, &sc);
+      EXPECT_EQ(run1.converged, run2.converged) << recipe;
+      EXPECT_EQ(run1.typed_error, run2.typed_error) << recipe;
+      EXPECT_EQ(chaos::deterministic_signature(run1),
+                chaos::deterministic_signature(run2))
+          << recipe;
+      if (run1.converged && run2.converged) {
+        EXPECT_EQ(run1.history, run2.history) << recipe;
+        EXPECT_EQ(run1.signature, run2.signature) << recipe;
+      }
+
+      converged += run1.converged ? 1 : 0;
+      typed += run1.typed_error ? 1 : 0;
+      distinct_signatures.insert(run1.signature);
+    }
+  }
+
+  EXPECT_GE(converged, 4);
+  EXPECT_GE(typed, 4);
+  EXPECT_GE(static_cast<int>(distinct_signatures.size()), 8);
+}
+
 // Kernel-format independence under chaos: the matrix-free Ebe kernel
 // with exchange overlap must hit the same fault sites and replay the
 // same deterministic signatures as the scalar-CSR kernel — the exchange

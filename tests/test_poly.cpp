@@ -26,6 +26,22 @@ TEST(Intervals, ValidationRejectsBadThetas) {
   EXPECT_NO_THROW(validate_theta({{0.1, 2.5}}));
 }
 
+// Θ's intervals are CLOSED, so an endpoint at zero already puts 0 ∈ Θ:
+// w(0) = 0 makes the GLS normal equations singular there (the quadrature
+// weight 1/√((x−lo)(hi−x)) puts mass AT the endpoint).  Regression for
+// the boundary cases the open-interval check used to wave through.
+TEST(Intervals, ZeroEndpointsAreRejectedNotJustInteriorZeros) {
+  EXPECT_THROW(validate_theta({{0.0, 1.0}}), Error);    // lo == 0
+  EXPECT_THROW(validate_theta({{-1.0, 0.0}}), Error);   // hi == 0
+  EXPECT_THROW(validate_theta({{0.0, 0.0}}), Error);    // degenerate at 0
+  EXPECT_THROW(validate_theta({{-2.0, -1.0}, {0.0, 3.0}}), Error);
+  EXPECT_THROW(validate_theta({{-3.0, 0.0}, {1.0, 2.0}}), Error);
+  // Endpoints merely NEAR zero stay legal — the rule is 0 ∉ [lo, hi],
+  // not a distance cutoff (default_theta_after_scaling relies on it).
+  EXPECT_NO_THROW(validate_theta({{1e-300, 1.0}}));
+  EXPECT_NO_THROW(validate_theta({{-1.0, -1e-300}}));
+}
+
 TEST(Intervals, Contains) {
   const Theta t{{-4.0, -1.0}, {7.0, 10.0}};
   EXPECT_TRUE(theta_contains(t, -2.0));

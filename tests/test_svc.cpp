@@ -894,5 +894,138 @@ TEST(Session, OperatorCacheEvictionDropsStateButKeepsHandle) {
   service.shutdown(/*drain=*/true);
 }
 
+// ------------------------------------------------- degenerate operators
+
+/// Local-matrix override with every coefficient of one global dof's row
+/// and column zeroed on every rank: norm-1 scaling meets an all-zero
+/// row at build time and must throw the typed BadOperatorError.
+std::shared_ptr<const std::vector<sparse::CsrMatrix>> zeroed_dof_override(
+    const Scene& s, index_t dead_dof) {
+  auto mats = std::make_shared<std::vector<sparse::CsrMatrix>>();
+  for (const auto& sub : s.part->subs) {
+    sparse::CsrMatrix k = sub.k_loc;
+    const auto rp = k.row_ptr();
+    const auto ci = k.col_idx();
+    const auto vals = k.values();  // mutable span
+    for (index_t i = 0; i < k.rows(); ++i) {
+      const index_t gi = sub.local_to_global[static_cast<std::size_t>(i)];
+      for (index_t p = rp[static_cast<std::size_t>(i)];
+           p < rp[static_cast<std::size_t>(i) + 1]; ++p) {
+        const index_t gj = sub.local_to_global[static_cast<std::size_t>(
+            ci[static_cast<std::size_t>(p)])];
+        if (gi == dead_dof || gj == dead_dof)
+          vals[static_cast<std::size_t>(p)] = 0.0;
+      }
+    }
+    mats->push_back(std::move(k));
+  }
+  return mats;
+}
+
+TEST(ServiceBadOperator, DegenerateBuildFailsTypedAndIsRequestScoped) {
+  const Scene s = make_scene(8, 4);
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  service.register_operator("good", s.part, s.poly);
+  service.register_operator("dead", s.part, s.poly,
+                            zeroed_dof_override(s, /*dead_dof=*/5));
+
+  // The degenerate build surfaces as Failed{BadOperator} — not a crash,
+  // not a retry loop, not a generic SolveError.
+  const svc::Outcome bad = service.submit(make_request(s, "dead")).outcome.get();
+  ASSERT_TRUE(std::holds_alternative<svc::Failed>(bad));
+  {
+    const auto& f = std::get<svc::Failed>(bad);
+    EXPECT_EQ(f.reason, svc::FailReason::BadOperator);
+    EXPECT_FALSE(f.comm);
+    EXPECT_NE(f.error.find("row"), std::string::npos) << f.error;
+  }
+
+  // Request-scoped: the shard keeps serving other operators...
+  const svc::Outcome good = service.submit(make_request(s, "good")).outcome.get();
+  ASSERT_TRUE(svc::ok(good));
+
+  // ...the failed build never entered the cache (no retry burned a
+  // slot, no poisoned state) and a resubmit is deterministically typed
+  // again.
+  const auto st1 = service.stats();
+  const svc::Outcome again = service.submit(make_request(s, "dead")).outcome.get();
+  ASSERT_TRUE(std::holds_alternative<svc::Failed>(again));
+  EXPECT_EQ(std::get<svc::Failed>(again).reason,
+            svc::FailReason::BadOperator);
+  EXPECT_EQ(service.stats().failed, st1.failed + 1);
+  EXPECT_EQ(service.stats().retries, 0u);
+
+  // And the key itself is healthy: swapping real matrices back in
+  // revives it without re-registering.
+  service.update_operator("dead", nullptr);
+  const svc::Outcome fixed = service.submit(make_request(s, "dead")).outcome.get();
+  EXPECT_TRUE(svc::ok(fixed));
+  service.shutdown(/*drain=*/true);
+}
+
+TEST(ServiceBadOperator, MismatchedDeflationIsRejectedAtRegistration) {
+  // Per-operator deflation is validated against the partition's dof
+  // count when the recipe is registered — a layout for the wrong family
+  // must never reach a solve thread.
+  const Scene s = make_scene(8, 4);
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  core::DeflationOptions defl;
+  defl.enabled = true;
+  defl.components = 2;
+  defl.coord_dim = 3;  // 3-D table on the 2-D cantilever
+  defl.dof_coords = fem::free_dof_coords(s.prob.mesh, s.prob.dofs);
+  EXPECT_THROW(service.register_operator("op", s.part, s.poly, nullptr, defl),
+               BadOperatorError);
+  service.shutdown();
+}
+
+TEST(ServiceMixedTenants, PerOperatorDeflationServesDifferentFamilies) {
+  // One service, two tenants with incompatible coarse-space layouts:
+  // the scalar hetero2d family (components = 1, jump-aware) and the
+  // paper's elasticity cantilever (components = 2).  Each key carries
+  // its own DeflationOptions; both must solve, deflated, side by side.
+  fem::ProblemSpec hs = fem::default_spec("hetero2d");
+  hs.jump = 1.0e4;
+  hs.aligned = false;
+  hs.checker = 3;
+  const fem::FamilyProblem hetero = fem::make_problem(hs);
+  auto hpart = std::make_shared<const partition::EddPartition>(
+      exp::make_edd(hetero, kRanks));
+  const Scene s = make_scene();
+
+  svc::ServiceConfig cfg;
+  cfg.nranks = kRanks;
+  svc::Service service(cfg);
+  service.register_operator("hetero", hpart, s.poly, nullptr,
+                            exp::family_deflation(hetero, true));
+  core::DeflationOptions edefl;
+  edefl.enabled = true;
+  edefl.components = 2;
+  edefl.coord_dim = 2;
+  edefl.dof_coords = fem::free_dof_coords(s.prob.mesh, s.prob.dofs);
+  service.register_operator("elastic", s.part, s.poly, nullptr, edefl);
+
+  svc::SolveRequest hreq;
+  hreq.operator_key = "hetero";
+  hreq.rhs.push_back(hetero.prob.load);
+  const svc::Outcome ho = service.submit(std::move(hreq)).outcome.get();
+  ASSERT_TRUE(svc::ok(ho));
+  EXPECT_TRUE(std::get<svc::Completed>(ho).result.items[0].converged);
+  // The coarse correction genuinely ran on the scalar tenant.
+  EXPECT_GT(std::get<svc::Completed>(ho)
+                .result.rank_counters[0]
+                .coarse_solves,
+            0u);
+
+  const svc::Outcome eo = service.submit(make_request(s, "elastic")).outcome.get();
+  ASSERT_TRUE(svc::ok(eo));
+  EXPECT_TRUE(std::get<svc::Completed>(eo).result.items[0].converged);
+  service.shutdown(/*drain=*/true);
+}
+
 }  // namespace
 }  // namespace pfem

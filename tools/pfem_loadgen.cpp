@@ -47,6 +47,18 @@
 //
 //   pfem_loadgen --replay=12 [--ranks=4] [--nx=24] [--ny=8] [--json=FILE]
 //   pfem_loadgen --replay=12 --connect=unix:/tmp/router.sock [--json=FILE]
+//
+// With --mix the clients drive MIXED-TENANT traffic: one operator per
+// problem family (cantilever2d / hetero2d with a 1e4 coefficient jump /
+// brick3d), each registered with its own per-operator DeflationOptions
+// (the families disagree on components and coord_dim), interleaved
+// round-robin by every client.  --cache (default 2, below the 3
+// families) keeps the operator cache under eviction pressure, so the
+// run exercises eviction + rebuild + coalescing + per-family sessions
+// together — zero FAILED outcomes is the gate.
+//
+//   pfem_loadgen --mix [--ranks=4] [--clients=3] [--seconds=5]
+//                [--degree=7] [--cache=2] [--rhs=1] [--json=FILE]
 #include <atomic>
 #include <chrono>
 #include <fstream>
@@ -447,6 +459,149 @@ int run_remote(int argc, char** argv, const std::string& connect) {
   return 0;
 }
 
+/// Mixed-tenant closed-loop run: one operator per problem family with
+/// per-operator deflation, clients interleave the family keys, and the
+/// cache capacity sits below the family count so every rotation evicts
+/// and rebuilds.  A session per family keeps warm state in the mix.
+int run_mix(int argc, char** argv) {
+  const int ranks = tools::int_arg(argc, argv, "--ranks", 4);
+  const int degree = tools::int_arg(argc, argv, "--degree", 7);
+  const int clients = tools::int_arg(argc, argv, "--clients", 3);
+  const double seconds = tools::double_arg(argc, argv, "--seconds", 5.0);
+  const int rhs_per_req = tools::int_arg(argc, argv, "--rhs", 1);
+  const int cache = tools::int_arg(argc, argv, "--cache", 2);
+  const std::string json = tools::str_arg(argc, argv, "--json", "");
+
+  const std::vector<std::string> families = fem::problem_families();
+  std::vector<tools::FamilySetup> setups;
+  setups.reserve(families.size());
+  for (const std::string& f : families)
+    setups.push_back(tools::make_family_setup(f, ranks, degree));
+
+  std::cout << "pfem_loadgen: mixed-tenant run, " << families.size()
+            << " families, P=" << ranks << ", cache=" << cache << ", "
+            << clients << " closed-loop clients, " << seconds << " s\n";
+
+  svc::ServiceConfig cfg;
+  cfg.nranks = ranks;
+  cfg.cache_capacity = static_cast<std::size_t>(cache);
+  cfg.queue_capacity =
+      static_cast<std::size_t>(tools::int_arg(argc, argv, "--queue", 64));
+  cfg.max_batch_rhs =
+      static_cast<std::size_t>(tools::int_arg(argc, argv, "--max-batch", 16));
+  cfg.observe = exp::observe_from_flags(argc, argv);
+  svc::Service service(cfg);
+  std::vector<svc::SessionId> sessions;
+  for (const auto& s : setups) {
+    service.register_operator(s.fp.family, s.part, s.poly, nullptr,
+                              s.deflation);
+    sessions.push_back(service.open_session(s.fp.family));
+  }
+
+  svc::LatencyRecorder client_latency;
+  std::mutex tally_m;
+  ClientTally tally;
+  std::atomic<bool> stop{false};
+
+  auto classify = [&](const svc::Outcome& o, svc::Clock::time_point t0) {
+    std::scoped_lock lock(tally_m);
+    if (std::holds_alternative<svc::Completed>(o)) {
+      ++tally.completed;
+      client_latency.record(
+          std::chrono::duration<double>(svc::Clock::now() - t0).count());
+    } else if (std::holds_alternative<svc::Rejected>(o)) {
+      ++tally.rejected;
+    } else if (std::holds_alternative<svc::Cancelled>(o)) {
+      ++tally.cancelled;
+    } else {
+      ++tally.failed;
+      std::cerr << "mix request failed: "
+                << std::get<svc::Failed>(o).error << "\n";
+    }
+  };
+
+  const auto t_start = svc::Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      std::uint64_t seq = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t fi =
+            (static_cast<std::size_t>(c) + seq) % setups.size();
+        const tools::FamilySetup& s = setups[fi];
+        svc::SolveRequest req;
+        req.operator_key = s.fp.family;
+        // Client 0 routes its requests through the family's session
+        // (warm starts across the eviction churn); others stay cold.
+        if (c == 0) req.session = sessions[fi];
+        for (int b = 0; b < rhs_per_req; ++b) {
+          Vector f = s.fp.prob.load;
+          const real_t scale =
+              1.0 +
+              0.05 * static_cast<real_t>(
+                         (seq + static_cast<std::uint64_t>(c + b)) % 17);
+          for (real_t& v : f) v *= scale;
+          req.rhs.push_back(std::move(f));
+        }
+        const auto t0 = svc::Clock::now();
+        classify(service.submit(std::move(req)).outcome.get(), t0);
+        ++seq;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  service.shutdown(/*drain=*/true);
+  for (auto& w : workers) w.join();
+  const double elapsed =
+      std::chrono::duration<double>(svc::Clock::now() - t_start).count();
+
+  const svc::ServiceStats st = service.stats();
+  const svc::LatencySnapshot lat = client_latency.snapshot();
+  const double rps = static_cast<double>(tally.completed) / elapsed;
+  std::cout << "elapsed " << elapsed << " s\n"
+            << "completed " << tally.completed << " (" << rps
+            << " solves/s), rejected " << tally.rejected << ", cancelled "
+            << tally.cancelled << ", FAILED " << tally.failed << "\n"
+            << "service: batches=" << st.batches
+            << " cache_hits=" << st.cache_hits
+            << " cache_misses=" << st.cache_misses
+            << " warm_rhs=" << st.warm_rhs << "\n";
+
+  // Cache pressure must actually engage: with capacity below the family
+  // count, the round-robin traffic has to rebuild evicted operators.
+  bool ok = tally.failed == 0 && tally.completed > 0;
+  if (st.cache_misses <= static_cast<std::uint64_t>(setups.size())) {
+    std::cerr << "pfem_loadgen: expected eviction-driven rebuilds, saw "
+              << st.cache_misses << " misses\n";
+    ok = false;
+  }
+  if (!json.empty()) {
+    std::ostringstream extra;
+    extra << "  \"mode\": \"mix\",\n"
+          << "  \"families\": " << setups.size() << ",\n"
+          << "  \"cache_capacity\": " << cache << ",\n"
+          << "  \"clients\": " << clients << ",\n"
+          << "  \"elapsed_s\": " << elapsed << ",\n"
+          << "  \"throughput_rps\": " << rps << ",\n"
+          << "  \"client_completed\": " << tally.completed << ",\n"
+          << "  \"client_rejected\": " << tally.rejected << ",\n"
+          << "  \"client_cancelled\": " << tally.cancelled << ",\n"
+          << "  \"client_failed\": " << tally.failed << ",\n";
+    ok = tools::write_stats_json(json, st, lat, extra.str()) && ok;
+  }
+  ok = exp::dump_trace_if_requested(argc, argv, service.trace()) && ok;
+  if (!ok) {
+    std::cerr << "pfem_loadgen: FAILED (failed=" << tally.failed
+              << ", completed=" << tally.completed << ")\n";
+    return 1;
+  }
+  std::cout << "pfem_loadgen: OK\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -456,6 +611,7 @@ int main(int argc, char** argv) {
     return connect.empty() ? run_replay(argc, argv, replay)
                            : run_replay_remote(argc, argv, connect, replay);
   if (!connect.empty()) return run_remote(argc, argv, connect);
+  if (exp::has_flag(argc, argv, "--mix")) return run_mix(argc, argv);
   const int ranks = tools::int_arg(argc, argv, "--ranks", 4);
   const int nx = tools::int_arg(argc, argv, "--nx", 24);
   const int ny = tools::int_arg(argc, argv, "--ny", 8);

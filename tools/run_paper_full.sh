@@ -15,7 +15,7 @@ FULL="fig10_theta_sensitivity fig15_speedup_degree fig17_speedup_size \
       fig17_machines table2_meshes table3_speedup ablate_gs_reductions \
       ablate_partition ablate_variant ablate_solver_precond \
       ablate_elements ablate_adaptive_theta ablate_reordering \
-      ablate_rdd_precond ext_3d_scaling ablate_ebe svc_load"
+      ablate_rdd_precond ablate_ebe svc_load"
 PLAIN="fig01_neumann_residual fig02_gls_residual fig03_stability \
        fig11_static_precond fig12_dynamic_precond fig13_degree_static \
        fig14_degree_dynamic table1_complexity"
@@ -27,7 +27,8 @@ SEED=${PFEM_SEED:-0}
 # Fail fast on an unbuilt tree: missing binaries are a setup error, not
 # a bench result.
 missing=0
-for b in $PLAIN $FULL micro_kernels deflation_scaling micro_comm; do
+for b in $PLAIN $FULL micro_kernels deflation_scaling micro_comm \
+         ext_3d_scaling hetero_scaling; do
   if [ ! -x "$BENCH/$b" ]; then
     echo "error: $BENCH/$b not built" >&2
     missing=1
@@ -88,6 +89,14 @@ run_bench_as micro_kernels_ebe micro_kernels --ebe-json=BENCH_ebe.json \
 # gate: its exit code is nonzero when deflated P=2 -> P=16 iteration
 # growth exceeds 1.3x, so a coarse-space regression fails the whole run.
 run_bench deflation_scaling --deflation-json=BENCH_deflation.json
+# The 3-D extension sweep (modeled speedup, 3-D deflation, brick3d
+# stiffness jumps, RDD duplication factor) records into BENCH_3d.json.
+run_bench ext_3d_scaling --full --json=BENCH_3d.json
+# The heterogeneous-diffusion sweep is the third acceptance gate:
+# nonzero exit when jump-aware deflation at a 1e4 coefficient jump on
+# the misaligned checkerboard exceeds 1.5x the homogeneous deflated
+# iteration count (GLS(7), Table-2-sized mesh, P = 8).
+run_bench hetero_scaling --json=BENCH_hetero.json
 # The net sweeps: the transport ladder (in-process ring vs shm ring vs
 # socket loopback) and the sharded socket service.  svc_load --socket is
 # a second acceptance gate — nonzero exit when the warm stream falls
@@ -123,7 +132,8 @@ echo
 echo "### summary"
 failed=0
 for b in $PLAIN $FULL micro_kernels micro_kernels_ebe deflation_scaling \
-         micro_comm_net svc_load_socket svc_load_replay; do
+         ext_3d_scaling hetero_scaling micro_comm_net svc_load_socket \
+         svc_load_replay; do
   code=${status[$b]}
   if [ "$code" -eq 0 ]; then
     echo "[ok]   $b"

@@ -51,6 +51,38 @@ inline ProblemSetup make_setup(int nx, int ny, int nparts, int degree) {
   return ProblemSetup{std::move(prob), std::move(part), poly};
 }
 
+/// One tenant of a mixed-family service: a problem-family instance with
+/// its partition and the deflation options matched to its coarse-space
+/// layout (to be passed per-operator to Service::register_operator —
+/// the family operators disagree on components/coord_dim, so a
+/// service-wide DeflationOptions cannot serve them all).
+struct FamilySetup {
+  fem::FamilyProblem fp;
+  std::shared_ptr<const partition::EddPartition> part;
+  core::PolySpec poly;
+  core::DeflationOptions deflation;
+};
+
+inline FamilySetup make_family_setup(const std::string& family, int nparts,
+                                     int degree) {
+  fem::ProblemSpec spec = fem::default_spec(family);
+  if (family != "cantilever2d") {
+    spec.jump = 1.0e4;
+    spec.aligned = false;
+    spec.checker = 3;
+  }
+  fem::FamilyProblem fp = fem::make_problem(spec);
+  auto part = std::make_shared<const partition::EddPartition>(
+      exp::make_edd(fp, nparts));
+  core::PolySpec poly;
+  poly.kind = core::PolyKind::Gls;
+  poly.degree = degree;
+  core::DeflationOptions deflation =
+      exp::family_deflation(fp, /*jump_aware=*/family != "cantilever2d");
+  return FamilySetup{std::move(fp), std::move(part), poly,
+                     std::move(deflation)};
+}
+
 /// Emit the service stats + latency snapshot (plus caller-provided
 /// extras) as a flat JSON object.  Returns false when FILE can't be
 /// written, so drivers can surface it in their exit code.
